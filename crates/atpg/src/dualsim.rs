@@ -1,0 +1,296 @@
+//! Scalar good/faulty dual simulation — PODEM's value engine.
+//!
+//! Unlike the packed PPSFP simulator (which only reports detection),
+//! PODEM needs to *inspect* intermediate values: the fault-site value
+//! per frame, unjustified objectives, X nodes and difference nodes.
+//! This simulator keeps full good and faulty value arrays per frame for
+//! a single candidate pattern.
+
+use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
+use occ_fsim::{CaptureModel, FrameSpec, Pattern};
+use occ_netlist::{CellId, CellKind, Logic};
+
+/// Scalar dual-machine simulation state for one pattern and one fault.
+#[derive(Debug)]
+pub struct DualSim<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    /// Good node values per frame (frame k at index k-1).
+    pub good: Vec<Vec<Logic>>,
+    /// Faulty node values per frame.
+    pub faulty: Vec<Vec<Logic>>,
+    /// Good flop states (index 0 = load).
+    pub good_state: Vec<Vec<Logic>>,
+    /// Faulty flop states.
+    pub faulty_state: Vec<Vec<Logic>>,
+}
+
+impl<'m, 'a> DualSim<'m, 'a> {
+    /// Creates an empty simulator for the model.
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        DualSim {
+            model,
+            good: Vec::new(),
+            faulty: Vec::new(),
+            good_state: Vec::new(),
+            faulty_state: Vec::new(),
+        }
+    }
+
+    /// The bound capture model.
+    pub fn model(&self) -> &'m CaptureModel<'a> {
+        self.model
+    }
+
+    /// Runs both machines for `pattern` under `spec` with `fault`
+    /// injected in its active frames.
+    pub fn simulate(&mut self, spec: &FrameSpec, pattern: &Pattern, fault: Fault) {
+        let frames = spec.frames();
+        self.good.clear();
+        self.faulty.clear();
+        self.good_state.clear();
+        self.faulty_state.clear();
+
+        let n_flops = self.model.flops().len();
+        let mut gs0 = vec![Logic::X; n_flops];
+        for (si, &fi) in self.model.scan_flops().iter().enumerate() {
+            gs0[fi as usize] = pattern.scan_load[si];
+        }
+        self.good_state.push(gs0.clone());
+        self.faulty_state.push(gs0);
+
+        for k in 1..=frames {
+            let active = match fault.model() {
+                FaultModel::StuckAt => true,
+                FaultModel::Transition => k == frames,
+            };
+            let gvals = self.eval_frame(spec, pattern, k, &self.good_state[k - 1].clone(), None);
+            let fvals = self.eval_frame(
+                spec,
+                pattern,
+                k,
+                &self.faulty_state[k - 1].clone(),
+                active.then_some(fault),
+            );
+            let gnext = self.next_state(spec, k, &gvals, &self.good_state[k - 1].clone());
+            let fnext = self.next_state(spec, k, &fvals, &self.faulty_state[k - 1].clone());
+            self.good.push(gvals);
+            self.faulty.push(fvals);
+            self.good_state.push(gnext);
+            self.faulty_state.push(fnext);
+        }
+    }
+
+    fn eval_frame(
+        &self,
+        spec: &FrameSpec,
+        pattern: &Pattern,
+        frame: usize,
+        state: &[Logic],
+        fault: Option<Fault>,
+    ) -> Vec<Logic> {
+        let nl = self.model.netlist();
+        let mut vals = vec![Logic::X; nl.len()];
+        for (id, cell) in nl.iter() {
+            match cell.kind() {
+                CellKind::Tie0 => vals[id.index()] = Logic::Zero,
+                CellKind::Tie1 => vals[id.index()] = Logic::One,
+                _ => {}
+            }
+        }
+        for &(c, v) in self.model.forced() {
+            vals[c.index()] = v;
+        }
+        for &c in self.model.masked() {
+            vals[c.index()] = Logic::X;
+        }
+        let _ = spec;
+        for (i, &pi) in self.model.free_pis().iter().enumerate() {
+            vals[pi.index()] = pattern.pis_for_frame(frame)[i];
+        }
+        for (fi, info) in self.model.flops().iter().enumerate() {
+            vals[info.cell.index()] = state[fi];
+        }
+        if let Some(f) = fault {
+            if let FaultSite::Output(c) = f.site() {
+                vals[c.index()] = polarity_logic(f.polarity());
+            }
+        }
+        for &id in nl.levelization().order() {
+            if let Some(f) = fault {
+                if f.site() == FaultSite::Output(id) {
+                    vals[id.index()] = polarity_logic(f.polarity());
+                    continue;
+                }
+            }
+            let cell = nl.cell(id);
+            let mut ins: Vec<Logic> = cell.inputs().iter().map(|&s| vals[s.index()]).collect();
+            if let Some(f) = fault {
+                if let FaultSite::Input { cell: fc, pin } = f.site() {
+                    if fc == id {
+                        ins[pin as usize] = polarity_logic(f.polarity());
+                    }
+                }
+            }
+            vals[id.index()] = cell.kind().eval_comb(&ins).unwrap_or(Logic::X);
+        }
+        vals
+    }
+
+    fn next_state(
+        &self,
+        spec: &FrameSpec,
+        frame: usize,
+        vals: &[Logic],
+        prev: &[Logic],
+    ) -> Vec<Logic> {
+        let nl = self.model.netlist();
+        let cycle = &spec.cycles()[frame - 1];
+        let mut next = prev.to_vec();
+        for (fi, info) in self.model.flops().iter().enumerate() {
+            if cycle.pulses_domain(info.domain) {
+                let cell = nl.cell(info.cell);
+                next[fi] = match cell.kind() {
+                    CellKind::Sdff | CellKind::SdffRl => {
+                        let d = vals[cell.inputs()[0].index()];
+                        let se = vals[cell.inputs()[2].index()];
+                        let si = vals[cell.inputs()[3].index()];
+                        Logic::mux2(se, d, si)
+                    }
+                    _ => vals[cell.inputs()[0].index()].drive(),
+                };
+            }
+            if let Some(rpin) = nl.cell(info.cell).reset() {
+                let r = vals[rpin.index()].drive();
+                let act = match nl.cell(info.cell).kind() {
+                    CellKind::DffRh => r == Logic::One,
+                    _ => r == Logic::Zero,
+                };
+                if act {
+                    next[fi] = Logic::Zero;
+                } else if !r.is_definite() && next[fi] != Logic::Zero {
+                    next[fi] = Logic::X;
+                }
+            }
+        }
+        next
+    }
+
+    /// The good value of the fault site's driving node in 1-based
+    /// `frame`.
+    pub fn site_good(&self, fault: Fault, frame: usize) -> Logic {
+        let node = self.site_node(fault.site());
+        self.good[frame - 1][node.index()]
+    }
+
+    /// The node carrying the site value (driver for input-pin faults).
+    pub fn site_node(&self, site: FaultSite) -> CellId {
+        match site {
+            FaultSite::Output(c) => c,
+            FaultSite::Input { cell, pin } => {
+                self.model.netlist().cell(cell).inputs()[pin as usize]
+            }
+        }
+    }
+
+    /// Whether the current pattern detects the fault (same criterion as
+    /// the packed fault simulator: launch condition for transition
+    /// faults, definite difference at an observed point).
+    pub fn detected(&self, spec: &FrameSpec, fault: Fault) -> bool {
+        let frames = spec.frames();
+        if fault.model() == FaultModel::Transition {
+            if frames < 2 {
+                return false;
+            }
+            let node = self.site_node(fault.site());
+            let before = self.good[frames - 2][node.index()];
+            let after = self.good[frames - 1][node.index()];
+            let ok = match fault.polarity() {
+                Polarity::P0 => before == Logic::Zero && after == Logic::One,
+                Polarity::P1 => before == Logic::One && after == Logic::Zero,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &k in spec.po_observe_frames() {
+            for &po in self.model.primary_outputs() {
+                let g = self.good[k - 1][po.index()];
+                let f = self.faulty[k - 1][po.index()];
+                if g.is_definite() && f.is_definite() && g != f {
+                    return true;
+                }
+            }
+        }
+        for &fi in self.model.scan_flops() {
+            let g = self.good_state[frames][fi as usize];
+            let mut f = self.faulty_state[frames][fi as usize];
+            if fault.model() == FaultModel::StuckAt {
+                if let FaultSite::Output(c) = fault.site() {
+                    if c == self.model.flops()[fi as usize].cell {
+                        f = polarity_logic(fault.polarity());
+                    }
+                }
+            }
+            if g.is_definite() && f.is_definite() && g != f {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+pub(crate) fn polarity_logic(p: Polarity) -> Logic {
+    match p {
+        Polarity::P0 => Logic::Zero,
+        Polarity::P1 => Logic::One,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fsim::{ClockBinding, CycleSpec, FaultSim};
+
+    #[test]
+    fn dual_sim_detection_matches_ppsfp() {
+        // Small circuit, all faults, fixed patterns: the scalar dual
+        // simulator and the packed engine must agree.
+        let mut b = occ_netlist::NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let f0 = b.sdff(d, clk, se, si);
+        let inv = b.not(f0);
+        let g = b.and2(inv, d);
+        let f1 = b.sdff(g, clk, se, f0);
+        b.output("q", f1);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("loc", vec![CycleSpec::pulsing(&[0]); 2])
+            .hold_pi(true)
+            .observe_po(false);
+        let uni = occ_fault::FaultUniverse::transition(&nl);
+
+        let mut ds = DualSim::new(&model);
+        let mut fsim = FaultSim::new(&model);
+        for load0 in [Logic::Zero, Logic::One] {
+            for dval in [Logic::Zero, Logic::One] {
+                let mut p = Pattern::empty(&model, &spec, 0);
+                p.scan_load = vec![load0, Logic::Zero];
+                p.pis[0] = vec![dval];
+                let good = occ_fsim::simulate_good(&model, &spec, &[p.clone()]);
+                for &fault in uni.faults() {
+                    ds.simulate(&spec, &p, fault);
+                    let scalar = ds.detected(&spec, fault);
+                    let packed = fsim.detect(&spec, &good, fault) & 1 == 1;
+                    assert_eq!(scalar, packed, "fault {fault} load {load0} d {dval}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The top-level ATPG flow: target faults, batch fault simulation,
+//! random fill and static compaction — the loop every Table 1
+//! experiment runs.
+
+use crate::{Observability, Podem, PodemOutcome};
+use occ_fault::{FaultList, FaultStatus, FaultUniverse};
+use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, Pattern, PatternSet};
+use occ_netlist::Logic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options controlling an ATPG run.
+#[derive(Debug, Clone)]
+pub struct AtpgOptions {
+    /// PODEM backtrack limit; exceeding it classifies a fault aborted.
+    pub backtrack_limit: usize,
+    /// Seed for random X-fill and bootstrap patterns.
+    pub fill_seed: u64,
+    /// Run the reverse-order static compaction pass.
+    pub compaction: bool,
+    /// Random patterns fault-simulated per procedure before
+    /// deterministic generation (only contributing ones are kept) —
+    /// the standard random-bootstrap phase of production flows.
+    pub random_patterns: usize,
+}
+
+impl Default for AtpgOptions {
+    fn default() -> Self {
+        AtpgOptions {
+            backtrack_limit: 128,
+            fill_seed: 0x0CC,
+            compaction: true,
+            random_patterns: 256,
+        }
+    }
+}
+
+/// Counters reported by an ATPG run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AtpgStats {
+    /// Faults handed to PODEM (not dropped by fault simulation first).
+    pub targeted: usize,
+    /// PODEM invocations (targets × procedures tried).
+    pub podem_calls: usize,
+    /// Tests found by PODEM.
+    pub tests_found: usize,
+    /// Calls ending in abort.
+    pub aborted_calls: usize,
+    /// Patterns before compaction.
+    pub patterns_before_compaction: usize,
+    /// 64-pattern fault-simulation batches run.
+    pub fsim_batches: usize,
+}
+
+/// The result of an ATPG run.
+#[derive(Debug)]
+pub struct AtpgResult {
+    /// The generated (compacted) pattern set.
+    pub patterns: PatternSet,
+    /// Final fault statuses.
+    pub faults: FaultList,
+    /// Run counters.
+    pub stats: AtpgStats,
+}
+
+impl AtpgResult {
+    /// Convenience: the coverage report of the final fault list.
+    pub fn report(&self) -> occ_fault::CoverageReport {
+        self.faults.report()
+    }
+}
+
+/// Runs the full ATPG flow for a fault universe over a set of capture
+/// procedures.
+///
+/// For each yet-undetected fault, the procedures are tried in order
+/// (skipping those whose observability cone cannot see the fault); a
+/// found test is random-filled and appended, and every 64 patterns the
+/// whole undetected list is fault-simulated to drop fortuitous
+/// detections. Optionally a reverse-order static compaction pass prunes
+/// patterns that no longer contribute, re-grading from scratch.
+///
+/// # Panics
+///
+/// Panics if `procedures` is empty.
+pub fn run_atpg(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    universe: FaultUniverse,
+    options: &AtpgOptions,
+) -> AtpgResult {
+    assert!(!procedures.is_empty(), "need at least one capture procedure");
+    let mut list = FaultList::new(universe);
+    let mut stats = AtpgStats::default();
+    let mut rng = StdRng::seed_from_u64(options.fill_seed);
+
+    let observability: Vec<Observability> = procedures
+        .iter()
+        .map(|spec| Observability::compute(model, spec))
+        .collect();
+
+    let mut podem = Podem::new(model);
+    let mut fsim = FaultSim::new(model);
+    let mut patterns = PatternSet::new(procedures.to_vec());
+    // Per-procedure batch of not-yet-fault-simulated pattern indices.
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); procedures.len()];
+
+    // Pre-pass: faults sitting on constrained or masked control pins
+    // (clocks held low, scan enable, resets, scan-in ports) cannot be
+    // activated by capture patterns — they are covered by other test
+    // classes (chain test, DC parametrics), which is what the paper's
+    // planned "non-functional scan path" grouping is about.
+    {
+        let controlled: std::collections::HashSet<_> = model
+            .forced()
+            .iter()
+            .map(|&(c, _)| c)
+            .chain(model.masked().iter().copied())
+            .collect();
+        let all: Vec<occ_fault::Fault> = list.faults().to_vec();
+        for fault in all {
+            let node = match fault.site() {
+                occ_fault::FaultSite::Output(c) => c,
+                occ_fault::FaultSite::Input { cell, pin } => {
+                    model.netlist().cell(cell).inputs()[pin as usize]
+                }
+            };
+            if controlled.contains(&node) {
+                list.set_status(fault, FaultStatus::Constrained);
+            }
+        }
+    }
+
+    // Random-bootstrap phase: cheap fortuitous detection before any
+    // deterministic search.
+    for (pi, spec) in procedures.iter().enumerate() {
+        let mut remaining = options.random_patterns;
+        while remaining > 0 {
+            let chunk = remaining.min(64);
+            remaining -= chunk;
+            let mut pats: Vec<Pattern> = Vec::with_capacity(chunk);
+            for _ in 0..chunk {
+                let mut p = Pattern::empty(model, spec, pi);
+                p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
+                pats.push(p);
+            }
+            let good = simulate_good(model, spec, &pats);
+            stats.fsim_batches += 1;
+            // Attribute each newly detected fault to the lowest pattern
+            // bit; keep only contributing patterns.
+            let candidates: Vec<occ_fault::Fault> = list
+                .iter()
+                .filter(|(_, s)| !s.is_detected())
+                .map(|(f, _)| f)
+                .collect();
+            let mut hits: Vec<(occ_fault::Fault, usize)> = Vec::new();
+            let mut used_bits: Vec<usize> = Vec::new();
+            for fault in candidates {
+                let mask = fsim.detect(spec, &good, fault);
+                if mask != 0 {
+                    let bit = mask.trailing_zeros() as usize;
+                    hits.push((fault, bit));
+                    used_bits.push(bit);
+                }
+            }
+            used_bits.sort_unstable();
+            used_bits.dedup();
+            let mut index_of_bit = std::collections::HashMap::new();
+            for &bit in &used_bits {
+                let idx = patterns.push(pats[bit].clone());
+                index_of_bit.insert(bit, idx);
+            }
+            for (fault, bit) in hits {
+                list.set_status(
+                    fault,
+                    FaultStatus::Detected {
+                        pattern: index_of_bit[&bit] as u32,
+                    },
+                );
+            }
+            if used_bits.is_empty() {
+                break; // diminishing returns for this procedure
+            }
+        }
+    }
+
+    let faults: Vec<occ_fault::Fault> = list.faults().to_vec();
+    for &fault in &faults {
+        if list.status(fault) != FaultStatus::Undetected {
+            continue;
+        }
+        stats.targeted += 1;
+        let mut any_abort = false;
+        let mut found = false;
+        for (pi, spec) in procedures.iter().enumerate() {
+            let obs = &observability[pi];
+            // Quick structural skip: the fault's effect cell can never
+            // be observed under this procedure.
+            let effect = fault.site().effect_cell();
+            let scan_q_stuck = fault.model() == occ_fault::FaultModel::StuckAt
+                && matches!(fault.site(), occ_fault::FaultSite::Output(c)
+                    if model.flop_index(c).map_or(false, |fi| model.flops()[fi].is_scan));
+            if !(1..=spec.frames()).any(|k| obs.observable(k, effect)) && !scan_q_stuck {
+                continue;
+            }
+            stats.podem_calls += 1;
+            match podem.run(spec, obs, fault, options.backtrack_limit) {
+                PodemOutcome::Test(mut p) => {
+                    p.proc_index = pi;
+                    p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
+                    let idx = patterns.push(*p);
+                    list.set_status(
+                        fault,
+                        FaultStatus::Detected {
+                            pattern: idx as u32,
+                        },
+                    );
+                    stats.tests_found += 1;
+                    pending[pi].push(idx);
+                    if pending[pi].len() == 64 {
+                        let mut batch = std::mem::take(&mut pending[pi]);
+                        flush_batch(
+                            model, &mut fsim, &patterns, procedures, pi, &mut batch,
+                            &mut list, &mut stats,
+                        );
+                    }
+                    found = true;
+                    break;
+                }
+                PodemOutcome::Aborted => {
+                    any_abort = true;
+                    stats.aborted_calls += 1;
+                }
+                PodemOutcome::Untestable => {}
+            }
+        }
+        if !found {
+            list.set_status(
+                fault,
+                if any_abort {
+                    FaultStatus::Aborted
+                } else {
+                    FaultStatus::Untestable
+                },
+            );
+        }
+    }
+
+    for pi in 0..procedures.len() {
+        if !pending[pi].is_empty() {
+            let mut batch = std::mem::take(&mut pending[pi]);
+            flush_batch(
+                model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list,
+                &mut stats,
+            );
+        }
+    }
+    stats.patterns_before_compaction = patterns.len();
+
+    if options.compaction {
+        let (compacted, regraded) =
+            reverse_compact(model, procedures, &patterns, &list, &mut fsim, &mut stats);
+        return AtpgResult {
+            patterns: compacted,
+            faults: regraded,
+            stats,
+        };
+    }
+
+    AtpgResult {
+        patterns,
+        faults: list,
+        stats,
+    }
+}
+
+/// Fault-simulates one batch of same-procedure patterns against every
+/// undetected fault.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    model: &CaptureModel<'_>,
+    fsim: &mut FaultSim<'_, '_>,
+    patterns: &PatternSet,
+    procedures: &[FrameSpec],
+    pi: usize,
+    batch: &mut Vec<usize>,
+    list: &mut FaultList,
+    stats: &mut AtpgStats,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    stats.fsim_batches += 1;
+    let pats: Vec<Pattern> = batch
+        .iter()
+        .map(|&i| patterns.patterns()[i].clone())
+        .collect();
+    let good = simulate_good(model, &procedures[pi], &pats);
+    // Grade every non-detected fault, including aborted/untestable
+    // verdicts from other procedures: fortuitous detection overrides.
+    let candidates: Vec<occ_fault::Fault> = list
+        .iter()
+        .filter(|(_, s)| !s.is_detected())
+        .map(|(f, _)| f)
+        .collect();
+    for fault in candidates {
+        let mask = fsim.detect(&procedures[pi], &good, fault);
+        if mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            list.set_status(
+                fault,
+                FaultStatus::Detected {
+                    pattern: batch[bit] as u32,
+                },
+            );
+        }
+    }
+    batch.clear();
+}
+
+/// Reverse-order static compaction: grade patterns from last to first,
+/// keep only those that newly detect something, then re-grade the kept
+/// set front-to-back for final statuses and pattern indices.
+fn reverse_compact(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    patterns: &PatternSet,
+    list: &FaultList,
+    fsim: &mut FaultSim<'_, '_>,
+    stats: &mut AtpgStats,
+) -> (PatternSet, FaultList) {
+    let mut shadow = FaultList::new(list.universe().clone());
+    let mut keep: Vec<usize> = Vec::new();
+    for idx in (0..patterns.len()).rev() {
+        let p = &patterns.patterns()[idx];
+        let spec = &procedures[p.proc_index];
+        let good = simulate_good(model, spec, std::slice::from_ref(p));
+        stats.fsim_batches += 1;
+        let mut contributes = false;
+        let undetected: Vec<occ_fault::Fault> = shadow.undetected().collect();
+        for fault in undetected {
+            if fsim.detect(spec, &good, fault) & 1 == 1 {
+                shadow.set_status(fault, FaultStatus::Detected { pattern: 0 });
+                contributes = true;
+            }
+        }
+        if contributes {
+            keep.push(idx);
+        }
+    }
+    keep.sort_unstable();
+
+    let mut compacted = PatternSet::new(procedures.to_vec());
+    for &idx in &keep {
+        compacted.push(patterns.patterns()[idx].clone());
+    }
+
+    // Final grading pass over the kept set, preserving the ATPG's
+    // untestable/aborted verdicts for whatever stays undetected.
+    let mut final_list = FaultList::new(list.universe().clone());
+    for pi in 0..procedures.len() {
+        let idxs: Vec<usize> = (0..compacted.len())
+            .filter(|&i| compacted.patterns()[i].proc_index == pi)
+            .collect();
+        for chunk in idxs.chunks(64) {
+            stats.fsim_batches += 1;
+            let pats: Vec<Pattern> = chunk
+                .iter()
+                .map(|&i| compacted.patterns()[i].clone())
+                .collect();
+            let good = simulate_good(model, &procedures[pi], &pats);
+            let undetected: Vec<occ_fault::Fault> = final_list.undetected().collect();
+            for fault in undetected {
+                let mask = fsim.detect(&procedures[pi], &good, fault);
+                if mask != 0 {
+                    let bit = mask.trailing_zeros() as usize;
+                    final_list.set_status(
+                        fault,
+                        FaultStatus::Detected {
+                            pattern: chunk[bit] as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    // Carry over proven classifications.
+    for (fault, status) in list.iter() {
+        if final_list.status(fault) == FaultStatus::Undetected {
+            match status {
+                FaultStatus::Untestable => final_list.set_status(fault, FaultStatus::Untestable),
+                FaultStatus::Aborted => final_list.set_status(fault, FaultStatus::Aborted),
+                FaultStatus::Constrained => {
+                    final_list.set_status(fault, FaultStatus::Constrained)
+                }
+                _ => {}
+            }
+        }
+    }
+    (compacted, final_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fault::FaultUniverse;
+    use occ_fsim::{ClockBinding, CycleSpec};
+    use occ_netlist::NetlistBuilder;
+
+    fn rig() -> (occ_netlist::Netlist, occ_netlist::CellId) {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let a = b.input("a");
+        let c = b.input("b");
+        let f0 = b.sdff(a, clk, se, si);
+        let f1 = b.sdff(c, clk, se, f0);
+        let g1 = b.and2(f0, f1);
+        let g2 = b.xor2(g1, c);
+        let f2 = b.sdff(g2, clk, se, f1);
+        let g3 = b.nor2(f2, g1);
+        let f3 = b.sdff(g3, clk, se, f2);
+        b.output("po", g3);
+        b.output("q", f3);
+        (b.finish().unwrap(), clk)
+    }
+
+    #[test]
+    fn stuck_at_flow_reaches_high_coverage() {
+        let (nl, clk) = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("c", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let procs = vec![FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])])];
+        let result = run_atpg(
+            &model,
+            &procs,
+            FaultUniverse::stuck_at(&nl),
+            &AtpgOptions::default(),
+        );
+        let report = result.report();
+        // Small clean circuit: everything should resolve, coverage high.
+        assert!(report.coverage_pct() > 80.0, "report: {report}");
+        assert!(report.efficiency_pct() > 99.0, "report: {report}");
+        assert!(!result.patterns.is_empty());
+        // Every detected fault's pattern index is in range.
+        for (_, status) in result.faults.iter() {
+            if let FaultStatus::Detected { pattern } = status {
+                assert!((pattern as usize) < result.patterns.len());
+            }
+        }
+    }
+
+    #[test]
+    fn transition_flow_generates_two_frame_tests() {
+        let (nl, clk) = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("c", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let procs = vec![FrameSpec::broadside("loc", &[0], 2)
+            .hold_pi(true)
+            .observe_po(false)];
+        let result = run_atpg(
+            &model,
+            &procs,
+            FaultUniverse::transition(&nl),
+            &AtpgOptions::default(),
+        );
+        let report = result.report();
+        assert!(report.detected > 0);
+        assert!(report.efficiency_pct() > 95.0, "report: {report}");
+    }
+
+    #[test]
+    fn compaction_never_reduces_coverage() {
+        let (nl, clk) = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("c", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let procs = vec![FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])])];
+        let uni = FaultUniverse::stuck_at(&nl);
+        let with = run_atpg(
+            &model,
+            &procs,
+            uni.clone(),
+            &AtpgOptions {
+                compaction: true,
+                ..AtpgOptions::default()
+            },
+        );
+        let without = run_atpg(
+            &model,
+            &procs,
+            uni,
+            &AtpgOptions {
+                compaction: false,
+                ..AtpgOptions::default()
+            },
+        );
+        assert_eq!(with.report().detected, without.report().detected);
+        assert!(with.patterns.len() <= without.patterns.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # occ-atpg — automatic test pattern generation
+//!
+//! A PODEM-based ATPG engine operating on the same
+//! [`occ_fsim::CaptureModel`] / [`occ_fsim::FrameSpec`] abstractions as
+//! the fault simulator, so every Table 1 experiment of the paper is the
+//! *same engine* offered a different set of named capture procedures:
+//!
+//! * stuck-at ATPG over 1..n-frame external-clock procedures
+//!   (experiment (a)), including clock-sequential initialization of
+//!   non-scan cells via extra pulses;
+//! * broadside (launch-off-capture) transition ATPG over 2..n-frame
+//!   procedures (experiments (b)–(e)), honouring PI-hold and PO-mask
+//!   constraints and per-domain / inter-domain pulse sets;
+//! * 64-pattern batched fault-simulation drop (fortuitous detection),
+//!   random fill, reverse-order static compaction;
+//! * backtrack-limited search with proper untestable/aborted
+//!   classification (the paper's "1 % ATPG untestable, 0.3 % aborted");
+//! * structural fault grouping of the leftovers (the paper's §6 future
+//!   work): cross-domain, PO-masked-only, PI-held-only, non-scan- and
+//!   RAM-dependent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod dualsim;
+mod flow;
+mod podem;
+mod reach;
+mod scoap;
+
+pub use classify::{classify_faults, ConeSummary};
+pub use dualsim::DualSim;
+pub use flow::{run_atpg, AtpgOptions, AtpgResult, AtpgStats};
+pub use podem::{Podem, PodemOutcome};
+pub use reach::Observability;

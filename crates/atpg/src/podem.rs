@@ -1,0 +1,902 @@
+//! PODEM: path-oriented decision making over multi-frame capture
+//! models.
+//!
+//! Decision variables are the scan-load bits and the free primary
+//! inputs (one variable per frame unless the procedure holds PIs).
+//! After every assignment the dual machine is re-simulated; objectives
+//! are derived from the activation conditions and the D-frontier and
+//! backtraced to an unassigned variable. Search is backtrack-limited:
+//! exceeding the limit classifies the fault *aborted*, exhausting the
+//! space proves it *untestable* under the procedure.
+
+use crate::dualsim::{polarity_logic, DualSim};
+use crate::scoap::{Controllability, INF};
+use crate::Observability;
+use occ_fault::{Fault, FaultModel, FaultSite};
+use occ_fsim::{CaptureModel, FrameSpec, Pattern};
+use occ_netlist::{CellId, CellKind, Logic};
+use std::collections::HashMap;
+
+/// Outcome of one PODEM run for one fault under one procedure.
+#[derive(Debug, Clone)]
+pub enum PodemOutcome {
+    /// A (partially specified) pattern detecting the fault.
+    Test(Box<Pattern>),
+    /// The search space was exhausted: no test exists under this
+    /// procedure.
+    Untestable,
+    /// The backtrack limit was hit before a conclusion.
+    Aborted,
+}
+
+/// A decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Var {
+    /// Scan-load bit (index into the model's scan order).
+    Scan(usize),
+    /// Free-PI bit: `(pi index, pattern frame index)`.
+    Pi(usize, usize),
+}
+
+/// The PODEM engine bound to a capture model.
+pub struct Podem<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    sim: DualSim<'m, 'a>,
+    scan_index: HashMap<CellId, usize>,
+    pi_index: HashMap<CellId, usize>,
+    cc: Controllability,
+}
+
+impl<'m, 'a> Podem<'m, 'a> {
+    /// Creates an engine for the model.
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        let scan_index = model
+            .scan_cells()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+        let pi_index = model
+            .free_pis()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        Podem {
+            sim: DualSim::new(model),
+            cc: Controllability::compute(model),
+            model,
+            scan_index,
+            pi_index,
+        }
+    }
+
+    /// Attempts to generate a test for `fault` under `spec`.
+    ///
+    /// `obs` must be the observability cones of the same `spec`.
+    pub fn run(
+        &mut self,
+        spec: &FrameSpec,
+        obs: &Observability,
+        fault: Fault,
+        backtrack_limit: usize,
+    ) -> PodemOutcome {
+        if fault.model() == FaultModel::Transition && spec.frames() < 2 {
+            return PodemOutcome::Untestable;
+        }
+        let mut pattern = Pattern::empty(self.model, spec, 0);
+        let mut stack: Vec<(Var, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+        // Hard ceiling on iterations as a safety net.
+        let max_iters = 200_000usize;
+
+        for _ in 0..max_iters {
+            self.sim.simulate(spec, &pattern, fault);
+            if self.sim.detected(spec, fault) {
+                return PodemOutcome::Test(Box::new(pattern));
+            }
+
+            let step = if !self.effect_possible(spec, obs, fault) {
+                None
+            } else {
+                self.find_assignment(spec, obs, fault)
+            };
+
+            match step {
+                Some((var, val)) => {
+                    debug_assert!(
+                        !stack.iter().any(|&(v, _, _)| v == var),
+                        "backtrace returned an assigned variable"
+                    );
+                    self.assign(&mut pattern, var, Some(val));
+                    stack.push((var, val, false));
+                }
+                None => {
+                    // Backtrack: flip the deepest unflipped decision.
+                    loop {
+                        match stack.pop() {
+                            Some((var, val, false)) => {
+                                backtracks += 1;
+                                if backtracks > backtrack_limit {
+                                    return PodemOutcome::Aborted;
+                                }
+                                self.assign(&mut pattern, var, Some(!val));
+                                stack.push((var, !val, true));
+                                break;
+                            }
+                            Some((var, _, true)) => {
+                                self.assign(&mut pattern, var, None);
+                            }
+                            None => return PodemOutcome::Untestable,
+                        }
+                    }
+                }
+            }
+        }
+        PodemOutcome::Aborted
+    }
+
+    fn assign(&self, pattern: &mut Pattern, var: Var, val: Option<bool>) {
+        let v = val.map(Logic::from_bool).unwrap_or(Logic::X);
+        match var {
+            Var::Scan(i) => pattern.scan_load[i] = v,
+            Var::Pi(i, f) => pattern.pis[f][i] = v,
+        }
+    }
+
+    /// Cheap soundness check: can the fault effect still be activated
+    /// and observed under the current (partial) assignment?
+    fn effect_possible(&self, spec: &FrameSpec, obs: &Observability, fault: Fault) -> bool {
+        let frames = spec.frames();
+        let site = self.sim.site_node(fault.site());
+        let v_fault = polarity_logic(fault.polarity());
+
+        // Activation feasibility on good values.
+        match fault.model() {
+            FaultModel::Transition => {
+                let before = self.sim.good[frames - 2][site.index()];
+                let after = self.sim.good[frames - 1][site.index()];
+                let init = v_fault; // STR: 0 before, 1 after.
+                let fin = !v_fault;
+                if before.is_definite() && before != init {
+                    return false;
+                }
+                if after.is_definite() && after != fin {
+                    return false;
+                }
+            }
+            FaultModel::StuckAt => {
+                // Some active frame must allow the opposite value.
+                let scan_q_site = self.stuck_scan_q_flop(fault);
+                let state_ok = scan_q_site.map_or(false, |fi| {
+                    let s = self.sim.good_state[frames][fi];
+                    !s.is_definite() || s != v_fault
+                });
+                let frame_ok = (1..=frames).any(|k| {
+                    let g = self.sim.good[k - 1][site.index()];
+                    !g.is_definite() || g != v_fault
+                });
+                if !frame_ok && !state_ok {
+                    return false;
+                }
+            }
+        }
+
+        // Observation feasibility: dynamic X-path check. The fault
+        // effect must be able to travel from the site through nodes
+        // whose current composite value is unknown or already differing
+        // to an observation point of the procedure.
+        if self.stuck_scan_q_flop(fault).is_some() {
+            return true; // observed directly at unload
+        }
+        self.xpath_to_observation(spec, obs, fault)
+    }
+
+    /// Forward reachability from the fault site over "carrier" nodes —
+    /// nodes where the faulty value is unknown or differs from the good
+    /// value — to an observation point (observed PO, or a scan flop
+    /// whose final captured state can differ). Sound pruning: if no such
+    /// path exists under the current assignment, no extension of the
+    /// assignment can detect the fault.
+    fn xpath_to_observation(
+        &self,
+        spec: &FrameSpec,
+        obs: &Observability,
+        fault: Fault,
+    ) -> bool {
+        let nl = self.model.netlist();
+        let frames = spec.frames();
+        let n = nl.len();
+        let carrier = |id: CellId, k: usize| {
+            let g = self.sim.good[k - 1][id.index()];
+            let f = self.sim.faulty[k - 1][id.index()];
+            !g.is_definite() || !f.is_definite() || g != f
+        };
+        let state_carrier = |fi: usize, k: usize| {
+            let g = self.sim.good_state[k][fi];
+            let f = self.sim.faulty_state[k][fi];
+            !g.is_definite() || !f.is_definite() || g != f
+        };
+
+        let mut visited = vec![false; n * frames];
+        let mut work: Vec<(CellId, usize)> = Vec::new();
+        let active = |k: usize| match fault.model() {
+            FaultModel::StuckAt => true,
+            FaultModel::Transition => k == frames,
+        };
+        let seed_cell = fault.site().effect_cell();
+        let site = self.sim.site_node(fault.site());
+        for k in 1..=frames {
+            if !active(k) {
+                continue;
+            }
+            for &s in &[seed_cell, site] {
+                if carrier(s, k) && !visited[s.index() * frames + (k - 1)] {
+                    visited[s.index() * frames + (k - 1)] = true;
+                    work.push((s, k));
+                }
+            }
+        }
+
+        while let Some((id, k)) = work.pop() {
+            // Observation?
+            if spec.po_observe_frames().contains(&k)
+                && nl.cell(id).kind() == CellKind::Output
+            {
+                return true;
+            }
+            let _ = obs;
+            for &f in nl.fanouts(id) {
+                let kind = nl.cell(f).kind();
+                if kind.is_flop() {
+                    let Some(fi) = self.model.flop_index(f) else {
+                        continue;
+                    };
+                    let info = self.model.flops()[fi];
+                    if !spec.cycles()[k - 1].pulses_domain(info.domain) {
+                        continue;
+                    }
+                    if !state_carrier(fi, k) {
+                        continue;
+                    }
+                    // Captured: observable at unload if scan and the
+                    // state survives (conservatively: reached at any
+                    // frame; survival is handled by continuing the
+                    // walk below).
+                    if info.is_scan && k == frames {
+                        return true;
+                    }
+                    if k < frames {
+                        // The (possibly corrupt) state feeds frame k+1,
+                        // and survives further holds.
+                        let mut kk = k + 1;
+                        loop {
+                            if carrier(f, kk) && !visited[f.index() * frames + (kk - 1)] {
+                                visited[f.index() * frames + (kk - 1)] = true;
+                                work.push((f, kk));
+                            }
+                            // Holding flops keep the corrupt state alive
+                            // to later frames.
+                            if kk >= frames
+                                || spec.cycles()[kk - 1].pulses_domain(info.domain)
+                            {
+                                break;
+                            }
+                            kk += 1;
+                        }
+                        // A scan flop holding its corrupt capture to the
+                        // end is observed at unload.
+                        if info.is_scan
+                            && !(k + 1..=frames)
+                                .any(|j| spec.cycles()[j - 1].pulses_domain(info.domain))
+                            && state_carrier(fi, frames)
+                        {
+                            return true;
+                        }
+                    }
+                } else if kind.is_combinational() {
+                    if carrier(f, k) && !visited[f.index() * frames + (k - 1)] {
+                        visited[f.index() * frames + (k - 1)] = true;
+                        work.push((f, k));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// For stuck faults on a scan flop's Q net: the flop's model index
+    /// (they are observed directly during unload).
+    fn stuck_scan_q_flop(&self, fault: Fault) -> Option<usize> {
+        if fault.model() != FaultModel::StuckAt {
+            return None;
+        }
+        let FaultSite::Output(c) = fault.site() else {
+            return None;
+        };
+        let fi = self.model.flop_index(c)?;
+        self.model.flops()[fi].is_scan.then_some(fi)
+    }
+
+    /// Derives objectives in priority order and backtraces each until
+    /// one reaches an unassigned decision variable.
+    fn find_assignment(
+        &self,
+        spec: &FrameSpec,
+        obs: &Observability,
+        fault: Fault,
+    ) -> Option<(Var, bool)> {
+        let frames = spec.frames();
+        let site = self.sim.site_node(fault.site());
+        let v_fault = polarity_logic(fault.polarity());
+
+        // 1. Activation objectives: if unjustified, they are mandatory —
+        // when they cannot be backtraced the branch is dead.
+        match fault.model() {
+            FaultModel::Transition => {
+                let before = self.sim.good[frames - 2][site.index()];
+                if !before.is_definite() {
+                    return self.backtrace(spec, site, frames - 1, v_fault == Logic::One);
+                }
+                let after = self.sim.good[frames - 1][site.index()];
+                if !after.is_definite() {
+                    return self.backtrace(spec, site, frames, v_fault == Logic::Zero);
+                }
+            }
+            FaultModel::StuckAt => {
+                let want = v_fault == Logic::Zero; // opposite of stuck value
+                // A stuck Q on a scan flop is observed directly at
+                // unload: justify the flop's *final captured state* to
+                // the opposite value.
+                if let Some(fi) = self.stuck_scan_q_flop(fault) {
+                    let s = self.sim.good_state[frames][fi];
+                    if !s.is_definite() {
+                        if let Some(hit) = self.backtrace_state(spec, site, want) {
+                            return Some(hit);
+                        }
+                    }
+                }
+                let mut best = None;
+                for k in (1..=frames).rev() {
+                    let g = self.sim.good[k - 1][site.index()];
+                    if !g.is_definite() && obs.observable(k, fault.site().effect_cell()) {
+                        if let Some(hit) = self.backtrace(spec, site, k, want) {
+                            best = Some(hit);
+                            break;
+                        }
+                    }
+                }
+                if best.is_some() {
+                    return best;
+                }
+                // If the site is already activated somewhere (including
+                // via the unload-observed state), fall through to
+                // propagation; otherwise dead end.
+                let state_activated = self.stuck_scan_q_flop(fault).map_or(false, |fi| {
+                    let s = self.sim.good_state[frames][fi];
+                    s.is_definite() && s != v_fault
+                });
+                let activated = state_activated
+                    || (1..=frames).any(|k| {
+                        let g = self.sim.good[k - 1][site.index()];
+                        g.is_definite() && g != v_fault
+                    });
+                if !activated {
+                    return None;
+                }
+            }
+        }
+
+        // 2. Propagation: every observable D-frontier gate, every X
+        // side input, until a backtrace lands on a variable. For an
+        // input-pin fault the consuming cell is itself a frontier gate
+        // (the difference is created inside it and its inputs show no
+        // definite diff), so it is treated as having a D input.
+        let nl = self.model.netlist();
+        let pin_site_cell = match fault.site() {
+            FaultSite::Input { cell, .. } => Some(cell),
+            FaultSite::Output(_) => None,
+        };
+        let active = |k: usize| match fault.model() {
+            FaultModel::StuckAt => true,
+            FaultModel::Transition => k == frames,
+        };
+        for k in 1..=frames {
+            for &id in nl.levelization().order() {
+                let g_out = self.sim.good[k - 1][id.index()];
+                let f_out = self.sim.faulty[k - 1][id.index()];
+                if g_out.is_definite() && f_out.is_definite() {
+                    continue; // settled (either propagated or blocked)
+                }
+                if !obs.observable(k, id) {
+                    continue;
+                }
+                let cell = nl.cell(id);
+                let has_d = (pin_site_cell == Some(id) && active(k))
+                    || cell.inputs().iter().any(|&i| {
+                        let g = self.sim.good[k - 1][i.index()];
+                        let f = self.sim.faulty[k - 1][i.index()];
+                        (g.is_definite() && f.is_definite() && g != f)
+                            || (g.is_definite() != f.is_definite())
+                    });
+                if !has_d {
+                    continue;
+                }
+                for (node, want) in self.side_input_objectives(cell.kind(), id, k) {
+                    if let Some(hit) = self.backtrace(spec, node, k, want) {
+                        return Some(hit);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// For a D-frontier gate, enumerates X side-inputs with the
+    /// non-controlling values that would let the difference through.
+    fn side_input_objectives(
+        &self,
+        kind: CellKind,
+        id: CellId,
+        frame: usize,
+    ) -> Vec<(CellId, bool)> {
+        let nl = self.model.netlist();
+        let cell = nl.cell(id);
+        let x_inputs = || -> Vec<CellId> {
+            cell.inputs()
+                .iter()
+                .copied()
+                .filter(|i| !self.sim.good[frame - 1][i.index()].is_definite())
+                .collect()
+        };
+        match kind {
+            CellKind::And | CellKind::Nand => {
+                x_inputs().into_iter().map(|n| (n, true)).collect()
+            }
+            CellKind::Or | CellKind::Nor => {
+                x_inputs().into_iter().map(|n| (n, false)).collect()
+            }
+            CellKind::Xor | CellKind::Xnor => x_inputs()
+                .into_iter()
+                .flat_map(|n| [(n, false), (n, true)])
+                .collect(),
+            CellKind::Mux2 => {
+                // Any X pin can matter: the select (to steer toward a
+                // differing leg) or either data leg — including the
+                // *faulty*-selected one when the select itself carries
+                // the fault. Offer all X pins, steering the select
+                // toward a differing leg first.
+                let sel = cell.inputs()[0];
+                let d1 = cell.inputs()[2];
+                let diff = |i: CellId| {
+                    let g = self.sim.good[frame - 1][i.index()];
+                    let f = self.sim.faulty[frame - 1][i.index()];
+                    g.is_definite() && f.is_definite() && g != f
+                };
+                let mut out = Vec::new();
+                for i in cell.inputs().iter().copied() {
+                    if self.sim.good[frame - 1][i.index()].is_definite() {
+                        continue;
+                    }
+                    if i == sel {
+                        let first = diff(d1);
+                        out.push((sel, first));
+                        out.push((sel, !first));
+                    } else {
+                        out.push((i, true));
+                        out.push((i, false));
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Backtraces a flop's *post-procedure state* (what scan unload
+    /// reads) to a decision variable: the sample pin at its last
+    /// capture, or the scan-load bit if its domain never pulses.
+    fn backtrace_state(
+        &self,
+        spec: &FrameSpec,
+        ff: CellId,
+        want: bool,
+    ) -> Option<(Var, bool)> {
+        let nl = self.model.netlist();
+        let cell = nl.cell(ff);
+        let domain = self
+            .model
+            .flop_index(ff)
+            .map(|fi| self.model.flops()[fi].domain)?;
+        let mut k = spec.frames() + 1;
+        loop {
+            if k == 1 {
+                return self.scan_index.get(&ff).map(|&si| (Var::Scan(si), want));
+            }
+            if spec.cycles()[k - 2].pulses_domain(domain) {
+                let next = match cell.kind() {
+                    CellKind::Sdff | CellKind::SdffRl => {
+                        let se = self.sim.good[k - 2][cell.inputs()[2].index()];
+                        if se == Logic::One {
+                            cell.inputs()[3]
+                        } else {
+                            cell.inputs()[0]
+                        }
+                    }
+                    _ => cell.inputs()[0],
+                };
+                return self.backtrace(spec, next, k - 1, want);
+            }
+            k -= 1;
+        }
+    }
+
+    /// Walks an objective back to an unassigned decision variable,
+    /// exploring alternative X inputs when a path dead-ends on an
+    /// uncontrollable source (non-scan state, masked or constrained
+    /// cells). Failed subgoals are memoized so reconvergent fan-in does
+    /// not blow up.
+    fn backtrace(
+        &self,
+        spec: &FrameSpec,
+        node: CellId,
+        frame: usize,
+        want: bool,
+    ) -> Option<(Var, bool)> {
+        let mut failed: std::collections::HashSet<(CellId, usize, bool)> =
+            std::collections::HashSet::new();
+        self.backtrace_rec(spec, node, frame, want, &mut failed, 0)
+    }
+
+    fn backtrace_rec(
+        &self,
+        spec: &FrameSpec,
+        node: CellId,
+        frame: usize,
+        want: bool,
+        failed: &mut std::collections::HashSet<(CellId, usize, bool)>,
+        depth: usize,
+    ) -> Option<(Var, bool)> {
+        if depth > 4_096 || failed.contains(&(node, frame, want)) {
+            return None;
+        }
+        // Only X-valued nodes can be justified; a definite node means
+        // this particular path needs no (or permits no) new assignment.
+        if self.sim.good[frame - 1][node.index()].is_definite() {
+            return None;
+        }
+        // Statically uncontrollable goals cannot be backtraced.
+        if self.cc.cost(node, want) >= INF {
+            return None;
+        }
+        let nl = self.model.netlist();
+        let cell = nl.cell(node);
+        let result = (|| {
+            // Stop at decision variables.
+            if cell.kind() == CellKind::Input {
+                if let Some(&pi) = self.pi_index.get(&node) {
+                    let pframe = if spec.holds_pi() { 0 } else { frame - 1 };
+                    return Some((Var::Pi(pi, pframe), want));
+                }
+                return None; // constrained/clock input
+            }
+            if cell.kind().is_flop() {
+                // Value in `frame` is the state after cycle frame-1:
+                // walk back over hold cycles to the defining capture.
+                let mut k = frame;
+                loop {
+                    if k == 1 {
+                        // Load state: scan bits are decision variables.
+                        return self
+                            .scan_index
+                            .get(&node)
+                            .map(|&si| (Var::Scan(si), want));
+                    }
+                    let domain = self
+                        .model
+                        .flop_index(node)
+                        .map(|fi| self.model.flops()[fi].domain)?;
+                    if spec.cycles()[k - 2].pulses_domain(domain) {
+                        let next = match cell.kind() {
+                            CellKind::Sdff | CellKind::SdffRl => {
+                                let se = self.sim.good[k - 2][cell.inputs()[2].index()];
+                                if se == Logic::One {
+                                    cell.inputs()[3]
+                                } else {
+                                    cell.inputs()[0]
+                                }
+                            }
+                            _ => cell.inputs()[0],
+                        };
+                        return self.backtrace_rec(spec, next, k - 1, want, failed, depth + 1);
+                    }
+                    k -= 1;
+                }
+            }
+            let x_inputs: Vec<CellId> = cell
+                .inputs()
+                .iter()
+                .copied()
+                .filter(|i| !self.sim.good[frame - 1][i.index()].is_definite())
+                .collect();
+            match cell.kind() {
+                CellKind::Buf | CellKind::Output => {
+                    self.backtrace_rec(spec, cell.inputs()[0], frame, want, failed, depth + 1)
+                }
+                CellKind::Not => {
+                    self.backtrace_rec(spec, cell.inputs()[0], frame, !want, failed, depth + 1)
+                }
+                CellKind::And | CellKind::Nand | CellKind::Or | CellKind::Nor => {
+                    let inv = matches!(cell.kind(), CellKind::Nand | CellKind::Nor);
+                    let and_like = matches!(cell.kind(), CellKind::And | CellKind::Nand);
+                    let goal = want ^ inv;
+                    // Controlling goal: any single X input suffices —
+                    // take the cheapest first. Non-controlling goal:
+                    // every X input must eventually be justified —
+                    // start with the hardest (fail fast).
+                    let controlling_goal = goal != and_like;
+                    let mut ordered = x_inputs;
+                    ordered.sort_by_key(|&i| self.cc.cost(i, goal));
+                    if !controlling_goal {
+                        ordered.reverse();
+                    }
+                    for i in ordered {
+                        if let Some(hit) =
+                            self.backtrace_rec(spec, i, frame, goal, failed, depth + 1)
+                        {
+                            return Some(hit);
+                        }
+                    }
+                    None
+                }
+                CellKind::Xor | CellKind::Xnor => {
+                    let inv = cell.kind() == CellKind::Xnor;
+                    let inner = want ^ inv;
+                    let mut acc = false;
+                    for &i in cell.inputs() {
+                        if let Some(b) = self.sim.good[frame - 1][i.index()].to_bool() {
+                            acc ^= b;
+                        }
+                    }
+                    let mut x_inputs = x_inputs;
+                    x_inputs.sort_by_key(|&i| {
+                        self.cc.cost(i, false).min(self.cc.cost(i, true))
+                    });
+                    for i in &x_inputs {
+                        // Remaining Xs (other than the chosen one) are
+                        // aimed at 0, so the chosen one carries the
+                        // parity.
+                        if let Some(hit) = self.backtrace_rec(
+                            spec,
+                            *i,
+                            frame,
+                            inner ^ acc,
+                            failed,
+                            depth + 1,
+                        ) {
+                            return Some(hit);
+                        }
+                    }
+                    None
+                }
+                CellKind::Mux2 => {
+                    let sel = cell.inputs()[0];
+                    match self.sim.good[frame - 1][sel.index()].to_bool() {
+                        Some(true) => self.backtrace_rec(
+                            spec,
+                            cell.inputs()[2],
+                            frame,
+                            want,
+                            failed,
+                            depth + 1,
+                        ),
+                        Some(false) => self.backtrace_rec(
+                            spec,
+                            cell.inputs()[1],
+                            frame,
+                            want,
+                            failed,
+                            depth + 1,
+                        ),
+                        None => {
+                            // Try steering the select either way
+                            // (cheaper side first), then the data legs.
+                            let first = self.cc.cost(sel, true) < self.cc.cost(sel, false);
+                            for (n, w) in [
+                                (sel, first),
+                                (sel, !first),
+                                (cell.inputs()[1], want),
+                                (cell.inputs()[2], want),
+                            ] {
+                                if let Some(hit) =
+                                    self.backtrace_rec(spec, n, frame, w, failed, depth + 1)
+                                {
+                                    return Some(hit);
+                                }
+                            }
+                            None
+                        }
+                    }
+                }
+                _ => None, // ties, RAM, latch, clock gate
+            }
+        })();
+        if result.is_none() {
+            failed.insert((node, frame, want));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fault::{FaultUniverse, Polarity};
+    use occ_fsim::{simulate_good, ClockBinding, CycleSpec, FaultSim};
+    use occ_netlist::NetlistBuilder;
+
+    struct Rig {
+        nl: occ_netlist::Netlist,
+        clk: CellId,
+    }
+
+    /// A small but non-trivial sequential circuit: two scan flops, one
+    /// non-scan flop, reconvergent logic, a PO.
+    fn rig() -> Rig {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let a = b.input("a");
+        let c = b.input("b");
+        let f0 = b.sdff(a, clk, se, si);
+        let nf = b.dff(c, clk); // non-scan
+        let g1 = b.and2(f0, nf);
+        let g2 = b.xor2(g1, c);
+        let g3 = b.or2(g2, f0);
+        let f1 = b.sdff(g3, clk, se, f0);
+        let g4 = b.nand2(f1, g2);
+        b.output("po", g4);
+        b.name_cell(f0, "f0");
+        b.name_cell(f1, "f1");
+        b.name_cell(nf, "nf");
+        Rig {
+            nl: b.finish().unwrap(),
+            clk,
+        }
+    }
+
+    fn model(r: &Rig) -> CaptureModel<'_> {
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", r.clk);
+        binding.constrain(r.nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(r.nl.find("si").unwrap());
+        CaptureModel::new(&r.nl, binding).unwrap()
+    }
+
+    /// Every PODEM-found pattern must actually detect its fault under
+    /// the packed fault simulator (cross-engine agreement).
+    #[test]
+    fn found_tests_redetect_under_fault_sim() {
+        let r = rig();
+        let m = model(&r);
+        for (spec, uni) in [
+            (
+                FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0]); 2]),
+                FaultUniverse::stuck_at(&r.nl),
+            ),
+            (
+                FrameSpec::broadside("loc", &[0], 2)
+                    .hold_pi(true)
+                    .observe_po(false),
+                FaultUniverse::transition(&r.nl),
+            ),
+        ] {
+            let obs = Observability::compute(&m, &spec);
+            let mut podem = Podem::new(&m);
+            let mut fsim = FaultSim::new(&m);
+            let mut found = 0;
+            for &fault in uni.faults() {
+                if let PodemOutcome::Test(p) = podem.run(&spec, &obs, fault, 50) {
+                    found += 1;
+                    let good = simulate_good(&m, &spec, std::slice::from_ref(&p));
+                    assert_eq!(
+                        fsim.detect(&spec, &good, fault) & 1,
+                        1,
+                        "PODEM test for {fault} does not re-detect under {}",
+                        spec.name()
+                    );
+                }
+            }
+            assert!(found > 0, "no tests found under {}", spec.name());
+        }
+    }
+
+    /// Exhaustive confirmation of untestable claims on the small rig:
+    /// if PODEM says untestable, brute-force over all assignments must
+    /// agree.
+    #[test]
+    fn untestable_claims_verified_by_brute_force() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::broadside("loc", &[0], 2)
+            .hold_pi(true)
+            .observe_po(false);
+        let obs = Observability::compute(&m, &spec);
+        let uni = FaultUniverse::transition(&r.nl);
+        let mut podem = Podem::new(&m);
+        let mut fsim = FaultSim::new(&m);
+
+        let n_scan = m.scan_flops().len();
+        let n_pi = m.free_pis().len();
+        let total_bits = n_scan + n_pi;
+        assert!(total_bits <= 12, "brute force only viable on tiny rigs");
+
+        for &fault in uni.faults() {
+            let outcome = podem.run(&spec, &obs, fault, 10_000);
+            let mut brute_detect = false;
+            for bits in 0..(1u32 << total_bits) {
+                let mut p = Pattern::empty(&m, &spec, 0);
+                for i in 0..n_scan {
+                    p.scan_load[i] = Logic::from_bool((bits >> i) & 1 == 1);
+                }
+                for i in 0..n_pi {
+                    p.pis[0][i] = Logic::from_bool((bits >> (n_scan + i)) & 1 == 1);
+                }
+                let good = simulate_good(&m, &spec, std::slice::from_ref(&p));
+                if fsim.detect(&spec, &good, fault) & 1 == 1 {
+                    brute_detect = true;
+                    break;
+                }
+            }
+            match outcome {
+                PodemOutcome::Test(_) => {
+                    assert!(brute_detect, "PODEM found test but brute force none: {fault}")
+                }
+                PodemOutcome::Untestable => {
+                    assert!(!brute_detect, "PODEM missed existing test for {fault}")
+                }
+                PodemOutcome::Aborted => {
+                    panic!("abort with huge limit on tiny rig: {fault}")
+                }
+            }
+        }
+    }
+
+    /// PI-hold makes PI-transition launches impossible; with free PIs
+    /// the same faults become testable.
+    #[test]
+    fn pi_hold_blocks_pi_launches() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let a = b.input("a");
+        let buf = b.buf(a);
+        let ff = b.sdff(buf, clk, se, si);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("c", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        let fault = Fault::transition(FaultSite::Output(buf), Polarity::P0);
+
+        let held = FrameSpec::broadside("held", &[0], 2)
+            .hold_pi(true)
+            .observe_po(false);
+        let obs_h = Observability::compute(&m, &held);
+        let mut podem = Podem::new(&m);
+        assert!(matches!(
+            podem.run(&held, &obs_h, fault, 1_000),
+            PodemOutcome::Untestable
+        ));
+
+        let free = FrameSpec::broadside("free", &[0], 2).observe_po(false);
+        let obs_f = Observability::compute(&m, &free);
+        assert!(matches!(
+            podem.run(&free, &obs_f, fault, 1_000),
+            PodemOutcome::Test(_)
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! SCOAP-style testability measures: 0/1-controllability costs used to
+//! steer PODEM's backtrace toward the cheapest justification paths.
+//!
+//! Costs are the classic Goldstein measures, computed to a fixpoint
+//! over the sequential netlist (saturating; `INF` marks uncontrollable
+//! values such as constrained pins, RAM read data and masked sources).
+//! Scan flops cost 1 to either value (one scan-load bit); non-scan
+//! flops inherit their D-cone cost plus a capture-cycle penalty.
+
+use occ_fsim::CaptureModel;
+use occ_netlist::{CellId, CellKind, Logic};
+
+/// Saturating "impossible" cost.
+pub const INF: u32 = u32::MAX / 4;
+
+/// Per-node 0/1 controllability costs.
+#[derive(Debug, Clone)]
+pub struct Controllability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+}
+
+impl Controllability {
+    /// Computes controllability for a bound model.
+    pub fn compute(model: &CaptureModel<'_>) -> Self {
+        let nl = model.netlist();
+        let n = nl.len();
+        let mut cc0 = vec![INF; n];
+        let mut cc1 = vec![INF; n];
+
+        let forced: std::collections::HashMap<CellId, Logic> =
+            model.forced().iter().copied().collect();
+        let masked: std::collections::HashSet<CellId> =
+            model.masked().iter().copied().collect();
+        let free: std::collections::HashSet<CellId> =
+            model.free_pis().iter().copied().collect();
+
+        // Sources.
+        for (id, cell) in nl.iter() {
+            match cell.kind() {
+                CellKind::Input => {
+                    if masked.contains(&id) {
+                        // stays INF
+                    } else if let Some(v) = forced.get(&id) {
+                        match v {
+                            Logic::Zero => cc0[id.index()] = 0,
+                            Logic::One => cc1[id.index()] = 0,
+                            _ => {}
+                        }
+                    } else if free.contains(&id) {
+                        cc0[id.index()] = 1;
+                        cc1[id.index()] = 1;
+                    }
+                }
+                CellKind::Tie0 => cc0[id.index()] = 0,
+                CellKind::Tie1 => cc1[id.index()] = 0,
+                _ => {}
+            }
+        }
+
+        // Fixpoint over combinational order + flops (few rounds suffice;
+        // costs only decrease).
+        for _round in 0..6 {
+            let mut changed = false;
+            for &id in nl.levelization().order() {
+                let (c0, c1) = eval_cc(nl, id, &cc0, &cc1);
+                if c0 < cc0[id.index()] {
+                    cc0[id.index()] = c0;
+                    changed = true;
+                }
+                if c1 < cc1[id.index()] {
+                    cc1[id.index()] = c1;
+                    changed = true;
+                }
+            }
+            for info in model.flops() {
+                let idx = info.cell.index();
+                let (d0, d1) = if info.is_scan {
+                    (1, 1)
+                } else {
+                    let d = nl.cell(info.cell).flop_d();
+                    (
+                        cc0[d.index()].saturating_add(8).min(INF),
+                        cc1[d.index()].saturating_add(8).min(INF),
+                    )
+                };
+                if d0 < cc0[idx] {
+                    cc0[idx] = d0;
+                    changed = true;
+                }
+                if d1 < cc1[idx] {
+                    cc1[idx] = d1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Controllability { cc0, cc1 }
+    }
+
+    /// Cost of driving `id` to `value`.
+    #[inline]
+    pub fn cost(&self, id: CellId, value: bool) -> u32 {
+        if value {
+            self.cc1[id.index()]
+        } else {
+            self.cc0[id.index()]
+        }
+    }
+}
+
+fn eval_cc(
+    nl: &occ_netlist::Netlist,
+    id: CellId,
+    cc0: &[u32],
+    cc1: &[u32],
+) -> (u32, u32) {
+    let cell = nl.cell(id);
+    let add = |a: u32, b: u32| a.saturating_add(b).min(INF);
+    let ins = cell.inputs();
+    match cell.kind() {
+        CellKind::Buf | CellKind::Output => (cc0[ins[0].index()], cc1[ins[0].index()]),
+        CellKind::Not => (cc1[ins[0].index()], cc0[ins[0].index()]),
+        CellKind::And | CellKind::Nand => {
+            let zero = ins.iter().map(|i| cc0[i.index()]).min().unwrap_or(INF);
+            let one = ins
+                .iter()
+                .fold(0u32, |acc, i| add(acc, cc1[i.index()]));
+            let (a0, a1) = (add(zero, 1), add(one, 1));
+            if cell.kind() == CellKind::Nand {
+                (a1, a0)
+            } else {
+                (a0, a1)
+            }
+        }
+        CellKind::Or | CellKind::Nor => {
+            let one = ins.iter().map(|i| cc1[i.index()]).min().unwrap_or(INF);
+            let zero = ins
+                .iter()
+                .fold(0u32, |acc, i| add(acc, cc0[i.index()]));
+            let (a0, a1) = (add(zero, 1), add(one, 1));
+            if cell.kind() == CellKind::Nor {
+                (a1, a0)
+            } else {
+                (a0, a1)
+            }
+        }
+        CellKind::Xor | CellKind::Xnor => {
+            // Pairwise fold for the n-ary case.
+            let mut z = cc0[ins[0].index()];
+            let mut o = cc1[ins[0].index()];
+            for i in &ins[1..] {
+                let (i0, i1) = (cc0[i.index()], cc1[i.index()]);
+                let nz = add(z, i0).min(add(o, i1));
+                let no = add(z, i1).min(add(o, i0));
+                z = nz;
+                o = no;
+            }
+            let (a0, a1) = (add(z, 1), add(o, 1));
+            if cell.kind() == CellKind::Xnor {
+                (a1, a0)
+            } else {
+                (a0, a1)
+            }
+        }
+        CellKind::Mux2 => {
+            let (s, d0, d1) = (ins[0], ins[1], ins[2]);
+            let zero = add(cc0[s.index()], cc0[d0.index()])
+                .min(add(cc1[s.index()], cc0[d1.index()]));
+            let one = add(cc0[s.index()], cc1[d0.index()])
+                .min(add(cc1[s.index()], cc1[d1.index()]));
+            (add(zero, 1), add(one, 1))
+        }
+        _ => (INF, INF),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fsim::ClockBinding;
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn basic_costs_make_sense() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let a = b.input("a");
+        let c = b.input("b");
+        let and = b.and2(a, c);
+        let or = b.or2(a, c);
+        let ff = b.sdff(and, clk, se, si);
+        let nf = b.dff(or, clk);
+        let g = b.and2(ff, nf);
+        b.output("q", g);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("d", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        let cc = Controllability::compute(&m);
+
+        // AND to 1 needs both inputs: costlier than to 0.
+        assert!(cc.cost(and, true) > cc.cost(and, false));
+        // OR is the dual.
+        assert!(cc.cost(or, false) > cc.cost(or, true));
+        // Scan flop costs 1 either way.
+        assert_eq!(cc.cost(ff, false), 1);
+        assert_eq!(cc.cost(ff, true), 1);
+        // Non-scan flop costs more than the scan flop.
+        assert!(cc.cost(nf, true) > cc.cost(ff, true));
+        // Constrained scan-enable: free to 0, impossible to 1.
+        assert_eq!(cc.cost(se, false), 0);
+        assert!(cc.cost(se, true) >= INF);
+        // Masked scan-in: impossible both ways.
+        assert!(cc.cost(si, false) >= INF);
+    }
+}

@@ -1,0 +1,188 @@
+//! ATPG soundness and completeness referee: on random small circuits,
+//! every PODEM verdict is checked against exhaustive enumeration of the
+//! decision space — found tests must re-detect under the packed fault
+//! simulator, untestable claims must have no counterexample.
+
+use occ_atpg::{Observability, Podem, PodemOutcome};
+use occ_fault::FaultUniverse;
+use occ_fsim::{simulate_good, CaptureModel, ClockBinding, FaultSim, FrameSpec, Pattern};
+use occ_netlist::{CellId, Logic, Netlist, NetlistBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random circuit kept tiny so exhaustive enumeration stays feasible.
+fn tiny_circuit(seed: u64) -> (Netlist, CellId, CellId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("tiny");
+    let cka = b.input("cka");
+    let ckb = b.input("ckb");
+    let se = b.input("se");
+    let si = b.input("si");
+    let mut sigs = vec![b.input("pi0"), b.input("pi1")];
+    let mut scan_count = 0;
+    for i in 0..rng.gen_range(6..14) {
+        let a = sigs[rng.gen_range(0..sigs.len())];
+        let c = sigs[rng.gen_range(0..sigs.len())];
+        let id = match rng.gen_range(0..8) {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.not(a),
+            5 => b.mux2(sigs[rng.gen_range(0..sigs.len())], a, c),
+            6 if scan_count < 4 => {
+                scan_count += 1;
+                let clk = if rng.gen_bool(0.7) { cka } else { ckb };
+                b.sdff(a, clk, se, si)
+            }
+            _ => {
+                let clk = if rng.gen_bool(0.7) { cka } else { ckb };
+                b.dff(a, clk)
+            }
+        };
+        b.name_cell(id, &format!("n{i}"));
+        sigs.push(id);
+    }
+    // Guarantee at least one scan flop and an observable output.
+    let tail = *sigs.last().unwrap();
+    let ff = b.sdff(tail, cka, se, si);
+    b.output("q_ff", ff);
+    b.output("po", tail);
+    (b.finish().unwrap(), cka, ckb)
+}
+
+fn verify(seed: u64, spec: &FrameSpec, transition: bool) {
+    let (nl, cka, ckb) = tiny_circuit(seed);
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", cka);
+    binding.add_domain("b", ckb);
+    binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+    binding.mask(nl.find("si").unwrap());
+    let model = CaptureModel::new(&nl, binding).unwrap();
+
+    let n_scan = model.scan_flops().len();
+    let n_pi = model.free_pis().len();
+    let pi_frames = if spec.holds_pi() { 1 } else { spec.frames() };
+    let total_bits = n_scan + n_pi * pi_frames;
+    if total_bits > 14 {
+        return; // enumeration too large for this seed, skip
+    }
+
+    let uni = if transition {
+        FaultUniverse::transition(&nl)
+    } else {
+        FaultUniverse::stuck_at(&nl)
+    };
+    let obs = Observability::compute(&model, spec);
+    let mut podem = Podem::new(&model);
+    let mut fsim = FaultSim::new(&model);
+
+    for &fault in uni.faults() {
+        let outcome = podem.run(spec, &obs, fault, 100_000);
+        let mut brute = false;
+        'outer: for bits in 0..(1u64 << total_bits) {
+            let mut p = Pattern::empty(&model, spec, 0);
+            for i in 0..n_scan {
+                p.scan_load[i] = Logic::from_bool((bits >> i) & 1 == 1);
+            }
+            for f in 0..pi_frames {
+                for i in 0..n_pi {
+                    let bit = n_scan + f * n_pi + i;
+                    p.pis[f][i] = Logic::from_bool((bits >> bit) & 1 == 1);
+                }
+            }
+            let good = simulate_good(&model, spec, std::slice::from_ref(&p));
+            if fsim.detect(spec, &good, fault) & 1 == 1 {
+                brute = true;
+                break 'outer;
+            }
+        }
+        match outcome {
+            PodemOutcome::Test(p) => {
+                assert!(brute, "seed {seed}: PODEM test but no brute test for {fault}");
+                let good = simulate_good(&model, spec, std::slice::from_ref(&p));
+                assert_eq!(
+                    fsim.detect(spec, &good, fault) & 1,
+                    1,
+                    "seed {seed}: PODEM pattern fails re-detection for {fault}"
+                );
+            }
+            PodemOutcome::Untestable => {
+                assert!(
+                    !brute,
+                    "seed {seed}: PODEM claims untestable but test exists for {fault}"
+                );
+            }
+            PodemOutcome::Aborted => {
+                panic!("seed {seed}: abort at huge limit on tiny circuit ({fault})")
+            }
+        }
+    }
+}
+
+#[test]
+fn stuck_at_single_frame_verdicts() {
+    for seed in 0..8 {
+        verify(
+            seed,
+            &FrameSpec::new("sa", vec![occ_fsim::CycleSpec::pulsing(&[0, 1])]),
+            false,
+        );
+    }
+}
+
+#[test]
+fn stuck_at_two_frame_verdicts() {
+    for seed in 20..26 {
+        verify(
+            seed,
+            &FrameSpec::new("sa2", vec![occ_fsim::CycleSpec::pulsing(&[0, 1]); 2]).hold_pi(true),
+            false,
+        );
+    }
+}
+
+#[test]
+fn transition_broadside_verdicts() {
+    for seed in 40..48 {
+        verify(
+            seed,
+            &FrameSpec::broadside("loc", &[0, 1], 2)
+                .hold_pi(true)
+                .observe_po(false),
+            true,
+        );
+    }
+}
+
+#[test]
+fn transition_single_domain_masked_verdicts() {
+    for seed in 60..66 {
+        verify(
+            seed,
+            &FrameSpec::broadside("dom_a", &[0], 2)
+                .hold_pi(true)
+                .observe_po(false),
+            true,
+        );
+    }
+}
+
+#[test]
+fn transition_inter_domain_verdicts() {
+    for seed in 80..86 {
+        verify(
+            seed,
+            &FrameSpec::new(
+                "x_ab",
+                vec![
+                    occ_fsim::CycleSpec::pulsing(&[0]),
+                    occ_fsim::CycleSpec::pulsing(&[1]),
+                ],
+            )
+            .hold_pi(true)
+            .observe_po(false),
+            true,
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Engine micro-benches (ablation-style): packed PPSFP fault simulation
+//! vs the scalar dual simulator, good-machine batch simulation, EDT
+//! encode/expand, scan insertion and event-driven CPF simulation.
+//! These quantify the design choices DESIGN.md calls out (64-slot
+//! packing, event-driven propagation, linear-solver encoding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occ_atpg::DualSim;
+use occ_core::{ClockPulseFilter, CpfConfig, Pll, PllConfig};
+use occ_dft::{insert_scan, EdtCodec, EdtConfig, ScanConfig};
+use occ_fault::FaultUniverse;
+use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, Pattern};
+use occ_netlist::Logic;
+use occ_sim::{DelayModel, EventSim, Waveform};
+use occ_soc::{generate, SocConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_engines(c: &mut Criterion) {
+    let soc = generate(&SocConfig::paper_like(3, 60));
+    let binding = soc.binding(true);
+    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
+    let spec = FrameSpec::broadside("loc", &[0, 1], 2)
+        .hold_pi(true)
+        .observe_po(false);
+    let uni = FaultUniverse::transition(soc.netlist());
+    let mut rng = StdRng::seed_from_u64(5);
+    let patterns: Vec<Pattern> = (0..64)
+        .map(|_| {
+            let mut p = Pattern::empty(&model, &spec, 0);
+            p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
+            p
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+
+    group.bench_function("good_sim_64_patterns", |b| {
+        b.iter(|| criterion::black_box(simulate_good(&model, &spec, &patterns).frames.len()))
+    });
+
+    let good = simulate_good(&model, &spec, &patterns);
+    group.bench_function("ppsfp_1k_faults_64_patterns", |b| {
+        let mut fsim = FaultSim::new(&model);
+        let faults: Vec<_> = uni.faults().iter().copied().take(1_000).collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &f in &faults {
+                if fsim.detect(&spec, &good, f) != 0 {
+                    hits += 1;
+                }
+            }
+            criterion::black_box(hits)
+        })
+    });
+
+    group.bench_function("scalar_dual_sim_100_faults", |b| {
+        let mut ds = DualSim::new(&model);
+        let faults: Vec<_> = uni.faults().iter().copied().take(100).collect();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &f in &faults {
+                ds.simulate(&spec, &patterns[0], f);
+                if ds.detected(&spec, f) {
+                    hits += 1;
+                }
+            }
+            criterion::black_box(hits)
+        })
+    });
+
+    group.bench_function("scan_insertion", |b| {
+        let plain = occ_soc::shift_chain(64);
+        b.iter(|| {
+            let sc = insert_scan(&plain, &ScanConfig::new(4)).unwrap();
+            criterion::black_box(sc.max_chain_len())
+        })
+    });
+
+    group.bench_function("edt_encode_64_cares", |b| {
+        let codec = EdtCodec::new(EdtConfig {
+            channels: 4,
+            chains: 64,
+            shift_len: 40,
+            lfsr_len: 64,
+            warmup: 16,
+            seed: 1,
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let cares: Vec<(usize, usize, bool)> = (0..64)
+            .map(|_| (rng.gen_range(0..64), rng.gen_range(0..40), rng.gen_bool(0.5)))
+            .collect();
+        b.iter(|| criterion::black_box(codec.encode(&cares).map(|v| v.len())))
+    });
+
+    group.bench_function("event_sim_cpf_episode", |b| {
+        let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+        let pll = Pll::new(PllConfig::paper());
+        let ports = *cpf.ports();
+        b.iter(|| {
+            let mut sim = EventSim::new(cpf.netlist(), DelayModel::default());
+            sim.drive(ports.pll_clk, pll.domain_waveform(1, 800_000));
+            sim.drive(
+                ports.scan_en,
+                Waveform::steps(&[(0, Logic::One), (250_000, Logic::Zero)]),
+            );
+            sim.drive(ports.scan_clk, Waveform::pulse(300_000, 320_000));
+            sim.run_until(800_000);
+            criterion::black_box(sim.now())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for the figure reproductions: device assembly
+//! (Fig 1), full-device protocol simulation (Fig 2), CPF generation
+//! (Fig 3) and CPF waveform simulation (Fig 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occ_bench::{fig1_report, fig2_waveforms, fig3_report, fig4_waveforms};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_build_device", |b| {
+        b.iter(|| {
+            let (text, _, device) = fig1_report(7, 40);
+            criterion::black_box((text.len(), device.netlist().len()))
+        })
+    });
+
+    group.bench_function("fig2_protocol_sim", |b| {
+        b.iter(|| {
+            let fig = fig2_waveforms(7);
+            assert_eq!(fig.pulses_per_domain, vec![2, 2]);
+            criterion::black_box(fig.ascii.len())
+        })
+    });
+
+    group.bench_function("fig3_cpf_build", |b| {
+        b.iter(|| {
+            let (text, verilog, dot) = fig3_report();
+            criterion::black_box(text.len() + verilog.len() + dot.len())
+        })
+    });
+
+    group.bench_function("fig4_cpf_sim", |b| {
+        b.iter(|| {
+            let fig = fig4_waveforms(1);
+            assert_eq!(fig.pulse_count, 2);
+            criterion::black_box(fig.vcd.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

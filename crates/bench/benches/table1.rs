@@ -1,0 +1,29 @@
+//! Criterion benches for the Table 1 experiments — one per row, on a
+//! reduced SOC so the full suite stays in benchmark territory. The
+//! `table1` binary runs the full-size reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occ_bench::{run_experiment, ExperimentId, Table1Options};
+use occ_soc::{generate, SocConfig};
+
+fn bench_rows(c: &mut Criterion) {
+    let options = Table1Options {
+        flops_per_domain: 24,
+        ..Table1Options::default()
+    };
+    let soc = generate(&SocConfig::paper_like(options.seed, options.flops_per_domain));
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for id in ExperimentId::ALL {
+        group.bench_function(format!("row_{id}"), |b| {
+            b.iter(|| {
+                let row = run_experiment(&soc, id, &options);
+                criterion::black_box(row.patterns)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows);
+criterion_main!(benches);

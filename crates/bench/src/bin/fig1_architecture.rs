@@ -1,0 +1,15 @@
+//! Reproduces Figure 1: the device with one CPF per clock domain.
+//!
+//! Prints the architecture report; `--dot` additionally prints the
+//! Graphviz drawing of the CPF block.
+
+use occ_bench::fig1_report;
+
+fn main() {
+    let dot_wanted = std::env::args().any(|a| a == "--dot");
+    let (text, dot, _device) = fig1_report(20050307, 120);
+    println!("{text}");
+    if dot_wanted {
+        println!("{dot}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 3: the clock pulse filter schematic.
+//!
+//! Prints the gate list; `--verilog` and `--dot` print the structural
+//! Verilog and Graphviz form.
+
+use occ_bench::fig3_report;
+
+fn main() {
+    let (text, verilog, dot) = fig3_report();
+    println!("{text}");
+    if std::env::args().any(|a| a == "--verilog") {
+        println!("{verilog}");
+    }
+    if std::env::args().any(|a| a == "--dot") {
+        println!("{dot}");
+    }
+}

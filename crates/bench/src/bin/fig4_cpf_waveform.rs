@@ -1,0 +1,38 @@
+//! Reproduces Figure 4: the CPF waveform diagram — scan_en drop, single
+//! scan_clk trigger pulse, three PLL cycles of latency, exactly two
+//! released at-speed pulses on clk_out.
+//!
+//! `--vcd` dumps the trace as VCD; `--domain N` selects the clock
+//! domain (0 = 75 MHz, 1 = 150 MHz).
+
+use occ_bench::fig4_waveforms;
+
+fn main() {
+    let mut domain = 1usize;
+    let mut vcd_wanted = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--vcd" => vcd_wanted = true,
+            "--domain" => {
+                domain = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--domain needs 0 or 1");
+            }
+            _ => {}
+        }
+    }
+    let fig = fig4_waveforms(domain);
+    if vcd_wanted {
+        println!("{}", fig.vcd);
+        return;
+    }
+    println!("Figure 4 — clock pulse filter waveform (domain {domain})");
+    println!("=================================================");
+    print!("{}", fig.ascii);
+    println!(
+        "\nreleased pulses: {} (paper: exactly 2); narrowest pulse: {:?} ps",
+        fig.pulse_count, fig.min_pulse_width
+    );
+}

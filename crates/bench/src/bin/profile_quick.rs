@@ -1,0 +1,22 @@
+//! Quick profiling helper for experiment runtimes.
+use occ_bench::{run_experiment, ExperimentId, Table1Options};
+use occ_soc::{generate, SocConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = SocConfig::tiny(1);
+    let t0 = Instant::now();
+    let soc = generate(&cfg);
+    println!("gen: {:?} cells={}", t0.elapsed(), soc.netlist().len());
+    let opts = Table1Options { flops_per_domain: 24, ..Table1Options::default() };
+    for id in [ExperimentId::A, ExperimentId::B, ExperimentId::C] {
+        let t = Instant::now();
+        let row = run_experiment(&soc, id, &opts);
+        println!(
+            "{id}: {:?} cov={:.2}% eff={:.2}% pats={} targeted={} podem_calls={} aborted={} fsim_batches={}",
+            t.elapsed(), row.coverage_pct, row.efficiency_pct, row.patterns,
+            row.result.stats.targeted, row.result.stats.podem_calls,
+            row.result.stats.aborted_calls, row.result.stats.fsim_batches
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Reproduces the paper's Table 1: the five ATPG experiments (a)–(e).
+//!
+//! Usage:
+//! ```text
+//! table1 [row] [--flops N] [--seed S] [--limit B]
+//! ```
+//! With no row, all five experiments run and the full table plus the
+//! paper-shape checks are printed. With a row label (`a`..`e`), only
+//! that experiment runs.
+
+use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
+use occ_fault::FaultStatus;
+use occ_soc::{generate, SocConfig};
+
+fn main() {
+    let mut options = Table1Options::default();
+    let mut row: Option<ExperimentId> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flops" => {
+                options.flops_per_domain = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--flops needs a number");
+            }
+            "--seed" => {
+                options.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--limit" => {
+                options.backtrack_limit = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--limit needs a number");
+            }
+            other => {
+                row = ExperimentId::parse(other);
+                if row.is_none() {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    match row {
+        Some(id) => {
+            let soc = generate(&SocConfig::paper_like(
+                options.seed,
+                options.flops_per_domain,
+            ));
+            let r = run_experiment(&soc, id, &options);
+            println!(
+                "{} {}: coverage {:.2}%  efficiency {:.2}%  patterns {}  ({:.1}s)",
+                r.id,
+                r.id.description(),
+                r.coverage_pct,
+                r.efficiency_pct,
+                r.patterns,
+                r.seconds
+            );
+            let report = r.result.report();
+            println!("{report}");
+            let undetected = r
+                .result
+                .faults
+                .iter()
+                .filter(|(_, s)| !s.is_detected())
+                .count();
+            let aborted = r
+                .result
+                .faults
+                .iter()
+                .filter(|(_, s)| matches!(s, FaultStatus::Aborted))
+                .count();
+            println!("undetected {undetected}, aborted {aborted}");
+        }
+        None => {
+            let table = run_table1(&options);
+            println!("{table}");
+        }
+    }
+}

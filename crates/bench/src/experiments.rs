@@ -1,0 +1,327 @@
+//! Table 1: the five ATPG experiments.
+
+use occ_atpg::{classify_faults, run_atpg, AtpgOptions, AtpgResult};
+use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
+use occ_fault::FaultUniverse;
+use occ_fsim::CaptureModel;
+use occ_soc::{generate, Soc, SocConfig};
+use std::fmt;
+use std::time::Instant;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// (a) stuck-at test using a single external clock.
+    A,
+    /// (b) transition test using a single external clock (ideal).
+    B,
+    /// (c) transition test using simple 2-pulse on-chip CPFs.
+    C,
+    /// (d) transition test using enhanced CPFs (2–4 pulses +
+    /// inter-domain).
+    D,
+    /// (e) transition test, external clock with all ATE constraints.
+    E,
+}
+
+impl ExperimentId {
+    /// All rows in paper order.
+    pub const ALL: [ExperimentId; 5] = [
+        ExperimentId::A,
+        ExperimentId::B,
+        ExperimentId::C,
+        ExperimentId::D,
+        ExperimentId::E,
+    ];
+
+    /// The paper's description of the row.
+    pub fn description(self) -> &'static str {
+        match self {
+            ExperimentId::A => "stuck-at, single external clock",
+            ExperimentId::B => "transition, single external clock",
+            ExperimentId::C => "transition, on-chip clock generation (2-pulse CPF)",
+            ExperimentId::D => "transition, enhanced CPF (2-4 pulses, inter-domain)",
+            ExperimentId::E => "transition, external clock with ATE constraints",
+        }
+    }
+
+    /// Parses a row label (`a`..`e`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "a" => Some(ExperimentId::A),
+            "b" => Some(ExperimentId::B),
+            "c" => Some(ExperimentId::C),
+            "d" => Some(ExperimentId::D),
+            "e" => Some(ExperimentId::E),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            ExperimentId::A => 'a',
+            ExperimentId::B => 'b',
+            ExperimentId::C => 'c',
+            ExperimentId::D => 'd',
+            ExperimentId::E => 'e',
+        };
+        write!(f, "({c})")
+    }
+}
+
+/// The measured outcome of one experiment.
+#[derive(Debug)]
+pub struct ExperimentRow {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Test coverage in percent (detected / total collapsed faults).
+    pub coverage_pct: f64,
+    /// ATPG efficiency in percent.
+    pub efficiency_pct: f64,
+    /// Pattern count (scan loads).
+    pub patterns: usize,
+    /// Total collapsed faults.
+    pub total_faults: usize,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// The full ATPG result (fault statuses, stats, pattern set).
+    pub result: AtpgResult,
+}
+
+/// Options for a Table 1 reproduction run.
+#[derive(Debug, Clone)]
+pub struct Table1Options {
+    /// SOC generator seed.
+    pub seed: u64,
+    /// Flops per clock domain.
+    pub flops_per_domain: usize,
+    /// PODEM backtrack limit.
+    pub backtrack_limit: usize,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            seed: 20050307, // DATE'05 in Munich
+            flops_per_domain: 120,
+            backtrack_limit: 48,
+        }
+    }
+}
+
+/// The clocking mode and fault model a row uses.
+fn mode_of(id: ExperimentId) -> (ClockingMode, bool /* transition */, bool /* bidi masked */) {
+    match id {
+        ExperimentId::A => (ClockingMode::ExternalClock { max_pulses: 4 }, false, false),
+        ExperimentId::B => (ClockingMode::ExternalClock { max_pulses: 4 }, true, false),
+        ExperimentId::C => (ClockingMode::SimpleCpf, true, true),
+        ExperimentId::D => (ClockingMode::EnhancedCpf { max_pulses: 4 }, true, true),
+        ExperimentId::E => (
+            ClockingMode::ConstrainedExternal { max_pulses: 4 },
+            true,
+            true,
+        ),
+    }
+}
+
+/// Runs one Table 1 experiment on an already-generated SOC.
+pub fn run_experiment(soc: &Soc, id: ExperimentId, options: &Table1Options) -> ExperimentRow {
+    let (mode, transition, mask_bidi) = mode_of(id);
+    let binding = soc.binding(mask_bidi);
+    let model = CaptureModel::new(soc.netlist(), binding).expect("SOC binds");
+    let n_domains = model.domain_count();
+    let procedures = if transition {
+        transition_procedures(mode, n_domains)
+    } else {
+        stuck_at_procedures(mode, n_domains)
+    };
+    let universe = if transition {
+        FaultUniverse::transition(soc.netlist())
+    } else {
+        FaultUniverse::stuck_at(soc.netlist())
+    };
+    let atpg_options = AtpgOptions {
+        backtrack_limit: options.backtrack_limit,
+        ..AtpgOptions::default()
+    };
+    let start = Instant::now();
+    let mut result = run_atpg(&model, &procedures, universe, &atpg_options);
+    let seconds = start.elapsed().as_secs_f64();
+    classify_faults(&model, &mut result.faults);
+    let report = result.report();
+    ExperimentRow {
+        id,
+        coverage_pct: report.coverage_pct(),
+        efficiency_pct: report.efficiency_pct(),
+        patterns: result.patterns.len(),
+        total_faults: report.total,
+        seconds,
+        result,
+    }
+}
+
+/// The complete Table 1 with shape checks against the paper.
+#[derive(Debug)]
+pub struct Table1 {
+    /// The generated rows in paper order.
+    pub rows: Vec<ExperimentRow>,
+    /// The options used.
+    pub options: Table1Options,
+}
+
+impl Table1 {
+    /// Fetches a row.
+    pub fn row(&self, id: ExperimentId) -> &ExperimentRow {
+        self.rows
+            .iter()
+            .find(|r| r.id == id)
+            .expect("all rows present")
+    }
+
+    /// The paper's qualitative findings, evaluated on the measured
+    /// numbers. Returns `(description, holds)` pairs.
+    pub fn shape_checks(&self) -> Vec<(String, bool)> {
+        let a = self.row(ExperimentId::A);
+        let b = self.row(ExperimentId::B);
+        let c = self.row(ExperimentId::C);
+        let d = self.row(ExperimentId::D);
+        let e = self.row(ExperimentId::E);
+        vec![
+            (
+                format!(
+                    "stuck-at coverage exceeds transition coverage ({:.2}% > {:.2}%)",
+                    a.coverage_pct, b.coverage_pct
+                ),
+                a.coverage_pct > b.coverage_pct,
+            ),
+            (
+                format!(
+                    "transition patterns several times stuck-at count ({} vs {})",
+                    b.patterns, a.patterns
+                ),
+                b.patterns as f64 >= 2.0 * a.patterns as f64,
+            ),
+            (
+                format!(
+                    "simple CPF loses coverage vs ideal ({:.2}% < {:.2}%)",
+                    c.coverage_pct, b.coverage_pct
+                ),
+                c.coverage_pct + 1.0 < b.coverage_pct,
+            ),
+            (
+                format!(
+                    "on-chip clocking increases pattern count ({} > {})",
+                    c.patterns, b.patterns
+                ),
+                c.patterns > b.patterns,
+            ),
+            (
+                format!(
+                    "enhanced CPF recovers coverage ({:.2}% > {:.2}%)",
+                    d.coverage_pct, c.coverage_pct
+                ),
+                d.coverage_pct > c.coverage_pct,
+            ),
+            (
+                format!(
+                    "most-flexible bound sits between the CPF rows and the ideal \
+                     ({:.2}% <= {:.2}% < {:.2}%)",
+                    c.coverage_pct, e.coverage_pct, b.coverage_pct
+                ),
+                c.coverage_pct <= e.coverage_pct && e.coverage_pct < b.coverage_pct,
+            ),
+            (
+                format!(
+                    "flexible clocking trims patterns vs (d) ({} <= {})",
+                    e.patterns, d.patterns
+                ),
+                e.patterns <= d.patterns,
+            ),
+            (
+                format!(
+                    "ATPG efficiency stays high everywhere (min {:.2}%)",
+                    self.rows
+                        .iter()
+                        .map(|r| r.efficiency_pct)
+                        .fold(f64::INFINITY, f64::min)
+                ),
+                self.rows.iter().all(|r| r.efficiency_pct > 90.0),
+            ),
+        ]
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 1 reproduction (seed {}, {} flops/domain)",
+            self.options.seed, self.options.flops_per_domain
+        )?;
+        writeln!(
+            f,
+            "{:<4} {:<52} {:>8} {:>9} {:>9} {:>8}",
+            "row", "experiment", "TC %", "eff %", "#pattern", "time s"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<4} {:<52} {:>8.2} {:>9.2} {:>9} {:>8.1}",
+                r.id.to_string(),
+                r.id.description(),
+                r.coverage_pct,
+                r.efficiency_pct,
+                r.patterns,
+                r.seconds
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "shape checks vs the paper:")?;
+        for (desc, ok) in self.shape_checks() {
+            writeln!(f, "  [{}] {desc}", if ok { "ok" } else { "FAIL" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the SOC and runs all five experiments.
+pub fn run_table1(options: &Table1Options) -> Table1 {
+    let soc = generate(&SocConfig::paper_like(options.seed, options.flops_per_domain));
+    let rows = ExperimentId::ALL
+        .iter()
+        .map(|&id| run_experiment(&soc, id, options))
+        .collect();
+    Table1 {
+        rows,
+        options: options.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_parse_and_display() {
+        for id in ExperimentId::ALL {
+            let s = id.to_string();
+            assert_eq!(ExperimentId::parse(&s[1..2]), Some(id));
+        }
+        assert_eq!(ExperimentId::parse("x"), None);
+    }
+
+    #[test]
+    fn single_experiment_runs_on_small_soc() {
+        let soc = generate(&SocConfig::tiny(1));
+        let opts = Table1Options {
+            flops_per_domain: 24,
+            ..Table1Options::default()
+        };
+        let row = run_experiment(&soc, ExperimentId::A, &opts);
+        assert!(row.coverage_pct > 50.0, "coverage {:.1}", row.coverage_pct);
+        assert!(row.patterns > 0);
+        assert_eq!(row.total_faults, row.result.report().total);
+    }
+}

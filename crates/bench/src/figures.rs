@@ -1,0 +1,292 @@
+//! Figure reproductions: architecture (Fig 1), delay-test clocking
+//! (Fig 2), CPF schematic (Fig 3) and CPF waveform (Fig 4).
+
+use occ_core::{
+    AteExpansion, AteTiming, ClockPulseFilter, CpfBehavior, CpfConfig, Pll, PllConfig,
+};
+use occ_netlist::{Logic, NetlistStats};
+use occ_sim::{render_ascii, AsciiOptions, DelayModel, EventSim, Time, Waveform};
+use occ_soc::{assemble_device, generate, Device, SocConfig};
+use std::fmt::Write as _;
+
+/// Figure 1: the device with one CPF per clock domain.
+///
+/// Returns a text report of the assembled architecture plus the DOT
+/// drawing of one CPF (the full device graph is too large to plot
+/// usefully).
+pub fn fig1_report(seed: u64, flops_per_domain: usize) -> (String, String, Device) {
+    let soc = generate(&SocConfig::paper_like(seed, flops_per_domain));
+    let pll = Pll::new(PllConfig::paper());
+    let device = assemble_device(&soc, pll);
+
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 1 — device with clock pulse filters");
+    let _ = writeln!(text, "==========================================");
+    let soc_stats = NetlistStats::of(soc.netlist());
+    let dev_stats = NetlistStats::of(device.netlist());
+    let _ = writeln!(text, "SOC ({}):", soc.netlist().name());
+    let _ = write!(text, "{soc_stats}");
+    let _ = writeln!(text, "scan chains   : {}", soc.chains().chains().len());
+    let _ = writeln!(text, "chain length  : {}", soc.chains().max_chain_len());
+    let _ = writeln!(text, "non-scan cells: {}", soc.non_scan_names().len());
+    let _ = writeln!(text);
+    let _ = writeln!(
+        text,
+        "device adds {} cells: one 10-gate CPF per domain spliced between",
+        device.netlist().len() - soc.netlist().len()
+    );
+    let _ = writeln!(
+        text,
+        "the PLL clocks and the domain clock trees, controlled by scan_en/scan_clk."
+    );
+    for (d, ports) in device.cpf_ports().iter().enumerate() {
+        let dom = &soc.config().domains[d];
+        let _ = writeln!(
+            text,
+            "  domain {} ({} MHz): pll_clk={} clk_out={}",
+            dom.name, dom.freq_mhz, ports.pll_clk, ports.clk_out
+        );
+    }
+    let _ = write!(text, "\ndevice totals:\n{dev_stats}");
+
+    let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+    let dot = cpf.netlist().to_dot();
+    (text, dot, device)
+}
+
+/// Figure 2 results: the rendered two-domain delay-test clock waveform
+/// plus per-domain pulse counts inside the capture window.
+#[derive(Debug)]
+pub struct Fig2 {
+    /// ASCII waveform (scan_en, scan_clk, both domain clocks).
+    pub ascii: String,
+    /// VCD of the same trace.
+    pub vcd: String,
+    /// At-speed rising edges per domain within the capture window.
+    pub pulses_per_domain: Vec<usize>,
+    /// Capture window (from scan_en fall to scan_en rise).
+    pub window: (Time, Time),
+}
+
+/// Figure 2: shift → at-speed launch/capture on both domains → shift,
+/// simulated on the real gate-level device (SOC + CPFs).
+pub fn fig2_waveforms(seed: u64) -> Fig2 {
+    let soc = generate(&SocConfig::tiny(seed));
+    let pll = Pll::new(PllConfig::paper());
+    let device = assemble_device(&soc, pll);
+    let nl = device.netlist();
+    let pll = device.pll();
+
+    // Protocol timing: 4 shift pulses, capture episode, 3 shift pulses.
+    let shift_period: Time = 50_000; // 20 MHz scan clock
+    let behavior = CpfBehavior::new(&CpfConfig::paper());
+    let timing = AteTiming {
+        shift_period_ps: shift_period,
+        settle_ps: 30_000,
+    };
+    let shift1_start: Time = 100_000;
+    let shift1_end = shift1_start + 4 * shift_period;
+    // Use the slower domain to size the episode (both CPFs share it).
+    let ep = AteExpansion::expand(&behavior, pll, 0, &timing, shift1_end);
+    let shift2_start = ep.scan_en_rise + 50_000;
+    let end = shift2_start + 3 * shift_period + 100_000;
+
+    let scan_clk_wave = {
+        let mut steps = vec![(0, Logic::Zero)];
+        for k in 0..4 {
+            let r = shift1_start + k * shift_period;
+            steps.push((r, Logic::One));
+            steps.push((r + shift_period / 2, Logic::Zero));
+        }
+        steps.push((ep.trigger_rise, Logic::One));
+        steps.push((ep.trigger_fall, Logic::Zero));
+        for k in 0..3 {
+            let r = shift2_start + k * shift_period;
+            steps.push((r, Logic::One));
+            steps.push((r + shift_period / 2, Logic::Zero));
+        }
+        Waveform::steps(&steps)
+    };
+    let scan_en_wave = Waveform::steps(&[
+        (0, Logic::One),
+        (ep.scan_en_fall, Logic::Zero),
+        (ep.scan_en_rise, Logic::One),
+    ]);
+
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_outs: Vec<_> = device.cpf_ports().iter().map(|p| p.clk_out).collect();
+    sim.watch(device.scan_en());
+    sim.watch(device.scan_clk());
+    for &c in &clk_outs {
+        sim.watch(c);
+    }
+    for (d, &p) in device.pll_clk_ports().iter().enumerate() {
+        sim.drive(p, pll.domain_waveform(d, end));
+    }
+    sim.drive(device.scan_clk(), scan_clk_wave);
+    sim.drive(device.scan_en(), scan_en_wave);
+    sim.run_until(end);
+
+    let pulses_per_domain: Vec<usize> = clk_outs
+        .iter()
+        .map(|&c| {
+            sim.trace()
+                .rising_edges_in(c, ep.scan_en_fall, ep.scan_en_rise)
+        })
+        .collect();
+
+    let mut signals = vec![device.scan_en(), device.scan_clk()];
+    signals.extend(clk_outs.iter().copied());
+    let ascii = render_ascii(
+        sim.trace(),
+        &signals,
+        &AsciiOptions::window(0, end, end / 180),
+    );
+    let vcd = sim.trace().to_vcd(nl.name());
+    Fig2 {
+        ascii,
+        vcd,
+        pulses_per_domain,
+        window: (ep.scan_en_fall, ep.scan_en_rise),
+    }
+}
+
+/// Figure 3: the CPF gate-level schematic as a text report, its
+/// structural Verilog and its DOT drawing.
+pub fn fig3_report() -> (String, String, String) {
+    let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+    let nl = cpf.netlist();
+    let mut text = String::new();
+    let _ = writeln!(text, "Figure 3 — clock pulse filter schematic");
+    let _ = writeln!(text, "=======================================");
+    let _ = writeln!(
+        text,
+        "\"The entire CPF consists of ten standard digital logic gates per clock domain only.\""
+    );
+    let _ = writeln!(text, "generated gate count: {}", nl.logic_gate_count());
+    let _ = writeln!(text);
+    for (id, cell) in nl.iter() {
+        if let Some(name) = cell.name() {
+            if !matches!(
+                cell.kind(),
+                occ_netlist::CellKind::Input | occ_netlist::CellKind::Output
+            ) {
+                let _ = writeln!(text, "  {id:>4}  {:<10} {name}", cell.kind().to_string());
+            }
+        }
+    }
+    let _ = writeln!(text);
+    let _ = writeln!(
+        text,
+        "pulse window: opens after {} PLL cycles, passes {} pulses",
+        cpf.config().latency_cycles(),
+        cpf.config().pulse_count()
+    );
+    (text, cpf.to_verilog(), nl.to_dot())
+}
+
+/// Figure 4 results.
+#[derive(Debug)]
+pub struct Fig4 {
+    /// ASCII rendering of the CPF waveform diagram.
+    pub ascii: String,
+    /// VCD of the same trace.
+    pub vcd: String,
+    /// Rising edges of `clk_out` inside the capture window (paper: 2).
+    pub pulse_count: usize,
+    /// Narrowest positive pulse on `clk_out` in ps (glitch check).
+    pub min_pulse_width: Option<Time>,
+}
+
+/// Figure 4: the CPF waveform — `scan_en` drop, single `scan_clk`
+/// trigger, three-cycle latency, exactly two released PLL pulses.
+pub fn fig4_waveforms(domain: usize) -> Fig4 {
+    let pll = Pll::new(PllConfig::paper());
+    let cfg = CpfConfig::paper();
+    let behavior = CpfBehavior::new(&cfg);
+    let timing = AteTiming::relaxed();
+    let ep = AteExpansion::expand(&behavior, &pll, domain, &timing, 150_000);
+
+    let cpf = ClockPulseFilter::generate(&cfg);
+    let nl = cpf.netlist();
+    let ports = *cpf.ports();
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_out = nl.find("cpf_clk_out").expect("named output mux");
+    let end = ep.scan_en_rise + 100_000;
+    sim.watch(ports.scan_en);
+    sim.watch(ports.scan_clk);
+    sim.watch(ports.pll_clk);
+    sim.watch(ports.pulse_enable);
+    sim.watch(clk_out);
+    sim.drive(ports.pll_clk, pll.domain_waveform(domain, end));
+    sim.drive(ports.scan_en, ep.scan_en_waveform());
+    sim.drive(ports.scan_clk, ep.scan_clk_waveform());
+    sim.run_until(end);
+
+    let pulse_count = sim
+        .trace()
+        .rising_edges_in(clk_out, ep.scan_en_fall, ep.scan_en_rise);
+    let min_pulse_width = sim.trace().min_positive_pulse(clk_out);
+    let signals = [
+        ports.scan_en,
+        ports.scan_clk,
+        ports.pll_clk,
+        ports.pulse_enable,
+        clk_out,
+    ];
+    // Zoom on the interesting region around the trigger and burst.
+    let from = ep.scan_en_fall.saturating_sub(20_000);
+    let to = (ep.expected_pulses.last().copied().unwrap_or(end) + 40_000).min(end);
+    let ascii = render_ascii(
+        sim.trace(),
+        &signals,
+        &AsciiOptions::window(from, to, (to - from) / 160),
+    );
+    let vcd = sim.trace().to_vcd("cpf_fig4");
+    Fig4 {
+        ascii,
+        vcd,
+        pulse_count,
+        min_pulse_width,
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_counts_ten_gates() {
+        let (text, verilog, dot) = fig3_report();
+        assert!(text.contains("generated gate count: 10"));
+        assert!(verilog.contains("module"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn fig4_shows_two_clean_pulses() {
+        let f = fig4_waveforms(1);
+        assert_eq!(f.pulse_count, 2);
+        let period = Pll::new(PllConfig::paper()).domain_period(1);
+        assert!(f.min_pulse_width.unwrap() >= period / 2 - period / 20);
+        assert!(f.ascii.contains("t/ps"));
+        assert!(f.vcd.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn fig2_bursts_both_domains() {
+        let f = fig2_waveforms(42);
+        assert_eq!(f.pulses_per_domain, vec![2, 2]);
+        assert!(f.window.0 < f.window.1);
+    }
+
+    #[test]
+    fn fig1_reports_architecture() {
+        let (text, dot, device) = fig1_report(7, 40);
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("scan chains"));
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(device.cpf_ports().len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! ATE expansion: converting a capture procedure into the concrete pin
+//! waveforms the tester applies.
+//!
+//! The paper (§4): "When the patterns are saved for the ATE, the
+//! internal clock pulses are converted to the corresponding primary
+//! input signals that will produce them." For the CPF protocol that
+//! means (§3): stop `scan_clk`, drop `scan_en` with relaxed timing,
+//! apply **one** `scan_clk` trigger pulse, wait for the burst, then
+//! re-assert `scan_en` and resume shifting. "There is no need for a
+//! high-speed relation between scan-clk and scan-en" and "no need to
+//! synchronize the internal PLL clock to scan-clk or scan-en" — all
+//! tester edges here sit on a slow, coarse grid.
+
+use crate::{CpfBehavior, Pll};
+use occ_sim::{Time, Waveform};
+
+/// Slow-side timing parameters of the tester protocol.
+#[derive(Debug, Clone)]
+pub struct AteTiming {
+    /// Scan shift clock period (slow external clock).
+    pub shift_period_ps: Time,
+    /// Settling gap between `scan_en` edges and neighbouring `scan_clk`
+    /// activity ("once scan-en is stable...").
+    pub settle_ps: Time,
+}
+
+impl AteTiming {
+    /// A 20 MHz shift clock with a generous half-period settle gap.
+    pub fn relaxed() -> Self {
+        AteTiming {
+            shift_period_ps: 50_000,
+            settle_ps: 30_000,
+        }
+    }
+}
+
+/// The expanded pin program for one capture episode on one domain:
+/// `scan_en` drop, trigger pulse, wait window, `scan_en` restore.
+#[derive(Debug, Clone)]
+pub struct AteExpansion {
+    /// When `scan_en` falls.
+    pub scan_en_fall: Time,
+    /// Rising edge of the single `scan_clk` trigger pulse.
+    pub trigger_rise: Time,
+    /// Falling edge of the trigger pulse.
+    pub trigger_fall: Time,
+    /// Expected at-speed pulse edges on `clk_out` (from the behavioural
+    /// model — what the ATPG assumed).
+    pub expected_pulses: Vec<Time>,
+    /// When `scan_en` rises again (capture episode over).
+    pub scan_en_rise: Time,
+}
+
+impl AteExpansion {
+    /// Expands one capture episode starting at `start` (a time after
+    /// shifting has stopped), for a CPF on `domain` described by
+    /// `behavior`.
+    pub fn expand(
+        behavior: &CpfBehavior,
+        pll: &Pll,
+        domain: usize,
+        timing: &AteTiming,
+        start: Time,
+    ) -> AteExpansion {
+        let scan_en_fall = start + timing.settle_ps;
+        let trigger_rise = scan_en_fall + timing.settle_ps;
+        let trigger_fall = trigger_rise + timing.shift_period_ps / 2;
+        let expected_pulses = behavior.pulse_edges(pll, domain, trigger_rise);
+        let done = behavior.capture_done_time(pll, domain, trigger_rise);
+        let scan_en_rise = done.max(trigger_fall) + timing.settle_ps;
+        AteExpansion {
+            scan_en_fall,
+            trigger_rise,
+            trigger_fall,
+            expected_pulses,
+            scan_en_rise,
+        }
+    }
+
+    /// The `scan_en` waveform for this episode (high before and after).
+    pub fn scan_en_waveform(&self) -> Waveform {
+        Waveform::steps(&[
+            (0, occ_netlist::Logic::One),
+            (self.scan_en_fall, occ_netlist::Logic::Zero),
+            (self.scan_en_rise, occ_netlist::Logic::One),
+        ])
+    }
+
+    /// The `scan_clk` waveform: idle low except the single trigger
+    /// pulse (shift bursts before/after are appended by the caller).
+    pub fn scan_clk_waveform(&self) -> Waveform {
+        Waveform::steps(&[
+            (0, occ_netlist::Logic::Zero),
+            (self.trigger_rise, occ_netlist::Logic::One),
+            (self.trigger_fall, occ_netlist::Logic::Zero),
+        ])
+    }
+
+    /// Total episode duration from `scan_en` fall to restore.
+    pub fn duration(&self) -> Time {
+        self.scan_en_rise - self.scan_en_fall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpfConfig, PllConfig};
+
+    #[test]
+    fn expansion_orders_events() {
+        let pll = Pll::new(PllConfig::paper());
+        let behavior = CpfBehavior::new(&CpfConfig::paper());
+        let t = AteTiming::relaxed();
+        let e = AteExpansion::expand(&behavior, &pll, 1, &t, 1_000_000);
+        assert!(e.scan_en_fall < e.trigger_rise);
+        assert!(e.trigger_rise < e.trigger_fall);
+        assert_eq!(e.expected_pulses.len(), 2);
+        assert!(e.expected_pulses[0] > e.trigger_rise);
+        assert!(e.scan_en_rise > *e.expected_pulses.last().unwrap());
+    }
+
+    #[test]
+    fn waveforms_reflect_events() {
+        let pll = Pll::new(PllConfig::paper());
+        let behavior = CpfBehavior::new(&CpfConfig::paper());
+        let t = AteTiming::relaxed();
+        let e = AteExpansion::expand(&behavior, &pll, 0, &t, 500_000);
+        let se = e.scan_en_waveform();
+        assert_eq!(se.value_at(e.scan_en_fall - 1), occ_netlist::Logic::One);
+        assert_eq!(se.value_at(e.scan_en_fall), occ_netlist::Logic::Zero);
+        assert_eq!(se.value_at(e.scan_en_rise), occ_netlist::Logic::One);
+        let sck = e.scan_clk_waveform();
+        assert_eq!(sck.value_at(e.trigger_rise), occ_netlist::Logic::One);
+        assert_eq!(sck.value_at(e.trigger_fall), occ_netlist::Logic::Zero);
+    }
+
+    #[test]
+    fn trigger_edges_are_slow_relative_to_pll() {
+        let pll = Pll::new(PllConfig::paper());
+        let behavior = CpfBehavior::new(&CpfConfig::paper());
+        let t = AteTiming::relaxed();
+        let e = AteExpansion::expand(&behavior, &pll, 1, &t, 0);
+        // The whole episode spans many PLL periods: genuinely relaxed.
+        assert!(e.duration() > 10 * pll.domain_period(1));
+    }
+}

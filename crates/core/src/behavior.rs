@@ -1,0 +1,127 @@
+//! Cycle-level behavioural model of the CPF — the foundation of named
+//! capture procedures.
+//!
+//! The paper (§4): "The efficiency of an ATPG tool is significantly
+//! reduced if every cycle into and through the PLL and CPF needs to be
+//! simulated ... named capture procedures provide a simple behavioral
+//! model of the clock generation logic." This module is that model; the
+//! test suite proves it equivalent to the gate-level CPF by
+//! event-driven simulation over randomized protocols.
+
+use crate::{CpfConfig, Pll};
+use occ_sim::Time;
+
+/// Predicts the at-speed pulses a CPF releases for a given trigger.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{CpfBehavior, CpfConfig, Pll, PllConfig};
+/// let pll = Pll::new(PllConfig::paper());
+/// let model = CpfBehavior::new(&CpfConfig::paper());
+/// // Trigger at t=1ms, domain 1 (150 MHz): two pulses, 3 cycles later.
+/// let edges = model.pulse_edges(&pll, 1, 1_000_000_000);
+/// assert_eq!(edges.len(), 2);
+/// assert_eq!(edges[1] - edges[0], pll.domain_period(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpfBehavior {
+    pulse_count: usize,
+    latency_cycles: usize,
+}
+
+impl CpfBehavior {
+    /// Behavioural model of a configured CPF.
+    pub fn new(config: &CpfConfig) -> Self {
+        CpfBehavior {
+            pulse_count: config.pulse_count(),
+            latency_cycles: config.latency_cycles(),
+        }
+    }
+
+    /// A model with explicit parameters (used for enhanced CPFs).
+    pub fn with_params(pulse_count: usize, latency_cycles: usize) -> Self {
+        CpfBehavior {
+            pulse_count,
+            latency_cycles,
+        }
+    }
+
+    /// Number of released pulses.
+    pub fn pulse_count(&self) -> usize {
+        self.pulse_count
+    }
+
+    /// PLL cycles from trigger capture to the first released pulse.
+    pub fn latency_cycles(&self) -> usize {
+        self.latency_cycles
+    }
+
+    /// The rising-edge times of the released pulses, given the trigger
+    /// instant (the `scan_clk` rise that loads the trigger flop while
+    /// `scan_en` is low).
+    ///
+    /// The trigger value enters the shift register at the first PLL
+    /// edge strictly after the trigger; the window decode opens
+    /// `latency_cycles - 1` edges later and passes `pulse_count` edges
+    /// through the (transparent-low-latched) clock gate.
+    pub fn pulse_edges(&self, pll: &Pll, domain: usize, trigger_time: Time) -> Vec<Time> {
+        let period = pll.domain_period(domain);
+        // First PLL edge strictly after the trigger.
+        let first_shift = pll.next_edge_at_or_after(domain, trigger_time + 1);
+        // The window tap rises `latency_cycles` edges after the value
+        // enters; the CGC opens during the following low phase, so the
+        // first *passed* edge is one period later.
+        let first_pulse = first_shift + self.latency_cycles as u64 * period;
+        (0..self.pulse_count as u64)
+            .map(|k| first_pulse + k * period)
+            .collect()
+    }
+
+    /// The earliest safe time to re-assert `scan_en` after the trigger:
+    /// after the last pulse has fallen, with one idle cycle of margin.
+    pub fn capture_done_time(&self, pll: &Pll, domain: usize, trigger_time: Time) -> Time {
+        let period = pll.domain_period(domain);
+        match self.pulse_edges(pll, domain, trigger_time).last() {
+            Some(&last) => last + 2 * period,
+            None => trigger_time + 2 * period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PllConfig;
+
+    #[test]
+    fn paper_model_releases_two_consecutive_pulses() {
+        let pll = Pll::new(PllConfig::paper());
+        let m = CpfBehavior::new(&CpfConfig::paper());
+        let edges = m.pulse_edges(&pll, 0, 500_000);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[1] - edges[0], pll.domain_period(0));
+        assert!(edges[0] > 500_000);
+    }
+
+    #[test]
+    fn latency_is_three_cycles_plus_alignment() {
+        let pll = Pll::new(PllConfig::paper());
+        let m = CpfBehavior::new(&CpfConfig::paper());
+        let period = pll.domain_period(0);
+        // Trigger exactly on a PLL edge: shift happens next edge.
+        let lock = pll.config().lock_time_ps;
+        let trigger = lock + 10 * period;
+        let edges = m.pulse_edges(&pll, 0, trigger);
+        assert_eq!(edges[0], trigger + period + 3 * period);
+    }
+
+    #[test]
+    fn capture_done_after_last_pulse() {
+        let pll = Pll::new(PllConfig::paper());
+        let m = CpfBehavior::new(&CpfConfig::paper());
+        let edges = m.pulse_edges(&pll, 1, 700_000);
+        let done = m.capture_done_time(&pll, 1, 700_000);
+        assert!(done > *edges.last().unwrap());
+    }
+}

@@ -1,0 +1,187 @@
+//! Clock domains and the functional PLL model.
+
+use occ_sim::{Time, Waveform};
+
+/// One functional clock domain of the SOC.
+///
+/// The paper's device has two synchronous domains at 75 and 150 MHz,
+/// both derived from the functional PLL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockDomainSpec {
+    /// Domain name ("cpu", "bus", ...).
+    pub name: String,
+    /// Functional frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+impl ClockDomainSpec {
+    /// Creates a domain spec.
+    pub fn new(name: &str, freq_mhz: f64) -> Self {
+        ClockDomainSpec {
+            name: name.to_owned(),
+            freq_mhz,
+        }
+    }
+
+    /// The clock period in picoseconds, rounded to an even number so a
+    /// 50 % duty cycle is representable.
+    pub fn period_ps(&self) -> Time {
+        let ps = (1e6 / self.freq_mhz).round() as Time;
+        ps & !1
+    }
+}
+
+/// PLL configuration: a slow reference multiplied into per-domain
+/// high-speed clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PllConfig {
+    /// Reference clock frequency in MHz (the slow external clock).
+    pub ref_mhz: f64,
+    /// Lock time in picoseconds (outputs are quiet before lock).
+    pub lock_time_ps: Time,
+    /// The domains this PLL serves.
+    pub domains: Vec<ClockDomainSpec>,
+}
+
+impl PllConfig {
+    /// The paper's device: 25 MHz reference, domains at 75 and 150 MHz
+    /// (multipliers 3 and 6).
+    pub fn paper() -> Self {
+        PllConfig {
+            ref_mhz: 25.0,
+            lock_time_ps: 100_000, // 100 ns, fast for simulation
+            domains: vec![
+                ClockDomainSpec::new("dom75", 75.0),
+                ClockDomainSpec::new("dom150", 150.0),
+            ],
+        }
+    }
+}
+
+/// The functional PLL: generates free-running per-domain clocks.
+///
+/// The CPF technique "requires, of course, that a PLL clock signal is
+/// permanently available during the entire delay test" — the model
+/// therefore produces continuous clocks from lock time onward,
+/// independent of scan activity.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{Pll, PllConfig};
+/// let pll = Pll::new(PllConfig::paper());
+/// assert_eq!(pll.domain_period(1), 6_666 & !1); // 150 MHz
+/// let w = pll.domain_waveform(1, 1_000_000);
+/// assert!(!w.changes().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pll {
+    config: PllConfig,
+}
+
+impl Pll {
+    /// Creates a PLL from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a domain is not an integer multiple of the reference
+    /// (a real PLL synthesizes N·f_ref; we enforce the same).
+    pub fn new(config: PllConfig) -> Self {
+        for d in &config.domains {
+            let ratio = d.freq_mhz / config.ref_mhz;
+            assert!(
+                (ratio - ratio.round()).abs() < 1e-9 && ratio >= 1.0,
+                "domain {} frequency must be an integer multiple of the reference",
+                d.name
+            );
+        }
+        Pll { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PllConfig {
+        &self.config
+    }
+
+    /// Number of served domains.
+    pub fn domain_count(&self) -> usize {
+        self.config.domains.len()
+    }
+
+    /// Clock period of a domain in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range.
+    pub fn domain_period(&self, domain: usize) -> Time {
+        self.config.domains[domain].period_ps()
+    }
+
+    /// The multiplication factor of a domain relative to the reference.
+    pub fn domain_mult(&self, domain: usize) -> u64 {
+        (self.config.domains[domain].freq_mhz / self.config.ref_mhz).round() as u64
+    }
+
+    /// The free-running clock waveform of a domain up to `until`,
+    /// starting after PLL lock (aligned so that a rising edge falls
+    /// exactly on the lock instant).
+    pub fn domain_waveform(&self, domain: usize, until: Time) -> Waveform {
+        let period = self.domain_period(domain);
+        Waveform::clock(period, self.config.lock_time_ps, until)
+    }
+
+    /// The first rising edge at or after `t` for a domain.
+    pub fn next_edge_at_or_after(&self, domain: usize, t: Time) -> Time {
+        let period = self.domain_period(domain);
+        let lock = self.config.lock_time_ps;
+        if t <= lock {
+            return lock;
+        }
+        let k = (t - lock).div_ceil(period);
+        lock + k * period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periods_are_even_ps() {
+        let d = ClockDomainSpec::new("x", 150.0);
+        assert_eq!(d.period_ps() % 2, 0);
+        assert!((d.period_ps() as i64 - 6_667).abs() <= 1);
+    }
+
+    #[test]
+    fn paper_config_has_double_rate_domains() {
+        let pll = Pll::new(PllConfig::paper());
+        assert_eq!(pll.domain_count(), 2);
+        assert_eq!(pll.domain_mult(0), 3); // 75 MHz from 25 MHz ref
+        assert_eq!(pll.domain_mult(1), 6); // 150 MHz
+        assert_eq!(pll.domain_period(0), 13_332);
+    }
+
+    #[test]
+    fn next_edge_snaps_to_grid() {
+        let pll = Pll::new(PllConfig {
+            ref_mhz: 10.0,
+            lock_time_ps: 1_000,
+            domains: vec![ClockDomainSpec::new("a", 100.0)],
+        });
+        assert_eq!(pll.next_edge_at_or_after(0, 0), 1_000);
+        assert_eq!(pll.next_edge_at_or_after(0, 1_000), 1_000);
+        assert_eq!(pll.next_edge_at_or_after(0, 1_001), 11_000);
+        assert_eq!(pll.next_edge_at_or_after(0, 11_000), 11_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn non_integer_ratio_rejected() {
+        let _ = Pll::new(PllConfig {
+            ref_mhz: 10.0,
+            lock_time_ps: 0,
+            domains: vec![ClockDomainSpec::new("a", 15.0)],
+        });
+    }
+}

@@ -1,0 +1,337 @@
+//! The Clock Pulse Filter (CPF) — the paper's Figure 3.
+//!
+//! The CPF is an add-on block between the PLL and a domain's clock
+//! tree. Port behaviour (paper §3):
+//!
+//! * while `scan_en` is 1, `scan_clk` is connected through to
+//!   `clk_out` (slow external shifting);
+//! * when `scan_en` falls and a single `scan_clk` trigger pulse is
+//!   applied, a 1 is latched by the trigger flop and shifted through a
+//!   five-bit register clocked by `pll_clk`; after three PLL cycles the
+//!   window decode asserts the clock-gating-cell enable for exactly two
+//!   cycles, so **exactly two** at-speed pulses reach `clk_out`;
+//! * raising `scan_en` again clears the trigger and shift register
+//!   (re-arming the filter) and reconnects `scan_clk`.
+//!
+//! The gate-level block consists of **ten standard digital logic
+//! gates**, matching the paper's area claim: six flops (trigger + 5-bit
+//! shift register), an inverter and AND for the window decode, the CGC
+//! and the output mux.
+
+use occ_netlist::{BuildError, CellId, Netlist, NetlistBuilder};
+
+/// Configuration of a generated CPF instance.
+#[derive(Debug, Clone)]
+pub struct CpfConfig {
+    /// Instance prefix used for cell names (`"cpf0"` → `cpf0_trigger`).
+    pub prefix: String,
+    /// Length of the shift register (the paper uses 5).
+    pub shift_register_bits: usize,
+    /// Tap index whose rise opens the window (the paper: stage 3, i.e.
+    /// index 2 → three-PLL-cycle latency).
+    pub open_tap: usize,
+    /// Tap index whose rise closes the window (the paper: stage 5,
+    /// index 4 → a two-cycle window → two pulses).
+    pub close_tap: usize,
+    /// Adds the "additional logic, not shown in Figure 3" that forces
+    /// the CGC enabled in functional mode (adds a `test_mode` port and
+    /// two gates).
+    pub functional_enable: bool,
+}
+
+impl CpfConfig {
+    /// The exact Figure 3 configuration: 5-bit register, window open at
+    /// stage 3, closed at stage 5 (⇒ 2 pulses after a 3-cycle latency),
+    /// no functional-mode logic.
+    pub fn paper() -> Self {
+        CpfConfig {
+            prefix: "cpf".to_owned(),
+            shift_register_bits: 5,
+            open_tap: 2,
+            close_tap: 4,
+            functional_enable: false,
+        }
+    }
+
+    /// Paper configuration with a custom instance prefix.
+    pub fn paper_named(prefix: &str) -> Self {
+        CpfConfig {
+            prefix: prefix.to_owned(),
+            ..CpfConfig::paper()
+        }
+    }
+
+    /// Number of at-speed pulses this configuration releases.
+    pub fn pulse_count(&self) -> usize {
+        self.close_tap - self.open_tap
+    }
+
+    /// PLL cycles from the trigger to the first released pulse.
+    pub fn latency_cycles(&self) -> usize {
+        self.open_tap + 1
+    }
+
+    fn validate(&self) {
+        assert!(self.shift_register_bits >= 2, "shift register too short");
+        assert!(
+            self.open_tap < self.close_tap && self.close_tap < self.shift_register_bits,
+            "window taps must satisfy open < close < length"
+        );
+    }
+}
+
+/// The port cells of a CPF instance inside a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpfPorts {
+    /// High-speed PLL clock input.
+    pub pll_clk: CellId,
+    /// Slow external scan clock input.
+    pub scan_clk: CellId,
+    /// Scan enable input (1 = shift mode, clears the filter).
+    pub scan_en: CellId,
+    /// Optional test-mode input (present when `functional_enable`).
+    pub test_mode: Option<CellId>,
+    /// The gated clock output driving the domain clock tree.
+    pub clk_out: CellId,
+    /// The internal window-decode signal (`pulse_enable` in Figure 4),
+    /// exposed for waveform inspection.
+    pub pulse_enable: CellId,
+}
+
+/// A standalone generated CPF block with its netlist.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{ClockPulseFilter, CpfConfig};
+/// let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+/// assert_eq!(cpf.netlist().logic_gate_count(), 10);
+/// assert_eq!(cpf.config().pulse_count(), 2);
+/// assert_eq!(cpf.config().latency_cycles(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockPulseFilter {
+    config: CpfConfig,
+    netlist: Netlist,
+    ports: CpfPorts,
+}
+
+impl ClockPulseFilter {
+    /// Generates the CPF as a standalone netlist with its own ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent window configuration.
+    pub fn generate(config: &CpfConfig) -> Self {
+        config.validate();
+        let mut b = NetlistBuilder::new(&format!("{}_cpf", config.prefix));
+        let pll_clk = b.input("pll_clk");
+        let scan_clk = b.input("scan_clk");
+        let scan_en = b.input("scan_en");
+        let test_mode = config.functional_enable.then(|| b.input("test_mode"));
+        let ports = Self::build_into(config, &mut b, pll_clk, scan_clk, scan_en, test_mode);
+        b.output("clk_out", ports.clk_out);
+        let netlist = b
+            .finish()
+            .expect("generated CPF must validate");
+        ClockPulseFilter {
+            config: config.clone(),
+            netlist,
+            ports,
+        }
+    }
+
+    /// Instantiates the CPF gates into an existing builder (device
+    /// assembly), wiring them to the given signals. Returns the ports
+    /// (with `clk_out` pointing at the output mux).
+    pub fn attach(
+        config: &CpfConfig,
+        b: &mut NetlistBuilder,
+        pll_clk: CellId,
+        scan_clk: CellId,
+        scan_en: CellId,
+        test_mode: Option<CellId>,
+    ) -> CpfPorts {
+        config.validate();
+        Self::build_into(config, b, pll_clk, scan_clk, scan_en, test_mode)
+    }
+
+    fn build_into(
+        config: &CpfConfig,
+        b: &mut NetlistBuilder,
+        pll_clk: CellId,
+        scan_clk: CellId,
+        scan_en: CellId,
+        test_mode: Option<CellId>,
+    ) -> CpfPorts {
+        let p = &config.prefix;
+        // Trigger flop: D tied high, clocked by scan_clk, cleared by
+        // scan_en (active high) — "a single scan-clk pulse generates a 1
+        // that is latched by the flip-flop".
+        let one = b.tie1();
+        let trigger = b.dff_rh(one, scan_clk, scan_en);
+        b.name_cell(trigger, &format!("{p}_trigger"));
+
+        // Shift register clocked by the PLL, cleared by scan_en. The
+        // trigger output shifts in, forming a thermometer code.
+        let mut stages = Vec::with_capacity(config.shift_register_bits);
+        let mut prev = trigger;
+        for i in 0..config.shift_register_bits {
+            let ff = b.dff_rh(prev, pll_clk, scan_en);
+            b.name_cell(ff, &format!("{p}_sr{i}"));
+            stages.push(ff);
+            prev = ff;
+        }
+
+        // Window decode: open_tap reached AND close_tap not yet reached.
+        let close_n = b.not(stages[config.close_tap]);
+        b.name_cell(close_n, &format!("{p}_close_n"));
+        let pulse_enable = b.and2(stages[config.open_tap], close_n);
+        b.name_cell(pulse_enable, &format!("{p}_pulse_enable"));
+
+        // Optional functional-mode force ("additional logic, not shown
+        // in Figure 3, ensures that the CGC is always enabled in
+        // functional mode").
+        let cgc_en = match test_mode {
+            Some(tm) => {
+                let tm_n = b.not(tm);
+                b.name_cell(tm_n, &format!("{p}_func_n"));
+                let en = b.or2(pulse_enable, tm_n);
+                b.name_cell(en, &format!("{p}_cgc_en"));
+                en
+            }
+            None => pulse_enable,
+        };
+
+        // Glitch-free gate + output mux: scan_en selects scan_clk.
+        let gated = b.clock_gate(pll_clk, cgc_en);
+        b.name_cell(gated, &format!("{p}_cgc"));
+        let clk_out = b.mux2(scan_en, gated, scan_clk);
+        b.name_cell(clk_out, &format!("{p}_clk_out"));
+
+        CpfPorts {
+            pll_clk,
+            scan_clk,
+            scan_en,
+            test_mode,
+            clk_out,
+            pulse_enable,
+        }
+    }
+
+    /// The configuration this block was generated from.
+    pub fn config(&self) -> &CpfConfig {
+        &self.config
+    }
+
+    /// The standalone netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The port map.
+    pub fn ports(&self) -> &CpfPorts {
+        &self.ports
+    }
+
+    /// Structural Verilog of the block (the logic-design deliverable).
+    pub fn to_verilog(&self) -> String {
+        self.netlist.to_verilog()
+    }
+
+    /// Generates and validates in one step (alias used by tools).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid configs; the signature exists so tools can
+    /// treat generation uniformly with other netlist producers.
+    pub fn try_generate(config: &CpfConfig) -> Result<Self, BuildError> {
+        Ok(Self::generate(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::CellKind;
+
+    #[test]
+    fn paper_cpf_is_exactly_ten_gates() {
+        let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+        // 6 flops + NOT + AND + CGC + MUX = 10 "standard digital logic
+        // gates" — the paper's area claim.
+        assert_eq!(cpf.netlist().logic_gate_count(), 10);
+        let stats = occ_netlist::NetlistStats::of(cpf.netlist());
+        assert_eq!(stats.flops, 6);
+        assert_eq!(stats.clock_gates, 1);
+    }
+
+    #[test]
+    fn functional_enable_adds_two_gates() {
+        let cfg = CpfConfig {
+            functional_enable: true,
+            ..CpfConfig::paper()
+        };
+        let cpf = ClockPulseFilter::generate(&cfg);
+        assert_eq!(cpf.netlist().logic_gate_count(), 12);
+        assert!(cpf.ports().test_mode.is_some());
+    }
+
+    #[test]
+    fn window_timing_metadata() {
+        let cfg = CpfConfig::paper();
+        assert_eq!(cfg.pulse_count(), 2);
+        assert_eq!(cfg.latency_cycles(), 3);
+    }
+
+    #[test]
+    fn shift_register_is_chained_and_cleared_by_scan_en() {
+        let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+        let nl = cpf.netlist();
+        let scan_en = cpf.ports().scan_en;
+        for i in 0..5 {
+            let ff = nl.find(&format!("cpf_sr{i}")).unwrap();
+            let cell = nl.cell(ff);
+            assert_eq!(cell.kind(), CellKind::DffRh);
+            assert_eq!(cell.reset(), Some(scan_en));
+            if i > 0 {
+                let prev = nl.find(&format!("cpf_sr{}", i - 1)).unwrap();
+                assert_eq!(cell.flop_d(), prev);
+            }
+        }
+        let sr0 = nl.find("cpf_sr0").unwrap();
+        let trig = nl.find("cpf_trigger").unwrap();
+        assert_eq!(nl.cell(sr0).flop_d(), trig);
+    }
+
+    #[test]
+    fn output_mux_selects_scan_clk_in_shift_mode() {
+        let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+        let nl = cpf.netlist();
+        let mux = nl.find("cpf_clk_out").unwrap();
+        let cell = nl.cell(mux);
+        assert_eq!(cell.kind(), CellKind::Mux2);
+        assert_eq!(cell.inputs()[0], cpf.ports().scan_en);
+        // d1 (selected when scan_en=1) must be scan_clk.
+        assert_eq!(cell.inputs()[2], cpf.ports().scan_clk);
+    }
+
+    #[test]
+    #[should_panic(expected = "window taps")]
+    fn bad_window_rejected() {
+        let cfg = CpfConfig {
+            open_tap: 4,
+            close_tap: 2,
+            ..CpfConfig::paper()
+        };
+        let _ = ClockPulseFilter::generate(&cfg);
+    }
+
+    #[test]
+    fn verilog_export_mentions_ports() {
+        let v = ClockPulseFilter::generate(&CpfConfig::paper()).to_verilog();
+        for port in ["pll_clk", "scan_clk", "scan_en", "clk_out"] {
+            assert!(v.contains(port), "missing {port}");
+        }
+    }
+}

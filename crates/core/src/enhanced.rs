@@ -1,0 +1,347 @@
+//! The enhanced CPF of experiment (d): programmable 2/3/4-pulse bursts
+//! and a start offset enabling inter-domain launch/capture.
+//!
+//! The paper: "the CPF blocks are enhanced and able to provide two,
+//! three or four clock pulses. In addition, the CPF blocks provide the
+//! capability to generate tests for domain signals crossing the
+//! boundaries of the synchronous clock domains. These tests apply a
+//! launch pulse in one clock domain and a capture pulse in the other
+//! clock domain." The configuration bits are loaded through a test
+//! setup register before the pattern ("a dedicated control protocol to
+//! setup the PLL from the ATPG tool is required", §4).
+
+use crate::behavior::CpfBehavior;
+use occ_netlist::{CellId, Netlist, NetlistBuilder};
+
+/// Runtime pulse selection programmed into an enhanced CPF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseSelect {
+    /// Number of released pulses (1..=4).
+    pub pulses: usize,
+    /// Start offset in PLL cycles (0..=1): delays the window so one
+    /// domain can launch while the other captures one cycle later.
+    pub offset: usize,
+}
+
+impl PulseSelect {
+    /// The classic two-pulse launch/capture burst.
+    pub fn two_pulse() -> Self {
+        PulseSelect {
+            pulses: 2,
+            offset: 0,
+        }
+    }
+
+    /// The launch half of an inter-domain pair (one early pulse).
+    pub fn inter_domain_launch() -> Self {
+        PulseSelect {
+            pulses: 1,
+            offset: 0,
+        }
+    }
+
+    /// The capture half of an inter-domain pair (one late pulse).
+    pub fn inter_domain_capture() -> Self {
+        PulseSelect {
+            pulses: 1,
+            offset: 1,
+        }
+    }
+
+    /// Encodes into the CPF's configuration pins `(c0, c1, o0)`:
+    /// `count = 1 + (c1<<1|c0)`, `offset = o0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection is outside 1..=4 pulses / 0..=1 offset.
+    pub fn config_bits(self) -> (bool, bool, bool) {
+        assert!((1..=4).contains(&self.pulses), "pulses must be 1..=4");
+        assert!(self.offset <= 1, "offset must be 0..=1");
+        let n = self.pulses - 1;
+        (n & 1 == 1, n & 2 == 2, self.offset == 1)
+    }
+
+    /// The behavioural model for this selection on a CPF with the given
+    /// base latency.
+    pub fn behavior(self, base_latency: usize) -> CpfBehavior {
+        CpfBehavior::with_params(self.pulses, base_latency + self.offset)
+    }
+}
+
+/// Configuration of the enhanced CPF generator.
+#[derive(Debug, Clone)]
+pub struct EnhancedCpfConfig {
+    /// Instance prefix for cell names.
+    pub prefix: String,
+    /// Maximum burst length (the paper's enhancement: 4).
+    pub max_pulses: usize,
+    /// Maximum start offset (1 suffices for two-domain inter-domain
+    /// tests).
+    pub max_offset: usize,
+    /// Base latency in PLL cycles at offset 0 (paper: 3).
+    pub base_latency: usize,
+}
+
+impl EnhancedCpfConfig {
+    /// The experiment-(d) configuration: up to 4 pulses, offset 0/1,
+    /// 3-cycle base latency.
+    pub fn paper() -> Self {
+        EnhancedCpfConfig {
+            prefix: "ecpf".to_owned(),
+            max_pulses: 4,
+            max_offset: 1,
+            base_latency: 3,
+        }
+    }
+
+    /// Shift-register length needed for the deepest window.
+    pub fn shift_register_bits(&self) -> usize {
+        // open index = base_latency-1 + offset; close index = open + count.
+        self.base_latency - 1 + self.max_offset + self.max_pulses + 1
+    }
+}
+
+/// Ports of an enhanced CPF instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnhancedCpfPorts {
+    /// High-speed PLL clock input.
+    pub pll_clk: CellId,
+    /// Slow external scan clock input.
+    pub scan_clk: CellId,
+    /// Scan enable input.
+    pub scan_en: CellId,
+    /// Pulse-count select bit 0 (`count = 1 + (c1 c0)`).
+    pub cfg_c0: CellId,
+    /// Pulse-count select bit 1.
+    pub cfg_c1: CellId,
+    /// Window offset select.
+    pub cfg_o0: CellId,
+    /// Gated clock output.
+    pub clk_out: CellId,
+    /// The window-decode signal.
+    pub pulse_enable: CellId,
+}
+
+/// A generated enhanced CPF block.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{EnhancedCpf, EnhancedCpfConfig, PulseSelect};
+/// let ecpf = EnhancedCpf::generate(&EnhancedCpfConfig::paper());
+/// // Bigger than the 10-gate simple CPF, but still tiny.
+/// assert!(ecpf.netlist().logic_gate_count() <= 24);
+/// let (c0, c1, o0) = PulseSelect { pulses: 3, offset: 0 }.config_bits();
+/// assert_eq!((c0, c1, o0), (false, true, false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnhancedCpf {
+    config: EnhancedCpfConfig,
+    netlist: Netlist,
+    ports: EnhancedCpfPorts,
+}
+
+impl EnhancedCpf {
+    /// Generates the block as a standalone netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported geometries (`max_pulses` > 4 or
+    /// `max_offset` > 1 would need wider config ports).
+    pub fn generate(config: &EnhancedCpfConfig) -> Self {
+        let mut b = NetlistBuilder::new(&format!("{}_enhanced_cpf", config.prefix));
+        let pll_clk = b.input("pll_clk");
+        let scan_clk = b.input("scan_clk");
+        let scan_en = b.input("scan_en");
+        let cfg_c0 = b.input("cfg_c0");
+        let cfg_c1 = b.input("cfg_c1");
+        let cfg_o0 = b.input("cfg_o0");
+        let ports = Self::attach(
+            config, &mut b, pll_clk, scan_clk, scan_en, cfg_c0, cfg_c1, cfg_o0,
+        );
+        b.output("clk_out", ports.clk_out);
+        let netlist = b.finish().expect("generated enhanced CPF must validate");
+        EnhancedCpf {
+            config: config.clone(),
+            netlist,
+            ports,
+        }
+    }
+
+    /// Instantiates the enhanced CPF into an existing builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported geometries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach(
+        config: &EnhancedCpfConfig,
+        b: &mut NetlistBuilder,
+        pll_clk: CellId,
+        scan_clk: CellId,
+        scan_en: CellId,
+        cfg_c0: CellId,
+        cfg_c1: CellId,
+        cfg_o0: CellId,
+    ) -> EnhancedCpfPorts {
+        assert!(
+            (1..=4).contains(&config.max_pulses),
+            "config ports encode up to 4 pulses"
+        );
+        assert!(config.max_offset <= 1, "config ports encode offset 0..=1");
+        assert!(config.base_latency >= 2, "need at least 2 cycles latency");
+        let p = &config.prefix;
+        let bits = config.shift_register_bits();
+
+        let one = b.tie1();
+        let trigger = b.dff_rh(one, scan_clk, scan_en);
+        b.name_cell(trigger, &format!("{p}_trigger"));
+        let mut stages = Vec::with_capacity(bits);
+        let mut prev = trigger;
+        for i in 0..bits {
+            let ff = b.dff_rh(prev, pll_clk, scan_en);
+            b.name_cell(ff, &format!("{p}_sr{i}"));
+            stages.push(ff);
+            prev = ff;
+        }
+
+        let base = config.base_latency - 1;
+        // Open tap: offset selects SR[base] or SR[base+1].
+        let open = if config.max_offset == 0 {
+            stages[base]
+        } else {
+            let m = b.mux2(cfg_o0, stages[base], stages[base + 1]);
+            b.name_cell(m, &format!("{p}_open_sel"));
+            m
+        };
+        // Close tap candidates per count (1..=4), each offset-muxed.
+        let mut cand = Vec::new();
+        for count in 1..=config.max_pulses {
+            let idx = base + count;
+            let c = if config.max_offset == 0 {
+                stages[idx]
+            } else {
+                let m = b.mux2(cfg_o0, stages[idx], stages[idx + 1]);
+                b.name_cell(m, &format!("{p}_close_off{count}"));
+                m
+            };
+            cand.push(c);
+        }
+        // Mux tree on the count bits (missing counts reuse the largest).
+        while cand.len() < 4 {
+            let last = *cand.last().expect("at least one candidate");
+            cand.push(last);
+        }
+        let m01 = b.mux2(cfg_c0, cand[0], cand[1]);
+        b.name_cell(m01, &format!("{p}_close_m01"));
+        let m23 = b.mux2(cfg_c0, cand[2], cand[3]);
+        b.name_cell(m23, &format!("{p}_close_m23"));
+        let close = b.mux2(cfg_c1, m01, m23);
+        b.name_cell(close, &format!("{p}_close_sel"));
+
+        let close_n = b.not(close);
+        b.name_cell(close_n, &format!("{p}_close_n"));
+        let pulse_enable = b.and2(open, close_n);
+        b.name_cell(pulse_enable, &format!("{p}_pulse_enable"));
+
+        let gated = b.clock_gate(pll_clk, pulse_enable);
+        b.name_cell(gated, &format!("{p}_cgc"));
+        let clk_out = b.mux2(scan_en, gated, scan_clk);
+        b.name_cell(clk_out, &format!("{p}_clk_out"));
+
+        EnhancedCpfPorts {
+            pll_clk,
+            scan_clk,
+            scan_en,
+            cfg_c0,
+            cfg_c1,
+            cfg_o0,
+            clk_out,
+            pulse_enable,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnhancedCpfConfig {
+        &self.config
+    }
+
+    /// The standalone netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The port map.
+    pub fn ports(&self) -> &EnhancedCpfPorts {
+        &self.ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_sizes_shift_register() {
+        let cfg = EnhancedCpfConfig::paper();
+        // base 3: open idx 2 or 3; close up to 3+4 = 7 -> 8 bits.
+        assert_eq!(cfg.shift_register_bits(), 8);
+    }
+
+    #[test]
+    fn select_encoding_roundtrip() {
+        for pulses in 1..=4 {
+            for offset in 0..=1 {
+                let s = PulseSelect { pulses, offset };
+                let (c0, c1, o0) = s.config_bits();
+                let decoded = 1 + (c0 as usize) + 2 * (c1 as usize);
+                assert_eq!(decoded, pulses);
+                assert_eq!(o0 as usize, offset);
+            }
+        }
+    }
+
+    #[test]
+    fn inter_domain_pair_staggers() {
+        let l = PulseSelect::inter_domain_launch();
+        let c = PulseSelect::inter_domain_capture();
+        assert_eq!(l.pulses, 1);
+        assert_eq!(c.pulses, 1);
+        assert_eq!(c.offset, l.offset + 1);
+    }
+
+    #[test]
+    fn generates_and_validates() {
+        let ecpf = EnhancedCpf::generate(&EnhancedCpfConfig::paper());
+        let stats = occ_netlist::NetlistStats::of(ecpf.netlist());
+        assert_eq!(stats.flops, 9); // trigger + 8 SR bits
+        assert_eq!(stats.clock_gates, 1);
+        assert!(ecpf.netlist().logic_gate_count() <= 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "encode up to 4")]
+    fn oversized_burst_rejected() {
+        let cfg = EnhancedCpfConfig {
+            max_pulses: 5,
+            ..EnhancedCpfConfig::paper()
+        };
+        let _ = EnhancedCpf::generate(&cfg);
+    }
+
+    #[test]
+    fn behavior_latency_includes_offset() {
+        let b0 = PulseSelect {
+            pulses: 2,
+            offset: 0,
+        }
+        .behavior(3);
+        let b1 = PulseSelect {
+            pulses: 2,
+            offset: 1,
+        }
+        .behavior(3);
+        assert_eq!(b0.latency_cycles() + 1, b1.latency_cycles());
+        assert_eq!(b0.pulse_count(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # occ-core — on-chip test clock generation (the paper's contribution)
+//!
+//! Implements the logic design published in *Beck, Barondeau, Kaibel,
+//! Poehl (Infineon), Lin, Press (Mentor) — "Logic Design for On-Chip
+//! Test Clock Generation: Implementation Details and Impact on Delay
+//! Test Quality", DATE 2005*:
+//!
+//! * [`ClockPulseFilter`] — the ten-gate CPF of the paper's Figure 3:
+//!   a `scan_en`-cleared trigger flop, a five-bit shift register clocked
+//!   by the PLL, a window decode and a glitch-free clock-gating cell,
+//!   muxed with the slow external scan clock. After `scan_en` falls and
+//!   one `scan_clk` trigger pulse is applied, **exactly two** at-speed
+//!   PLL pulses reach `clk_out` (Figure 4).
+//! * [`EnhancedCpf`] — the paper's experiment-(d) enhancement:
+//!   programmable 2/3/4-pulse bursts and a start-offset that staggers
+//!   two domains for inter-domain launch/capture.
+//! * [`Pll`] — the functional PLL model that multiplies the slow
+//!   reference clock into per-domain high-speed clocks.
+//! * [`CpfBehavior`] — the cycle-level behavioural model of the CPF,
+//!   checked against the gate-level implementation by simulation
+//!   (the basis of *named capture procedures*).
+//! * [`ClockingMode`] / [`transition_procedures`] — the named capture
+//!   procedures each Table 1 experiment (a)–(e) offers to ATPG.
+//! * [`AteExpansion`] — converts a capture procedure into the concrete
+//!   `scan_en`/`scan_clk` pin waveforms the ATE applies (the paper:
+//!   "when the patterns are saved for ATE, the internal clock pulses
+//!   are converted to the corresponding primary input signals").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ate;
+mod behavior;
+mod clock;
+mod cpf;
+mod enhanced;
+mod ncp;
+
+pub use ate::{AteExpansion, AteTiming};
+pub use behavior::CpfBehavior;
+pub use clock::{ClockDomainSpec, Pll, PllConfig};
+pub use cpf::{ClockPulseFilter, CpfConfig, CpfPorts};
+pub use enhanced::{EnhancedCpf, EnhancedCpfConfig, EnhancedCpfPorts, PulseSelect};
+pub use ncp::{stuck_at_procedures, transition_procedures, ClockingMode};

@@ -1,0 +1,251 @@
+//! Named capture procedures per clocking mode — the experiment knobs of
+//! Table 1.
+//!
+//! Every experiment (a)–(e) runs the *same* ATPG engine on the *same*
+//! netlist and fault list; the only difference is the set of capture
+//! procedures (and their constraint flags) the clock generation scheme
+//! can physically deliver. This module encodes exactly those sets.
+
+use occ_fsim::{CycleSpec, FrameSpec};
+use std::fmt;
+
+/// The clock-generation scheme available to ATPG — one per Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockingMode {
+    /// Experiments (a)/(b): a single external tester clock drives all
+    /// domains; PIs/POs are fully controllable/observable; any number
+    /// of initialization pulses up to `max_pulses` may be applied.
+    /// This is the idealized reference, not applicable at-speed on a
+    /// low-cost ATE.
+    ExternalClock {
+        /// Maximum capture cycles per load.
+        max_pulses: usize,
+    },
+    /// Experiment (c): one Figure-3 CPF per domain. Exactly two at-speed
+    /// pulses, one domain per scan load, POs masked, PIs held, no
+    /// inter-domain tests.
+    SimpleCpf,
+    /// Experiment (d): enhanced CPFs — 2..=`max_pulses` pulse bursts per
+    /// domain plus staggered inter-domain launch/capture pairs. POs
+    /// masked, PIs held.
+    EnhancedCpf {
+        /// Maximum burst length (the paper: 4).
+        max_pulses: usize,
+    },
+    /// Experiment (e): the "most flexible CPF possible" bound — a
+    /// common clock for all domains with unlimited initialization, but
+    /// still under ATE constraints (POs masked, PIs held).
+    ConstrainedExternal {
+        /// Maximum capture cycles per load.
+        max_pulses: usize,
+    },
+}
+
+impl fmt::Display for ClockingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockingMode::ExternalClock { max_pulses } => {
+                write!(f, "external clock (≤{max_pulses} pulses)")
+            }
+            ClockingMode::SimpleCpf => f.write_str("simple 2-pulse CPF"),
+            ClockingMode::EnhancedCpf { max_pulses } => {
+                write!(f, "enhanced CPF (≤{max_pulses} pulses, inter-domain)")
+            }
+            ClockingMode::ConstrainedExternal { max_pulses } => {
+                write!(f, "constrained external (≤{max_pulses} pulses)")
+            }
+        }
+    }
+}
+
+/// Capture procedures available for **transition** ATPG under a mode.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{transition_procedures, ClockingMode};
+/// // Simple CPF on a 2-domain device: one 2-pulse procedure per domain.
+/// let procs = transition_procedures(ClockingMode::SimpleCpf, 2);
+/// assert_eq!(procs.len(), 2);
+/// assert!(procs.iter().all(|p| p.frames() == 2 && p.holds_pi() && !p.observes_po()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_domains` is zero or a mode's `max_pulses` is below 2.
+pub fn transition_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpec> {
+    assert!(n_domains > 0, "need at least one clock domain");
+    let all: Vec<usize> = (0..n_domains).collect();
+    match mode {
+        ClockingMode::ExternalClock { max_pulses } => {
+            assert!(max_pulses >= 2, "transition test needs launch + capture");
+            (2..=max_pulses)
+                .map(|n| FrameSpec::broadside(&format!("ext_{n}p"), &all, n))
+                .collect()
+        }
+        ClockingMode::SimpleCpf => (0..n_domains)
+            .map(|d| {
+                FrameSpec::broadside(&format!("cpf_dom{d}_2p"), &[d], 2)
+                    .hold_pi(true)
+                    .observe_po(false)
+            })
+            .collect(),
+        ClockingMode::EnhancedCpf { max_pulses } => {
+            assert!(max_pulses >= 2, "transition test needs launch + capture");
+            let mut procs = Vec::new();
+            for d in 0..n_domains {
+                for n in 2..=max_pulses {
+                    procs.push(
+                        FrameSpec::broadside(&format!("ecpf_dom{d}_{n}p"), &[d], n)
+                            .hold_pi(true)
+                            .observe_po(false),
+                    );
+                }
+            }
+            // Inter-domain: launch in one domain, capture in the other.
+            for a in 0..n_domains {
+                for b in 0..n_domains {
+                    if a == b {
+                        continue;
+                    }
+                    procs.push(
+                        FrameSpec::new(
+                            &format!("ecpf_x_{a}to{b}"),
+                            vec![CycleSpec::pulsing(&[a]), CycleSpec::pulsing(&[b])],
+                        )
+                        .hold_pi(true)
+                        .observe_po(false),
+                    );
+                }
+            }
+            procs
+        }
+        ClockingMode::ConstrainedExternal { max_pulses } => {
+            assert!(max_pulses >= 2, "transition test needs launch + capture");
+            (2..=max_pulses)
+                .map(|n| {
+                    FrameSpec::broadside(&format!("cext_{n}p"), &all, n)
+                        .hold_pi(true)
+                        .observe_po(false)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Capture procedures available for **stuck-at** ATPG under a mode
+/// (experiment (a) uses `ExternalClock`).
+///
+/// # Panics
+///
+/// Panics if `n_domains` is zero.
+pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpec> {
+    assert!(n_domains > 0, "need at least one clock domain");
+    let all: Vec<usize> = (0..n_domains).collect();
+    match mode {
+        ClockingMode::ExternalClock { max_pulses } => (1..=max_pulses.max(1))
+            .map(|n| {
+                FrameSpec::new(
+                    &format!("ext_sa_{n}p"),
+                    vec![CycleSpec::pulsing(&all); n],
+                )
+            })
+            .collect(),
+        ClockingMode::SimpleCpf => (0..n_domains)
+            .map(|d| {
+                FrameSpec::broadside(&format!("cpf_sa_dom{d}"), &[d], 2)
+                    .hold_pi(true)
+                    .observe_po(false)
+            })
+            .collect(),
+        ClockingMode::EnhancedCpf { max_pulses } => (0..n_domains)
+            .flat_map(|d| {
+                (2..=max_pulses.max(2)).map(move |n| (d, n)).collect::<Vec<_>>()
+            })
+            .map(|(d, n)| {
+                FrameSpec::broadside(&format!("ecpf_sa_dom{d}_{n}p"), &[d], n)
+                    .hold_pi(true)
+                    .observe_po(false)
+            })
+            .collect(),
+        ClockingMode::ConstrainedExternal { max_pulses } => (1..=max_pulses.max(1))
+            .map(|n| {
+                FrameSpec::new(
+                    &format!("cext_sa_{n}p"),
+                    vec![CycleSpec::pulsing(&all); n],
+                )
+                .hold_pi(true)
+                .observe_po(false)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_mode_is_unconstrained() {
+        let procs = transition_procedures(ClockingMode::ExternalClock { max_pulses: 4 }, 2);
+        assert_eq!(procs.len(), 3); // 2, 3, 4 pulses
+        for p in &procs {
+            assert!(!p.holds_pi());
+            assert!(p.observes_po());
+            // All domains pulse together (single external clock).
+            assert!(p.cycles().iter().all(|c| c.pulses.len() == 2));
+        }
+    }
+
+    #[test]
+    fn simple_cpf_is_two_pulse_single_domain() {
+        let procs = transition_procedures(ClockingMode::SimpleCpf, 3);
+        assert_eq!(procs.len(), 3);
+        for (d, p) in procs.iter().enumerate() {
+            assert_eq!(p.frames(), 2);
+            assert!(p.holds_pi());
+            assert!(!p.observes_po());
+            assert_eq!(p.cycles()[0].pulses, vec![d]);
+            assert_eq!(p.cycles()[1].pulses, vec![d]);
+        }
+    }
+
+    #[test]
+    fn enhanced_adds_bursts_and_crossings() {
+        let procs = transition_procedures(ClockingMode::EnhancedCpf { max_pulses: 4 }, 2);
+        // Per domain: 2,3,4-pulse bursts (3 each) + 2 crossing pairs.
+        assert_eq!(procs.len(), 2 * 3 + 2);
+        let crossings: Vec<_> = procs.iter().filter(|p| p.name().contains("_x_")).collect();
+        assert_eq!(crossings.len(), 2);
+        for x in crossings {
+            assert_eq!(x.frames(), 2);
+            assert_ne!(x.cycles()[0].pulses, x.cycles()[1].pulses);
+        }
+    }
+
+    #[test]
+    fn constrained_external_masks_everything() {
+        let procs =
+            transition_procedures(ClockingMode::ConstrainedExternal { max_pulses: 4 }, 2);
+        assert_eq!(procs.len(), 3);
+        for p in &procs {
+            assert!(p.holds_pi());
+            assert!(!p.observes_po());
+            assert!(p.cycles().iter().all(|c| c.pulses.len() == 2));
+        }
+    }
+
+    #[test]
+    fn stuck_at_external_allows_single_pulse() {
+        let procs = stuck_at_procedures(ClockingMode::ExternalClock { max_pulses: 3 }, 2);
+        assert_eq!(procs.len(), 3);
+        assert_eq!(procs[0].frames(), 1);
+        assert!(procs[0].observes_po());
+    }
+
+    #[test]
+    #[should_panic(expected = "launch + capture")]
+    fn transition_needs_two_pulses() {
+        let _ = transition_procedures(ClockingMode::ExternalClock { max_pulses: 1 }, 1);
+    }
+}

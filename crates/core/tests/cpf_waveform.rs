@@ -1,0 +1,293 @@
+//! Figure-4 equivalence: the gate-level CPF, simulated with real
+//! delays, must release exactly the pulses the behavioural model
+//! predicts — two glitch-free at-speed pulses after a three-cycle
+//! latency — across randomized, relaxed ATE protocol timings.
+
+use occ_core::{
+    AteExpansion, AteTiming, ClockPulseFilter, CpfBehavior, CpfConfig, EnhancedCpf,
+    EnhancedCpfConfig, Pll, PllConfig, PulseSelect,
+};
+use occ_netlist::Logic;
+use occ_sim::{DelayModel, EventSim, Waveform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the gate-level CPF through one capture episode; returns the
+/// observed rising edges of `clk_out` within the capture window.
+fn run_episode(cfg: &CpfConfig, domain: usize, seed: u64) -> (Vec<u64>, AteExpansion, Pll) {
+    let pll = Pll::new(PllConfig::paper());
+    let behavior = CpfBehavior::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let timing = AteTiming {
+        shift_period_ps: 40_000 + 2_000 * rng.gen_range(0..10),
+        settle_ps: 20_000 + 1_000 * rng.gen_range(0..20),
+    };
+    let start = 200_000 + 777 * rng.gen_range(0..100);
+    let ep = AteExpansion::expand(&behavior, &pll, domain, &timing, start);
+
+    let cpf = ClockPulseFilter::generate(cfg);
+    let nl = cpf.netlist();
+    let ports = *cpf.ports();
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_out = nl.find(&format!("{}_clk_out", cfg.prefix)).unwrap();
+    sim.watch(clk_out);
+    sim.watch(ports.pulse_enable);
+
+    let end = ep.scan_en_rise + 400_000;
+    sim.drive(ports.pll_clk, pll.domain_waveform(domain, end));
+    sim.drive(ports.scan_en, ep.scan_en_waveform());
+    sim.drive(ports.scan_clk, ep.scan_clk_waveform());
+    sim.run_until(end);
+
+    let edges: Vec<u64> = sim
+        .trace()
+        .edges(clk_out)
+        .iter()
+        .filter(|e| e.is_rising() && e.time >= ep.scan_en_fall && e.time < ep.scan_en_rise)
+        .map(|e| e.time)
+        .collect();
+    (edges, ep, pll)
+}
+
+#[test]
+fn exactly_two_pulses_released() {
+    for seed in 0..20 {
+        for domain in 0..2 {
+            let (edges, ep, _pll) = run_episode(&CpfConfig::paper(), domain, seed);
+            assert_eq!(
+                edges.len(),
+                2,
+                "seed {seed} domain {domain}: expected 2 pulses, got {edges:?} (expected at {:?})",
+                ep.expected_pulses
+            );
+        }
+    }
+}
+
+#[test]
+fn pulse_times_match_behavioral_model() {
+    for seed in 100..112 {
+        for domain in 0..2 {
+            let (edges, ep, pll) = run_episode(&CpfConfig::paper(), domain, seed);
+            assert_eq!(edges.len(), ep.expected_pulses.len());
+            for (got, want) in edges.iter().zip(&ep.expected_pulses) {
+                // Gate delays shift the observed edge by a few tens of
+                // ps; well under a tenth of a period.
+                let slack = pll.domain_period(domain) / 10;
+                assert!(
+                    got.abs_diff(*want) <= slack,
+                    "seed {seed} domain {domain}: edge {got} vs predicted {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pulses_are_full_width_no_glitches() {
+    for seed in 200..212 {
+        let cfg = CpfConfig::paper();
+        let pll = Pll::new(PllConfig::paper());
+        let behavior = CpfBehavior::new(&cfg);
+        let timing = AteTiming::relaxed();
+        let ep = AteExpansion::expand(&behavior, &pll, 1, &timing, 300_000 + seed * 101);
+
+        let cpf = ClockPulseFilter::generate(&cfg);
+        let nl = cpf.netlist();
+        let ports = *cpf.ports();
+        let mut sim = EventSim::new(nl, DelayModel::default());
+        let clk_out = nl.find("cpf_clk_out").unwrap();
+        sim.watch(clk_out);
+        let end = ep.scan_en_rise + 100_000;
+        sim.drive(ports.pll_clk, pll.domain_waveform(1, end));
+        sim.drive(ports.scan_en, ep.scan_en_waveform());
+        sim.drive(ports.scan_clk, ep.scan_clk_waveform());
+        sim.run_until(end);
+
+        // Every pulse in the capture window is a full PLL half-period.
+        let widths: Vec<u64> = {
+            let mut rise = None;
+            let mut ws = Vec::new();
+            for e in sim.trace().edges(clk_out) {
+                if e.time < ep.scan_en_fall || e.time > ep.scan_en_rise {
+                    continue;
+                }
+                if e.is_rising() {
+                    rise = Some(e.time);
+                } else if let Some(r) = rise.take() {
+                    ws.push(e.time - r);
+                }
+            }
+            ws
+        };
+        let half = pll.domain_period(1) / 2;
+        for w in &widths {
+            assert!(
+                w.abs_diff(half) <= half / 10,
+                "seed {seed}: pulse width {w} vs half-period {half}"
+            );
+        }
+        // And the output never goes X during the episode.
+        assert!(!sim.trace().has_unknown_after(clk_out, ep.scan_en_fall + 50_000));
+    }
+}
+
+#[test]
+fn no_pulses_without_trigger() {
+    // scan_en drops but no scan_clk trigger pulse arrives: clk_out must
+    // stay silent.
+    let cfg = CpfConfig::paper();
+    let pll = Pll::new(PllConfig::paper());
+    let cpf = ClockPulseFilter::generate(&cfg);
+    let nl = cpf.netlist();
+    let ports = *cpf.ports();
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_out = nl.find("cpf_clk_out").unwrap();
+    sim.watch(clk_out);
+    sim.drive(ports.pll_clk, pll.domain_waveform(0, 2_000_000));
+    sim.drive(
+        ports.scan_en,
+        Waveform::steps(&[(0, Logic::One), (300_000, Logic::Zero)]),
+    );
+    sim.drive(ports.scan_clk, Waveform::constant(Logic::Zero));
+    sim.run_until(2_000_000);
+    assert_eq!(sim.trace().rising_edges_in(clk_out, 320_000, 2_000_000), 0);
+}
+
+#[test]
+fn scan_clk_passes_through_in_shift_mode() {
+    let cfg = CpfConfig::paper();
+    let pll = Pll::new(PllConfig::paper());
+    let cpf = ClockPulseFilter::generate(&cfg);
+    let nl = cpf.netlist();
+    let ports = *cpf.ports();
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_out = nl.find("cpf_clk_out").unwrap();
+    sim.watch(clk_out);
+    sim.drive(ports.pll_clk, pll.domain_waveform(0, 3_000_000));
+    sim.drive(ports.scan_en, Waveform::constant(Logic::One));
+    // 10 shift pulses at 20 MHz.
+    sim.drive(ports.scan_clk, Waveform::pulse_train(50_000, 200_000, 10));
+    sim.run_until(3_000_000);
+    assert_eq!(sim.trace().rising_edges_in(clk_out, 0, 3_000_000), 10);
+}
+
+#[test]
+fn filter_rearms_for_consecutive_captures() {
+    // Two capture episodes back to back must each deliver two pulses.
+    let cfg = CpfConfig::paper();
+    let pll = Pll::new(PllConfig::paper());
+    let behavior = CpfBehavior::new(&cfg);
+    let timing = AteTiming::relaxed();
+    let ep1 = AteExpansion::expand(&behavior, &pll, 0, &timing, 300_000);
+    let ep2 = AteExpansion::expand(&behavior, &pll, 0, &timing, ep1.scan_en_rise + 100_000);
+
+    let cpf = ClockPulseFilter::generate(&cfg);
+    let nl = cpf.netlist();
+    let ports = *cpf.ports();
+    let mut sim = EventSim::new(nl, DelayModel::default());
+    let clk_out = nl.find("cpf_clk_out").unwrap();
+    sim.watch(clk_out);
+    let end = ep2.scan_en_rise + 200_000;
+    sim.drive(ports.pll_clk, pll.domain_waveform(0, end));
+    sim.drive(
+        ports.scan_en,
+        Waveform::steps(&[
+            (0, Logic::One),
+            (ep1.scan_en_fall, Logic::Zero),
+            (ep1.scan_en_rise, Logic::One),
+            (ep2.scan_en_fall, Logic::Zero),
+            (ep2.scan_en_rise, Logic::One),
+        ]),
+    );
+    sim.drive(
+        ports.scan_clk,
+        Waveform::steps(&[
+            (0, Logic::Zero),
+            (ep1.trigger_rise, Logic::One),
+            (ep1.trigger_fall, Logic::Zero),
+            (ep2.trigger_rise, Logic::One),
+            (ep2.trigger_fall, Logic::Zero),
+        ]),
+    );
+    sim.run_until(end);
+    assert_eq!(
+        sim.trace()
+            .rising_edges_in(clk_out, ep1.scan_en_fall, ep1.scan_en_rise),
+        2
+    );
+    assert_eq!(
+        sim.trace()
+            .rising_edges_in(clk_out, ep2.scan_en_fall, ep2.scan_en_rise),
+        2
+    );
+}
+
+#[test]
+fn enhanced_cpf_delivers_programmed_burst() {
+    let cfg = EnhancedCpfConfig::paper();
+    let pll = Pll::new(PllConfig::paper());
+    for pulses in 1..=4usize {
+        for offset in 0..=1usize {
+            let select = PulseSelect { pulses, offset };
+            let behavior = select.behavior(cfg.base_latency);
+            let timing = AteTiming::relaxed();
+            let ep = AteExpansion::expand(&behavior, &pll, 1, &timing, 400_000);
+
+            let ecpf = EnhancedCpf::generate(&cfg);
+            let nl = ecpf.netlist();
+            let ports = *ecpf.ports();
+            let mut sim = EventSim::new(nl, DelayModel::default());
+            let clk_out = nl.find("ecpf_clk_out").unwrap();
+            sim.watch(clk_out);
+            let (c0, c1, o0) = select.config_bits();
+            sim.drive(ports.cfg_c0, Waveform::constant(Logic::from_bool(c0)));
+            sim.drive(ports.cfg_c1, Waveform::constant(Logic::from_bool(c1)));
+            sim.drive(ports.cfg_o0, Waveform::constant(Logic::from_bool(o0)));
+            let end = ep.scan_en_rise + 200_000;
+            sim.drive(ports.pll_clk, pll.domain_waveform(1, end));
+            sim.drive(ports.scan_en, ep.scan_en_waveform());
+            sim.drive(ports.scan_clk, ep.scan_clk_waveform());
+            sim.run_until(end);
+
+            let got: Vec<u64> = sim
+                .trace()
+                .edges(clk_out)
+                .iter()
+                .filter(|e| {
+                    e.is_rising() && e.time >= ep.scan_en_fall && e.time < ep.scan_en_rise
+                })
+                .map(|e| e.time)
+                .collect();
+            assert_eq!(
+                got.len(),
+                pulses,
+                "select {select:?}: got edges {got:?}, predicted {:?}",
+                ep.expected_pulses
+            );
+            let slack = pll.domain_period(1) / 10;
+            for (g, w) in got.iter().zip(&ep.expected_pulses) {
+                assert!(
+                    g.abs_diff(*w) <= slack,
+                    "select {select:?}: edge {g} vs predicted {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inter_domain_staggering_orders_launch_before_capture() {
+    // Domain 0 launches (1 pulse, offset 0), domain 1 captures (1
+    // pulse, offset 1): the capture edge must come after the launch
+    // edge when both are triggered together.
+    let pll = Pll::new(PllConfig::paper());
+    let launch = PulseSelect::inter_domain_launch().behavior(3);
+    let capture = PulseSelect::inter_domain_capture().behavior(3);
+    let trigger = 1_000_000;
+    let l_edges = launch.pulse_edges(&pll, 0, trigger);
+    let c_edges = capture.pulse_edges(&pll, 0, trigger);
+    assert_eq!(l_edges.len(), 1);
+    assert_eq!(c_edges.len(), 1);
+    assert!(c_edges[0] > l_edges[0]);
+}

@@ -1,0 +1,24 @@
+//! # occ-dft — design-for-test infrastructure
+//!
+//! The scan substrate under the paper's experiments:
+//!
+//! * [`insert_scan`] — mux-scan insertion and balanced chain stitching
+//!   (the paper's device uses "357 balanced internal scan chains ...
+//!   with 36 external scan channels, implemented for multiplexed scan
+//!   cells");
+//! * [`EdtCodec`] — an EDT-style linear decompressor (ring generator +
+//!   phase shifter) with a GF(2) solver that maps care bits back to
+//!   channel data, plus an XOR space compactor for unload;
+//! * [`AteCostModel`] — tester cycle / vector-memory accounting, used to
+//!   report the pattern-count impact Table 1 shows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edt;
+mod protocol;
+mod scan;
+
+pub use edt::{EdtCodec, EdtConfig, EdtError};
+pub use protocol::{AteCostModel, TestSetCost};
+pub use scan::{insert_scan, ScanChains, ScanConfig, ScanError};

@@ -1,0 +1,105 @@
+//! ATE protocol cost accounting.
+//!
+//! The paper's pattern-count discussion is ultimately about tester
+//! economics: "increased pattern count requires a more extensive use of
+//! an on-chip technique to reduce scan chain length. Only using this
+//! technique the observed pattern count can be loaded into the ATE
+//! vector memory without truncation." This module turns pattern counts
+//! into tester cycles, test time and vector-memory bits, with and
+//! without EDT-style compression.
+
+/// Cost parameters of a scan test on a given tester/DFT configuration.
+#[derive(Debug, Clone)]
+pub struct AteCostModel {
+    /// Shift clock frequency in MHz (the slow external scan clock).
+    pub shift_clock_mhz: f64,
+    /// Shift cycles per scan load (longest chain length).
+    pub chain_len: usize,
+    /// External scan channels driven by the ATE.
+    pub channels: usize,
+    /// Extra protocol cycles per pattern (capture cycles, scan-enable
+    /// settling, the CPF trigger pulse...).
+    pub overhead_cycles: usize,
+}
+
+impl AteCostModel {
+    /// A typical low-cost-ATE setup: 20 MHz shift, 4 overhead cycles.
+    pub fn low_cost(chain_len: usize, channels: usize) -> Self {
+        AteCostModel {
+            shift_clock_mhz: 20.0,
+            chain_len,
+            channels,
+            overhead_cycles: 4,
+        }
+    }
+
+    /// Cost of applying `patterns` scan loads.
+    ///
+    /// Loads and unloads of consecutive patterns overlap (standard scan
+    /// pipelining), so the cycle count is `(patterns + 1) * chain_len +
+    /// patterns * overhead`.
+    pub fn cost(&self, patterns: usize) -> TestSetCost {
+        let shift_cycles = (patterns + 1) * self.chain_len;
+        let total_cycles = shift_cycles + patterns * self.overhead_cycles;
+        let seconds = total_cycles as f64 / (self.shift_clock_mhz * 1e6);
+        TestSetCost {
+            patterns,
+            total_cycles,
+            test_time_ms: seconds * 1e3,
+            vector_memory_bits: patterns * self.chain_len * self.channels * 2,
+        }
+    }
+}
+
+/// Cost of one test set on the ATE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestSetCost {
+    /// Number of scan loads.
+    pub patterns: usize,
+    /// Total tester cycles including overlap and overhead.
+    pub total_cycles: usize,
+    /// Wall-clock test time at the configured shift clock.
+    pub test_time_ms: f64,
+    /// Stimulus+response bits the ATE must store.
+    pub vector_memory_bits: usize,
+}
+
+impl std::fmt::Display for TestSetCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} patterns, {} cycles, {:.3} ms, {} vector bits",
+            self.patterns, self.total_cycles, self.test_time_ms, self.vector_memory_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_linearly_in_patterns() {
+        let m = AteCostModel::low_cost(100, 8);
+        let c1 = m.cost(100);
+        let c2 = m.cost(200);
+        assert!(c2.total_cycles > c1.total_cycles);
+        assert_eq!(c2.vector_memory_bits, 2 * c1.vector_memory_bits);
+        assert_eq!(c1.total_cycles, 101 * 100 + 100 * 4);
+    }
+
+    #[test]
+    fn compression_cuts_memory_via_channels() {
+        // Same chain length, fewer channels (EDT): memory shrinks.
+        let uncompressed = AteCostModel::low_cost(100, 357).cost(1000);
+        let compressed = AteCostModel::low_cost(100, 36).cost(1000);
+        assert!(compressed.vector_memory_bits < uncompressed.vector_memory_bits / 9);
+    }
+
+    #[test]
+    fn display_reports_all_figures() {
+        let text = AteCostModel::low_cost(10, 2).cost(5).to_string();
+        assert!(text.contains("5 patterns"));
+        assert!(text.contains("vector bits"));
+    }
+}

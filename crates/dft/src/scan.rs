@@ -1,0 +1,372 @@
+//! Mux-scan insertion and balanced chain stitching.
+
+use occ_netlist::{CellId, CellKind, Netlist, NetlistBuilder};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration for scan insertion.
+///
+/// # Examples
+///
+/// ```
+/// use occ_dft::ScanConfig;
+/// let cfg = ScanConfig::new(4).skip_named(&["u_sync0"]);
+/// assert_eq!(cfg.chains(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    chains: usize,
+    skip_names: Vec<String>,
+    scan_enable_name: String,
+}
+
+impl ScanConfig {
+    /// Scan insertion with the given number of chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is zero.
+    pub fn new(chains: usize) -> Self {
+        assert!(chains > 0, "need at least one scan chain");
+        ScanConfig {
+            chains,
+            skip_names: Vec::new(),
+            scan_enable_name: "scan_en".to_owned(),
+        }
+    }
+
+    /// Number of chains to stitch.
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Excludes the named flops from scan (they stay plain DFFs — the
+    /// "non-scan cells" whose initialization the paper's multi-pulse
+    /// CPF enhancement addresses).
+    pub fn skip_named(mut self, names: &[&str]) -> Self {
+        self.skip_names
+            .extend(names.iter().map(|s| (*s).to_owned()));
+        self
+    }
+
+    /// Renames the scan-enable port (default `scan_en`).
+    pub fn scan_enable_name(mut self, name: &str) -> Self {
+        self.scan_enable_name = name.to_owned();
+        self
+    }
+}
+
+/// Error from scan insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The design has no flops to stitch.
+    NoFlops,
+    /// A skip name does not exist in the design.
+    UnknownSkip {
+        /// The missing instance name.
+        name: String,
+    },
+    /// The rewritten netlist failed validation (internal bug).
+    Rebuild(String),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::NoFlops => f.write_str("design has no flip-flops to stitch"),
+            ScanError::UnknownSkip { name } => write!(f, "skip name '{name}' not found"),
+            ScanError::Rebuild(e) => write!(f, "scan rewrite failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScanError {}
+
+/// The result of scan insertion: the rewritten netlist plus chain
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct ScanChains {
+    netlist: Netlist,
+    chains: Vec<Vec<CellId>>,
+    scan_enable: CellId,
+    scan_ins: Vec<CellId>,
+    scan_outs: Vec<CellId>,
+    non_scan: Vec<CellId>,
+}
+
+impl ScanChains {
+    /// The scan-inserted netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consumes self, returning the netlist.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Chains as flop lists in shift order: `chains()[c][0]` is the flop
+    /// next to scan-in (last to receive its load bit... the *head*);
+    /// the final element drives scan-out.
+    pub fn chains(&self) -> &[Vec<CellId>] {
+        &self.chains
+    }
+
+    /// The scan-enable input port.
+    pub fn scan_enable(&self) -> CellId {
+        self.scan_enable
+    }
+
+    /// Scan-in ports, one per chain.
+    pub fn scan_ins(&self) -> &[CellId] {
+        &self.scan_ins
+    }
+
+    /// Scan-out ports, one per chain.
+    pub fn scan_outs(&self) -> &[CellId] {
+        &self.scan_outs
+    }
+
+    /// Flops intentionally left out of the chains.
+    pub fn non_scan(&self) -> &[CellId] {
+        &self.non_scan
+    }
+
+    /// Length of the longest chain — the shift-cycle count per load.
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// For a desired per-flop load state, the bit sequence to feed each
+    /// scan-in port, in shift-cycle order (first element shifted first).
+    ///
+    /// With `L` shift cycles, the bit shifted first ends up in the flop
+    /// furthest from scan-in (the chain tail).
+    pub fn load_sequence<F>(&self, mut value_of: F) -> Vec<Vec<occ_netlist::Logic>>
+    where
+        F: FnMut(CellId) -> occ_netlist::Logic,
+    {
+        self.chains
+            .iter()
+            .map(|chain| {
+                // Shift-in order: tail value first.
+                chain.iter().rev().map(|&ff| value_of(ff)).collect()
+            })
+            .collect()
+    }
+}
+
+/// Replaces (non-skipped) flops with mux-scan flops and stitches them
+/// into `cfg.chains()` balanced chains, adding `scan_en`, per-chain
+/// `scan_in<i>` ports and `scan_out<i>` outputs.
+///
+/// Chains are balanced to within one flop of each other. Flops are
+/// grouped by their clock net before assignment so most chains are
+/// single-domain, as a physical implementation would prefer.
+///
+/// # Errors
+///
+/// See [`ScanError`].
+pub fn insert_scan(netlist: &Netlist, cfg: &ScanConfig) -> Result<ScanChains, ScanError> {
+    let skip: HashSet<CellId> = cfg
+        .skip_names
+        .iter()
+        .map(|n| {
+            netlist
+                .find(n)
+                .ok_or_else(|| ScanError::UnknownSkip { name: n.clone() })
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Collect candidate flops grouped by clock net for domain locality.
+    let mut flops: Vec<(CellId, CellId)> = Vec::new(); // (flop, clock net)
+    let mut non_scan = Vec::new();
+    for (id, cell) in netlist.iter() {
+        if !cell.kind().is_flop() {
+            continue;
+        }
+        if skip.contains(&id) {
+            non_scan.push(id);
+            continue;
+        }
+        flops.push((id, cell.clock()));
+    }
+    if flops.is_empty() && non_scan.is_empty() {
+        return Err(ScanError::NoFlops);
+    }
+    flops.sort_by_key(|&(id, clk)| (clk, id));
+
+    // Balanced split: chain c gets every chains-th flop of the
+    // clock-sorted list, keeping same-clock flops adjacent.
+    let n_chains = cfg.chains.min(flops.len().max(1));
+    let mut chains: Vec<Vec<CellId>> = vec![Vec::new(); n_chains];
+    let per = flops.len().div_ceil(n_chains);
+    for (i, &(id, _)) in flops.iter().enumerate() {
+        chains[(i / per).min(n_chains - 1)].push(id);
+    }
+    chains.retain(|c| !c.is_empty());
+
+    let mut b = NetlistBuilder::from_netlist(netlist);
+    let se = b.input(&cfg.scan_enable_name);
+    let mut scan_ins = Vec::new();
+    let mut scan_outs = Vec::new();
+
+    for (ci, chain) in chains.iter().enumerate() {
+        let si_port = b.input(&format!("scan_in{ci}"));
+        scan_ins.push(si_port);
+        let mut si = si_port;
+        for &ff in chain {
+            let kind = b.kind(ff);
+            let ins = b.inputs(ff).to_vec();
+            let (new_kind, new_ins) = match kind {
+                CellKind::Dff => (CellKind::Sdff, vec![ins[0], ins[1], se, si]),
+                CellKind::DffRl => (
+                    CellKind::SdffRl,
+                    vec![ins[0], ins[1], se, si, ins[2]],
+                ),
+                // Active-high-reset and already-scan flops: wrap as
+                // SdffRl is not available for DffRh; convert to plain
+                // Sdff and drop the reset (documented limitation) —
+                // generators avoid DffRh in functional logic.
+                CellKind::DffRh => (CellKind::Sdff, vec![ins[0], ins[1], se, si]),
+                CellKind::Sdff | CellKind::SdffRl => (kind, ins),
+                _ => unreachable!("non-flop in chain"),
+            };
+            b.replace_cell(ff, new_kind, new_ins);
+            si = ff;
+        }
+        scan_outs.push(b.output(&format!("scan_out{ci}"), si));
+    }
+
+    let netlist = b
+        .finish()
+        .map_err(|e| ScanError::Rebuild(e.to_string()))?;
+    Ok(ScanChains {
+        netlist,
+        chains,
+        scan_enable: se,
+        scan_ins,
+        scan_outs,
+        non_scan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::{Logic, NetlistBuilder};
+
+    fn plain_design(n_flops: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("d");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let mut prev = d;
+        for i in 0..n_flops {
+            let ff = b.dff(prev, clk);
+            b.name_cell(ff, &format!("ff{i}"));
+            prev = ff;
+        }
+        b.output("q", prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_flops_become_scan() {
+        let nl = plain_design(10);
+        let sc = insert_scan(&nl, &ScanConfig::new(3)).unwrap();
+        let scan_count = sc
+            .netlist()
+            .flops()
+            .filter(|(_, c)| c.kind().is_scan_flop())
+            .count();
+        assert_eq!(scan_count, 10);
+        assert_eq!(sc.chains().len(), 3);
+        assert_eq!(sc.scan_ins().len(), 3);
+        assert_eq!(sc.scan_outs().len(), 3);
+    }
+
+    #[test]
+    fn chains_are_balanced() {
+        let nl = plain_design(10);
+        let sc = insert_scan(&nl, &ScanConfig::new(3)).unwrap();
+        let lens: Vec<usize> = sc.chains().iter().map(Vec::len).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 10);
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(max - min <= 2, "unbalanced: {lens:?}");
+        assert_eq!(sc.max_chain_len(), max);
+    }
+
+    #[test]
+    fn skip_keeps_non_scan() {
+        let nl = plain_design(5);
+        let sc = insert_scan(&nl, &ScanConfig::new(2).skip_named(&["ff2"])).unwrap();
+        assert_eq!(sc.non_scan().len(), 1);
+        let ff2 = sc.netlist().find("ff2").unwrap();
+        assert!(!sc.netlist().cell(ff2).kind().is_scan_flop());
+        let stitched: usize = sc.chains().iter().map(Vec::len).sum();
+        assert_eq!(stitched, 4);
+    }
+
+    #[test]
+    fn unknown_skip_is_an_error() {
+        let nl = plain_design(3);
+        let err = insert_scan(&nl, &ScanConfig::new(1).skip_named(&["nope"])).unwrap_err();
+        assert!(matches!(err, ScanError::UnknownSkip { .. }));
+    }
+
+    #[test]
+    fn chain_wiring_is_sequential() {
+        let nl = plain_design(6);
+        let sc = insert_scan(&nl, &ScanConfig::new(2)).unwrap();
+        for (ci, chain) in sc.chains().iter().enumerate() {
+            let mut expect_si = sc.scan_ins()[ci];
+            for &ff in chain {
+                let cell = sc.netlist().cell(ff);
+                assert_eq!(cell.scan_in(), expect_si, "chain {ci} broken at {ff}");
+                assert_eq!(cell.scan_enable(), sc.scan_enable());
+                expect_si = ff;
+            }
+            // Tail drives the scan-out port.
+            let tail = *chain.last().unwrap();
+            let po = sc.scan_outs()[ci];
+            assert_eq!(sc.netlist().cell(po).inputs()[0], tail);
+        }
+    }
+
+    #[test]
+    fn load_sequence_is_reversed_chain() {
+        let nl = plain_design(4);
+        let sc = insert_scan(&nl, &ScanConfig::new(1)).unwrap();
+        let chain = &sc.chains()[0];
+        let head = chain[0];
+        let seq = sc.load_sequence(|id| {
+            if id == head {
+                Logic::One
+            } else {
+                Logic::Zero
+            }
+        });
+        // The head flop's value is shifted in LAST.
+        assert_eq!(*seq[0].last().unwrap(), Logic::One);
+        assert!(seq[0][..seq[0].len() - 1]
+            .iter()
+            .all(|&v| v == Logic::Zero));
+    }
+
+    #[test]
+    fn reset_flops_keep_reset_through_scan() {
+        let mut b = NetlistBuilder::new("d");
+        let clk = b.input("clk");
+        let rstn = b.input("rstn");
+        let d = b.input("d");
+        let ff = b.dff_rl(d, clk, rstn);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let sc = insert_scan(&nl, &ScanConfig::new(1)).unwrap();
+        let cell = sc.netlist().cell(ff);
+        assert_eq!(cell.kind(), CellKind::SdffRl);
+        assert_eq!(cell.reset(), Some(rstn));
+    }
+}

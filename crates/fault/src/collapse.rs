@@ -1,0 +1,225 @@
+//! Structural fault-equivalence collapsing.
+//!
+//! Classic rules:
+//!
+//! * controlling-value equivalence: an AND-input stuck at the
+//!   controlling value is equivalent to the output stuck at the
+//!   controlled value (and the NAND/OR/NOR variants);
+//! * inverter/buffer chains collapse onto their driver when the driver
+//!   has no other fanout;
+//! * an input pin whose driver has a single fanout is the same net as
+//!   the driver's output.
+//!
+//! Representatives are chosen deterministically (lowest site key), so
+//! collapsed lists are stable across runs.
+
+use crate::fault::site_key;
+use crate::{Fault, FaultSite, Polarity};
+use occ_netlist::{CellKind, Netlist};
+use std::collections::HashMap;
+
+/// Collapses `raw` into representative faults (sorted, deduplicated).
+pub(crate) fn collapse(netlist: &Netlist, raw: &[Fault]) -> Vec<Fault> {
+    let mut index: HashMap<(FaultSite, Polarity), usize> = HashMap::new();
+    for (i, f) in raw.iter().enumerate() {
+        index.insert((f.site(), f.polarity()), i);
+    }
+    let mut uf = UnionFind::new(raw.len());
+
+    let lookup = |site: FaultSite, pol: Polarity| index.get(&(site, pol)).copied();
+
+    for (id, cell) in netlist.iter() {
+        let kind = cell.kind();
+        match kind {
+            CellKind::Buf | CellKind::Not => {
+                let driver = cell.inputs()[0];
+                if netlist.fanouts(driver).len() == 1 {
+                    for pol in [Polarity::P0, Polarity::P1] {
+                        let out_pol = if kind == CellKind::Not {
+                            pol.inverted()
+                        } else {
+                            pol
+                        };
+                        if let (Some(a), Some(b)) = (
+                            lookup(FaultSite::Output(driver), pol),
+                            lookup(FaultSite::Output(id), out_pol),
+                        ) {
+                            uf.union(a, b);
+                        }
+                    }
+                }
+            }
+            CellKind::And | CellKind::Nand | CellKind::Or | CellKind::Nor => {
+                let (ctl, out_pol) = match kind {
+                    CellKind::And => (Polarity::P0, Polarity::P0),
+                    CellKind::Nand => (Polarity::P0, Polarity::P1),
+                    CellKind::Or => (Polarity::P1, Polarity::P1),
+                    CellKind::Nor => (Polarity::P1, Polarity::P0),
+                    _ => unreachable!(),
+                };
+                for pin in 0..cell.inputs().len() {
+                    let site = FaultSite::Input {
+                        cell: id,
+                        pin: pin as u8,
+                    };
+                    if let (Some(a), Some(b)) =
+                        (lookup(site, ctl), lookup(FaultSite::Output(id), out_pol))
+                    {
+                        uf.union(a, b);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Pin faults on single-fanout nets are the driver's net faults.
+        for (pin, &driver) in cell.inputs().iter().enumerate() {
+            let site = FaultSite::Input {
+                cell: id,
+                pin: pin as u8,
+            };
+            if netlist.fanouts(driver).len() == 1 {
+                for pol in [Polarity::P0, Polarity::P1] {
+                    if let (Some(a), Some(b)) =
+                        (lookup(site, pol), lookup(FaultSite::Output(driver), pol))
+                    {
+                        uf.union(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pick the representative with the smallest (site_key, polarity).
+    let mut best: HashMap<usize, usize> = HashMap::new();
+    for i in 0..raw.len() {
+        let root = uf.find(i);
+        let cand = best.entry(root).or_insert(i);
+        let ck = (site_key(raw[*cand].site()), raw[*cand].polarity());
+        let ik = (site_key(raw[i].site()), raw[i].polarity());
+        if ik < ck {
+            *cand = i;
+        }
+    }
+    let mut reps: Vec<Fault> = best.values().map(|&i| raw[i]).collect();
+    reps.sort_by_key(|f| (site_key(f.site()), f.polarity()));
+    reps.dedup();
+    reps
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FaultSite, FaultUniverse, Polarity};
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn and_controlling_values_collapse() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.and2(a, c);
+        b.output("y", g);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        // Uncollapsed: out(a)x2, out(b)x2, out(g)x2, pin0 x2, pin1 x2 = 10.
+        // sa0 class: {out(a) sa0, out(b) sa0 (via single-fanout pins),
+        // pin0 sa0, pin1 sa0, out(g) sa0} -> 1 representative.
+        // Remaining: out(a) sa1 (= pin0 sa1), out(b) sa1 (= pin1 sa1),
+        // out(g) sa1 -> total 4.
+        assert_eq!(uni.faults().len(), 4);
+    }
+
+    #[test]
+    fn inverter_chain_fully_collapses() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        b.output("y", n3);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        assert_eq!(uni.faults().len(), 2);
+        // Representatives sit on the first net of the chain.
+        for f in uni.faults() {
+            assert_eq!(f.site(), FaultSite::Output(a));
+        }
+    }
+
+    #[test]
+    fn fanout_stem_blocks_chain_collapse() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let g1 = b.and2(n1, a); // n1 has fanout 2
+        let n2 = b.not(n1);
+        b.output("y1", g1);
+        b.output("y2", n2);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        // out(a) faults must stay separate from out(n1): a has fanout 2.
+        let a_faults = uni
+            .faults()
+            .iter()
+            .filter(|f| f.site() == FaultSite::Output(a))
+            .count();
+        assert_eq!(a_faults, 2);
+        // n2 collapses into n1? No: n1 has fanout 2, so n2's input is a
+        // branch — n2 keeps its own faults.
+        let n2_faults = uni
+            .faults()
+            .iter()
+            .filter(|f| f.site() == FaultSite::Output(n2))
+            .count();
+        assert_eq!(n2_faults, 2);
+    }
+
+    #[test]
+    fn nor_collapse_polarity() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.nor2(a, c);
+        b.output("y", g);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        // NOR: pin sa1 == out sa0. Classes: {a1,b1(pins),g0} + {a0} +
+        // {b0} + {g1} = 4.
+        assert_eq!(uni.faults().len(), 4);
+        // And the merged class representative must carry polarity of the
+        // lowest site (out(a) sa1).
+        assert!(uni
+            .faults()
+            .iter()
+            .any(|f| f.site() == FaultSite::Output(a) && f.polarity() == Polarity::P1));
+    }
+}

@@ -1,0 +1,226 @@
+//! Fault model types.
+
+use occ_netlist::CellId;
+use std::fmt;
+
+/// Which fault model a fault belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultModel {
+    /// Permanent stuck-at fault (static defect).
+    StuckAt,
+    /// Transition (gate-delay) fault: the node is slow to switch.
+    Transition,
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::StuckAt => f.write_str("stuck-at"),
+            FaultModel::Transition => f.write_str("transition"),
+        }
+    }
+}
+
+/// The faulted polarity.
+///
+/// For stuck-at faults this is the stuck value. For transition faults it
+/// is the value the node is *stuck near*: a slow-to-rise fault behaves
+/// like a temporary stuck-at-0 in the capture cycle, so `P0` ≙
+/// slow-to-rise and `P1` ≙ slow-to-fall — the standard broadside
+/// mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// Stuck-at-0 / slow-to-rise.
+    P0,
+    /// Stuck-at-1 / slow-to-fall.
+    P1,
+}
+
+impl Polarity {
+    /// The boolean value of the faulty node.
+    pub fn to_bool(self) -> bool {
+        matches!(self, Polarity::P1)
+    }
+
+    /// The opposite polarity.
+    pub fn inverted(self) -> Polarity {
+        match self {
+            Polarity::P0 => Polarity::P1,
+            Polarity::P1 => Polarity::P0,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::P0 => f.write_str("0"),
+            Polarity::P1 => f.write_str("1"),
+        }
+    }
+}
+
+/// A gate terminal: either a cell's output net or one of its input pins
+/// (a fanout branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output of `cell` (the net it drives, including the stem of a
+    /// fanout).
+    Output(CellId),
+    /// Input pin `pin` of `cell` (one branch of the driver's fanout).
+    Input {
+        /// The consuming cell.
+        cell: CellId,
+        /// The pin index on that cell.
+        pin: u8,
+    },
+}
+
+impl FaultSite {
+    /// The cell the fault effect propagates *from*: for an output fault
+    /// the cell itself, for an input-pin fault the consuming cell.
+    pub fn effect_cell(self) -> CellId {
+        match self {
+            FaultSite::Output(c) => c,
+            FaultSite::Input { cell, .. } => cell,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Output(c) => write!(f, "{c}"),
+            FaultSite::Input { cell, pin } => write!(f, "{cell}.{pin}"),
+        }
+    }
+}
+
+/// A single fault: model, site and polarity.
+///
+/// # Examples
+///
+/// ```
+/// use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
+/// use occ_netlist::CellId;
+///
+/// let f = Fault::new(FaultModel::Transition, FaultSite::Output(CellId::from_index(3)), Polarity::P0);
+/// assert_eq!(f.to_string(), "transition c3 str"); // slow-to-rise
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    site: FaultSite,
+    polarity: Polarity,
+    model: FaultModel,
+}
+
+impl Fault {
+    /// Creates a fault.
+    pub fn new(model: FaultModel, site: FaultSite, polarity: Polarity) -> Self {
+        Fault {
+            site,
+            polarity,
+            model,
+        }
+    }
+
+    /// Shorthand for a stuck-at fault.
+    pub fn stuck(site: FaultSite, polarity: Polarity) -> Self {
+        Fault::new(FaultModel::StuckAt, site, polarity)
+    }
+
+    /// Shorthand for a transition fault (`P0` = slow-to-rise).
+    pub fn transition(site: FaultSite, polarity: Polarity) -> Self {
+        Fault::new(FaultModel::Transition, site, polarity)
+    }
+
+    /// The faulted terminal.
+    pub fn site(self) -> FaultSite {
+        self.site
+    }
+
+    /// The fault polarity.
+    pub fn polarity(self) -> Polarity {
+        self.polarity
+    }
+
+    /// The fault model.
+    pub fn model(self) -> FaultModel {
+        self.model
+    }
+
+    /// The same site/polarity reinterpreted under another model — used
+    /// to derive the transition list from the collapsed stuck-at list.
+    pub fn with_model(self, model: FaultModel) -> Self {
+        Fault { model, ..self }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.model {
+            FaultModel::StuckAt => write!(f, "stuck-at {} sa{}", self.site, self.polarity),
+            FaultModel::Transition => write!(
+                f,
+                "transition {} {}",
+                self.site,
+                match self.polarity {
+                    Polarity::P0 => "str",
+                    Polarity::P1 => "stf",
+                }
+            ),
+        }
+    }
+}
+
+/// Ordering key used by hash-free data structures; public for reuse in
+/// the fault simulator's dense tables.
+pub(crate) fn site_key(site: FaultSite) -> (usize, u8, u8) {
+    match site {
+        FaultSite::Output(c) => (c.index(), 0, 0),
+        FaultSite::Input { cell, pin } => (cell.index(), 1, pin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let c = CellId::from_index(7);
+        assert_eq!(
+            Fault::stuck(FaultSite::Output(c), Polarity::P1).to_string(),
+            "stuck-at c7 sa1"
+        );
+        assert_eq!(
+            Fault::transition(FaultSite::Input { cell: c, pin: 2 }, Polarity::P1).to_string(),
+            "transition c7.2 stf"
+        );
+    }
+
+    #[test]
+    fn model_reinterpretation_preserves_site() {
+        let c = CellId::from_index(1);
+        let f = Fault::stuck(FaultSite::Output(c), Polarity::P0);
+        let t = f.with_model(FaultModel::Transition);
+        assert_eq!(t.site(), f.site());
+        assert_eq!(t.polarity(), f.polarity());
+        assert_eq!(t.model(), FaultModel::Transition);
+    }
+
+    #[test]
+    fn polarity_inversion() {
+        assert_eq!(Polarity::P0.inverted(), Polarity::P1);
+        assert!(!Polarity::P0.to_bool());
+        assert!(Polarity::P1.to_bool());
+    }
+
+    #[test]
+    fn site_keys_are_distinct() {
+        let c = CellId::from_index(4);
+        let k1 = site_key(FaultSite::Output(c));
+        let k2 = site_key(FaultSite::Input { cell: c, pin: 0 });
+        assert_ne!(k1, k2);
+    }
+}

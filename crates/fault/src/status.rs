@@ -1,0 +1,332 @@
+//! Fault status tracking and coverage statistics (the Table 1 columns).
+
+use crate::{Fault, FaultUniverse};
+use std::collections::HashMap;
+use std::fmt;
+
+/// ATPG/fault-simulation status of one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultStatus {
+    /// Not yet processed or detected.
+    #[default]
+    Undetected,
+    /// Detected by the pattern with the given index.
+    Detected {
+        /// Index of the detecting pattern in the generated pattern set.
+        pattern: u32,
+    },
+    /// Proven untestable by ATPG (search space exhausted without abort).
+    Untestable,
+    /// ATPG gave up (backtrack limit) — counted against test efficiency,
+    /// the paper's "0.3 % aborted".
+    Aborted,
+    /// Blocked by mode constraints before search (e.g. a cell forced to
+    /// a constant by the clocking mode).
+    Constrained,
+}
+
+impl FaultStatus {
+    /// True for any `Detected` status.
+    pub fn is_detected(self) -> bool {
+        matches!(self, FaultStatus::Detected { .. })
+    }
+}
+
+/// Structural classification of an undetected fault — the fault
+/// *grouping* the paper's conclusions propose as future ATPG work
+/// ("classify and group these faults as non-functional scan path,
+/// low-speed and other faults that cannot cause the device to fail
+/// at-speed operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Ordinary undetected fault with no structural excuse.
+    Plain,
+    /// Only observable through a masked primary output.
+    PoMaskedOnly,
+    /// Launchable only from a held primary input.
+    PiHeldOnly,
+    /// Lies in a cone crossing clock domains (needs inter-domain test).
+    CrossDomain,
+    /// Depends on uninitialized non-scan state.
+    NonScanDependent,
+    /// Depends on RAM read data (needs RAM-sequential patterns).
+    RamDependent,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::Plain => "plain",
+            FaultClass::PoMaskedOnly => "po-masked-only",
+            FaultClass::PiHeldOnly => "pi-held-only",
+            FaultClass::CrossDomain => "cross-domain",
+            FaultClass::NonScanDependent => "non-scan-dependent",
+            FaultClass::RamDependent => "ram-dependent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fault universe paired with mutable per-fault status.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::NetlistBuilder;
+/// use occ_fault::{FaultUniverse, FaultList, FaultStatus};
+///
+/// # fn main() -> Result<(), occ_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let y = b.not(a);
+/// b.output("y", y);
+/// let nl = b.finish()?;
+/// let mut list = FaultList::new(FaultUniverse::stuck_at(&nl));
+/// let f = list.faults()[0];
+/// list.set_status(f, FaultStatus::Detected { pattern: 0 });
+/// assert_eq!(list.report().detected, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultList {
+    universe: FaultUniverse,
+    status: Vec<FaultStatus>,
+    index: HashMap<Fault, usize>,
+    class: Vec<Option<FaultClass>>,
+}
+
+impl FaultList {
+    /// Wraps a universe with all faults `Undetected`.
+    pub fn new(universe: FaultUniverse) -> Self {
+        let n = universe.faults().len();
+        let index = universe
+            .faults()
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+        FaultList {
+            universe,
+            status: vec![FaultStatus::Undetected; n],
+            index,
+            class: vec![None; n],
+        }
+    }
+
+    /// The collapsed fault list.
+    pub fn faults(&self) -> &[Fault] {
+        self.universe.faults()
+    }
+
+    /// The underlying universe.
+    pub fn universe(&self) -> &FaultUniverse {
+        &self.universe
+    }
+
+    /// Current status of a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault is not in this list.
+    pub fn status(&self, fault: Fault) -> FaultStatus {
+        self.status[self.index_of(fault)]
+    }
+
+    /// Sets the status of a fault. Detected faults are never demoted
+    /// back to undetected (the usual ATPG monotonicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault is not in this list.
+    pub fn set_status(&mut self, fault: Fault, status: FaultStatus) {
+        let i = self.index_of(fault);
+        if self.status[i].is_detected() && !status.is_detected() {
+            return;
+        }
+        self.status[i] = status;
+    }
+
+    /// Assigns a structural class to a fault (for the AU grouping
+    /// report).
+    pub fn set_class(&mut self, fault: Fault, class: FaultClass) {
+        let i = self.index_of(fault);
+        self.class[i] = Some(class);
+    }
+
+    /// The assigned class, if any.
+    pub fn class(&self, fault: Fault) -> Option<FaultClass> {
+        self.class[self.index_of(fault)]
+    }
+
+    /// Iterates `(fault, status)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Fault, FaultStatus)> + '_ {
+        self.universe
+            .faults()
+            .iter()
+            .zip(self.status.iter())
+            .map(|(&f, &s)| (f, s))
+    }
+
+    /// Faults still undetected (and not ruled out).
+    pub fn undetected(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.iter()
+            .filter(|(_, s)| matches!(s, FaultStatus::Undetected))
+            .map(|(f, _)| f)
+    }
+
+    /// Builds the coverage report.
+    pub fn report(&self) -> CoverageReport {
+        let mut r = CoverageReport {
+            total: self.status.len(),
+            ..CoverageReport::default()
+        };
+        for (i, s) in self.status.iter().enumerate() {
+            match s {
+                FaultStatus::Detected { .. } => r.detected += 1,
+                FaultStatus::Untestable => r.untestable += 1,
+                FaultStatus::Aborted => r.aborted += 1,
+                FaultStatus::Constrained => r.constrained += 1,
+                FaultStatus::Undetected => r.undetected += 1,
+            }
+            if !s.is_detected() {
+                if let Some(c) = self.class[i] {
+                    *r.class_histogram.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        r
+    }
+
+    fn index_of(&self, fault: Fault) -> usize {
+        *self
+            .index
+            .get(&fault)
+            .unwrap_or_else(|| panic!("fault {fault} not in list"))
+    }
+}
+
+/// Coverage and efficiency statistics — the numbers reported per row of
+/// the paper's Table 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverageReport {
+    /// Collapsed fault count.
+    pub total: usize,
+    /// Faults detected by at least one pattern.
+    pub detected: usize,
+    /// Proven untestable.
+    pub untestable: usize,
+    /// Aborted by the backtrack limit.
+    pub aborted: usize,
+    /// Ruled out by mode constraints.
+    pub constrained: usize,
+    /// Remaining undetected.
+    pub undetected: usize,
+    /// Histogram of structural classes over non-detected faults.
+    pub class_histogram: std::collections::BTreeMap<FaultClass, usize>,
+}
+
+impl CoverageReport {
+    /// Test coverage in percent: `detected / total` — the column the
+    /// paper labels "TC". Untestable faults count against coverage,
+    /// matching the paper's accounting (98.7 % detected + 1 % untestable
+    /// + 0.3 % aborted = 100 %).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.detected as f64 / self.total as f64
+    }
+
+    /// ATPG efficiency in percent: `(detected + untestable + constrained)
+    /// / total` — the share of faults with a definitive answer.
+    pub fn efficiency_pct(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * (self.detected + self.untestable + self.constrained) as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coverage {:.2}% efficiency {:.2}% (total {}, detected {}, untestable {}, aborted {}, constrained {}, undetected {})",
+            self.coverage_pct(),
+            self.efficiency_pct(),
+            self.total,
+            self.detected,
+            self.untestable,
+            self.aborted,
+            self.constrained,
+            self.undetected
+        )?;
+        for (c, n) in &self.class_histogram {
+            writeln!(f, "  class {c}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultUniverse;
+    use occ_netlist::NetlistBuilder;
+
+    fn small_list() -> FaultList {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.and2(a, c);
+        b.output("y", g);
+        FaultList::new(FaultUniverse::stuck_at(&b.finish().unwrap()))
+    }
+
+    #[test]
+    fn detection_is_monotone() {
+        let mut list = small_list();
+        let f = list.faults()[0];
+        list.set_status(f, FaultStatus::Detected { pattern: 3 });
+        list.set_status(f, FaultStatus::Aborted);
+        assert!(list.status(f).is_detected());
+    }
+
+    #[test]
+    fn report_adds_up() {
+        let mut list = small_list();
+        let faults: Vec<_> = list.faults().to_vec();
+        assert_eq!(faults.len(), 4);
+        list.set_status(faults[0], FaultStatus::Detected { pattern: 0 });
+        list.set_status(faults[1], FaultStatus::Untestable);
+        list.set_status(faults[2], FaultStatus::Aborted);
+        let r = list.report();
+        assert_eq!(r.total, 4);
+        assert_eq!(r.detected, 1);
+        assert_eq!(r.untestable, 1);
+        assert_eq!(r.aborted, 1);
+        assert_eq!(r.undetected, 1);
+        assert!((r.coverage_pct() - 25.0).abs() < 1e-9);
+        assert!((r.efficiency_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_histogram_counts_undetected_only() {
+        let mut list = small_list();
+        let faults: Vec<_> = list.faults().to_vec();
+        list.set_class(faults[0], FaultClass::CrossDomain);
+        list.set_class(faults[1], FaultClass::CrossDomain);
+        list.set_status(faults[1], FaultStatus::Detected { pattern: 0 });
+        let r = list.report();
+        assert_eq!(r.class_histogram[&FaultClass::CrossDomain], 1);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let list = small_list();
+        let text = list.report().to_string();
+        assert!(text.contains("total 4"));
+        assert!(text.contains("coverage 0.00%"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Fault-universe enumeration over a netlist.
+
+use crate::collapse::collapse;
+use crate::{Fault, FaultModel, FaultSite, Polarity};
+use occ_netlist::{CellKind, Netlist};
+
+/// The set of faults targeted for a netlist: the uncollapsed universe
+/// size plus the collapsed representative list actually driven through
+/// ATPG/fault simulation.
+///
+/// Fault sites follow the paper's convention ("two faults at each gate
+/// terminal"): every logic net (cell output) and every input pin of
+/// multi-input gates. Clock-path primitives (latches, clock-gating
+/// cells) and RAM internals are excluded — they are tested by the
+/// protocol-level tests, not by scan ATPG.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    model: FaultModel,
+    faults: Vec<Fault>,
+    total_uncollapsed: usize,
+}
+
+impl FaultUniverse {
+    /// Enumerates and collapses the stuck-at universe.
+    pub fn stuck_at(netlist: &Netlist) -> Self {
+        Self::build(netlist, FaultModel::StuckAt)
+    }
+
+    /// Enumerates and collapses the transition universe.
+    ///
+    /// Uses the same sites and collapsing as stuck-at, so
+    /// `transition(nl).faults().len() == stuck_at(nl).faults().len()` —
+    /// matching the paper's statement that the collapsed counts are
+    /// identical.
+    pub fn transition(netlist: &Netlist) -> Self {
+        Self::build(netlist, FaultModel::Transition)
+    }
+
+    fn build(netlist: &Netlist, model: FaultModel) -> Self {
+        let mut raw = Vec::new();
+        for (id, cell) in netlist.iter() {
+            let kind = cell.kind();
+            if has_output_faults(kind) {
+                raw.push(Fault::new(model, FaultSite::Output(id), Polarity::P0));
+                raw.push(Fault::new(model, FaultSite::Output(id), Polarity::P1));
+            }
+            if multi_input_gate(kind) {
+                for pin in 0..cell.inputs().len() {
+                    let site = FaultSite::Input {
+                        cell: id,
+                        pin: pin as u8,
+                    };
+                    raw.push(Fault::new(model, site, Polarity::P0));
+                    raw.push(Fault::new(model, site, Polarity::P1));
+                }
+            }
+        }
+        let total_uncollapsed = raw.len();
+        let faults = collapse(netlist, &raw);
+        FaultUniverse {
+            model,
+            faults,
+            total_uncollapsed,
+        }
+    }
+
+    /// The fault model of this universe.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Collapsed representative faults, in deterministic order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults before collapsing.
+    pub fn total_uncollapsed(&self) -> usize {
+        self.total_uncollapsed
+    }
+}
+
+/// Cells whose output net carries target faults.
+fn has_output_faults(kind: CellKind) -> bool {
+    match kind {
+        CellKind::Input
+        | CellKind::Buf
+        | CellKind::Not
+        | CellKind::And
+        | CellKind::Nand
+        | CellKind::Or
+        | CellKind::Nor
+        | CellKind::Xor
+        | CellKind::Xnor
+        | CellKind::Mux2
+        | CellKind::RamOut { .. } => true,
+        k if k.is_flop() => true,
+        _ => false,
+    }
+}
+
+/// Gates whose input pins are separate fault sites (fanout branches).
+fn multi_input_gate(kind: CellKind) -> bool {
+    matches!(
+        kind,
+        CellKind::And
+            | CellKind::Nand
+            | CellKind::Or
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor
+            | CellKind::Mux2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn counts_match_paper_convention() {
+        // inv chain: a -> not -> not -> PO: nets a, n1, n2 = 6 faults
+        // uncollapsed; collapsing merges the whole chain into 2.
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let n1 = b.not(a);
+        let n2 = b.not(n1);
+        b.output("y", n2);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        assert_eq!(uni.total_uncollapsed(), 6);
+        assert_eq!(uni.faults().len(), 2);
+    }
+
+    #[test]
+    fn transition_count_equals_stuck_count() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.and2(a, c);
+        let g2 = b.or2(g1, a);
+        let g3 = b.xor2(g1, g2);
+        b.output("y", g3);
+        let nl = b.finish().unwrap();
+        let sa = FaultUniverse::stuck_at(&nl);
+        let tf = FaultUniverse::transition(&nl);
+        assert_eq!(sa.faults().len(), tf.faults().len());
+        assert!(tf
+            .faults()
+            .iter()
+            .all(|f| f.model() == FaultModel::Transition));
+    }
+
+    #[test]
+    fn excluded_kinds_carry_no_faults() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let en = b.input("en");
+        let cg = b.clock_gate(clk, en);
+        let lt = b.latch_low(en, clk);
+        let g = b.and2(cg, lt);
+        b.output("y", g);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        for f in uni.faults() {
+            let cell = f.site().effect_cell();
+            let kind = nl.cell(cell).kind();
+            assert!(
+                !matches!(kind, CellKind::ClockGate | CellKind::LatchLow),
+                "clock-path primitive carries fault {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_branches_are_distinct_sites() {
+        // A stem with two AND branches: branch pin faults must survive
+        // collapsing as distinct (they are not equivalent to the stem).
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(a, x);
+        let g2 = b.and2(a, y);
+        b.output("o1", g1);
+        b.output("o2", g2);
+        let nl = b.finish().unwrap();
+        let uni = FaultUniverse::stuck_at(&nl);
+        // sa1 faults on the two branches of stem `a` must both survive as
+        // pin faults (sa0 collapses into each gate's output sa0; the
+        // x/y pins collapse onto out(x)/out(y) because those drivers
+        // have a single fanout).
+        let branch_sa1 = uni
+            .faults()
+            .iter()
+            .filter(|f| {
+                matches!(f.site(), FaultSite::Input { cell, pin: 0 } if cell == g1 || cell == g2)
+                    && f.polarity() == Polarity::P1
+            })
+            .count();
+        assert_eq!(branch_sa1, 2); // the `a` branch into each gate
+    }
+}

@@ -1,0 +1,585 @@
+//! PPSFP: parallel-pattern single-fault propagation.
+//!
+//! For each fault, the good-machine batch is perturbed at the fault site
+//! and the difference is propagated event-wise, level by level, through
+//! each capture frame; flop-state differences carry across frames.
+//! Detection requires a *definite* good/faulty difference at a scan flop
+//! captured by the procedure or at an observed primary output — plus,
+//! for transition faults, the launch condition (the site must toggle
+//! into the faulty polarity between the launch and capture frames).
+
+use crate::goodsim::GoodBatch;
+use crate::pval::{eval_packed, PVal};
+use crate::{CaptureModel, FrameSpec};
+use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
+use occ_netlist::{CellId, CellKind};
+
+/// Reusable PPSFP engine bound to one capture model.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_fault::{Fault, FaultSite, Polarity};
+/// use occ_fsim::{ClockBinding, CaptureModel, FrameSpec, CycleSpec, Pattern,
+///                simulate_good, FaultSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let d = b.input("d");
+/// let se = b.input("se");
+/// let si = b.input("si");
+/// let ff = b.sdff(d, clk, se, si);
+/// b.output("q", ff);
+/// let nl = b.finish()?;
+/// let mut binding = ClockBinding::new();
+/// binding.add_domain("a", clk);
+/// binding.constrain(se, Logic::Zero);
+/// binding.mask(si);
+/// let model = CaptureModel::new(&nl, binding)?;
+///
+/// let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+/// let mut p = Pattern::empty(&model, &spec, 0);
+/// p.pis[0] = vec![Logic::One]; // d = 1
+/// let good = simulate_good(&model, &spec, &[p]);
+///
+/// let mut fsim = FaultSim::new(&model);
+/// let f = Fault::stuck(FaultSite::Output(d), Polarity::P0);
+/// assert_eq!(fsim.detect(&spec, &good, f), 0b1); // captured into ff
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    // Faulty node values with generation stamps (valid when stamp==gen).
+    fval: Vec<PVal>,
+    fstamp: Vec<u32>,
+    gen: u32,
+    // Levelized worklist buckets and enqueue stamps.
+    buckets: Vec<Vec<u32>>,
+    enq: Vec<u32>,
+    // Touched-flop dedup stamps.
+    flop_stamp: Vec<u32>,
+}
+
+impl<'m, 'a> FaultSim<'m, 'a> {
+    /// Creates an engine with scratch space sized for the model.
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        let n = model.netlist().len();
+        let levels = model.netlist().levelization().max_level() as usize + 1;
+        FaultSim {
+            model,
+            fval: vec![PVal::XX; n],
+            fstamp: vec![0; n],
+            gen: 0,
+            buckets: vec![Vec::new(); levels],
+            enq: vec![0; n],
+            flop_stamp: vec![0; model.flops().len()],
+        }
+    }
+
+    /// Returns the detection mask (bit per pattern) for one fault.
+    pub fn detect(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        let site_node = site_node(self.model, fault.site());
+        let frames = spec.frames();
+
+        // Launch requirement for transition faults.
+        let launch_mask = match fault.model() {
+            FaultModel::StuckAt => good.valid_mask,
+            FaultModel::Transition => {
+                if frames < 2 {
+                    return 0;
+                }
+                let before = good.frames[frames - 2][site_node.index()];
+                let after = good.frames[frames - 1][site_node.index()];
+                let m = match fault.polarity() {
+                    Polarity::P0 => before.def0() & after.def1(), // slow-to-rise
+                    Polarity::P1 => before.def1() & after.def0(), // slow-to-fall
+                };
+                m & good.valid_mask
+            }
+        };
+        if launch_mask == 0 {
+            return 0;
+        }
+
+        let first_active = match fault.model() {
+            FaultModel::StuckAt => 1,
+            FaultModel::Transition => frames,
+        };
+
+        let mut fstate: Vec<(u32, PVal)> = Vec::new();
+        let mut po_diff = 0u64;
+
+        for k in first_active..=frames {
+            let active = match fault.model() {
+                FaultModel::StuckAt => true,
+                FaultModel::Transition => k == frames,
+            };
+            if !active && fstate.is_empty() {
+                continue;
+            }
+
+            self.gen += 1;
+            let gvals = &good.frames[k - 1];
+            let mut touched_flops: Vec<u32> = Vec::new();
+
+            // Seed 1: carried-in state differences.
+            let carried: Vec<(u32, PVal)> = fstate.clone();
+            for (fi, fv) in carried {
+                let cell = self.model.flops()[fi as usize].cell;
+                self.fval[cell.index()] = fv;
+                self.fstamp[cell.index()] = self.gen;
+                self.push_fanouts(cell, &mut touched_flops);
+            }
+
+            // Seed 2: the fault site.
+            if active {
+                match fault.site() {
+                    FaultSite::Output(c) => {
+                        let forced = forced_val(fault.polarity());
+                        self.fval[c.index()] = forced;
+                        self.fstamp[c.index()] = self.gen;
+                        if forced != gvals[c.index()] {
+                            self.push_fanouts(c, &mut touched_flops);
+                        }
+                    }
+                    FaultSite::Input { cell, .. } => {
+                        // Evaluate the consuming cell with the pin forced.
+                        let v = self.eval_faulty(cell, gvals, Some(fault));
+                        if v != gvals[cell.index()] {
+                            self.fval[cell.index()] = v;
+                            self.fstamp[cell.index()] = self.gen;
+                            self.push_fanouts(cell, &mut touched_flops);
+                        }
+                    }
+                }
+            }
+
+            // Propagate level by level.
+            for lvl in 0..self.buckets.len() {
+                while let Some(raw) = self.bucket_pop(lvl) {
+                    let id = CellId::from_index(raw as usize);
+                    // The forced output site never re-evaluates.
+                    if active && fault.site() == FaultSite::Output(id) {
+                        continue;
+                    }
+                    let pin_fault = match fault.site() {
+                        FaultSite::Input { cell, .. } if active && cell == id => Some(fault),
+                        _ => None,
+                    };
+                    let was_stamped = self.fstamp[id.index()] == self.gen;
+                    let v = self.eval_faulty(id, gvals, pin_fault);
+                    if was_stamped {
+                        // Re-evaluation of an already-seeded node (an
+                        // input-site cell reached again from upstream):
+                        // refresh and re-notify; dedup keeps this cheap.
+                        self.fval[id.index()] = v;
+                        self.push_fanouts(id, &mut touched_flops);
+                    } else if v != gvals[id.index()] {
+                        self.fval[id.index()] = v;
+                        self.fstamp[id.index()] = self.gen;
+                        self.push_fanouts(id, &mut touched_flops);
+                    }
+                }
+            }
+
+            // Primary-output observation.
+            if spec.po_observe_frames().contains(&k) {
+                for &po in self.model.primary_outputs() {
+                    if self.fstamp[po.index()] == self.gen {
+                        po_diff |= gvals[po.index()].definite_diff(self.fval[po.index()]);
+                    }
+                }
+            }
+
+            // Next faulty state.
+            let cycle = &spec.cycles()[k - 1];
+            let mut next: Vec<(u32, PVal)> = Vec::new();
+            let mut candidates: Vec<u32> = fstate.iter().map(|&(fi, _)| fi).collect();
+            candidates.extend(touched_flops.iter().copied());
+            candidates.sort_unstable();
+            candidates.dedup();
+            let prev_state_diffs: std::collections::HashMap<u32, PVal> =
+                fstate.iter().copied().collect();
+            for fi in candidates {
+                let info = self.model.flops()[fi as usize];
+                let good_next = good.states[k][fi as usize];
+                let faulty_next = if cycle.pulses_domain(info.domain) {
+                    let sampled = self.sample_flop_faulty(info.cell, gvals);
+                    self.apply_reset_faulty(info.cell, gvals, sampled)
+                } else {
+                    prev_state_diffs
+                        .get(&fi)
+                        .copied()
+                        .unwrap_or(good.states[k - 1][fi as usize])
+                };
+                if faulty_next != good_next {
+                    next.push((fi, faulty_next));
+                }
+            }
+            fstate = next;
+        }
+
+        // Detection: scan-state differences at unload + observed POs.
+        let mut detect = po_diff;
+        let final_state: std::collections::HashMap<u32, PVal> = fstate.into_iter().collect();
+        for &fi in self.model.scan_flops() {
+            let good_v = good.states[frames][fi as usize];
+            let mut faulty_v = final_state.get(&fi).copied().unwrap_or(good_v);
+            // A *stuck* output on the scan flop itself is observed
+            // directly during unload (the chain reads the Q net). A
+            // transition fault is not: unload shifting is slow, so the
+            // slow edge has settled by the time the chain samples.
+            if fault.model() == FaultModel::StuckAt {
+                if let FaultSite::Output(c) = fault.site() {
+                    if c == self.model.flops()[fi as usize].cell {
+                        faulty_v = forced_val(fault.polarity());
+                    }
+                }
+            }
+            detect |= good_v.definite_diff(faulty_v);
+        }
+
+        detect & launch_mask & good.valid_mask
+    }
+
+    /// Detects a batch of faults, returning one mask per fault.
+    pub fn detect_many(
+        &mut self,
+        spec: &FrameSpec,
+        good: &GoodBatch,
+        faults: &[Fault],
+    ) -> Vec<u64> {
+        faults
+            .iter()
+            .map(|&f| self.detect(spec, good, f))
+            .collect()
+    }
+
+    /// Evaluates one cell with faulty input values (and an optional pin
+    /// override for an active input-site fault on this cell).
+    fn eval_faulty(&self, id: CellId, gvals: &[PVal], pin_fault: Option<Fault>) -> PVal {
+        let cell = self.model.netlist().cell(id);
+        let kind = cell.kind();
+        if !kind.is_combinational() {
+            // Flop/latch/ram nodes keep their frame value.
+            return if self.fstamp[id.index()] == self.gen {
+                self.fval[id.index()]
+            } else {
+                gvals[id.index()]
+            };
+        }
+        let mut ins: Vec<PVal> = Vec::with_capacity(cell.inputs().len());
+        for &src in cell.inputs() {
+            ins.push(if self.fstamp[src.index()] == self.gen {
+                self.fval[src.index()]
+            } else {
+                gvals[src.index()]
+            });
+        }
+        if let Some(f) = pin_fault {
+            if let FaultSite::Input { pin, .. } = f.site() {
+                ins[pin as usize] = forced_val(f.polarity());
+            }
+        }
+        eval_packed(kind, &ins).unwrap_or(PVal::XX)
+    }
+
+    fn sample_flop_faulty(&self, flop: CellId, gvals: &[PVal]) -> PVal {
+        let cell = self.model.netlist().cell(flop);
+        let read = |src: CellId| {
+            if self.fstamp[src.index()] == self.gen {
+                self.fval[src.index()]
+            } else {
+                gvals[src.index()]
+            }
+        };
+        match cell.kind() {
+            CellKind::Sdff | CellKind::SdffRl => {
+                let d = read(cell.inputs()[0]);
+                let se = read(cell.inputs()[2]);
+                let si = read(cell.inputs()[3]);
+                PVal::mux2(se, d, si)
+            }
+            _ => read(cell.inputs()[0]),
+        }
+    }
+
+    fn apply_reset_faulty(&self, flop: CellId, gvals: &[PVal], state: PVal) -> PVal {
+        let cell = self.model.netlist().cell(flop);
+        let Some(rpin) = cell.reset() else {
+            return state;
+        };
+        let rv = if self.fstamp[rpin.index()] == self.gen {
+            self.fval[rpin.index()]
+        } else {
+            gvals[rpin.index()]
+        };
+        let active = match cell.kind() {
+            CellKind::DffRh => rv.def1(),
+            _ => rv.def0(),
+        };
+        let state = state.force(active, false);
+        state.blend(PVal::XX, rv.x & !state.def0())
+    }
+
+    fn push_fanouts(&mut self, id: CellId, touched_flops: &mut Vec<u32>) {
+        let netlist = self.model.netlist();
+        let lev = netlist.levelization();
+        for &f in netlist.fanouts(id) {
+            let kind = netlist.cell(f).kind();
+            if kind.is_flop() {
+                if let Some(fi) = self.model.flop_index(f) {
+                    if self.flop_stamp[fi] != self.gen {
+                        self.flop_stamp[fi] = self.gen;
+                        touched_flops.push(fi as u32);
+                    }
+                }
+            } else if kind.is_combinational() {
+                if self.enq[f.index()] != self.gen {
+                    self.enq[f.index()] = self.gen;
+                    self.buckets[lev.level(f) as usize].push(f.index() as u32);
+                }
+            }
+        }
+    }
+
+    fn bucket_pop(&mut self, lvl: usize) -> Option<u32> {
+        self.buckets[lvl].pop()
+    }
+}
+
+/// The node whose good value defines the fault site's value: the cell
+/// itself for output faults, the driving net for input-pin faults.
+pub(crate) fn site_node(model: &CaptureModel<'_>, site: FaultSite) -> CellId {
+    match site {
+        FaultSite::Output(c) => c,
+        FaultSite::Input { cell, pin } => model.netlist().cell(cell).inputs()[pin as usize],
+    }
+}
+
+fn forced_val(p: Polarity) -> PVal {
+    match p {
+        Polarity::P0 => PVal::ZERO,
+        Polarity::P1 => PVal::ONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_good, ClockBinding, CycleSpec, Pattern};
+    use occ_netlist::{Logic, NetlistBuilder};
+
+    /// One scan flop feeding AND with a PI, captured by a second flop.
+    struct Rig {
+        nl: occ_netlist::Netlist,
+        clk: CellId,
+        d_pi: CellId,
+        g: CellId,
+        f1: CellId,
+    }
+
+    fn rig() -> Rig {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d_pi = b.input("d");
+        let f0 = b.sdff(d_pi, clk, se, si);
+        let g = b.and2(f0, d_pi);
+        let f1 = b.sdff(g, clk, se, f0);
+        b.output("q", f1);
+        b.name_cell(f0, "f0");
+        b.name_cell(f1, "f1");
+        Rig {
+            nl: b.finish().unwrap(),
+            clk,
+            d_pi,
+            g,
+            f1,
+        }
+    }
+
+    fn model(r: &Rig) -> CaptureModel<'_> {
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", r.clk);
+        binding.constrain(r.nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(r.nl.find("si").unwrap());
+        CaptureModel::new(&r.nl, binding).unwrap()
+    }
+
+    #[test]
+    fn stuck_at_detected_when_activated() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        // Pattern: f0=1, d=1 -> g=1 good; g sa0 -> f1 captures 0.
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::Zero];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let det = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P0),
+        );
+        assert_eq!(det, 1);
+        // sa1 not activated by this pattern (good value is already 1).
+        let det1 = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P1),
+        );
+        assert_eq!(det1, 0);
+    }
+
+    #[test]
+    fn input_pin_fault_is_branch_local() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        // d=1 feeds both the AND pin and f0's D. A branch fault on the
+        // AND pin (sa0) kills g but not the other branch.
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::One];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let det = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(
+                FaultSite::Input {
+                    cell: r.g,
+                    pin: 1,
+                },
+                Polarity::P0,
+            ),
+        );
+        assert_eq!(det, 1, "branch fault propagates to f1");
+    }
+
+    #[test]
+    fn po_masking_blocks_detection() {
+        // Fault whose only observation point is the PO.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let f0 = b.sdff(d, clk, se, si);
+        let g = b.not(f0);
+        b.output("q", g);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+
+        let observe = FrameSpec::new("o", vec![CycleSpec::pulsing(&[0])]);
+        let masked = FrameSpec::new("m", vec![CycleSpec::pulsing(&[0])]).observe_po(false);
+        let mut p = Pattern::empty(&m, &observe, 0);
+        p.scan_load = vec![Logic::One];
+        let fault = Fault::stuck(FaultSite::Output(g), Polarity::P1);
+
+        let good_o = simulate_good(&m, &observe, std::slice::from_ref(&p));
+        let mut fsim = FaultSim::new(&m);
+        assert_eq!(fsim.detect(&observe, &good_o, fault), 1);
+
+        let good_m = simulate_good(&m, &masked, &[p]);
+        assert_eq!(fsim.detect(&masked, &good_m, fault), 0);
+    }
+
+    #[test]
+    fn transition_needs_launch() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new(
+            "loc",
+            vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[0])],
+        )
+        .hold_pi(true)
+        .observe_po(false);
+        // Load f0=0, d=1: frame1 g=0; f0 captures 1 -> frame2 g=1:
+        // slow-to-rise at g is launched and captured into f1.
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::Zero, Logic::X];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p.clone()]);
+        let mut fsim = FaultSim::new(&m);
+        let str_fault = Fault::transition(FaultSite::Output(r.g), Polarity::P0);
+        assert_eq!(fsim.detect(&spec, &good, str_fault), 1);
+
+        // Slow-to-fall is not launched by this pattern (no 1->0).
+        let stf_fault = Fault::transition(FaultSite::Output(r.g), Polarity::P1);
+        assert_eq!(fsim.detect(&spec, &good, stf_fault), 0);
+
+        // Launch without capture-frame effect: load f0=1 (g stays 1,
+        // no transition) -> no detection.
+        let mut p2 = Pattern::empty(&m, &spec, 0);
+        p2.scan_load = vec![Logic::One, Logic::X];
+        p2.pis[0] = vec![Logic::One];
+        let good2 = simulate_good(&m, &spec, &[p2]);
+        assert_eq!(fsim.detect(&spec, &good2, str_fault), 0);
+    }
+
+    #[test]
+    fn multi_frame_stuck_at_propagates_through_state() {
+        // Fault effect captured in frame 1 must be observable after
+        // frame 2 even though the site is no longer perturbed there.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let f0 = b.sdff(d, clk, se, si); // captures d
+        let f1 = b.sdff(f0, clk, se, f0); // shift behind it
+        b.output("q", f1);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("s2", vec![CycleSpec::pulsing(&[0]); 2]).hold_pi(true);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::Zero, Logic::Zero];
+        p.pis[0] = vec![Logic::One]; // d=1 held
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        // d sa0: f0 captures 0 instead of 1 in both frames; after frame 2
+        // f1 holds the frame-1 corruption.
+        let det = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(d), Polarity::P0),
+        );
+        assert_eq!(det, 1);
+    }
+
+    #[test]
+    fn detection_respects_valid_mask() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::Zero];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        assert_eq!(good.valid_mask, 1);
+        let mut fsim = FaultSim::new(&m);
+        let det = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(r.d_pi), Polarity::P0),
+        );
+        assert_eq!(det & !good.valid_mask, 0);
+        let _ = r.f1;
+    }
+}

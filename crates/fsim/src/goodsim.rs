@@ -1,0 +1,322 @@
+//! Batched (64-pattern) good-machine simulation of a capture procedure.
+
+use crate::pval::{eval_packed, PVal};
+use crate::{CaptureModel, FrameSpec, Pattern};
+use occ_netlist::{CellKind, Logic};
+
+/// Good-machine values for a batch of up to 64 patterns under one
+/// capture procedure.
+///
+/// * `frames[k-1][cell]` — node values of combinational frame `k`
+///   (1-based); flop nodes carry the state *entering* the frame.
+/// * `states[k][flop]` — flop states after cycle `k`; `states[0]` is the
+///   scan load (non-scan flops start `X`).
+#[derive(Debug, Clone)]
+pub struct GoodBatch {
+    /// Number of real patterns in the batch (≤ 64).
+    pub n_patterns: usize,
+    /// Mask with one bit per real pattern.
+    pub valid_mask: u64,
+    /// Per-frame node values.
+    pub frames: Vec<Vec<PVal>>,
+    /// Flop states; index 0 is the load state.
+    pub states: Vec<Vec<PVal>>,
+}
+
+/// Simulates up to 64 patterns (all using procedure `spec`) and returns
+/// the full good-machine view.
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are passed, or a pattern's shape does
+/// not match the model/spec.
+pub fn simulate_good(model: &CaptureModel<'_>, spec: &FrameSpec, patterns: &[Pattern]) -> GoodBatch {
+    assert!(patterns.len() <= 64, "PPSFP batch limit is 64 patterns");
+    assert!(!patterns.is_empty(), "empty batch");
+    let n_flops = model.flops().len();
+    let valid_mask = if patterns.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << patterns.len()) - 1
+    };
+
+    // Load state.
+    let mut state0 = vec![PVal::XX; n_flops];
+    for (si, &fi) in model.scan_flops().iter().enumerate() {
+        let mut pv = PVal::XX;
+        for (b, p) in patterns.iter().enumerate() {
+            pv = pv.with_slot(b, p.scan_load[si]);
+        }
+        state0[fi as usize] = pv;
+    }
+
+    let mut states = vec![state0];
+    let mut frames = Vec::with_capacity(spec.frames());
+
+    for k in 1..=spec.frames() {
+        let mut vals = base_frame(model, patterns, k);
+        // Flop nodes carry the entering state.
+        for (fi, info) in model.flops().iter().enumerate() {
+            vals[info.cell.index()] = states[k - 1][fi];
+        }
+        eval_frame(model, &mut vals);
+
+        // Next state.
+        let cycle = &spec.cycles()[k - 1];
+        let mut next = states[k - 1].clone();
+        for (fi, info) in model.flops().iter().enumerate() {
+            if cycle.pulses_domain(info.domain) {
+                next[fi] = sample_flop(model, &vals, info.cell);
+            }
+            next[fi] = apply_reset(model, &vals, info.cell, next[fi]);
+        }
+        states.push(next);
+        frames.push(vals);
+    }
+
+    GoodBatch {
+        n_patterns: patterns.len(),
+        valid_mask,
+        frames,
+        states,
+    }
+}
+
+/// Builds the frame-independent baseline: PIs, constraints, masks, ties.
+pub(crate) fn base_frame(
+    model: &CaptureModel<'_>,
+    patterns: &[Pattern],
+    frame: usize,
+) -> Vec<PVal> {
+    let n_cells = model.netlist().len();
+    let mut vals = vec![PVal::XX; n_cells];
+    for (id, cell) in model.netlist().iter() {
+        match cell.kind() {
+            CellKind::Tie0 => vals[id.index()] = PVal::ZERO,
+            CellKind::Tie1 => vals[id.index()] = PVal::ONE,
+            _ => {}
+        }
+    }
+    for &(c, v) in model.forced() {
+        vals[c.index()] = PVal::splat(v);
+    }
+    for &c in model.masked() {
+        vals[c.index()] = PVal::XX;
+    }
+    for (pi_idx, &pi) in model.free_pis().iter().enumerate() {
+        let mut pv = PVal::XX;
+        for (b, p) in patterns.iter().enumerate() {
+            pv = pv.with_slot(b, p.pis_for_frame(frame)[pi_idx]);
+        }
+        vals[pi.index()] = pv;
+    }
+    vals
+}
+
+/// Evaluates all combinational cells of a frame in levelized order.
+pub(crate) fn eval_frame(model: &CaptureModel<'_>, vals: &mut [PVal]) {
+    let netlist = model.netlist();
+    let mut ins: Vec<PVal> = Vec::with_capacity(8);
+    for &id in netlist.levelization().order() {
+        let cell = netlist.cell(id);
+        ins.clear();
+        for &src in cell.inputs() {
+            ins.push(vals[src.index()]);
+        }
+        if let Some(v) = eval_packed(cell.kind(), &ins) {
+            vals[id.index()] = v;
+        }
+    }
+}
+
+/// The value a flop captures from the frame: functional D, or the scan
+/// mux when the (constrained) scan enable is not zero.
+pub(crate) fn sample_flop(
+    model: &CaptureModel<'_>,
+    vals: &[PVal],
+    flop: occ_netlist::CellId,
+) -> PVal {
+    let cell = model.netlist().cell(flop);
+    match cell.kind() {
+        CellKind::Sdff | CellKind::SdffRl => {
+            let d = vals[cell.inputs()[0].index()];
+            let se = vals[cell.inputs()[2].index()];
+            let si = vals[cell.inputs()[3].index()];
+            PVal::mux2(se, d, si)
+        }
+        _ => vals[cell.inputs()[0].index()],
+    }
+}
+
+/// Applies asynchronous-reset semantics to a captured state.
+pub(crate) fn apply_reset(
+    model: &CaptureModel<'_>,
+    vals: &[PVal],
+    flop: occ_netlist::CellId,
+    state: PVal,
+) -> PVal {
+    let cell = model.netlist().cell(flop);
+    let Some(rpin) = cell.reset() else {
+        return state;
+    };
+    let rv = vals[rpin.index()];
+    let active = match cell.kind() {
+        CellKind::DffRh => rv.def1(),
+        _ => rv.def0(), // DffRl / SdffRl: active low
+    };
+    let unknown = rv.x;
+    let state = state.force(active, false);
+    // Where the reset *might* be active and the state isn't already 0,
+    // the state is unknown.
+    state.blend(PVal::XX, unknown & !state.def0())
+}
+
+/// Scalar (single-pattern) good simulation — the reference the packed
+/// path is property-tested against, and the workhorse for PODEM's
+/// final-pattern verification.
+pub fn simulate_good_scalar(
+    model: &CaptureModel<'_>,
+    spec: &FrameSpec,
+    pattern: &Pattern,
+) -> (Vec<Vec<Logic>>, Vec<Vec<Logic>>) {
+    let batch = simulate_good(model, spec, std::slice::from_ref(pattern));
+    let frames = batch
+        .frames
+        .iter()
+        .map(|f| f.iter().map(|p| p.slot(0)).collect())
+        .collect();
+    let states = batch
+        .states
+        .iter()
+        .map(|s| s.iter().map(|p| p.slot(0)).collect())
+        .collect();
+    (frames, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockBinding, CycleSpec};
+    use occ_netlist::NetlistBuilder;
+
+    /// Two-domain toy: dom-A flop feeds an inverter into dom-B flop.
+    fn two_domain() -> (
+        occ_netlist::Netlist,
+        occ_netlist::CellId,
+        occ_netlist::CellId,
+    ) {
+        let mut b = NetlistBuilder::new("t");
+        let cka = b.input("cka");
+        let ckb = b.input("ckb");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let fa = b.sdff(d, cka, se, si);
+        let inv = b.not(fa);
+        let fb = b.sdff(inv, ckb, se, fa);
+        b.output("q", fb);
+        b.name_cell(fa, "fa");
+        b.name_cell(fb, "fb");
+        (b.finish().unwrap(), cka, ckb)
+    }
+
+    fn model_of(
+        nl: &occ_netlist::Netlist,
+        cka: occ_netlist::CellId,
+        ckb: occ_netlist::CellId,
+    ) -> CaptureModel<'_> {
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", cka);
+        binding.add_domain("b", ckb);
+        let se = nl.find("se").unwrap();
+        binding.constrain(se, Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        CaptureModel::new(nl, binding).unwrap()
+    }
+
+    #[test]
+    fn scan_load_appears_in_frame_one() {
+        let (nl, cka, ckb) = two_domain();
+        let model = model_of(&nl, cka, ckb);
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0, 1])]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::Zero];
+        let g = simulate_good(&model, &spec, &[p]);
+        let fa = nl.find("fa").unwrap();
+        let fb = nl.find("fb").unwrap();
+        assert_eq!(g.frames[0][fa.index()].slot(0), Logic::One);
+        assert_eq!(g.frames[0][fb.index()].slot(0), Logic::Zero);
+    }
+
+    #[test]
+    fn only_pulsed_domain_captures() {
+        let (nl, cka, ckb) = two_domain();
+        let model = model_of(&nl, cka, ckb);
+        // Pulse only domain B: fb captures !fa, fa holds.
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[1])]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::One];
+        p.pis[0] = vec![Logic::Zero]; // d
+        let g = simulate_good(&model, &spec, &[p]);
+        // states[1]: fa held (1), fb captured !1 = 0.
+        assert_eq!(g.states[1][0].slot(0), Logic::One);
+        assert_eq!(g.states[1][1].slot(0), Logic::Zero);
+    }
+
+    #[test]
+    fn two_frames_chain_captures() {
+        let (nl, cka, ckb) = two_domain();
+        let model = model_of(&nl, cka, ckb);
+        // Frame 1: pulse A (fa <- d); frame 2: pulse B (fb <- !fa).
+        let spec = FrameSpec::new(
+            "p",
+            vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[1])],
+        )
+        .hold_pi(true);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        p.scan_load = vec![Logic::Zero, Logic::Zero];
+        p.pis[0] = vec![Logic::One]; // d=1
+        let g = simulate_good(&model, &spec, &[p]);
+        assert_eq!(g.states[1][0].slot(0), Logic::One); // fa captured d
+        assert_eq!(g.states[2][1].slot(0), Logic::Zero); // fb captured !fa
+    }
+
+    #[test]
+    fn non_scan_flops_start_x() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let nf = b.dff(d, clk);
+        let g = b.buf(nf);
+        b.output("q", g);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0]); 2]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        for f in &mut p.pis {
+            f[0] = Logic::One;
+        }
+        let gb = simulate_good(&model, &spec, &[p]);
+        // Frame 1 sees X (uninitialized), frame 2 sees the captured 1.
+        assert_eq!(gb.frames[0][nf.index()].slot(0), Logic::X);
+        assert_eq!(gb.frames[1][nf.index()].slot(0), Logic::One);
+    }
+
+    #[test]
+    fn batch_slots_are_independent() {
+        let (nl, cka, ckb) = two_domain();
+        let model = model_of(&nl, cka, ckb);
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0, 1])]);
+        let mut p0 = Pattern::empty(&model, &spec, 0);
+        p0.scan_load = vec![Logic::One, Logic::Zero];
+        let mut p1 = Pattern::empty(&model, &spec, 0);
+        p1.scan_load = vec![Logic::Zero, Logic::Zero];
+        let g = simulate_good(&model, &spec, &[p0, p1]);
+        assert_eq!(g.valid_mask, 0b11);
+        let fa = nl.find("fa").unwrap();
+        assert_eq!(g.frames[0][fa.index()].slot(0), Logic::One);
+        assert_eq!(g.frames[0][fa.index()].slot(1), Logic::Zero);
+    }
+}

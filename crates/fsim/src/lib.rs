@@ -1,0 +1,36 @@
+//! # occ-fsim — parallel-pattern fault simulation over capture models
+//!
+//! The fault-grading substrate of the workspace: a 64-bit
+//! parallel-pattern single-fault-propagation (PPSFP) simulator in the
+//! tradition of Waicukauski et al. (the paper's reference \[3\]),
+//! generalized to the **multi-frame capture procedures** the paper's
+//! on-chip clock generation produces:
+//!
+//! * a [`CaptureModel`] binds a netlist to clock domains and test
+//!   constraints (scan enable held, resets inactive, masked sources);
+//! * a [`FrameSpec`] describes one named capture procedure — how many
+//!   cycles, which domains pulse when, whether PIs may change and POs
+//!   are strobed;
+//! * [`simulate_good`] runs up to 64 [`Pattern`]s through the procedure
+//!   at once; [`FaultSim`] propagates each fault's difference and
+//!   reports per-pattern detection masks, honouring transition-fault
+//!   launch conditions.
+//!
+//! The ATPG engine (`occ-atpg`) runs on the same model types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod faultsim;
+mod goodsim;
+mod model;
+mod pattern;
+mod pval;
+mod spec;
+
+pub use faultsim::FaultSim;
+pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};
+pub use model::{CaptureModel, ClockBinding, FlopInfo, ModelError};
+pub use pattern::{Pattern, PatternSet};
+pub use pval::{eval_packed, PVal};
+pub use spec::{CycleSpec, DomainId, FrameSpec};

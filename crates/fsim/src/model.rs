@@ -1,0 +1,371 @@
+//! The capture model: a netlist bound to clock domains and test
+//! constraints, ready for multi-frame simulation and ATPG.
+
+use crate::DomainId;
+use occ_netlist::{CellId, CellKind, Logic, Netlist};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Binding of a netlist to its test configuration: which input ports are
+/// clocks (one per functional domain), which are constrained to fixed
+/// values during capture (scan enable, resets, test mode), and which
+/// signals are masked to `X` (e.g. bidirectional-pad feedback legs that
+/// the ATE constraints forbid using).
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_fsim::{ClockBinding, CaptureModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let d = b.input("d");
+/// let se = b.input("se");
+/// let si = b.input("si");
+/// let ff = b.sdff(d, clk, se, si);
+/// b.output("q", ff);
+/// let nl = b.finish()?;
+///
+/// let mut binding = ClockBinding::new();
+/// binding.add_domain("clk_a", clk);
+/// binding.constrain(se, Logic::Zero);
+/// binding.mask(si);
+/// let model = CaptureModel::new(&nl, binding)?;
+/// assert_eq!(model.flops().len(), 1);
+/// assert_eq!(model.free_pis(), &[d]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClockBinding {
+    domains: Vec<(String, CellId)>,
+    constraints: Vec<(CellId, Logic)>,
+    masked: Vec<CellId>,
+}
+
+impl ClockBinding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        ClockBinding::default()
+    }
+
+    /// Declares a clock domain driven from the given input port; returns
+    /// its dense id.
+    pub fn add_domain(&mut self, name: &str, clock_port: CellId) -> DomainId {
+        self.domains.push((name.to_owned(), clock_port));
+        self.domains.len() - 1
+    }
+
+    /// Constrains an input port to a fixed value during capture (scan
+    /// enable low, resets inactive, test mode pins...).
+    pub fn constrain(&mut self, port: CellId, value: Logic) {
+        self.constraints.push((port, value));
+    }
+
+    /// Masks a signal to `X` in the capture model (unusable sources such
+    /// as bidi-pad feedback under ATE constraints, scan-in ports...).
+    pub fn mask(&mut self, cell: CellId) {
+        self.masked.push(cell);
+    }
+
+    /// Declared domains.
+    pub fn domains(&self) -> &[(String, CellId)] {
+        &self.domains
+    }
+}
+
+/// Error raised when a netlist cannot be bound into a capture model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A flop's clock pin does not trace back (through buffers) to a
+    /// declared domain clock port.
+    UnresolvedClock {
+        /// The offending flop.
+        flop: CellId,
+    },
+    /// A constrained or masked id is not sensible (e.g. constraining a
+    /// non-input cell).
+    BadConstraint {
+        /// The offending cell.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnresolvedClock { flop } => {
+                write!(f, "flop {flop} clock does not resolve to a declared domain")
+            }
+            ModelError::BadConstraint { cell } => {
+                write!(f, "cell {cell} cannot carry a pin constraint")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Per-flop information in the capture model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlopInfo {
+    /// The flop cell.
+    pub cell: CellId,
+    /// Clock domain that pulses it.
+    pub domain: DomainId,
+    /// True for mux-scan flops (loadable/observable through the chains).
+    pub is_scan: bool,
+}
+
+/// A netlist bound for capture simulation: flops mapped to domains, free
+/// primary inputs separated from constrained ones, sequential boundaries
+/// identified. Shared by the fault simulator and the ATPG engine.
+#[derive(Debug, Clone)]
+pub struct CaptureModel<'a> {
+    netlist: &'a Netlist,
+    binding: ClockBinding,
+    flops: Vec<FlopInfo>,
+    flop_of_cell: HashMap<CellId, u32>,
+    scan_flops: Vec<u32>,
+    free_pis: Vec<CellId>,
+    forced: Vec<(CellId, Logic)>,
+    masked: Vec<CellId>,
+}
+
+impl<'a> CaptureModel<'a> {
+    /// Builds the model, resolving every flop's clock domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnresolvedClock`] if a flop's clock pin
+    /// cannot be traced (through buffers only) to a domain clock port,
+    /// and [`ModelError::BadConstraint`] for constraints on non-input
+    /// cells.
+    pub fn new(netlist: &'a Netlist, binding: ClockBinding) -> Result<Self, ModelError> {
+        let port_domain: HashMap<CellId, DomainId> = binding
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, (_, p))| (*p, i))
+            .collect();
+
+        for (c, _) in &binding.constraints {
+            if netlist.cell(*c).kind() != CellKind::Input {
+                return Err(ModelError::BadConstraint { cell: *c });
+            }
+        }
+
+        let mut flops = Vec::new();
+        let mut flop_of_cell = HashMap::new();
+        let mut scan_flops = Vec::new();
+        for (id, cell) in netlist.iter() {
+            if !cell.kind().is_flop() {
+                continue;
+            }
+            let domain = resolve_clock(netlist, cell.clock(), &port_domain)
+                .ok_or(ModelError::UnresolvedClock { flop: id })?;
+            let is_scan = cell.kind().is_scan_flop();
+            let idx = flops.len() as u32;
+            flops.push(FlopInfo {
+                cell: id,
+                domain,
+                is_scan,
+            });
+            flop_of_cell.insert(id, idx);
+            if is_scan {
+                scan_flops.push(idx);
+            }
+        }
+
+        // Forced values: explicit constraints + clock ports idle low.
+        let mut forced = binding.constraints.clone();
+        for (_, port) in &binding.domains {
+            forced.push((*port, Logic::Zero));
+        }
+
+        let taken: std::collections::HashSet<CellId> = forced
+            .iter()
+            .map(|(c, _)| *c)
+            .chain(binding.masked.iter().copied())
+            .collect();
+        let free_pis: Vec<CellId> = netlist
+            .primary_inputs()
+            .iter()
+            .copied()
+            .filter(|pi| !taken.contains(pi))
+            .collect();
+
+        let masked = binding.masked.clone();
+        Ok(CaptureModel {
+            netlist,
+            binding,
+            flops,
+            flop_of_cell,
+            scan_flops,
+            free_pis,
+            forced,
+            masked,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The binding used to build this model.
+    pub fn binding(&self) -> &ClockBinding {
+        &self.binding
+    }
+
+    /// Number of declared clock domains.
+    pub fn domain_count(&self) -> usize {
+        self.binding.domains.len()
+    }
+
+    /// All flops with their domain/scan info, in model order.
+    pub fn flops(&self) -> &[FlopInfo] {
+        &self.flops
+    }
+
+    /// The model flop index of a flop cell, if it is one.
+    pub fn flop_index(&self, cell: CellId) -> Option<usize> {
+        self.flop_of_cell.get(&cell).map(|&i| i as usize)
+    }
+
+    /// Indices (into [`CaptureModel::flops`]) of scan flops, in scan-load
+    /// order.
+    pub fn scan_flops(&self) -> &[u32] {
+        &self.scan_flops
+    }
+
+    /// Free primary inputs (pattern-controllable), in declaration order.
+    pub fn free_pis(&self) -> &[CellId] {
+        &self.free_pis
+    }
+
+    /// Primary outputs (observability is decided per [`FrameSpec`]).
+    pub fn primary_outputs(&self) -> &[CellId] {
+        self.netlist.primary_outputs()
+    }
+
+    /// `(cell, value)` pairs forced every frame (constraints + idle
+    /// clocks).
+    pub fn forced(&self) -> &[(CellId, Logic)] {
+        &self.forced
+    }
+
+    /// Cells masked to `X` every frame.
+    pub fn masked(&self) -> &[CellId] {
+        &self.masked
+    }
+
+    /// Scan flop cells in scan order (convenience).
+    pub fn scan_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.scan_flops
+            .iter()
+            .map(move |&i| self.flops[i as usize].cell)
+    }
+}
+
+/// Traces a clock pin back through buffers to a domain port.
+fn resolve_clock(
+    netlist: &Netlist,
+    mut cur: CellId,
+    ports: &HashMap<CellId, DomainId>,
+) -> Option<DomainId> {
+    for _ in 0..64 {
+        if let Some(&d) = ports.get(&cur) {
+            return Some(d);
+        }
+        let cell = netlist.cell(cur);
+        match cell.kind() {
+            CellKind::Buf => cur = cell.inputs()[0],
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn domains_resolve_through_buffers() {
+        let mut b = NetlistBuilder::new("t");
+        let cka = b.input("cka");
+        let ckb = b.input("ckb");
+        let buf = b.buf(cka);
+        let d = b.input("d");
+        let f1 = b.dff(d, buf);
+        let f2 = b.dff(f1, ckb);
+        b.output("q", f2);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        let da = binding.add_domain("a", cka);
+        let db = binding.add_domain("b", ckb);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        assert_eq!(m.flops()[0].domain, da);
+        assert_eq!(m.flops()[1].domain, db);
+        assert_eq!(m.domain_count(), 2);
+    }
+
+    #[test]
+    fn unresolved_clock_is_an_error() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let gate = b.and2(clk, clk);
+        let d = b.input("d");
+        let ff = b.dff(d, gate);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        let err = CaptureModel::new(&nl, binding).unwrap_err();
+        assert!(matches!(err, ModelError::UnresolvedClock { .. }));
+    }
+
+    #[test]
+    fn constraints_remove_pis_from_free_list() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let se = b.input("se");
+        let si = b.input("si");
+        let ff = b.sdff(d, clk, se, si);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        assert_eq!(m.free_pis(), &[d]);
+        assert!(m.forced().contains(&(se, Logic::Zero)));
+        assert!(m.forced().contains(&(clk, Logic::Zero)));
+        assert_eq!(m.masked(), &[si]);
+        assert_eq!(m.scan_flops().len(), 1);
+        assert_eq!(m.flop_index(ff), Some(0));
+    }
+
+    #[test]
+    fn constraining_a_gate_is_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let g = b.and2(d, d);
+        let ff = b.dff(g, clk);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(g, Logic::Zero);
+        let err = CaptureModel::new(&nl, binding).unwrap_err();
+        assert!(matches!(err, ModelError::BadConstraint { .. }));
+    }
+}

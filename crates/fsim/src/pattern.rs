@@ -1,0 +1,208 @@
+//! Test patterns: scan load + per-frame primary-input values.
+
+use crate::{CaptureModel, FrameSpec};
+use occ_netlist::Logic;
+
+/// One scan test pattern for a specific capture procedure.
+///
+/// * `scan_load` — one value per scan flop, in the model's scan order.
+/// * `pis` — free-PI values per frame; when the procedure holds PIs
+///   there is a single shared frame.
+///
+/// `X` entries are "don't care" and may be randomly filled before the
+/// pattern is committed to the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Index of the capture procedure this pattern uses.
+    pub proc_index: usize,
+    /// Scan-load values, one per scan flop (model scan order).
+    pub scan_load: Vec<Logic>,
+    /// Per-frame free-PI values (`pis.len() == 1` when PIs are held).
+    pub pis: Vec<Vec<Logic>>,
+}
+
+impl Pattern {
+    /// An all-`X` pattern shaped for `model` and `spec`.
+    pub fn empty(model: &CaptureModel<'_>, spec: &FrameSpec, proc_index: usize) -> Self {
+        let pi_frames = if spec.holds_pi() { 1 } else { spec.frames() };
+        Pattern {
+            proc_index,
+            scan_load: vec![Logic::X; model.scan_flops().len()],
+            pis: vec![vec![Logic::X; model.free_pis().len()]; pi_frames],
+        }
+    }
+
+    /// The free-PI vector used in 1-based frame `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is zero.
+    pub fn pis_for_frame(&self, frame: usize) -> &[Logic] {
+        assert!(frame >= 1, "frames are 1-based");
+        if self.pis.len() == 1 {
+            &self.pis[0]
+        } else {
+            &self.pis[frame - 1]
+        }
+    }
+
+    /// Fills every `X` with values drawn from `fill` (called once per X
+    /// slot) — used for random fill before fault simulation.
+    pub fn fill_x<F: FnMut() -> Logic>(&mut self, mut fill: F) {
+        for v in &mut self.scan_load {
+            if !v.is_definite() {
+                *v = fill();
+            }
+        }
+        for frame in &mut self.pis {
+            for v in frame {
+                if !v.is_definite() {
+                    *v = fill();
+                }
+            }
+        }
+    }
+
+    /// Number of definite (care) bits.
+    pub fn care_bits(&self) -> usize {
+        self.scan_load.iter().filter(|v| v.is_definite()).count()
+            + self
+                .pis
+                .iter()
+                .flat_map(|f| f.iter())
+                .filter(|v| v.is_definite())
+                .count()
+    }
+}
+
+/// A set of patterns grouped with the capture procedures they use —
+/// the unit whose size Table 1 reports as "#Pattern".
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    procedures: Vec<FrameSpec>,
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// Creates a set over the given procedures.
+    pub fn new(procedures: Vec<FrameSpec>) -> Self {
+        PatternSet {
+            procedures,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// The capture procedures.
+    pub fn procedures(&self) -> &[FrameSpec] {
+        &self.procedures
+    }
+
+    /// The patterns in application order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns (scan loads).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns have been added.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Appends a pattern, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern references an unknown procedure.
+    pub fn push(&mut self, pattern: Pattern) -> usize {
+        assert!(
+            pattern.proc_index < self.procedures.len(),
+            "pattern references unknown procedure"
+        );
+        self.patterns.push(pattern);
+        self.patterns.len() - 1
+    }
+
+    /// Retains only the patterns at the given (sorted) indices — used by
+    /// static compaction.
+    pub fn retain_indices(&mut self, keep: &[usize]) {
+        let keep: std::collections::HashSet<usize> = keep.iter().copied().collect();
+        let mut i = 0usize;
+        self.patterns.retain(|_| {
+            let k = keep.contains(&i);
+            i += 1;
+            k
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClockBinding, CycleSpec};
+    use occ_netlist::NetlistBuilder;
+
+    fn tiny() -> (occ_netlist::Netlist, occ_netlist::CellId) {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let se = b.input("se");
+        let si = b.input("si");
+        let ff = b.sdff(d, clk, se, si);
+        b.output("q", ff);
+        (b.finish().unwrap(), clk)
+    }
+
+    #[test]
+    fn empty_pattern_shapes_follow_spec() {
+        let (nl, clk) = tiny();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec2 = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0]); 2]).hold_pi(true);
+        let p = Pattern::empty(&model, &spec2, 0);
+        assert_eq!(p.scan_load.len(), 1);
+        assert_eq!(p.pis.len(), 1);
+        let spec_free = FrameSpec::new("q", vec![CycleSpec::pulsing(&[0]); 3]);
+        let p = Pattern::empty(&model, &spec_free, 1);
+        assert_eq!(p.pis.len(), 3);
+        assert_eq!(p.pis_for_frame(2).len(), 3); // clk constrained, d/se/si free
+    }
+
+    #[test]
+    fn fill_x_leaves_cares() {
+        let (nl, clk) = tiny();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        p.scan_load[0] = Logic::One;
+        let before = p.care_bits();
+        p.fill_x(|| Logic::Zero);
+        assert_eq!(p.scan_load[0], Logic::One);
+        assert!(p.care_bits() > before);
+        assert!(p
+            .pis
+            .iter()
+            .all(|f| f.iter().all(|v| v.is_definite())));
+    }
+
+    #[test]
+    fn retain_indices_compacts() {
+        let (nl, clk) = tiny();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("p", vec![CycleSpec::pulsing(&[0])]);
+        let mut set = PatternSet::new(vec![spec.clone()]);
+        for _ in 0..5 {
+            set.push(Pattern::empty(&model, &spec, 0));
+        }
+        set.retain_indices(&[0, 3, 4]);
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+//! Packed three-valued logic: 64 patterns per word pair.
+//!
+//! Encoding: `(v, x)` — bit `i` of a signal is `X` when `x` has bit `i`
+//! set; otherwise it is `v`'s bit `i`. Canonical form keeps `v`'s bit
+//! clear wherever `x` is set, so equal values compare bit-equal.
+//!
+//! This is the word-parallel re-implementation of
+//! [`occ_netlist::Logic`]'s algebra used by PPSFP fault simulation
+//! (Waicukauski et al., the paper's reference \[3\]); `tests/prop.rs`
+//! checks it bit-for-bit against the scalar algebra.
+
+use occ_netlist::Logic;
+
+/// 64 three-valued signal samples packed into two machine words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PVal {
+    /// Value bits (meaningful where `x` is 0).
+    pub v: u64,
+    /// Unknown mask.
+    pub x: u64,
+}
+
+impl PVal {
+    /// All 64 slots `0`.
+    pub const ZERO: PVal = PVal { v: 0, x: 0 };
+    /// All 64 slots `1`.
+    pub const ONE: PVal = PVal { v: !0, x: 0 };
+    /// All 64 slots `X`.
+    pub const XX: PVal = PVal { v: 0, x: !0 };
+
+    /// Canonicalizes (clears value bits under the unknown mask).
+    #[inline]
+    pub fn canon(v: u64, x: u64) -> PVal {
+        PVal { v: v & !x, x }
+    }
+
+    /// Broadcasts one scalar value into all 64 slots.
+    pub fn splat(value: Logic) -> PVal {
+        match value.drive() {
+            Logic::Zero => PVal::ZERO,
+            Logic::One => PVal::ONE,
+            _ => PVal::XX,
+        }
+    }
+
+    /// Reads slot `bit` back as a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn slot(self, bit: usize) -> Logic {
+        assert!(bit < 64);
+        if (self.x >> bit) & 1 == 1 {
+            Logic::X
+        } else if (self.v >> bit) & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Writes slot `bit` (returns the updated value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn with_slot(self, bit: usize, value: Logic) -> PVal {
+        assert!(bit < 64);
+        let m = 1u64 << bit;
+        match value.drive() {
+            Logic::Zero => PVal::canon(self.v & !m, self.x & !m),
+            Logic::One => PVal::canon(self.v | m, self.x & !m),
+            _ => PVal::canon(self.v & !m, self.x | m),
+        }
+    }
+
+    /// Mask of slots holding a definite `0`.
+    #[inline]
+    pub fn def0(self) -> u64 {
+        !self.v & !self.x
+    }
+
+    /// Mask of slots holding a definite `1`.
+    #[inline]
+    pub fn def1(self) -> u64 {
+        self.v & !self.x
+    }
+
+    /// Slots where `self` and `other` hold *different definite* values —
+    /// the fault-detection criterion.
+    #[inline]
+    pub fn definite_diff(self, other: PVal) -> u64 {
+        (self.v ^ other.v) & !self.x & !other.x
+    }
+
+    /// Word-parallel NOT.
+    #[inline]
+    pub fn not(self) -> PVal {
+        PVal::canon(!self.v, self.x)
+    }
+
+    /// Word-parallel AND.
+    #[inline]
+    pub fn and(self, o: PVal) -> PVal {
+        let x = (self.x | o.x) & !(self.def0() | o.def0());
+        PVal::canon(self.v & o.v, x)
+    }
+
+    /// Word-parallel OR.
+    #[inline]
+    pub fn or(self, o: PVal) -> PVal {
+        let x = (self.x | o.x) & !(self.def1() | o.def1());
+        PVal::canon(self.v | o.v, x)
+    }
+
+    /// Word-parallel XOR.
+    #[inline]
+    pub fn xor(self, o: PVal) -> PVal {
+        let x = self.x | o.x;
+        PVal::canon(self.v ^ o.v, x)
+    }
+
+    /// Word-parallel 2-to-1 mux (optimistic-X select, matching
+    /// [`Logic::mux2`]).
+    #[inline]
+    pub fn mux2(sel: PVal, d0: PVal, d1: PVal) -> PVal {
+        let s0 = sel.def0();
+        let s1 = sel.def1();
+        let sx = sel.x;
+        let agree1 = d0.def1() & d1.def1();
+        let agree0 = d0.def0() & d1.def0();
+        let known = (s0 & !d0.x) | (s1 & !d1.x) | (sx & (agree0 | agree1));
+        let v = (s0 & d0.v) | (s1 & d1.v) | (sx & agree1);
+        PVal::canon(v & known, !known)
+    }
+
+    /// Forces slots in `mask` to the definite value `one`.
+    #[inline]
+    pub fn force(self, mask: u64, one: bool) -> PVal {
+        if one {
+            PVal::canon(self.v | mask, self.x & !mask)
+        } else {
+            PVal::canon(self.v & !mask, self.x & !mask)
+        }
+    }
+
+    /// Selects per-slot between `self` (where `mask` clear) and `other`
+    /// (where `mask` set).
+    #[inline]
+    pub fn blend(self, other: PVal, mask: u64) -> PVal {
+        PVal::canon(
+            (self.v & !mask) | (other.v & mask),
+            (self.x & !mask) | (other.x & mask),
+        )
+    }
+}
+
+/// Evaluates a combinational [`occ_netlist::CellKind`] over packed
+/// operands. Returns `None` for non-combinational kinds.
+pub fn eval_packed(kind: occ_netlist::CellKind, inputs: &[PVal]) -> Option<PVal> {
+    use occ_netlist::CellKind;
+    let v = match kind {
+        CellKind::Tie0 => PVal::ZERO,
+        CellKind::Tie1 => PVal::ONE,
+        CellKind::TieX => PVal::XX,
+        CellKind::Buf | CellKind::Output => inputs[0],
+        CellKind::Not => inputs[0].not(),
+        CellKind::And => inputs.iter().copied().fold(PVal::ONE, PVal::and),
+        CellKind::Nand => inputs.iter().copied().fold(PVal::ONE, PVal::and).not(),
+        CellKind::Or => inputs.iter().copied().fold(PVal::ZERO, PVal::or),
+        CellKind::Nor => inputs.iter().copied().fold(PVal::ZERO, PVal::or).not(),
+        CellKind::Xor => inputs.iter().copied().fold(PVal::ZERO, PVal::xor),
+        CellKind::Xnor => inputs.iter().copied().fold(PVal::ZERO, PVal::xor).not(),
+        CellKind::Mux2 => PVal::mux2(inputs[0], inputs[1], inputs[2]),
+        _ => return None,
+    };
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_slot_roundtrip() {
+        for v in [Logic::Zero, Logic::One, Logic::X] {
+            let p = PVal::splat(v);
+            for bit in [0, 17, 63] {
+                assert_eq!(p.slot(bit), v);
+            }
+        }
+        // Z normalizes to X when packed.
+        assert_eq!(PVal::splat(Logic::Z).slot(5), Logic::X);
+    }
+
+    #[test]
+    fn with_slot_is_local() {
+        let p = PVal::ZERO.with_slot(3, Logic::One).with_slot(7, Logic::X);
+        assert_eq!(p.slot(3), Logic::One);
+        assert_eq!(p.slot(7), Logic::X);
+        assert_eq!(p.slot(4), Logic::Zero);
+    }
+
+    #[test]
+    fn packed_matches_scalar_exhaustive_two_input() {
+        let vals = [Logic::Zero, Logic::One, Logic::X];
+        for &a in &vals {
+            for &b in &vals {
+                let pa = PVal::splat(a);
+                let pb = PVal::splat(b);
+                assert_eq!(pa.and(pb).slot(0), a & b, "and {a} {b}");
+                assert_eq!(pa.or(pb).slot(0), a | b, "or {a} {b}");
+                assert_eq!(pa.xor(pb).slot(0), a ^ b, "xor {a} {b}");
+                assert_eq!(pa.not().slot(0), !a, "not {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_mux_matches_scalar_exhaustive() {
+        let vals = [Logic::Zero, Logic::One, Logic::X];
+        for &s in &vals {
+            for &d0 in &vals {
+                for &d1 in &vals {
+                    let got = PVal::mux2(PVal::splat(s), PVal::splat(d0), PVal::splat(d1));
+                    assert_eq!(got.slot(0), Logic::mux2(s, d0, d1), "mux {s} {d0} {d1}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn definite_diff_requires_both_definite() {
+        let a = PVal::ZERO.with_slot(0, Logic::One).with_slot(1, Logic::X);
+        let b = PVal::ZERO;
+        assert_eq!(a.definite_diff(b), 0b01);
+    }
+
+    #[test]
+    fn force_and_blend() {
+        let a = PVal::XX;
+        let f = a.force(0b1010, true);
+        assert_eq!(f.slot(1), Logic::One);
+        assert_eq!(f.slot(0), Logic::X);
+        let g = PVal::ZERO.blend(PVal::ONE, 0b100);
+        assert_eq!(g.slot(2), Logic::One);
+        assert_eq!(g.slot(0), Logic::Zero);
+    }
+}

@@ -1,0 +1,232 @@
+//! Capture-procedure frame specifications.
+//!
+//! A [`FrameSpec`] is the ATPG-facing contract of a *named capture
+//! procedure* (paper §4): a short behavioural description of what the
+//! on-chip clock generation will do after scan load — how many cycles,
+//! which clock domains pulse in each cycle, whether primary inputs may
+//! change between cycles and whether primary outputs are strobed.
+
+use std::fmt;
+
+/// Index of a functional clock domain (dense, assigned by the model).
+pub type DomainId = usize;
+
+/// One capture cycle: the set of domains that receive a clock pulse.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CycleSpec {
+    /// Domains pulsed in this cycle (simultaneously, as synchronous
+    /// domains driven from one PLL would be).
+    pub pulses: Vec<DomainId>,
+}
+
+impl CycleSpec {
+    /// A cycle pulsing exactly the given domains.
+    pub fn pulsing(domains: &[DomainId]) -> Self {
+        CycleSpec {
+            pulses: domains.to_vec(),
+        }
+    }
+
+    /// True if `domain` is pulsed in this cycle.
+    pub fn pulses_domain(&self, domain: DomainId) -> bool {
+        self.pulses.contains(&domain)
+    }
+}
+
+/// A capture procedure: the cycles applied between scan load and scan
+/// unload, plus the observation/constraint flags the clocking mode
+/// imposes.
+///
+/// # Examples
+///
+/// ```
+/// use occ_fsim::{FrameSpec, CycleSpec};
+///
+/// // The paper's simple CPF: exactly two pulses in one domain, outputs
+/// // masked, inputs held.
+/// let spec = FrameSpec::new("cpf_dom0_2pulse", vec![
+///     CycleSpec::pulsing(&[0]),
+///     CycleSpec::pulsing(&[0]),
+/// ])
+/// .hold_pi(true)
+/// .observe_po(false);
+/// assert_eq!(spec.frames(), 2);
+/// assert_eq!(spec.capture_frame(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSpec {
+    name: String,
+    cycles: Vec<CycleSpec>,
+    hold_pi: bool,
+    observe_po: bool,
+    po_observe_frames: Vec<usize>,
+}
+
+impl FrameSpec {
+    /// Creates a procedure from its capture cycles (frame 1 first).
+    ///
+    /// Defaults: PIs free per frame, POs observed at every frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is empty.
+    pub fn new(name: &str, cycles: Vec<CycleSpec>) -> Self {
+        assert!(!cycles.is_empty(), "a capture procedure needs >=1 cycle");
+        let n = cycles.len();
+        FrameSpec {
+            name: name.to_owned(),
+            cycles,
+            hold_pi: false,
+            observe_po: true,
+            po_observe_frames: (1..=n).collect(),
+        }
+    }
+
+    /// Sets whether primary inputs are held constant across all frames
+    /// (required whenever launch/capture run at speed — the ATE cannot
+    /// switch pins between at-speed edges).
+    pub fn hold_pi(mut self, hold: bool) -> Self {
+        self.hold_pi = hold;
+        self
+    }
+
+    /// Sets whether primary outputs are observable. When disabled the
+    /// strobe list becomes empty (the "mask outputs" constraint of the
+    /// on-chip clocking modes); when enabled POs are strobed at the
+    /// final frame.
+    pub fn observe_po(mut self, observe: bool) -> Self {
+        self.observe_po = observe;
+        self.po_observe_frames = if observe {
+            vec![self.cycles.len()]
+        } else {
+            Vec::new()
+        };
+        self
+    }
+
+    /// Explicitly sets the frames (1-based) at which POs are strobed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame index is out of range.
+    pub fn with_po_frames(mut self, frames: &[usize]) -> Self {
+        for &fr in frames {
+            assert!(fr >= 1 && fr <= self.cycles.len(), "PO frame out of range");
+        }
+        self.observe_po = !frames.is_empty();
+        self.po_observe_frames = frames.to_vec();
+        self
+    }
+
+    /// The procedure name (used in pattern files and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of capture cycles.
+    pub fn frames(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// The cycles in order (frame 1 first).
+    pub fn cycles(&self) -> &[CycleSpec] {
+        &self.cycles
+    }
+
+    /// The 1-based frame treated as the at-speed capture frame — always
+    /// the last cycle; the launch frame is the one before it.
+    pub fn capture_frame(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True when primary inputs must hold one value across all frames.
+    pub fn holds_pi(&self) -> bool {
+        self.hold_pi
+    }
+
+    /// True when any PO strobes exist.
+    pub fn observes_po(&self) -> bool {
+        self.observe_po
+    }
+
+    /// Frames (1-based) at which primary outputs are strobed.
+    pub fn po_observe_frames(&self) -> &[usize] {
+        &self.po_observe_frames
+    }
+
+    /// Convenience: a single cycle pulsing the given domains with free
+    /// PIs and observed POs — the external-clock stuck-at procedure.
+    pub fn external_stuck_at(domains: &[DomainId]) -> Self {
+        FrameSpec::new("external_sa", vec![CycleSpec::pulsing(domains)])
+    }
+
+    /// Convenience: `n` cycles all pulsing the given domains.
+    pub fn broadside(name: &str, domains: &[DomainId], n: usize) -> Self {
+        assert!(n >= 2, "broadside needs at least launch + capture");
+        FrameSpec::new(name, vec![CycleSpec::pulsing(domains); n])
+    }
+}
+
+impl fmt::Display for FrameSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.name)?;
+        for (i, c) in self.cycles.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:?}", c.pulses)?;
+        }
+        write!(
+            f,
+            "]{}{}",
+            if self.hold_pi { " hold-pi" } else { "" },
+            if self.observe_po { "" } else { " mask-po" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_flags() {
+        let s = FrameSpec::broadside("b", &[0, 1], 3)
+            .hold_pi(true)
+            .observe_po(false);
+        assert_eq!(s.frames(), 3);
+        assert!(s.holds_pi());
+        assert!(!s.observes_po());
+        assert!(s.po_observe_frames().is_empty());
+        assert!(s.cycles()[2].pulses_domain(1));
+    }
+
+    #[test]
+    fn stuck_at_default_observes_every_frame() {
+        let s = FrameSpec::external_stuck_at(&[0]);
+        assert_eq!(s.po_observe_frames(), &[1]);
+        assert_eq!(s.capture_frame(), 1);
+    }
+
+    #[test]
+    fn explicit_po_frames() {
+        let s = FrameSpec::broadside("b", &[0], 4).with_po_frames(&[2, 4]);
+        assert_eq!(s.po_observe_frames(), &[2, 4]);
+        assert!(s.observes_po());
+    }
+
+    #[test]
+    #[should_panic(expected = "PO frame out of range")]
+    fn po_frame_bounds_checked() {
+        let _ = FrameSpec::broadside("b", &[0], 2).with_po_frames(&[3]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = FrameSpec::broadside("x", &[0], 2).hold_pi(true).observe_po(false);
+        let text = s.to_string();
+        assert!(text.contains("x ["));
+        assert!(text.contains("hold-pi"));
+        assert!(text.contains("mask-po"));
+    }
+}

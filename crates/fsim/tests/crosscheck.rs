@@ -1,0 +1,351 @@
+//! Cross-check: the packed PPSFP engine against a naive scalar
+//! fault simulator written independently of it, over random circuits,
+//! random patterns and every collapsed fault.
+
+use occ_fault::{Fault, FaultModel, FaultSite, FaultUniverse, Polarity};
+use occ_fsim::{
+    simulate_good, CaptureModel, ClockBinding, CycleSpec, FaultSim, FrameSpec, Pattern,
+};
+use occ_netlist::{CellId, CellKind, Logic, Netlist, NetlistBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random 2-domain sequential circuit.
+fn random_circuit(seed: u64) -> (Netlist, CellId, CellId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("rand");
+    let cka = b.input("cka");
+    let ckb = b.input("ckb");
+    let se = b.input("se");
+    let si = b.input("si");
+    let n_pi = rng.gen_range(2..5);
+    let mut sigs: Vec<CellId> = (0..n_pi).map(|i| b.input(&format!("pi{i}"))).collect();
+    let mut flops = Vec::new();
+    let n_cells = rng.gen_range(10..40);
+    for i in 0..n_cells {
+        let a = sigs[rng.gen_range(0..sigs.len())];
+        let c = sigs[rng.gen_range(0..sigs.len())];
+        let s = sigs[rng.gen_range(0..sigs.len())];
+        let id = match rng.gen_range(0..9) {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.nor2(a, c),
+            5 => b.not(a),
+            6 => b.mux2(s, a, c),
+            7 => {
+                let clk = if rng.gen_bool(0.5) { cka } else { ckb };
+                let ff = b.sdff(a, clk, se, si);
+                flops.push(ff);
+                ff
+            }
+            _ => {
+                let clk = if rng.gen_bool(0.5) { cka } else { ckb };
+                let ff = b.dff(a, clk); // non-scan
+                flops.push(ff);
+                ff
+            }
+        };
+        b.name_cell(id, &format!("n{i}"));
+        sigs.push(id);
+    }
+    // A couple of POs.
+    for i in 0..rng.gen_range(1..4) {
+        let s = sigs[rng.gen_range(0..sigs.len())];
+        b.output(&format!("po{i}"), s);
+    }
+    // Ensure at least one scan flop so patterns have substance.
+    let a = sigs[rng.gen_range(0..sigs.len())];
+    let ff = b.sdff(a, cka, se, si);
+    b.output("po_last", ff);
+    (b.finish().unwrap(), cka, ckb)
+}
+
+fn build_model<'n>(nl: &'n Netlist, cka: CellId, ckb: CellId) -> CaptureModel<'n> {
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", cka);
+    binding.add_domain("b", ckb);
+    binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+    binding.mask(nl.find("si").unwrap());
+    CaptureModel::new(nl, binding).unwrap()
+}
+
+fn random_pattern(model: &CaptureModel<'_>, spec: &FrameSpec, rng: &mut StdRng) -> Pattern {
+    let mut p = Pattern::empty(model, spec, 0);
+    p.fill_x(|| {
+        if rng.gen_bool(0.1) {
+            Logic::X
+        } else if rng.gen_bool(0.5) {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    });
+    p
+}
+
+// --- naive scalar reference ------------------------------------------
+
+fn scalar_eval(kind: CellKind, ins: &[Logic]) -> Logic {
+    kind.eval_comb(ins).unwrap_or(Logic::X)
+}
+
+/// Full scalar simulation with optional fault; returns (frames, states).
+fn scalar_sim(
+    model: &CaptureModel<'_>,
+    spec: &FrameSpec,
+    pattern: &Pattern,
+    fault: Option<Fault>,
+) -> (Vec<Vec<Logic>>, Vec<Vec<Logic>>) {
+    let nl = model.netlist();
+    let n = nl.len();
+    let mut states: Vec<Vec<Logic>> = vec![vec![Logic::X; model.flops().len()]];
+    for (si, &fi) in model.scan_flops().iter().enumerate() {
+        states[0][fi as usize] = pattern.scan_load[si];
+    }
+    let mut frames = Vec::new();
+    for k in 1..=spec.frames() {
+        let active = match fault.map(|f| f.model()) {
+            Some(FaultModel::StuckAt) => fault.is_some(),
+            Some(FaultModel::Transition) => k == spec.frames(),
+            None => false,
+        };
+        let mut vals = vec![Logic::X; n];
+        for (id, cell) in nl.iter() {
+            match cell.kind() {
+                CellKind::Tie0 => vals[id.index()] = Logic::Zero,
+                CellKind::Tie1 => vals[id.index()] = Logic::One,
+                _ => {}
+            }
+        }
+        for &(c, v) in model.forced() {
+            vals[c.index()] = v;
+        }
+        for &c in model.masked() {
+            vals[c.index()] = Logic::X;
+        }
+        for (i, &pi) in model.free_pis().iter().enumerate() {
+            vals[pi.index()] = pattern.pis_for_frame(k)[i];
+        }
+        for (fi, info) in model.flops().iter().enumerate() {
+            vals[info.cell.index()] = states[k - 1][fi];
+        }
+        // Output-site fault forces the node *before* eval; re-force after
+        // each dependent evaluation via the eval loop order.
+        let force_site = match fault {
+            Some(f) if active => Some(f),
+            _ => None,
+        };
+        if let Some(f) = force_site {
+            if let FaultSite::Output(c) = f.site() {
+                vals[c.index()] = polarity_logic(f.polarity());
+            }
+        }
+        for &id in nl.levelization().order() {
+            let cell = nl.cell(id);
+            if let Some(f) = force_site {
+                if f.site() == FaultSite::Output(id) {
+                    vals[id.index()] = polarity_logic(f.polarity());
+                    continue;
+                }
+            }
+            let mut ins: Vec<Logic> = cell
+                .inputs()
+                .iter()
+                .map(|&s| vals[s.index()])
+                .collect();
+            if let Some(f) = force_site {
+                if let FaultSite::Input { cell: fc, pin } = f.site() {
+                    if fc == id {
+                        ins[pin as usize] = polarity_logic(f.polarity());
+                    }
+                }
+            }
+            vals[id.index()] = scalar_eval(cell.kind(), &ins);
+        }
+        // State update.
+        let cycle = &spec.cycles()[k - 1];
+        let mut next = states[k - 1].clone();
+        for (fi, info) in model.flops().iter().enumerate() {
+            if cycle.pulses_domain(info.domain) {
+                let cell = nl.cell(info.cell);
+                next[fi] = match cell.kind() {
+                    CellKind::Sdff | CellKind::SdffRl => {
+                        let d = vals[cell.inputs()[0].index()];
+                        let se = vals[cell.inputs()[2].index()];
+                        let si = vals[cell.inputs()[3].index()];
+                        Logic::mux2(se, d, si)
+                    }
+                    _ => vals[cell.inputs()[0].index()].drive(),
+                };
+            }
+            if let Some(rpin) = nl.cell(info.cell).reset() {
+                let r = vals[rpin.index()].drive();
+                let act = match nl.cell(info.cell).kind() {
+                    CellKind::DffRh => r == Logic::One,
+                    _ => r == Logic::Zero,
+                };
+                if act {
+                    next[fi] = Logic::Zero;
+                } else if !r.is_definite() && next[fi] != Logic::Zero {
+                    next[fi] = Logic::X;
+                }
+            }
+        }
+        states.push(next);
+        frames.push(vals);
+    }
+    (frames, states)
+}
+
+fn polarity_logic(p: Polarity) -> Logic {
+    match p {
+        Polarity::P0 => Logic::Zero,
+        Polarity::P1 => Logic::One,
+    }
+}
+
+/// Naive detection decision for one fault and one pattern.
+fn scalar_detect(
+    model: &CaptureModel<'_>,
+    spec: &FrameSpec,
+    pattern: &Pattern,
+    fault: Fault,
+) -> bool {
+    let (gframes, gstates) = scalar_sim(model, spec, pattern, None);
+    // Launch check for transition faults.
+    if fault.model() == FaultModel::Transition {
+        if spec.frames() < 2 {
+            return false;
+        }
+        let node = match fault.site() {
+            FaultSite::Output(c) => c,
+            FaultSite::Input { cell, pin } => {
+                model.netlist().cell(cell).inputs()[pin as usize]
+            }
+        };
+        let before = gframes[spec.frames() - 2][node.index()];
+        let after = gframes[spec.frames() - 1][node.index()];
+        let launched = match fault.polarity() {
+            Polarity::P0 => before == Logic::Zero && after == Logic::One,
+            Polarity::P1 => before == Logic::One && after == Logic::Zero,
+        };
+        if !launched {
+            return false;
+        }
+    }
+    let (fframes, fstates) = scalar_sim(model, spec, pattern, Some(fault));
+    // PO observation.
+    for &k in spec.po_observe_frames() {
+        for &po in model.primary_outputs() {
+            let g = gframes[k - 1][po.index()];
+            let f = fframes[k - 1][po.index()];
+            if g.is_definite() && f.is_definite() && g != f {
+                return true;
+            }
+        }
+    }
+    // Scan unload.
+    let last = spec.frames();
+    for &fi in model.scan_flops() {
+        let g = gstates[last][fi as usize];
+        let mut f = fstates[last][fi as usize];
+        if fault.model() == FaultModel::StuckAt {
+            if let FaultSite::Output(c) = fault.site() {
+                if c == model.flops()[fi as usize].cell {
+                    f = polarity_logic(fault.polarity());
+                }
+            }
+        }
+        if g.is_definite() && f.is_definite() && g != f {
+            return true;
+        }
+    }
+    false
+}
+
+fn crosscheck(seed: u64, spec: FrameSpec, model_kind: FaultModel) {
+    let (nl, cka, ckb) = random_circuit(seed);
+    let model = build_model(&nl, cka, ckb);
+    let uni = match model_kind {
+        FaultModel::StuckAt => FaultUniverse::stuck_at(&nl),
+        FaultModel::Transition => FaultUniverse::transition(&nl),
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let patterns: Vec<Pattern> = (0..8)
+        .map(|_| random_pattern(&model, &spec, &mut rng))
+        .collect();
+    let good = simulate_good(&model, &spec, &patterns);
+    let mut fsim = FaultSim::new(&model);
+    for &fault in uni.faults() {
+        let packed = fsim.detect(&spec, &good, fault);
+        for (b, p) in patterns.iter().enumerate() {
+            let want = scalar_detect(&model, &spec, p, fault);
+            let got = (packed >> b) & 1 == 1;
+            assert_eq!(
+                got, want,
+                "seed {seed} fault {fault} pattern {b}: packed={got} scalar={want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stuck_at_single_frame_matches_reference() {
+    for seed in 0..12 {
+        crosscheck(
+            seed,
+            FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0, 1])]),
+            FaultModel::StuckAt,
+        );
+    }
+}
+
+#[test]
+fn stuck_at_two_frame_matches_reference() {
+    for seed in 100..106 {
+        crosscheck(
+            seed,
+            FrameSpec::new("sa2", vec![CycleSpec::pulsing(&[0, 1]); 2]).hold_pi(true),
+            FaultModel::StuckAt,
+        );
+    }
+}
+
+#[test]
+fn transition_broadside_matches_reference() {
+    for seed in 200..212 {
+        crosscheck(
+            seed,
+            FrameSpec::broadside("loc", &[0, 1], 2)
+                .hold_pi(true)
+                .observe_po(false),
+            FaultModel::Transition,
+        );
+    }
+}
+
+#[test]
+fn transition_with_po_observation_matches_reference() {
+    for seed in 300..306 {
+        crosscheck(
+            seed,
+            FrameSpec::broadside("loc_po", &[0, 1], 2),
+            FaultModel::Transition,
+        );
+    }
+}
+
+#[test]
+fn transition_single_domain_matches_reference() {
+    for seed in 400..406 {
+        crosscheck(
+            seed,
+            FrameSpec::broadside("dom_a", &[0], 3)
+                .hold_pi(true)
+                .observe_po(false),
+            FaultModel::Transition,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: the packed 64-slot algebra must agree with the
+//! scalar 4-valued algebra slot-for-slot on arbitrary words.
+
+use occ_fsim::PVal;
+use occ_netlist::Logic;
+use proptest::prelude::*;
+
+fn arb_pval() -> impl Strategy<Value = PVal> {
+    (any::<u64>(), any::<u64>()).prop_map(|(v, x)| PVal::canon(v, x))
+}
+
+proptest! {
+    #[test]
+    fn and_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
+        prop_assert_eq!(a.and(b).slot(bit), a.slot(bit) & b.slot(bit));
+    }
+
+    #[test]
+    fn or_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
+        prop_assert_eq!(a.or(b).slot(bit), a.slot(bit) | b.slot(bit));
+    }
+
+    #[test]
+    fn xor_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
+        prop_assert_eq!(a.xor(b).slot(bit), a.slot(bit) ^ b.slot(bit));
+    }
+
+    #[test]
+    fn not_matches_scalar(a in arb_pval(), bit in 0usize..64) {
+        prop_assert_eq!(a.not().slot(bit), !a.slot(bit));
+    }
+
+    #[test]
+    fn mux_matches_scalar(s in arb_pval(), d0 in arb_pval(), d1 in arb_pval(), bit in 0usize..64) {
+        prop_assert_eq!(
+            PVal::mux2(s, d0, d1).slot(bit),
+            Logic::mux2(s.slot(bit), d0.slot(bit), d1.slot(bit))
+        );
+    }
+
+    #[test]
+    fn definite_diff_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
+        let want = {
+            let (x, y) = (a.slot(bit), b.slot(bit));
+            x.is_definite() && y.is_definite() && x != y
+        };
+        prop_assert_eq!((a.definite_diff(b) >> bit) & 1 == 1, want);
+    }
+
+    #[test]
+    fn canon_is_idempotent(a in arb_pval()) {
+        prop_assert_eq!(PVal::canon(a.v, a.x), a);
+        prop_assert_eq!(a.v & a.x, 0, "canonical form keeps v clear under x");
+    }
+
+    #[test]
+    fn with_slot_roundtrip(a in arb_pval(), bit in 0usize..64, v in 0u8..3) {
+        let val = match v { 0 => Logic::Zero, 1 => Logic::One, _ => Logic::X };
+        prop_assert_eq!(a.with_slot(bit, val).slot(bit), val);
+    }
+}

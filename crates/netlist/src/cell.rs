@@ -1,0 +1,138 @@
+//! Cell records stored in the netlist arena.
+
+use crate::{CellId, CellKind};
+
+/// One cell instance: a kind, its input signals and an optional
+/// hierarchical instance name.
+///
+/// Cells are created through [`NetlistBuilder`](crate::NetlistBuilder)
+/// and are immutable once the netlist is finished (scan insertion and
+/// other transforms produce rewritten netlists rather than mutating in
+/// place).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    kind: CellKind,
+    inputs: Vec<CellId>,
+    name: Option<Box<str>>,
+}
+
+impl Cell {
+    pub(crate) fn new(kind: CellKind, inputs: Vec<CellId>, name: Option<Box<str>>) -> Self {
+        Cell { kind, inputs, name }
+    }
+
+    /// The primitive kind of this cell.
+    #[inline]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input signals in pin order (see [`CellKind`] pin documentation).
+    #[inline]
+    pub fn inputs(&self) -> &[CellId] {
+        &self.inputs
+    }
+
+    /// Hierarchical instance name, when one was assigned.
+    #[inline]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The data input of a flip-flop (`d` pin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a flip-flop.
+    #[inline]
+    pub fn flop_d(&self) -> CellId {
+        assert!(self.kind.is_flop(), "flop_d on non-flop {}", self.kind);
+        self.inputs[0]
+    }
+
+    /// The clock input of a clocked cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has no clock pin.
+    #[inline]
+    pub fn clock(&self) -> CellId {
+        let pin = self
+            .kind
+            .clock_pin()
+            .unwrap_or_else(|| panic!("clock() on unclocked {}", self.kind));
+        self.inputs[pin]
+    }
+
+    /// The scan-in pin of a scan flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a scan flop.
+    #[inline]
+    pub fn scan_in(&self) -> CellId {
+        assert!(self.kind.is_scan_flop(), "scan_in on {}", self.kind);
+        self.inputs[3]
+    }
+
+    /// The scan-enable pin of a scan flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a scan flop.
+    #[inline]
+    pub fn scan_enable(&self) -> CellId {
+        assert!(self.kind.is_scan_flop(), "scan_enable on {}", self.kind);
+        self.inputs[2]
+    }
+
+    /// Asynchronous reset pin, if this kind has one.
+    #[inline]
+    pub fn reset(&self) -> Option<CellId> {
+        match self.kind {
+            CellKind::DffRl | CellKind::DffRh => Some(self.inputs[2]),
+            CellKind::SdffRl => Some(self.inputs[4]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_accessors() {
+        let d = CellId::from_index(0);
+        let clk = CellId::from_index(1);
+        let se = CellId::from_index(2);
+        let si = CellId::from_index(3);
+        let rstn = CellId::from_index(4);
+        let cell = Cell::new(
+            CellKind::SdffRl,
+            vec![d, clk, se, si, rstn],
+            Some("u_ff".into()),
+        );
+        assert_eq!(cell.flop_d(), d);
+        assert_eq!(cell.clock(), clk);
+        assert_eq!(cell.scan_enable(), se);
+        assert_eq!(cell.scan_in(), si);
+        assert_eq!(cell.reset(), Some(rstn));
+        assert_eq!(cell.name(), Some("u_ff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "flop_d on non-flop")]
+    fn flop_accessor_rejects_gates() {
+        let a = CellId::from_index(0);
+        Cell::new(CellKind::And, vec![a, a], None).flop_d();
+    }
+
+    #[test]
+    fn reset_is_none_for_plain_dff() {
+        let d = CellId::from_index(0);
+        let clk = CellId::from_index(1);
+        let cell = Cell::new(CellKind::Dff, vec![d, clk], None);
+        assert_eq!(cell.reset(), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Graphviz DOT export for schematics and architecture diagrams
+//! (used by the Figure 1 / Figure 3 reproductions).
+
+use crate::{CellKind, Netlist};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`.
+    ///
+    /// Inputs are drawn as triangles, outputs as inverted houses,
+    /// sequential cells as boxes, combinational gates as ellipses.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use occ_netlist::NetlistBuilder;
+    /// # fn main() -> Result<(), occ_netlist::BuildError> {
+    /// let mut b = NetlistBuilder::new("g");
+    /// let a = b.input("a");
+    /// let y = b.not(a);
+    /// b.output("y", y);
+    /// let dot = b.finish()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, cell) in self.iter() {
+            let label = match cell.name() {
+                Some(n) => format!("{n}\\n{}", cell.kind()),
+                None => format!("{id}\\n{}", cell.kind()),
+            };
+            let shape = match cell.kind() {
+                CellKind::Input => "triangle",
+                CellKind::Output => "invhouse",
+                k if k.is_flop() => "box",
+                CellKind::LatchLow | CellKind::ClockGate => "box",
+                CellKind::Ram { .. } => "box3d",
+                _ => "ellipse",
+            };
+            let _ = writeln!(out, "  {id} [label=\"{label}\", shape={shape}];");
+        }
+        for (id, cell) in self.iter() {
+            for (pin, &src) in cell.inputs().iter().enumerate() {
+                let _ = writeln!(out, "  {src} -> {id} [taillabel=\"\", headlabel=\"{pin}\"];");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn dot_contains_every_cell_and_edge() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.and2(a, c);
+        b.output("y", g);
+        let dot = b.finish().unwrap().to_dot();
+        assert_eq!(dot.matches("->").count(), 3); // a->g, b->g, g->po
+        assert!(dot.contains("triangle"));
+        assert!(dot.contains("invhouse"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for netlist construction and validation.
+
+use crate::{CellId, CellKind};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found while validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A cell references an input id that does not exist (forward
+    /// references are allowed during building but must be resolved).
+    DanglingInput {
+        /// The offending cell.
+        cell: CellId,
+        /// The referenced, non-existent id.
+        input: CellId,
+    },
+    /// A cell has the wrong number of input pins for its kind.
+    BadArity {
+        /// The offending cell.
+        cell: CellId,
+        /// Its kind.
+        kind: CellKind,
+        /// Number of inputs it was given.
+        got: usize,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalLoop {
+        /// A cell on the cycle.
+        cell: CellId,
+    },
+    /// A `RamOut` cell's input is not a `Ram` macro.
+    RamOutWithoutRam {
+        /// The offending reader cell.
+        cell: CellId,
+    },
+    /// A `RamOut` reads a data bit outside the RAM's word width.
+    RamOutBitOutOfRange {
+        /// The offending reader cell.
+        cell: CellId,
+        /// The requested bit.
+        bit: u8,
+        /// The RAM's word width.
+        data_bits: u8,
+    },
+    /// A RAM handle is consumed by a non-`RamOut` cell.
+    RamHandleMisused {
+        /// The cell consuming the handle.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DanglingInput { cell, input } => {
+                write!(f, "cell {cell} references non-existent input {input}")
+            }
+            ValidateError::BadArity { cell, kind, got } => {
+                write!(f, "cell {cell} of kind {kind} has {got} inputs")
+            }
+            ValidateError::CombinationalLoop { cell } => {
+                write!(f, "combinational loop through cell {cell}")
+            }
+            ValidateError::RamOutWithoutRam { cell } => {
+                write!(f, "ram_out cell {cell} does not read a ram macro")
+            }
+            ValidateError::RamOutBitOutOfRange {
+                cell,
+                bit,
+                data_bits,
+            } => {
+                write!(
+                    f,
+                    "ram_out cell {cell} reads bit {bit} of a {data_bits}-bit word"
+                )
+            }
+            ValidateError::RamHandleMisused { cell } => {
+                write!(f, "cell {cell} consumes a ram handle but is not ram_out")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Error returned by [`NetlistBuilder::finish`](crate::NetlistBuilder::finish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    errors: Vec<ValidateError>,
+}
+
+impl BuildError {
+    pub(crate) fn new(errors: Vec<ValidateError>) -> Self {
+        debug_assert!(!errors.is_empty());
+        BuildError { errors }
+    }
+
+    /// All defects found, in discovery order.
+    pub fn errors(&self) -> &[ValidateError] {
+        &self.errors
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist validation failed with {} error(s): ", self.errors.len())?;
+        let mut first = true;
+        for e in &self.errors {
+            if !first {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = BuildError::new(vec![ValidateError::BadArity {
+            cell: CellId::from_index(3),
+            kind: CellKind::Mux2,
+            got: 2,
+        }]);
+        let s = err.to_string();
+        assert!(s.contains("c3"));
+        assert!(s.contains("mux2"));
+        assert!(s.contains("2 inputs"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Strongly-typed identifiers for netlist entities.
+
+use std::fmt;
+
+/// Identifier of a cell in a [`Netlist`](crate::Netlist) arena.
+///
+/// Because every cell drives exactly one output signal, a `CellId` also
+/// identifies that signal: "the net driven by cell 42" and "cell 42" are
+/// the same handle. Ids are dense indices assigned in creation order.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::NetlistBuilder;
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Crate-internal const constructor (used for sentinels).
+    pub(crate) const fn from_raw(raw: u32) -> Self {
+        CellId(raw)
+    }
+
+    /// Creates an id from a raw index.
+    ///
+    /// Intended for deserialization and for iteration over dense tables;
+    /// an id made from an out-of-range index will cause panics when used
+    /// against a netlist.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        CellId(u32::try_from(index).expect("cell index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = CellId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "c17");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+}

@@ -1,0 +1,304 @@
+//! Cell kinds (the primitive library) and their combinational semantics.
+
+use crate::Logic;
+use std::fmt;
+
+/// The primitive cell library.
+///
+/// Sequential cells document their pin order in the variant docs; the
+/// [`NetlistBuilder`](crate::NetlistBuilder) constructors enforce it.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{CellKind, Logic};
+/// assert_eq!(CellKind::Nand.eval_comb(&[Logic::One, Logic::X]), Some(Logic::X));
+/// assert_eq!(CellKind::Dff.eval_comb(&[Logic::One, Logic::Zero]), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary input (no cell inputs).
+    Input,
+    /// Primary output marker; one input, output mirrors it.
+    Output,
+    /// Constant logic `0`.
+    Tie0,
+    /// Constant logic `1`.
+    Tie1,
+    /// Constant unknown (models an uncontrolled source).
+    TieX,
+    /// Buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND (≥ 2 inputs).
+    And,
+    /// N-ary NAND (≥ 2 inputs).
+    Nand,
+    /// N-ary OR (≥ 2 inputs).
+    Or,
+    /// N-ary NOR (≥ 2 inputs).
+    Nor,
+    /// N-ary XOR (≥ 2 inputs).
+    Xor,
+    /// N-ary XNOR (≥ 2 inputs).
+    Xnor,
+    /// Two-to-one mux; pins `[sel, d0, d1]`, output `d0` when `sel=0`.
+    Mux2,
+    /// D flip-flop; pins `[d, clk]`. Rising-edge triggered.
+    Dff,
+    /// D flip-flop with asynchronous active-low reset; pins `[d, clk, rstn]`.
+    DffRl,
+    /// D flip-flop with asynchronous active-high reset; pins `[d, clk, rst]`.
+    ///
+    /// Used by the CPF trigger/shift stages, which are cleared directly by
+    /// `scan_en` (see Fig. 3 of the paper).
+    DffRh,
+    /// Mux-scan D flip-flop; pins `[d, clk, se, si]`. Captures `si` when
+    /// `se=1`, `d` otherwise.
+    Sdff,
+    /// Mux-scan D flip-flop with asynchronous active-low reset; pins
+    /// `[d, clk, se, si, rstn]`.
+    SdffRl,
+    /// Level-sensitive latch, transparent while `en=0`; pins `[d, en]`.
+    LatchLow,
+    /// Integrated clock-gating cell; pins `[clk, en]`.
+    ///
+    /// Behaves as `clk AND latch_low(en, clk)`: the enable is sampled by a
+    /// transparent-low latch so the gated clock is glitch-free — the
+    /// property the paper relies on ("the implementation of CGC makes sure
+    /// that no glitches or spikes appear on clk-out").
+    ClockGate,
+    /// Synchronous RAM macro; pins `[clk, we, addr..., din...]`.
+    ///
+    /// The output signal is an opaque handle read through
+    /// [`CellKind::RamOut`] cells. Reads are combinational on the address
+    /// (read-through); writes occur on the rising clock edge.
+    Ram {
+        /// Number of address bits (capacity = `2^addr_bits` words).
+        addr_bits: u8,
+        /// Word width in bits.
+        data_bits: u8,
+    },
+    /// One read-data bit of a RAM macro; single input = the RAM handle.
+    RamOut {
+        /// Which data bit of the word this cell reads.
+        bit: u8,
+    },
+}
+
+impl CellKind {
+    /// True for cells whose output is a pure function of current inputs.
+    ///
+    /// `Ram`/`RamOut` are excluded (state), as are latches and flip-flops.
+    pub fn is_combinational(self) -> bool {
+        !matches!(
+            self,
+            CellKind::Dff
+                | CellKind::DffRl
+                | CellKind::DffRh
+                | CellKind::Sdff
+                | CellKind::SdffRl
+                | CellKind::LatchLow
+                | CellKind::ClockGate
+                | CellKind::Ram { .. }
+                | CellKind::RamOut { .. }
+        )
+    }
+
+    /// True for edge-triggered flip-flop kinds (scan or not).
+    pub fn is_flop(self) -> bool {
+        matches!(
+            self,
+            CellKind::Dff
+                | CellKind::DffRl
+                | CellKind::DffRh
+                | CellKind::Sdff
+                | CellKind::SdffRl
+        )
+    }
+
+    /// True for mux-scan flip-flop kinds.
+    pub fn is_scan_flop(self) -> bool {
+        matches!(self, CellKind::Sdff | CellKind::SdffRl)
+    }
+
+    /// Pin index of the clock input for clocked kinds, if any.
+    pub fn clock_pin(self) -> Option<usize> {
+        match self {
+            CellKind::Dff
+            | CellKind::DffRl
+            | CellKind::DffRh
+            | CellKind::Sdff
+            | CellKind::SdffRl => Some(1),
+            CellKind::ClockGate | CellKind::Ram { .. } => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Expected input count, or `None` when variable (n-ary gates, RAM).
+    pub fn fixed_arity(self) -> Option<usize> {
+        match self {
+            CellKind::Input | CellKind::Tie0 | CellKind::Tie1 | CellKind::TieX => Some(0),
+            CellKind::Output | CellKind::Buf | CellKind::Not | CellKind::RamOut { .. } => Some(1),
+            CellKind::LatchLow | CellKind::ClockGate => Some(2),
+            CellKind::Mux2 => Some(3),
+            CellKind::Dff => Some(2),
+            CellKind::DffRl | CellKind::DffRh => Some(3),
+            CellKind::Sdff => Some(4),
+            CellKind::SdffRl => Some(5),
+            CellKind::Ram {
+                addr_bits,
+                data_bits,
+            } => Some(2 + addr_bits as usize + data_bits as usize),
+            CellKind::And
+            | CellKind::Nand
+            | CellKind::Or
+            | CellKind::Nor
+            | CellKind::Xor
+            | CellKind::Xnor => None,
+        }
+    }
+
+    /// Minimum input count for kinds with variable arity.
+    pub fn min_arity(self) -> usize {
+        match self.fixed_arity() {
+            Some(n) => n,
+            None => 2,
+        }
+    }
+
+    /// Evaluates a combinational kind over input values.
+    ///
+    /// Returns `None` for sequential/macro kinds (their next-state
+    /// semantics live in the simulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong arity for a combinational kind.
+    pub fn eval_comb(self, inputs: &[Logic]) -> Option<Logic> {
+        let v = match self {
+            CellKind::Input => return None,
+            CellKind::Tie0 => Logic::Zero,
+            CellKind::Tie1 => Logic::One,
+            CellKind::TieX => Logic::X,
+            CellKind::Output | CellKind::Buf => {
+                assert_eq!(inputs.len(), 1, "{self} arity");
+                inputs[0].drive()
+            }
+            CellKind::Not => {
+                assert_eq!(inputs.len(), 1, "{self} arity");
+                !inputs[0]
+            }
+            CellKind::And => Logic::and_all(inputs.iter().copied()),
+            CellKind::Nand => !Logic::and_all(inputs.iter().copied()),
+            CellKind::Or => Logic::or_all(inputs.iter().copied()),
+            CellKind::Nor => !Logic::or_all(inputs.iter().copied()),
+            CellKind::Xor => Logic::xor_all(inputs.iter().copied()),
+            CellKind::Xnor => !Logic::xor_all(inputs.iter().copied()),
+            CellKind::Mux2 => {
+                assert_eq!(inputs.len(), 3, "{self} arity");
+                Logic::mux2(inputs[0], inputs[1], inputs[2])
+            }
+            _ => return None,
+        };
+        Some(v)
+    }
+
+    /// Short lowercase mnemonic (stable; used by the Verilog/DOT writers).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CellKind::Input => "input",
+            CellKind::Output => "output",
+            CellKind::Tie0 => "tie0",
+            CellKind::Tie1 => "tie1",
+            CellKind::TieX => "tiex",
+            CellKind::Buf => "buf",
+            CellKind::Not => "not",
+            CellKind::And => "and",
+            CellKind::Nand => "nand",
+            CellKind::Or => "or",
+            CellKind::Nor => "nor",
+            CellKind::Xor => "xor",
+            CellKind::Xnor => "xnor",
+            CellKind::Mux2 => "mux2",
+            CellKind::Dff => "dff",
+            CellKind::DffRl => "dff_rl",
+            CellKind::DffRh => "dff_rh",
+            CellKind::Sdff => "sdff",
+            CellKind::SdffRl => "sdff_rl",
+            CellKind::LatchLow => "latch_low",
+            CellKind::ClockGate => "cgc",
+            CellKind::Ram { .. } => "ram",
+            CellKind::RamOut { .. } => "ram_out",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        assert_eq!(CellKind::And.eval_comb(&[One, One, One]), Some(One));
+        assert_eq!(CellKind::And.eval_comb(&[One, Zero, X]), Some(Zero));
+        assert_eq!(CellKind::Nand.eval_comb(&[One, One]), Some(Zero));
+        assert_eq!(CellKind::Or.eval_comb(&[Zero, Zero]), Some(Zero));
+        assert_eq!(CellKind::Nor.eval_comb(&[Zero, X]), Some(X));
+        assert_eq!(CellKind::Xor.eval_comb(&[One, One, One]), Some(One));
+        assert_eq!(CellKind::Xnor.eval_comb(&[One, Zero]), Some(Zero));
+        assert_eq!(CellKind::Not.eval_comb(&[X]), Some(X));
+        assert_eq!(CellKind::Buf.eval_comb(&[Z]), Some(X));
+    }
+
+    #[test]
+    fn sequential_kinds_do_not_eval() {
+        assert_eq!(CellKind::Dff.eval_comb(&[One, Zero]), None);
+        assert_eq!(CellKind::LatchLow.eval_comb(&[One, Zero]), None);
+        assert_eq!(CellKind::ClockGate.eval_comb(&[One, One]), None);
+        assert_eq!(
+            CellKind::Ram {
+                addr_bits: 2,
+                data_bits: 4
+            }
+            .eval_comb(&[]),
+            None
+        );
+    }
+
+    #[test]
+    fn arity_metadata_is_consistent() {
+        assert_eq!(CellKind::Mux2.fixed_arity(), Some(3));
+        assert_eq!(CellKind::SdffRl.fixed_arity(), Some(5));
+        assert_eq!(CellKind::And.fixed_arity(), None);
+        assert_eq!(CellKind::And.min_arity(), 2);
+        assert_eq!(
+            CellKind::Ram {
+                addr_bits: 3,
+                data_bits: 8
+            }
+            .fixed_arity(),
+            Some(2 + 3 + 8)
+        );
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(CellKind::Sdff.is_flop());
+        assert!(CellKind::Sdff.is_scan_flop());
+        assert!(!CellKind::Dff.is_scan_flop());
+        assert!(CellKind::And.is_combinational());
+        assert!(!CellKind::ClockGate.is_combinational());
+        assert_eq!(CellKind::Dff.clock_pin(), Some(1));
+        assert_eq!(CellKind::ClockGate.clock_pin(), Some(0));
+        assert_eq!(CellKind::And.clock_pin(), None);
+    }
+}

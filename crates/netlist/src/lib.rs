@@ -1,0 +1,57 @@
+//! # occ-netlist — gate-level netlist kernel
+//!
+//! Flat, arena-based gate-level netlist used by every other crate in the
+//! workspace: the event-driven timing simulator, the fault simulator, the
+//! ATPG engine, the scan-insertion pass and the Clock-Pulse-Filter (CPF)
+//! generator from *Beck et al., "Logic Design for On-Chip Test Clock
+//! Generation", DATE 2005*.
+//!
+//! ## Model
+//!
+//! Every cell drives exactly one output signal, so a signal is identified
+//! by the [`CellId`] of its driver (AIG-style). Multi-output macros (the
+//! RAM) are modeled as a macro cell plus one [`CellKind::RamOut`] reader
+//! cell per data bit.
+//!
+//! ## Example
+//!
+//! ```
+//! use occ_netlist::{NetlistBuilder, Logic};
+//!
+//! # fn main() -> Result<(), occ_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let sum = b.xor2(a, c);
+//! let carry = b.and2(a, c);
+//! b.output("sum", sum);
+//! b.output("carry", carry);
+//! let nl = b.finish()?;
+//! assert_eq!(nl.primary_inputs().len(), 2);
+//! assert_eq!(nl.primary_outputs().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cell;
+mod dot;
+mod error;
+mod id;
+mod kind;
+mod logic;
+mod netlist;
+mod stats;
+mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use cell::Cell;
+pub use error::{BuildError, ValidateError};
+pub use id::CellId;
+pub use kind::CellKind;
+pub use logic::Logic;
+pub use netlist::{Levelization, Netlist};
+pub use stats::NetlistStats;

@@ -1,0 +1,237 @@
+//! Four-valued logic (`0`, `1`, `X`, `Z`) and its algebra.
+//!
+//! The simulator crates operate on this scalar type; the fault simulator
+//! re-implements the same algebra on packed 64-bit words and is
+//! property-tested against this reference implementation.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A four-valued logic level.
+///
+/// `Z` (high impedance) only arises on tri-state/pad signals; every gate
+/// input treats `Z` as [`Logic::X`], which is the standard pessimistic
+/// interpretation.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::Logic;
+/// assert_eq!(Logic::One & Logic::X, Logic::X);
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(!Logic::Zero, Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// All four values, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// Converts a boolean to a definite logic level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for definite values, `None` for `X`/`Z`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// True for `0` and `1`, false for `X` and `Z`.
+    #[inline]
+    pub fn is_definite(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Collapses `Z` to `X`; gate inputs see floating nets as unknown.
+    #[inline]
+    pub fn drive(self) -> Self {
+        match self {
+            Logic::Z => Logic::X,
+            other => other,
+        }
+    }
+
+    /// N-ary AND over an iterator (identity `1`).
+    pub fn and_all<I: IntoIterator<Item = Logic>>(iter: I) -> Logic {
+        iter.into_iter().fold(Logic::One, |acc, v| acc & v)
+    }
+
+    /// N-ary OR over an iterator (identity `0`).
+    pub fn or_all<I: IntoIterator<Item = Logic>>(iter: I) -> Logic {
+        iter.into_iter().fold(Logic::Zero, |acc, v| acc | v)
+    }
+
+    /// N-ary XOR over an iterator (identity `0`).
+    pub fn xor_all<I: IntoIterator<Item = Logic>>(iter: I) -> Logic {
+        iter.into_iter().fold(Logic::Zero, |acc, v| acc ^ v)
+    }
+
+    /// Two-to-one multiplexer: returns `d0` when `sel` is `0`, `d1` when
+    /// `sel` is `1`. For an unknown select the result is the common value
+    /// of `d0` and `d1` if they agree and are definite, else `X`
+    /// (the usual "optimistic X" mux semantics).
+    #[inline]
+    pub fn mux2(sel: Logic, d0: Logic, d1: Logic) -> Logic {
+        match sel.drive() {
+            Logic::Zero => d0.drive(),
+            Logic::One => d1.drive(),
+            _ => {
+                let (a, b) = (d0.drive(), d1.drive());
+                if a == b && a.is_definite() {
+                    a
+                } else {
+                    Logic::X
+                }
+            }
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    #[inline]
+    fn not(self) -> Logic {
+        match self.drive() {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self.drive(), rhs.drive()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self.drive(), rhs.drive()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.drive(), rhs.drive()) {
+            (Logic::Zero, b) if b.is_definite() => b,
+            (Logic::One, Logic::Zero) => Logic::One,
+            (Logic::One, Logic::One) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values_beat_x() {
+        assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+        assert_eq!(Logic::X & Logic::Zero, Logic::Zero);
+        assert_eq!(Logic::One | Logic::X, Logic::One);
+        assert_eq!(Logic::X | Logic::One, Logic::One);
+    }
+
+    #[test]
+    fn xor_never_resolves_x() {
+        for v in Logic::ALL {
+            if !v.is_definite() {
+                assert_eq!(Logic::One ^ v, Logic::X);
+                assert_eq!(v ^ Logic::Zero, Logic::X);
+            }
+        }
+    }
+
+    #[test]
+    fn z_reads_as_x_at_gate_inputs() {
+        assert_eq!(Logic::Z & Logic::One, Logic::X);
+        assert_eq!(Logic::Z | Logic::Zero, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        use Logic::*;
+        assert_eq!(Logic::mux2(Zero, One, Zero), One);
+        assert_eq!(Logic::mux2(One, One, Zero), Zero);
+        // Optimistic merge when both legs agree.
+        assert_eq!(Logic::mux2(X, One, One), One);
+        assert_eq!(Logic::mux2(X, One, Zero), X);
+        assert_eq!(Logic::mux2(X, X, X), X);
+    }
+
+    #[test]
+    fn demorgan_holds_for_definite_values() {
+        for a in [Logic::Zero, Logic::One] {
+            for b in [Logic::Zero, Logic::One] {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn nary_folds() {
+        use Logic::*;
+        assert_eq!(Logic::and_all([One, One, Zero]), Zero);
+        assert_eq!(Logic::and_all([One, One, One]), One);
+        assert_eq!(Logic::or_all([Zero, Zero, One]), One);
+        assert_eq!(Logic::xor_all([One, One, One]), One);
+        assert_eq!(Logic::xor_all([] as [Logic; 0]), Zero);
+    }
+
+    #[test]
+    fn default_is_x() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+}

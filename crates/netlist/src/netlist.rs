@@ -1,0 +1,297 @@
+//! The immutable netlist arena and its derived views.
+
+use crate::{Cell, CellId, CellKind};
+use std::collections::HashMap;
+
+/// A validated, immutable gate-level netlist.
+///
+/// Produced by [`NetlistBuilder::finish`](crate::NetlistBuilder::finish);
+/// construction is the only mutation path, so every `Netlist` is
+/// structurally sound: arities match, no dangling references, no
+/// combinational cycles.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, CellKind};
+/// # fn main() -> Result<(), occ_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let q = b.not(a);
+/// b.output("q", q);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.cell(q).kind(), CellKind::Not);
+/// assert_eq!(nl.fanouts(a), &[q]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: Box<str>,
+    cells: Vec<Cell>,
+    primary_inputs: Vec<CellId>,
+    primary_outputs: Vec<CellId>,
+    fanouts: Vec<Vec<CellId>>,
+    levelization: Levelization,
+    by_name: HashMap<Box<str>, CellId>,
+}
+
+/// Topological ordering of the combinational cells of a netlist.
+///
+/// Sequential cells (flops, latches, clock gates, RAM) and sources
+/// (inputs, ties) sit at level 0; each combinational cell is one level
+/// above its deepest input. [`Levelization::order`] lists combinational
+/// cells in a valid single-pass evaluation order.
+#[derive(Debug, Clone, Default)]
+pub struct Levelization {
+    order: Vec<CellId>,
+    level: Vec<u32>,
+    max_level: u32,
+}
+
+impl Levelization {
+    pub(crate) fn new(order: Vec<CellId>, level: Vec<u32>, max_level: u32) -> Self {
+        Levelization {
+            order,
+            level,
+            max_level,
+        }
+    }
+
+    /// Combinational cells in dependency order (inputs before outputs).
+    #[inline]
+    pub fn order(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// Level of a cell (0 for sources and sequential cells).
+    #[inline]
+    pub fn level(&self, id: CellId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The deepest combinational level in the netlist.
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+}
+
+impl Netlist {
+    pub(crate) fn assemble(
+        name: Box<str>,
+        cells: Vec<Cell>,
+        primary_inputs: Vec<CellId>,
+        primary_outputs: Vec<CellId>,
+        levelization: Levelization,
+    ) -> Self {
+        let mut fanouts: Vec<Vec<CellId>> = vec![Vec::new(); cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            let sink = CellId::from_index(i);
+            for &src in cell.inputs() {
+                fanouts[src.index()].push(sink);
+            }
+        }
+        let mut by_name = HashMap::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if let Some(n) = cell.name() {
+                by_name.insert(n.into(), CellId::from_index(i));
+            }
+        }
+        Netlist {
+            name,
+            cells,
+            primary_inputs,
+            primary_outputs,
+            fanouts,
+            levelization,
+            by_name,
+        }
+    }
+
+    /// The design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells (including inputs, outputs and ties).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the netlist has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Iterates over `(id, cell)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// All cell ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len()).map(CellId::from_index)
+    }
+
+    /// Primary inputs in declaration order.
+    #[inline]
+    pub fn primary_inputs(&self) -> &[CellId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in declaration order.
+    #[inline]
+    pub fn primary_outputs(&self) -> &[CellId] {
+        &self.primary_outputs
+    }
+
+    /// Cells that consume the output of `id`, in id order.
+    #[inline]
+    pub fn fanouts(&self, id: CellId) -> &[CellId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// The combinational levelization computed at build time.
+    #[inline]
+    pub fn levelization(&self) -> &Levelization {
+        &self.levelization
+    }
+
+    /// Looks up a cell by its instance name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all flip-flop cells.
+    pub fn flops(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.iter().filter(|(_, c)| c.kind().is_flop())
+    }
+
+    /// Iterates over all cells of one kind.
+    pub fn cells_of_kind(&self, kind: CellKind) -> impl Iterator<Item = CellId> + '_ {
+        self.iter()
+            .filter(move |(_, c)| c.kind() == kind)
+            .map(|(id, _)| id)
+    }
+
+    /// Number of "logic gates" in the data-book sense: everything except
+    /// primary inputs/outputs and tie cells. This is the count the paper
+    /// uses when it states the CPF "consists of ten standard digital
+    /// logic gates".
+    pub fn logic_gate_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| {
+                !matches!(
+                    c.kind(),
+                    CellKind::Input
+                        | CellKind::Output
+                        | CellKind::Tie0
+                        | CellKind::Tie1
+                        | CellKind::TieX
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CellKind, NetlistBuilder};
+
+    #[test]
+    fn fanout_lists_are_complete() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.and2(a, x);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.fanouts(a), &[x, y]);
+        assert_eq!(nl.fanouts(x), &[y]);
+        assert_eq!(nl.fanouts(y).len(), 1); // the output marker
+    }
+
+    #[test]
+    fn levelization_orders_dependencies() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let n1 = b.and2(a, bb);
+        let n2 = b.or2(n1, a);
+        let n3 = b.xor2(n2, n1);
+        b.output("o", n3);
+        let nl = b.finish().unwrap();
+        let lev = nl.levelization();
+        assert_eq!(lev.level(a), 0);
+        assert_eq!(lev.level(n1), 1);
+        assert_eq!(lev.level(n2), 2);
+        assert_eq!(lev.level(n3), 3);
+        assert_eq!(lev.max_level(), 4); // the PO marker sits above n3
+        let pos: std::collections::HashMap<_, _> = lev
+            .order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        assert!(pos[&n1] < pos[&n2]);
+        assert!(pos[&n2] < pos[&n3]);
+    }
+
+    #[test]
+    fn flop_breaks_levelization_cycle() {
+        // q feeds back through an inverter into its own d: legal because
+        // the flop is a sequential boundary.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let ff = b.dff_uninit(clk);
+        let d = b.not(ff);
+        b.set_flop_d(ff, d);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.levelization().level(ff), 0);
+        assert_eq!(nl.levelization().level(d), 1);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let n = b.not(a);
+        b.name_cell(n, "u_inv");
+        b.output("o", n);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.find("u_inv"), Some(n));
+        assert_eq!(nl.find("a"), Some(a));
+        assert_eq!(nl.find("missing"), None);
+    }
+
+    #[test]
+    fn logic_gate_count_excludes_ports_and_ties() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let t1 = b.tie1();
+        let g = b.and2(a, t1);
+        b.output("o", g);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.logic_gate_count(), 1);
+        assert_eq!(nl.cells_of_kind(CellKind::And).count(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Netlist statistics reporting.
+
+use crate::{CellKind, Netlist};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics over a netlist, as printed by architecture
+/// reports (Figure 1 reproduction) and used in tests.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, NetlistStats};
+/// # fn main() -> Result<(), occ_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let c = b.input("clk");
+/// let n = b.not(a);
+/// let f = b.dff(n, c);
+/// b.output("q", f);
+/// let stats = NetlistStats::of(&b.finish()?);
+/// assert_eq!(stats.flops, 1);
+/// assert_eq!(stats.inputs, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Total flip-flops (scan + non-scan).
+    pub flops: usize,
+    /// Mux-scan flip-flops.
+    pub scan_flops: usize,
+    /// Level-sensitive latches.
+    pub latches: usize,
+    /// Integrated clock-gating cells.
+    pub clock_gates: usize,
+    /// RAM macros.
+    pub rams: usize,
+    /// Combinational gates (excluding ports/ties).
+    pub comb_gates: usize,
+    /// Logic gates in the data-book sense (everything but ports/ties).
+    pub logic_gates: usize,
+    /// Deepest combinational level.
+    pub max_level: u32,
+    /// Per-kind cell counts (by mnemonic, sorted).
+    pub by_kind: BTreeMap<&'static str, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            inputs: netlist.primary_inputs().len(),
+            outputs: netlist.primary_outputs().len(),
+            max_level: netlist.levelization().max_level(),
+            logic_gates: netlist.logic_gate_count(),
+            ..NetlistStats::default()
+        };
+        for (_, cell) in netlist.iter() {
+            let kind = cell.kind();
+            *s.by_kind.entry(kind.mnemonic()).or_insert(0) += 1;
+            if kind.is_flop() {
+                s.flops += 1;
+                if kind.is_scan_flop() {
+                    s.scan_flops += 1;
+                }
+            }
+            match kind {
+                CellKind::LatchLow => s.latches += 1,
+                CellKind::ClockGate => s.clock_gates += 1,
+                CellKind::Ram { .. } => s.rams += 1,
+                k if k.is_combinational()
+                    && !matches!(
+                        k,
+                        CellKind::Input
+                            | CellKind::Output
+                            | CellKind::Tie0
+                            | CellKind::Tie1
+                            | CellKind::TieX
+                    ) =>
+                {
+                    s.comb_gates += 1
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "inputs        : {}", self.inputs)?;
+        writeln!(f, "outputs       : {}", self.outputs)?;
+        writeln!(f, "flops         : {} ({} scan)", self.flops, self.scan_flops)?;
+        writeln!(f, "latches       : {}", self.latches)?;
+        writeln!(f, "clock gates   : {}", self.clock_gates)?;
+        writeln!(f, "ram macros    : {}", self.rams)?;
+        writeln!(f, "comb gates    : {}", self.comb_gates)?;
+        writeln!(f, "logic gates   : {}", self.logic_gates)?;
+        writeln!(f, "max level     : {}", self.max_level)?;
+        for (k, v) in &self.by_kind {
+            writeln!(f, "  {k:<12}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn counts_every_category() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let en = b.input("en");
+        let d = b.input("d");
+        let se = b.input("se");
+        let si = b.input("si");
+        let g = b.and2(d, en);
+        let ff = b.sdff(g, clk, se, si);
+        let nf = b.dff(g, clk);
+        let cg = b.clock_gate(clk, en);
+        let lt = b.latch_low(d, en);
+        let o = b.or_n(&[ff, nf, cg, lt]);
+        b.output("o", o);
+        let stats = NetlistStats::of(&b.finish().unwrap());
+        assert_eq!(stats.inputs, 5);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.flops, 2);
+        assert_eq!(stats.scan_flops, 1);
+        assert_eq!(stats.latches, 1);
+        assert_eq!(stats.clock_gates, 1);
+        assert_eq!(stats.comb_gates, 2);
+        assert_eq!(stats.logic_gates, 6);
+        assert_eq!(stats.by_kind["sdff"], 1);
+        let text = stats.to_string();
+        assert!(text.contains("flops         : 2 (1 scan)"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the netlist kernel: logic algebra laws and
+//! structural invariants of randomly built netlists.
+
+use occ_netlist::{CellKind, Logic, NetlistBuilder};
+use proptest::prelude::*;
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::Zero),
+        Just(Logic::One),
+        Just(Logic::X),
+        Just(Logic::Z),
+    ]
+}
+
+proptest! {
+    /// AND/OR are commutative and associative for all 4 values.
+    #[test]
+    fn and_or_comm_assoc(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+    }
+
+    /// XOR is commutative/associative for all 4 values.
+    #[test]
+    fn xor_comm_assoc(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
+        prop_assert_eq!(a ^ b, b ^ a);
+        prop_assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+    }
+
+    /// De Morgan holds in 4-valued logic (with Z read as X).
+    #[test]
+    fn demorgan(a in arb_logic(), b in arb_logic()) {
+        prop_assert_eq!(!(a & b), !a | !b);
+        prop_assert_eq!(!(a | b), !a & !b);
+    }
+
+    /// Double negation normalizes Z to X but is otherwise the identity.
+    #[test]
+    fn double_negation(a in arb_logic()) {
+        prop_assert_eq!(!!a, a.drive());
+    }
+
+    /// Gate-level eval agrees with the scalar fold it documents.
+    #[test]
+    fn nary_eval_matches_fold(vals in prop::collection::vec(arb_logic(), 2..6)) {
+        let and = CellKind::And.eval_comb(&vals).unwrap();
+        prop_assert_eq!(and, Logic::and_all(vals.iter().copied()));
+        let nor = CellKind::Nor.eval_comb(&vals).unwrap();
+        prop_assert_eq!(nor, !Logic::or_all(vals.iter().copied()));
+        let xnor = CellKind::Xnor.eval_comb(&vals).unwrap();
+        prop_assert_eq!(xnor, !Logic::xor_all(vals.iter().copied()));
+    }
+
+    /// Mux with a definite select equals the selected leg (driven).
+    #[test]
+    fn mux_definite_select(d0 in arb_logic(), d1 in arb_logic()) {
+        prop_assert_eq!(Logic::mux2(Logic::Zero, d0, d1), d0.drive());
+        prop_assert_eq!(Logic::mux2(Logic::One, d0, d1), d1.drive());
+    }
+}
+
+/// Builds a random DAG of gates over `n_in` inputs using the op stream,
+/// returning the builder (all ops reference already-created cells, so the
+/// result must always validate).
+fn random_dag(n_in: usize, ops: &[(u8, usize, usize)]) -> NetlistBuilder {
+    let mut b = NetlistBuilder::new("rand");
+    let mut sigs = Vec::new();
+    for i in 0..n_in {
+        sigs.push(b.input(&format!("i{i}")));
+    }
+    for &(op, x, y) in ops {
+        let a = sigs[x % sigs.len()];
+        let c = sigs[y % sigs.len()];
+        let id = match op % 6 {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.not(a),
+            _ => b.mux2(a, c, a),
+        };
+        sigs.push(id);
+    }
+    let last = *sigs.last().unwrap();
+    b.output("o", last);
+    b
+}
+
+proptest! {
+    /// Any program of backwards-referencing ops yields a valid netlist
+    /// whose levelization respects dependencies.
+    #[test]
+    fn random_dags_validate_and_levelize(
+        n_in in 1usize..5,
+        ops in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..60),
+    ) {
+        let nl = random_dag(n_in, &ops).finish().unwrap();
+        let lev = nl.levelization();
+        for (id, cell) in nl.iter() {
+            if cell.kind().is_combinational() && !cell.inputs().is_empty() {
+                for &src in cell.inputs() {
+                    prop_assert!(lev.level(src) < lev.level(id));
+                }
+            }
+        }
+        // Fanout symmetry: every input edge appears in the driver's list.
+        for (id, cell) in nl.iter() {
+            for &src in cell.inputs() {
+                prop_assert!(nl.fanouts(src).contains(&id));
+            }
+        }
+    }
+
+    /// Verilog and DOT writers never panic and always produce framed text.
+    #[test]
+    fn writers_are_total(
+        n_in in 1usize..4,
+        ops in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..30),
+    ) {
+        let nl = random_dag(n_in, &ops).finish().unwrap();
+        let v = nl.to_verilog();
+        prop_assert!(v.contains("module"));
+        prop_assert!(v.trim_end().ends_with("endmodule"));
+        let d = nl.to_dot();
+        prop_assert!(d.starts_with("digraph"));
+    }
+}

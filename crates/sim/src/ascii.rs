@@ -1,0 +1,145 @@
+//! ASCII waveform rendering — how this workspace reprints the paper's
+//! Figure 2 and Figure 4 in a terminal.
+
+use crate::{Time, Trace};
+use occ_netlist::{CellId, Logic};
+
+/// Options controlling ASCII waveform rendering.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Start of the rendered window (inclusive).
+    pub from: Time,
+    /// End of the rendered window (exclusive).
+    pub to: Time,
+    /// Picoseconds represented by one character column.
+    pub resolution: Time,
+}
+
+impl AsciiOptions {
+    /// A window `[from, to)` sampled every `resolution` ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the resolution is zero.
+    pub fn window(from: Time, to: Time, resolution: Time) -> Self {
+        assert!(to > from, "empty render window");
+        assert!(resolution > 0, "resolution must be positive");
+        AsciiOptions {
+            from,
+            to,
+            resolution,
+        }
+    }
+}
+
+/// Renders the given signals of a trace as one ASCII line each.
+///
+/// Legend: `_` low, `▔` high, `x` unknown, `z` high-impedance; a column
+/// where the value changes is drawn with the *new* value so edges align
+/// with their sample column.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_sim::{EventSim, DelayModel, Waveform, AsciiOptions, render_ascii};
+///
+/// # fn main() -> Result<(), occ_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// b.output("o", clk);
+/// let nl = b.finish()?;
+/// let mut sim = EventSim::new(&nl, DelayModel::default());
+/// sim.watch(clk);
+/// sim.drive(clk, Waveform::clock(100, 0, 400));
+/// sim.run_until(400);
+/// let art = render_ascii(sim.trace(), &[clk], &AsciiOptions::window(0, 400, 25));
+/// assert!(art.contains("clk"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_ascii(trace: &Trace, signals: &[CellId], opts: &AsciiOptions) -> String {
+    let name_width = signals
+        .iter()
+        .map(|id| signal_name(trace, *id).len())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+
+    let mut out = String::new();
+    for &id in signals {
+        let name = signal_name(trace, id);
+        out.push_str(&format!("{name:<name_width$} "));
+        let mut t = opts.from;
+        while t < opts.to {
+            out.push(glyph(trace.value_at(id, t)));
+            t += opts.resolution;
+        }
+        out.push('\n');
+    }
+    // Time ruler.
+    out.push_str(&format!("{:<name_width$} ", "t/ps"));
+    let cols = ((opts.to - opts.from) / opts.resolution) as usize;
+    let mut ruler = vec![b' '; cols];
+    let mut t = opts.from;
+    let mut col = 0usize;
+    while col < cols {
+        if col % 10 == 0 {
+            let label = t.to_string();
+            for (k, ch) in label.bytes().enumerate() {
+                if col + k < cols {
+                    ruler[col + k] = ch;
+                }
+            }
+        }
+        col += 1;
+        t += opts.resolution;
+    }
+    out.push_str(std::str::from_utf8(&ruler).expect("ascii ruler"));
+    out.push('\n');
+    out
+}
+
+fn signal_name(trace: &Trace, id: CellId) -> String {
+    trace
+        .signals()
+        .find(|(sid, _)| *sid == id)
+        .map(|(_, n)| n.to_owned())
+        .unwrap_or_else(|| id.to_string())
+}
+
+fn glyph(v: Logic) -> char {
+    match v {
+        Logic::Zero => '_',
+        Logic::One => '▔',
+        Logic::X => 'x',
+        Logic::Z => 'z',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_levels_and_ruler() {
+        let id = CellId::from_index(0);
+        let mut t = Trace::new();
+        t.add_signal(id, "sig".into(), Logic::Zero);
+        t.record(id, 50, Logic::Zero, Logic::One);
+        t.set_end_time(100);
+        let art = render_ascii(&t, &[id], &AsciiOptions::window(0, 100, 10));
+        let line = art.lines().next().unwrap();
+        assert!(line.starts_with("sig"));
+        let wave: String = line.chars().skip_while(|c| *c != '_').collect();
+        assert_eq!(wave.chars().filter(|&c| c == '_').count(), 5);
+        assert_eq!(wave.chars().filter(|&c| c == '▔').count(), 5);
+        assert!(art.contains("t/ps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty render window")]
+    fn rejects_empty_window() {
+        let _ = AsciiOptions::window(10, 10, 1);
+    }
+}

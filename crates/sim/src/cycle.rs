@@ -1,0 +1,529 @@
+//! Zero-delay cycle simulation with structural clock-path resolution.
+
+use occ_netlist::{CellId, CellKind, Logic, Netlist};
+use std::collections::HashMap;
+
+/// A zero-delay, clock-edge-at-a-time simulator.
+///
+/// Between calls to [`CycleSim::pulse`] all clocks are conceptually low;
+/// a pulse is a rising edge applied at one or more clock *ports*. The
+/// simulator resolves each flip-flop's clock pin back to a port
+/// **structurally through the live netlist** — buffers, clock-gating
+/// cells (pass when the settled enable is `1`) and 2-to-1 muxes (follow
+/// the settled select) — so a flop behind a CPF really only captures
+/// when the CPF lets the pulse through. This mirrors how the paper's
+/// ATE protocol interacts with the on-chip clock generation.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_sim::CycleSim;
+///
+/// # fn main() -> Result<(), occ_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let d = b.input("d");
+/// let q = b.dff(d, clk);
+/// b.output("q", q);
+/// let nl = b.finish()?;
+///
+/// let mut sim = CycleSim::new(&nl);
+/// sim.set(d, Logic::One);
+/// sim.settle();
+/// sim.pulse(&[clk]);
+/// assert_eq!(sim.value(q), Logic::One);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CycleSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Logic>,
+    ram: HashMap<CellId, RamBox>,
+}
+
+#[derive(Debug, Default)]
+struct RamBox {
+    mem: HashMap<u64, Vec<Logic>>,
+    poisoned: bool,
+}
+
+impl<'a> CycleSim<'a> {
+    /// Creates a simulator; all state starts at `X`, ties at their
+    /// constants.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut values = vec![Logic::X; netlist.len()];
+        let mut ram = HashMap::new();
+        for (id, cell) in netlist.iter() {
+            match cell.kind() {
+                CellKind::Tie0 => values[id.index()] = Logic::Zero,
+                CellKind::Tie1 => values[id.index()] = Logic::One,
+                CellKind::Ram { .. } => {
+                    ram.insert(id, RamBox::default());
+                }
+                _ => {}
+            }
+        }
+        CycleSim {
+            netlist,
+            values,
+            ram,
+        }
+    }
+
+    /// Sets a primary input value (takes effect at the next
+    /// [`CycleSim::settle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is not a primary input.
+    pub fn set(&mut self, pi: CellId, v: Logic) {
+        assert_eq!(
+            self.netlist.cell(pi).kind(),
+            CellKind::Input,
+            "set() target must be a primary input"
+        );
+        self.values[pi.index()] = v;
+    }
+
+    /// Directly overwrites a flip-flop's state (scan-load shortcut used
+    /// by tests and the protocol driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is not a flip-flop.
+    pub fn set_flop(&mut self, ff: CellId, v: Logic) {
+        assert!(
+            self.netlist.cell(ff).kind().is_flop(),
+            "set_flop() target must be a flop"
+        );
+        self.values[ff.index()] = v;
+    }
+
+    /// Current value of any signal.
+    pub fn value(&self, id: CellId) -> Logic {
+        self.values[id.index()]
+    }
+
+    /// Evaluates combinational logic (and transparent latches, RAM read
+    /// ports and asynchronous resets) to a fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latch feedback fails to converge within a small bound
+    /// (indicates an oscillating latch loop in the design).
+    pub fn settle(&mut self) {
+        for _round in 0..8 {
+            let mut changed = false;
+
+            // Combinational cells in topological order.
+            for &id in self.netlist.levelization().order() {
+                let cell = self.netlist.cell(id);
+                let ins: Vec<Logic> = cell
+                    .inputs()
+                    .iter()
+                    .map(|&i| self.values[i.index()])
+                    .collect();
+                let v = cell
+                    .kind()
+                    .eval_comb(&ins)
+                    .expect("levelization order holds combinational cells");
+                if self.values[id.index()] != v {
+                    self.values[id.index()] = v;
+                    changed = true;
+                }
+            }
+
+            // Latches, RAM read ports, async resets: level-sensitive.
+            for (id, cell) in self.netlist.iter() {
+                let v = match cell.kind() {
+                    CellKind::LatchLow => {
+                        let d = self.values[cell.inputs()[0].index()].drive();
+                        let en = self.values[cell.inputs()[1].index()].drive();
+                        match en {
+                            Logic::Zero => d,
+                            Logic::One => continue,
+                            _ => {
+                                if d == self.values[id.index()] && d.is_definite() {
+                                    continue;
+                                }
+                                Logic::X
+                            }
+                        }
+                    }
+                    CellKind::ClockGate => {
+                        // Clocks idle low between pulses.
+                        Logic::Zero
+                    }
+                    CellKind::RamOut { bit } => self.read_ram_bit(id, bit),
+                    k if k.is_flop() => {
+                        match self.reset_state(id) {
+                            ResetState::Active => Logic::Zero,
+                            ResetState::Unknown => {
+                                if self.values[id.index()] == Logic::Zero {
+                                    continue;
+                                }
+                                Logic::X
+                            }
+                            ResetState::Inactive => continue,
+                        }
+                    }
+                    _ => continue,
+                };
+                if self.values[id.index()] != v {
+                    self.values[id.index()] = v;
+                    changed = true;
+                }
+            }
+
+            if !changed {
+                return;
+            }
+        }
+        panic!("cycle simulation failed to settle (oscillating latch loop?)");
+    }
+
+    /// Applies one rising edge at the given clock ports: every flop (and
+    /// RAM) whose resolved clock root is one of `ports` captures, all
+    /// captures commit simultaneously, then the netlist settles.
+    pub fn pulse(&mut self, ports: &[CellId]) {
+        self.settle();
+
+        let mut updates: Vec<(CellId, Logic)> = Vec::new();
+        let mut ram_writes: Vec<CellId> = Vec::new();
+
+        for (id, cell) in self.netlist.iter() {
+            match cell.kind() {
+                k if k.is_flop() => {
+                    let Some(root) = self.clock_root(cell.clock()) else {
+                        continue;
+                    };
+                    if !ports.contains(&root) {
+                        continue;
+                    }
+                    if self.reset_state(id) == ResetState::Active {
+                        updates.push((id, Logic::Zero));
+                        continue;
+                    }
+                    let sample = match cell.kind() {
+                        CellKind::Sdff | CellKind::SdffRl => {
+                            let d = self.values[cell.inputs()[0].index()];
+                            let se = self.values[cell.inputs()[2].index()];
+                            let si = self.values[cell.inputs()[3].index()];
+                            Logic::mux2(se, d, si)
+                        }
+                        _ => self.values[cell.inputs()[0].index()].drive(),
+                    };
+                    updates.push((id, sample));
+                }
+                CellKind::Ram { .. } => {
+                    let Some(root) = self.clock_root(cell.inputs()[0]) else {
+                        continue;
+                    };
+                    if ports.contains(&root) {
+                        ram_writes.push(id);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for (id, v) in updates {
+            self.values[id.index()] = v;
+        }
+        for id in ram_writes {
+            self.write_ram(id);
+        }
+        self.settle();
+    }
+
+    /// Resolves a clock pin back to the primary-input port that drives
+    /// it, following buffers, enabled clock gates and settled muxes.
+    /// Returns `None` when the path is blocked (disabled gate, unknown
+    /// mux select) or goes through unsupported logic.
+    pub fn clock_root(&self, mut cur: CellId) -> Option<CellId> {
+        for _ in 0..64 {
+            let cell = self.netlist.cell(cur);
+            match cell.kind() {
+                CellKind::Input => return Some(cur),
+                CellKind::Buf | CellKind::Output => cur = cell.inputs()[0],
+                CellKind::ClockGate => {
+                    let en = self.values[cell.inputs()[1].index()].drive();
+                    if en == Logic::One {
+                        cur = cell.inputs()[0];
+                    } else {
+                        return None;
+                    }
+                }
+                CellKind::Mux2 => {
+                    let sel = self.values[cell.inputs()[0].index()].drive();
+                    match sel {
+                        Logic::Zero => cur = cell.inputs()[1],
+                        Logic::One => cur = cell.inputs()[2],
+                        _ => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    fn reset_state(&self, ff: CellId) -> ResetState {
+        let cell = self.netlist.cell(ff);
+        let Some(rpin) = cell.reset() else {
+            return ResetState::Inactive;
+        };
+        let r = self.values[rpin.index()].drive();
+        let active = match cell.kind() {
+            CellKind::DffRl | CellKind::SdffRl => r == Logic::Zero,
+            CellKind::DffRh => r == Logic::One,
+            _ => false,
+        };
+        if active {
+            ResetState::Active
+        } else if r.is_definite() {
+            ResetState::Inactive
+        } else {
+            ResetState::Unknown
+        }
+    }
+
+    fn write_ram(&mut self, ram: CellId) {
+        let cell = self.netlist.cell(ram);
+        let CellKind::Ram {
+            addr_bits,
+            data_bits,
+        } = cell.kind()
+        else {
+            return;
+        };
+        let we = self.values[cell.inputs()[1].index()].drive();
+        if we == Logic::Zero {
+            return;
+        }
+        let mut addr = 0u64;
+        let mut known = we == Logic::One;
+        for k in 0..addr_bits as usize {
+            match self.values[cell.inputs()[2 + k].index()].drive() {
+                Logic::One => addr |= 1 << k,
+                Logic::Zero => {}
+                _ => known = false,
+            }
+        }
+        let din: Vec<Logic> = (0..data_bits as usize)
+            .map(|k| self.values[cell.inputs()[2 + addr_bits as usize + k].index()].drive())
+            .collect();
+        let state = self.ram.get_mut(&ram).expect("ram state exists");
+        if known {
+            state.mem.insert(addr, din);
+        } else {
+            state.poisoned = true;
+        }
+    }
+
+    fn read_ram_bit(&self, port: CellId, bit: u8) -> Logic {
+        let ram = self.netlist.cell(port).inputs()[0];
+        let rc = self.netlist.cell(ram);
+        let CellKind::Ram { addr_bits, .. } = rc.kind() else {
+            return Logic::X;
+        };
+        let state = &self.ram[&ram];
+        if state.poisoned {
+            return Logic::X;
+        }
+        let mut addr = 0u64;
+        for k in 0..addr_bits as usize {
+            match self.values[rc.inputs()[2 + k].index()].drive() {
+                Logic::One => addr |= 1 << k,
+                Logic::Zero => {}
+                _ => return Logic::X,
+            }
+        }
+        state
+            .mem
+            .get(&addr)
+            .and_then(|w| w.get(bit as usize).copied())
+            .unwrap_or(Logic::X)
+    }
+}
+
+enum ResetState {
+    Active,
+    Inactive,
+    Unknown,
+}
+
+impl PartialEq for ResetState {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (ResetState::Active, ResetState::Active)
+                | (ResetState::Inactive, ResetState::Inactive)
+                | (ResetState::Unknown, ResetState::Unknown)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn shift_register_advances_one_per_pulse() {
+        let mut b = NetlistBuilder::new("sr");
+        let clk = b.input("clk");
+        let si = b.input("si");
+        let f0 = b.dff(si, clk);
+        let f1 = b.dff(f0, clk);
+        let f2 = b.dff(f1, clk);
+        b.output("so", f2);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(si, Logic::One);
+        sim.pulse(&[clk]);
+        sim.set(si, Logic::Zero);
+        sim.pulse(&[clk]);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(f2), Logic::One);
+        assert_eq!(sim.value(f1), Logic::Zero);
+        assert_eq!(sim.value(f0), Logic::Zero);
+    }
+
+    #[test]
+    fn gated_clock_blocks_capture() {
+        let mut b = NetlistBuilder::new("g");
+        let clk = b.input("clk");
+        let en = b.input("en");
+        let d = b.input("d");
+        let g = b.clock_gate(clk, en);
+        let ff = b.dff(d, g);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(d, Logic::One);
+        sim.set(en, Logic::Zero);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(ff), Logic::X); // never captured
+        sim.set(en, Logic::One);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(ff), Logic::One);
+    }
+
+    #[test]
+    fn muxed_clock_follows_select() {
+        let mut b = NetlistBuilder::new("m");
+        let cka = b.input("cka");
+        let ckb = b.input("ckb");
+        let sel = b.input("sel");
+        let d = b.input("d");
+        let mx = b.mux2(sel, cka, ckb);
+        let ff = b.dff(d, mx);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(d, Logic::One);
+        sim.set(sel, Logic::Zero); // clock = cka
+        sim.pulse(&[ckb]);
+        assert_eq!(sim.value(ff), Logic::X);
+        sim.pulse(&[cka]);
+        assert_eq!(sim.value(ff), Logic::One);
+    }
+
+    #[test]
+    fn simultaneous_capture_uses_old_values() {
+        // Two flops swapping values must exchange, not duplicate.
+        let mut b = NetlistBuilder::new("swap");
+        let clk = b.input("clk");
+        let f0 = b.dff_uninit(clk);
+        let f1 = b.dff_uninit(clk);
+        b.set_flop_d(f0, f1);
+        b.set_flop_d(f1, f0);
+        b.output("a", f0);
+        b.output("b", f1);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set_flop(f0, Logic::One);
+        sim.set_flop(f1, Logic::Zero);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(f0), Logic::Zero);
+        assert_eq!(sim.value(f1), Logic::One);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(f0), Logic::One);
+        assert_eq!(sim.value(f1), Logic::Zero);
+    }
+
+    #[test]
+    fn async_reset_applies_without_clock() {
+        let mut b = NetlistBuilder::new("r");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let rstn = b.input("rstn");
+        let ff = b.dff_rl(d, clk, rstn);
+        b.output("q", ff);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(d, Logic::One);
+        sim.set(rstn, Logic::One);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(ff), Logic::One);
+        sim.set(rstn, Logic::Zero);
+        sim.settle();
+        assert_eq!(sim.value(ff), Logic::Zero);
+    }
+
+    #[test]
+    fn scan_path_shift_through_sdff() {
+        let mut b = NetlistBuilder::new("scan");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let f0 = b.sdff(d0, clk, se, si);
+        let f1 = b.sdff(d1, clk, se, f0);
+        b.output("so", f1);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(se, Logic::One);
+        sim.set(si, Logic::One);
+        sim.set(d0, Logic::Zero);
+        sim.set(d1, Logic::Zero);
+        sim.pulse(&[clk]);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(f1), Logic::One);
+        // Functional capture overrides the scan path when se drops.
+        sim.set(se, Logic::Zero);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(f0), Logic::Zero);
+        assert_eq!(sim.value(f1), Logic::Zero);
+    }
+
+    #[test]
+    fn ram_macro_write_read_cycle() {
+        let mut b = NetlistBuilder::new("ram");
+        let clk = b.input("clk");
+        let we = b.input("we");
+        let a0 = b.input("a0");
+        let a1 = b.input("a1");
+        let d0 = b.input("d0");
+        let (_h, outs) = b.ram(clk, we, &[a0, a1], &[d0]);
+        b.output("q", outs[0]);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        // Write 1 to address 2.
+        sim.set(we, Logic::One);
+        sim.set(a0, Logic::Zero);
+        sim.set(a1, Logic::One);
+        sim.set(d0, Logic::One);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(outs[0]), Logic::One);
+        // Read address 0: never written -> X.
+        sim.set(we, Logic::Zero);
+        sim.set(a1, Logic::Zero);
+        sim.settle();
+        assert_eq!(sim.value(outs[0]), Logic::X);
+    }
+}

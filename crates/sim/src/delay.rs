@@ -1,0 +1,113 @@
+//! Per-cell propagation delays for the event-driven simulator.
+
+use crate::Time;
+use occ_netlist::{CellId, CellKind};
+use std::collections::HashMap;
+
+/// Assigns a propagation delay to every cell.
+///
+/// The default model uses small, distinct per-kind delays (gates faster
+/// than flops) so that waveforms are realistic but easy to reason about
+/// in tests; individual cells can be overridden, which the CPF tests use
+/// to check glitch-freedom under skewed enables.
+///
+/// # Examples
+///
+/// ```
+/// use occ_sim::DelayModel;
+/// use occ_netlist::CellKind;
+///
+/// let mut dm = DelayModel::default();
+/// assert!(dm.kind_delay(CellKind::Dff) > dm.kind_delay(CellKind::Not));
+/// dm.set_kind(CellKind::Not, 3);
+/// assert_eq!(dm.kind_delay(CellKind::Not), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    base: Time,
+    flop: Time,
+    overrides_kind: HashMap<&'static str, Time>,
+    overrides_cell: HashMap<CellId, Time>,
+}
+
+impl Default for DelayModel {
+    /// Gates: 10 ps, flops/latches/CGC: 30 ps clock-to-out.
+    fn default() -> Self {
+        DelayModel {
+            base: 10,
+            flop: 30,
+            overrides_kind: HashMap::new(),
+            overrides_cell: HashMap::new(),
+        }
+    }
+}
+
+impl DelayModel {
+    /// A uniform delay for every cell (useful for unit-delay testing).
+    pub fn uniform(delay: Time) -> Self {
+        DelayModel {
+            base: delay,
+            flop: delay,
+            overrides_kind: HashMap::new(),
+            overrides_cell: HashMap::new(),
+        }
+    }
+
+    /// Overrides the delay for one cell kind.
+    pub fn set_kind(&mut self, kind: CellKind, delay: Time) -> &mut Self {
+        self.overrides_kind.insert(kind.mnemonic(), delay);
+        self
+    }
+
+    /// Overrides the delay for one specific cell.
+    pub fn set_cell(&mut self, cell: CellId, delay: Time) -> &mut Self {
+        self.overrides_cell.insert(cell, delay);
+        self
+    }
+
+    /// Delay for a kind with no cell-specific override.
+    pub fn kind_delay(&self, kind: CellKind) -> Time {
+        if let Some(&d) = self.overrides_kind.get(kind.mnemonic()) {
+            return d;
+        }
+        match kind {
+            k if k.is_flop() => self.flop,
+            CellKind::LatchLow | CellKind::ClockGate => self.flop,
+            CellKind::Ram { .. } | CellKind::RamOut { .. } => self.flop,
+            CellKind::Input | CellKind::Output => 0,
+            CellKind::Tie0 | CellKind::Tie1 | CellKind::TieX => 0,
+            _ => self.base,
+        }
+    }
+
+    /// Effective delay of a specific cell.
+    pub fn delay(&self, cell: CellId, kind: CellKind) -> Time {
+        self.overrides_cell
+            .get(&cell)
+            .copied()
+            .unwrap_or_else(|| self.kind_delay(kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut dm = DelayModel::uniform(5);
+        let c = CellId::from_index(7);
+        dm.set_kind(CellKind::And, 9);
+        dm.set_cell(c, 1);
+        assert_eq!(dm.kind_delay(CellKind::And), 9);
+        assert_eq!(dm.delay(c, CellKind::And), 1);
+        assert_eq!(dm.delay(CellId::from_index(8), CellKind::And), 9);
+    }
+
+    #[test]
+    fn ports_have_zero_delay() {
+        let dm = DelayModel::default();
+        assert_eq!(dm.kind_delay(CellKind::Input), 0);
+        assert_eq!(dm.kind_delay(CellKind::Output), 0);
+    }
+}

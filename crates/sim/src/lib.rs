@@ -1,0 +1,60 @@
+//! # occ-sim — logic simulation for the occ workspace
+//!
+//! Two simulators over [`occ_netlist::Netlist`]:
+//!
+//! * [`EventSim`] — an event-driven, inertial-delay timing simulator.
+//!   This is what demonstrates the paper's Figure 4: the Clock Pulse
+//!   Filter releasing **exactly two** glitch-free PLL pulses after the
+//!   `scan_en`-drop/`scan_clk`-trigger protocol.
+//! * [`CycleSim`] — a zero-delay, clock-edge-at-a-time simulator used
+//!   for scan protocol runs (load/unload, capture cycles, memory macro
+//!   test). It resolves clock paths *structurally*, including through
+//!   clock-gating cells and the CPF output mux.
+//!
+//! Waveforms are recorded in a [`Trace`] and can be exported as VCD
+//! ([`Trace::to_vcd`]) or rendered as ASCII art ([`render_ascii`]) — the
+//! form in which this crate reproduces the paper's Figures 2 and 4.
+//!
+//! ## Example
+//!
+//! ```
+//! use occ_netlist::{NetlistBuilder, Logic};
+//! use occ_sim::{EventSim, DelayModel, Waveform};
+//!
+//! # fn main() -> Result<(), occ_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("dff");
+//! let clk = b.input("clk");
+//! let d = b.input("d");
+//! let q = b.dff(d, clk);
+//! b.output("q", q);
+//! let nl = b.finish()?;
+//!
+//! let mut sim = EventSim::new(&nl, DelayModel::default());
+//! sim.drive(clk, Waveform::clock(100, 50, 1_000));
+//! sim.drive(d, Waveform::steps(&[(0, Logic::One)]));
+//! sim.run_until(1_000);
+//! assert_eq!(sim.value(q), Logic::One);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod cycle;
+mod delay;
+mod event;
+mod trace;
+mod vcd;
+mod waveform;
+
+pub use ascii::{render_ascii, AsciiOptions};
+pub use cycle::CycleSim;
+pub use delay::DelayModel;
+pub use event::EventSim;
+pub use trace::{Edge, Trace};
+pub use waveform::Waveform;
+
+/// Simulation time in picoseconds.
+pub type Time = u64;

@@ -1,0 +1,198 @@
+//! Recorded waveforms and queries over them.
+
+use crate::Time;
+use occ_netlist::{CellId, Logic, Netlist};
+use std::collections::HashMap;
+
+/// A recorded value change with direction information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// When the change happened.
+    pub time: Time,
+    /// Value before the change.
+    pub from: Logic,
+    /// Value after the change.
+    pub to: Logic,
+}
+
+impl Edge {
+    /// True for a clean 0→1 transition.
+    pub fn is_rising(&self) -> bool {
+        self.from == Logic::Zero && self.to == Logic::One
+    }
+
+    /// True for a clean 1→0 transition.
+    pub fn is_falling(&self) -> bool {
+        self.from == Logic::One && self.to == Logic::Zero
+    }
+}
+
+/// Per-signal value-change history recorded by a simulator.
+///
+/// The trace stores, for each watched signal, the initial value and the
+/// ordered list of [`Edge`]s. Queries exist for the things the paper's
+/// figures assert: pulse counts in a window, minimum pulse widths
+/// (glitch detection) and value sampling.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    signals: Vec<(CellId, String)>,
+    history: HashMap<CellId, (Logic, Vec<Edge>)>,
+    end_time: Time,
+}
+
+impl Trace {
+    pub(crate) fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn add_signal(&mut self, id: CellId, name: String, initial: Logic) {
+        if !self.history.contains_key(&id) {
+            self.signals.push((id, name));
+            self.history.insert(id, (initial, Vec::new()));
+        }
+    }
+
+    pub(crate) fn record(&mut self, id: CellId, time: Time, from: Logic, to: Logic) {
+        if let Some((_, edges)) = self.history.get_mut(&id) {
+            edges.push(Edge { time, from, to });
+        }
+        self.end_time = self.end_time.max(time);
+    }
+
+    pub(crate) fn set_end_time(&mut self, t: Time) {
+        self.end_time = self.end_time.max(t);
+    }
+
+    /// Signals in this trace, in watch order, with display names.
+    pub fn signals(&self) -> impl Iterator<Item = (CellId, &str)> {
+        self.signals.iter().map(|(id, n)| (*id, n.as_str()))
+    }
+
+    /// True if `id` is being recorded.
+    pub fn contains(&self, id: CellId) -> bool {
+        self.history.contains_key(&id)
+    }
+
+    /// The last simulated time.
+    pub fn end_time(&self) -> Time {
+        self.end_time
+    }
+
+    /// All edges of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not watched.
+    pub fn edges(&self, id: CellId) -> &[Edge] {
+        &self.history.get(&id).expect("signal not watched").1
+    }
+
+    /// The signal value at `time` (events are applied at their timestamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal was not watched.
+    pub fn value_at(&self, id: CellId, time: Time) -> Logic {
+        let (initial, edges) = self.history.get(&id).expect("signal not watched");
+        let n = edges.partition_point(|e| e.time <= time);
+        if n == 0 {
+            *initial
+        } else {
+            edges[n - 1].to
+        }
+    }
+
+    /// Counts clean rising edges within `[from, to)`.
+    pub fn rising_edges_in(&self, id: CellId, from: Time, to: Time) -> usize {
+        self.edges(id)
+            .iter()
+            .filter(|e| e.is_rising() && e.time >= from && e.time < to)
+            .count()
+    }
+
+    /// The width of every positive pulse (rise→fall pair), in order.
+    pub fn positive_pulse_widths(&self, id: CellId) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut rise: Option<Time> = None;
+        for e in self.edges(id) {
+            if e.is_rising() {
+                rise = Some(e.time);
+            } else if e.is_falling() {
+                if let Some(r) = rise.take() {
+                    out.push(e.time - r);
+                }
+            } else {
+                rise = None; // X/Z excursions invalidate the pulse
+            }
+        }
+        out
+    }
+
+    /// The narrowest positive pulse, if any (glitch detector).
+    pub fn min_positive_pulse(&self, id: CellId) -> Option<Time> {
+        self.positive_pulse_widths(id).into_iter().min()
+    }
+
+    /// True when the signal ever takes the value `X` or `Z` after `from`.
+    pub fn has_unknown_after(&self, id: CellId, from: Time) -> bool {
+        self.edges(id)
+            .iter()
+            .any(|e| e.time >= from && !e.to.is_definite())
+    }
+
+    /// Renders the trace as a VCD document (see [`Trace::to_vcd`] in
+    /// `vcd.rs`). Provided here as a convenience alias for discoverability.
+    pub fn to_vcd_for(&self, netlist: &Netlist) -> String {
+        self.to_vcd(netlist.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> (Trace, CellId) {
+        let id = CellId::from_index(0);
+        let mut t = Trace::new();
+        t.add_signal(id, "clk".into(), Logic::Zero);
+        t.record(id, 10, Logic::Zero, Logic::One);
+        t.record(id, 15, Logic::One, Logic::Zero);
+        t.record(id, 30, Logic::Zero, Logic::One);
+        t.record(id, 50, Logic::One, Logic::Zero);
+        t.set_end_time(100);
+        (t, id)
+    }
+
+    #[test]
+    fn value_sampling() {
+        let (t, id) = sample_trace();
+        assert_eq!(t.value_at(id, 0), Logic::Zero);
+        assert_eq!(t.value_at(id, 10), Logic::One);
+        assert_eq!(t.value_at(id, 14), Logic::One);
+        assert_eq!(t.value_at(id, 20), Logic::Zero);
+        assert_eq!(t.value_at(id, 99), Logic::Zero);
+    }
+
+    #[test]
+    fn pulse_analysis() {
+        let (t, id) = sample_trace();
+        assert_eq!(t.rising_edges_in(id, 0, 100), 2);
+        assert_eq!(t.rising_edges_in(id, 20, 100), 1);
+        assert_eq!(t.positive_pulse_widths(id), vec![5, 20]);
+        assert_eq!(t.min_positive_pulse(id), Some(5));
+        assert!(!t.has_unknown_after(id, 0));
+    }
+
+    #[test]
+    fn unknown_detection() {
+        let id = CellId::from_index(1);
+        let mut t = Trace::new();
+        t.add_signal(id, "s".into(), Logic::X);
+        t.record(id, 5, Logic::X, Logic::One);
+        t.record(id, 9, Logic::One, Logic::X);
+        assert!(t.has_unknown_after(id, 6));
+        assert!(!t.has_unknown_after(id, 10));
+        // X excursion breaks pulse pairing
+        assert_eq!(t.positive_pulse_widths(id), Vec::<Time>::new());
+    }
+}

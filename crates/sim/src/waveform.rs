@@ -1,0 +1,217 @@
+//! Stimulus waveforms applied to primary inputs.
+
+use crate::Time;
+use occ_netlist::Logic;
+
+/// A piecewise-constant stimulus: a sorted list of `(time, value)`
+/// changes. The signal holds `X` before the first change.
+///
+/// # Examples
+///
+/// ```
+/// use occ_sim::Waveform;
+/// use occ_netlist::Logic;
+///
+/// let clk = Waveform::clock(100, 0, 350);
+/// assert_eq!(clk.value_at(0), Logic::One);
+/// assert_eq!(clk.value_at(60), Logic::Zero);
+/// assert_eq!(clk.value_at(100), Logic::One);
+///
+/// let sig = Waveform::steps(&[(0, Logic::Zero), (40, Logic::One)]);
+/// assert_eq!(sig.value_at(39), Logic::Zero);
+/// assert_eq!(sig.value_at(40), Logic::One);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Waveform {
+    changes: Vec<(Time, Logic)>,
+}
+
+impl Waveform {
+    /// A waveform holding a constant value from time zero.
+    pub fn constant(value: Logic) -> Self {
+        Waveform {
+            changes: vec![(0, value)],
+        }
+    }
+
+    /// An explicit list of `(time, value)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not strictly increasing.
+    pub fn steps(steps: &[(Time, Logic)]) -> Self {
+        for pair in steps.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "waveform steps must be strictly increasing in time"
+            );
+        }
+        Waveform {
+            changes: steps.to_vec(),
+        }
+    }
+
+    /// A 50 %-duty clock: rising edges at `first_rise + k*period`,
+    /// falling edges half a period later, until (not including) `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd (half-period must be exact).
+    pub fn clock(period: Time, first_rise: Time, until: Time) -> Self {
+        assert!(period > 0, "clock period must be positive");
+        assert!(period % 2 == 0, "clock period must be even");
+        let mut changes = vec![(0, Logic::Zero)];
+        if first_rise == 0 {
+            changes.clear();
+        }
+        let mut t = first_rise;
+        while t < until {
+            changes.push((t, Logic::One));
+            let fall = t + period / 2;
+            if fall < until {
+                changes.push((fall, Logic::Zero));
+            }
+            t += period;
+        }
+        Waveform { changes }
+    }
+
+    /// A single positive pulse `[rise, fall)`, low elsewhere from t=0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rise < fall`.
+    pub fn pulse(rise: Time, fall: Time) -> Self {
+        assert!(rise < fall, "pulse must rise before it falls");
+        let mut changes = Vec::new();
+        if rise > 0 {
+            changes.push((0, Logic::Zero));
+        }
+        changes.push((rise, Logic::One));
+        changes.push((fall, Logic::Zero));
+        Waveform { changes }
+    }
+
+    /// A burst of `count` positive pulses of the given period starting at
+    /// `first_rise` (50 % duty), low elsewhere from t=0.
+    pub fn pulse_train(period: Time, first_rise: Time, count: usize) -> Self {
+        assert!(period > 0 && period % 2 == 0, "period must be even, nonzero");
+        let mut changes = Vec::new();
+        if first_rise > 0 {
+            changes.push((0, Logic::Zero));
+        }
+        let mut t = first_rise;
+        for _ in 0..count {
+            changes.push((t, Logic::One));
+            changes.push((t + period / 2, Logic::Zero));
+            t += period;
+        }
+        Waveform { changes }
+    }
+
+    /// The scheduled changes, sorted by time.
+    pub fn changes(&self) -> &[(Time, Logic)] {
+        &self.changes
+    }
+
+    /// The driven value at `time` (`X` before the first change).
+    pub fn value_at(&self, time: Time) -> Logic {
+        match self.changes.partition_point(|&(t, _)| t <= time) {
+            0 => Logic::X,
+            n => self.changes[n - 1].1,
+        }
+    }
+
+    /// Appends another waveform's changes, offset by `at`. Changes of
+    /// `other` must start at or after the last change of `self` once
+    /// shifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the concatenation would go backwards in time.
+    pub fn then(mut self, at: Time, other: &Waveform) -> Self {
+        let last = self.changes.last().map(|&(t, _)| t);
+        for &(t, v) in &other.changes {
+            let nt = at + t;
+            if let Some(l) = last {
+                assert!(nt > l, "appended waveform overlaps existing changes");
+            }
+            self.changes.push((nt, v));
+        }
+        self.changes.dedup_by(|a, b| {
+            if a.1 == b.1 {
+                // merge identical consecutive values
+                true
+            } else {
+                false
+            }
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_edges() {
+        // period 100 => high for 50 from each rise at 50, 150, 250.
+        let w = Waveform::clock(100, 50, 300);
+        assert_eq!(w.value_at(0), Logic::Zero);
+        assert_eq!(w.value_at(50), Logic::One);
+        assert_eq!(w.value_at(99), Logic::One);
+        assert_eq!(w.value_at(100), Logic::Zero);
+        assert_eq!(w.value_at(150), Logic::One);
+        assert_eq!(w.value_at(200), Logic::Zero);
+        assert_eq!(w.value_at(250), Logic::One);
+        // The fall at 300 is outside the window, so the wave stays high.
+        assert_eq!(w.value_at(299), Logic::One);
+    }
+
+    #[test]
+    fn clock_from_zero_has_no_leading_low() {
+        let w = Waveform::clock(10, 0, 20);
+        assert_eq!(w.value_at(0), Logic::One);
+    }
+
+    #[test]
+    fn pulse_train_counts() {
+        let w = Waveform::pulse_train(10, 5, 3);
+        let rises = w
+            .changes()
+            .iter()
+            .filter(|&&(_, v)| v == Logic::One)
+            .count();
+        assert_eq!(rises, 3);
+        assert_eq!(w.value_at(4), Logic::Zero);
+        assert_eq!(w.value_at(5), Logic::One);
+        // Pulses: [5,10), [15,20), [25,30).
+        assert_eq!(w.value_at(12), Logic::Zero);
+        assert_eq!(w.value_at(26), Logic::One);
+        assert_eq!(w.value_at(30), Logic::Zero);
+    }
+
+    #[test]
+    fn before_first_change_is_x() {
+        let w = Waveform::steps(&[(10, Logic::One)]);
+        assert_eq!(w.value_at(9), Logic::X);
+        assert_eq!(w.value_at(10), Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_steps_panic() {
+        let _ = Waveform::steps(&[(10, Logic::One), (10, Logic::Zero)]);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = Waveform::pulse(0, 10);
+        let b = Waveform::pulse(5, 15);
+        let w = a.then(100, &b);
+        assert_eq!(w.value_at(50), Logic::Zero);
+        assert_eq!(w.value_at(106), Logic::One);
+        assert_eq!(w.value_at(116), Logic::Zero);
+    }
+}

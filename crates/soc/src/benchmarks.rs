@@ -1,0 +1,164 @@
+//! Small canonical circuits used across tests and examples.
+
+use occ_netlist::{Netlist, NetlistBuilder};
+
+/// The ISCAS-85 `c17` benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+///
+/// # Examples
+///
+/// ```
+/// let nl = occ_soc::c17();
+/// assert_eq!(nl.primary_inputs().len(), 5);
+/// assert_eq!(nl.primary_outputs().len(), 2);
+/// assert_eq!(nl.logic_gate_count(), 6);
+/// ```
+pub fn c17() -> Netlist {
+    let mut b = NetlistBuilder::new("c17");
+    let n1 = b.input("n1");
+    let n2 = b.input("n2");
+    let n3 = b.input("n3");
+    let n6 = b.input("n6");
+    let n7 = b.input("n7");
+    let n10 = b.nand2(n1, n3);
+    let n11 = b.nand2(n3, n6);
+    let n16 = b.nand2(n2, n11);
+    let n19 = b.nand2(n11, n7);
+    let n22 = b.nand2(n10, n16);
+    let n23 = b.nand2(n16, n19);
+    b.name_cell(n10, "g10");
+    b.name_cell(n11, "g11");
+    b.name_cell(n16, "g16");
+    b.name_cell(n19, "g19");
+    b.name_cell(n22, "g22");
+    b.name_cell(n23, "g23");
+    b.output("n22", n22);
+    b.output("n23", n23);
+    b.finish().expect("c17 is valid")
+}
+
+/// An 8-bit synchronous counter with enable: 8 flops + increment logic.
+///
+/// # Examples
+///
+/// ```
+/// let nl = occ_soc::counter8();
+/// assert_eq!(nl.flops().count(), 8);
+/// ```
+pub fn counter8() -> Netlist {
+    let mut b = NetlistBuilder::new("counter8");
+    let clk = b.input("clk");
+    let en = b.input("en");
+    let mut flops = Vec::new();
+    for i in 0..8 {
+        let ff = b.dff_uninit(clk);
+        b.name_cell(ff, &format!("cnt{i}"));
+        flops.push(ff);
+    }
+    // next[i] = cnt[i] XOR carry[i]; carry[0] = en; carry[i+1] = carry[i] AND cnt[i].
+    let mut carry = en;
+    for (i, &ff) in flops.iter().enumerate() {
+        let next = b.xor2(ff, carry);
+        b.set_flop_d(ff, next);
+        if i + 1 < flops.len() {
+            carry = b.and2(carry, ff);
+        }
+    }
+    for (i, &ff) in flops.iter().enumerate() {
+        b.output(&format!("q{i}"), ff);
+    }
+    b.finish().expect("counter8 is valid")
+}
+
+/// A plain `n`-stage shift register (useful for scan-path unit tests).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let nl = occ_soc::shift_chain(4);
+/// assert_eq!(nl.flops().count(), 4);
+/// ```
+pub fn shift_chain(n: usize) -> Netlist {
+    assert!(n > 0, "need at least one stage");
+    let mut b = NetlistBuilder::new(&format!("shift{n}"));
+    let clk = b.input("clk");
+    let din = b.input("din");
+    let mut prev = din;
+    for i in 0..n {
+        let ff = b.dff(prev, clk);
+        b.name_cell(ff, &format!("s{i}"));
+        prev = ff;
+    }
+    b.output("dout", prev);
+    b.finish().expect("shift chain is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::Logic;
+    use occ_sim::CycleSim;
+
+    #[test]
+    fn c17_truth_sample() {
+        let nl = c17();
+        let mut sim = CycleSim::new(&nl);
+        // All inputs 0: n11 = 1, n16 = nand(0,1)=1, n19 = nand(1,0)=1,
+        // n10 = 1, n22 = nand(1,1) = 0, n23 = nand(1,1) = 0.
+        for pi in nl.primary_inputs() {
+            sim.set(*pi, Logic::Zero);
+        }
+        sim.settle();
+        let n22 = nl.find("g22").unwrap();
+        let n23 = nl.find("g23").unwrap();
+        assert_eq!(sim.value(n22), Logic::Zero);
+        assert_eq!(sim.value(n23), Logic::Zero);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter8();
+        let clk = nl.find("clk").unwrap();
+        let en = nl.find("en").unwrap();
+        let mut sim = CycleSim::new(&nl);
+        for i in 0..8 {
+            sim.set_flop(nl.find(&format!("cnt{i}")).unwrap(), Logic::Zero);
+        }
+        sim.set(en, Logic::One);
+        for _ in 0..5 {
+            sim.pulse(&[clk]);
+        }
+        // Counter should read 5 = 0b101.
+        let bit = |sim: &CycleSim<'_>, i: usize| {
+            sim.value(nl.find(&format!("cnt{i}")).unwrap())
+        };
+        assert_eq!(bit(&sim, 0), Logic::One);
+        assert_eq!(bit(&sim, 1), Logic::Zero);
+        assert_eq!(bit(&sim, 2), Logic::One);
+        for i in 3..8 {
+            assert_eq!(bit(&sim, i), Logic::Zero);
+        }
+        // Disable: holds.
+        sim.set(en, Logic::Zero);
+        sim.pulse(&[clk]);
+        assert_eq!(bit(&sim, 0), Logic::One);
+    }
+
+    #[test]
+    fn shift_chain_delays_by_n() {
+        let nl = shift_chain(3);
+        let clk = nl.find("clk").unwrap();
+        let din = nl.find("din").unwrap();
+        let s2 = nl.find("s2").unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set(din, Logic::One);
+        sim.pulse(&[clk]);
+        sim.set(din, Logic::Zero);
+        sim.pulse(&[clk]);
+        sim.pulse(&[clk]);
+        assert_eq!(sim.value(s2), Logic::One);
+    }
+}

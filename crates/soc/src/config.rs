@@ -1,0 +1,121 @@
+//! Generator configuration.
+
+/// One clock domain of the generated SOC.
+#[derive(Debug, Clone)]
+pub struct DomainConfig {
+    /// Domain name.
+    pub name: String,
+    /// Functional frequency in MHz (must divide into the PLL model).
+    pub freq_mhz: f64,
+    /// Number of flip-flops in this domain.
+    pub flops: usize,
+}
+
+impl DomainConfig {
+    /// Creates a domain config.
+    pub fn new(name: &str, freq_mhz: f64, flops: usize) -> Self {
+        DomainConfig {
+            name: name.to_owned(),
+            freq_mhz,
+            flops,
+        }
+    }
+}
+
+/// Full generator configuration.
+///
+/// The defaults of [`SocConfig::paper_like`] mirror the structural
+/// features the paper's device exposes, scaled down to laptop-ATPG
+/// size; all fractions are per-domain.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// RNG seed — same seed, same netlist.
+    pub seed: u64,
+    /// Design name.
+    pub name: String,
+    /// Clock domains (the paper: two, at 75 and 150 MHz).
+    pub domains: Vec<DomainConfig>,
+    /// Combinational gates created per flop (logic density).
+    pub gates_per_flop: usize,
+    /// Functional primary inputs.
+    pub pi_count: usize,
+    /// Functional primary outputs.
+    pub po_count: usize,
+    /// Fraction of flops left out of the scan chains.
+    pub non_scan_fraction: f64,
+    /// Fraction of each domain's flops whose cone taps the *other*
+    /// domain (synchronous domain crossings).
+    pub crossing_fraction: f64,
+    /// Fraction of flops with an asynchronous reset tied to the global
+    /// `rstn` pin.
+    pub reset_fraction: f64,
+    /// Number of RAM macros.
+    pub ram_blocks: usize,
+    /// RAM address bits.
+    pub ram_addr_bits: u8,
+    /// RAM data bits.
+    pub ram_data_bits: u8,
+    /// Number of bidirectional pads (with feedback paths).
+    pub bidi_pads: usize,
+    /// Scan chains to stitch.
+    pub scan_chains: usize,
+}
+
+impl SocConfig {
+    /// A two-domain configuration with the paper's structural features,
+    /// sized by `flops_per_domain`.
+    pub fn paper_like(seed: u64, flops_per_domain: usize) -> Self {
+        SocConfig {
+            seed,
+            name: format!("soc_{seed}"),
+            domains: vec![
+                DomainConfig::new("dom75", 75.0, flops_per_domain),
+                DomainConfig::new("dom150", 150.0, flops_per_domain),
+            ],
+            gates_per_flop: 5,
+            pi_count: 24,
+            po_count: 24,
+            non_scan_fraction: 0.05,
+            crossing_fraction: 0.12,
+            reset_fraction: 0.10,
+            ram_blocks: 2,
+            ram_addr_bits: 4,
+            ram_data_bits: 8,
+            bidi_pads: 6,
+            scan_chains: 8,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        SocConfig {
+            ram_blocks: 1,
+            ram_addr_bits: 2,
+            ram_data_bits: 2,
+            bidi_pads: 2,
+            pi_count: 6,
+            po_count: 6,
+            scan_chains: 2,
+            ..SocConfig::paper_like(seed, 24)
+        }
+    }
+
+    /// Total flop count across domains.
+    pub fn total_flops(&self) -> usize {
+        self.domains.iter().map(|d| d.flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_like_has_two_domains() {
+        let cfg = SocConfig::paper_like(1, 100);
+        assert_eq!(cfg.domains.len(), 2);
+        assert_eq!(cfg.total_flops(), 200);
+        assert!(cfg.crossing_fraction > 0.0);
+        assert!(cfg.non_scan_fraction > 0.0);
+    }
+}

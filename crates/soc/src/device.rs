@@ -1,0 +1,152 @@
+//! Device assembly — the paper's Figure 1.
+//!
+//! Takes a scan-inserted SOC and splices one gate-level CPF per clock
+//! domain between the (off-chip-modelled) PLL and the domain's clock
+//! tree. The result is a *single netlist* in which the flops' clocks
+//! really do come out of the CPF output mux — the configuration the
+//! cycle simulator and the event-driven simulator exercise for the
+//! Figure 2/4 reproductions, and whose behavioural abstraction is the
+//! named-capture-procedure set used by ATPG.
+
+use crate::Soc;
+use occ_core::{ClockPulseFilter, CpfConfig, CpfPorts, Pll};
+use occ_netlist::{CellId, CellKind, Netlist, NetlistBuilder};
+
+/// The assembled device: SOC + per-domain CPFs.
+#[derive(Debug)]
+pub struct Device {
+    netlist: Netlist,
+    pll: Pll,
+    cpf_ports: Vec<CpfPorts>,
+    pll_clk_ports: Vec<CellId>,
+    scan_clk: CellId,
+    scan_en: CellId,
+}
+
+impl Device {
+    /// The full gate-level netlist (SOC + CPFs).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The PLL model driving the `pll_clk_*` inputs.
+    pub fn pll(&self) -> &Pll {
+        &self.pll
+    }
+
+    /// Per-domain CPF port maps.
+    pub fn cpf_ports(&self) -> &[CpfPorts] {
+        &self.cpf_ports
+    }
+
+    /// Per-domain PLL clock input ports (driven by [`Pll`] waveforms in
+    /// simulation).
+    pub fn pll_clk_ports(&self) -> &[CellId] {
+        &self.pll_clk_ports
+    }
+
+    /// The shared slow external scan clock input.
+    pub fn scan_clk(&self) -> CellId {
+        self.scan_clk
+    }
+
+    /// The scan-enable input (also clears/re-arms the CPFs).
+    pub fn scan_en(&self) -> CellId {
+        self.scan_en
+    }
+}
+
+/// Splices one Figure-3 CPF per domain into the SOC's clock paths.
+///
+/// Each domain's former clock input port becomes a buffer driven by its
+/// CPF's `clk_out`; new `pll_clk_<domain>` inputs and one shared
+/// `scan_clk` input are added. The SOC's existing `scan_en` port drives
+/// the CPF control pins, exactly as in the paper ("clock generation is
+/// controlled by scan-en and scan-clk only").
+///
+/// # Panics
+///
+/// Panics if the PLL does not provide a clock per domain.
+pub fn assemble_device(soc: &Soc, pll: Pll) -> Device {
+    assert_eq!(
+        pll.domain_count(),
+        soc.clock_ports().len(),
+        "PLL must serve every SOC domain"
+    );
+    let mut b = NetlistBuilder::from_netlist(soc.netlist());
+    let scan_clk = b.input("scan_clk");
+    let scan_en = soc.scan_enable();
+
+    let mut cpf_ports = Vec::new();
+    let mut pll_clk_ports = Vec::new();
+    for (d, &clk_port) in soc.clock_ports().iter().enumerate() {
+        let dom = &soc.config().domains[d];
+        let pll_clk = b.input(&format!("pll_clk_{}", dom.name));
+        pll_clk_ports.push(pll_clk);
+        let cfg = CpfConfig::paper_named(&format!("cpf_{}", dom.name));
+        let ports = ClockPulseFilter::attach(&cfg, &mut b, pll_clk, scan_clk, scan_en, None);
+        // The old clock input port becomes a buffer fed by the CPF.
+        b.replace_cell(clk_port, CellKind::Buf, vec![ports.clk_out]);
+        cpf_ports.push(ports);
+    }
+
+    let netlist = b.finish().expect("device assembly must validate");
+    Device {
+        netlist,
+        pll,
+        cpf_ports,
+        pll_clk_ports,
+        scan_clk,
+        scan_en,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, SocConfig};
+    use occ_core::PllConfig;
+    use occ_netlist::NetlistStats;
+
+    #[test]
+    fn device_has_one_cpf_per_domain() {
+        let soc = generate(&SocConfig::tiny(2));
+        let before = NetlistStats::of(soc.netlist());
+        let device = assemble_device(&soc, Pll::new(PllConfig::paper()));
+        let after = NetlistStats::of(device.netlist());
+        // Each paper CPF adds 6 flops and 1 clock gate.
+        assert_eq!(after.clock_gates, before.clock_gates + 2);
+        assert_eq!(after.flops, before.flops + 12);
+        assert_eq!(device.cpf_ports().len(), 2);
+        // Former clock ports are no longer primary inputs.
+        for &p in soc.clock_ports() {
+            assert!(!device.netlist().primary_inputs().contains(&p));
+        }
+    }
+
+    #[test]
+    fn flop_clocks_trace_to_cpf_outputs() {
+        let soc = generate(&SocConfig::tiny(4));
+        let device = assemble_device(&soc, Pll::new(PllConfig::paper()));
+        let nl = device.netlist();
+        // Every flop's clock pin resolves (through the buffer) to a CPF
+        // output mux.
+        let mux_outs: Vec<_> = device.cpf_ports().iter().map(|p| p.clk_out).collect();
+        for (_, cell) in nl.flops() {
+            let mut cur = cell.clock();
+            for _ in 0..8 {
+                let c = nl.cell(cur);
+                match c.kind() {
+                    CellKind::Buf => cur = c.inputs()[0],
+                    _ => break,
+                }
+            }
+            // CPF-internal flops are clocked by scan_clk/pll_clk inputs.
+            let k = nl.cell(cur).kind();
+            assert!(
+                mux_outs.contains(&cur) || k == CellKind::Input,
+                "flop clock resolves to {cur} of kind {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The seeded SOC generator.
+
+use crate::SocConfig;
+use occ_dft::{insert_scan, ScanChains, ScanConfig};
+use occ_fsim::ClockBinding;
+use occ_netlist::{CellId, Logic, Netlist, NetlistBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated, scan-inserted SOC with its test infrastructure ports.
+#[derive(Debug)]
+pub struct Soc {
+    config: SocConfig,
+    chains: ScanChains,
+    clock_ports: Vec<CellId>,
+    rstn: CellId,
+    bidi_readbacks: Vec<CellId>,
+    non_scan_names: Vec<String>,
+}
+
+impl Soc {
+    /// The scan-inserted netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.chains.netlist()
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Scan-chain metadata.
+    pub fn chains(&self) -> &ScanChains {
+        &self.chains
+    }
+
+    /// One clock input port per domain, in domain order.
+    pub fn clock_ports(&self) -> &[CellId] {
+        &self.clock_ports
+    }
+
+    /// The global active-low reset pin.
+    pub fn rstn(&self) -> CellId {
+        self.rstn
+    }
+
+    /// The scan-enable port.
+    pub fn scan_enable(&self) -> CellId {
+        self.chains.scan_enable()
+    }
+
+    /// Bidi-pad readback buffers (the feedback paths the ATE
+    /// constraints forbid using).
+    pub fn bidi_readbacks(&self) -> &[CellId] {
+        &self.bidi_readbacks
+    }
+
+    /// Names of flops intentionally left out of the scan chains.
+    pub fn non_scan_names(&self) -> &[String] {
+        &self.non_scan_names
+    }
+
+    /// Builds the ATPG clock binding for this SOC.
+    ///
+    /// Always: one domain per clock port, `scan_en = 0`, `rstn = 1`
+    /// ("no launch or capture using ... system reset"), scan-in ports
+    /// masked. With `mask_bidi_feedback` the pad readback paths are
+    /// masked too (the "feedback paths through bidirectional pads not
+    /// utilized" constraint of experiments (c)–(e)).
+    pub fn binding(&self, mask_bidi_feedback: bool) -> ClockBinding {
+        let mut b = ClockBinding::new();
+        for (d, &port) in self.clock_ports.iter().enumerate() {
+            b.add_domain(&self.config.domains[d].name, port);
+        }
+        b.constrain(self.scan_enable(), Logic::Zero);
+        b.constrain(self.rstn, Logic::One);
+        for &si in self.chains.scan_ins() {
+            b.mask(si);
+        }
+        if mask_bidi_feedback {
+            for &fb in &self.bidi_readbacks {
+                b.mask(fb);
+            }
+        }
+        b
+    }
+}
+
+/// Generates a scan-inserted SOC from a configuration.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (no domains, zero flops).
+pub fn generate(config: &SocConfig) -> Soc {
+    assert!(!config.domains.is_empty(), "need at least one domain");
+    assert!(config.total_flops() > 0, "need at least one flop");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new(&config.name);
+
+    // Ports.
+    let clock_ports: Vec<CellId> = config
+        .domains
+        .iter()
+        .map(|d| b.input(&format!("clk_{}", d.name)))
+        .collect();
+    let rstn = b.input("rstn");
+    let pis: Vec<CellId> = (0..config.pi_count.max(2))
+        .map(|i| b.input(&format!("pi{i}")))
+        .collect();
+
+    // Flops (data pins wired later).
+    let mut domain_flops: Vec<Vec<CellId>> = Vec::new();
+    let mut non_scan_names = Vec::new();
+    for (d, dom) in config.domains.iter().enumerate() {
+        let mut flops = Vec::new();
+        for i in 0..dom.flops {
+            let name = format!("{}_ff{i}", dom.name);
+            let ff = if rng.gen_bool(config.reset_fraction) {
+                let f = b.dff_uninit(clock_ports[d]);
+                // dff_uninit gives a plain DFF; rebuild as DffRl.
+                let clk = clock_ports[d];
+                b.replace_cell(
+                    f,
+                    occ_netlist::CellKind::DffRl,
+                    vec![f, clk, rstn], // D placeholder patched below
+                );
+                f
+            } else {
+                b.dff_uninit(clock_ports[d])
+            };
+            b.name_cell(ff, &name);
+            flops.push(ff);
+        }
+        domain_flops.push(flops);
+    }
+
+    // Per-domain combinational clouds.
+    let mut sinks_needed: Vec<(CellId, usize)> = Vec::new(); // (flop, domain)
+    for (d, flops) in domain_flops.iter().enumerate() {
+        for &ff in flops {
+            sinks_needed.push((ff, d));
+        }
+    }
+
+    let mut domain_signals: Vec<Vec<CellId>> = Vec::new();
+    for (d, flops) in domain_flops.iter().enumerate() {
+        let mut pool: Vec<CellId> = flops.clone();
+        // Every PI must reach some logic (no floating inputs in a real
+        // design): round-robin the PIs over the domains.
+        for (i, &pi) in pis.iter().enumerate() {
+            if i % config.domains.len() == d {
+                pool.push(pi);
+            }
+        }
+        // Cross-domain taps.
+        for (od, oflops) in domain_flops.iter().enumerate() {
+            if od == d || oflops.is_empty() {
+                continue;
+            }
+            let crossings =
+                ((flops.len() as f64) * config.crossing_fraction).round() as usize;
+            for _ in 0..crossings {
+                pool.push(oflops[rng.gen_range(0..oflops.len())]);
+            }
+        }
+        domain_signals.push(pool);
+    }
+
+    // RAM macros: clocked by a random domain, wired from its pool. The
+    // read data does NOT join the general pool — its X-shadow is
+    // attached to a couple of dedicated flops below, the way a wrapped
+    // memory interface confines it in a real design.
+    let mut ram_reads: Vec<(usize, CellId)> = Vec::new();
+    for r in 0..config.ram_blocks {
+        let d = rng.gen_range(0..config.domains.len());
+        let pick =
+            |rng: &mut StdRng, pool: &[CellId]| pool[rng.gen_range(0..pool.len())];
+        let we = pick(&mut rng, &domain_signals[d]);
+        let addr: Vec<CellId> = (0..config.ram_addr_bits)
+            .map(|_| pick(&mut rng, &domain_signals[d]))
+            .collect();
+        let din: Vec<CellId> = (0..config.ram_data_bits)
+            .map(|_| pick(&mut rng, &domain_signals[d]))
+            .collect();
+        let (handle, outs) = b.ram(clock_ports[d], we, &addr, &din);
+        b.name_cell(handle, &format!("ram{r}"));
+        ram_reads.extend(outs.into_iter().map(|o| (d, o)));
+    }
+
+    // Cone-based logic generation: each flop's D input gets a random
+    // gate tree over pool signals. Every created gate is consumed by
+    // construction (in-tree or as a shared pool signal), so the netlist
+    // has no dead logic — like a synthesized design after pruning.
+    let build_cone = |b: &mut NetlistBuilder,
+                          rng: &mut StdRng,
+                          pool: &mut Vec<CellId>,
+                          size: usize|
+     -> CellId {
+        let n_leaves = size.max(2);
+        // Sample leaves without immediate duplicates: identical gate
+        // operands (xor(a,a), mux(s,a,a)...) synthesize constants and
+        // fill the design with genuinely redundant faults.
+        let mut sigs: Vec<CellId> = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            let mut pick = pool[rng.gen_range(0..pool.len())];
+            for _ in 0..4 {
+                if !sigs.contains(&pick) {
+                    break;
+                }
+                pick = pool[rng.gen_range(0..pool.len())];
+            }
+            sigs.push(pick);
+        }
+        while sigs.len() > 1 {
+            let a = sigs.swap_remove(rng.gen_range(0..sigs.len()));
+            let mut ci = rng.gen_range(0..sigs.len());
+            for _ in 0..4 {
+                if sigs[ci] != a {
+                    break;
+                }
+                ci = rng.gen_range(0..sigs.len());
+            }
+            let c = sigs.swap_remove(ci);
+            let g = match rng.gen_range(0..10) {
+                0 | 1 => b.and2(a, c),
+                2 | 3 => b.or2(a, c),
+                4 => b.nand2(a, c),
+                5 => b.nor2(a, c),
+                6 => b.xor2(a, c),
+                7 => {
+                    let s = pool[rng.gen_range(0..pool.len())];
+                    b.mux2(s, a, c)
+                }
+                8 => {
+                    let n = b.not(a);
+                    b.and2(n, c)
+                }
+                _ => {
+                    let e = pool[rng.gen_range(0..pool.len())];
+                    b.or_n(&[a, c, e])
+                }
+            };
+            // Re-inject some intermediate nodes as shared fanout.
+            if rng.gen_bool(0.35) {
+                pool.push(g);
+            }
+            sigs.push(g);
+        }
+        sigs[0]
+    };
+
+    // Wire flop D inputs from fresh cones over their domain pool.
+    for &(ff, d) in &sinks_needed {
+        let mut pool = std::mem::take(&mut domain_signals[d]);
+        let cone = build_cone(&mut b, &mut rng, &mut pool, config.gates_per_flop);
+        pool.push(cone);
+        domain_signals[d] = pool;
+        b.set_flop_d(ff, cone);
+    }
+
+    // Attach RAM read shadows to dedicated flops: D' = D xor (bit and
+    // gate_sig). With the gating signal low the RAM is isolated, so the
+    // ATPG can control the shadow; faults inside it need RAM-sequential
+    // patterns (which the experiments exclude, as in the paper).
+    for (d, bit) in ram_reads {
+        let pool_len = domain_signals[d].len();
+        let gate_sig = domain_signals[d][rng.gen_range(0..pool_len)];
+        let masked = b.and2(bit, gate_sig);
+        let ff = domain_flops[d][rng.gen_range(0..domain_flops[d].len())];
+        let old_d = b.inputs(ff)[0];
+        let mixed = b.xor2(old_d, masked);
+        b.set_flop_d(ff, mixed);
+    }
+
+    // Dedicated non-scan cells (pipeline/sync stages kept out of the
+    // chains, as on the paper's device). Their fan-in comes from the
+    // domain pool; their fan-out is confined to a small shadow cone
+    // mixed into one flop's D — uninitialized until a capture pulse
+    // loads them, which is exactly what the multi-pulse enhanced CPF
+    // addresses in experiment (d).
+    for (d, dom) in config.domains.iter().enumerate() {
+        let count = ((dom.flops as f64) * config.non_scan_fraction).round() as usize;
+        for i in 0..count {
+            let pool_len = domain_signals[d].len();
+            let src = domain_signals[d][rng.gen_range(0..pool_len)];
+            let nf = b.dff(src, clock_ports[d]);
+            let name = format!("{}_nonscan{i}", dom.name);
+            b.name_cell(nf, &name);
+            non_scan_names.push(name);
+            let side = domain_signals[d][rng.gen_range(0..pool_len)];
+            let shadow = b.mux2(side, nf, src);
+            let ff = domain_flops[d][rng.gen_range(0..domain_flops[d].len())];
+            let old_d = b.inputs(ff)[0];
+            let mixed = b.xor2(old_d, shadow);
+            b.set_flop_d(ff, mixed);
+        }
+    }
+
+    // Bidirectional pads: pad = en ? data_out : external; a readback
+    // buffer feeds logic again (the forbidden feedback path).
+    let mut bidi_readbacks = Vec::new();
+    for i in 0..config.bidi_pads {
+        let d = rng.gen_range(0..config.domains.len());
+        let pool_len = domain_signals[d].len();
+        let en = domain_signals[d][rng.gen_range(0..pool_len)];
+        let data = domain_signals[d][rng.gen_range(0..pool_len)];
+        let ext = b.input(&format!("pad_in{i}"));
+        let pad = b.mux2(en, ext, data);
+        b.name_cell(pad, &format!("pad{i}"));
+        b.output(&format!("pad_out{i}"), pad);
+        let fb = b.buf(pad);
+        b.name_cell(fb, &format!("bidi_fb{i}"));
+        bidi_readbacks.push(fb);
+        // The feedback re-enters a fresh gate in the domain.
+        let mix = domain_signals[d][rng.gen_range(0..pool_len)];
+        let g = b.xor2(fb, mix);
+        domain_signals[d].push(g);
+    }
+
+    // Primary outputs: small dedicated cones across the domains.
+    for i in 0..config.po_count.max(1) {
+        let d = rng.gen_range(0..config.domains.len());
+        let mut pool = std::mem::take(&mut domain_signals[d]);
+        let cone = build_cone(&mut b, &mut rng, &mut pool, 3);
+        domain_signals[d] = pool;
+        b.output(&format!("po{i}"), cone);
+    }
+
+    // Any PI that no cone happened to sample still needs a sink: mix it
+    // into a random flop's D through a small gate pair.
+    {
+        let mut consumed = vec![false; b.len()];
+        for idx in 0..b.len() {
+            let id = CellId::from_index(idx);
+            for &src in b.inputs(id) {
+                consumed[src.index()] = true;
+            }
+        }
+        for &pi in &pis {
+            if consumed[pi.index()] {
+                continue;
+            }
+            let d = rng.gen_range(0..config.domains.len());
+            let pool_len = domain_signals[d].len();
+            let side = domain_signals[d][rng.gen_range(0..pool_len)];
+            let g = b.and2(pi, side);
+            let ff = domain_flops[d][rng.gen_range(0..domain_flops[d].len())];
+            let old_d = b.inputs(ff)[0];
+            let mixed = b.xor2(old_d, g);
+            b.set_flop_d(ff, mixed);
+        }
+    }
+
+    // Any remaining unconsumed pool signals become extra observation
+    // outputs (a pruned netlist has no dangling logic).
+    let mut consumed = vec![false; b.len()];
+    for idx in 0..b.len() {
+        let id = CellId::from_index(idx);
+        for &src in b.inputs(id) {
+            consumed[src.index()] = true;
+        }
+    }
+    let mut extra = 0usize;
+    for pool in &domain_signals {
+        for &c in pool {
+            if !consumed[c.index()] && b.kind(c).is_combinational() && !b.inputs(c).is_empty()
+            {
+                consumed[c.index()] = true;
+                b.output(&format!("po_aux{extra}"), c);
+                extra += 1;
+            }
+        }
+    }
+
+    let functional = b.finish().expect("generated SOC must validate");
+
+    // Scan insertion with the non-scan skip list.
+    let skip_refs: Vec<&str> = non_scan_names.iter().map(String::as_str).collect();
+    let chains = insert_scan(
+        &functional,
+        &ScanConfig::new(config.scan_chains).skip_named(&skip_refs),
+    )
+    .expect("scan insertion on generated SOC");
+
+    Soc {
+        config: config.clone(),
+        chains,
+        clock_ports,
+        rstn,
+        bidi_readbacks,
+        non_scan_names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fsim::CaptureModel;
+    use occ_netlist::NetlistStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SocConfig::tiny(7));
+        let b = generate(&SocConfig::tiny(7));
+        assert_eq!(a.netlist().len(), b.netlist().len());
+        assert_eq!(a.netlist().to_verilog(), b.netlist().to_verilog());
+        let c = generate(&SocConfig::tiny(8));
+        assert_ne!(a.netlist().to_verilog(), c.netlist().to_verilog());
+    }
+
+    #[test]
+    fn structure_matches_config() {
+        let cfg = SocConfig::tiny(3);
+        let soc = generate(&cfg);
+        let stats = NetlistStats::of(soc.netlist());
+        // Scannable flops plus the dedicated non-scan cells.
+        assert_eq!(
+            stats.flops,
+            cfg.total_flops() + soc.non_scan_names().len()
+        );
+        assert_eq!(stats.rams, cfg.ram_blocks);
+        assert_eq!(
+            stats.flops - stats.scan_flops,
+            soc.non_scan_names().len(),
+            "non-scan count"
+        );
+        assert!(!soc.non_scan_names().is_empty());
+        assert_eq!(soc.clock_ports().len(), 2);
+        assert_eq!(soc.bidi_readbacks().len(), cfg.bidi_pads);
+    }
+
+    #[test]
+    fn binding_builds_a_capture_model() {
+        let soc = generate(&SocConfig::tiny(11));
+        let binding = soc.binding(true);
+        let model = CaptureModel::new(soc.netlist(), binding).unwrap();
+        assert_eq!(model.domain_count(), 2);
+        assert_eq!(
+            model.flops().len(),
+            soc.config().total_flops() + soc.non_scan_names().len(),
+            "all flops bound"
+        );
+        // Both domains populated.
+        let d0 = model.flops().iter().filter(|f| f.domain == 0).count();
+        let d1 = model.flops().iter().filter(|f| f.domain == 1).count();
+        assert!(d0 > 0 && d1 > 0);
+        // Masked feedbacks included.
+        assert!(model.masked().len() >= soc.bidi_readbacks().len());
+    }
+
+    #[test]
+    fn crossings_exist_between_domains() {
+        let soc = generate(&SocConfig::tiny(5));
+        let nl = soc.netlist();
+        let binding = soc.binding(false);
+        let model = CaptureModel::new(nl, binding).unwrap();
+        // Find at least one flop whose 1-frame fan-in cone touches a
+        // flop of the other domain.
+        let domain_of = |c: CellId| model.flop_index(c).map(|i| model.flops()[i].domain);
+        let mut found = false;
+        'outer: for info in model.flops() {
+            let mut work = vec![nl.cell(info.cell).flop_d()];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(c) = work.pop() {
+                if !seen.insert(c) {
+                    continue;
+                }
+                if let Some(d) = domain_of(c) {
+                    if d != info.domain {
+                        found = true;
+                        break 'outer;
+                    }
+                    continue;
+                }
+                if nl.cell(c).kind().is_combinational() {
+                    work.extend(nl.cell(c).inputs().iter().copied());
+                }
+            }
+        }
+        assert!(found, "no cross-domain paths generated");
+    }
+}

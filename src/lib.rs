@@ -1,0 +1,62 @@
+//! # occ — on-chip test clock generation and delay-test ATPG
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *Beck, Barondeau, Kaibel, Poehl, Lin, Press — "Logic Design for
+//! On-Chip Test Clock Generation: Implementation Details and Impact on
+//! Delay Test Quality", DATE 2005*.
+//!
+//! See the README for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use occ::netlist::NetlistBuilder;
+//! use occ::core::{CpfConfig, ClockPulseFilter};
+//!
+//! // Build the paper's Figure-3 clock pulse filter and inspect it.
+//! let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
+//! assert_eq!(cpf.netlist().logic_gate_count(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Gate-level netlist kernel ([`occ_netlist`]).
+pub mod netlist {
+    pub use occ_netlist::*;
+}
+
+/// Event-driven and cycle-based logic simulation ([`occ_sim`]).
+pub mod sim {
+    pub use occ_sim::*;
+}
+
+/// Fault models and coverage accounting ([`occ_fault`]).
+pub mod fault {
+    pub use occ_fault::*;
+}
+
+/// Parallel-pattern fault simulation ([`occ_fsim`]).
+pub mod fsim {
+    pub use occ_fsim::*;
+}
+
+/// Scan insertion, chains and EDT compression ([`occ_dft`]).
+pub mod dft {
+    pub use occ_dft::*;
+}
+
+/// PODEM ATPG over capture procedures ([`occ_atpg`]).
+pub mod atpg {
+    pub use occ_atpg::*;
+}
+
+/// The paper's contribution: CPF clock generation ([`occ_core`]).
+pub mod core {
+    pub use occ_core::*;
+}
+
+/// Synthetic SOC and benchmark circuit generation ([`occ_soc`]).
+pub mod soc {
+    pub use occ_soc::*;
+}

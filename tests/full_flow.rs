@@ -1,0 +1,109 @@
+//! Workspace integration test: the full flow from SOC generation
+//! through scan insertion, CPF attachment and ATPG, asserting the
+//! paper's coverage ordering on a small instance.
+
+use occ::atpg::{run_atpg, AtpgOptions};
+use occ::core::{
+    transition_procedures, ClockingMode, Pll, PllConfig,
+};
+use occ::fault::FaultUniverse;
+use occ::fsim::CaptureModel;
+use occ::soc::{assemble_device, generate, SocConfig};
+
+fn coverage(soc: &occ::soc::Soc, mode: ClockingMode, mask_bidi: bool) -> (f64, usize) {
+    let binding = soc.binding(mask_bidi);
+    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
+    let procedures = transition_procedures(mode, model.domain_count());
+    let result = run_atpg(
+        &model,
+        &procedures,
+        FaultUniverse::transition(soc.netlist()),
+        &AtpgOptions {
+            random_patterns: 128,
+            backtrack_limit: 64,
+            ..AtpgOptions::default()
+        },
+    );
+    (result.report().coverage_pct(), result.patterns.len())
+}
+
+#[test]
+fn coverage_ordering_matches_paper() {
+    let soc = generate(&SocConfig::paper_like(99, 40));
+    let (ideal, _) = coverage(&soc, ClockingMode::ExternalClock { max_pulses: 4 }, false);
+    let (simple, _) = coverage(&soc, ClockingMode::SimpleCpf, true);
+    let (enhanced, _) = coverage(&soc, ClockingMode::EnhancedCpf { max_pulses: 4 }, true);
+
+    assert!(
+        simple + 1.0 < ideal,
+        "simple CPF must lose noticeable coverage: {simple:.2} vs ideal {ideal:.2}"
+    );
+    assert!(
+        enhanced > simple,
+        "enhanced CPF must recover coverage: {enhanced:.2} vs {simple:.2}"
+    );
+    assert!(
+        enhanced < ideal + 1e-9,
+        "on-chip clocking cannot beat the unconstrained reference"
+    );
+}
+
+#[test]
+fn device_assembly_keeps_soc_function() {
+    // The CPF splice must not change the SOC's logic structure: same
+    // flop count (plus CPF internals), same POs, and every SOC flop
+    // still clocked.
+    let soc = generate(&SocConfig::tiny(5));
+    let device = assemble_device(&soc, Pll::new(PllConfig::paper()));
+    let soc_pos: Vec<_> = soc
+        .netlist()
+        .primary_outputs()
+        .iter()
+        .map(|&p| soc.netlist().cell(p).name().unwrap_or("").to_owned())
+        .collect();
+    for name in soc_pos {
+        assert!(
+            device.netlist().find(&name).is_some(),
+            "PO {name} lost in device assembly"
+        );
+    }
+    // 6 flops per paper CPF, two domains.
+    assert_eq!(
+        device.netlist().flops().count(),
+        soc.netlist().flops().count() + 12
+    );
+}
+
+#[test]
+fn stuck_at_beats_transition_on_same_soc() {
+    use occ::core::stuck_at_procedures;
+    let soc = generate(&SocConfig::paper_like(123, 30));
+    let binding = soc.binding(false);
+    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
+    let opts = AtpgOptions {
+        random_patterns: 128,
+        backtrack_limit: 64,
+        ..AtpgOptions::default()
+    };
+
+    let sa = run_atpg(
+        &model,
+        &stuck_at_procedures(ClockingMode::ExternalClock { max_pulses: 4 }, 2),
+        FaultUniverse::stuck_at(soc.netlist()),
+        &opts,
+    );
+    let tf = run_atpg(
+        &model,
+        &transition_procedures(ClockingMode::ExternalClock { max_pulses: 4 }, 2),
+        FaultUniverse::transition(soc.netlist()),
+        &opts,
+    );
+    // Same collapsed fault count — the paper points this out explicitly.
+    assert_eq!(sa.report().total, tf.report().total);
+    assert!(
+        sa.report().coverage_pct() > tf.report().coverage_pct(),
+        "stuck-at {:.2}% must exceed transition {:.2}%",
+        sa.report().coverage_pct(),
+        tf.report().coverage_pct()
+    );
+}
