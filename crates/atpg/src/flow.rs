@@ -89,7 +89,10 @@ pub fn run_atpg(
     universe: FaultUniverse,
     options: &AtpgOptions,
 ) -> AtpgResult {
-    assert!(!procedures.is_empty(), "need at least one capture procedure");
+    assert!(
+        !procedures.is_empty(),
+        "need at least one capture procedure"
+    );
     let mut list = FaultList::new(universe);
     let mut stats = AtpgStats::default();
     let mut rng = StdRng::seed_from_u64(options.fill_seed);
@@ -199,7 +202,7 @@ pub fn run_atpg(
             let effect = fault.site().effect_cell();
             let scan_q_stuck = fault.model() == occ_fault::FaultModel::StuckAt
                 && matches!(fault.site(), occ_fault::FaultSite::Output(c)
-                    if model.flop_index(c).map_or(false, |fi| model.flops()[fi].is_scan));
+                    if model.flop_index(c).is_some_and(|fi| model.flops()[fi].is_scan));
             if !(1..=spec.frames()).any(|k| obs.observable(k, effect)) && !scan_q_stuck {
                 continue;
             }
@@ -220,8 +223,8 @@ pub fn run_atpg(
                     if pending[pi].len() == 64 {
                         let mut batch = std::mem::take(&mut pending[pi]);
                         flush_batch(
-                            model, &mut fsim, &patterns, procedures, pi, &mut batch,
-                            &mut list, &mut stats,
+                            model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list,
+                            &mut stats,
                         );
                     }
                     found = true;
@@ -246,12 +249,11 @@ pub fn run_atpg(
         }
     }
 
-    for pi in 0..procedures.len() {
-        if !pending[pi].is_empty() {
-            let mut batch = std::mem::take(&mut pending[pi]);
+    for (pi, slot) in pending.iter_mut().enumerate() {
+        if !slot.is_empty() {
+            let mut batch = std::mem::take(slot);
             flush_batch(
-                model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list,
-                &mut stats,
+                model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list, &mut stats,
             );
         }
     }
@@ -358,7 +360,7 @@ fn reverse_compact(
     // Final grading pass over the kept set, preserving the ATPG's
     // untestable/aborted verdicts for whatever stays undetected.
     let mut final_list = FaultList::new(list.universe().clone());
-    for pi in 0..procedures.len() {
+    for (pi, spec) in procedures.iter().enumerate() {
         let idxs: Vec<usize> = (0..compacted.len())
             .filter(|&i| compacted.patterns()[i].proc_index == pi)
             .collect();
@@ -368,10 +370,10 @@ fn reverse_compact(
                 .iter()
                 .map(|&i| compacted.patterns()[i].clone())
                 .collect();
-            let good = simulate_good(model, &procedures[pi], &pats);
+            let good = simulate_good(model, spec, &pats);
             let undetected: Vec<occ_fault::Fault> = final_list.undetected().collect();
             for fault in undetected {
-                let mask = fsim.detect(&procedures[pi], &good, fault);
+                let mask = fsim.detect(spec, &good, fault);
                 if mask != 0 {
                     let bit = mask.trailing_zeros() as usize;
                     final_list.set_status(
@@ -390,9 +392,7 @@ fn reverse_compact(
             match status {
                 FaultStatus::Untestable => final_list.set_status(fault, FaultStatus::Untestable),
                 FaultStatus::Aborted => final_list.set_status(fault, FaultStatus::Aborted),
-                FaultStatus::Constrained => {
-                    final_list.set_status(fault, FaultStatus::Constrained)
-                }
+                FaultStatus::Constrained => final_list.set_status(fault, FaultStatus::Constrained),
                 _ => {}
             }
         }

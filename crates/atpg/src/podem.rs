@@ -167,7 +167,7 @@ impl<'m, 'a> Podem<'m, 'a> {
             FaultModel::StuckAt => {
                 // Some active frame must allow the opposite value.
                 let scan_q_site = self.stuck_scan_q_flop(fault);
-                let state_ok = scan_q_site.map_or(false, |fi| {
+                let state_ok = scan_q_site.is_some_and(|fi| {
                     let s = self.sim.good_state[frames][fi];
                     !s.is_definite() || s != v_fault
                 });
@@ -197,12 +197,7 @@ impl<'m, 'a> Podem<'m, 'a> {
     /// whose final captured state can differ). Sound pruning: if no such
     /// path exists under the current assignment, no extension of the
     /// assignment can detect the fault.
-    fn xpath_to_observation(
-        &self,
-        spec: &FrameSpec,
-        obs: &Observability,
-        fault: Fault,
-    ) -> bool {
+    fn xpath_to_observation(&self, spec: &FrameSpec, obs: &Observability, fault: Fault) -> bool {
         let nl = self.model.netlist();
         let frames = spec.frames();
         let n = nl.len();
@@ -239,9 +234,7 @@ impl<'m, 'a> Podem<'m, 'a> {
 
         while let Some((id, k)) = work.pop() {
             // Observation?
-            if spec.po_observe_frames().contains(&k)
-                && nl.cell(id).kind() == CellKind::Output
-            {
+            if spec.po_observe_frames().contains(&k) && nl.cell(id).kind() == CellKind::Output {
                 return true;
             }
             let _ = obs;
@@ -276,9 +269,7 @@ impl<'m, 'a> Podem<'m, 'a> {
                             }
                             // Holding flops keep the corrupt state alive
                             // to later frames.
-                            if kk >= frames
-                                || spec.cycles()[kk - 1].pulses_domain(info.domain)
-                            {
+                            if kk >= frames || spec.cycles()[kk - 1].pulses_domain(info.domain) {
                                 break;
                             }
                             kk += 1;
@@ -293,11 +284,12 @@ impl<'m, 'a> Podem<'m, 'a> {
                             return true;
                         }
                     }
-                } else if kind.is_combinational() {
-                    if carrier(f, k) && !visited[f.index() * frames + (k - 1)] {
-                        visited[f.index() * frames + (k - 1)] = true;
-                        work.push((f, k));
-                    }
+                } else if kind.is_combinational()
+                    && carrier(f, k)
+                    && !visited[f.index() * frames + (k - 1)]
+                {
+                    visited[f.index() * frames + (k - 1)] = true;
+                    work.push((f, k));
                 }
             }
         }
@@ -344,9 +336,9 @@ impl<'m, 'a> Podem<'m, 'a> {
             }
             FaultModel::StuckAt => {
                 let want = v_fault == Logic::Zero; // opposite of stuck value
-                // A stuck Q on a scan flop is observed directly at
-                // unload: justify the flop's *final captured state* to
-                // the opposite value.
+                                                   // A stuck Q on a scan flop is observed directly at
+                                                   // unload: justify the flop's *final captured state* to
+                                                   // the opposite value.
                 if let Some(fi) = self.stuck_scan_q_flop(fault) {
                     let s = self.sim.good_state[frames][fi];
                     if !s.is_definite() {
@@ -371,7 +363,7 @@ impl<'m, 'a> Podem<'m, 'a> {
                 // If the site is already activated somewhere (including
                 // via the unload-observed state), fall through to
                 // propagation; otherwise dead end.
-                let state_activated = self.stuck_scan_q_flop(fault).map_or(false, |fi| {
+                let state_activated = self.stuck_scan_q_flop(fault).is_some_and(|fi| {
                     let s = self.sim.good_state[frames][fi];
                     s.is_definite() && s != v_fault
                 });
@@ -449,12 +441,8 @@ impl<'m, 'a> Podem<'m, 'a> {
                 .collect()
         };
         match kind {
-            CellKind::And | CellKind::Nand => {
-                x_inputs().into_iter().map(|n| (n, true)).collect()
-            }
-            CellKind::Or | CellKind::Nor => {
-                x_inputs().into_iter().map(|n| (n, false)).collect()
-            }
+            CellKind::And | CellKind::Nand => x_inputs().into_iter().map(|n| (n, true)).collect(),
+            CellKind::Or | CellKind::Nor => x_inputs().into_iter().map(|n| (n, false)).collect(),
             CellKind::Xor | CellKind::Xnor => x_inputs()
                 .into_iter()
                 .flat_map(|n| [(n, false), (n, true)])
@@ -495,12 +483,7 @@ impl<'m, 'a> Podem<'m, 'a> {
     /// Backtraces a flop's *post-procedure state* (what scan unload
     /// reads) to a decision variable: the sample pin at its last
     /// capture, or the scan-load bit if its domain never pulses.
-    fn backtrace_state(
-        &self,
-        spec: &FrameSpec,
-        ff: CellId,
-        want: bool,
-    ) -> Option<(Var, bool)> {
+    fn backtrace_state(&self, spec: &FrameSpec, ff: CellId, want: bool) -> Option<(Var, bool)> {
         let nl = self.model.netlist();
         let cell = nl.cell(ff);
         let domain = self
@@ -586,10 +569,7 @@ impl<'m, 'a> Podem<'m, 'a> {
                 loop {
                     if k == 1 {
                         // Load state: scan bits are decision variables.
-                        return self
-                            .scan_index
-                            .get(&node)
-                            .map(|&si| (Var::Scan(si), want));
+                        return self.scan_index.get(&node).map(|&si| (Var::Scan(si), want));
                     }
                     let domain = self
                         .model
@@ -658,21 +638,14 @@ impl<'m, 'a> Podem<'m, 'a> {
                         }
                     }
                     let mut x_inputs = x_inputs;
-                    x_inputs.sort_by_key(|&i| {
-                        self.cc.cost(i, false).min(self.cc.cost(i, true))
-                    });
+                    x_inputs.sort_by_key(|&i| self.cc.cost(i, false).min(self.cc.cost(i, true)));
                     for i in &x_inputs {
                         // Remaining Xs (other than the chosen one) are
                         // aimed at 0, so the chosen one carries the
                         // parity.
-                        if let Some(hit) = self.backtrace_rec(
-                            spec,
-                            *i,
-                            frame,
-                            inner ^ acc,
-                            failed,
-                            depth + 1,
-                        ) {
+                        if let Some(hit) =
+                            self.backtrace_rec(spec, *i, frame, inner ^ acc, failed, depth + 1)
+                        {
                             return Some(hit);
                         }
                     }
@@ -850,7 +823,10 @@ mod tests {
             }
             match outcome {
                 PodemOutcome::Test(_) => {
-                    assert!(brute_detect, "PODEM found test but brute force none: {fault}")
+                    assert!(
+                        brute_detect,
+                        "PODEM found test but brute force none: {fault}"
+                    )
                 }
                 PodemOutcome::Untestable => {
                     assert!(!brute_detect, "PODEM missed existing test for {fault}")

@@ -46,8 +46,7 @@ impl Observability {
                 let q_later = k < frames && reachable[k][info.cell.index()];
                 // Scan flop capturing its final value: the sample cone is
                 // observed at unload.
-                let final_capture =
-                    info.is_scan && pulsed && last_pulse[info.domain] == Some(k);
+                let final_capture = info.is_scan && pulsed && last_pulse[info.domain] == Some(k);
                 if pulsed && (q_later || final_capture) {
                     let cell = nl.cell(info.cell);
                     // Sample cone: D (and SE/SI for scan muxes).

@@ -30,10 +30,8 @@ impl Controllability {
 
         let forced: std::collections::HashMap<CellId, Logic> =
             model.forced().iter().copied().collect();
-        let masked: std::collections::HashSet<CellId> =
-            model.masked().iter().copied().collect();
-        let free: std::collections::HashSet<CellId> =
-            model.free_pis().iter().copied().collect();
+        let masked: std::collections::HashSet<CellId> = model.masked().iter().copied().collect();
+        let free: std::collections::HashSet<CellId> = model.free_pis().iter().copied().collect();
 
         // Sources.
         for (id, cell) in nl.iter() {
@@ -111,12 +109,7 @@ impl Controllability {
     }
 }
 
-fn eval_cc(
-    nl: &occ_netlist::Netlist,
-    id: CellId,
-    cc0: &[u32],
-    cc1: &[u32],
-) -> (u32, u32) {
+fn eval_cc(nl: &occ_netlist::Netlist, id: CellId, cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
     let cell = nl.cell(id);
     let add = |a: u32, b: u32| a.saturating_add(b).min(INF);
     let ins = cell.inputs();
@@ -125,9 +118,7 @@ fn eval_cc(
         CellKind::Not => (cc1[ins[0].index()], cc0[ins[0].index()]),
         CellKind::And | CellKind::Nand => {
             let zero = ins.iter().map(|i| cc0[i.index()]).min().unwrap_or(INF);
-            let one = ins
-                .iter()
-                .fold(0u32, |acc, i| add(acc, cc1[i.index()]));
+            let one = ins.iter().fold(0u32, |acc, i| add(acc, cc1[i.index()]));
             let (a0, a1) = (add(zero, 1), add(one, 1));
             if cell.kind() == CellKind::Nand {
                 (a1, a0)
@@ -137,9 +128,7 @@ fn eval_cc(
         }
         CellKind::Or | CellKind::Nor => {
             let one = ins.iter().map(|i| cc1[i.index()]).min().unwrap_or(INF);
-            let zero = ins
-                .iter()
-                .fold(0u32, |acc, i| add(acc, cc0[i.index()]));
+            let zero = ins.iter().fold(0u32, |acc, i| add(acc, cc0[i.index()]));
             let (a0, a1) = (add(zero, 1), add(one, 1));
             if cell.kind() == CellKind::Nor {
                 (a1, a0)
@@ -167,10 +156,10 @@ fn eval_cc(
         }
         CellKind::Mux2 => {
             let (s, d0, d1) = (ins[0], ins[1], ins[2]);
-            let zero = add(cc0[s.index()], cc0[d0.index()])
-                .min(add(cc1[s.index()], cc0[d1.index()]));
-            let one = add(cc0[s.index()], cc1[d0.index()])
-                .min(add(cc1[s.index()], cc1[d1.index()]));
+            let zero =
+                add(cc0[s.index()], cc0[d0.index()]).min(add(cc1[s.index()], cc0[d1.index()]));
+            let one =
+                add(cc0[s.index()], cc1[d0.index()]).min(add(cc1[s.index()], cc1[d1.index()]));
             (add(zero, 1), add(one, 1))
         }
         _ => (INF, INF),

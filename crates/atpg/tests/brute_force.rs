@@ -99,7 +99,10 @@ fn verify(seed: u64, spec: &FrameSpec, transition: bool) {
         }
         match outcome {
             PodemOutcome::Test(p) => {
-                assert!(brute, "seed {seed}: PODEM test but no brute test for {fault}");
+                assert!(
+                    brute,
+                    "seed {seed}: PODEM test but no brute test for {fault}"
+                );
                 let good = simulate_good(&model, spec, std::slice::from_ref(&p));
                 assert_eq!(
                     fsim.detect(spec, &good, fault) & 1,

@@ -1,7 +1,7 @@
 //! Engine micro-benches (ablation-style): packed PPSFP fault simulation
 //! vs the scalar dual simulator, good-machine batch simulation, EDT
 //! encode/expand, scan insertion and event-driven CPF simulation.
-//! These quantify the design choices DESIGN.md calls out (64-slot
+//! These quantify the workspace's core design choices (64-slot
 //! packing, event-driven propagation, linear-solver encoding).
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -89,7 +89,13 @@ fn bench_engines(c: &mut Criterion) {
         });
         let mut rng = StdRng::seed_from_u64(11);
         let cares: Vec<(usize, usize, bool)> = (0..64)
-            .map(|_| (rng.gen_range(0..64), rng.gen_range(0..40), rng.gen_bool(0.5)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..64),
+                    rng.gen_range(0..40),
+                    rng.gen_bool(0.5),
+                )
+            })
             .collect();
         b.iter(|| criterion::black_box(codec.encode(&cares).map(|v| v.len())))
     });

@@ -1,0 +1,81 @@
+//! Serial vs sharded PPSFP throughput on the largest SOC benchmark:
+//! the whole collapsed transition-fault universe is graded against a
+//! full 64-pattern batch by the serial engine and by `ParallelFaultSim`
+//! at 2, 4 and 8 workers.
+//!
+//! The sharded masks are asserted bit-identical to the serial ones
+//! before timing starts, so the bench cannot silently compare different
+//! work. On a single-core host the sharded rows degrade to roughly
+//! serial speed (plus spawn overhead); the speedup shows on multicore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use occ_fault::FaultUniverse;
+use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, ParallelFaultSim, Pattern};
+use occ_netlist::Logic;
+use occ_soc::{generate, SocConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_sharding(c: &mut Criterion) {
+    // The largest SOC the bench suite builds: full paper-like domain
+    // mix at 96 flops per domain.
+    let soc = generate(&SocConfig::paper_like(9, 96));
+    let binding = soc.binding(true);
+    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
+    let spec = FrameSpec::broadside("loc", &[0, 1], 2)
+        .hold_pi(true)
+        .observe_po(false);
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let patterns: Vec<Pattern> = (0..64)
+        .map(|_| {
+            let mut p = Pattern::empty(&model, &spec, 0);
+            p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
+            p
+        })
+        .collect();
+    let good = simulate_good(&model, &spec, &patterns);
+    let faults = FaultUniverse::transition(soc.netlist()).faults().to_vec();
+    println!(
+        "sharding bench: {} cells, {} collapsed transition faults, 64 patterns",
+        soc.netlist().len(),
+        faults.len()
+    );
+
+    // Cross-check once before timing anything.
+    let reference = FaultSim::new(&model).detect_many(&spec, &good, &faults);
+    for threads in [2, 4, 8] {
+        let masks =
+            ParallelFaultSim::with_threads(&model, threads).detect_many(&spec, &good, &faults);
+        assert_eq!(
+            reference, masks,
+            "sharded masks diverged at {threads} threads"
+        );
+    }
+
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(10);
+
+    group.bench_function("ppsfp_serial", |b| {
+        let mut engine = FaultSim::new(&model);
+        b.iter(|| {
+            let masks = engine.detect_many(&spec, &good, &faults);
+            criterion::black_box(masks.iter().filter(|&&m| m != 0).count())
+        })
+    });
+
+    for threads in [2usize, 4, 8] {
+        let psim = ParallelFaultSim::with_threads(&model, threads);
+        group.bench_function(format!("ppsfp_sharded_{threads}t"), |b| {
+            b.iter(|| {
+                let masks = psim.detect_many(&spec, &good, &faults);
+                criterion::black_box(masks.iter().filter(|&&m| m != 0).count())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

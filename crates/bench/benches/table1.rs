@@ -11,7 +11,10 @@ fn bench_rows(c: &mut Criterion) {
         flops_per_domain: 24,
         ..Table1Options::default()
     };
-    let soc = generate(&SocConfig::paper_like(options.seed, options.flops_per_domain));
+    let soc = generate(&SocConfig::paper_like(
+        options.seed,
+        options.flops_per_domain,
+    ));
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     for id in ExperimentId::ALL {

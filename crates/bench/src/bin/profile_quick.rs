@@ -8,7 +8,10 @@ fn main() {
     let t0 = Instant::now();
     let soc = generate(&cfg);
     println!("gen: {:?} cells={}", t0.elapsed(), soc.netlist().len());
-    let opts = Table1Options { flops_per_domain: 24, ..Table1Options::default() };
+    let opts = Table1Options {
+        flops_per_domain: 24,
+        ..Table1Options::default()
+    };
     for id in [ExperimentId::A, ExperimentId::B, ExperimentId::C] {
         let t = Instant::now();
         let row = run_experiment(&soc, id, &opts);

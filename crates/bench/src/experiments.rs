@@ -112,7 +112,13 @@ impl Default for Table1Options {
 }
 
 /// The clocking mode and fault model a row uses.
-fn mode_of(id: ExperimentId) -> (ClockingMode, bool /* transition */, bool /* bidi masked */) {
+fn mode_of(
+    id: ExperimentId,
+) -> (
+    ClockingMode,
+    bool, /* transition */
+    bool, /* bidi masked */
+) {
     match id {
         ExperimentId::A => (ClockingMode::ExternalClock { max_pulses: 4 }, false, false),
         ExperimentId::B => (ClockingMode::ExternalClock { max_pulses: 4 }, true, false),
@@ -288,7 +294,10 @@ impl fmt::Display for Table1 {
 
 /// Generates the SOC and runs all five experiments.
 pub fn run_table1(options: &Table1Options) -> Table1 {
-    let soc = generate(&SocConfig::paper_like(options.seed, options.flops_per_domain));
+    let soc = generate(&SocConfig::paper_like(
+        options.seed,
+        options.flops_per_domain,
+    ));
     let rows = ExperimentId::ALL
         .iter()
         .map(|&id| run_experiment(&soc, id, options))

@@ -1,9 +1,7 @@
 //! Figure reproductions: architecture (Fig 1), delay-test clocking
 //! (Fig 2), CPF schematic (Fig 3) and CPF waveform (Fig 4).
 
-use occ_core::{
-    AteExpansion, AteTiming, ClockPulseFilter, CpfBehavior, CpfConfig, Pll, PllConfig,
-};
+use occ_core::{AteExpansion, AteTiming, ClockPulseFilter, CpfBehavior, CpfConfig, Pll, PllConfig};
 use occ_netlist::{Logic, NetlistStats};
 use occ_sim::{render_ascii, AsciiOptions, DelayModel, EventSim, Time, Waveform};
 use occ_soc::{assemble_device, generate, Device, SocConfig};
@@ -250,7 +248,6 @@ pub fn fig4_waveforms(domain: usize) -> Fig4 {
         min_pulse_width,
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -131,9 +131,7 @@ impl ClockPulseFilter {
         let test_mode = config.functional_enable.then(|| b.input("test_mode"));
         let ports = Self::build_into(config, &mut b, pll_clk, scan_clk, scan_en, test_mode);
         b.output("clk_out", ports.clk_out);
-        let netlist = b
-            .finish()
-            .expect("generated CPF must validate");
+        let netlist = b.finish().expect("generated CPF must validate");
         ClockPulseFilter {
             config: config.clone(),
             netlist,

@@ -144,12 +144,7 @@ pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpe
     let all: Vec<usize> = (0..n_domains).collect();
     match mode {
         ClockingMode::ExternalClock { max_pulses } => (1..=max_pulses.max(1))
-            .map(|n| {
-                FrameSpec::new(
-                    &format!("ext_sa_{n}p"),
-                    vec![CycleSpec::pulsing(&all); n],
-                )
-            })
+            .map(|n| FrameSpec::new(&format!("ext_sa_{n}p"), vec![CycleSpec::pulsing(&all); n]))
             .collect(),
         ClockingMode::SimpleCpf => (0..n_domains)
             .map(|d| {
@@ -160,7 +155,9 @@ pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpe
             .collect(),
         ClockingMode::EnhancedCpf { max_pulses } => (0..n_domains)
             .flat_map(|d| {
-                (2..=max_pulses.max(2)).map(move |n| (d, n)).collect::<Vec<_>>()
+                (2..=max_pulses.max(2))
+                    .map(move |n| (d, n))
+                    .collect::<Vec<_>>()
             })
             .map(|(d, n)| {
                 FrameSpec::broadside(&format!("ecpf_sa_dom{d}_{n}p"), &[d], n)
@@ -170,12 +167,9 @@ pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpe
             .collect(),
         ClockingMode::ConstrainedExternal { max_pulses } => (1..=max_pulses.max(1))
             .map(|n| {
-                FrameSpec::new(
-                    &format!("cext_sa_{n}p"),
-                    vec![CycleSpec::pulsing(&all); n],
-                )
-                .hold_pi(true)
-                .observe_po(false)
+                FrameSpec::new(&format!("cext_sa_{n}p"), vec![CycleSpec::pulsing(&all); n])
+                    .hold_pi(true)
+                    .observe_po(false)
             })
             .collect(),
     }
@@ -225,8 +219,7 @@ mod tests {
 
     #[test]
     fn constrained_external_masks_everything() {
-        let procs =
-            transition_procedures(ClockingMode::ConstrainedExternal { max_pulses: 4 }, 2);
+        let procs = transition_procedures(ClockingMode::ConstrainedExternal { max_pulses: 4 }, 2);
         assert_eq!(procs.len(), 3);
         for p in &procs {
             assert!(p.holds_pi());

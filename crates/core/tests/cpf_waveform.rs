@@ -19,10 +19,10 @@ fn run_episode(cfg: &CpfConfig, domain: usize, seed: u64) -> (Vec<u64>, AteExpan
     let behavior = CpfBehavior::new(cfg);
     let mut rng = StdRng::seed_from_u64(seed);
     let timing = AteTiming {
-        shift_period_ps: 40_000 + 2_000 * rng.gen_range(0..10),
-        settle_ps: 20_000 + 1_000 * rng.gen_range(0..20),
+        shift_period_ps: 40_000 + 2_000 * rng.gen_range(0u64..10),
+        settle_ps: 20_000 + 1_000 * rng.gen_range(0u64..20),
     };
-    let start = 200_000 + 777 * rng.gen_range(0..100);
+    let start = 200_000 + 777 * rng.gen_range(0u64..100);
     let ep = AteExpansion::expand(&behavior, &pll, domain, &timing, start);
 
     let cpf = ClockPulseFilter::generate(cfg);
@@ -128,7 +128,9 @@ fn pulses_are_full_width_no_glitches() {
             );
         }
         // And the output never goes X during the episode.
-        assert!(!sim.trace().has_unknown_after(clk_out, ep.scan_en_fall + 50_000));
+        assert!(!sim
+            .trace()
+            .has_unknown_after(clk_out, ep.scan_en_fall + 50_000));
     }
 }
 
@@ -254,9 +256,7 @@ fn enhanced_cpf_delivers_programmed_burst() {
                 .trace()
                 .edges(clk_out)
                 .iter()
-                .filter(|e| {
-                    e.is_rising() && e.time >= ep.scan_en_fall && e.time < ep.scan_en_rise
-                })
+                .filter(|e| e.is_rising() && e.time >= ep.scan_en_fall && e.time < ep.scan_en_rise)
                 .map(|e| e.time)
                 .collect();
             assert_eq!(

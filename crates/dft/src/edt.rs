@@ -139,8 +139,7 @@ impl EdtCodec {
             .collect();
         let phase = (0..cfg.chains)
             .map(|_| {
-                let mut taps: Vec<usize> =
-                    (0..3).map(|_| rng.below(cfg.lfsr_len)).collect();
+                let mut taps: Vec<usize> = (0..3).map(|_| rng.below(cfg.lfsr_len)).collect();
                 taps.sort_unstable();
                 taps.dedup();
                 taps
@@ -206,9 +205,7 @@ impl EdtCodec {
         let mut next = vec![false; state.len()];
         let fb = self.feedback.iter().fold(false, |acc, &t| acc ^ state[t]);
         next[0] = fb;
-        for i in 1..state.len() {
-            next[i] = state[i - 1];
-        }
+        next[1..].copy_from_slice(&state[..state.len() - 1]);
         next
     }
 
@@ -340,8 +337,8 @@ fn solve_gf2(rows: &mut [(Vec<u64>, bool)], n_vars: usize) -> Option<Vec<bool>> 
         }
     }
     // Inconsistency: zero row with rhs 1.
-    for i in r..n_rows {
-        if rows[i].1 && rows[i].0.iter().all(|&w| w == 0) {
+    for row in rows.iter().take(n_rows).skip(r) {
+        if row.1 && row.0.iter().all(|&w| w == 0) {
             return None;
         }
     }

@@ -221,10 +221,7 @@ pub fn insert_scan(netlist: &Netlist, cfg: &ScanConfig) -> Result<ScanChains, Sc
             let ins = b.inputs(ff).to_vec();
             let (new_kind, new_ins) = match kind {
                 CellKind::Dff => (CellKind::Sdff, vec![ins[0], ins[1], se, si]),
-                CellKind::DffRl => (
-                    CellKind::SdffRl,
-                    vec![ins[0], ins[1], se, si, ins[2]],
-                ),
+                CellKind::DffRl => (CellKind::SdffRl, vec![ins[0], ins[1], se, si, ins[2]]),
                 // Active-high-reset and already-scan flops: wrap as
                 // SdffRl is not available for DffRh; convert to plain
                 // Sdff and drop the reset (documented limitation) —
@@ -239,9 +236,7 @@ pub fn insert_scan(netlist: &Netlist, cfg: &ScanConfig) -> Result<ScanChains, Sc
         scan_outs.push(b.output(&format!("scan_out{ci}"), si));
     }
 
-    let netlist = b
-        .finish()
-        .map_err(|e| ScanError::Rebuild(e.to_string()))?;
+    let netlist = b.finish().map_err(|e| ScanError::Rebuild(e.to_string()))?;
     Ok(ScanChains {
         netlist,
         chains,
@@ -341,18 +336,10 @@ mod tests {
         let sc = insert_scan(&nl, &ScanConfig::new(1)).unwrap();
         let chain = &sc.chains()[0];
         let head = chain[0];
-        let seq = sc.load_sequence(|id| {
-            if id == head {
-                Logic::One
-            } else {
-                Logic::Zero
-            }
-        });
+        let seq = sc.load_sequence(|id| if id == head { Logic::One } else { Logic::Zero });
         // The head flop's value is shifted in LAST.
         assert_eq!(*seq[0].last().unwrap(), Logic::One);
-        assert!(seq[0][..seq[0].len() - 1]
-            .iter()
-            .all(|&v| v == Logic::Zero));
+        assert!(seq[0][..seq[0].len() - 1].iter().all(|&v| v == Logic::Zero));
     }
 
     #[test]

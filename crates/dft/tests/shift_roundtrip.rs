@@ -49,7 +49,16 @@ fn shift_in_matches_direct_load() {
             .chains()
             .iter()
             .flatten()
-            .map(|&ff| (ff, if rng.gen_bool(0.5) { Logic::One } else { Logic::Zero }))
+            .map(|&ff| {
+                (
+                    ff,
+                    if rng.gen_bool(0.5) {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    },
+                )
+            })
             .collect();
 
         // Shift the load in through the pins.
@@ -94,7 +103,16 @@ fn unload_reads_state_in_chain_order() {
         .chains()
         .iter()
         .flatten()
-        .map(|&ff| (ff, if rng.gen_bool(0.5) { Logic::One } else { Logic::Zero }))
+        .map(|&ff| {
+            (
+                ff,
+                if rng.gen_bool(0.5) {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                },
+            )
+        })
         .collect();
     for (&ff, &v) in &state {
         sim.set_flop(ff, v);

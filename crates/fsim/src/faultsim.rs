@@ -253,10 +253,7 @@ impl<'m, 'a> FaultSim<'m, 'a> {
         good: &GoodBatch,
         faults: &[Fault],
     ) -> Vec<u64> {
-        faults
-            .iter()
-            .map(|&f| self.detect(spec, good, f))
-            .collect()
+        faults.iter().map(|&f| self.detect(spec, good, f)).collect()
     }
 
     /// Evaluates one cell with faulty input values (and an optional pin
@@ -338,11 +335,9 @@ impl<'m, 'a> FaultSim<'m, 'a> {
                         touched_flops.push(fi as u32);
                     }
                 }
-            } else if kind.is_combinational() {
-                if self.enq[f.index()] != self.gen {
-                    self.enq[f.index()] = self.gen;
-                    self.buckets[lev.level(f) as usize].push(f.index() as u32);
-                }
+            } else if kind.is_combinational() && self.enq[f.index()] != self.gen {
+                self.enq[f.index()] = self.gen;
+                self.buckets[lev.level(f) as usize].push(f.index() as u32);
             }
         }
     }
@@ -453,13 +448,7 @@ mod tests {
         let det = fsim.detect(
             &spec,
             &good,
-            Fault::stuck(
-                FaultSite::Input {
-                    cell: r.g,
-                    pin: 1,
-                },
-                Polarity::P0,
-            ),
+            Fault::stuck(FaultSite::Input { cell: r.g, pin: 1 }, Polarity::P0),
         );
         assert_eq!(det, 1, "branch fault propagates to f1");
     }

@@ -30,7 +30,11 @@ pub struct GoodBatch {
 ///
 /// Panics if more than 64 patterns are passed, or a pattern's shape does
 /// not match the model/spec.
-pub fn simulate_good(model: &CaptureModel<'_>, spec: &FrameSpec, patterns: &[Pattern]) -> GoodBatch {
+pub fn simulate_good(
+    model: &CaptureModel<'_>,
+    spec: &FrameSpec,
+    patterns: &[Pattern],
+) -> GoodBatch {
     assert!(patterns.len() <= 64, "PPSFP batch limit is 64 patterns");
     assert!(!patterns.is_empty(), "empty batch");
     let n_flops = model.flops().len();

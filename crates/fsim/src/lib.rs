@@ -14,7 +14,10 @@
 //! * [`simulate_good`] runs up to 64 [`Pattern`]s through the procedure
 //!   at once; [`FaultSim`] propagates each fault's difference and
 //!   reports per-pattern detection masks, honouring transition-fault
-//!   launch conditions.
+//!   launch conditions;
+//! * [`ParallelFaultSim`] shards the collapsed fault universe across
+//!   worker threads (per-thread scratch arenas, deterministic merge)
+//!   and produces masks bit-identical to the serial engine.
 //!
 //! The ATPG engine (`occ-atpg`) runs on the same model types.
 
@@ -24,6 +27,7 @@
 mod faultsim;
 mod goodsim;
 mod model;
+mod parallel;
 mod pattern;
 mod pval;
 mod spec;
@@ -31,6 +35,7 @@ mod spec;
 pub use faultsim::FaultSim;
 pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};
 pub use model::{CaptureModel, ClockBinding, FlopInfo, ModelError};
+pub use parallel::ParallelFaultSim;
 pub use pattern::{Pattern, PatternSet};
 pub use pval::{eval_packed, PVal};
 pub use spec::{CycleSpec, DomainId, FrameSpec};

@@ -1,0 +1,321 @@
+//! Sharded PPSFP: fault-partition parallelism over the serial engine.
+//!
+//! PPSFP is embarrassingly parallel across *faults*: each fault's
+//! detection mask depends only on the shared read-only inputs (the
+//! [`CaptureModel`], the [`FrameSpec`] and the good-machine batch), so
+//! the collapsed fault universe can be sharded across worker threads
+//! with **no shared mutable state** — every worker owns one private
+//! [`FaultSim`] scratch arena (value/stamp/bucket vectors) which it
+//! reuses for all faults of its shard.
+//!
+//! Determinism: result masks are written back by fault index, so the
+//! output of [`ParallelFaultSim::detect_many`] is bit-identical to the
+//! serial engine at any thread count, and the [`FaultStatus`] merge in
+//! [`ParallelFaultSim::grade`] processes faults in universe order —
+//! thread scheduling can never change a coverage report.
+//!
+//! Shards are interleaved blocks (worker `t` takes blocks `t`,
+//! `t + T`, `t + 2T`, …) rather than one contiguous span per worker:
+//! fault cost correlates strongly with netlist locality, and striding
+//! spreads the expensive cones across all workers.
+
+use crate::faultsim::FaultSim;
+use crate::goodsim::GoodBatch;
+use crate::{CaptureModel, FrameSpec};
+use occ_fault::{Fault, FaultList, FaultStatus};
+use std::thread;
+
+/// Default number of faults per scheduling block.
+const DEFAULT_BLOCK: usize = 128;
+
+/// A fault-partition scheduler running the PPSFP engine on worker
+/// threads with per-thread scratch arenas.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_fault::FaultUniverse;
+/// use occ_fsim::{ClockBinding, CaptureModel, FrameSpec, CycleSpec, Pattern,
+///                simulate_good, FaultSim, ParallelFaultSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let d = b.input("d");
+/// let se = b.input("se");
+/// let si = b.input("si");
+/// let ff = b.sdff(d, clk, se, si);
+/// b.output("q", ff);
+/// let nl = b.finish()?;
+/// let mut binding = ClockBinding::new();
+/// binding.add_domain("a", clk);
+/// binding.constrain(se, Logic::Zero);
+/// binding.mask(si);
+/// let model = CaptureModel::new(&nl, binding)?;
+///
+/// let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+/// let mut p = Pattern::empty(&model, &spec, 0);
+/// p.pis[0] = vec![Logic::One];
+/// let good = simulate_good(&model, &spec, &[p]);
+///
+/// let faults = FaultUniverse::stuck_at(&nl).faults().to_vec();
+/// let serial = FaultSim::new(&model).detect_many(&spec, &good, &faults);
+/// let sharded = ParallelFaultSim::with_threads(&model, 4).detect_many(&spec, &good, &faults);
+/// assert_eq!(serial, sharded);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParallelFaultSim<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    threads: usize,
+    block: usize,
+}
+
+impl<'m, 'a> ParallelFaultSim<'m, 'a> {
+    /// Creates a scheduler using all available hardware parallelism.
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_threads(model, threads)
+    }
+
+    /// Creates a scheduler with an explicit worker count (`0` and `1`
+    /// both mean "run serially on the calling thread").
+    pub fn with_threads(model: &'m CaptureModel<'a>, threads: usize) -> Self {
+        ParallelFaultSim {
+            model,
+            threads: threads.max(1),
+            block: DEFAULT_BLOCK,
+        }
+    }
+
+    /// Overrides the scheduling block size (faults handed to a worker
+    /// at a time). Mainly for tests; the default suits real designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn block_size(mut self, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        self.block = block;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The capture model this scheduler is bound to.
+    pub fn model(&self) -> &'m CaptureModel<'a> {
+        self.model
+    }
+
+    /// Detects a batch of faults, returning one 64-bit mask per fault —
+    /// bit-identical to [`FaultSim::detect_many`] at any thread count.
+    pub fn detect_many(&self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
+        // Below roughly one block per worker the spawn overhead cannot
+        // pay for itself; fall through to the serial engine.
+        if self.threads == 1 || faults.len() <= self.block {
+            return FaultSim::new(self.model).detect_many(spec, good, faults);
+        }
+
+        let n_blocks = faults.len().div_ceil(self.block);
+        let workers = self.threads.min(n_blocks);
+        let mut out = vec![0u64; faults.len()];
+
+        let shards: Vec<Vec<(usize, Vec<u64>)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    scope.spawn(move || {
+                        // One scratch arena per worker, reused for the
+                        // whole shard.
+                        let mut engine = FaultSim::new(self.model);
+                        let mut results = Vec::new();
+                        let mut b = t;
+                        while b < n_blocks {
+                            let start = b * self.block;
+                            let end = (start + self.block).min(faults.len());
+                            let masks = engine.detect_many(spec, good, &faults[start..end]);
+                            results.push((start, masks));
+                            b += workers;
+                        }
+                        results
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fault-sim worker panicked"))
+                .collect()
+        });
+
+        // Deterministic merge: each block owns a disjoint index range.
+        for (start, masks) in shards.into_iter().flatten() {
+            out[start..start + masks.len()].copy_from_slice(&masks);
+        }
+        out
+    }
+
+    /// Grades every fault of `list` that is not yet detected against
+    /// the batch and merges the detection masks into [`FaultStatus`]:
+    /// a fault with a non-zero mask becomes
+    /// `Detected { pattern: pattern_of_bit(lowest set bit) }`.
+    ///
+    /// The merge walks faults in universe order, so the resulting
+    /// statuses are independent of thread count and scheduling. Returns
+    /// the number of faults newly marked detected.
+    pub fn grade(
+        &self,
+        spec: &FrameSpec,
+        good: &GoodBatch,
+        list: &mut FaultList,
+        mut pattern_of_bit: impl FnMut(usize) -> u32,
+    ) -> usize {
+        let candidates: Vec<Fault> = list
+            .iter()
+            .filter(|(_, s)| !s.is_detected())
+            .map(|(f, _)| f)
+            .collect();
+        let masks = self.detect_many(spec, good, &candidates);
+        let mut newly = 0;
+        for (fault, mask) in candidates.into_iter().zip(masks) {
+            if mask != 0 {
+                let bit = mask.trailing_zeros() as usize;
+                list.set_status(
+                    fault,
+                    FaultStatus::Detected {
+                        pattern: pattern_of_bit(bit),
+                    },
+                );
+                newly += 1;
+            }
+        }
+        newly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_good, ClockBinding, CycleSpec, Pattern};
+    use occ_fault::FaultUniverse;
+    use occ_netlist::{Logic, NetlistBuilder};
+
+    /// A few dozen gates with reconvergence, scan flops and a PO.
+    fn rig() -> occ_netlist::Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let mut prev = si;
+        let mut taps = Vec::new();
+        for i in 0..8 {
+            let d = b.input(&format!("d{i}"));
+            let f = b.sdff(d, clk, se, prev);
+            let g = b.xor2(f, d);
+            let h = b.and2(g, f);
+            taps.push(h);
+            prev = f;
+        }
+        let mut acc = taps[0];
+        for &t in &taps[1..] {
+            acc = b.or2(acc, t);
+        }
+        let fout = b.sdff(acc, clk, se, prev);
+        b.output("po", acc);
+        b.output("q", fout);
+        b.finish().unwrap()
+    }
+
+    fn check_identical(threads: usize, block: usize) {
+        let nl = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", nl.find("clk").unwrap());
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+
+        let n_scan = model.scan_flops().len();
+        let mut patterns = Vec::new();
+        for i in 0..16u64 {
+            let mut p = Pattern::empty(&model, &spec, 0);
+            p.scan_load = (0..n_scan)
+                .map(|s| Logic::from_bool((i >> (s % 16)) & 1 == 1))
+                .collect();
+            for frame in &mut p.pis {
+                for (j, v) in frame.iter_mut().enumerate() {
+                    *v = Logic::from_bool((i + j as u64).is_multiple_of(3));
+                }
+            }
+            patterns.push(p);
+        }
+        let good = simulate_good(&model, &spec, &patterns);
+        let faults = FaultUniverse::stuck_at(&nl).faults().to_vec();
+
+        let serial = FaultSim::new(&model).detect_many(&spec, &good, &faults);
+        let sharded = ParallelFaultSim::with_threads(&model, threads)
+            .block_size(block)
+            .detect_many(&spec, &good, &faults);
+        assert_eq!(serial, sharded, "threads={threads} block={block}");
+        assert!(
+            serial.iter().any(|&m| m != 0),
+            "degenerate: nothing detected"
+        );
+    }
+
+    #[test]
+    fn sharded_masks_match_serial_across_thread_counts() {
+        for threads in [1, 2, 3, 8] {
+            check_identical(threads, 4);
+        }
+    }
+
+    #[test]
+    fn sharded_masks_match_serial_with_ragged_tail_block() {
+        // Block sizes that do not divide the fault count exercise the
+        // final short block.
+        for block in [1, 3, 7, 64] {
+            check_identical(4, block);
+        }
+    }
+
+    #[test]
+    fn grade_merges_in_universe_order() {
+        let nl = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", nl.find("clk").unwrap());
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        let n_scan = model.scan_flops().len();
+        p.scan_load = (0..n_scan).map(|s| Logic::from_bool(s % 2 == 0)).collect();
+        for frame in &mut p.pis {
+            frame.fill(Logic::One);
+        }
+        let good = simulate_good(&model, &spec, &[p]);
+        let uni = FaultUniverse::stuck_at(&nl);
+
+        let mut serial_list = FaultList::new(uni.clone());
+        let mut engine = FaultSim::new(&model);
+        for fault in uni.faults().to_vec() {
+            if engine.detect(&spec, &good, fault) != 0 {
+                serial_list.set_status(fault, FaultStatus::Detected { pattern: 7 });
+            }
+        }
+
+        for threads in [1, 2, 8] {
+            let mut list = FaultList::new(uni.clone());
+            let psim = ParallelFaultSim::with_threads(&model, threads).block_size(2);
+            let newly = psim.grade(&spec, &good, &mut list, |_| 7);
+            assert_eq!(newly, serial_list.report().detected, "threads={threads}");
+            for (fault, status) in list.iter() {
+                assert_eq!(status, serial_list.status(fault), "fault {fault}");
+            }
+        }
+    }
+}

@@ -185,10 +185,7 @@ mod tests {
         p.fill_x(|| Logic::Zero);
         assert_eq!(p.scan_load[0], Logic::One);
         assert!(p.care_bits() > before);
-        assert!(p
-            .pis
-            .iter()
-            .all(|f| f.iter().all(|v| v.is_definite())));
+        assert!(p.pis.iter().all(|f| f.iter().all(|v| v.is_definite())));
     }
 
     #[test]

@@ -93,7 +93,9 @@ impl PVal {
         (self.v ^ other.v) & !self.x & !other.x
     }
 
-    /// Word-parallel NOT.
+    /// Word-parallel NOT (also available as the `!` operator; the named
+    /// form mirrors `and`/`or`/`xor` for use as a function value).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn not(self) -> PVal {
         PVal::canon(!self.v, self.x)
@@ -152,6 +154,14 @@ impl PVal {
             (self.v & !mask) | (other.v & mask),
             (self.x & !mask) | (other.x & mask),
         )
+    }
+}
+
+impl std::ops::Not for PVal {
+    type Output = PVal;
+
+    fn not(self) -> PVal {
+        PVal::not(self)
     }
 }
 

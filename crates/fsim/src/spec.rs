@@ -223,7 +223,9 @@ mod tests {
 
     #[test]
     fn display_summarizes() {
-        let s = FrameSpec::broadside("x", &[0], 2).hold_pi(true).observe_po(false);
+        let s = FrameSpec::broadside("x", &[0], 2)
+            .hold_pi(true)
+            .observe_po(false);
         let text = s.to_string();
         assert!(text.contains("x ["));
         assert!(text.contains("hold-pi"));

@@ -150,11 +150,7 @@ fn scalar_sim(
                     continue;
                 }
             }
-            let mut ins: Vec<Logic> = cell
-                .inputs()
-                .iter()
-                .map(|&s| vals[s.index()])
-                .collect();
+            let mut ins: Vec<Logic> = cell.inputs().iter().map(|&s| vals[s.index()]).collect();
             if let Some(f) = force_site {
                 if let FaultSite::Input { cell: fc, pin } = f.site() {
                     if fc == id {
@@ -221,9 +217,7 @@ fn scalar_detect(
         }
         let node = match fault.site() {
             FaultSite::Output(c) => c,
-            FaultSite::Input { cell, pin } => {
-                model.netlist().cell(cell).inputs()[pin as usize]
-            }
+            FaultSite::Input { cell, pin } => model.netlist().cell(cell).inputs()[pin as usize],
         };
         let before = gframes[spec.frames() - 2][node.index()];
         let after = gframes[spec.frames() - 1][node.index()];

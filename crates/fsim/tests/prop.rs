@@ -1,61 +1,215 @@
-//! Property tests: the packed 64-slot algebra must agree with the
-//! scalar 4-valued algebra slot-for-slot on arbitrary words.
+//! The packed 64-slot algebra must agree with the scalar 4-valued
+//! algebra slot-for-slot. No external property-testing framework is
+//! available offline, so this file combines two deterministic
+//! strategies that together cover more than sampled properties would:
+//!
+//! 1. **Exhaustive tiling** — every operand combination of {0, 1, X}
+//!    (9 pairs for binary ops, 27 triples for the mux) is placed in
+//!    every one of the 64 slot positions and checked per slot.
+//! 2. **A seeded xorshift sweep** — thousands of arbitrary canonical
+//!    word pairs, every slot compared against `occ_netlist::Logic`.
 
 use occ_fsim::PVal;
 use occ_netlist::Logic;
-use proptest::prelude::*;
 
-fn arb_pval() -> impl Strategy<Value = PVal> {
-    (any::<u64>(), any::<u64>()).prop_map(|(v, x)| PVal::canon(v, x))
+const VALS: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+/// Deterministic 64-bit xorshift* stream (self-contained; no deps).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
 }
 
-proptest! {
-    #[test]
-    fn and_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
-        prop_assert_eq!(a.and(b).slot(bit), a.slot(bit) & b.slot(bit));
-    }
+fn arb_pvals(seed: u64, n: usize) -> Vec<PVal> {
+    let mut rng = XorShift(seed | 1);
+    (0..n)
+        .map(|_| PVal::canon(rng.next(), rng.next()))
+        .collect()
+}
 
-    #[test]
-    fn or_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
-        prop_assert_eq!(a.or(b).slot(bit), a.slot(bit) | b.slot(bit));
+/// Tiles a `len`-entry operand-combination table across all 64 slots:
+/// slot `s` holds entry `(s + offset) % len`. Sweeping `offset` over
+/// `0..len` therefore puts **every** table entry in **every** slot.
+fn tile(offset: usize, len: usize, pick: impl Fn(usize) -> Logic) -> PVal {
+    let mut p = PVal::ZERO;
+    for slot in 0..64 {
+        p = p.with_slot(slot, pick((slot + offset) % len));
     }
+    p
+}
 
-    #[test]
-    fn xor_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
-        prop_assert_eq!(a.xor(b).slot(bit), a.slot(bit) ^ b.slot(bit));
+fn is_canon(p: PVal) -> bool {
+    p.v & p.x == 0
+}
+
+#[test]
+fn binary_ops_exhaustive_all_slot_positions() {
+    // 9 operand pairs tiled so each pair visits every slot position.
+    for offset in 0..9 {
+        let a = tile(offset, 9, |i| VALS[i / 3]);
+        let b = tile(offset, 9, |i| VALS[i % 3]);
+        for slot in 0..64 {
+            let (sa, sb) = (a.slot(slot), b.slot(slot));
+            assert_eq!(a.and(b).slot(slot), sa & sb, "and {sa} {sb} @{slot}");
+            assert_eq!(a.or(b).slot(slot), sa | sb, "or {sa} {sb} @{slot}");
+            assert_eq!(a.xor(b).slot(slot), sa ^ sb, "xor {sa} {sb} @{slot}");
+        }
     }
+}
 
-    #[test]
-    fn not_matches_scalar(a in arb_pval(), bit in 0usize..64) {
-        prop_assert_eq!(a.not().slot(bit), !a.slot(bit));
+#[test]
+fn not_exhaustive_all_slot_positions() {
+    for offset in 0..3 {
+        let a = tile(offset, 3, |i| VALS[i]);
+        for slot in 0..64 {
+            assert_eq!(a.not().slot(slot), !a.slot(slot));
+        }
     }
+}
 
-    #[test]
-    fn mux_matches_scalar(s in arb_pval(), d0 in arb_pval(), d1 in arb_pval(), bit in 0usize..64) {
-        prop_assert_eq!(
-            PVal::mux2(s, d0, d1).slot(bit),
-            Logic::mux2(s.slot(bit), d0.slot(bit), d1.slot(bit))
-        );
+#[test]
+fn mux_exhaustive_all_slot_positions() {
+    // 27 select/d0/d1 triples tiled across every slot position.
+    for offset in 0..27 {
+        let s = tile(offset, 27, |i| VALS[i / 9]);
+        let d0 = tile(offset, 27, |i| VALS[(i / 3) % 3]);
+        let d1 = tile(offset, 27, |i| VALS[i % 3]);
+        let got = PVal::mux2(s, d0, d1);
+        for slot in 0..64 {
+            let want = Logic::mux2(s.slot(slot), d0.slot(slot), d1.slot(slot));
+            assert_eq!(
+                got.slot(slot),
+                want,
+                "mux2({}, {}, {}) @{slot}",
+                s.slot(slot),
+                d0.slot(slot),
+                d1.slot(slot)
+            );
+        }
     }
+}
 
-    #[test]
-    fn definite_diff_matches_scalar(a in arb_pval(), b in arb_pval(), bit in 0usize..64) {
-        let want = {
-            let (x, y) = (a.slot(bit), b.slot(bit));
-            x.is_definite() && y.is_definite() && x != y
-        };
-        prop_assert_eq!((a.definite_diff(b) >> bit) & 1 == 1, want);
+#[test]
+fn sweep_binary_and_unary_ops() {
+    let pool = arb_pvals(0xF51A_2005, 2_000);
+    for pair in pool.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let and = a.and(b);
+        let or = a.or(b);
+        let xor = a.xor(b);
+        let not = a.not();
+        for slot in 0..64 {
+            let (sa, sb) = (a.slot(slot), b.slot(slot));
+            assert_eq!(and.slot(slot), sa & sb);
+            assert_eq!(or.slot(slot), sa | sb);
+            assert_eq!(xor.slot(slot), sa ^ sb);
+            assert_eq!(not.slot(slot), !sa);
+        }
     }
+}
 
-    #[test]
-    fn canon_is_idempotent(a in arb_pval()) {
-        prop_assert_eq!(PVal::canon(a.v, a.x), a);
-        prop_assert_eq!(a.v & a.x, 0, "canonical form keeps v clear under x");
+#[test]
+fn sweep_mux_ops() {
+    let pool = arb_pvals(0xDA7E_2005, 1_500);
+    for tri in pool.chunks_exact(3) {
+        let (s, d0, d1) = (tri[0], tri[1], tri[2]);
+        let got = PVal::mux2(s, d0, d1);
+        for slot in 0..64 {
+            assert_eq!(
+                got.slot(slot),
+                Logic::mux2(s.slot(slot), d0.slot(slot), d1.slot(slot))
+            );
+        }
     }
+}
 
-    #[test]
-    fn with_slot_roundtrip(a in arb_pval(), bit in 0usize..64, v in 0u8..3) {
-        let val = match v { 0 => Logic::Zero, 1 => Logic::One, _ => Logic::X };
-        prop_assert_eq!(a.with_slot(bit, val).slot(bit), val);
+#[test]
+fn all_ops_preserve_canonical_form() {
+    // canon() clears value bits under the X mask; every operation must
+    // return canonical words so that Eq is bit-equality.
+    let mut rng = XorShift(0x51D3_CAFE);
+    for _ in 0..2_000 {
+        let c = PVal::canon(rng.next(), rng.next());
+        assert!(is_canon(c), "canon must clear v under x");
+        let d = PVal::canon(rng.next(), rng.next());
+        for r in [
+            c.and(d),
+            c.or(d),
+            c.xor(d),
+            c.not(),
+            PVal::mux2(c, d, c.not()),
+            c.force(rng.next(), true),
+            c.force(rng.next(), false),
+            c.blend(d, rng.next()),
+        ] {
+            assert!(is_canon(r), "non-canonical result from {c:?} op {d:?}");
+        }
+    }
+}
+
+#[test]
+fn canon_keeps_x_mask_and_clears_masked_values() {
+    let mut rng = XorShift(0xC0DE);
+    for _ in 0..2_000 {
+        let (v, x) = (rng.next(), rng.next());
+        let c = PVal::canon(v, x);
+        assert_eq!(c.x, x);
+        assert_eq!(c.v, v & !x);
+    }
+}
+
+#[test]
+fn splat_equals_tiled_scalar() {
+    for v in [Logic::Zero, Logic::One, Logic::X, Logic::Z] {
+        let p = PVal::splat(v);
+        for slot in 0..64 {
+            assert_eq!(p.slot(slot), v.drive());
+        }
+        assert!(is_canon(p));
+    }
+}
+
+#[test]
+fn with_slot_slot_roundtrip_sweep() {
+    let mut rng = XorShift(0x0CC1);
+    for _ in 0..500 {
+        let base = PVal::canon(rng.next(), rng.next());
+        let slot = (rng.next() % 64) as usize;
+        for v in VALS {
+            let w = base.with_slot(slot, v);
+            assert_eq!(w.slot(slot), v);
+            assert!(is_canon(w));
+            // Every other slot is untouched.
+            for other in 0..64 {
+                if other != slot {
+                    assert_eq!(w.slot(other), base.slot(other));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn definite_masks_agree_with_slots() {
+    let pool = arb_pvals(0x70C5, 600);
+    for pair in pool.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let diff = a.definite_diff(b);
+        for slot in 0..64 {
+            let bit = (diff >> slot) & 1 == 1;
+            let (sa, sb) = (a.slot(slot), b.slot(slot));
+            let want = sa.is_definite() && sb.is_definite() && sa != sb;
+            assert_eq!(bit, want, "definite_diff {sa} {sb} @{slot}");
+            assert_eq!((a.def0() >> slot) & 1 == 1, sa == Logic::Zero);
+            assert_eq!((a.def1() >> slot) & 1 == 1, sa == Logic::One);
+        }
     }
 }

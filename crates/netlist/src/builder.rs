@@ -132,8 +132,7 @@ impl NetlistBuilder {
             inputs.len()
         );
         inputs[pin] = src;
-        self.cells[cell.index()] =
-            Cell::new(old.kind(), inputs, old.name().map(Into::into));
+        self.cells[cell.index()] = Cell::new(old.kind(), inputs, old.name().map(Into::into));
     }
 
     /// Connects the `d` pin of a flop created with a `*_uninit`
@@ -371,7 +370,10 @@ impl NetlistBuilder {
             }
             for &src in cell.inputs() {
                 if src.index() >= n {
-                    errors.push(ValidateError::DanglingInput { cell: id, input: src });
+                    errors.push(ValidateError::DanglingInput {
+                        cell: id,
+                        input: src,
+                    });
                 }
             }
             if let CellKind::RamOut { bit } = cell.kind() {
@@ -398,8 +400,7 @@ impl NetlistBuilder {
                 continue;
             }
             for &src in cell.inputs() {
-                if src.index() < n
-                    && matches!(self.cells[src.index()].kind(), CellKind::Ram { .. })
+                if src.index() < n && matches!(self.cells[src.index()].kind(), CellKind::Ram { .. })
                 {
                     errors.push(ValidateError::RamHandleMisused {
                         cell: CellId::from_index(i),
@@ -439,11 +440,7 @@ fn levelize(cells: &[Cell]) -> Result<Levelization, ValidateError> {
             continue;
         }
         comb_total += 1;
-        indegree[i] = cell
-            .inputs()
-            .iter()
-            .filter(|s| is_comb[s.index()])
-            .count() as u32;
+        indegree[i] = cell.inputs().iter().filter(|s| is_comb[s.index()]).count() as u32;
     }
 
     let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];

@@ -45,7 +45,10 @@ impl Netlist {
         }
         for (id, cell) in self.iter() {
             for (pin, &src) in cell.inputs().iter().enumerate() {
-                let _ = writeln!(out, "  {src} -> {id} [taillabel=\"\", headlabel=\"{pin}\"];");
+                let _ = writeln!(
+                    out,
+                    "  {src} -> {id} [taillabel=\"\", headlabel=\"{pin}\"];"
+                );
             }
         }
         let _ = writeln!(out, "}}");

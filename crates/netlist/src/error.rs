@@ -104,7 +104,11 @@ impl BuildError {
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netlist validation failed with {} error(s): ", self.errors.len())?;
+        write!(
+            f,
+            "netlist validation failed with {} error(s): ",
+            self.errors.len()
+        )?;
         let mut first = true;
         for e in &self.errors {
             if !first {

@@ -110,11 +110,7 @@ impl CellKind {
     pub fn is_flop(self) -> bool {
         matches!(
             self,
-            CellKind::Dff
-                | CellKind::DffRl
-                | CellKind::DffRh
-                | CellKind::Sdff
-                | CellKind::SdffRl
+            CellKind::Dff | CellKind::DffRl | CellKind::DffRh | CellKind::Sdff | CellKind::SdffRl
         )
     }
 
@@ -162,10 +158,7 @@ impl CellKind {
 
     /// Minimum input count for kinds with variable arity.
     pub fn min_arity(self) -> usize {
-        match self.fixed_arity() {
-            Some(n) => n,
-            None => 2,
-        }
+        self.fixed_arity().unwrap_or(2)
     }
 
     /// Evaluates a combinational kind over input values.

@@ -96,7 +96,11 @@ impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "inputs        : {}", self.inputs)?;
         writeln!(f, "outputs       : {}", self.outputs)?;
-        writeln!(f, "flops         : {} ({} scan)", self.flops, self.scan_flops)?;
+        writeln!(
+            f,
+            "flops         : {} ({} scan)",
+            self.flops, self.scan_flops
+        )?;
         writeln!(f, "latches       : {}", self.latches)?;
         writeln!(f, "clock gates   : {}", self.clock_gates)?;
         writeln!(f, "ram macros    : {}", self.rams)?;

@@ -1,64 +1,108 @@
-//! Property-based tests for the netlist kernel: logic algebra laws and
-//! structural invariants of randomly built netlists.
+//! Algebra laws and structural invariants of the netlist kernel.
+//!
+//! The 4-valued logic domain is tiny, so instead of sampled property
+//! tests the laws are checked **exhaustively** over all operand
+//! combinations (4^3 triples at most). Structural invariants of
+//! randomly built netlists use a deterministic seeded op stream — same
+//! shape as the original property tests, but reproducible offline.
 
 use occ_netlist::{CellKind, Logic, NetlistBuilder};
-use proptest::prelude::*;
 
-fn arb_logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::Zero),
-        Just(Logic::One),
-        Just(Logic::X),
-        Just(Logic::Z),
-    ]
+#[test]
+fn and_or_comm_assoc_exhaustive() {
+    for a in Logic::ALL {
+        for b in Logic::ALL {
+            assert_eq!(a & b, b & a, "and comm {a} {b}");
+            assert_eq!(a | b, b | a, "or comm {a} {b}");
+            for c in Logic::ALL {
+                assert_eq!((a & b) & c, a & (b & c), "and assoc {a} {b} {c}");
+                assert_eq!((a | b) | c, a | (b | c), "or assoc {a} {b} {c}");
+            }
+        }
+    }
 }
 
-proptest! {
-    /// AND/OR are commutative and associative for all 4 values.
-    #[test]
-    fn and_or_comm_assoc(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
-        prop_assert_eq!(a & b, b & a);
-        prop_assert_eq!(a | b, b | a);
-        prop_assert_eq!((a & b) & c, a & (b & c));
-        prop_assert_eq!((a | b) | c, a | (b | c));
+#[test]
+fn xor_comm_assoc_exhaustive() {
+    for a in Logic::ALL {
+        for b in Logic::ALL {
+            assert_eq!(a ^ b, b ^ a, "xor comm {a} {b}");
+            for c in Logic::ALL {
+                assert_eq!((a ^ b) ^ c, a ^ (b ^ c), "xor assoc {a} {b} {c}");
+            }
+        }
     }
+}
 
-    /// XOR is commutative/associative for all 4 values.
-    #[test]
-    fn xor_comm_assoc(a in arb_logic(), b in arb_logic(), c in arb_logic()) {
-        prop_assert_eq!(a ^ b, b ^ a);
-        prop_assert_eq!((a ^ b) ^ c, a ^ (b ^ c));
+#[test]
+fn demorgan_exhaustive() {
+    for a in Logic::ALL {
+        for b in Logic::ALL {
+            assert_eq!(!(a & b), !a | !b, "demorgan-and {a} {b}");
+            assert_eq!(!(a | b), !a & !b, "demorgan-or {a} {b}");
+        }
     }
+}
 
-    /// De Morgan holds in 4-valued logic (with Z read as X).
-    #[test]
-    fn demorgan(a in arb_logic(), b in arb_logic()) {
-        prop_assert_eq!(!(a & b), !a | !b);
-        prop_assert_eq!(!(a | b), !a & !b);
+#[test]
+fn double_negation_drives_exhaustive() {
+    for a in Logic::ALL {
+        assert_eq!(!!a, a.drive(), "double negation {a}");
     }
+}
 
-    /// Double negation normalizes Z to X but is otherwise the identity.
-    #[test]
-    fn double_negation(a in arb_logic()) {
-        prop_assert_eq!(!!a, a.drive());
+#[test]
+fn nary_eval_matches_fold_exhaustive() {
+    // All operand vectors of length 2 and 3 over the full domain
+    // (4^3 = 64 cases), plus a length-5 seeded sweep.
+    let mut cases: Vec<Vec<Logic>> = Vec::new();
+    for a in Logic::ALL {
+        for b in Logic::ALL {
+            cases.push(vec![a, b]);
+            for c in Logic::ALL {
+                cases.push(vec![a, b, c]);
+            }
+        }
     }
-
-    /// Gate-level eval agrees with the scalar fold it documents.
-    #[test]
-    fn nary_eval_matches_fold(vals in prop::collection::vec(arb_logic(), 2..6)) {
-        let and = CellKind::And.eval_comb(&vals).unwrap();
-        prop_assert_eq!(and, Logic::and_all(vals.iter().copied()));
-        let nor = CellKind::Nor.eval_comb(&vals).unwrap();
-        prop_assert_eq!(nor, !Logic::or_all(vals.iter().copied()));
-        let xnor = CellKind::Xnor.eval_comb(&vals).unwrap();
-        prop_assert_eq!(xnor, !Logic::xor_all(vals.iter().copied()));
+    let mut rng = XorShift(0x0CC5EED);
+    for _ in 0..200 {
+        cases.push(
+            (0..5)
+                .map(|_| Logic::ALL[(rng.next() % 4) as usize])
+                .collect(),
+        );
     }
+    for vals in &cases {
+        let and = CellKind::And.eval_comb(vals).unwrap();
+        assert_eq!(and, Logic::and_all(vals.iter().copied()));
+        let nor = CellKind::Nor.eval_comb(vals).unwrap();
+        assert_eq!(nor, !Logic::or_all(vals.iter().copied()));
+        let xnor = CellKind::Xnor.eval_comb(vals).unwrap();
+        assert_eq!(xnor, !Logic::xor_all(vals.iter().copied()));
+    }
+}
 
-    /// Mux with a definite select equals the selected leg (driven).
-    #[test]
-    fn mux_definite_select(d0 in arb_logic(), d1 in arb_logic()) {
-        prop_assert_eq!(Logic::mux2(Logic::Zero, d0, d1), d0.drive());
-        prop_assert_eq!(Logic::mux2(Logic::One, d0, d1), d1.drive());
+#[test]
+fn mux_definite_select_exhaustive() {
+    for d0 in Logic::ALL {
+        for d1 in Logic::ALL {
+            assert_eq!(Logic::mux2(Logic::Zero, d0, d1), d0.drive());
+            assert_eq!(Logic::mux2(Logic::One, d0, d1), d1.drive());
+        }
+    }
+}
+
+/// Deterministic 64-bit xorshift* stream (self-contained; no deps).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 }
 
@@ -89,42 +133,54 @@ fn random_dag(n_in: usize, ops: &[(u8, usize, usize)]) -> NetlistBuilder {
     b
 }
 
-proptest! {
-    /// Any program of backwards-referencing ops yields a valid netlist
-    /// whose levelization respects dependencies.
-    #[test]
-    fn random_dags_validate_and_levelize(
-        n_in in 1usize..5,
-        ops in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..60),
-    ) {
+/// One generated op stream: `(opcode, operand index, operand index)`.
+type OpStream = Vec<(u8, usize, usize)>;
+
+/// Seeded replacement for proptest's generator: arbitrary op streams
+/// of 1..=max_ops instructions over 1..=4 inputs.
+fn arb_cases(seed: u64, count: usize, max_ops: usize) -> Vec<(usize, OpStream)> {
+    let mut rng = XorShift(seed | 1);
+    (0..count)
+        .map(|_| {
+            let n_in = 1 + (rng.next() % 4) as usize;
+            let n_ops = 1 + (rng.next() as usize % max_ops);
+            let ops = (0..n_ops)
+                .map(|_| (rng.next() as u8, rng.next() as usize, rng.next() as usize))
+                .collect();
+            (n_in, ops)
+        })
+        .collect()
+}
+
+#[test]
+fn random_dags_validate_and_levelize() {
+    for (n_in, ops) in arb_cases(0xDA6_2005, 120, 60) {
         let nl = random_dag(n_in, &ops).finish().unwrap();
         let lev = nl.levelization();
         for (id, cell) in nl.iter() {
             if cell.kind().is_combinational() && !cell.inputs().is_empty() {
                 for &src in cell.inputs() {
-                    prop_assert!(lev.level(src) < lev.level(id));
+                    assert!(lev.level(src) < lev.level(id), "level order violated");
                 }
             }
         }
         // Fanout symmetry: every input edge appears in the driver's list.
         for (id, cell) in nl.iter() {
             for &src in cell.inputs() {
-                prop_assert!(nl.fanouts(src).contains(&id));
+                assert!(nl.fanouts(src).contains(&id), "missing fanout edge");
             }
         }
     }
+}
 
-    /// Verilog and DOT writers never panic and always produce framed text.
-    #[test]
-    fn writers_are_total(
-        n_in in 1usize..4,
-        ops in prop::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..30),
-    ) {
+#[test]
+fn writers_are_total() {
+    for (n_in, ops) in arb_cases(0x17E6_2005, 60, 30) {
         let nl = random_dag(n_in, &ops).finish().unwrap();
         let v = nl.to_verilog();
-        prop_assert!(v.contains("module"));
-        prop_assert!(v.trim_end().ends_with("endmodule"));
+        assert!(v.contains("module"));
+        assert!(v.trim_end().ends_with("endmodule"));
         let d = nl.to_dot();
-        prop_assert!(d.starts_with("digraph"));
+        assert!(d.starts_with("digraph"));
     }
 }

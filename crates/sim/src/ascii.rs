@@ -84,7 +84,7 @@ pub fn render_ascii(trace: &Trace, signals: &[CellId], opts: &AsciiOptions) -> S
     let mut t = opts.from;
     let mut col = 0usize;
     while col < cols {
-        if col % 10 == 0 {
+        if col.is_multiple_of(10) {
             let label = t.to_string();
             for (k, ch) in label.bytes().enumerate() {
                 if col + k < cols {

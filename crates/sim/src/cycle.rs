@@ -157,18 +157,16 @@ impl<'a> CycleSim<'a> {
                         Logic::Zero
                     }
                     CellKind::RamOut { bit } => self.read_ram_bit(id, bit),
-                    k if k.is_flop() => {
-                        match self.reset_state(id) {
-                            ResetState::Active => Logic::Zero,
-                            ResetState::Unknown => {
-                                if self.values[id.index()] == Logic::Zero {
-                                    continue;
-                                }
-                                Logic::X
+                    k if k.is_flop() => match self.reset_state(id) {
+                        ResetState::Active => Logic::Zero,
+                        ResetState::Unknown => {
+                            if self.values[id.index()] == Logic::Zero {
+                                continue;
                             }
-                            ResetState::Inactive => continue,
+                            Logic::X
                         }
-                    }
+                        ResetState::Inactive => continue,
+                    },
                     _ => continue,
                 };
                 if self.values[id.index()] != v {
@@ -229,11 +227,15 @@ impl<'a> CycleSim<'a> {
             }
         }
 
-        for (id, v) in updates {
-            self.values[id.index()] = v;
-        }
+        // RAM writes sample the same pre-edge values the flops do, so
+        // they must commit before the flop updates land (a RAM whose
+        // we/addr/data are driven by flops clocked on the same edge
+        // would otherwise see post-edge values).
         for id in ram_writes {
             self.write_ram(id);
+        }
+        for (id, v) in updates {
+            self.values[id.index()] = v;
         }
         self.settle();
     }
@@ -499,6 +501,31 @@ mod tests {
         sim.pulse(&[clk]);
         assert_eq!(sim.value(f0), Logic::Zero);
         assert_eq!(sim.value(f1), Logic::Zero);
+    }
+
+    #[test]
+    fn ram_write_samples_pre_edge_flop_values() {
+        // we/addr/data come from flops clocked on the same edge whose
+        // functional D is constant 0: the RAM must capture the flops'
+        // pre-edge (scan-loaded) values, not the post-edge zeros.
+        let mut b = NetlistBuilder::new("ram_ff");
+        let clk = b.input("clk");
+        let z = b.tie0();
+        let we_ff = b.dff(z, clk);
+        let a_ff = b.dff(z, clk);
+        let d_ff = b.dff(z, clk);
+        let (_h, outs) = b.ram(clk, we_ff, &[a_ff], &[d_ff]);
+        b.output("q", outs[0]);
+        let nl = b.finish().unwrap();
+        let mut sim = CycleSim::new(&nl);
+        sim.set_flop(we_ff, Logic::One);
+        sim.set_flop(a_ff, Logic::One);
+        sim.set_flop(d_ff, Logic::One);
+        sim.pulse(&[clk]); // writes 1 to address 1; flops fall to 0
+        assert_eq!(sim.value(we_ff), Logic::Zero, "flop took its D");
+        sim.set_flop(a_ff, Logic::One);
+        sim.settle();
+        assert_eq!(sim.value(outs[0]), Logic::One, "pre-edge write landed");
     }
 
     #[test]

@@ -5,6 +5,10 @@ use occ_netlist::{CellId, CellKind, Logic, Netlist};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// `(time, seq, cell, encoded value, is_stimulus)` — tuples order by
+/// time then insertion sequence, giving deterministic simulation.
+type QueuedEvent = (Time, u64, u32, u8, bool);
+
 /// An event-driven logic simulator with per-cell inertial delays.
 ///
 /// The simulator models exactly what the paper's Figure 4 is about:
@@ -21,9 +25,7 @@ pub struct EventSim<'a> {
     delays: DelayModel,
     values: Vec<Logic>,
     pending: Vec<Option<(Time, Logic)>>,
-    /// `(time, seq, cell, encoded value, is_stimulus)` — tuples order by
-    /// time then insertion sequence, giving deterministic simulation.
-    queue: BinaryHeap<Reverse<(Time, u64, u32, u8, bool)>>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
     now: Time,
     /// Last observed clock level per clocked cell (edge detection).
@@ -101,13 +103,8 @@ impl<'a> EventSim<'a> {
         for &(t, v) in waveform.changes() {
             assert!(t >= self.now, "stimulus change at {t} is in the past");
             self.seq += 1;
-            self.queue.push(Reverse((
-                t,
-                self.seq,
-                pi.index() as u32,
-                encode(v),
-                true,
-            )));
+            self.queue
+                .push(Reverse((t, self.seq, pi.index() as u32, encode(v), true)));
         }
     }
 

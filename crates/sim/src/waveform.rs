@@ -59,7 +59,7 @@ impl Waveform {
     /// Panics if `period` is zero or odd (half-period must be exact).
     pub fn clock(period: Time, first_rise: Time, until: Time) -> Self {
         assert!(period > 0, "clock period must be positive");
-        assert!(period % 2 == 0, "clock period must be even");
+        assert!(period.is_multiple_of(2), "clock period must be even");
         let mut changes = vec![(0, Logic::Zero)];
         if first_rise == 0 {
             changes.clear();
@@ -95,7 +95,10 @@ impl Waveform {
     /// A burst of `count` positive pulses of the given period starting at
     /// `first_rise` (50 % duty), low elsewhere from t=0.
     pub fn pulse_train(period: Time, first_rise: Time, count: usize) -> Self {
-        assert!(period > 0 && period % 2 == 0, "period must be even, nonzero");
+        assert!(
+            period > 0 && period.is_multiple_of(2),
+            "period must be even, nonzero"
+        );
         let mut changes = Vec::new();
         if first_rise > 0 {
             changes.push((0, Logic::Zero));

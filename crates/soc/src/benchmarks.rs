@@ -132,9 +132,7 @@ mod tests {
             sim.pulse(&[clk]);
         }
         // Counter should read 5 = 0b101.
-        let bit = |sim: &CycleSim<'_>, i: usize| {
-            sim.value(nl.find(&format!("cnt{i}")).unwrap())
-        };
+        let bit = |sim: &CycleSim<'_>, i: usize| sim.value(nl.find(&format!("cnt{i}")).unwrap());
         assert_eq!(bit(&sim, 0), Logic::One);
         assert_eq!(bit(&sim, 1), Logic::Zero);
         assert_eq!(bit(&sim, 2), Logic::One);

@@ -157,8 +157,7 @@ pub fn generate(config: &SocConfig) -> Soc {
             if od == d || oflops.is_empty() {
                 continue;
             }
-            let crossings =
-                ((flops.len() as f64) * config.crossing_fraction).round() as usize;
+            let crossings = ((flops.len() as f64) * config.crossing_fraction).round() as usize;
             for _ in 0..crossings {
                 pool.push(oflops[rng.gen_range(0..oflops.len())]);
             }
@@ -173,8 +172,7 @@ pub fn generate(config: &SocConfig) -> Soc {
     let mut ram_reads: Vec<(usize, CellId)> = Vec::new();
     for r in 0..config.ram_blocks {
         let d = rng.gen_range(0..config.domains.len());
-        let pick =
-            |rng: &mut StdRng, pool: &[CellId]| pool[rng.gen_range(0..pool.len())];
+        let pick = |rng: &mut StdRng, pool: &[CellId]| pool[rng.gen_range(0..pool.len())];
         let we = pick(&mut rng, &domain_signals[d]);
         let addr: Vec<CellId> = (0..config.ram_addr_bits)
             .map(|_| pick(&mut rng, &domain_signals[d]))
@@ -191,63 +189,60 @@ pub fn generate(config: &SocConfig) -> Soc {
     // gate tree over pool signals. Every created gate is consumed by
     // construction (in-tree or as a shared pool signal), so the netlist
     // has no dead logic — like a synthesized design after pruning.
-    let build_cone = |b: &mut NetlistBuilder,
-                          rng: &mut StdRng,
-                          pool: &mut Vec<CellId>,
-                          size: usize|
-     -> CellId {
-        let n_leaves = size.max(2);
-        // Sample leaves without immediate duplicates: identical gate
-        // operands (xor(a,a), mux(s,a,a)...) synthesize constants and
-        // fill the design with genuinely redundant faults.
-        let mut sigs: Vec<CellId> = Vec::with_capacity(n_leaves);
-        for _ in 0..n_leaves {
-            let mut pick = pool[rng.gen_range(0..pool.len())];
-            for _ in 0..4 {
-                if !sigs.contains(&pick) {
-                    break;
+    let build_cone =
+        |b: &mut NetlistBuilder, rng: &mut StdRng, pool: &mut Vec<CellId>, size: usize| -> CellId {
+            let n_leaves = size.max(2);
+            // Sample leaves without immediate duplicates: identical gate
+            // operands (xor(a,a), mux(s,a,a)...) synthesize constants and
+            // fill the design with genuinely redundant faults.
+            let mut sigs: Vec<CellId> = Vec::with_capacity(n_leaves);
+            for _ in 0..n_leaves {
+                let mut pick = pool[rng.gen_range(0..pool.len())];
+                for _ in 0..4 {
+                    if !sigs.contains(&pick) {
+                        break;
+                    }
+                    pick = pool[rng.gen_range(0..pool.len())];
                 }
-                pick = pool[rng.gen_range(0..pool.len())];
+                sigs.push(pick);
             }
-            sigs.push(pick);
-        }
-        while sigs.len() > 1 {
-            let a = sigs.swap_remove(rng.gen_range(0..sigs.len()));
-            let mut ci = rng.gen_range(0..sigs.len());
-            for _ in 0..4 {
-                if sigs[ci] != a {
-                    break;
+            while sigs.len() > 1 {
+                let a = sigs.swap_remove(rng.gen_range(0..sigs.len()));
+                let mut ci = rng.gen_range(0..sigs.len());
+                for _ in 0..4 {
+                    if sigs[ci] != a {
+                        break;
+                    }
+                    ci = rng.gen_range(0..sigs.len());
                 }
-                ci = rng.gen_range(0..sigs.len());
+                let c = sigs.swap_remove(ci);
+                let g = match rng.gen_range(0..10) {
+                    0 | 1 => b.and2(a, c),
+                    2 | 3 => b.or2(a, c),
+                    4 => b.nand2(a, c),
+                    5 => b.nor2(a, c),
+                    6 => b.xor2(a, c),
+                    7 => {
+                        let s = pool[rng.gen_range(0..pool.len())];
+                        b.mux2(s, a, c)
+                    }
+                    8 => {
+                        let n = b.not(a);
+                        b.and2(n, c)
+                    }
+                    _ => {
+                        let e = pool[rng.gen_range(0..pool.len())];
+                        b.or_n(&[a, c, e])
+                    }
+                };
+                // Re-inject some intermediate nodes as shared fanout.
+                if rng.gen_bool(0.35) {
+                    pool.push(g);
+                }
+                sigs.push(g);
             }
-            let c = sigs.swap_remove(ci);
-            let g = match rng.gen_range(0..10) {
-                0 | 1 => b.and2(a, c),
-                2 | 3 => b.or2(a, c),
-                4 => b.nand2(a, c),
-                5 => b.nor2(a, c),
-                6 => b.xor2(a, c),
-                7 => {
-                    let s = pool[rng.gen_range(0..pool.len())];
-                    b.mux2(s, a, c)
-                }
-                8 => {
-                    let n = b.not(a);
-                    b.and2(n, c)
-                }
-                _ => {
-                    let e = pool[rng.gen_range(0..pool.len())];
-                    b.or_n(&[a, c, e])
-                }
-            };
-            // Re-inject some intermediate nodes as shared fanout.
-            if rng.gen_bool(0.35) {
-                pool.push(g);
-            }
-            sigs.push(g);
-        }
-        sigs[0]
-    };
+            sigs[0]
+        };
 
     // Wire flop D inputs from fresh cones over their domain pool.
     for &(ff, d) in &sinks_needed {
@@ -363,8 +358,7 @@ pub fn generate(config: &SocConfig) -> Soc {
     let mut extra = 0usize;
     for pool in &domain_signals {
         for &c in pool {
-            if !consumed[c.index()] && b.kind(c).is_combinational() && !b.inputs(c).is_empty()
-            {
+            if !consumed[c.index()] && b.kind(c).is_combinational() && !b.inputs(c).is_empty() {
                 consumed[c.index()] = true;
                 b.output(&format!("po_aux{extra}"), c);
                 extra += 1;
@@ -414,10 +408,7 @@ mod tests {
         let soc = generate(&cfg);
         let stats = NetlistStats::of(soc.netlist());
         // Scannable flops plus the dedicated non-scan cells.
-        assert_eq!(
-            stats.flops,
-            cfg.total_flops() + soc.non_scan_names().len()
-        );
+        assert_eq!(stats.flops, cfg.total_flops() + soc.non_scan_names().len());
         assert_eq!(stats.rams, cfg.ram_blocks);
         assert_eq!(
             stats.flops - stats.scan_flops,

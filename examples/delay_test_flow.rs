@@ -72,9 +72,6 @@ fn main() {
         simple < ideal,
         "on-chip clocking must lose coverage vs the ideal reference"
     );
-    assert!(
-        enhanced >= simple,
-        "the enhanced CPF must recover coverage"
-    );
+    assert!(enhanced >= simple, "the enhanced CPF must recover coverage");
     println!("\nok: simple CPF loses coverage, enhanced CPF recovers part of it");
 }

@@ -105,5 +105,8 @@ fn main() {
         }
     }
     assert_eq!(errors, 0, "macro test must read back what it wrote");
-    println!("ok: all {} words verified through the scan-side macro test", 1 << addr_bits);
+    println!(
+        "ok: all {} words verified through the scan-side macro test",
+        1 << addr_bits
+    );
 }

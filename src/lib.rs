@@ -5,14 +5,13 @@
 //! On-Chip Test Clock Generation: Implementation Details and Impact on
 //! Delay Test Quality", DATE 2005*.
 //!
-//! See the README for the architecture overview, `DESIGN.md` for the
-//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` at the repository root for the architecture
+//! overview, crate map and quickstart.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use occ::netlist::NetlistBuilder;
-//! use occ::core::{CpfConfig, ClockPulseFilter};
+//! use occ::core::{ClockPulseFilter, CpfConfig};
 //!
 //! // Build the paper's Figure-3 clock pulse filter and inspect it.
 //! let cpf = ClockPulseFilter::generate(&CpfConfig::paper());

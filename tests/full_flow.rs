@@ -3,9 +3,7 @@
 //! paper's coverage ordering on a small instance.
 
 use occ::atpg::{run_atpg, AtpgOptions};
-use occ::core::{
-    transition_procedures, ClockingMode, Pll, PllConfig,
-};
+use occ::core::{transition_procedures, ClockingMode, Pll, PllConfig};
 use occ::fault::FaultUniverse;
 use occ::fsim::CaptureModel;
 use occ::soc::{assemble_device, generate, SocConfig};
