@@ -1,10 +1,16 @@
 //! The top-level ATPG flow: target faults, batch fault simulation,
 //! random fill and static compaction — the loop every Table 1
 //! experiment runs.
+//!
+//! The flow is generic over the fault-grading engine: every grading
+//! step goes through [`FaultSimEngine`], so the serial
+//! [`occ_fsim::FaultSim`] and the sharded
+//! [`occ_fsim::ParallelFaultSim`] are interchangeable and produce
+//! identical results (the engines guarantee bit-identical masks).
 
 use crate::{Observability, Podem, PodemOutcome};
 use occ_fault::{FaultList, FaultStatus, FaultUniverse};
-use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, Pattern, PatternSet};
+use occ_fsim::{simulate_good, CaptureModel, FaultSimEngine, FrameSpec, Pattern, PatternSet};
 use occ_netlist::Logic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,8 +76,33 @@ impl AtpgResult {
     }
 }
 
+/// Grades `candidates` against one batch and applies the detections to
+/// `list`, mapping the lowest detecting pattern bit through
+/// `pattern_of_bit`.
+fn apply_detections(
+    engine: &mut dyn FaultSimEngine,
+    spec: &FrameSpec,
+    good: &occ_fsim::GoodBatch,
+    candidates: &[occ_fault::Fault],
+    list: &mut FaultList,
+    mut pattern_of_bit: impl FnMut(usize) -> u32,
+) {
+    let masks = engine.detect_batch(spec, good, candidates);
+    for (&fault, &mask) in candidates.iter().zip(&masks) {
+        if mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            list.set_status(
+                fault,
+                FaultStatus::Detected {
+                    pattern: pattern_of_bit(bit),
+                },
+            );
+        }
+    }
+}
+
 /// Runs the full ATPG flow for a fault universe over a set of capture
-/// procedures.
+/// procedures, grading through the given [`FaultSimEngine`].
 ///
 /// For each yet-undetected fault, the procedures are tried in order
 /// (skipping those whose observability cone cannot see the fault); a
@@ -80,14 +111,20 @@ impl AtpgResult {
 /// detections. Optionally a reverse-order static compaction pass prunes
 /// patterns that no longer contribute, re-grading from scratch.
 ///
+/// The result is independent of the engine: serial and sharded engines
+/// return bit-identical masks, so fault statuses, pattern sets and
+/// coverage reports are equal for any engine and thread count.
+///
 /// # Panics
 ///
-/// Panics if `procedures` is empty.
+/// Panics if `procedures` is empty (`occ-flow` validates this ahead of
+/// time and returns a typed error instead).
 pub fn run_atpg(
     model: &CaptureModel<'_>,
     procedures: &[FrameSpec],
     universe: FaultUniverse,
     options: &AtpgOptions,
+    engine: &mut dyn FaultSimEngine,
 ) -> AtpgResult {
     assert!(
         !procedures.is_empty(),
@@ -103,7 +140,6 @@ pub fn run_atpg(
         .collect();
 
     let mut podem = Podem::new(model);
-    let mut fsim = FaultSim::new(model);
     let mut patterns = PatternSet::new(procedures.to_vec());
     // Per-procedure batch of not-yet-fault-simulated pattern indices.
     let mut pending: Vec<Vec<usize>> = vec![Vec::new(); procedures.len()];
@@ -156,16 +192,12 @@ pub fn run_atpg(
                 .filter(|(_, s)| !s.is_detected())
                 .map(|(f, _)| f)
                 .collect();
-            let mut hits: Vec<(occ_fault::Fault, usize)> = Vec::new();
-            let mut used_bits: Vec<usize> = Vec::new();
-            for fault in candidates {
-                let mask = fsim.detect(spec, &good, fault);
-                if mask != 0 {
-                    let bit = mask.trailing_zeros() as usize;
-                    hits.push((fault, bit));
-                    used_bits.push(bit);
-                }
-            }
+            let masks = engine.detect_batch(spec, &good, &candidates);
+            let mut used_bits: Vec<usize> = masks
+                .iter()
+                .filter(|&&m| m != 0)
+                .map(|m| m.trailing_zeros() as usize)
+                .collect();
             used_bits.sort_unstable();
             used_bits.dedup();
             let mut index_of_bit = std::collections::HashMap::new();
@@ -173,13 +205,16 @@ pub fn run_atpg(
                 let idx = patterns.push(pats[bit].clone());
                 index_of_bit.insert(bit, idx);
             }
-            for (fault, bit) in hits {
-                list.set_status(
-                    fault,
-                    FaultStatus::Detected {
-                        pattern: index_of_bit[&bit] as u32,
-                    },
-                );
+            for (&fault, &mask) in candidates.iter().zip(&masks) {
+                if mask != 0 {
+                    let bit = mask.trailing_zeros() as usize;
+                    list.set_status(
+                        fault,
+                        FaultStatus::Detected {
+                            pattern: index_of_bit[&bit] as u32,
+                        },
+                    );
+                }
             }
             if used_bits.is_empty() {
                 break; // diminishing returns for this procedure
@@ -223,7 +258,7 @@ pub fn run_atpg(
                     if pending[pi].len() == 64 {
                         let mut batch = std::mem::take(&mut pending[pi]);
                         flush_batch(
-                            model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list,
+                            model, engine, &patterns, procedures, pi, &mut batch, &mut list,
                             &mut stats,
                         );
                     }
@@ -253,7 +288,7 @@ pub fn run_atpg(
         if !slot.is_empty() {
             let mut batch = std::mem::take(slot);
             flush_batch(
-                model, &mut fsim, &patterns, procedures, pi, &mut batch, &mut list, &mut stats,
+                model, engine, &patterns, procedures, pi, &mut batch, &mut list, &mut stats,
             );
         }
     }
@@ -261,7 +296,7 @@ pub fn run_atpg(
 
     if options.compaction {
         let (compacted, regraded) =
-            reverse_compact(model, procedures, &patterns, &list, &mut fsim, &mut stats);
+            reverse_compact(model, procedures, &patterns, &list, engine, &mut stats);
         return AtpgResult {
             patterns: compacted,
             faults: regraded,
@@ -281,7 +316,7 @@ pub fn run_atpg(
 #[allow(clippy::too_many_arguments)]
 fn flush_batch(
     model: &CaptureModel<'_>,
-    fsim: &mut FaultSim<'_, '_>,
+    engine: &mut dyn FaultSimEngine,
     patterns: &PatternSet,
     procedures: &[FrameSpec],
     pi: usize,
@@ -305,30 +340,22 @@ fn flush_batch(
         .filter(|(_, s)| !s.is_detected())
         .map(|(f, _)| f)
         .collect();
-    for fault in candidates {
-        let mask = fsim.detect(&procedures[pi], &good, fault);
-        if mask != 0 {
-            let bit = mask.trailing_zeros() as usize;
-            list.set_status(
-                fault,
-                FaultStatus::Detected {
-                    pattern: batch[bit] as u32,
-                },
-            );
-        }
-    }
+    apply_detections(engine, &procedures[pi], &good, &candidates, list, |bit| {
+        batch[bit] as u32
+    });
     batch.clear();
 }
 
 /// Reverse-order static compaction: grade patterns from last to first,
 /// keep only those that newly detect something, then re-grade the kept
-/// set front-to-back for final statuses and pattern indices.
+/// set front-to-back for final statuses and pattern indices. Grading
+/// goes through the same pluggable [`FaultSimEngine`] as the main flow.
 fn reverse_compact(
     model: &CaptureModel<'_>,
     procedures: &[FrameSpec],
     patterns: &PatternSet,
     list: &FaultList,
-    fsim: &mut FaultSim<'_, '_>,
+    engine: &mut dyn FaultSimEngine,
     stats: &mut AtpgStats,
 ) -> (PatternSet, FaultList) {
     let mut shadow = FaultList::new(list.universe().clone());
@@ -338,10 +365,11 @@ fn reverse_compact(
         let spec = &procedures[p.proc_index];
         let good = simulate_good(model, spec, std::slice::from_ref(p));
         stats.fsim_batches += 1;
-        let mut contributes = false;
         let undetected: Vec<occ_fault::Fault> = shadow.undetected().collect();
-        for fault in undetected {
-            if fsim.detect(spec, &good, fault) & 1 == 1 {
+        let masks = engine.detect_batch(spec, &good, &undetected);
+        let mut contributes = false;
+        for (&fault, &mask) in undetected.iter().zip(&masks) {
+            if mask & 1 == 1 {
                 shadow.set_status(fault, FaultStatus::Detected { pattern: 0 });
                 contributes = true;
             }
@@ -372,18 +400,9 @@ fn reverse_compact(
                 .collect();
             let good = simulate_good(model, spec, &pats);
             let undetected: Vec<occ_fault::Fault> = final_list.undetected().collect();
-            for fault in undetected {
-                let mask = fsim.detect(spec, &good, fault);
-                if mask != 0 {
-                    let bit = mask.trailing_zeros() as usize;
-                    final_list.set_status(
-                        fault,
-                        FaultStatus::Detected {
-                            pattern: chunk[bit] as u32,
-                        },
-                    );
-                }
-            }
+            apply_detections(engine, spec, &good, &undetected, &mut final_list, |bit| {
+                chunk[bit] as u32
+            });
         }
     }
     // Carry over proven classifications.
@@ -404,7 +423,7 @@ fn reverse_compact(
 mod tests {
     use super::*;
     use occ_fault::FaultUniverse;
-    use occ_fsim::{ClockBinding, CycleSpec};
+    use occ_fsim::{ClockBinding, CycleSpec, FaultSim, ParallelFaultSim};
     use occ_netlist::NetlistBuilder;
 
     fn rig() -> (occ_netlist::Netlist, occ_netlist::CellId) {
@@ -426,6 +445,16 @@ mod tests {
         (b.finish().unwrap(), clk)
     }
 
+    fn run_serial(
+        model: &CaptureModel<'_>,
+        procs: &[FrameSpec],
+        universe: FaultUniverse,
+        options: &AtpgOptions,
+    ) -> AtpgResult {
+        let mut engine = FaultSim::new(model);
+        run_atpg(model, procs, universe, options, &mut engine)
+    }
+
     #[test]
     fn stuck_at_flow_reaches_high_coverage() {
         let (nl, clk) = rig();
@@ -435,7 +464,7 @@ mod tests {
         binding.mask(nl.find("si").unwrap());
         let model = CaptureModel::new(&nl, binding).unwrap();
         let procs = vec![FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])])];
-        let result = run_atpg(
+        let result = run_serial(
             &model,
             &procs,
             FaultUniverse::stuck_at(&nl),
@@ -465,7 +494,7 @@ mod tests {
         let procs = vec![FrameSpec::broadside("loc", &[0], 2)
             .hold_pi(true)
             .observe_po(false)];
-        let result = run_atpg(
+        let result = run_serial(
             &model,
             &procs,
             FaultUniverse::transition(&nl),
@@ -486,7 +515,7 @@ mod tests {
         let model = CaptureModel::new(&nl, binding).unwrap();
         let procs = vec![FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])])];
         let uni = FaultUniverse::stuck_at(&nl);
-        let with = run_atpg(
+        let with = run_serial(
             &model,
             &procs,
             uni.clone(),
@@ -495,7 +524,7 @@ mod tests {
                 ..AtpgOptions::default()
             },
         );
-        let without = run_atpg(
+        let without = run_serial(
             &model,
             &procs,
             uni,
@@ -506,5 +535,31 @@ mod tests {
         );
         assert_eq!(with.report().detected, without.report().detected);
         assert!(with.patterns.len() <= without.patterns.len());
+    }
+
+    #[test]
+    fn serial_and_sharded_engines_agree_end_to_end() {
+        // The whole ATPG flow — bootstrap, PODEM drop, compaction —
+        // must be invariant under the engine choice.
+        let (nl, clk) = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("c", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let procs = vec![FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])])];
+        let uni = FaultUniverse::stuck_at(&nl);
+        let options = AtpgOptions::default();
+
+        let serial = run_serial(&model, &procs, uni.clone(), &options);
+        let mut sharded_engine = ParallelFaultSim::with_threads(&model, 4).block_size(2);
+        let sharded = run_atpg(&model, &procs, uni, &options, &mut sharded_engine);
+
+        assert_eq!(serial.report(), sharded.report());
+        assert_eq!(serial.patterns.len(), sharded.patterns.len());
+        assert_eq!(serial.stats, sharded.stats);
+        for (fault, status) in serial.faults.iter() {
+            assert_eq!(status, sharded.faults.status(fault), "fault {fault}");
+        }
     }
 }

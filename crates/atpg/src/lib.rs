@@ -12,7 +12,10 @@
 //!   procedures (experiments (b)–(e)), honouring PI-hold and PO-mask
 //!   constraints and per-domain / inter-domain pulse sets;
 //! * 64-pattern batched fault-simulation drop (fortuitous detection),
-//!   random fill, reverse-order static compaction;
+//!   random fill, reverse-order static compaction — all grading through
+//!   the pluggable [`occ_fsim::FaultSimEngine`] trait, so the serial
+//!   and sharded fault simulators are interchangeable with identical
+//!   results;
 //! * backtrack-limited search with proper untestable/aborted
 //!   classification (the paper's "1 % ATPG untestable, 0.3 % aborted");
 //! * structural fault grouping of the leftovers (the paper's §6 future

@@ -4,11 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use occ_bench::{run_experiment, ExperimentId, Table1Options};
+use occ_flow::EngineChoice;
 use occ_soc::{generate, SocConfig};
 
 fn bench_rows(c: &mut Criterion) {
     let options = Table1Options {
         flops_per_domain: 24,
+        engine: EngineChoice::Serial,
         ..Table1Options::default()
     };
     let soc = generate(&SocConfig::paper_like(
@@ -20,7 +22,7 @@ fn bench_rows(c: &mut Criterion) {
     for id in ExperimentId::ALL {
         group.bench_function(format!("row_{id}"), |b| {
             b.iter(|| {
-                let row = run_experiment(&soc, id, &options);
+                let row = run_experiment(&soc, id, &options).expect("row flows validate");
                 criterion::black_box(row.patterns)
             })
         });

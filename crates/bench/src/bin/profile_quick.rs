@@ -1,5 +1,6 @@
 //! Quick profiling helper for experiment runtimes.
 use occ_bench::{run_experiment, ExperimentId, Table1Options};
+use occ_flow::{EngineChoice, Stage};
 use occ_soc::{generate, SocConfig};
 use std::time::Instant;
 
@@ -10,16 +11,24 @@ fn main() {
     println!("gen: {:?} cells={}", t0.elapsed(), soc.netlist().len());
     let opts = Table1Options {
         flops_per_domain: 24,
+        engine: EngineChoice::Auto,
         ..Table1Options::default()
     };
     for id in [ExperimentId::A, ExperimentId::B, ExperimentId::C] {
-        let t = Instant::now();
-        let row = run_experiment(&soc, id, &opts);
+        let row = run_experiment(&soc, id, &opts).expect("tiny SOC flows validate");
+        let stats = row.report.stats();
         println!(
-            "{id}: {:?} cov={:.2}% eff={:.2}% pats={} targeted={} podem_calls={} aborted={} fsim_batches={}",
-            t.elapsed(), row.coverage_pct, row.efficiency_pct, row.patterns,
-            row.result.stats.targeted, row.result.stats.podem_calls,
-            row.result.stats.aborted_calls, row.result.stats.fsim_batches
+            "{id}: {:.3}s (atpg {:.3}s) cov={:.2}% eff={:.2}% pats={} targeted={} \
+             podem_calls={} aborted={} fsim_batches={}",
+            row.seconds,
+            row.report.stage_seconds(Stage::Atpg),
+            row.coverage_pct,
+            row.efficiency_pct,
+            row.patterns,
+            stats.targeted,
+            stats.podem_calls,
+            stats.aborted_calls,
+            stats.fsim_batches
         );
     }
 }

@@ -1,48 +1,57 @@
-//! Reproduces the paper's Table 1: the five ATPG experiments (a)–(e).
+//! Reproduces the paper's Table 1: the five ATPG experiments (a)–(e),
+//! each one `TestFlow` run through the pluggable fault-sim engines.
 //!
 //! Usage:
 //! ```text
-//! table1 [row] [--flops N] [--seed S] [--limit B]
+//! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
+//!        [--engine serial|auto|sharded:N] [--csv]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
-//! that experiment runs.
+//! that experiment runs. The engine defaults to `auto` (all available
+//! hardware parallelism); `--threads N` is shorthand for
+//! `--engine sharded:N`.
 
 use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
+use occ_flow::EngineChoice;
 use occ_soc::{generate, SocConfig};
+
+fn parsed_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{what} needs a valid value");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut options = Table1Options::default();
     let mut row: Option<ExperimentId> = None;
+    let mut csv = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--flops" => {
-                options.flops_per_domain = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--flops needs a number");
+            "--flops" => options.flops_per_domain = parsed_value(&mut args, "--flops"),
+            "--seed" => options.seed = parsed_value(&mut args, "--seed"),
+            "--limit" => options.backtrack_limit = parsed_value(&mut args, "--limit"),
+            "--threads" => {
+                options.engine = EngineChoice::Sharded {
+                    threads: parsed_value(&mut args, "--threads"),
+                };
             }
-            "--seed" => {
-                options.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number");
+            "--engine" => options.engine = parsed_value(&mut args, "--engine"),
+            "--csv" => csv = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
             }
-            "--limit" => {
-                options.backtrack_limit = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--limit needs a number");
-            }
-            other => {
-                row = ExperimentId::parse(other);
-                if row.is_none() {
-                    eprintln!("unknown argument '{other}'");
+            other => match other.parse() {
+                Ok(id) => row = Some(id),
+                Err(e) => {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 }
-            }
+            },
         }
     }
 
@@ -52,25 +61,42 @@ fn main() {
                 options.seed,
                 options.flops_per_domain,
             ));
-            let r = run_experiment(&soc, id, &options);
+            let r = match run_experiment(&soc, id, &options) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("flow error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if csv {
+                print!("{}", {
+                    let mut out = Vec::new();
+                    r.report.write_csv(&mut out).expect("stdout CSV");
+                    String::from_utf8(out).expect("CSV is UTF-8")
+                });
+                return;
+            }
             println!(
-                "{} {}: coverage {:.2}%  efficiency {:.2}%  patterns {}  ({:.1}s)",
+                "{} {}: coverage {:.2}%  efficiency {:.2}%  patterns {}  ({:.1}s, {} engine x{})",
                 r.id,
                 r.id.description(),
                 r.coverage_pct,
                 r.efficiency_pct,
                 r.patterns,
-                r.seconds
+                r.seconds,
+                r.report.engine,
+                r.report.threads,
             );
-            let report = r.result.report();
-            println!("{report}");
+            println!("{}", r.report.coverage);
             let undetected = r
+                .report
                 .result
                 .faults
                 .iter()
                 .filter(|(_, s)| !s.is_detected())
                 .count();
             let aborted = r
+                .report
                 .result
                 .faults
                 .iter()
@@ -79,8 +105,18 @@ fn main() {
             println!("undetected {undetected}, aborted {aborted}");
         }
         None => {
-            let table = run_table1(&options);
-            println!("{table}");
+            let table = match run_table1(&options) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("flow error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if csv {
+                print!("{}", table.to_csv());
+            } else {
+                println!("{table}");
+            }
         }
     }
 }

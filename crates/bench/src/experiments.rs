@@ -1,12 +1,11 @@
-//! Table 1: the five ATPG experiments.
+//! Table 1: the five ATPG experiments, each one [`TestFlow`] run.
 
-use occ_atpg::{classify_faults, run_atpg, AtpgOptions, AtpgResult};
-use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
-use occ_fault::FaultUniverse;
-use occ_fsim::CaptureModel;
+use occ_atpg::AtpgOptions;
+use occ_core::ClockingMode;
+use occ_flow::{EngineChoice, FaultKind, FlowError, FlowReport, TestFlow};
 use occ_soc::{generate, Soc, SocConfig};
 use std::fmt;
-use std::time::Instant;
+use std::str::FromStr;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,14 +45,54 @@ impl ExperimentId {
     }
 
     /// Parses a row label (`a`..`e`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `FromStr` impl: `s.parse::<ExperimentId>()`"
+    )]
     pub fn parse(s: &str) -> Option<Self> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "a" => Some(ExperimentId::A),
-            "b" => Some(ExperimentId::B),
-            "c" => Some(ExperimentId::C),
-            "d" => Some(ExperimentId::D),
-            "e" => Some(ExperimentId::E),
-            _ => None,
+        s.parse().ok()
+    }
+}
+
+/// Error parsing an [`ExperimentId`] row label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExperimentIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseExperimentIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown Table 1 row '{}' (expected a, b, c, d or e)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseExperimentIdError {}
+
+impl FromStr for ExperimentId {
+    type Err = ParseExperimentIdError;
+
+    /// Parses a row label (`a`..`e`, case-insensitive, with or without
+    /// the display parentheses).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "a" => Ok(ExperimentId::A),
+            "b" => Ok(ExperimentId::B),
+            "c" => Ok(ExperimentId::C),
+            "d" => Ok(ExperimentId::D),
+            "e" => Ok(ExperimentId::E),
+            _ => Err(ParseExperimentIdError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
@@ -84,10 +123,11 @@ pub struct ExperimentRow {
     pub patterns: usize,
     /// Total collapsed faults.
     pub total_faults: usize,
-    /// Wall-clock seconds for the run.
+    /// Wall-clock seconds for the run (all flow stages).
     pub seconds: f64,
-    /// The full ATPG result (fault statuses, stats, pattern set).
-    pub result: AtpgResult,
+    /// The full flow report (stage timings, ATPG stats, fault
+    /// statuses, pattern set).
+    pub report: FlowReport,
 }
 
 /// Options for a Table 1 reproduction run.
@@ -99,6 +139,8 @@ pub struct Table1Options {
     pub flops_per_domain: usize,
     /// PODEM backtrack limit.
     pub backtrack_limit: usize,
+    /// Fault-simulation engine all experiments grade through.
+    pub engine: EngineChoice,
 }
 
 impl Default for Table1Options {
@@ -107,65 +149,70 @@ impl Default for Table1Options {
             seed: 20050307, // DATE'05 in Munich
             flops_per_domain: 120,
             backtrack_limit: 48,
+            engine: EngineChoice::Auto,
         }
     }
 }
 
-/// The clocking mode and fault model a row uses.
-fn mode_of(
-    id: ExperimentId,
-) -> (
-    ClockingMode,
-    bool, /* transition */
-    bool, /* bidi masked */
-) {
+/// The clocking mode, fault model and bidi masking a row uses.
+fn mode_of(id: ExperimentId) -> (ClockingMode, FaultKind, bool /* bidi masked */) {
     match id {
-        ExperimentId::A => (ClockingMode::ExternalClock { max_pulses: 4 }, false, false),
-        ExperimentId::B => (ClockingMode::ExternalClock { max_pulses: 4 }, true, false),
-        ExperimentId::C => (ClockingMode::SimpleCpf, true, true),
-        ExperimentId::D => (ClockingMode::EnhancedCpf { max_pulses: 4 }, true, true),
+        ExperimentId::A => (
+            ClockingMode::ExternalClock { max_pulses: 4 },
+            FaultKind::StuckAt,
+            false,
+        ),
+        ExperimentId::B => (
+            ClockingMode::ExternalClock { max_pulses: 4 },
+            FaultKind::Transition,
+            false,
+        ),
+        ExperimentId::C => (ClockingMode::SimpleCpf, FaultKind::Transition, true),
+        ExperimentId::D => (
+            ClockingMode::EnhancedCpf { max_pulses: 4 },
+            FaultKind::Transition,
+            true,
+        ),
         ExperimentId::E => (
             ClockingMode::ConstrainedExternal { max_pulses: 4 },
-            true,
+            FaultKind::Transition,
             true,
         ),
     }
 }
 
-/// Runs one Table 1 experiment on an already-generated SOC.
-pub fn run_experiment(soc: &Soc, id: ExperimentId, options: &Table1Options) -> ExperimentRow {
-    let (mode, transition, mask_bidi) = mode_of(id);
-    let binding = soc.binding(mask_bidi);
-    let model = CaptureModel::new(soc.netlist(), binding).expect("SOC binds");
-    let n_domains = model.domain_count();
-    let procedures = if transition {
-        transition_procedures(mode, n_domains)
-    } else {
-        stuck_at_procedures(mode, n_domains)
-    };
-    let universe = if transition {
-        FaultUniverse::transition(soc.netlist())
-    } else {
-        FaultUniverse::stuck_at(soc.netlist())
-    };
-    let atpg_options = AtpgOptions {
-        backtrack_limit: options.backtrack_limit,
-        ..AtpgOptions::default()
-    };
-    let start = Instant::now();
-    let mut result = run_atpg(&model, &procedures, universe, &atpg_options);
-    let seconds = start.elapsed().as_secs_f64();
-    classify_faults(&model, &mut result.faults);
-    let report = result.report();
-    ExperimentRow {
+/// Runs one Table 1 experiment on an already-generated SOC through the
+/// [`TestFlow`] pipeline.
+///
+/// # Errors
+///
+/// Returns the [`FlowError`] of a misconfigured flow (the standard
+/// rows on a generated SOC always validate).
+pub fn run_experiment(
+    soc: &Soc,
+    id: ExperimentId,
+    options: &Table1Options,
+) -> Result<ExperimentRow, FlowError> {
+    let (mode, fault_kind, mask_bidi) = mode_of(id);
+    let report = TestFlow::new(soc)
+        .clocking(mode)
+        .fault_model(fault_kind)
+        .mask_bidi(mask_bidi)
+        .engine(options.engine)
+        .atpg(AtpgOptions {
+            backtrack_limit: options.backtrack_limit,
+            ..AtpgOptions::default()
+        })
+        .run()?;
+    Ok(ExperimentRow {
         id,
         coverage_pct: report.coverage_pct(),
         efficiency_pct: report.efficiency_pct(),
-        patterns: result.patterns.len(),
-        total_faults: report.total,
-        seconds,
-        result,
-    }
+        patterns: report.patterns(),
+        total_faults: report.coverage.total,
+        seconds: report.total_seconds(),
+        report,
+    })
 }
 
 /// The complete Table 1 with shape checks against the paper.
@@ -257,14 +304,26 @@ impl Table1 {
             ),
         ]
     }
+
+    /// The table as CSV: the [`FlowReport`] header plus one row per
+    /// experiment (for sweep tooling).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(FlowReport::csv_header());
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.report.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Table 1 reproduction (seed {}, {} flops/domain)",
-            self.options.seed, self.options.flops_per_domain
+            "Table 1 reproduction (seed {}, {} flops/domain, {} engine)",
+            self.options.seed, self.options.flops_per_domain, self.options.engine
         )?;
         writeln!(
             f,
@@ -293,7 +352,12 @@ impl fmt::Display for Table1 {
 }
 
 /// Generates the SOC and runs all five experiments.
-pub fn run_table1(options: &Table1Options) -> Table1 {
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] (the standard rows always
+/// validate on a generated SOC).
+pub fn run_table1(options: &Table1Options) -> Result<Table1, FlowError> {
     let soc = generate(&SocConfig::paper_like(
         options.seed,
         options.flops_per_domain,
@@ -301,11 +365,11 @@ pub fn run_table1(options: &Table1Options) -> Table1 {
     let rows = ExperimentId::ALL
         .iter()
         .map(|&id| run_experiment(&soc, id, options))
-        .collect();
-    Table1 {
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Table1 {
         rows,
         options: options.clone(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -316,8 +380,19 @@ mod tests {
     fn ids_parse_and_display() {
         for id in ExperimentId::ALL {
             let s = id.to_string();
-            assert_eq!(ExperimentId::parse(&s[1..2]), Some(id));
+            // Both the bare letter and the display form round-trip.
+            assert_eq!(s[1..2].parse::<ExperimentId>(), Ok(id));
+            assert_eq!(s.parse::<ExperimentId>(), Ok(id));
         }
+        assert!("x".parse::<ExperimentId>().is_err());
+        let err = "zz".parse::<ExperimentId>().unwrap_err();
+        assert!(err.to_string().contains("zz"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shim_still_works() {
+        assert_eq!(ExperimentId::parse("c"), Some(ExperimentId::C));
         assert_eq!(ExperimentId::parse("x"), None);
     }
 
@@ -326,11 +401,35 @@ mod tests {
         let soc = generate(&SocConfig::tiny(1));
         let opts = Table1Options {
             flops_per_domain: 24,
+            engine: EngineChoice::Serial,
             ..Table1Options::default()
         };
-        let row = run_experiment(&soc, ExperimentId::A, &opts);
+        let row = run_experiment(&soc, ExperimentId::A, &opts).unwrap();
         assert!(row.coverage_pct > 50.0, "coverage {:.1}", row.coverage_pct);
         assert!(row.patterns > 0);
-        assert_eq!(row.total_faults, row.result.report().total);
+        assert_eq!(row.total_faults, row.report.coverage.total);
+        assert_eq!(row.patterns, row.report.patterns());
+    }
+
+    #[test]
+    fn experiment_rows_agree_across_engines() {
+        // One Table 1 row, serial vs sharded: the ExperimentRow numbers
+        // must be identical (the engines are bit-identical by contract).
+        let soc = generate(&SocConfig::tiny(2));
+        let opts = |engine| Table1Options {
+            flops_per_domain: 24,
+            engine,
+            ..Table1Options::default()
+        };
+        let serial = run_experiment(&soc, ExperimentId::C, &opts(EngineChoice::Serial)).unwrap();
+        let sharded = run_experiment(
+            &soc,
+            ExperimentId::C,
+            &opts(EngineChoice::Sharded { threads: 4 }),
+        )
+        .unwrap();
+        assert_eq!(serial.coverage_pct, sharded.coverage_pct);
+        assert_eq!(serial.patterns, sharded.patterns);
+        assert_eq!(serial.report.stats(), sharded.report.stats());
     }
 }

@@ -41,6 +41,23 @@ pub enum ClockingMode {
     },
 }
 
+impl ClockingMode {
+    /// A compact machine-readable label: `external:4`, `simple-cpf`,
+    /// `enhanced-cpf:4`, `constrained-external:4`. Round-trips through
+    /// [`ClockingMode::from_str`](std::str::FromStr) and is what the
+    /// flow reports serialize.
+    pub fn label(&self) -> String {
+        match self {
+            ClockingMode::ExternalClock { max_pulses } => format!("external:{max_pulses}"),
+            ClockingMode::SimpleCpf => "simple-cpf".to_owned(),
+            ClockingMode::EnhancedCpf { max_pulses } => format!("enhanced-cpf:{max_pulses}"),
+            ClockingMode::ConstrainedExternal { max_pulses } => {
+                format!("constrained-external:{max_pulses}")
+            }
+        }
+    }
+}
+
 impl fmt::Display for ClockingMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -54,6 +71,60 @@ impl fmt::Display for ClockingMode {
             ClockingMode::ConstrainedExternal { max_pulses } => {
                 write!(f, "constrained external (≤{max_pulses} pulses)")
             }
+        }
+    }
+}
+
+/// Error parsing a [`ClockingMode`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClockingModeError {
+    input: String,
+}
+
+impl fmt::Display for ParseClockingModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown clocking mode '{}' (expected external[:N], simple-cpf, \
+             enhanced-cpf[:N] or constrained-external[:N])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseClockingModeError {}
+
+impl std::str::FromStr for ClockingMode {
+    type Err = ParseClockingModeError;
+
+    /// Parses the labels produced by [`ClockingMode::label`]; the
+    /// `:N` pulse suffix defaults to the paper's 4 when omitted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use occ_core::ClockingMode;
+    /// let mode: ClockingMode = "enhanced-cpf:3".parse().unwrap();
+    /// assert_eq!(mode, ClockingMode::EnhancedCpf { max_pulses: 3 });
+    /// assert_eq!(mode.label().parse::<ClockingMode>().unwrap(), mode);
+    /// assert!("warp-drive".parse::<ClockingMode>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseClockingModeError {
+            input: s.to_owned(),
+        };
+        let lower = s.trim().to_ascii_lowercase();
+        let (base, pulses) = match lower.split_once(':') {
+            Some((base, n)) => (base, Some(n.parse::<usize>().map_err(|_| err())?)),
+            None => (lower.as_str(), None),
+        };
+        let max_pulses = pulses.unwrap_or(4);
+        match base {
+            "external" => Ok(ClockingMode::ExternalClock { max_pulses }),
+            "simple-cpf" if pulses.is_none() => Ok(ClockingMode::SimpleCpf),
+            "enhanced-cpf" => Ok(ClockingMode::EnhancedCpf { max_pulses }),
+            "constrained-external" => Ok(ClockingMode::ConstrainedExternal { max_pulses }),
+            _ => Err(err()),
         }
     }
 }
@@ -240,5 +311,24 @@ mod tests {
     #[should_panic(expected = "launch + capture")]
     fn transition_needs_two_pulses() {
         let _ = transition_procedures(ClockingMode::ExternalClock { max_pulses: 1 }, 1);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for mode in [
+            ClockingMode::ExternalClock { max_pulses: 4 },
+            ClockingMode::SimpleCpf,
+            ClockingMode::EnhancedCpf { max_pulses: 3 },
+            ClockingMode::ConstrainedExternal { max_pulses: 2 },
+        ] {
+            assert_eq!(mode.label().parse::<ClockingMode>().unwrap(), mode);
+        }
+        // Bare labels default to 4 pulses.
+        assert_eq!(
+            "external".parse::<ClockingMode>().unwrap(),
+            ClockingMode::ExternalClock { max_pulses: 4 }
+        );
+        assert!("simple-cpf:2".parse::<ClockingMode>().is_err());
+        assert!("enhanced-cpf:x".parse::<ClockingMode>().is_err());
     }
 }

@@ -1,0 +1,253 @@
+//! The [`TestFlow`] builder — the one orchestration surface for the
+//! paper's pipeline: bind a capture model, pick a clocking mode, build
+//! the named capture procedures, run ATPG through a pluggable
+//! fault-sim engine, classify the leftovers and report.
+
+use crate::{EngineChoice, FlowError, FlowReport, Stage, StageTiming};
+use occ_atpg::{classify_faults, run_atpg, AtpgOptions};
+use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
+use occ_fault::{FaultModel, FaultUniverse};
+use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
+use occ_netlist::Netlist;
+use occ_soc::Soc;
+use std::time::Instant;
+
+/// What the flow runs on: a generated [`Soc`] (the standard path) or a
+/// caller-supplied netlist + clock binding (custom designs, tests).
+#[derive(Debug)]
+enum Source<'s> {
+    Soc(&'s Soc),
+    Model {
+        netlist: &'s Netlist,
+        binding: ClockBinding,
+    },
+}
+
+/// Builder for one end-to-end test-generation pipeline run.
+///
+/// The seven hand-wired steps every experiment used to repeat —
+/// generate SOC, insert scan, pick a clocking mode, build capture
+/// procedures, run ATPG, fault-simulate, report coverage — collapse
+/// into one chain:
+///
+/// ```no_run
+/// use occ_flow::{EngineChoice, FaultKind, TestFlow};
+/// use occ_core::ClockingMode;
+/// use occ_atpg::AtpgOptions;
+/// use occ_soc::{generate, SocConfig};
+///
+/// # fn main() -> Result<(), occ_flow::FlowError> {
+/// let soc = generate(&SocConfig::paper_like(7, 60));
+/// let report = TestFlow::new(&soc)
+///     .clocking(ClockingMode::EnhancedCpf { max_pulses: 4 })
+///     .fault_model(FaultKind::Transition)
+///     .engine(EngineChoice::Sharded { threads: 8 })
+///     .atpg(AtpgOptions::default())
+///     .run()?;
+/// println!("{}", report.to_json());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Misconfiguration returns a typed [`FlowError`] instead of
+/// panicking; see the crate docs for the full validation list.
+#[derive(Debug)]
+pub struct TestFlow<'s> {
+    source: Source<'s>,
+    clocking: ClockingMode,
+    fault_model: FaultModel,
+    engine: EngineChoice,
+    atpg: AtpgOptions,
+    mask_bidi: bool,
+}
+
+impl<'s> TestFlow<'s> {
+    /// Starts a flow over a generated SOC.
+    ///
+    /// Defaults: ideal external clock (4 pulses), transition faults,
+    /// serial engine, default [`AtpgOptions`], bidi feedback unmasked.
+    pub fn new(soc: &'s Soc) -> Self {
+        TestFlow {
+            source: Source::Soc(soc),
+            clocking: ClockingMode::ExternalClock { max_pulses: 4 },
+            fault_model: FaultModel::Transition,
+            engine: EngineChoice::Serial,
+            atpg: AtpgOptions::default(),
+            mask_bidi: false,
+        }
+    }
+
+    /// Starts a flow over an arbitrary netlist with an explicit clock
+    /// binding (custom wrappers, hand-built designs, misconfiguration
+    /// tests). `mask_bidi` has no effect on this source — the binding
+    /// already says what is masked.
+    pub fn over(netlist: &'s Netlist, binding: ClockBinding) -> Self {
+        TestFlow {
+            source: Source::Model { netlist, binding },
+            clocking: ClockingMode::ExternalClock { max_pulses: 4 },
+            fault_model: FaultModel::Transition,
+            engine: EngineChoice::Serial,
+            atpg: AtpgOptions::default(),
+            mask_bidi: false,
+        }
+    }
+
+    /// Selects the clocking mode (which capture procedures the clock
+    /// generation scheme can physically deliver).
+    #[must_use]
+    pub fn clocking(mut self, mode: ClockingMode) -> Self {
+        self.clocking = mode;
+        self
+    }
+
+    /// Selects the fault model (stuck-at or transition).
+    #[must_use]
+    pub fn fault_model(mut self, kind: FaultModel) -> Self {
+        self.fault_model = kind;
+        self
+    }
+
+    /// Selects the fault-simulation engine.
+    #[must_use]
+    pub fn engine(mut self, choice: EngineChoice) -> Self {
+        self.engine = choice;
+        self
+    }
+
+    /// Overrides the ATPG options (backtrack limit, random bootstrap,
+    /// compaction, fill seed).
+    #[must_use]
+    pub fn atpg(mut self, options: AtpgOptions) -> Self {
+        self.atpg = options;
+        self
+    }
+
+    /// Masks the bidirectional-pad feedback paths (the ATE constraint
+    /// of experiments (c)–(e)). Only meaningful for SOC sources.
+    #[must_use]
+    pub fn mask_bidi(mut self, mask: bool) -> Self {
+        self.mask_bidi = mask;
+        self
+    }
+
+    /// Runs the pipeline: bind model → procedures → fault universe →
+    /// ATPG (through the selected engine) → classify → report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FlowError`] for every misconfiguration the
+    /// hand-wired pipelines used to panic on: zero worker threads,
+    /// model-binding failures, zero clock domains, missing scan chains
+    /// and clocking modes that cannot produce the procedures the fault
+    /// model needs.
+    pub fn run(&self) -> Result<FlowReport, FlowError> {
+        let threads = self.engine.resolve_threads()?;
+        let mut stages: Vec<StageTiming> = Vec::with_capacity(5);
+        let mut timed = |stage: Stage, t0: Instant| {
+            stages.push(StageTiming {
+                stage,
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        };
+
+        let (netlist, binding) = match &self.source {
+            Source::Soc(soc) => (soc.netlist(), soc.binding(self.mask_bidi)),
+            Source::Model { netlist, binding } => (*netlist, binding.clone()),
+        };
+
+        let t0 = Instant::now();
+        let model = CaptureModel::new(netlist, binding)?;
+        timed(Stage::BindModel, t0);
+        if model.domain_count() == 0 {
+            return Err(FlowError::NoDomains);
+        }
+        if model.scan_flops().is_empty() {
+            return Err(FlowError::NoScanChains);
+        }
+
+        let t0 = Instant::now();
+        let procedures = self.build_procedures(model.domain_count())?;
+        timed(Stage::Procedures, t0);
+
+        let t0 = Instant::now();
+        let universe = match self.fault_model {
+            FaultModel::StuckAt => FaultUniverse::stuck_at(netlist),
+            FaultModel::Transition => FaultUniverse::transition(netlist),
+        };
+        timed(Stage::FaultUniverse, t0);
+
+        let t0 = Instant::now();
+        // Both engines implement FaultSimEngine and yield bit-identical
+        // masks; ATPG is generic over the trait object.
+        let mut serial;
+        let mut sharded;
+        let engine: &mut dyn FaultSimEngine = match self.engine {
+            EngineChoice::Serial => {
+                serial = FaultSim::new(&model);
+                &mut serial
+            }
+            EngineChoice::Sharded { .. } | EngineChoice::Auto => {
+                sharded = ParallelFaultSim::with_threads(&model, threads);
+                &mut sharded
+            }
+        };
+        let mut result = run_atpg(&model, &procedures, universe, &self.atpg, engine);
+        timed(Stage::Atpg, t0);
+
+        let t0 = Instant::now();
+        classify_faults(&model, &mut result.faults);
+        timed(Stage::Classify, t0);
+
+        let coverage = result.report();
+        Ok(FlowReport {
+            design: netlist.name().to_owned(),
+            clocking: self.clocking,
+            fault_model: self.fault_model,
+            engine: self.engine.label().to_owned(),
+            threads,
+            procedures: procedures.len(),
+            stages,
+            coverage,
+            result,
+        })
+    }
+
+    /// Validates the clocking/fault-model combination and builds the
+    /// capture procedures (never panicking — the panicking procedure
+    /// constructors are only called on validated inputs).
+    fn build_procedures(&self, n_domains: usize) -> Result<Vec<occ_fsim::FrameSpec>, FlowError> {
+        let unsupported = |reason: &'static str| FlowError::UnsupportedClocking {
+            mode: self.clocking,
+            fault_model: self.fault_model,
+            reason,
+        };
+        let max_pulses = match self.clocking {
+            ClockingMode::ExternalClock { max_pulses }
+            | ClockingMode::EnhancedCpf { max_pulses }
+            | ClockingMode::ConstrainedExternal { max_pulses } => max_pulses,
+            ClockingMode::SimpleCpf => 2,
+        };
+        let procedures = match self.fault_model {
+            FaultModel::Transition => {
+                if max_pulses < 2 {
+                    return Err(unsupported(
+                        "transition tests need launch + capture pulses (max_pulses >= 2)",
+                    ));
+                }
+                transition_procedures(self.clocking, n_domains)
+            }
+            FaultModel::StuckAt => {
+                if max_pulses < 1 {
+                    return Err(unsupported(
+                        "stuck-at tests need at least one capture pulse",
+                    ));
+                }
+                stuck_at_procedures(self.clocking, n_domains)
+            }
+        };
+        if procedures.is_empty() {
+            return Err(unsupported("the mode yields no capture procedures"));
+        }
+        Ok(procedures)
+    }
+}

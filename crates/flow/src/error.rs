@@ -1,0 +1,107 @@
+//! The workspace-level flow error type.
+//!
+//! Everything that can go wrong between SOC, capture model, procedure
+//! construction and ATPG surfaces here as one typed enum — replacing
+//! the `expect`/`unwrap`/`panic!` seams the hand-wired pipelines used
+//! to have. Written `thiserror`-style by hand (the workspace builds
+//! offline, so no derive crates).
+
+use occ_core::ClockingMode;
+use occ_fault::FaultModel;
+use occ_fsim::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while configuring or running a [`TestFlow`].
+///
+/// [`TestFlow`]: crate::TestFlow
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The capture model declares no clock domains — nothing can be
+    /// pulsed, so no capture procedure exists.
+    NoDomains,
+    /// The design has no scan flops (no chains were inserted, or every
+    /// flop was skipped): capture patterns cannot be loaded or
+    /// unloaded.
+    NoScanChains,
+    /// A sharded engine was requested with zero worker threads.
+    ZeroThreads,
+    /// The clocking mode cannot provide the capture procedures the
+    /// requested fault model needs (e.g. a single-pulse external clock
+    /// for transition tests, which require launch + capture).
+    UnsupportedClocking {
+        /// The offending mode.
+        mode: ClockingMode,
+        /// The fault model that was requested.
+        fault_model: FaultModel,
+        /// Why the combination cannot work.
+        reason: &'static str,
+    },
+    /// Binding the netlist into a capture model failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NoDomains => {
+                f.write_str("capture model declares no clock domains; nothing can be pulsed")
+            }
+            FlowError::NoScanChains => f.write_str(
+                "design has no scan flops; capture patterns cannot be loaded or unloaded",
+            ),
+            FlowError::ZeroThreads => {
+                f.write_str("sharded fault-sim engine requires at least one worker thread")
+            }
+            FlowError::UnsupportedClocking {
+                mode,
+                fault_model,
+                reason,
+            } => {
+                let fm = match fault_model {
+                    FaultModel::StuckAt => "stuck-at",
+                    FaultModel::Transition => "transition",
+                };
+                write!(
+                    f,
+                    "clocking mode '{mode}' cannot drive {fm} test generation: {reason}"
+                )
+            }
+            FlowError::Model(e) => write!(f, "capture model binding failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FlowError {
+    fn from(e: ModelError) -> Self {
+        FlowError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlowError::UnsupportedClocking {
+            mode: ClockingMode::ExternalClock { max_pulses: 1 },
+            fault_model: FaultModel::Transition,
+            reason: "transition tests need launch + capture pulses",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("transition"), "{msg}");
+        assert!(msg.contains("launch + capture"), "{msg}");
+        assert!(FlowError::ZeroThreads.to_string().contains("worker thread"));
+    }
+}

@@ -1,0 +1,69 @@
+//! # occ-flow — the unified `TestFlow` pipeline
+//!
+//! The paper's Table 1 is produced by one repeated pipeline — generate
+//! a SOC, insert scan, pick a clocking mode (external / simple CPF /
+//! enhanced CPF), build capture procedures, run ATPG, fault-simulate,
+//! report coverage. This crate is the single orchestration surface for
+//! that pipeline:
+//!
+//! * [`TestFlow`] — the builder: source (SOC or custom netlist),
+//!   clocking mode, fault model, engine, ATPG options, one `run()`;
+//! * [`EngineChoice`] — pluggable fault-sim engines (serial / sharded /
+//!   auto) behind the [`occ_fsim::FaultSimEngine`] trait, guaranteed
+//!   bit-identical results;
+//! * [`FlowReport`] — per-stage timings, ATPG stats, coverage report,
+//!   pattern counts, std-only JSON/CSV serialization;
+//! * [`FlowError`] — typed errors for every misconfiguration the
+//!   hand-wired pipelines used to panic on: zero clock domains,
+//!   missing scan chains, zero worker threads, clocking modes that
+//!   cannot produce the requested procedures, model-binding failures.
+//!
+//! ## Example
+//!
+//! The full pipeline on a small seeded SOC, comparing the serial and
+//! sharded engines (whose reports are equal by construction):
+//!
+//! ```
+//! use occ_flow::{EngineChoice, FaultKind, TestFlow};
+//! use occ_core::ClockingMode;
+//! use occ_atpg::AtpgOptions;
+//! use occ_soc::{generate, SocConfig};
+//!
+//! # fn main() -> Result<(), occ_flow::FlowError> {
+//! let soc = generate(&SocConfig::tiny(1));
+//! let quick = AtpgOptions {
+//!     random_patterns: 32,
+//!     backtrack_limit: 12,
+//!     ..AtpgOptions::default()
+//! };
+//! let report = TestFlow::new(&soc)
+//!     .clocking(ClockingMode::SimpleCpf)
+//!     .fault_model(FaultKind::Transition)
+//!     .engine(EngineChoice::Sharded { threads: 2 })
+//!     .mask_bidi(true)
+//!     .atpg(quick)
+//!     .run()?;
+//! assert!(report.coverage_pct() > 0.0);
+//! assert_eq!(report.threads, 2);
+//! assert!(report.to_json().contains("\"clocking\":\"simple-cpf\""));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod engine;
+mod error;
+mod report;
+
+pub use builder::TestFlow;
+pub use engine::{EngineChoice, ParseEngineChoiceError};
+pub use error::FlowError;
+pub use report::{FlowReport, Stage, StageTiming};
+
+/// The fault model a flow targets — re-exported from [`occ_fault`]
+/// under the name the builder API uses
+/// (`.fault_model(FaultKind::Transition)`).
+pub use occ_fault::FaultModel as FaultKind;

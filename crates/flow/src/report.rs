@@ -1,0 +1,313 @@
+//! The structured outcome of a flow run: per-stage timings, ATPG
+//! counters, the coverage report and std-only JSON/CSV serialization
+//! (no serde — the workspace builds offline).
+
+use occ_atpg::{AtpgResult, AtpgStats};
+use occ_core::ClockingMode;
+use occ_fault::{CoverageReport, FaultModel};
+use std::fmt;
+use std::io::{self, Write};
+
+/// One pipeline stage of a flow run, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Binding the netlist + clock binding into a capture model.
+    BindModel,
+    /// Building the named capture procedures for the clocking mode.
+    Procedures,
+    /// Enumerating and collapsing the fault universe.
+    FaultUniverse,
+    /// The ATPG run itself (bootstrap, PODEM, fault sim, compaction).
+    Atpg,
+    /// Structural classification of leftover faults.
+    Classify,
+}
+
+impl Stage {
+    /// The stable machine-readable stage name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::BindModel => "bind-model",
+            Stage::Procedures => "procedures",
+            Stage::FaultUniverse => "fault-universe",
+            Stage::Atpg => "atpg",
+            Stage::Classify => "classify",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Wall-clock seconds spent in one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// Everything a [`TestFlow`](crate::TestFlow) run produces: identity
+/// (design, mode, engine), per-stage timings, ATPG statistics, the
+/// coverage report and the full [`AtpgResult`] (pattern set + fault
+/// statuses) for downstream consumers.
+#[derive(Debug)]
+pub struct FlowReport {
+    /// Design name.
+    pub design: String,
+    /// The clocking mode the flow ran under.
+    pub clocking: ClockingMode,
+    /// The fault model targeted.
+    pub fault_model: FaultModel,
+    /// Engine label (`serial` / `sharded` / `auto`).
+    pub engine: String,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+    /// Number of capture procedures offered to ATPG.
+    pub procedures: usize,
+    /// Per-stage wall-clock timings, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Coverage / efficiency statistics (the Table 1 columns),
+    /// snapshotted when the flow completed. Re-derive with
+    /// `result.report()` after mutating `result.faults`.
+    pub coverage: CoverageReport,
+    /// The full ATPG result: compacted pattern set and fault statuses.
+    pub result: AtpgResult,
+}
+
+impl FlowReport {
+    /// Generated pattern count (scan loads).
+    pub fn patterns(&self) -> usize {
+        self.result.patterns.len()
+    }
+
+    /// ATPG run counters.
+    pub fn stats(&self) -> &AtpgStats {
+        &self.result.stats
+    }
+
+    /// Test coverage in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        self.coverage.coverage_pct()
+    }
+
+    /// ATPG efficiency in percent.
+    pub fn efficiency_pct(&self) -> f64 {
+        self.coverage.efficiency_pct()
+    }
+
+    /// Total wall-clock seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Seconds spent in one stage (0.0 if the stage did not run).
+    pub fn stage_seconds(&self, stage: Stage) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.seconds)
+            .sum()
+    }
+
+    /// Serializes the report (minus the raw pattern data) as one JSON
+    /// object.
+    pub fn to_json(&self) -> String {
+        let mut out = Vec::new();
+        self.write_json(&mut out).expect("Vec writer cannot fail");
+        String::from_utf8(out).expect("JSON writer emits UTF-8")
+    }
+
+    /// Writes the JSON form of the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_json(&self, w: &mut dyn Write) -> io::Result<()> {
+        let fm = match self.fault_model {
+            FaultModel::StuckAt => "stuck-at",
+            FaultModel::Transition => "transition",
+        };
+        write!(
+            w,
+            "{{\"design\":{},\"clocking\":{},\"fault_model\":\"{fm}\",\
+             \"engine\":{},\"threads\":{},\"procedures\":{},\"patterns\":{}",
+            json_string(&self.design),
+            json_string(&self.clocking.label()),
+            json_string(&self.engine),
+            self.threads,
+            self.procedures,
+            self.patterns(),
+        )?;
+        let c = &self.coverage;
+        write!(
+            w,
+            ",\"total_faults\":{},\"detected\":{},\"untestable\":{},\
+             \"aborted\":{},\"constrained\":{},\"undetected\":{},\
+             \"coverage_pct\":{},\"efficiency_pct\":{}",
+            c.total,
+            c.detected,
+            c.untestable,
+            c.aborted,
+            c.constrained,
+            c.undetected,
+            json_f64(self.coverage_pct()),
+            json_f64(self.efficiency_pct()),
+        )?;
+        let s = &self.result.stats;
+        write!(
+            w,
+            ",\"stats\":{{\"targeted\":{},\"podem_calls\":{},\"tests_found\":{},\
+             \"aborted_calls\":{},\"patterns_before_compaction\":{},\"fsim_batches\":{}}}",
+            s.targeted,
+            s.podem_calls,
+            s.tests_found,
+            s.aborted_calls,
+            s.patterns_before_compaction,
+            s.fsim_batches,
+        )?;
+        write!(w, ",\"stages\":[")?;
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(
+                w,
+                "{{\"stage\":{},\"seconds\":{}}}",
+                json_string(st.stage.label()),
+                json_f64(st.seconds)
+            )?;
+        }
+        write!(
+            w,
+            "],\"total_seconds\":{}}}",
+            json_f64(self.total_seconds())
+        )
+    }
+
+    /// The CSV header matching [`FlowReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "design,clocking,fault_model,engine,threads,procedures,patterns,\
+         total_faults,detected,untestable,aborted,constrained,undetected,\
+         coverage_pct,efficiency_pct,total_seconds"
+    }
+
+    /// One CSV data row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        let fm = match self.fault_model {
+            FaultModel::StuckAt => "stuck-at",
+            FaultModel::Transition => "transition",
+        };
+        let c = &self.coverage;
+        format!(
+            "{},{},{fm},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4}",
+            csv_field(&self.design),
+            self.clocking.label(),
+            csv_field(&self.engine),
+            self.threads,
+            self.procedures,
+            self.patterns(),
+            c.total,
+            c.detected,
+            c.untestable,
+            c.aborted,
+            c.constrained,
+            c.undetected,
+            self.coverage_pct(),
+            self.efficiency_pct(),
+            self.total_seconds(),
+        )
+    }
+
+    /// Writes header + row as a two-line CSV document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv(&self, w: &mut dyn Write) -> io::Result<()> {
+        writeln!(w, "{}", Self::csv_header())?;
+        writeln!(w, "{}", self.to_csv_row())
+    }
+}
+
+impl fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flow '{}' under {} [{} engine, {} thread(s), {} procedures]",
+            self.design, self.clocking, self.engine, self.threads, self.procedures
+        )?;
+        writeln!(
+            f,
+            "  coverage {:.2}%  efficiency {:.2}%  patterns {}",
+            self.coverage_pct(),
+            self.efficiency_pct(),
+            self.patterns()
+        )?;
+        for st in &self.stages {
+            writeln!(f, "  stage {:<15} {:>8.3}s", st.stage.label(), st.seconds)?;
+        }
+        write!(f, "  total {:.3}s", self.total_seconds())
+    }
+}
+
+/// Minimal JSON string quoting (control chars, quotes, backslashes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON-safe float formatting (JSON has no NaN/Infinity literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500000");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

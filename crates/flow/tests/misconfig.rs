@@ -1,0 +1,198 @@
+//! Flow misconfiguration must surface as typed [`FlowError`] variants
+//! — never panics — and the pluggable engines must be interchangeable:
+//! serial and sharded runs of the same flow produce equal reports.
+
+use occ_atpg::AtpgOptions;
+use occ_core::ClockingMode;
+use occ_flow::{EngineChoice, FaultKind, FlowError, Stage, TestFlow};
+use occ_fsim::ClockBinding;
+use occ_netlist::{Logic, NetlistBuilder};
+use occ_soc::{generate, SocConfig};
+
+/// Fast ATPG options for misconfiguration paths that still run.
+fn quick() -> AtpgOptions {
+    AtpgOptions {
+        random_patterns: 32,
+        backtrack_limit: 12,
+        ..AtpgOptions::default()
+    }
+}
+
+#[test]
+fn zero_domain_model_is_a_typed_error() {
+    // A purely combinational netlist with an empty binding: the model
+    // binds fine but has no clock domain to pulse.
+    let mut b = NetlistBuilder::new("compass");
+    let a = b.input("a");
+    let y = b.not(a);
+    b.output("y", y);
+    let nl = b.finish().unwrap();
+
+    let err = TestFlow::over(&nl, ClockBinding::new())
+        .atpg(quick())
+        .run()
+        .unwrap_err();
+    assert_eq!(err, FlowError::NoDomains);
+}
+
+#[test]
+fn missing_scan_chains_is_a_typed_error() {
+    // All flops are plain (non-scan) DFFs: nothing can be scan-loaded.
+    let mut b = NetlistBuilder::new("noscan");
+    let clk = b.input("clk");
+    let d = b.input("d");
+    let f0 = b.dff(d, clk);
+    let f1 = b.dff(f0, clk);
+    b.output("q", f1);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", clk);
+
+    let err = TestFlow::over(&nl, binding)
+        .atpg(quick())
+        .run()
+        .unwrap_err();
+    assert_eq!(err, FlowError::NoScanChains);
+}
+
+#[test]
+fn zero_threads_is_a_typed_error() {
+    let soc = generate(&SocConfig::tiny(3));
+    let err = TestFlow::new(&soc)
+        .engine(EngineChoice::Sharded { threads: 0 })
+        .atpg(quick())
+        .run()
+        .unwrap_err();
+    assert_eq!(err, FlowError::ZeroThreads);
+}
+
+#[test]
+fn impossible_clocking_combination_is_a_typed_error() {
+    let soc = generate(&SocConfig::tiny(3));
+    for mode in [
+        ClockingMode::ExternalClock { max_pulses: 1 },
+        ClockingMode::EnhancedCpf { max_pulses: 1 },
+        ClockingMode::ConstrainedExternal { max_pulses: 0 },
+    ] {
+        let err = TestFlow::new(&soc)
+            .clocking(mode)
+            .fault_model(FaultKind::Transition)
+            .atpg(quick())
+            .run()
+            .unwrap_err();
+        match err {
+            FlowError::UnsupportedClocking {
+                mode: m,
+                fault_model,
+                ..
+            } => {
+                assert_eq!(m, mode);
+                assert_eq!(fault_model, FaultKind::Transition);
+            }
+            other => panic!("expected UnsupportedClocking, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn model_binding_failure_is_wrapped() {
+    // Constraining a gate (not an input port) is a ModelError; the flow
+    // surfaces it as FlowError::Model instead of unwrapping.
+    let mut b = NetlistBuilder::new("badbind");
+    let clk = b.input("clk");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let g = b.and2(d, d);
+    let ff = b.sdff(g, clk, se, si);
+    b.output("q", ff);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", clk);
+    binding.constrain(g, Logic::Zero);
+
+    let err = TestFlow::over(&nl, binding)
+        .atpg(quick())
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, FlowError::Model(_)), "got {err:?}");
+    // The source chain is preserved for callers that walk it.
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn serial_and_sharded_reports_are_equal() {
+    // The acceptance test of the engine redesign: the same flow run
+    // through the serial engine and through the sharded trait object
+    // yields the same coverage, efficiency, patterns and stats.
+    let soc = generate(&SocConfig::tiny(9));
+    let run = |engine: EngineChoice| {
+        TestFlow::new(&soc)
+            .clocking(ClockingMode::EnhancedCpf { max_pulses: 3 })
+            .fault_model(FaultKind::Transition)
+            .mask_bidi(true)
+            .engine(engine)
+            .atpg(quick())
+            .run()
+            .expect("valid flow configuration")
+    };
+    let serial = run(EngineChoice::Serial);
+    let sharded = run(EngineChoice::Sharded { threads: 8 });
+
+    assert_eq!(serial.coverage, sharded.coverage);
+    assert_eq!(serial.stats(), sharded.stats());
+    assert_eq!(serial.patterns(), sharded.patterns());
+    assert_eq!(serial.procedures, sharded.procedures);
+    assert!(serial.coverage_pct() > 0.0);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(sharded.threads, 8);
+    assert_eq!(serial.engine, "serial");
+    assert_eq!(sharded.engine, "sharded");
+    for (fault, status) in serial.result.faults.iter() {
+        assert_eq!(status, sharded.result.faults.status(fault), "fault {fault}");
+    }
+}
+
+#[test]
+fn report_serializes_to_json_and_csv() {
+    let soc = generate(&SocConfig::tiny(5));
+    let report = TestFlow::new(&soc)
+        .clocking(ClockingMode::SimpleCpf)
+        .fault_model(FaultKind::Transition)
+        .mask_bidi(true)
+        .atpg(quick())
+        .run()
+        .expect("valid flow configuration");
+
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"clocking\":\"simple-cpf\""), "{json}");
+    assert!(json.contains("\"fault_model\":\"transition\""), "{json}");
+    assert!(json.contains("\"stages\":["), "{json}");
+    assert!(json.contains("\"stage\":\"atpg\""), "{json}");
+
+    let mut csv = Vec::new();
+    report.write_csv(&mut csv).unwrap();
+    let csv = String::from_utf8(csv).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    let row = lines.next().unwrap();
+    assert_eq!(
+        header.split(',').count(),
+        row.split(',').count(),
+        "header/row column mismatch:\n{header}\n{row}"
+    );
+    assert!(row.contains("simple-cpf"));
+
+    // Stage accounting: every stage ran, totals add up.
+    for stage in [
+        Stage::BindModel,
+        Stage::Procedures,
+        Stage::FaultUniverse,
+        Stage::Atpg,
+        Stage::Classify,
+    ] {
+        assert!(report.stage_seconds(stage) >= 0.0);
+    }
+    assert!(report.total_seconds() >= report.stage_seconds(Stage::Atpg));
+}

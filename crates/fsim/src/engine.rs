@@ -1,0 +1,102 @@
+//! The pluggable fault-simulation engine interface.
+//!
+//! ATPG and static compaction only ever need one operation from a fault
+//! simulator: *grade a batch of same-procedure patterns against a list
+//! of faults and return one 64-bit detection mask per fault*. This
+//! trait captures exactly that, so the serial [`FaultSim`] and the
+//! sharded [`ParallelFaultSim`] are interchangeable behind
+//! `&mut dyn FaultSimEngine` — and both are required (and tested) to
+//! produce **bit-identical masks** for the same inputs.
+
+use crate::faultsim::FaultSim;
+use crate::goodsim::GoodBatch;
+use crate::parallel::ParallelFaultSim;
+use crate::FrameSpec;
+use occ_fault::Fault;
+
+/// A fault-grading engine: anything that can turn (procedure,
+/// good-machine batch, fault list) into per-fault detection masks.
+///
+/// Implementations must be deterministic: the returned masks may not
+/// depend on thread count, scheduling or any internal scratch state.
+/// Bit `i` of `masks[j]` is set iff pattern `i` of the batch detects
+/// `faults[j]`.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{NetlistBuilder, Logic};
+/// use occ_fault::FaultUniverse;
+/// use occ_fsim::{ClockBinding, CaptureModel, FrameSpec, CycleSpec, Pattern,
+///                simulate_good, FaultSim, FaultSimEngine, ParallelFaultSim};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let d = b.input("d");
+/// let se = b.input("se");
+/// let si = b.input("si");
+/// let ff = b.sdff(d, clk, se, si);
+/// b.output("q", ff);
+/// let nl = b.finish()?;
+/// let mut binding = ClockBinding::new();
+/// binding.add_domain("a", clk);
+/// binding.constrain(se, Logic::Zero);
+/// binding.mask(si);
+/// let model = CaptureModel::new(&nl, binding)?;
+///
+/// let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+/// let mut p = Pattern::empty(&model, &spec, 0);
+/// p.pis[0] = vec![Logic::One];
+/// let good = simulate_good(&model, &spec, &[p]);
+/// let faults = FaultUniverse::stuck_at(&nl).faults().to_vec();
+///
+/// // The same grading through either engine behind the trait object.
+/// let mut serial = FaultSim::new(&model);
+/// let mut sharded = ParallelFaultSim::with_threads(&model, 2);
+/// let engines: [&mut dyn FaultSimEngine; 2] = [&mut serial, &mut sharded];
+/// let masks: Vec<Vec<u64>> = engines
+///     .into_iter()
+///     .map(|e| e.detect_batch(&spec, &good, &faults))
+///     .collect();
+/// assert_eq!(masks[0], masks[1]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait FaultSimEngine {
+    /// Grades `faults` against the batch, returning one detection mask
+    /// per fault (same order).
+    fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64>;
+
+    /// A short human-readable engine label (for reports and logs).
+    fn engine_name(&self) -> &'static str;
+
+    /// Worker threads this engine grades with (`1` for serial engines).
+    fn worker_threads(&self) -> usize {
+        1
+    }
+}
+
+impl FaultSimEngine for FaultSim<'_, '_> {
+    fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
+        self.detect_many(spec, good, faults)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+impl FaultSimEngine for ParallelFaultSim<'_, '_> {
+    fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
+        self.detect_many_cached(spec, good, faults)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn worker_threads(&self) -> usize {
+        self.threads()
+    }
+}

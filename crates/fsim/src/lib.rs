@@ -17,13 +17,17 @@
 //!   launch conditions;
 //! * [`ParallelFaultSim`] shards the collapsed fault universe across
 //!   worker threads (per-thread scratch arenas, deterministic merge)
-//!   and produces masks bit-identical to the serial engine.
+//!   and produces masks bit-identical to the serial engine;
+//! * the [`FaultSimEngine`] trait makes both engines interchangeable
+//!   behind `&mut dyn FaultSimEngine` — ATPG and static compaction in
+//!   `occ-atpg` are generic over it.
 //!
 //! The ATPG engine (`occ-atpg`) runs on the same model types.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod faultsim;
 mod goodsim;
 mod model;
@@ -32,6 +36,7 @@ mod pattern;
 mod pval;
 mod spec;
 
+pub use engine::FaultSimEngine;
 pub use faultsim::FaultSim;
 pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};
 pub use model::{CaptureModel, ClockBinding, FlopInfo, ModelError};

@@ -247,7 +247,8 @@ impl<'a> CaptureModel<'a> {
         &self.free_pis
     }
 
-    /// Primary outputs (observability is decided per [`FrameSpec`]).
+    /// Primary outputs (observability is decided per
+    /// [`FrameSpec`](crate::FrameSpec)).
     pub fn primary_outputs(&self) -> &[CellId] {
         self.netlist.primary_outputs()
     }

@@ -71,6 +71,10 @@ pub struct ParallelFaultSim<'m, 'a> {
     model: &'m CaptureModel<'a>,
     threads: usize,
     block: usize,
+    // Lazily-built serial engine reused across small-batch calls (the
+    // ATPG compaction loop grades one pattern at a time; rebuilding
+    // the scratch arenas per call would dominate).
+    scratch: Option<FaultSim<'m, 'a>>,
 }
 
 impl<'m, 'a> ParallelFaultSim<'m, 'a> {
@@ -87,6 +91,7 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
             model,
             threads: threads.max(1),
             block: DEFAULT_BLOCK,
+            scratch: None,
         }
     }
 
@@ -110,6 +115,26 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
     /// The capture model this scheduler is bound to.
     pub fn model(&self) -> &'m CaptureModel<'a> {
         self.model
+    }
+
+    /// Like [`ParallelFaultSim::detect_many`], but reuses a cached
+    /// serial scratch arena for the small batches that fall below the
+    /// sharding threshold (how the trait-object ATPG path calls in —
+    /// static compaction grades one pattern at a time).
+    pub fn detect_many_cached(
+        &mut self,
+        spec: &FrameSpec,
+        good: &GoodBatch,
+        faults: &[Fault],
+    ) -> Vec<u64> {
+        if self.threads == 1 || faults.len() <= self.block {
+            let model = self.model;
+            return self
+                .scratch
+                .get_or_insert_with(|| FaultSim::new(model))
+                .detect_many(spec, good, faults);
+        }
+        self.detect_many(spec, good, faults)
     }
 
     /// Detects a batch of faults, returning one 64-bit mask per fault —

@@ -1,17 +1,33 @@
 //! The full delay-test flow on a generated SOC: compare the idealized
 //! external clock (experiment (b)) against the simple on-chip CPF
-//! clocking (experiment (c)) — the paper's central comparison — on a
-//! small two-domain device.
+//! clocking (experiment (c)) and the enhanced CPF (experiment (d)) —
+//! the paper's central comparison — each as one `TestFlow` run.
 //!
-//! Run with: `cargo run --release --example delay_test_flow`
+//! Run with: `cargo run --release --example delay_test_flow [-- --threads N]`
+//!
+//! `--threads N` routes the run through the sharded fault-sim engine
+//! with `N` workers; the default uses all available parallelism.
 
-use occ::atpg::{classify_faults, run_atpg, AtpgOptions};
-use occ::core::{transition_procedures, ClockingMode};
-use occ::fault::FaultUniverse;
-use occ::fsim::CaptureModel;
+use occ::core::ClockingMode;
+use occ::flow::{EngineChoice, FaultKind, TestFlow};
 use occ::soc::{generate, SocConfig};
 
 fn main() {
+    let mut engine = EngineChoice::Auto;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                engine = EngineChoice::Sharded { threads };
+            }
+            other => panic!("unknown argument '{other}' (expected --threads N)"),
+        }
+    }
+
     let soc = generate(&SocConfig::paper_like(7, 60));
     println!(
         "SOC: {} cells, {} scan chains, chain length {}",
@@ -34,31 +50,35 @@ fn main() {
             true,
         ),
     ] {
-        let binding = soc.binding(mask_bidi);
-        let model = CaptureModel::new(soc.netlist(), binding).expect("model binds");
-        let procedures = transition_procedures(mode, model.domain_count());
-        println!("\n{label}: {} capture procedures", procedures.len());
-        for p in &procedures {
-            println!("   {p}");
-        }
-        let mut result = run_atpg(
-            &model,
-            &procedures,
-            FaultUniverse::transition(soc.netlist()),
-            &AtpgOptions::default(),
-        );
-        classify_faults(&model, &mut result.faults);
-        let report = result.report();
+        let report = match TestFlow::new(&soc)
+            .clocking(mode)
+            .fault_model(FaultKind::Transition)
+            .mask_bidi(mask_bidi)
+            .engine(engine)
+            .run()
+        {
+            Ok(report) => report,
+            Err(e) => {
+                // e.g. --threads 0 -> the typed FlowError::ZeroThreads.
+                eprintln!("flow error: {e}");
+                std::process::exit(2);
+            }
+        };
         println!(
-            "   coverage {:.2}%  patterns {}  efficiency {:.2}%",
-            report.coverage_pct(),
-            result.patterns.len(),
-            report.efficiency_pct()
+            "\n{label}: {} capture procedures ({} engine x{})",
+            report.procedures, report.engine, report.threads
         );
-        for (class, n) in &report.class_histogram {
+        println!(
+            "   coverage {:.2}%  patterns {}  efficiency {:.2}%  ({:.1}s)",
+            report.coverage_pct(),
+            report.patterns(),
+            report.efficiency_pct(),
+            report.total_seconds()
+        );
+        for (class, n) in &report.coverage.class_histogram {
             println!("   leftover {class}: {n}");
         }
-        rows.push((label, report.coverage_pct(), result.patterns.len()));
+        rows.push((label, report.coverage_pct(), report.patterns()));
     }
 
     println!("\nsummary (the paper's Table 1 shape):");

@@ -1,13 +1,17 @@
 //! Quickstart: generate the paper's Figure-3 clock pulse filter,
-//! inspect it, simulate one capture episode and print the waveform.
+//! inspect it, simulate one capture episode, print the waveform —
+//! then run the whole delay-test pipeline through the `TestFlow` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use occ::atpg::AtpgOptions;
 use occ::core::{
-    AteExpansion, AteTiming, ClockPulseFilter, CpfBehavior, CpfConfig, Pll, PllConfig,
+    AteExpansion, AteTiming, ClockPulseFilter, ClockingMode, CpfBehavior, CpfConfig, Pll, PllConfig,
 };
+use occ::flow::{EngineChoice, FaultKind, TestFlow};
 use occ::netlist::NetlistStats;
 use occ::sim::{render_ascii, AsciiOptions, DelayModel, EventSim};
+use occ::soc::{generate, SocConfig};
 
 fn main() {
     // 1. The logic design: ten standard gates per clock domain.
@@ -65,4 +69,25 @@ fn main() {
     );
     assert_eq!(pulses, 2, "the CPF must release exactly two pulses");
     println!("\nok: gate-level CPF matches the paper's Figure 4 behaviour");
+
+    // 5. The whole pipeline — SOC, scan, clocking mode, capture
+    //    procedures, ATPG, fault simulation, report — as one TestFlow.
+    let soc = generate(&SocConfig::tiny(1));
+    let report = TestFlow::new(&soc)
+        .clocking(ClockingMode::SimpleCpf)
+        .fault_model(FaultKind::Transition)
+        .engine(EngineChoice::Auto)
+        .mask_bidi(true)
+        .atpg(AtpgOptions {
+            random_patterns: 64,
+            backtrack_limit: 24,
+            ..AtpgOptions::default()
+        })
+        .run()
+        .expect("the quickstart flow validates");
+    println!("\nTestFlow on a tiny SOC under the simple CPF:");
+    println!("{report}");
+    println!("\nas JSON: {}", report.to_json());
+    assert!(report.coverage_pct() > 0.0);
+    println!("\nok: the TestFlow pipeline reports end-to-end coverage");
 }

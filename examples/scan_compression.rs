@@ -6,8 +6,12 @@
 //!
 //! Run with: `cargo run --release --example scan_compression`
 
+use occ::atpg::AtpgOptions;
+use occ::core::ClockingMode;
 use occ::dft::{AteCostModel, EdtCodec, EdtConfig};
+use occ::flow::{FaultKind, TestFlow};
 use occ::netlist::Logic;
+use occ::soc::{generate, SocConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,8 +62,29 @@ fn main() {
 
     // ATE economics — the paper's closing argument: "increased pattern
     // count requires a more extensive use of an on-chip technique to
-    // reduce scan chain length."
-    let patterns = 10_000;
+    // reduce scan chain length." The pattern count comes from a real
+    // on-chip-clocking ATPG run through the TestFlow pipeline (the CPF
+    // rows are the ones whose pattern counts grow), scaled to the
+    // paper's device size.
+    let soc = generate(&SocConfig::tiny(42));
+    let report = TestFlow::new(&soc)
+        .clocking(ClockingMode::SimpleCpf)
+        .fault_model(FaultKind::Transition)
+        .mask_bidi(true)
+        .atpg(AtpgOptions {
+            random_patterns: 64,
+            backtrack_limit: 24,
+            ..AtpgOptions::default()
+        })
+        .run()
+        .expect("simple CPF flow validates");
+    println!(
+        "\nTestFlow under the simple CPF: {} patterns at {:.2}% coverage",
+        report.patterns(),
+        report.coverage_pct()
+    );
+    // The paper's device is ~100x this toy SOC.
+    let patterns = report.patterns() * 100;
     let uncompressed = AteCostModel::low_cost(32 * 9, 36).cost(patterns);
     let compressed = AteCostModel::low_cost(32, 4).cost(patterns);
     println!("\n{patterns} patterns on the ATE:");

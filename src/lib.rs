@@ -10,12 +10,27 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use occ::core::{ClockPulseFilter, CpfConfig};
+//! The whole pipeline — SOC, scan, clocking mode, capture procedures,
+//! ATPG, fault simulation, coverage report — is one builder chain:
 //!
-//! // Build the paper's Figure-3 clock pulse filter and inspect it.
-//! let cpf = ClockPulseFilter::generate(&CpfConfig::paper());
-//! assert_eq!(cpf.netlist().logic_gate_count(), 10);
+//! ```
+//! use occ::flow::{EngineChoice, FaultKind, TestFlow};
+//! use occ::core::ClockingMode;
+//! use occ::atpg::AtpgOptions;
+//! use occ::soc::{generate, SocConfig};
+//!
+//! # fn main() -> Result<(), occ::flow::FlowError> {
+//! let soc = generate(&SocConfig::tiny(1));
+//! let report = TestFlow::new(&soc)
+//!     .clocking(ClockingMode::SimpleCpf)
+//!     .fault_model(FaultKind::Transition)
+//!     .engine(EngineChoice::Serial)
+//!     .atpg(AtpgOptions { random_patterns: 32, backtrack_limit: 12,
+//!                         ..AtpgOptions::default() })
+//!     .run()?;
+//! assert!(report.coverage_pct() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,4 +73,9 @@ pub mod core {
 /// Synthetic SOC and benchmark circuit generation ([`occ_soc`]).
 pub mod soc {
     pub use occ_soc::*;
+}
+
+/// The unified `TestFlow` pipeline API ([`occ_flow`]).
+pub mod flow {
+    pub use occ_flow::*;
 }

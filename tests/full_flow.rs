@@ -1,36 +1,39 @@
 //! Workspace integration test: the full flow from SOC generation
-//! through scan insertion, CPF attachment and ATPG, asserting the
-//! paper's coverage ordering on a small instance.
+//! through scan insertion, CPF attachment and ATPG — driven entirely
+//! through the `TestFlow` pipeline API — asserting the paper's
+//! coverage ordering on a small instance.
 
-use occ::atpg::{run_atpg, AtpgOptions};
-use occ::core::{transition_procedures, ClockingMode, Pll, PllConfig};
-use occ::fault::FaultUniverse;
-use occ::fsim::CaptureModel;
-use occ::soc::{assemble_device, generate, SocConfig};
+use occ::atpg::AtpgOptions;
+use occ::core::{ClockingMode, Pll, PllConfig};
+use occ::flow::{EngineChoice, FaultKind, FlowReport, TestFlow};
+use occ::soc::{assemble_device, generate, Soc, SocConfig};
 
-fn coverage(soc: &occ::soc::Soc, mode: ClockingMode, mask_bidi: bool) -> (f64, usize) {
-    let binding = soc.binding(mask_bidi);
-    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
-    let procedures = transition_procedures(mode, model.domain_count());
-    let result = run_atpg(
-        &model,
-        &procedures,
-        FaultUniverse::transition(soc.netlist()),
-        &AtpgOptions {
-            random_patterns: 128,
-            backtrack_limit: 64,
-            ..AtpgOptions::default()
-        },
-    );
-    (result.report().coverage_pct(), result.patterns.len())
+fn quick() -> AtpgOptions {
+    AtpgOptions {
+        random_patterns: 128,
+        backtrack_limit: 64,
+        ..AtpgOptions::default()
+    }
+}
+
+fn transition_flow(soc: &Soc, mode: ClockingMode, mask_bidi: bool) -> FlowReport {
+    TestFlow::new(soc)
+        .clocking(mode)
+        .fault_model(FaultKind::Transition)
+        .mask_bidi(mask_bidi)
+        .atpg(quick())
+        .run()
+        .expect("standard flow configurations validate")
 }
 
 #[test]
 fn coverage_ordering_matches_paper() {
     let soc = generate(&SocConfig::paper_like(99, 40));
-    let (ideal, _) = coverage(&soc, ClockingMode::ExternalClock { max_pulses: 4 }, false);
-    let (simple, _) = coverage(&soc, ClockingMode::SimpleCpf, true);
-    let (enhanced, _) = coverage(&soc, ClockingMode::EnhancedCpf { max_pulses: 4 }, true);
+    let ideal =
+        transition_flow(&soc, ClockingMode::ExternalClock { max_pulses: 4 }, false).coverage_pct();
+    let simple = transition_flow(&soc, ClockingMode::SimpleCpf, true).coverage_pct();
+    let enhanced =
+        transition_flow(&soc, ClockingMode::EnhancedCpf { max_pulses: 4 }, true).coverage_pct();
 
     assert!(
         simple + 1.0 < ideal,
@@ -74,34 +77,43 @@ fn device_assembly_keeps_soc_function() {
 
 #[test]
 fn stuck_at_beats_transition_on_same_soc() {
-    use occ::core::stuck_at_procedures;
     let soc = generate(&SocConfig::paper_like(123, 30));
-    let binding = soc.binding(false);
-    let model = CaptureModel::new(soc.netlist(), binding).unwrap();
-    let opts = AtpgOptions {
-        random_patterns: 128,
-        backtrack_limit: 64,
-        ..AtpgOptions::default()
+    let run = |kind| {
+        TestFlow::new(&soc)
+            .clocking(ClockingMode::ExternalClock { max_pulses: 4 })
+            .fault_model(kind)
+            .atpg(quick())
+            .run()
+            .expect("external-clock flows validate")
     };
-
-    let sa = run_atpg(
-        &model,
-        &stuck_at_procedures(ClockingMode::ExternalClock { max_pulses: 4 }, 2),
-        FaultUniverse::stuck_at(soc.netlist()),
-        &opts,
-    );
-    let tf = run_atpg(
-        &model,
-        &transition_procedures(ClockingMode::ExternalClock { max_pulses: 4 }, 2),
-        FaultUniverse::transition(soc.netlist()),
-        &opts,
-    );
+    let sa = run(FaultKind::StuckAt);
+    let tf = run(FaultKind::Transition);
     // Same collapsed fault count — the paper points this out explicitly.
-    assert_eq!(sa.report().total, tf.report().total);
+    assert_eq!(sa.coverage.total, tf.coverage.total);
     assert!(
-        sa.report().coverage_pct() > tf.report().coverage_pct(),
+        sa.coverage_pct() > tf.coverage_pct(),
         "stuck-at {:.2}% must exceed transition {:.2}%",
-        sa.report().coverage_pct(),
-        tf.report().coverage_pct()
+        sa.coverage_pct(),
+        tf.coverage_pct()
     );
+}
+
+#[test]
+fn engines_are_interchangeable_in_the_full_flow() {
+    // Serial vs sharded through the facade: same coverage report.
+    let soc = generate(&SocConfig::tiny(21));
+    let run = |engine| {
+        TestFlow::new(&soc)
+            .clocking(ClockingMode::SimpleCpf)
+            .fault_model(FaultKind::Transition)
+            .mask_bidi(true)
+            .engine(engine)
+            .atpg(quick())
+            .run()
+            .expect("simple CPF flow validates")
+    };
+    let serial = run(EngineChoice::Serial);
+    let sharded = run(EngineChoice::Sharded { threads: 3 });
+    assert_eq!(serial.coverage, sharded.coverage);
+    assert_eq!(serial.patterns(), sharded.patterns());
 }
