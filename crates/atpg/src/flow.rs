@@ -3,10 +3,15 @@
 //! experiment runs.
 //!
 //! The flow is generic over the fault-grading engine: every grading
-//! step goes through [`FaultSimEngine`], so the serial
+//! step goes through [`FaultSimEngine`], so the serial compiled-kernel
 //! [`occ_fsim::FaultSim`] and the sharded
 //! [`occ_fsim::ParallelFaultSim`] are interchangeable and produce
-//! identical results (the engines guarantee bit-identical masks).
+//! identical results (the engines guarantee bit-identical masks). The
+//! drop and compaction loops below ride the kernel unchanged: the
+//! zero-allocation rebuild and the observability-cone pruning live
+//! entirely behind [`FaultSimEngine::detect_batch`], which is what
+//! makes single-pattern compaction grading (one full-universe pass per
+//! kept pattern) affordable.
 
 use crate::{Observability, Podem, PodemOutcome};
 use occ_fault::{FaultList, FaultStatus, FaultUniverse};

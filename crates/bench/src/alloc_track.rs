@@ -1,0 +1,88 @@
+//! Allocation-counting global allocator + peak-RSS probe, shared by the
+//! profiling binaries (`fsim_bench`, `profile_quick`) via `#[path]`
+//! inclusion.
+//!
+//! Not part of the `occ_bench` library: the library forbids unsafe
+//! code, and a [`GlobalAlloc`] impl is necessarily unsafe. Each binary
+//! opts in explicitly:
+//!
+//! ```ignore
+//! #[path = "../alloc_track.rs"]
+//! mod alloc_track;
+//!
+//! #[global_allocator]
+//! static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] wrapper counting every allocation and reallocation
+/// (count + requested bytes) into process-wide relaxed atomics.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A point-in-time reading of the allocation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocSnapshot {
+    /// Allocations (incl. reallocations) since process start.
+    pub allocs: u64,
+    /// Bytes requested since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counter deltas accumulated since `earlier`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Reads the current allocation counters.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Peak resident-set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or when unreadable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok();
+        }
+    }
+    None
+}

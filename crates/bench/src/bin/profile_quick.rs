@@ -1,4 +1,13 @@
-//! Quick profiling helper for experiment runtimes.
+//! Quick profiling helper for experiment runtimes: per-stage wall
+//! clock, compiled-kernel work counters and per-experiment allocation
+//! deltas (counted by a wrapping global allocator), plus peak RSS.
+
+#[path = "../alloc_track.rs"]
+mod alloc_track;
+
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
 use occ_bench::{run_experiment, ExperimentId, Table1Options};
 use occ_flow::{EngineChoice, Stage};
 use occ_soc::{generate, SocConfig};
@@ -14,14 +23,22 @@ fn main() {
         engine: EngineChoice::Auto,
         ..Table1Options::default()
     };
+    let stages = [
+        Stage::BindModel,
+        Stage::Procedures,
+        Stage::FaultUniverse,
+        Stage::Atpg,
+        Stage::Classify,
+    ];
     for id in [ExperimentId::A, ExperimentId::B, ExperimentId::C] {
+        let before = alloc_track::snapshot();
         let row = run_experiment(&soc, id, &opts).expect("tiny SOC flows validate");
+        let alloc = alloc_track::snapshot().since(before);
         let stats = row.report.stats();
         println!(
-            "{id}: {:.3}s (atpg {:.3}s) cov={:.2}% eff={:.2}% pats={} targeted={} \
+            "{id}: {:.3}s cov={:.2}% eff={:.2}% pats={} targeted={} \
              podem_calls={} aborted={} fsim_batches={}",
             row.seconds,
-            row.report.stage_seconds(Stage::Atpg),
             row.coverage_pct,
             row.efficiency_pct,
             row.patterns,
@@ -30,5 +47,40 @@ fn main() {
             stats.aborted_calls,
             stats.fsim_batches
         );
+        // Per-stage wall clock.
+        print!("    stages:");
+        for s in stages {
+            print!(" {}={:.3}s", s.label(), row.report.stage_seconds(s));
+        }
+        println!();
+        // Kernel throughput: grading work per ATPG second.
+        let k = &row.report.kernel;
+        let atpg_secs = row.report.stage_seconds(Stage::Atpg).max(1e-9);
+        println!(
+            "    kernel: {} cells ({} comb, {} flops), cone {}/{} (scan/po), \
+             {} faults graded ({} cone-pruned, {:.1}%), {} events, \
+             {:.0} faults/s, {:.0} events/s",
+            k.cells,
+            k.comb_cells,
+            k.flops,
+            k.cone_scan,
+            k.cone_po,
+            k.faults_graded,
+            k.cone_pruned,
+            100.0 * k.cone_pruned as f64 / (k.faults_graded.max(1)) as f64,
+            k.events,
+            k.faults_graded as f64 / atpg_secs,
+            k.events as f64 / atpg_secs,
+        );
+        // Allocation pressure for the whole experiment.
+        println!(
+            "    allocs: {} ({:.1} MiB requested, {:.0} allocs/fault-grade)",
+            alloc.allocs,
+            alloc.bytes as f64 / (1024.0 * 1024.0),
+            alloc.allocs as f64 / (k.faults_graded.max(1)) as f64,
+        );
+    }
+    if let Some(kb) = alloc_track::peak_rss_kb() {
+        println!("peak rss: {:.1} MiB", kb as f64 / 1024.0);
     }
 }

@@ -192,6 +192,7 @@ impl<'s> TestFlow<'s> {
             }
         };
         let mut result = run_atpg(&model, &procedures, universe, &self.atpg, engine);
+        let kernel = engine.kernel_stats();
         timed(Stage::Atpg, t0);
 
         let t0 = Instant::now();
@@ -208,6 +209,7 @@ impl<'s> TestFlow<'s> {
             procedures: procedures.len(),
             stages,
             coverage,
+            kernel,
             result,
         })
     }

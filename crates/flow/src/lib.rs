@@ -67,3 +67,7 @@ pub use report::{FlowReport, Stage, StageTiming};
 /// under the name the builder API uses
 /// (`.fault_model(FaultKind::Transition)`).
 pub use occ_fault::FaultModel as FaultKind;
+
+/// Compiled fault-sim kernel statistics — re-exported from
+/// [`occ_fsim`] because every [`FlowReport`] carries one.
+pub use occ_fsim::KernelStats;

@@ -5,6 +5,7 @@
 use occ_atpg::{AtpgResult, AtpgStats};
 use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
+use occ_fsim::KernelStats;
 use std::fmt;
 use std::io::{self, Write};
 
@@ -75,6 +76,11 @@ pub struct FlowReport {
     /// snapshotted when the flow completed. Re-derive with
     /// `result.report()` after mutating `result.faults`.
     pub coverage: CoverageReport,
+    /// Compiled fault-sim kernel statistics: graph shape (cells
+    /// compiled, observability-cone sizes) plus the grading work the
+    /// engine performed (faults graded, cone-pruned faults, events
+    /// propagated). All-zero for engines without a compiled kernel.
+    pub kernel: KernelStats,
     /// The full ATPG result: compacted pattern set and fault statuses.
     pub result: AtpgResult,
 }
@@ -170,6 +176,21 @@ impl FlowReport {
             s.patterns_before_compaction,
             s.fsim_batches,
         )?;
+        let k = &self.kernel;
+        write!(
+            w,
+            ",\"kernel\":{{\"cells\":{},\"comb_cells\":{},\"flops\":{},\
+             \"cone_scan\":{},\"cone_po\":{},\"faults_graded\":{},\
+             \"cone_pruned\":{},\"events\":{}}}",
+            k.cells,
+            k.comb_cells,
+            k.flops,
+            k.cone_scan,
+            k.cone_po,
+            k.faults_graded,
+            k.cone_pruned,
+            k.events,
+        )?;
         write!(w, ",\"stages\":[")?;
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -250,6 +271,17 @@ impl fmt::Display for FlowReport {
         )?;
         for st in &self.stages {
             writeln!(f, "  stage {:<15} {:>8.3}s", st.stage.label(), st.seconds)?;
+        }
+        if self.kernel.faults_graded > 0 {
+            writeln!(
+                f,
+                "  kernel: {} cells compiled, {} faults graded \
+                 ({} cone-pruned), {} events",
+                self.kernel.cells,
+                self.kernel.faults_graded,
+                self.kernel.cone_pruned,
+                self.kernel.events
+            )?;
         }
         write!(f, "  total {:.3}s", self.total_seconds())
     }

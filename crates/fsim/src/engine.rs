@@ -10,7 +10,9 @@
 
 use crate::faultsim::FaultSim;
 use crate::goodsim::GoodBatch;
+use crate::graph::KernelStats;
 use crate::parallel::ParallelFaultSim;
+use crate::reference::ReferenceFaultSim;
 use crate::FrameSpec;
 use occ_fault::Fault;
 
@@ -75,6 +77,13 @@ pub trait FaultSimEngine {
     fn worker_threads(&self) -> usize {
         1
     }
+
+    /// Compiled-kernel statistics accumulated by this engine (graph
+    /// shape, cone-pruned faults, events propagated). Engines without a
+    /// compiled kernel report all-zero stats.
+    fn kernel_stats(&self) -> KernelStats {
+        KernelStats::default()
+    }
 }
 
 impl FaultSimEngine for FaultSim<'_, '_> {
@@ -84,6 +93,10 @@ impl FaultSimEngine for FaultSim<'_, '_> {
 
     fn engine_name(&self) -> &'static str {
         "serial"
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        FaultSim::kernel_stats(self)
     }
 }
 
@@ -98,5 +111,19 @@ impl FaultSimEngine for ParallelFaultSim<'_, '_> {
 
     fn worker_threads(&self) -> usize {
         self.threads()
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        ParallelFaultSim::kernel_stats(self)
+    }
+}
+
+impl FaultSimEngine for ReferenceFaultSim<'_, '_> {
+    fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
+        self.detect_many(spec, good, faults)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "reference"
     }
 }

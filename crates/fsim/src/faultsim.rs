@@ -1,4 +1,5 @@
-//! PPSFP: parallel-pattern single-fault propagation.
+//! PPSFP: parallel-pattern single-fault propagation, as a compiled
+//! zero-allocation kernel.
 //!
 //! For each fault, the good-machine batch is perturbed at the fault site
 //! and the difference is propagated event-wise, level by level, through
@@ -7,14 +8,84 @@
 //! captured by the procedure or at an observed primary output — plus,
 //! for transition faults, the launch condition (the site must toggle
 //! into the faulty polarity between the launch and capture frames).
+//!
+//! The hot path runs entirely on the [`SimGraph`] compiled into the
+//! [`CaptureModel`]: CSR fanout walks, dense op-code evaluation and
+//! stamped scratch arrays that are reused across faults, so grading a
+//! fault allocates nothing. Faults whose effect cell lies outside the
+//! graph's observability cone are rejected in O(1) before any
+//! propagation. The pre-kernel engine is retained as
+//! [`ReferenceFaultSim`](crate::ReferenceFaultSim); both produce
+//! bit-identical detection masks (cross-checked in
+//! `tests/kernel_equivalence.rs`).
 
 use crate::goodsim::GoodBatch;
-use crate::pval::{eval_packed, PVal};
-use crate::{CaptureModel, FrameSpec};
+use crate::graph::{KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
+use crate::pval::PVal;
+use crate::{CaptureModel, CycleSpec, FrameSpec};
 use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
-use occ_netlist::{CellId, CellKind};
+use occ_netlist::CellId;
+
+/// Sparse per-flop faulty-state buffer: a stamped value array plus the
+/// list of flops holding a difference, cleared in O(1) by bumping the
+/// stamp generation.
+#[derive(Debug)]
+struct StateBuf {
+    tag: Vec<u32>,
+    gen: u32,
+    val: Vec<PVal>,
+    list: Vec<u32>,
+}
+
+impl StateBuf {
+    fn new(n_flops: usize) -> Self {
+        StateBuf {
+            tag: vec![0; n_flops],
+            gen: 0,
+            val: vec![PVal::XX; n_flops],
+            list: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.tag.fill(0);
+            self.gen = 1;
+        }
+        self.list.clear();
+    }
+
+    #[inline]
+    fn set(&mut self, fi: usize, v: PVal) {
+        if self.tag[fi] != self.gen {
+            self.tag[fi] = self.gen;
+            self.list.push(fi as u32);
+        }
+        self.val[fi] = v;
+    }
+
+    #[inline]
+    fn get(&self, fi: usize) -> Option<PVal> {
+        if self.tag[fi] == self.gen {
+            Some(self.val[fi])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
 
 /// Reusable PPSFP engine bound to one capture model.
+///
+/// All scratch state (value/stamp arrays, levelized worklist buckets,
+/// flop-state buffers) is allocated once in [`FaultSim::new`] and
+/// reused for every fault: the [`FaultSim::detect`] hot path performs
+/// no heap allocation.
 ///
 /// # Examples
 ///
@@ -47,12 +118,14 @@ use occ_netlist::{CellId, CellKind};
 /// let mut fsim = FaultSim::new(&model);
 /// let f = Fault::stuck(FaultSite::Output(d), Polarity::P0);
 /// assert_eq!(fsim.detect(&spec, &good, f), 0b1); // captured into ff
+/// assert_eq!(fsim.kernel_stats().faults_graded, 1);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct FaultSim<'m, 'a> {
     model: &'m CaptureModel<'a>,
+    graph: &'m SimGraph,
     // Faulty node values with generation stamps (valid when stamp==gen).
     fval: Vec<PVal>,
     fstamp: Vec<u32>,
@@ -60,28 +133,64 @@ pub struct FaultSim<'m, 'a> {
     // Levelized worklist buckets and enqueue stamps.
     buckets: Vec<Vec<u32>>,
     enq: Vec<u32>,
-    // Touched-flop dedup stamps.
+    // Touched-flop dedup stamps and list (reused across frames).
     flop_stamp: Vec<u32>,
+    touched: Vec<u32>,
+    // Carried faulty flop state: current frame in, next frame out.
+    cur: StateBuf,
+    next: StateBuf,
+    // Work counters, accumulated since construction.
+    faults_graded: u64,
+    cone_pruned: u64,
+    events: u64,
 }
 
 impl<'m, 'a> FaultSim<'m, 'a> {
     /// Creates an engine with scratch space sized for the model.
     pub fn new(model: &'m CaptureModel<'a>) -> Self {
-        let n = model.netlist().len();
-        let levels = model.netlist().levelization().max_level() as usize + 1;
+        let graph = model.graph();
+        let n = graph.cells();
+        let n_flops = graph.flop_count();
         FaultSim {
             model,
+            graph,
             fval: vec![PVal::XX; n],
             fstamp: vec![0; n],
             gen: 0,
-            buckets: vec![Vec::new(); levels],
+            buckets: vec![Vec::new(); graph.bucket_count()],
             enq: vec![0; n],
-            flop_stamp: vec![0; model.flops().len()],
+            flop_stamp: vec![0; n_flops],
+            touched: Vec::new(),
+            cur: StateBuf::new(n_flops),
+            next: StateBuf::new(n_flops),
+            faults_graded: 0,
+            cone_pruned: 0,
+            events: 0,
         }
+    }
+
+    /// Kernel statistics: the compiled graph's shape plus the work this
+    /// engine has performed since construction.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut s = self.graph.static_stats();
+        s.faults_graded = self.faults_graded;
+        s.cone_pruned = self.cone_pruned;
+        s.events = self.events;
+        s
     }
 
     /// Returns the detection mask (bit per pattern) for one fault.
     pub fn detect(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        self.faults_graded += 1;
+
+        // Cone pruning: a fault whose effect cell cannot reach a scan
+        // flop (or an observed PO) is undetectable under this spec.
+        let with_po = !spec.po_observe_frames().is_empty();
+        if !self.graph.observable(fault.site().effect_cell(), with_po) {
+            self.cone_pruned += 1;
+            return 0;
+        }
+
         let site_node = site_node(self.model, fault.site());
         let frames = spec.frames();
 
@@ -109,8 +218,13 @@ impl<'m, 'a> FaultSim<'m, 'a> {
             FaultModel::StuckAt => 1,
             FaultModel::Transition => frames,
         };
+        let forced = forced_val(fault.polarity());
+        let (out_site, in_site) = match fault.site() {
+            FaultSite::Output(c) => (Some(c.index()), None),
+            FaultSite::Input { cell, pin } => (None, Some((cell.index(), pin))),
+        };
 
-        let mut fstate: Vec<(u32, PVal)> = Vec::new();
+        self.cur.clear();
         let mut po_diff = 0u64;
 
         for k in first_active..=frames {
@@ -118,127 +232,117 @@ impl<'m, 'a> FaultSim<'m, 'a> {
                 FaultModel::StuckAt => true,
                 FaultModel::Transition => k == frames,
             };
-            if !active && fstate.is_empty() {
+            if !active && self.cur.is_empty() {
                 continue;
             }
 
-            self.gen += 1;
+            self.bump_gen();
             let gvals = &good.frames[k - 1];
-            let mut touched_flops: Vec<u32> = Vec::new();
+            self.touched.clear();
 
             // Seed 1: carried-in state differences.
-            let carried: Vec<(u32, PVal)> = fstate.clone();
-            for (fi, fv) in carried {
-                let cell = self.model.flops()[fi as usize].cell;
-                self.fval[cell.index()] = fv;
-                self.fstamp[cell.index()] = self.gen;
-                self.push_fanouts(cell, &mut touched_flops);
+            for i in 0..self.cur.list.len() {
+                let fi = self.cur.list[i] as usize;
+                let cell = self.graph.flop_meta(fi).cell as usize;
+                self.fval[cell] = self.cur.val[fi];
+                self.fstamp[cell] = self.gen;
+                self.push_fanouts(cell);
             }
 
             // Seed 2: the fault site.
             if active {
-                match fault.site() {
-                    FaultSite::Output(c) => {
-                        let forced = forced_val(fault.polarity());
-                        self.fval[c.index()] = forced;
-                        self.fstamp[c.index()] = self.gen;
-                        if forced != gvals[c.index()] {
-                            self.push_fanouts(c, &mut touched_flops);
-                        }
+                if let Some(ci) = out_site {
+                    self.fval[ci] = forced;
+                    self.fstamp[ci] = self.gen;
+                    if forced != gvals[ci] {
+                        self.push_fanouts(ci);
                     }
-                    FaultSite::Input { cell, .. } => {
-                        // Evaluate the consuming cell with the pin forced.
-                        let v = self.eval_faulty(cell, gvals, Some(fault));
-                        if v != gvals[cell.index()] {
-                            self.fval[cell.index()] = v;
-                            self.fstamp[cell.index()] = self.gen;
-                            self.push_fanouts(cell, &mut touched_flops);
-                        }
+                } else if let Some((ci, pin)) = in_site {
+                    // Evaluate the consuming cell with the pin forced.
+                    self.events += 1;
+                    let v = self.eval_faulty(ci, gvals, Some((pin, forced)));
+                    if v != gvals[ci] {
+                        self.fval[ci] = v;
+                        self.fstamp[ci] = self.gen;
+                        self.push_fanouts(ci);
                     }
                 }
             }
 
             // Propagate level by level.
             for lvl in 0..self.buckets.len() {
-                while let Some(raw) = self.bucket_pop(lvl) {
-                    let id = CellId::from_index(raw as usize);
+                while let Some(raw) = self.buckets[lvl].pop() {
+                    let ci = raw as usize;
                     // The forced output site never re-evaluates.
-                    if active && fault.site() == FaultSite::Output(id) {
+                    if active && out_site == Some(ci) {
                         continue;
                     }
-                    let pin_fault = match fault.site() {
-                        FaultSite::Input { cell, .. } if active && cell == id => Some(fault),
+                    let pin_fault = match in_site {
+                        Some((cell, pin)) if active && cell == ci => Some((pin, forced)),
                         _ => None,
                     };
-                    let was_stamped = self.fstamp[id.index()] == self.gen;
-                    let v = self.eval_faulty(id, gvals, pin_fault);
+                    self.events += 1;
+                    let was_stamped = self.fstamp[ci] == self.gen;
+                    let v = self.eval_faulty(ci, gvals, pin_fault);
                     if was_stamped {
                         // Re-evaluation of an already-seeded node (an
                         // input-site cell reached again from upstream):
-                        // refresh and re-notify; dedup keeps this cheap.
-                        self.fval[id.index()] = v;
-                        self.push_fanouts(id, &mut touched_flops);
-                    } else if v != gvals[id.index()] {
-                        self.fval[id.index()] = v;
-                        self.fstamp[id.index()] = self.gen;
-                        self.push_fanouts(id, &mut touched_flops);
+                        // only re-notify fanouts when the value moved.
+                        if v != self.fval[ci] {
+                            self.fval[ci] = v;
+                            self.push_fanouts(ci);
+                        }
+                    } else if v != gvals[ci] {
+                        self.fval[ci] = v;
+                        self.fstamp[ci] = self.gen;
+                        self.push_fanouts(ci);
                     }
                 }
             }
 
             // Primary-output observation.
             if spec.po_observe_frames().contains(&k) {
-                for &po in self.model.primary_outputs() {
-                    if self.fstamp[po.index()] == self.gen {
-                        po_diff |= gvals[po.index()].definite_diff(self.fval[po.index()]);
+                let g = self.graph;
+                for &po in g.po_cells() {
+                    let p = po as usize;
+                    if self.fstamp[p] == self.gen {
+                        po_diff |= gvals[p].definite_diff(self.fval[p]);
                     }
                 }
             }
 
-            // Next faulty state.
+            // Next faulty state: flops touched by propagation plus the
+            // carried diffs (deduplicated through the same stamps).
+            self.next.clear();
             let cycle = &spec.cycles()[k - 1];
-            let mut next: Vec<(u32, PVal)> = Vec::new();
-            let mut candidates: Vec<u32> = fstate.iter().map(|&(fi, _)| fi).collect();
-            candidates.extend(touched_flops.iter().copied());
-            candidates.sort_unstable();
-            candidates.dedup();
-            let prev_state_diffs: std::collections::HashMap<u32, PVal> =
-                fstate.iter().copied().collect();
-            for fi in candidates {
-                let info = self.model.flops()[fi as usize];
-                let good_next = good.states[k][fi as usize];
-                let faulty_next = if cycle.pulses_domain(info.domain) {
-                    let sampled = self.sample_flop_faulty(info.cell, gvals);
-                    self.apply_reset_faulty(info.cell, gvals, sampled)
-                } else {
-                    prev_state_diffs
-                        .get(&fi)
-                        .copied()
-                        .unwrap_or(good.states[k - 1][fi as usize])
-                };
-                if faulty_next != good_next {
-                    next.push((fi, faulty_next));
+            for i in 0..self.touched.len() {
+                let fi = self.touched[i] as usize;
+                self.capture_flop(fi, k, cycle, good, gvals);
+            }
+            for i in 0..self.cur.list.len() {
+                let fi = self.cur.list[i] as usize;
+                if self.flop_stamp[fi] != self.gen {
+                    self.flop_stamp[fi] = self.gen;
+                    self.capture_flop(fi, k, cycle, good, gvals);
                 }
             }
-            fstate = next;
+            std::mem::swap(&mut self.cur, &mut self.next);
         }
 
         // Detection: scan-state differences at unload + observed POs.
         let mut detect = po_diff;
-        let final_state: std::collections::HashMap<u32, PVal> = fstate.into_iter().collect();
         for &fi in self.model.scan_flops() {
-            let good_v = good.states[frames][fi as usize];
-            let mut faulty_v = final_state.get(&fi).copied().unwrap_or(good_v);
+            let fi = fi as usize;
+            let good_v = good.states[frames][fi];
+            let mut faulty_v = self.cur.get(fi).unwrap_or(good_v);
             // A *stuck* output on the scan flop itself is observed
             // directly during unload (the chain reads the Q net). A
             // transition fault is not: unload shifting is slow, so the
             // slow edge has settled by the time the chain samples.
-            if fault.model() == FaultModel::StuckAt {
-                if let FaultSite::Output(c) = fault.site() {
-                    if c == self.model.flops()[fi as usize].cell {
-                        faulty_v = forced_val(fault.polarity());
-                    }
-                }
+            if fault.model() == FaultModel::StuckAt
+                && out_site == Some(self.graph.flop_meta(fi).cell as usize)
+            {
+                faulty_v = forced;
             }
             detect |= good_v.definite_diff(faulty_v);
         }
@@ -256,94 +360,100 @@ impl<'m, 'a> FaultSim<'m, 'a> {
         faults.iter().map(|&f| self.detect(spec, good, f)).collect()
     }
 
+    fn bump_gen(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap-around (once per 2^32 frames): invalidate all
+            // stamps so stale entries can never alias the new epoch.
+            self.fstamp.fill(0);
+            self.enq.fill(0);
+            self.flop_stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    /// Faulty (stamped) or good value of a node's driver.
+    #[inline]
+    fn read_val(&self, src: u32, gvals: &[PVal]) -> PVal {
+        let s = src as usize;
+        if self.fstamp[s] == self.gen {
+            self.fval[s]
+        } else {
+            gvals[s]
+        }
+    }
+
     /// Evaluates one cell with faulty input values (and an optional pin
     /// override for an active input-site fault on this cell).
-    fn eval_faulty(&self, id: CellId, gvals: &[PVal], pin_fault: Option<Fault>) -> PVal {
-        let cell = self.model.netlist().cell(id);
-        let kind = cell.kind();
-        if !kind.is_combinational() {
+    #[inline]
+    fn eval_faulty(&self, ci: usize, gvals: &[PVal], pin_fault: Option<(u8, PVal)>) -> PVal {
+        if self.graph.op(ci) == OpCode::State {
             // Flop/latch/ram nodes keep their frame value.
-            return if self.fstamp[id.index()] == self.gen {
-                self.fval[id.index()]
-            } else {
-                gvals[id.index()]
-            };
+            return self.read_val(ci as u32, gvals);
         }
-        let mut ins: Vec<PVal> = Vec::with_capacity(cell.inputs().len());
-        for &src in cell.inputs() {
-            ins.push(if self.fstamp[src.index()] == self.gen {
-                self.fval[src.index()]
-            } else {
-                gvals[src.index()]
-            });
-        }
-        if let Some(f) = pin_fault {
-            if let FaultSite::Input { pin, .. } = f.site() {
-                ins[pin as usize] = forced_val(f.polarity());
-            }
-        }
-        eval_packed(kind, &ins).unwrap_or(PVal::XX)
-    }
-
-    fn sample_flop_faulty(&self, flop: CellId, gvals: &[PVal]) -> PVal {
-        let cell = self.model.netlist().cell(flop);
-        let read = |src: CellId| {
-            if self.fstamp[src.index()] == self.gen {
-                self.fval[src.index()]
-            } else {
-                gvals[src.index()]
-            }
-        };
-        match cell.kind() {
-            CellKind::Sdff | CellKind::SdffRl => {
-                let d = read(cell.inputs()[0]);
-                let se = read(cell.inputs()[2]);
-                let si = read(cell.inputs()[3]);
-                PVal::mux2(se, d, si)
-            }
-            _ => read(cell.inputs()[0]),
-        }
-    }
-
-    fn apply_reset_faulty(&self, flop: CellId, gvals: &[PVal], state: PVal) -> PVal {
-        let cell = self.model.netlist().cell(flop);
-        let Some(rpin) = cell.reset() else {
-            return state;
-        };
-        let rv = if self.fstamp[rpin.index()] == self.gen {
-            self.fval[rpin.index()]
-        } else {
-            gvals[rpin.index()]
-        };
-        let active = match cell.kind() {
-            CellKind::DffRh => rv.def1(),
-            _ => rv.def0(),
-        };
-        let state = state.force(active, false);
-        state.blend(PVal::XX, rv.x & !state.def0())
-    }
-
-    fn push_fanouts(&mut self, id: CellId, touched_flops: &mut Vec<u32>) {
-        let netlist = self.model.netlist();
-        let lev = netlist.levelization();
-        for &f in netlist.fanouts(id) {
-            let kind = netlist.cell(f).kind();
-            if kind.is_flop() {
-                if let Some(fi) = self.model.flop_index(f) {
-                    if self.flop_stamp[fi] != self.gen {
-                        self.flop_stamp[fi] = self.gen;
-                        touched_flops.push(fi as u32);
-                    }
+        match pin_fault {
+            None => self.graph.eval_cell(ci, |_, src| self.read_val(src, gvals)),
+            Some((pin, forced)) => self.graph.eval_cell(ci, |p, src| {
+                if p == pin as usize {
+                    forced
+                } else {
+                    self.read_val(src, gvals)
                 }
-            } else if kind.is_combinational() && self.enq[f.index()] != self.gen {
-                self.enq[f.index()] = self.gen;
-                self.buckets[lev.level(f) as usize].push(f.index() as u32);
-            }
+            }),
         }
     }
 
-    fn bucket_pop(&mut self, lvl: usize) -> Option<u32> {
-        self.buckets[lvl].pop()
+    /// Computes one flop's faulty next state and records it in `next`
+    /// when it differs from the good next state.
+    fn capture_flop(
+        &mut self,
+        fi: usize,
+        k: usize,
+        cycle: &CycleSpec,
+        good: &GoodBatch,
+        gvals: &[PVal],
+    ) {
+        self.events += 1;
+        let meta = *self.graph.flop_meta(fi);
+        let good_next = good.states[k][fi];
+        let faulty_next = if cycle.pulses_domain(meta.domain as usize) {
+            let sampled = meta.sample(|src| self.read_val(src, gvals));
+            if meta.reset == NO_RESET {
+                sampled
+            } else {
+                meta.apply_reset(sampled, self.read_val(meta.reset, gvals))
+            }
+        } else {
+            // Known modeling asymmetry inherited from the pre-kernel
+            // engine (and required for bit-identity with it): the good
+            // machine applies asynchronous resets every frame, while
+            // the faulty state of a *non-pulsed* flop simply carries —
+            // a faulty reset net active in a non-pulsed frame is not
+            // propagated into the flop. Tracked in ROADMAP open items.
+            self.cur.get(fi).unwrap_or(good.states[k - 1][fi])
+        };
+        if faulty_next != good_next {
+            self.next.set(fi, faulty_next);
+        }
+    }
+
+    fn push_fanouts(&mut self, ci: usize) {
+        let g = self.graph;
+        for &e in g.prop_fanouts(ci) {
+            if e & FLOP_TAG != 0 {
+                let fi = (e & !FLOP_TAG) as usize;
+                if self.flop_stamp[fi] != self.gen {
+                    self.flop_stamp[fi] = self.gen;
+                    self.touched.push(fi as u32);
+                }
+            } else {
+                let f = e as usize;
+                if self.enq[f] != self.gen {
+                    self.enq[f] = self.gen;
+                    self.buckets[g.level_of(f) as usize].push(e);
+                }
+            }
+        }
     }
 }
 
@@ -356,7 +466,7 @@ pub(crate) fn site_node(model: &CaptureModel<'_>, site: FaultSite) -> CellId {
     }
 }
 
-fn forced_val(p: Polarity) -> PVal {
+pub(crate) fn forced_val(p: Polarity) -> PVal {
     match p {
         Polarity::P0 => PVal::ZERO,
         Polarity::P1 => PVal::ONE,
@@ -483,6 +593,8 @@ mod tests {
 
         let good_m = simulate_good(&m, &masked, &[p]);
         assert_eq!(fsim.detect(&masked, &good_m, fault), 0);
+        // The masked-PO rejection comes straight from the scan cone.
+        assert_eq!(fsim.kernel_stats().cone_pruned, 1);
     }
 
     #[test]
@@ -570,5 +682,26 @@ mod tests {
         );
         assert_eq!(det & !good.valid_mask, 0);
         let _ = r.f1;
+    }
+
+    #[test]
+    fn kernel_stats_track_work() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::Zero];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let _ = fsim.detect(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P0),
+        );
+        let stats = fsim.kernel_stats();
+        assert_eq!(stats.faults_graded, 1);
+        assert_eq!(stats.cells, r.nl.len());
+        assert!(stats.events > 0, "propagation produced no events");
     }
 }

@@ -1,8 +1,24 @@
 //! Batched (64-pattern) good-machine simulation of a capture procedure.
+//!
+//! Runs on the [`SimGraph`](crate::SimGraph) compiled into the capture
+//! model: dense op-code evaluation over the levelized order, flop
+//! capture through precomputed pin metadata (reset handling is skipped
+//! entirely for flops without a reset pin), and two frame-level
+//! optimizations for multi-frame procedures:
+//!
+//! * the packed primary-input frame is built **once** when the
+//!   procedure holds PIs (instead of re-packing every slot of every
+//!   pattern per frame);
+//! * with held PIs, frames after the first are simulated
+//!   **incrementally**: the previous frame's values are copied and only
+//!   the cones of flops whose state changed are re-evaluated
+//!   event-wise — identical values by construction, a fraction of the
+//!   evaluations.
 
-use crate::pval::{eval_packed, PVal};
+use crate::graph::{SimGraph, FLOP_TAG, NO_RESET};
+use crate::pval::PVal;
 use crate::{CaptureModel, FrameSpec, Pattern};
-use occ_netlist::{CellKind, Logic};
+use occ_netlist::Logic;
 
 /// Good-machine values for a batch of up to 64 patterns under one
 /// capture procedure.
@@ -23,6 +39,72 @@ pub struct GoodBatch {
     pub states: Vec<Vec<PVal>>,
 }
 
+/// Event-driven re-evaluation scratch for incremental frames.
+struct Propagator {
+    buckets: Vec<Vec<u32>>,
+    enq: Vec<u32>,
+    gen: u32,
+}
+
+impl Propagator {
+    fn new(graph: &SimGraph) -> Self {
+        Propagator {
+            buckets: vec![Vec::new(); graph.bucket_count()],
+            enq: vec![0; graph.cells()],
+            gen: 0,
+        }
+    }
+
+    /// Enqueues the combinational fanouts of `cell`.
+    fn seed(&mut self, graph: &SimGraph, cell: usize) {
+        for &e in graph.prop_fanouts(cell) {
+            if e & FLOP_TAG == 0 {
+                let f = e as usize;
+                if self.enq[f] != self.gen {
+                    self.enq[f] = self.gen;
+                    self.buckets[graph.level_of(f) as usize].push(e);
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates enqueued cells in level order, propagating only
+    /// where values actually change. Equivalent to a full re-eval of
+    /// the frame (every cell is a pure function of PIs and flop nodes).
+    fn run(&mut self, graph: &SimGraph, vals: &mut [PVal]) {
+        for lvl in 0..self.buckets.len() {
+            while let Some(raw) = self.buckets[lvl].pop() {
+                let c = raw as usize;
+                let v = graph.eval_cell(c, |_, src| vals[src as usize]);
+                if v != vals[c] {
+                    vals[c] = v;
+                    self.seed(graph, c);
+                }
+            }
+        }
+    }
+
+    fn next_gen(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.enq.fill(0);
+            self.gen = 1;
+        }
+    }
+}
+
+/// Packs one frame's free-PI values across the batch.
+fn pack_pis(model: &CaptureModel<'_>, patterns: &[Pattern], frame: usize, out: &mut Vec<PVal>) {
+    out.clear();
+    for (pi_idx, _) in model.free_pis().iter().enumerate() {
+        let mut pv = PVal::XX;
+        for (b, p) in patterns.iter().enumerate() {
+            pv = pv.with_slot(b, p.pis_for_frame(frame)[pi_idx]);
+        }
+        out.push(pv);
+    }
+}
+
 /// Simulates up to 64 patterns (all using procedure `spec`) and returns
 /// the full good-machine view.
 ///
@@ -37,7 +119,9 @@ pub fn simulate_good(
 ) -> GoodBatch {
     assert!(patterns.len() <= 64, "PPSFP batch limit is 64 patterns");
     assert!(!patterns.is_empty(), "empty batch");
-    let n_flops = model.flops().len();
+    let graph = model.graph();
+    let n_cells = graph.cells();
+    let n_flops = graph.flop_count();
     let valid_mask = if patterns.len() == 64 {
         !0u64
     } else {
@@ -54,25 +138,77 @@ pub fn simulate_good(
         state0[fi as usize] = pv;
     }
 
+    // The frame-independent baseline: ties, constraints, masks.
+    let mut base = vec![PVal::XX; n_cells];
+    for &(c, v) in graph.tie_values() {
+        base[c as usize] = v;
+    }
+    for &(c, v) in model.forced() {
+        base[c.index()] = PVal::splat(v);
+    }
+    for &c in model.masked() {
+        base[c.index()] = PVal::XX;
+    }
+
+    // Packed free-PI values; built once when the procedure holds PIs.
+    let hold = spec.holds_pi();
+    let mut pi_frame: Vec<PVal> = Vec::new();
+    pack_pis(model, patterns, 1, &mut pi_frame);
+
     let mut states = vec![state0];
-    let mut frames = Vec::with_capacity(spec.frames());
+    let mut frames: Vec<Vec<PVal>> = Vec::with_capacity(spec.frames());
+    let mut prop = Propagator::new(graph);
 
     for k in 1..=spec.frames() {
-        let mut vals = base_frame(model, patterns, k);
-        // Flop nodes carry the entering state.
-        for (fi, info) in model.flops().iter().enumerate() {
-            vals[info.cell.index()] = states[k - 1][fi];
-        }
-        eval_frame(model, &mut vals);
+        let incremental = hold && k > 1;
+        let mut vals = if incremental {
+            // Base inputs are unchanged: start from the previous frame
+            // and re-evaluate only the cones of changed flops.
+            frames[k - 2].clone()
+        } else {
+            if k > 1 {
+                pack_pis(model, patterns, k, &mut pi_frame);
+            }
+            let mut vals = base.clone();
+            for (pi_idx, &pi) in model.free_pis().iter().enumerate() {
+                vals[pi.index()] = pi_frame[pi_idx];
+            }
+            vals
+        };
 
-        // Next state.
+        // Flop nodes carry the entering state.
+        if incremental {
+            prop.next_gen();
+            for (fi, &entering) in states[k - 1].iter().enumerate() {
+                let cell = graph.flop_meta(fi).cell as usize;
+                if vals[cell] != entering {
+                    vals[cell] = entering;
+                    prop.seed(graph, cell);
+                }
+            }
+            prop.run(graph, &mut vals);
+        } else {
+            for (fi, &entering) in states[k - 1].iter().enumerate() {
+                vals[graph.flop_meta(fi).cell as usize] = entering;
+            }
+            for &c in graph.comb_order() {
+                let ci = c as usize;
+                vals[ci] = graph.eval_cell(ci, |_, src| vals[src as usize]);
+            }
+        }
+
+        // Next state: sample pulsed domains, apply resets where a reset
+        // pin exists.
         let cycle = &spec.cycles()[k - 1];
         let mut next = states[k - 1].clone();
-        for (fi, info) in model.flops().iter().enumerate() {
-            if cycle.pulses_domain(info.domain) {
-                next[fi] = sample_flop(model, &vals, info.cell);
+        for (fi, slot) in next.iter_mut().enumerate() {
+            let meta = graph.flop_meta(fi);
+            if cycle.pulses_domain(meta.domain as usize) {
+                *slot = meta.sample(|src| vals[src as usize]);
             }
-            next[fi] = apply_reset(model, &vals, info.cell, next[fi]);
+            if meta.reset != NO_RESET {
+                *slot = meta.apply_reset(*slot, vals[meta.reset as usize]);
+            }
         }
         states.push(next);
         frames.push(vals);
@@ -84,95 +220,6 @@ pub fn simulate_good(
         frames,
         states,
     }
-}
-
-/// Builds the frame-independent baseline: PIs, constraints, masks, ties.
-pub(crate) fn base_frame(
-    model: &CaptureModel<'_>,
-    patterns: &[Pattern],
-    frame: usize,
-) -> Vec<PVal> {
-    let n_cells = model.netlist().len();
-    let mut vals = vec![PVal::XX; n_cells];
-    for (id, cell) in model.netlist().iter() {
-        match cell.kind() {
-            CellKind::Tie0 => vals[id.index()] = PVal::ZERO,
-            CellKind::Tie1 => vals[id.index()] = PVal::ONE,
-            _ => {}
-        }
-    }
-    for &(c, v) in model.forced() {
-        vals[c.index()] = PVal::splat(v);
-    }
-    for &c in model.masked() {
-        vals[c.index()] = PVal::XX;
-    }
-    for (pi_idx, &pi) in model.free_pis().iter().enumerate() {
-        let mut pv = PVal::XX;
-        for (b, p) in patterns.iter().enumerate() {
-            pv = pv.with_slot(b, p.pis_for_frame(frame)[pi_idx]);
-        }
-        vals[pi.index()] = pv;
-    }
-    vals
-}
-
-/// Evaluates all combinational cells of a frame in levelized order.
-pub(crate) fn eval_frame(model: &CaptureModel<'_>, vals: &mut [PVal]) {
-    let netlist = model.netlist();
-    let mut ins: Vec<PVal> = Vec::with_capacity(8);
-    for &id in netlist.levelization().order() {
-        let cell = netlist.cell(id);
-        ins.clear();
-        for &src in cell.inputs() {
-            ins.push(vals[src.index()]);
-        }
-        if let Some(v) = eval_packed(cell.kind(), &ins) {
-            vals[id.index()] = v;
-        }
-    }
-}
-
-/// The value a flop captures from the frame: functional D, or the scan
-/// mux when the (constrained) scan enable is not zero.
-pub(crate) fn sample_flop(
-    model: &CaptureModel<'_>,
-    vals: &[PVal],
-    flop: occ_netlist::CellId,
-) -> PVal {
-    let cell = model.netlist().cell(flop);
-    match cell.kind() {
-        CellKind::Sdff | CellKind::SdffRl => {
-            let d = vals[cell.inputs()[0].index()];
-            let se = vals[cell.inputs()[2].index()];
-            let si = vals[cell.inputs()[3].index()];
-            PVal::mux2(se, d, si)
-        }
-        _ => vals[cell.inputs()[0].index()],
-    }
-}
-
-/// Applies asynchronous-reset semantics to a captured state.
-pub(crate) fn apply_reset(
-    model: &CaptureModel<'_>,
-    vals: &[PVal],
-    flop: occ_netlist::CellId,
-    state: PVal,
-) -> PVal {
-    let cell = model.netlist().cell(flop);
-    let Some(rpin) = cell.reset() else {
-        return state;
-    };
-    let rv = vals[rpin.index()];
-    let active = match cell.kind() {
-        CellKind::DffRh => rv.def1(),
-        _ => rv.def0(), // DffRl / SdffRl: active low
-    };
-    let unknown = rv.x;
-    let state = state.force(active, false);
-    // Where the reset *might* be active and the state isn't already 0,
-    // the state is unknown.
-    state.blend(PVal::XX, unknown & !state.def0())
 }
 
 /// Scalar (single-pattern) good simulation — the reference the packed
@@ -200,7 +247,7 @@ pub fn simulate_good_scalar(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClockBinding, CycleSpec};
+    use crate::{ClockBinding, CycleSpec, FrameSpec};
     use occ_netlist::NetlistBuilder;
 
     /// Two-domain toy: dom-A flop feeds an inverter into dom-B flop.
@@ -322,5 +369,30 @@ mod tests {
         let fa = nl.find("fa").unwrap();
         assert_eq!(g.frames[0][fa.index()].slot(0), Logic::One);
         assert_eq!(g.frames[0][fa.index()].slot(1), Logic::Zero);
+    }
+
+    #[test]
+    fn incremental_hold_pi_frames_match_full_eval() {
+        // The same multi-frame procedure with and without hold_pi, fed
+        // identical per-frame PI values: the incremental path (hold_pi)
+        // must produce exactly the frames of the full re-eval path.
+        let (nl, cka, ckb) = two_domain();
+        let model = model_of(&nl, cka, ckb);
+        let hold = FrameSpec::new("h", vec![CycleSpec::pulsing(&[0, 1]); 3]).hold_pi(true);
+        let free = FrameSpec::new("f", vec![CycleSpec::pulsing(&[0, 1]); 3]);
+
+        let mut ph = Pattern::empty(&model, &hold, 0);
+        ph.scan_load = vec![Logic::One, Logic::Zero];
+        ph.pis[0] = vec![Logic::One];
+        let mut pf = Pattern::empty(&model, &free, 0);
+        pf.scan_load = vec![Logic::One, Logic::Zero];
+        for f in &mut pf.pis {
+            f[0] = Logic::One; // same value every frame
+        }
+
+        let gh = simulate_good(&model, &hold, &[ph]);
+        let gf = simulate_good(&model, &free, &[pf]);
+        assert_eq!(gh.frames, gf.frames);
+        assert_eq!(gh.states, gf.states);
     }
 }

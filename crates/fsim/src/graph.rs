@@ -1,0 +1,601 @@
+//! The compiled simulation graph: a flat, cache-friendly view of a
+//! [`CaptureModel`](crate::CaptureModel) built once and shared by every
+//! simulation kernel.
+//!
+//! [`SimGraph`] replaces per-event `Cell`/`CellKind` lookups with dense
+//! arrays:
+//!
+//! * CSR fanin/fanout edge arrays (`u32` indices, one allocation each);
+//! * one [`OpCode`] byte per cell instead of the payload-carrying
+//!   [`CellKind`](occ_netlist::CellKind);
+//! * the levelized evaluation order and per-cell levels, flattened;
+//! * per-flop capture metadata (D/SE/SI sources, reset pin and
+//!   polarity) so the capture step never re-inspects pin lists;
+//! * two precomputed **observability cones** — the set of cells from
+//!   which any scan flop (and optionally any observed primary output)
+//!   is reachable. A fault whose effect cell lies outside the cone can
+//!   never produce an observable difference, so the fault simulator
+//!   rejects it in O(1) without propagating a single event.
+//!
+//! Fanout entries used for difference propagation are pre-filtered the
+//! way the PPSFP engine consumes them: combinational sinks are stored
+//! as plain cell indices, flop sinks as tagged flop indices, and sinks
+//! the engine never propagates into (latches, clock gates, RAM macros)
+//! are dropped at compile time.
+
+use crate::model::FlopInfo;
+use crate::pval::PVal;
+use occ_netlist::{CellId, CellKind, Netlist};
+
+/// Dense per-cell operation code — the kernel's one-byte replacement
+/// for [`CellKind`](occ_netlist::CellKind) dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Primary input (never evaluated; a source).
+    Source,
+    /// Constant 0.
+    Tie0,
+    /// Constant 1.
+    Tie1,
+    /// Constant X.
+    TieX,
+    /// Buffer / primary-output marker (mirrors its input).
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND.
+    And,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary OR.
+    Or,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR.
+    Xor,
+    /// N-ary XNOR.
+    Xnor,
+    /// 2-to-1 mux (`[sel, d0, d1]`).
+    Mux2,
+    /// Stateful cell (flop, latch, clock gate, RAM): holds its frame
+    /// value, never re-evaluated combinationally.
+    State,
+}
+
+impl OpCode {
+    fn of(kind: CellKind) -> OpCode {
+        match kind {
+            CellKind::Input => OpCode::Source,
+            CellKind::Tie0 => OpCode::Tie0,
+            CellKind::Tie1 => OpCode::Tie1,
+            CellKind::TieX => OpCode::TieX,
+            CellKind::Buf | CellKind::Output => OpCode::Buf,
+            CellKind::Not => OpCode::Not,
+            CellKind::And => OpCode::And,
+            CellKind::Nand => OpCode::Nand,
+            CellKind::Or => OpCode::Or,
+            CellKind::Nor => OpCode::Nor,
+            CellKind::Xor => OpCode::Xor,
+            CellKind::Xnor => OpCode::Xnor,
+            CellKind::Mux2 => OpCode::Mux2,
+            _ => OpCode::State,
+        }
+    }
+}
+
+/// Per-flop capture metadata, precomputed so the per-frame state step
+/// is pure array reads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlopMeta {
+    /// The flop cell index.
+    pub cell: u32,
+    /// Clock domain pulsing this flop.
+    pub domain: u32,
+    /// Scan (mux-scan) flop: capture samples `mux2(se, d, si)`.
+    pub mux_scan: bool,
+    /// Source cell of the D pin.
+    pub d: u32,
+    /// Source cell of the SE pin (valid when `mux_scan`).
+    pub se: u32,
+    /// Source cell of the SI pin (valid when `mux_scan`).
+    pub si: u32,
+    /// Source cell of the asynchronous reset pin, or [`NO_RESET`].
+    pub reset: u32,
+    /// True when the reset is active-high (`DffRh`).
+    pub reset_high: bool,
+}
+
+impl FlopMeta {
+    /// The value this flop captures on a clock pulse, reading pin
+    /// sources through `read` (scan flops sample `mux2(se, d, si)`).
+    #[inline]
+    pub(crate) fn sample<F: FnMut(u32) -> PVal>(&self, mut read: F) -> PVal {
+        if self.mux_scan {
+            PVal::mux2(read(self.se), read(self.d), read(self.si))
+        } else {
+            read(self.d)
+        }
+    }
+
+    /// Applies asynchronous-reset semantics to a captured state given
+    /// the reset net's value: force 0 where the reset is definitely
+    /// active; where it *might* be active and the state isn't already
+    /// 0, the state is unknown. Callers check [`FlopMeta::reset`]
+    /// against [`NO_RESET`] first.
+    #[inline]
+    pub(crate) fn apply_reset(&self, state: PVal, rv: PVal) -> PVal {
+        let active = if self.reset_high {
+            rv.def1()
+        } else {
+            rv.def0()
+        };
+        let forced = state.force(active, false);
+        forced.blend(PVal::XX, rv.x & !forced.def0())
+    }
+}
+
+/// Sentinel for [`FlopMeta::reset`]: the flop has no reset pin.
+pub(crate) const NO_RESET: u32 = u32::MAX;
+
+/// Tag bit marking a propagation-fanout entry as a flop index.
+pub(crate) const FLOP_TAG: u32 = 1 << 31;
+
+/// Aggregate counters a compiled kernel reports: the static shape of
+/// the graph plus the dynamic work performed since the engine was
+/// created. Collected into
+/// [`FlowReport`](../occ_flow/struct.FlowReport.html)s and the
+/// `fsim_bench` perf baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Cells compiled into the graph.
+    pub cells: usize,
+    /// Combinational cells in the levelized evaluation order.
+    pub comb_cells: usize,
+    /// Flops tracked by the capture step.
+    pub flops: usize,
+    /// Cells inside the scan-observability cone (POs excluded).
+    pub cone_scan: usize,
+    /// Cells inside the scan+PO observability cone.
+    pub cone_po: usize,
+    /// Faults graded through the kernel.
+    pub faults_graded: u64,
+    /// Faults rejected by the cone test without any propagation.
+    pub cone_pruned: u64,
+    /// Events propagated: cell evaluations plus flop-capture
+    /// computations.
+    pub events: u64,
+}
+
+impl KernelStats {
+    /// Merges the dynamic counters of `other` into `self` (static graph
+    /// shape fields are taken from `self` when set, `other` otherwise).
+    pub fn absorb(&mut self, other: &KernelStats) {
+        if self.cells == 0 {
+            self.cells = other.cells;
+            self.comb_cells = other.comb_cells;
+            self.flops = other.flops;
+            self.cone_scan = other.cone_scan;
+            self.cone_po = other.cone_po;
+        }
+        self.faults_graded += other.faults_graded;
+        self.cone_pruned += other.cone_pruned;
+        self.events += other.events;
+    }
+}
+
+/// A word-packed bitset over cell indices.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The compiled, immutable simulation graph shared by the good-machine
+/// simulator and every [`FaultSim`](crate::FaultSim) scratch arena.
+///
+/// Built once inside [`CaptureModel::new`](crate::CaptureModel::new)
+/// and reached through
+/// [`CaptureModel::graph`](crate::CaptureModel::graph); cloning the
+/// model shares the graph (it sits behind an `Arc`).
+#[derive(Debug)]
+pub struct SimGraph {
+    n_cells: usize,
+    ops: Vec<OpCode>,
+    level: Vec<u32>,
+    levels: usize,
+    order: Vec<u32>,
+    fanin_start: Vec<u32>,
+    fanin: Vec<u32>,
+    // Propagation fanouts: comb sinks as cell indices, flop sinks as
+    // FLOP_TAG | flop_index; non-propagating sinks dropped.
+    fo_start: Vec<u32>,
+    fo: Vec<u32>,
+    ties: Vec<(u32, PVal)>,
+    flops: Vec<FlopMeta>,
+    pos: Vec<u32>,
+    obs_scan: BitSet,
+    obs_po: BitSet,
+}
+
+impl SimGraph {
+    /// Compiles the graph from the model's netlist and flop table.
+    pub(crate) fn compile(netlist: &Netlist, flops: &[FlopInfo]) -> SimGraph {
+        let n = netlist.len();
+        let lev = netlist.levelization();
+
+        let mut ops = Vec::with_capacity(n);
+        let mut ties = Vec::new();
+        for (id, cell) in netlist.iter() {
+            let op = OpCode::of(cell.kind());
+            match op {
+                OpCode::Tie0 => ties.push((id.index() as u32, PVal::ZERO)),
+                OpCode::Tie1 => ties.push((id.index() as u32, PVal::ONE)),
+                _ => {}
+            }
+            ops.push(op);
+        }
+
+        // CSR fanins (all pins of all cells, in pin order).
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin = Vec::with_capacity(netlist.fanin_edge_count());
+        fanin_start.push(0);
+        for (_, cell) in netlist.iter() {
+            for &src in cell.inputs() {
+                fanin.push(src.index() as u32);
+            }
+            fanin_start.push(fanin.len() as u32);
+        }
+
+        // Flop metadata + cell -> flop index map.
+        let mut flop_of_cell = vec![u32::MAX; n];
+        let mut metas = Vec::with_capacity(flops.len());
+        for (fi, info) in flops.iter().enumerate() {
+            flop_of_cell[info.cell.index()] = fi as u32;
+            let cell = netlist.cell(info.cell);
+            let pins = cell.inputs();
+            let mux_scan = cell.kind().is_scan_flop();
+            let (reset, reset_high) = match cell.reset() {
+                Some(r) => (r.index() as u32, cell.kind() == CellKind::DffRh),
+                None => (NO_RESET, false),
+            };
+            metas.push(FlopMeta {
+                cell: info.cell.index() as u32,
+                domain: info.domain as u32,
+                mux_scan,
+                d: pins[0].index() as u32,
+                se: if mux_scan { pins[2].index() as u32 } else { 0 },
+                si: if mux_scan { pins[3].index() as u32 } else { 0 },
+                reset,
+                reset_high,
+            });
+        }
+
+        // CSR propagation fanouts, pre-filtered and pre-tagged exactly
+        // the way the PPSFP engine walks them.
+        let mut fo_start = Vec::with_capacity(n + 1);
+        let mut fo = Vec::with_capacity(netlist.fanout_edge_count());
+        fo_start.push(0);
+        for id in netlist.ids() {
+            for &sink in netlist.fanouts(id) {
+                let kind = netlist.cell(sink).kind();
+                if kind.is_flop() {
+                    let fi = flop_of_cell[sink.index()];
+                    if fi != u32::MAX {
+                        fo.push(FLOP_TAG | fi);
+                    }
+                } else if kind.is_combinational() {
+                    fo.push(sink.index() as u32);
+                }
+            }
+            fo_start.push(fo.len() as u32);
+        }
+
+        let order: Vec<u32> = lev.order().iter().map(|id| id.index() as u32).collect();
+        let pos: Vec<u32> = netlist
+            .primary_outputs()
+            .iter()
+            .map(|id| id.index() as u32)
+            .collect();
+
+        // Observability cones: backward reachability over fanin edges
+        // from the observation roots. Over-approximate (it traverses
+        // every pin, including clock pins the engine never samples
+        // through) — pruning stays sound, it just prunes a little less.
+        let scan_roots: Vec<u32> = metas
+            .iter()
+            .zip(flops)
+            .filter(|(_, info)| info.is_scan)
+            .map(|(m, _)| m.cell)
+            .collect();
+        let obs_scan = backward_cone(&fanin_start, &fanin, scan_roots.iter().copied(), n);
+        let obs_po = backward_cone(
+            &fanin_start,
+            &fanin,
+            scan_roots.iter().copied().chain(pos.iter().copied()),
+            n,
+        );
+
+        SimGraph {
+            n_cells: n,
+            ops,
+            level: lev.levels().to_vec(),
+            levels: lev.max_level() as usize + 1,
+            order,
+            fanin_start,
+            fanin,
+            fo_start,
+            fo,
+            ties,
+            flops: metas,
+            pos,
+            obs_scan,
+            obs_po,
+        }
+    }
+
+    /// Number of cells compiled.
+    pub fn cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Number of combinational cells in the evaluation order.
+    pub fn comb_cells(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of flops tracked by the capture step.
+    pub fn flop_count(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Number of levelized worklist buckets (`max_level + 1`).
+    pub fn bucket_count(&self) -> usize {
+        self.levels
+    }
+
+    /// Cells inside the observability cone (`with_po` adds primary
+    /// outputs to the scan-flop observation roots).
+    pub fn cone_size(&self, with_po: bool) -> usize {
+        if with_po {
+            self.obs_po.count()
+        } else {
+            self.obs_scan.count()
+        }
+    }
+
+    /// True when a difference at `cell` can reach an observation point:
+    /// a scan flop, or (when `with_po`) an observed primary output.
+    ///
+    /// A fault whose effect cell is *not* observable can never be
+    /// detected, so fault simulation rejects it without propagation.
+    /// The cone is an over-approximation: `observable` never returns
+    /// `false` for a detectable fault.
+    #[inline]
+    pub fn observable(&self, cell: CellId, with_po: bool) -> bool {
+        if with_po {
+            self.obs_po.get(cell.index())
+        } else {
+            self.obs_scan.get(cell.index())
+        }
+    }
+
+    /// The static-shape half of [`KernelStats`].
+    pub fn static_stats(&self) -> KernelStats {
+        KernelStats {
+            cells: self.n_cells,
+            comb_cells: self.order.len(),
+            flops: self.flops.len(),
+            cone_scan: self.obs_scan.count(),
+            cone_po: self.obs_po.count(),
+            ..KernelStats::default()
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op(&self, cell: usize) -> OpCode {
+        self.ops[cell]
+    }
+
+    #[inline]
+    pub(crate) fn level_of(&self, cell: usize) -> u32 {
+        self.level[cell]
+    }
+
+    #[inline]
+    pub(crate) fn fanins(&self, cell: usize) -> &[u32] {
+        &self.fanin[self.fanin_start[cell] as usize..self.fanin_start[cell + 1] as usize]
+    }
+
+    #[inline]
+    pub(crate) fn prop_fanouts(&self, cell: usize) -> &[u32] {
+        &self.fo[self.fo_start[cell] as usize..self.fo_start[cell + 1] as usize]
+    }
+
+    #[inline]
+    pub(crate) fn comb_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    #[inline]
+    pub(crate) fn tie_values(&self) -> &[(u32, PVal)] {
+        &self.ties
+    }
+
+    #[inline]
+    pub(crate) fn flop_meta(&self, fi: usize) -> &FlopMeta {
+        &self.flops[fi]
+    }
+
+    #[inline]
+    pub(crate) fn po_cells(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// Evaluates one combinational cell, reading operand `pin` (driven
+    /// by cell `src`) through `read`. Mirrors
+    /// [`eval_packed`](crate::eval_packed) exactly; `Source`/`State`
+    /// cells yield `X` (callers never evaluate them).
+    #[inline]
+    pub(crate) fn eval_cell<F: FnMut(usize, u32) -> PVal>(&self, cell: usize, mut read: F) -> PVal {
+        let f = self.fanins(cell);
+        match self.ops[cell] {
+            OpCode::Tie0 => PVal::ZERO,
+            OpCode::Tie1 => PVal::ONE,
+            OpCode::Buf => read(0, f[0]),
+            OpCode::Not => read(0, f[0]).not(),
+            OpCode::And => fold(f, PVal::ONE, PVal::and, &mut read),
+            OpCode::Nand => fold(f, PVal::ONE, PVal::and, &mut read).not(),
+            OpCode::Or => fold(f, PVal::ZERO, PVal::or, &mut read),
+            OpCode::Nor => fold(f, PVal::ZERO, PVal::or, &mut read).not(),
+            OpCode::Xor => fold(f, PVal::ZERO, PVal::xor, &mut read),
+            OpCode::Xnor => fold(f, PVal::ZERO, PVal::xor, &mut read).not(),
+            OpCode::Mux2 => PVal::mux2(read(0, f[0]), read(1, f[1]), read(2, f[2])),
+            OpCode::TieX | OpCode::Source | OpCode::State => PVal::XX,
+        }
+    }
+}
+
+#[inline]
+fn fold<F: FnMut(usize, u32) -> PVal>(
+    fanins: &[u32],
+    init: PVal,
+    op: fn(PVal, PVal) -> PVal,
+    read: &mut F,
+) -> PVal {
+    let mut acc = init;
+    for (pin, &src) in fanins.iter().enumerate() {
+        acc = op(acc, read(pin, src));
+    }
+    acc
+}
+
+/// Backward reachability from `roots` over the CSR fanin edges.
+fn backward_cone(
+    fanin_start: &[u32],
+    fanin: &[u32],
+    roots: impl Iterator<Item = u32>,
+    n: usize,
+) -> BitSet {
+    let mut seen = BitSet::new(n);
+    let mut stack: Vec<u32> = Vec::new();
+    for r in roots {
+        if !seen.get(r as usize) {
+            seen.set(r as usize);
+            stack.push(r);
+        }
+    }
+    while let Some(c) = stack.pop() {
+        let cu = c as usize;
+        for &src in &fanin[fanin_start[cu] as usize..fanin_start[cu + 1] as usize] {
+            if !seen.get(src as usize) {
+                seen.set(src as usize);
+                stack.push(src);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CaptureModel, ClockBinding};
+    use occ_netlist::{Logic, NetlistBuilder};
+
+    fn model_with_dead_logic() -> (occ_netlist::Netlist, CellId, CellId, CellId) {
+        // f0 -> g -> f1 observable; `dead` drives nothing observable.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let f0 = b.sdff(d, clk, se, si);
+        let g = b.and2(f0, d);
+        let f1 = b.sdff(g, clk, se, f0);
+        b.output("q", f1);
+        let dead_src = b.input("dead_in");
+        let dead = b.not(dead_src);
+        b.output("dead_po", dead);
+        let nl = b.finish().unwrap();
+        (nl, g, dead, clk)
+    }
+
+    fn capture(nl: &occ_netlist::Netlist, clk: CellId) -> CaptureModel<'_> {
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        CaptureModel::new(nl, binding).unwrap()
+    }
+
+    #[test]
+    fn cone_separates_scan_and_po_observability() {
+        let (nl, g, dead, clk) = model_with_dead_logic();
+        let m = capture(&nl, clk);
+        let graph = m.graph();
+        // `g` reaches a scan flop: observable under both cones.
+        assert!(graph.observable(g, false));
+        assert!(graph.observable(g, true));
+        // `dead` only reaches a PO: observable only with POs strobed.
+        assert!(!graph.observable(dead, false));
+        assert!(graph.observable(dead, true));
+        assert!(graph.cone_size(true) > graph.cone_size(false));
+    }
+
+    #[test]
+    fn graph_shape_matches_netlist() {
+        let (nl, _, _, clk) = model_with_dead_logic();
+        let m = capture(&nl, clk);
+        let graph = m.graph();
+        assert_eq!(graph.cells(), nl.len());
+        assert_eq!(graph.comb_cells(), nl.levelization().order().len());
+        assert_eq!(graph.flop_count(), m.flops().len());
+        assert_eq!(
+            graph.bucket_count(),
+            nl.levelization().max_level() as usize + 1
+        );
+        let stats = graph.static_stats();
+        assert_eq!(stats.cells, nl.len());
+        assert_eq!(stats.cone_po, graph.cone_size(true));
+    }
+
+    #[test]
+    fn eval_cell_matches_eval_packed() {
+        use crate::pval::eval_packed;
+        let (nl, _, _, clk) = model_with_dead_logic();
+        let m = capture(&nl, clk);
+        let graph = m.graph();
+        let vals: Vec<PVal> = (0..nl.len())
+            .map(|i| PVal::canon(0x5a5a ^ i as u64, (i as u64).rotate_left(17)))
+            .collect();
+        for &c in graph.comb_order() {
+            let cell = nl.cell(CellId::from_index(c as usize));
+            let ins: Vec<PVal> = cell.inputs().iter().map(|s| vals[s.index()]).collect();
+            let want = eval_packed(cell.kind(), &ins).unwrap();
+            let got = graph.eval_cell(c as usize, |_, src| vals[src as usize]);
+            assert_eq!(got, want, "cell {c}");
+        }
+    }
+}

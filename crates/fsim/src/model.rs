@@ -1,11 +1,13 @@
 //! The capture model: a netlist bound to clock domains and test
 //! constraints, ready for multi-frame simulation and ATPG.
 
+use crate::graph::SimGraph;
 use crate::DomainId;
 use occ_netlist::{CellId, CellKind, Logic, Netlist};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Binding of a netlist to its test configuration: which input ports are
 /// clocks (one per functional domain), which are constrained to fixed
@@ -133,6 +135,7 @@ pub struct CaptureModel<'a> {
     free_pis: Vec<CellId>,
     forced: Vec<(CellId, Logic)>,
     masked: Vec<CellId>,
+    graph: Arc<SimGraph>,
 }
 
 impl<'a> CaptureModel<'a> {
@@ -199,6 +202,7 @@ impl<'a> CaptureModel<'a> {
             .collect();
 
         let masked = binding.masked.clone();
+        let graph = Arc::new(SimGraph::compile(netlist, &flops));
         Ok(CaptureModel {
             netlist,
             binding,
@@ -208,7 +212,17 @@ impl<'a> CaptureModel<'a> {
             free_pis,
             forced,
             masked,
+            graph,
         })
+    }
+
+    /// The simulation graph compiled for this model: flattened CSR
+    /// edges, dense op codes, levelized order, flop capture metadata
+    /// and the precomputed observability cones. Compiled once in
+    /// [`CaptureModel::new`]; clones of the model share it.
+    #[inline]
+    pub fn graph(&self) -> &SimGraph {
+        &self.graph
     }
 
     /// The underlying netlist.

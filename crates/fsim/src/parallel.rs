@@ -21,12 +21,18 @@
 
 use crate::faultsim::FaultSim;
 use crate::goodsim::GoodBatch;
+use crate::graph::KernelStats;
 use crate::{CaptureModel, FrameSpec};
 use occ_fault::{Fault, FaultList, FaultStatus};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
 /// Default number of faults per scheduling block.
 const DEFAULT_BLOCK: usize = 128;
+
+/// One worker shard's output: `(block start, masks)` pairs plus the
+/// worker's kernel counters.
+type ShardResult = (Vec<(usize, Vec<u64>)>, KernelStats);
 
 /// A fault-partition scheduler running the PPSFP engine on worker
 /// threads with per-thread scratch arenas.
@@ -75,6 +81,11 @@ pub struct ParallelFaultSim<'m, 'a> {
     // ATPG compaction loop grades one pattern at a time; rebuilding
     // the scratch arenas per call would dominate).
     scratch: Option<FaultSim<'m, 'a>>,
+    // Kernel work counters merged back from worker shards (atomic so
+    // `detect_many(&self)` can record them).
+    faults_graded: AtomicU64,
+    cone_pruned: AtomicU64,
+    events: AtomicU64,
 }
 
 impl<'m, 'a> ParallelFaultSim<'m, 'a> {
@@ -92,7 +103,23 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
             threads: threads.max(1),
             block: DEFAULT_BLOCK,
             scratch: None,
+            faults_graded: AtomicU64::new(0),
+            cone_pruned: AtomicU64::new(0),
+            events: AtomicU64::new(0),
         }
+    }
+
+    /// Kernel statistics aggregated over every shard this scheduler has
+    /// run (plus the cached serial scratch engine, when used).
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut s = self.model.graph().static_stats();
+        s.faults_graded = self.faults_graded.load(Ordering::Relaxed);
+        s.cone_pruned = self.cone_pruned.load(Ordering::Relaxed);
+        s.events = self.events.load(Ordering::Relaxed);
+        if let Some(scratch) = &self.scratch {
+            s.absorb(&scratch.kernel_stats());
+        }
+        s
     }
 
     /// Overrides the scheduling block size (faults handed to a worker
@@ -143,14 +170,17 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
         // Below roughly one block per worker the spawn overhead cannot
         // pay for itself; fall through to the serial engine.
         if self.threads == 1 || faults.len() <= self.block {
-            return FaultSim::new(self.model).detect_many(spec, good, faults);
+            let mut engine = FaultSim::new(self.model);
+            let masks = engine.detect_many(spec, good, faults);
+            self.merge_stats(&engine.kernel_stats());
+            return masks;
         }
 
         let n_blocks = faults.len().div_ceil(self.block);
         let workers = self.threads.min(n_blocks);
         let mut out = vec![0u64; faults.len()];
 
-        let shards: Vec<Vec<(usize, Vec<u64>)>> = thread::scope(|scope| {
+        let shards: Vec<ShardResult> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|t| {
                     scope.spawn(move || {
@@ -166,7 +196,7 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
                             results.push((start, masks));
                             b += workers;
                         }
-                        results
+                        (results, engine.kernel_stats())
                     })
                 })
                 .collect();
@@ -177,10 +207,21 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
         });
 
         // Deterministic merge: each block owns a disjoint index range.
-        for (start, masks) in shards.into_iter().flatten() {
-            out[start..start + masks.len()].copy_from_slice(&masks);
+        for (results, stats) in shards {
+            self.merge_stats(&stats);
+            for (start, masks) in results {
+                out[start..start + masks.len()].copy_from_slice(&masks);
+            }
         }
         out
+    }
+
+    fn merge_stats(&self, stats: &KernelStats) {
+        self.faults_graded
+            .fetch_add(stats.faults_graded, Ordering::Relaxed);
+        self.cone_pruned
+            .fetch_add(stats.cone_pruned, Ordering::Relaxed);
+        self.events.fetch_add(stats.events, Ordering::Relaxed);
     }
 
     /// Grades every fault of `list` that is not yet detected against

@@ -1,0 +1,323 @@
+//! The retained pre-kernel PPSFP engine.
+//!
+//! [`ReferenceFaultSim`] is a byte-for-byte port of the original
+//! allocation-heavy `FaultSim::detect` hot path: per-frame `Vec`s for
+//! the carried state and flop candidates (with `sort_unstable` +
+//! `dedup`), `HashMap`s for the state diffs, and a fresh input `Vec`
+//! per cell evaluation. It is kept for two jobs:
+//!
+//! * **correctness oracle** — the compiled kernel in
+//!   [`FaultSim`](crate::FaultSim) must produce bit-identical detection
+//!   masks (cross-checked in `tests/kernel_equivalence.rs`);
+//! * **perf baseline** — `fsim_bench` times it against the kernel so
+//!   the speedup from allocation removal and cone pruning is recorded
+//!   in `BENCH_fsim.json` instead of vanishing with the old code.
+//!
+//! Do not use it in flows: it is strictly slower than
+//! [`FaultSim`](crate::FaultSim) and gains no new features.
+
+use crate::faultsim::{forced_val, site_node};
+use crate::goodsim::GoodBatch;
+use crate::pval::{eval_packed, PVal};
+use crate::{CaptureModel, FrameSpec};
+use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
+use occ_netlist::{CellId, CellKind};
+
+/// The pre-kernel PPSFP engine, bound to one capture model.
+///
+/// Semantics are identical to [`FaultSim`](crate::FaultSim) — same
+/// detection masks for every fault, procedure and batch — but every
+/// frame allocates its worklists and state maps. See the module docs
+/// for why it is kept.
+#[derive(Debug)]
+pub struct ReferenceFaultSim<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    // Faulty node values with generation stamps (valid when stamp==gen).
+    fval: Vec<PVal>,
+    fstamp: Vec<u32>,
+    gen: u32,
+    // Levelized worklist buckets and enqueue stamps.
+    buckets: Vec<Vec<u32>>,
+    enq: Vec<u32>,
+    // Touched-flop dedup stamps.
+    flop_stamp: Vec<u32>,
+}
+
+impl<'m, 'a> ReferenceFaultSim<'m, 'a> {
+    /// Creates an engine with scratch space sized for the model.
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        let n = model.netlist().len();
+        let levels = model.netlist().levelization().max_level() as usize + 1;
+        ReferenceFaultSim {
+            model,
+            fval: vec![PVal::XX; n],
+            fstamp: vec![0; n],
+            gen: 0,
+            buckets: vec![Vec::new(); levels],
+            enq: vec![0; n],
+            flop_stamp: vec![0; model.flops().len()],
+        }
+    }
+
+    /// Returns the detection mask (bit per pattern) for one fault.
+    pub fn detect(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        let site_node = site_node(self.model, fault.site());
+        let frames = spec.frames();
+
+        // Launch requirement for transition faults.
+        let launch_mask = match fault.model() {
+            FaultModel::StuckAt => good.valid_mask,
+            FaultModel::Transition => {
+                if frames < 2 {
+                    return 0;
+                }
+                let before = good.frames[frames - 2][site_node.index()];
+                let after = good.frames[frames - 1][site_node.index()];
+                let m = match fault.polarity() {
+                    Polarity::P0 => before.def0() & after.def1(), // slow-to-rise
+                    Polarity::P1 => before.def1() & after.def0(), // slow-to-fall
+                };
+                m & good.valid_mask
+            }
+        };
+        if launch_mask == 0 {
+            return 0;
+        }
+
+        let first_active = match fault.model() {
+            FaultModel::StuckAt => 1,
+            FaultModel::Transition => frames,
+        };
+
+        let mut fstate: Vec<(u32, PVal)> = Vec::new();
+        let mut po_diff = 0u64;
+
+        for k in first_active..=frames {
+            let active = match fault.model() {
+                FaultModel::StuckAt => true,
+                FaultModel::Transition => k == frames,
+            };
+            if !active && fstate.is_empty() {
+                continue;
+            }
+
+            self.gen += 1;
+            let gvals = &good.frames[k - 1];
+            let mut touched_flops: Vec<u32> = Vec::new();
+
+            // Seed 1: carried-in state differences.
+            let carried: Vec<(u32, PVal)> = fstate.clone();
+            for (fi, fv) in carried {
+                let cell = self.model.flops()[fi as usize].cell;
+                self.fval[cell.index()] = fv;
+                self.fstamp[cell.index()] = self.gen;
+                self.push_fanouts(cell, &mut touched_flops);
+            }
+
+            // Seed 2: the fault site.
+            if active {
+                match fault.site() {
+                    FaultSite::Output(c) => {
+                        let forced = forced_val(fault.polarity());
+                        self.fval[c.index()] = forced;
+                        self.fstamp[c.index()] = self.gen;
+                        if forced != gvals[c.index()] {
+                            self.push_fanouts(c, &mut touched_flops);
+                        }
+                    }
+                    FaultSite::Input { cell, .. } => {
+                        // Evaluate the consuming cell with the pin forced.
+                        let v = self.eval_faulty(cell, gvals, Some(fault));
+                        if v != gvals[cell.index()] {
+                            self.fval[cell.index()] = v;
+                            self.fstamp[cell.index()] = self.gen;
+                            self.push_fanouts(cell, &mut touched_flops);
+                        }
+                    }
+                }
+            }
+
+            // Propagate level by level.
+            for lvl in 0..self.buckets.len() {
+                while let Some(raw) = self.buckets[lvl].pop() {
+                    let id = CellId::from_index(raw as usize);
+                    // The forced output site never re-evaluates.
+                    if active && fault.site() == FaultSite::Output(id) {
+                        continue;
+                    }
+                    let pin_fault = match fault.site() {
+                        FaultSite::Input { cell, .. } if active && cell == id => Some(fault),
+                        _ => None,
+                    };
+                    let was_stamped = self.fstamp[id.index()] == self.gen;
+                    let v = self.eval_faulty(id, gvals, pin_fault);
+                    if was_stamped {
+                        // Re-evaluation of an already-seeded node (an
+                        // input-site cell reached again from upstream):
+                        // refresh and re-notify; dedup keeps this cheap.
+                        self.fval[id.index()] = v;
+                        self.push_fanouts(id, &mut touched_flops);
+                    } else if v != gvals[id.index()] {
+                        self.fval[id.index()] = v;
+                        self.fstamp[id.index()] = self.gen;
+                        self.push_fanouts(id, &mut touched_flops);
+                    }
+                }
+            }
+
+            // Primary-output observation.
+            if spec.po_observe_frames().contains(&k) {
+                for &po in self.model.primary_outputs() {
+                    if self.fstamp[po.index()] == self.gen {
+                        po_diff |= gvals[po.index()].definite_diff(self.fval[po.index()]);
+                    }
+                }
+            }
+
+            // Next faulty state.
+            let cycle = &spec.cycles()[k - 1];
+            let mut next: Vec<(u32, PVal)> = Vec::new();
+            let mut candidates: Vec<u32> = fstate.iter().map(|&(fi, _)| fi).collect();
+            candidates.extend(touched_flops.iter().copied());
+            candidates.sort_unstable();
+            candidates.dedup();
+            let prev_state_diffs: std::collections::HashMap<u32, PVal> =
+                fstate.iter().copied().collect();
+            for fi in candidates {
+                let info = self.model.flops()[fi as usize];
+                let good_next = good.states[k][fi as usize];
+                let faulty_next = if cycle.pulses_domain(info.domain) {
+                    let sampled = self.sample_flop_faulty(info.cell, gvals);
+                    self.apply_reset_faulty(info.cell, gvals, sampled)
+                } else {
+                    prev_state_diffs
+                        .get(&fi)
+                        .copied()
+                        .unwrap_or(good.states[k - 1][fi as usize])
+                };
+                if faulty_next != good_next {
+                    next.push((fi, faulty_next));
+                }
+            }
+            fstate = next;
+        }
+
+        // Detection: scan-state differences at unload + observed POs.
+        let mut detect = po_diff;
+        let final_state: std::collections::HashMap<u32, PVal> = fstate.into_iter().collect();
+        for &fi in self.model.scan_flops() {
+            let good_v = good.states[frames][fi as usize];
+            let mut faulty_v = final_state.get(&fi).copied().unwrap_or(good_v);
+            // A *stuck* output on the scan flop itself is observed
+            // directly during unload (the chain reads the Q net). A
+            // transition fault is not: unload shifting is slow, so the
+            // slow edge has settled by the time the chain samples.
+            if fault.model() == FaultModel::StuckAt {
+                if let FaultSite::Output(c) = fault.site() {
+                    if c == self.model.flops()[fi as usize].cell {
+                        faulty_v = forced_val(fault.polarity());
+                    }
+                }
+            }
+            detect |= good_v.definite_diff(faulty_v);
+        }
+
+        detect & launch_mask & good.valid_mask
+    }
+
+    /// Detects a batch of faults, returning one mask per fault.
+    pub fn detect_many(
+        &mut self,
+        spec: &FrameSpec,
+        good: &GoodBatch,
+        faults: &[Fault],
+    ) -> Vec<u64> {
+        faults.iter().map(|&f| self.detect(spec, good, f)).collect()
+    }
+
+    /// Evaluates one cell with faulty input values (and an optional pin
+    /// override for an active input-site fault on this cell).
+    fn eval_faulty(&self, id: CellId, gvals: &[PVal], pin_fault: Option<Fault>) -> PVal {
+        let cell = self.model.netlist().cell(id);
+        let kind = cell.kind();
+        if !kind.is_combinational() {
+            // Flop/latch/ram nodes keep their frame value.
+            return if self.fstamp[id.index()] == self.gen {
+                self.fval[id.index()]
+            } else {
+                gvals[id.index()]
+            };
+        }
+        let mut ins: Vec<PVal> = Vec::with_capacity(cell.inputs().len());
+        for &src in cell.inputs() {
+            ins.push(if self.fstamp[src.index()] == self.gen {
+                self.fval[src.index()]
+            } else {
+                gvals[src.index()]
+            });
+        }
+        if let Some(f) = pin_fault {
+            if let FaultSite::Input { pin, .. } = f.site() {
+                ins[pin as usize] = forced_val(f.polarity());
+            }
+        }
+        eval_packed(kind, &ins).unwrap_or(PVal::XX)
+    }
+
+    fn sample_flop_faulty(&self, flop: CellId, gvals: &[PVal]) -> PVal {
+        let cell = self.model.netlist().cell(flop);
+        let read = |src: CellId| {
+            if self.fstamp[src.index()] == self.gen {
+                self.fval[src.index()]
+            } else {
+                gvals[src.index()]
+            }
+        };
+        match cell.kind() {
+            CellKind::Sdff | CellKind::SdffRl => {
+                let d = read(cell.inputs()[0]);
+                let se = read(cell.inputs()[2]);
+                let si = read(cell.inputs()[3]);
+                PVal::mux2(se, d, si)
+            }
+            _ => read(cell.inputs()[0]),
+        }
+    }
+
+    fn apply_reset_faulty(&self, flop: CellId, gvals: &[PVal], state: PVal) -> PVal {
+        let cell = self.model.netlist().cell(flop);
+        let Some(rpin) = cell.reset() else {
+            return state;
+        };
+        let rv = if self.fstamp[rpin.index()] == self.gen {
+            self.fval[rpin.index()]
+        } else {
+            gvals[rpin.index()]
+        };
+        let active = match cell.kind() {
+            CellKind::DffRh => rv.def1(),
+            _ => rv.def0(),
+        };
+        let state = state.force(active, false);
+        state.blend(PVal::XX, rv.x & !state.def0())
+    }
+
+    fn push_fanouts(&mut self, id: CellId, touched_flops: &mut Vec<u32>) {
+        let netlist = self.model.netlist();
+        let lev = netlist.levelization();
+        for &f in netlist.fanouts(id) {
+            let kind = netlist.cell(f).kind();
+            if kind.is_flop() {
+                if let Some(fi) = self.model.flop_index(f) {
+                    if self.flop_stamp[fi] != self.gen {
+                        self.flop_stamp[fi] = self.gen;
+                        touched_flops.push(fi as u32);
+                    }
+                }
+            } else if kind.is_combinational() && self.enq[f.index()] != self.gen {
+                self.enq[f.index()] = self.gen;
+                self.buckets[lev.level(f) as usize].push(f.index() as u32);
+            }
+        }
+    }
+}

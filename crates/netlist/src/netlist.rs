@@ -75,6 +75,14 @@ impl Levelization {
     pub fn max_level(&self) -> u32 {
         self.max_level
     }
+
+    /// Per-cell levels indexed by [`CellId::index`] — the dense view
+    /// compiled simulation kernels flatten into their own arrays
+    /// (equivalent to calling [`Levelization::level`] per cell).
+    #[inline]
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
 }
 
 impl Netlist {
@@ -166,6 +174,18 @@ impl Netlist {
     #[inline]
     pub fn fanouts(&self, id: CellId) -> &[CellId] {
         &self.fanouts[id.index()]
+    }
+
+    /// Total number of fanout edges (the sum of all per-cell fanout
+    /// list lengths) — lets CSR compilers size their flattened edge
+    /// arrays in one allocation.
+    pub fn fanout_edge_count(&self) -> usize {
+        self.fanouts.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of fanin edges (the sum of all cell input counts).
+    pub fn fanin_edge_count(&self) -> usize {
+        self.cells.iter().map(|c| c.inputs().len()).sum()
     }
 
     /// The combinational levelization computed at build time.
