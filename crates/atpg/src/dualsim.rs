@@ -1,13 +1,31 @@
-//! Scalar good/faulty dual simulation — PODEM's value engine.
+//! Scalar good/faulty dual simulation — PODEM's value engines.
 //!
 //! Unlike the packed PPSFP simulator (which only reports detection),
 //! PODEM needs to *inspect* intermediate values: the fault-site value
 //! per frame, unjustified objectives, X nodes and difference nodes.
-//! This simulator keeps full good and faulty value arrays per frame for
-//! a single candidate pattern.
+//! Two engines provide that view for a single candidate pattern:
+//!
+//! * [`DualSim`] — the retained reference engine: full good and faulty
+//!   value arrays re-allocated and re-evaluated from scratch on every
+//!   call (the oracle the compiled engine is checked against);
+//! * [`DualGraphSim`] — the compiled engine riding the
+//!   [`SimGraph`](occ_fsim::SimGraph) (CSR fanin/fanout edges, dense
+//!   [`OpCode`](occ_fsim::OpCode)s, flattened levelization): frame
+//!   values live in flat reusable arrays, and when a PODEM decision
+//!   flips a single scan bit or PI only the changed cone is
+//!   re-simulated event-wise, frame by frame. Values are identical to
+//!   [`DualSim`] by construction (deterministic function composition —
+//!   a cell re-evaluates only after a fanin changed), which is what
+//!   makes [`CompiledPodem`](crate::CompiledPodem) decision-for-
+//!   decision identical to [`ReferencePodem`](crate::ReferencePodem).
+//!
+//! Both engines apply asynchronous resets to *both* machines every
+//! frame; see `occ_fsim::FaultSim::capture_flop` ("intended reset
+//! semantics") for the documented asymmetry against the packed engines
+//! and the shared contract all engines cite.
 
 use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
-use occ_fsim::{CaptureModel, FrameSpec, Pattern};
+use occ_fsim::{CaptureModel, FrameSpec, OpCode, Pattern, SimGraph, NO_RESET};
 use occ_netlist::{CellId, CellKind, Logic};
 
 /// Scalar dual-machine simulation state for one pattern and one fault.
@@ -63,16 +81,16 @@ impl<'m, 'a> DualSim<'m, 'a> {
                 FaultModel::StuckAt => true,
                 FaultModel::Transition => k == frames,
             };
-            let gvals = self.eval_frame(spec, pattern, k, &self.good_state[k - 1].clone(), None);
+            let gvals = self.eval_frame(spec, pattern, k, &self.good_state[k - 1], None);
             let fvals = self.eval_frame(
                 spec,
                 pattern,
                 k,
-                &self.faulty_state[k - 1].clone(),
+                &self.faulty_state[k - 1],
                 active.then_some(fault),
             );
-            let gnext = self.next_state(spec, k, &gvals, &self.good_state[k - 1].clone());
-            let fnext = self.next_state(spec, k, &fvals, &self.faulty_state[k - 1].clone());
+            let gnext = self.next_state(spec, k, &gvals, &self.good_state[k - 1]);
+            let fnext = self.next_state(spec, k, &fvals, &self.faulty_state[k - 1]);
             self.good.push(gvals);
             self.faulty.push(fvals);
             self.good_state.push(gnext);
@@ -243,6 +261,631 @@ pub(crate) fn polarity_logic(p: Polarity) -> Logic {
     match p {
         Polarity::P0 => Logic::Zero,
         Polarity::P1 => Logic::One,
+    }
+}
+
+/// Which of the two machines an internal pass operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Machine {
+    Good,
+    Faulty,
+}
+
+/// Compiled dual-machine value engine for PODEM, riding the
+/// [`SimGraph`] of the bound model.
+///
+/// The engine keeps both machines' node values for every frame in flat
+/// reusable arrays (`frame * cell` and `frame * flop` indexed — no
+/// per-call `Vec<Vec<Logic>>`). A run starts with one full simulation
+/// ([`DualGraphSim::begin`]); afterwards each PODEM decision notes the
+/// changed variable ([`DualGraphSim::note_scan`] /
+/// [`DualGraphSim::note_pi`]) and [`DualGraphSim::resimulate`] updates
+/// only the affected cone: changed sources are seeded into levelized
+/// worklist buckets, cells re-evaluate in level order, fanouts are
+/// notified only when a value actually moved, and flop captures
+/// recompute only for flops whose sample cone or entering state
+/// changed — carrying the dirt frame to frame.
+///
+/// Values are bit-identical to [`DualSim`] for the same (spec,
+/// pattern, fault): every cell is a pure function of its fanins, so
+/// re-evaluating exactly the changed cone reproduces the full
+/// re-evaluation. The equivalence sweep in `tests/atpg_equivalence.rs`
+/// checks this transitively through whole ATPG runs.
+///
+/// Reset semantics follow [`DualSim`] (both machines, every frame);
+/// see `occ_fsim::FaultSim::capture_flop` for the intended-semantics
+/// note shared by all engines.
+#[derive(Debug)]
+pub struct DualGraphSim<'m, 'a> {
+    model: &'m CaptureModel<'a>,
+    graph: &'m SimGraph,
+    /// Constant tie values, precomputed as scalars.
+    ties: Vec<(u32, Logic)>,
+    /// Bound frame count (0 until the first [`DualGraphSim::begin`]).
+    frames: usize,
+    /// Frame values, `(k-1) * cells + cell` (k 1-based).
+    good: Vec<Logic>,
+    faulty: Vec<Logic>,
+    /// Flop states, `k * flops + fi` (k 0-based; 0 is the load state).
+    good_state: Vec<Logic>,
+    faulty_state: Vec<Logic>,
+    /// The fault the arrays currently reflect.
+    cur_fault: Option<Fault>,
+    // Event-driven re-evaluation scratch (shared by both machines,
+    // used one frame at a time).
+    buckets: Vec<Vec<u32>>,
+    enq: Vec<u32>,
+    flop_stamp: Vec<u32>,
+    gen: u32,
+    touched: Vec<u32>,
+    // Decision-variable changes noted since the last (re)simulation.
+    dirty_scan: Vec<u32>,
+    dirty_pi: Vec<(u32, u32)>,
+    // Entering-state dirt, double-buffered across frames.
+    sdirty: Vec<u32>,
+    sdirty_next: Vec<u32>,
+    // Work counters.
+    events: u64,
+    incremental_resims: u64,
+    full_resims: u64,
+}
+
+impl<'m, 'a> DualGraphSim<'m, 'a> {
+    /// Creates an engine bound to the model's compiled graph. Scratch
+    /// arrays are sized lazily on the first [`DualGraphSim::begin`].
+    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+        let graph = model.graph();
+        let ties: Vec<(u32, Logic)> = model
+            .netlist()
+            .iter()
+            .filter_map(|(id, cell)| match cell.kind() {
+                CellKind::Tie0 => Some((id.index() as u32, Logic::Zero)),
+                CellKind::Tie1 => Some((id.index() as u32, Logic::One)),
+                _ => None,
+            })
+            .collect();
+        DualGraphSim {
+            model,
+            graph,
+            ties,
+            frames: 0,
+            good: Vec::new(),
+            faulty: Vec::new(),
+            good_state: Vec::new(),
+            faulty_state: Vec::new(),
+            cur_fault: None,
+            buckets: vec![Vec::new(); graph.bucket_count()],
+            enq: vec![0; graph.cells()],
+            flop_stamp: vec![0; graph.flop_count()],
+            gen: 0,
+            touched: Vec::new(),
+            dirty_scan: Vec::new(),
+            dirty_pi: Vec::new(),
+            sdirty: Vec::new(),
+            sdirty_next: Vec::new(),
+            events: 0,
+            incremental_resims: 0,
+            full_resims: 0,
+        }
+    }
+
+    /// The bound capture model.
+    pub fn model(&self) -> &'m CaptureModel<'a> {
+        self.model
+    }
+
+    /// Cell evaluations plus flop-capture computations performed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Incremental (changed-cone) re-simulations performed.
+    pub fn incremental_resims(&self) -> u64 {
+        self.incremental_resims
+    }
+
+    /// Full from-scratch simulations performed (one per PODEM run).
+    pub fn full_resims(&self) -> u64 {
+        self.full_resims
+    }
+
+    /// Good value of `cell` in 1-based `frame`.
+    #[inline]
+    pub fn good(&self, frame: usize, cell: CellId) -> Logic {
+        self.good[(frame - 1) * self.graph.cells() + cell.index()]
+    }
+
+    /// Faulty value of `cell` in 1-based `frame`.
+    #[inline]
+    pub fn faulty(&self, frame: usize, cell: CellId) -> Logic {
+        self.faulty[(frame - 1) * self.graph.cells() + cell.index()]
+    }
+
+    /// Good state of flop `fi` after cycle `k` (`k = 0` is the load).
+    #[inline]
+    pub fn good_state(&self, k: usize, fi: usize) -> Logic {
+        self.good_state[k * self.graph.flop_count() + fi]
+    }
+
+    /// Faulty state of flop `fi` after cycle `k`.
+    #[inline]
+    pub fn faulty_state(&self, k: usize, fi: usize) -> Logic {
+        self.faulty_state[k * self.graph.flop_count() + fi]
+    }
+
+    /// The node carrying the site value (driver for input-pin faults).
+    pub fn site_node(&self, site: FaultSite) -> CellId {
+        match site {
+            FaultSite::Output(c) => c,
+            FaultSite::Input { cell, pin } => {
+                self.model.netlist().cell(cell).inputs()[pin as usize]
+            }
+        }
+    }
+
+    /// Starts a PODEM run: full dual simulation of `pattern` with
+    /// `fault` injected in its active frames. Subsequent
+    /// [`DualGraphSim::resimulate`] calls update incrementally.
+    pub fn begin(&mut self, spec: &FrameSpec, pattern: &Pattern, fault: Fault) {
+        self.bind(spec);
+        self.full_resims += 1;
+        self.cur_fault = Some(fault);
+        self.dirty_scan.clear();
+        self.dirty_pi.clear();
+
+        let frames = spec.frames();
+        let n = self.graph.cells();
+        let nf = self.graph.flop_count();
+        self.good[..frames * n].fill(Logic::X);
+        self.faulty[..frames * n].fill(Logic::X);
+        self.good_state[..(frames + 1) * nf].fill(Logic::X);
+        self.faulty_state[..(frames + 1) * nf].fill(Logic::X);
+
+        for (si, &fi) in self.model.scan_flops().iter().enumerate() {
+            let v = pattern.scan_load[si];
+            self.good_state[fi as usize] = v;
+            self.faulty_state[fi as usize] = v;
+        }
+
+        for k in 1..=frames {
+            let active = fault_active(fault, k, frames);
+            self.eval_frame_full(Machine::Good, pattern, k, None);
+            self.eval_frame_full(Machine::Faulty, pattern, k, active.then_some(fault));
+            self.next_state_full(Machine::Good, spec, k);
+            self.next_state_full(Machine::Faulty, spec, k);
+        }
+    }
+
+    /// Notes that scan-load bit `si` changed since the last simulation.
+    #[inline]
+    pub fn note_scan(&mut self, si: usize) {
+        self.dirty_scan.push(si as u32);
+    }
+
+    /// Notes that free-PI `pi` of pattern frame `pframe` changed.
+    #[inline]
+    pub fn note_pi(&mut self, pi: usize, pframe: usize) {
+        self.dirty_pi.push((pi as u32, pframe as u32));
+    }
+
+    /// Re-simulates after the noted decision-variable changes,
+    /// re-evaluating only the affected cones of both machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`DualGraphSim::begin`].
+    pub fn resimulate(&mut self, spec: &FrameSpec, pattern: &Pattern) {
+        assert!(self.cur_fault.is_some(), "resimulate before begin");
+        if self.dirty_scan.is_empty() && self.dirty_pi.is_empty() {
+            return; // arrays already reflect the pattern
+        }
+        self.incremental_resims += 1;
+        self.machine_pass(Machine::Good, spec, pattern);
+        self.machine_pass(Machine::Faulty, spec, pattern);
+        self.dirty_scan.clear();
+        self.dirty_pi.clear();
+    }
+
+    /// Sizes the flat arrays for the spec (grow-only).
+    fn bind(&mut self, spec: &FrameSpec) {
+        let frames = spec.frames();
+        self.frames = frames;
+        let n = self.graph.cells();
+        let nf = self.graph.flop_count();
+        if self.good.len() < frames * n {
+            self.good.resize(frames * n, Logic::X);
+            self.faulty.resize(frames * n, Logic::X);
+        }
+        if self.good_state.len() < (frames + 1) * nf {
+            self.good_state.resize((frames + 1) * nf, Logic::X);
+            self.faulty_state.resize((frames + 1) * nf, Logic::X);
+        }
+    }
+
+    /// Full evaluation of one machine's frame `k`, mirroring
+    /// [`DualSim::simulate`]'s `eval_frame` over the graph.
+    fn eval_frame_full(
+        &mut self,
+        machine: Machine,
+        pattern: &Pattern,
+        k: usize,
+        fault: Option<Fault>,
+    ) {
+        let graph = self.graph;
+        let model = self.model;
+        let n = graph.cells();
+        let nf = graph.flop_count();
+        let (vals_all, state_all) = match machine {
+            Machine::Good => (&mut self.good, &self.good_state),
+            Machine::Faulty => (&mut self.faulty, &self.faulty_state),
+        };
+        let vals = &mut vals_all[(k - 1) * n..k * n];
+        let state = &state_all[(k - 1) * nf..k * nf];
+
+        for &(c, v) in &self.ties {
+            vals[c as usize] = v;
+        }
+        for &(c, v) in model.forced() {
+            vals[c.index()] = v;
+        }
+        for &c in model.masked() {
+            vals[c.index()] = Logic::X;
+        }
+        let pis = pattern.pis_for_frame(k);
+        for (i, &pi) in model.free_pis().iter().enumerate() {
+            vals[pi.index()] = pis[i];
+        }
+        for (fi, &s) in state.iter().enumerate() {
+            vals[graph.flop_meta(fi).cell as usize] = s;
+        }
+        let (out_site, in_site, forced) = decode_fault(fault);
+        if let Some(ci) = out_site {
+            vals[ci] = forced;
+        }
+        let mut events = 0u64;
+        for &c in graph.comb_order() {
+            let ci = c as usize;
+            if out_site == Some(ci) {
+                vals[ci] = forced;
+                continue;
+            }
+            let pin_fault = match in_site {
+                Some((cell, pin)) if cell == ci => Some((pin, forced)),
+                _ => None,
+            };
+            events += 1;
+            vals[ci] = eval_logic(graph, ci, vals, pin_fault);
+        }
+        self.events += events;
+    }
+
+    /// Full next-state computation of one machine after frame `k`,
+    /// mirroring [`DualSim::simulate`]'s `next_state`.
+    fn next_state_full(&mut self, machine: Machine, spec: &FrameSpec, k: usize) {
+        let graph = self.graph;
+        let n = graph.cells();
+        let nf = graph.flop_count();
+        let (vals_all, state_all) = match machine {
+            Machine::Good => (&self.good, &mut self.good_state),
+            Machine::Faulty => (&self.faulty, &mut self.faulty_state),
+        };
+        let vals = &vals_all[(k - 1) * n..k * n];
+        let (prev_all, next_all) = state_all.split_at_mut(k * nf);
+        let prev = &prev_all[(k - 1) * nf..];
+        let next = &mut next_all[..nf];
+        let cycle = &spec.cycles()[k - 1];
+        let mut events = 0u64;
+        for fi in 0..nf {
+            events += 1;
+            let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+            next[fi] = capture_logic(graph, fi, pulsed, vals, prev[fi]);
+        }
+        self.events += events;
+    }
+
+    /// One machine's incremental pass over all frames: seed the changed
+    /// sources, propagate level by level, recompute touched captures,
+    /// carry state dirt forward.
+    fn machine_pass(&mut self, machine: Machine, spec: &FrameSpec, pattern: &Pattern) {
+        let DualGraphSim {
+            model,
+            graph,
+            frames,
+            good,
+            faulty,
+            good_state,
+            faulty_state,
+            cur_fault,
+            buckets,
+            enq,
+            flop_stamp,
+            gen,
+            touched,
+            dirty_scan,
+            dirty_pi,
+            sdirty,
+            sdirty_next,
+            events,
+            ..
+        } = self;
+        let graph: &SimGraph = graph;
+        let frames = *frames;
+        let n = graph.cells();
+        let nf = graph.flop_count();
+        let (vals_all, state_all) = match machine {
+            Machine::Good => (good, good_state),
+            Machine::Faulty => (faulty, faulty_state),
+        };
+        let fault = cur_fault.expect("machine_pass before begin");
+        let hold = pattern.pis.len() == 1;
+
+        // Load-state changes seed frame 1's entering-state dirt.
+        sdirty.clear();
+        for &si in dirty_scan.iter() {
+            let fi = model.scan_flops()[si as usize] as usize;
+            let v = pattern.scan_load[si as usize];
+            if state_all[fi] != v {
+                state_all[fi] = v;
+                sdirty.push(fi as u32);
+            }
+        }
+
+        for k in 1..=frames {
+            *gen = gen.wrapping_add(1);
+            if *gen == 0 {
+                enq.fill(0);
+                flop_stamp.fill(0);
+                *gen = 1;
+            }
+            touched.clear();
+            let active = fault_active(fault, k, frames);
+            let (out_site, in_site, forced) = decode_fault(match machine {
+                Machine::Good => None,
+                Machine::Faulty => active.then_some(fault),
+            });
+            let vals = &mut vals_all[(k - 1) * n..k * n];
+
+            // Seed 1: changed PIs applying to this frame.
+            for &(pi, pf) in dirty_pi.iter() {
+                if !hold && pf as usize != k - 1 {
+                    continue;
+                }
+                let ci = model.free_pis()[pi as usize].index();
+                if out_site == Some(ci) {
+                    continue; // forced site never changes
+                }
+                let v = pattern.pis_for_frame(k)[pi as usize];
+                if vals[ci] != v {
+                    vals[ci] = v;
+                    push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                }
+            }
+
+            // Seed 2: flops whose entering state changed — their node
+            // value moves, and their capture must recompute even when
+            // holding.
+            for &fi in sdirty.iter() {
+                let fi = fi as usize;
+                if flop_stamp[fi] != *gen {
+                    flop_stamp[fi] = *gen;
+                    touched.push(fi as u32);
+                }
+                let ci = graph.flop_meta(fi).cell as usize;
+                if out_site == Some(ci) {
+                    continue;
+                }
+                let v = state_all[(k - 1) * nf + fi];
+                if vals[ci] != v {
+                    vals[ci] = v;
+                    push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                }
+            }
+
+            // Propagate level by level; only moved values notify.
+            for lvl in 0..buckets.len() {
+                while let Some(raw) = buckets[lvl].pop() {
+                    let ci = raw as usize;
+                    if out_site == Some(ci) {
+                        continue;
+                    }
+                    let pin_fault = match in_site {
+                        Some((cell, pin)) if cell == ci => Some((pin, forced)),
+                        _ => None,
+                    };
+                    *events += 1;
+                    let v = eval_logic(graph, ci, vals, pin_fault);
+                    if v != vals[ci] {
+                        vals[ci] = v;
+                        push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                    }
+                }
+            }
+
+            // Recompute the touched captures; changed next states carry
+            // the dirt into frame k+1.
+            sdirty_next.clear();
+            let cycle = &spec.cycles()[k - 1];
+            let (prev_all, next_all) = state_all.split_at_mut(k * nf);
+            let prev = &prev_all[(k - 1) * nf..];
+            let next = &mut next_all[..nf];
+            for &fi in touched.iter() {
+                let fi = fi as usize;
+                *events += 1;
+                let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+                let v = capture_logic(graph, fi, pulsed, vals, prev[fi]);
+                if v != next[fi] {
+                    next[fi] = v;
+                    sdirty_next.push(fi as u32);
+                }
+            }
+            std::mem::swap(sdirty, sdirty_next);
+        }
+    }
+
+    /// Whether the current pattern detects the fault — same criterion
+    /// as [`DualSim::detected`].
+    pub fn detected(&self, spec: &FrameSpec, fault: Fault) -> bool {
+        let frames = spec.frames();
+        if fault.model() == FaultModel::Transition {
+            if frames < 2 {
+                return false;
+            }
+            let node = self.site_node(fault.site());
+            let before = self.good(frames - 1, node);
+            let after = self.good(frames, node);
+            let ok = match fault.polarity() {
+                Polarity::P0 => before == Logic::Zero && after == Logic::One,
+                Polarity::P1 => before == Logic::One && after == Logic::Zero,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &k in spec.po_observe_frames() {
+            for &po in self.model.primary_outputs() {
+                let g = self.good(k, po);
+                let f = self.faulty(k, po);
+                if g.is_definite() && f.is_definite() && g != f {
+                    return true;
+                }
+            }
+        }
+        for &fi in self.model.scan_flops() {
+            let g = self.good_state(frames, fi as usize);
+            let mut f = self.faulty_state(frames, fi as usize);
+            if fault.model() == FaultModel::StuckAt {
+                if let FaultSite::Output(c) = fault.site() {
+                    if c == self.model.flops()[fi as usize].cell {
+                        f = polarity_logic(fault.polarity());
+                    }
+                }
+            }
+            if g.is_definite() && f.is_definite() && g != f {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Whether the fault is injected in 1-based frame `k` of `frames`.
+#[inline]
+fn fault_active(fault: Fault, k: usize, frames: usize) -> bool {
+    match fault.model() {
+        FaultModel::StuckAt => true,
+        FaultModel::Transition => k == frames,
+    }
+}
+
+/// Splits an optional injected fault into (forced output cell, forced
+/// input pin, forced value).
+#[inline]
+fn decode_fault(fault: Option<Fault>) -> (Option<usize>, Option<(usize, u8)>, Logic) {
+    match fault {
+        None => (None, None, Logic::X),
+        Some(f) => {
+            let forced = polarity_logic(f.polarity());
+            match f.site() {
+                FaultSite::Output(c) => (Some(c.index()), None, forced),
+                FaultSite::Input { cell, pin } => (None, Some((cell.index(), pin)), forced),
+            }
+        }
+    }
+}
+
+/// Scalar evaluation of one combinational cell over the graph —
+/// exactly [`CellKind::eval_comb`] per op code, reading fanins from
+/// `vals` with an optional forced pin.
+#[inline]
+fn eval_logic(
+    graph: &SimGraph,
+    ci: usize,
+    vals: &[Logic],
+    pin_fault: Option<(u8, Logic)>,
+) -> Logic {
+    let fanins = graph.fanins(ci);
+    let read = |pin: usize| -> Logic {
+        match pin_fault {
+            Some((p, v)) if p as usize == pin => v,
+            _ => vals[fanins[pin] as usize],
+        }
+    };
+    match graph.op(ci) {
+        OpCode::Buf => read(0).drive(),
+        OpCode::Not => !read(0),
+        OpCode::And => Logic::and_all((0..fanins.len()).map(read)),
+        OpCode::Nand => !Logic::and_all((0..fanins.len()).map(read)),
+        OpCode::Or => Logic::or_all((0..fanins.len()).map(read)),
+        OpCode::Nor => !Logic::or_all((0..fanins.len()).map(read)),
+        OpCode::Xor => Logic::xor_all((0..fanins.len()).map(read)),
+        OpCode::Xnor => !Logic::xor_all((0..fanins.len()).map(read)),
+        OpCode::Mux2 => Logic::mux2(read(0), read(1), read(2)),
+        // Sources, ties and state never sit in the levelized order.
+        _ => Logic::X,
+    }
+}
+
+/// Scalar capture of one flop — exactly [`DualSim`]'s `next_state` for
+/// a single flop: sample on pulse, hold otherwise, then reset
+/// handling (applied to both machines every frame; see
+/// `occ_fsim::FaultSim::capture_flop` for the intended semantics).
+#[inline]
+fn capture_logic(graph: &SimGraph, fi: usize, pulsed: bool, vals: &[Logic], prev: Logic) -> Logic {
+    let meta = graph.flop_meta(fi);
+    let mut next = prev;
+    if pulsed {
+        next = if meta.mux_scan {
+            Logic::mux2(
+                vals[meta.se as usize],
+                vals[meta.d as usize],
+                vals[meta.si as usize],
+            )
+        } else {
+            vals[meta.d as usize].drive()
+        };
+    }
+    if meta.reset != NO_RESET {
+        let r = vals[meta.reset as usize].drive();
+        let act = if meta.reset_high {
+            r == Logic::One
+        } else {
+            r == Logic::Zero
+        };
+        if act {
+            next = Logic::Zero;
+        } else if !r.is_definite() && next != Logic::Zero {
+            next = Logic::X;
+        }
+    }
+    next
+}
+
+/// Enqueues the propagation fanouts of `ci`: combinational sinks into
+/// the levelized buckets, flop sinks into the touched list.
+#[inline]
+fn push_fanouts(
+    graph: &SimGraph,
+    ci: usize,
+    gen: u32,
+    enq: &mut [u32],
+    buckets: &mut [Vec<u32>],
+    flop_stamp: &mut [u32],
+    touched: &mut Vec<u32>,
+) {
+    for &e in graph.prop_fanouts(ci) {
+        if e & occ_fsim::FLOP_TAG != 0 {
+            let fi = (e & !occ_fsim::FLOP_TAG) as usize;
+            if flop_stamp[fi] != gen {
+                flop_stamp[fi] = gen;
+                touched.push(fi as u32);
+            }
+        } else {
+            let f = e as usize;
+            if enq[f] != gen {
+                enq[f] = gen;
+                buckets[graph.level_of(f) as usize].push(e);
+            }
+        }
     }
 }
 

@@ -1,0 +1,62 @@
+//! The pluggable ATPG engine interface.
+//!
+//! The deterministic search loop of `run_atpg` needs one operation
+//! from a test generator: *attempt a test for one fault under one
+//! capture procedure*. This trait captures exactly that — the analogue
+//! of [`occ_fsim::FaultSimEngine`] for the generation side — so the
+//! retained scalar [`ReferencePodem`](crate::ReferencePodem) and the
+//! compiled incremental [`CompiledPodem`](crate::CompiledPodem) are
+//! interchangeable behind `&mut dyn AtpgEngine`. Both are required
+//! (and swept in `tests/atpg_equivalence.rs`) to produce **identical
+//! [`PodemOutcome`]s** for the same inputs: the compiled engine
+//! replaces only the value engine and the lookup tables, never the
+//! decision order.
+
+use crate::{Observability, PodemOutcome};
+use occ_fault::Fault;
+use occ_fsim::FrameSpec;
+
+/// Work counters a compiled ATPG engine reports — collected into
+/// `FlowReport`s and the `atpg_bench` perf baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtpgKernelStats {
+    /// Decision-variable assignments tried (initial choices + flips).
+    pub decisions: u64,
+    /// Backtracks (deepest-unflipped-decision flips).
+    pub backtracks: u64,
+    /// Value-engine events: cell evaluations plus flop-capture
+    /// computations (0 for the reference engine, which re-evaluates
+    /// everything and counts nothing).
+    pub events: u64,
+    /// Incremental (changed-cone) re-simulations.
+    pub incremental_resims: u64,
+    /// Full from-scratch dual simulations (one per PODEM run for the
+    /// compiled engine, one per *decision* for the reference engine).
+    pub full_resims: u64,
+}
+
+/// A test-generation engine: anything that can run one
+/// backtrack-limited PODEM search for one fault under one procedure.
+///
+/// Implementations must be deterministic — the outcome may not depend
+/// on internal scratch state carried between calls.
+pub trait AtpgEngine {
+    /// Attempts to generate a test for `fault` under `spec`.
+    ///
+    /// `obs` must be the observability cones of the same `spec`.
+    fn run(
+        &mut self,
+        spec: &FrameSpec,
+        obs: &Observability,
+        fault: Fault,
+        backtrack_limit: usize,
+    ) -> PodemOutcome;
+
+    /// A short human-readable engine label (for reports and logs).
+    fn engine_name(&self) -> &'static str;
+
+    /// Work counters accumulated by this engine since construction.
+    fn kernel_stats(&self) -> AtpgKernelStats {
+        AtpgKernelStats::default()
+    }
+}

@@ -2,18 +2,22 @@
 //! random fill and static compaction — the loop every Table 1
 //! experiment runs.
 //!
-//! The flow is generic over the fault-grading engine: every grading
+//! The flow is generic over **both** engines it drives. Every grading
 //! step goes through [`FaultSimEngine`], so the serial compiled-kernel
 //! [`occ_fsim::FaultSim`] and the sharded
 //! [`occ_fsim::ParallelFaultSim`] are interchangeable and produce
-//! identical results (the engines guarantee bit-identical masks). The
-//! drop and compaction loops below ride the kernel unchanged: the
-//! zero-allocation rebuild and the observability-cone pruning live
-//! entirely behind [`FaultSimEngine::detect_batch`], which is what
-//! makes single-pattern compaction grading (one full-universe pass per
-//! kept pattern) affordable.
+//! identical results (the engines guarantee bit-identical masks); and
+//! every deterministic test-generation attempt goes through
+//! [`AtpgEngine`], so the scalar [`crate::ReferencePodem`] and the
+//! compiled [`crate::CompiledPodem`] are interchangeable with
+//! identical outcomes. The drop and compaction loops below ride the
+//! kernels unchanged: the zero-allocation rebuild and the
+//! observability-cone pruning live entirely behind
+//! [`FaultSimEngine::detect_batch`], which is what makes
+//! single-pattern compaction grading (one full-universe pass per kept
+//! pattern) affordable.
 
-use crate::{Observability, Podem, PodemOutcome};
+use crate::{AtpgEngine, Observability, PodemOutcome};
 use occ_fault::{FaultList, FaultStatus, FaultUniverse};
 use occ_fsim::{simulate_good, CaptureModel, FaultSimEngine, FrameSpec, Pattern, PatternSet};
 use occ_netlist::Logic;
@@ -107,7 +111,8 @@ fn apply_detections(
 }
 
 /// Runs the full ATPG flow for a fault universe over a set of capture
-/// procedures, grading through the given [`FaultSimEngine`].
+/// procedures, grading through the given [`FaultSimEngine`] and
+/// generating through the given [`AtpgEngine`].
 ///
 /// For each yet-undetected fault, the procedures are tried in order
 /// (skipping those whose observability cone cannot see the fault); a
@@ -116,9 +121,11 @@ fn apply_detections(
 /// detections. Optionally a reverse-order static compaction pass prunes
 /// patterns that no longer contribute, re-grading from scratch.
 ///
-/// The result is independent of the engine: serial and sharded engines
-/// return bit-identical masks, so fault statuses, pattern sets and
-/// coverage reports are equal for any engine and thread count.
+/// The result is independent of both engine choices: serial and
+/// sharded fault simulators return bit-identical masks, and the
+/// reference and compiled PODEM engines return identical
+/// [`PodemOutcome`]s — so fault statuses, pattern sets and coverage
+/// reports are equal for any combination.
 ///
 /// # Panics
 ///
@@ -130,6 +137,7 @@ pub fn run_atpg(
     universe: FaultUniverse,
     options: &AtpgOptions,
     engine: &mut dyn FaultSimEngine,
+    podem: &mut dyn AtpgEngine,
 ) -> AtpgResult {
     assert!(
         !procedures.is_empty(),
@@ -144,7 +152,6 @@ pub fn run_atpg(
         .map(|spec| Observability::compute(model, spec))
         .collect();
 
-    let mut podem = Podem::new(model);
     let mut patterns = PatternSet::new(procedures.to_vec());
     // Per-procedure batch of not-yet-fault-simulated pattern indices.
     let mut pending: Vec<Vec<usize>> = vec![Vec::new(); procedures.len()];
@@ -457,7 +464,8 @@ mod tests {
         options: &AtpgOptions,
     ) -> AtpgResult {
         let mut engine = FaultSim::new(model);
-        run_atpg(model, procs, universe, options, &mut engine)
+        let mut podem = crate::CompiledPodem::new(model);
+        run_atpg(model, procs, universe, options, &mut engine, &mut podem)
     }
 
     #[test]
@@ -558,7 +566,15 @@ mod tests {
 
         let serial = run_serial(&model, &procs, uni.clone(), &options);
         let mut sharded_engine = ParallelFaultSim::with_threads(&model, 4).block_size(2);
-        let sharded = run_atpg(&model, &procs, uni, &options, &mut sharded_engine);
+        let mut podem = crate::CompiledPodem::new(&model);
+        let sharded = run_atpg(
+            &model,
+            &procs,
+            uni,
+            &options,
+            &mut sharded_engine,
+            &mut podem,
+        );
 
         assert_eq!(serial.report(), sharded.report());
         assert_eq!(serial.patterns.len(), sharded.patterns.len());

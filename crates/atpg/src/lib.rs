@@ -20,20 +20,30 @@
 //!   classification (the paper's "1 % ATPG untestable, 0.3 % aborted");
 //! * structural fault grouping of the leftovers (the paper's §6 future
 //!   work): cross-domain, PO-masked-only, PI-held-only, non-scan- and
-//!   RAM-dependent.
+//!   RAM-dependent;
+//! * a pluggable [`AtpgEngine`] trait (the generation-side analogue of
+//!   [`occ_fsim::FaultSimEngine`]): the retained scalar
+//!   [`ReferencePodem`] and the compiled incremental [`CompiledPodem`]
+//!   (flat lookup tables, stamped scratch, changed-cone re-simulation
+//!   through [`DualGraphSim`]) produce identical outcomes — the
+//!   compiled engine is just faster and allocation-free per decision.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod classify;
+mod compiled;
 mod dualsim;
+mod engine;
 mod flow;
 mod podem;
 mod reach;
 mod scoap;
 
 pub use classify::{classify_faults, ConeSummary};
-pub use dualsim::DualSim;
+pub use compiled::CompiledPodem;
+pub use dualsim::{DualGraphSim, DualSim};
+pub use engine::{AtpgEngine, AtpgKernelStats};
 pub use flow::{run_atpg, AtpgOptions, AtpgResult, AtpgStats};
-pub use podem::{Podem, PodemOutcome};
+pub use podem::{PodemOutcome, ReferencePodem};
 pub use reach::Observability;

@@ -1,5 +1,5 @@
 //! PODEM: path-oriented decision making over multi-frame capture
-//! models.
+//! models — the retained **reference engine**.
 //!
 //! Decision variables are the scan-load bits and the free primary
 //! inputs (one variable per frame unless the procedure holds PIs).
@@ -8,8 +8,16 @@
 //! backtraced to an unassigned variable. Search is backtrack-limited:
 //! exceeding the limit classifies the fault *aborted*, exhausting the
 //! space proves it *untestable* under the procedure.
+//!
+//! This engine re-simulates both machines from scratch (through the
+//! allocating [`DualSim`]) after every decision and hashes `CellId`s
+//! through `HashMap`s in the backtrace hot loop. It survives verbatim
+//! as the oracle and bench baseline for the compiled engine
+//! ([`CompiledPodem`](crate::CompiledPodem)), which makes exactly the
+//! same decisions over a zero-allocation incremental value engine.
 
 use crate::dualsim::{polarity_logic, DualSim};
+use crate::engine::{AtpgEngine, AtpgKernelStats};
 use crate::scoap::{Controllability, INF};
 use crate::Observability;
 use occ_fault::{Fault, FaultModel, FaultSite};
@@ -18,7 +26,7 @@ use occ_netlist::{CellId, CellKind, Logic};
 use std::collections::HashMap;
 
 /// Outcome of one PODEM run for one fault under one procedure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PodemOutcome {
     /// A (partially specified) pattern detecting the fault.
     Test(Box<Pattern>),
@@ -38,16 +46,17 @@ enum Var {
     Pi(usize, usize),
 }
 
-/// The PODEM engine bound to a capture model.
-pub struct Podem<'m, 'a> {
+/// The reference PODEM engine bound to a capture model.
+pub struct ReferencePodem<'m, 'a> {
     model: &'m CaptureModel<'a>,
     sim: DualSim<'m, 'a>,
     scan_index: HashMap<CellId, usize>,
     pi_index: HashMap<CellId, usize>,
     cc: Controllability,
+    stats: AtpgKernelStats,
 }
 
-impl<'m, 'a> Podem<'m, 'a> {
+impl<'m, 'a> ReferencePodem<'m, 'a> {
     /// Creates an engine for the model.
     pub fn new(model: &'m CaptureModel<'a>) -> Self {
         let scan_index = model
@@ -61,12 +70,13 @@ impl<'m, 'a> Podem<'m, 'a> {
             .enumerate()
             .map(|(i, &c)| (c, i))
             .collect();
-        Podem {
+        ReferencePodem {
             sim: DualSim::new(model),
             cc: Controllability::compute(model),
             model,
             scan_index,
             pi_index,
+            stats: AtpgKernelStats::default(),
         }
     }
 
@@ -90,6 +100,7 @@ impl<'m, 'a> Podem<'m, 'a> {
         let max_iters = 200_000usize;
 
         for _ in 0..max_iters {
+            self.stats.full_resims += 1;
             self.sim.simulate(spec, &pattern, fault);
             if self.sim.detected(spec, fault) {
                 return PodemOutcome::Test(Box::new(pattern));
@@ -107,6 +118,7 @@ impl<'m, 'a> Podem<'m, 'a> {
                         !stack.iter().any(|&(v, _, _)| v == var),
                         "backtrace returned an assigned variable"
                     );
+                    self.stats.decisions += 1;
                     self.assign(&mut pattern, var, Some(val));
                     stack.push((var, val, false));
                 }
@@ -119,6 +131,8 @@ impl<'m, 'a> Podem<'m, 'a> {
                                 if backtracks > backtrack_limit {
                                     return PodemOutcome::Aborted;
                                 }
+                                self.stats.backtracks += 1;
+                                self.stats.decisions += 1;
                                 self.assign(&mut pattern, var, Some(!val));
                                 stack.push((var, !val, true));
                                 break;
@@ -700,6 +714,26 @@ impl<'m, 'a> Podem<'m, 'a> {
     }
 }
 
+impl AtpgEngine for ReferencePodem<'_, '_> {
+    fn run(
+        &mut self,
+        spec: &FrameSpec,
+        obs: &Observability,
+        fault: Fault,
+        backtrack_limit: usize,
+    ) -> PodemOutcome {
+        ReferencePodem::run(self, spec, obs, fault, backtrack_limit)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn kernel_stats(&self) -> AtpgKernelStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -765,7 +799,7 @@ mod tests {
             ),
         ] {
             let obs = Observability::compute(&m, &spec);
-            let mut podem = Podem::new(&m);
+            let mut podem = ReferencePodem::new(&m);
             let mut fsim = FaultSim::new(&m);
             let mut found = 0;
             for &fault in uni.faults() {
@@ -796,7 +830,7 @@ mod tests {
             .observe_po(false);
         let obs = Observability::compute(&m, &spec);
         let uni = FaultUniverse::transition(&r.nl);
-        let mut podem = Podem::new(&m);
+        let mut podem = ReferencePodem::new(&m);
         let mut fsim = FaultSim::new(&m);
 
         let n_scan = m.scan_flops().len();
@@ -862,7 +896,7 @@ mod tests {
             .hold_pi(true)
             .observe_po(false);
         let obs_h = Observability::compute(&m, &held);
-        let mut podem = Podem::new(&m);
+        let mut podem = ReferencePodem::new(&m);
         assert!(matches!(
             podem.run(&held, &obs_h, fault, 1_000),
             PodemOutcome::Untestable

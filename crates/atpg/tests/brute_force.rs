@@ -1,9 +1,11 @@
 //! ATPG soundness and completeness referee: on random small circuits,
 //! every PODEM verdict is checked against exhaustive enumeration of the
 //! decision space — found tests must re-detect under the packed fault
-//! simulator, untestable claims must have no counterexample.
+//! simulator, untestable claims must have no counterexample. Both
+//! engines run: the compiled engine's outcome must equal the
+//! reference's *exactly* (same variant, same pattern bits).
 
-use occ_atpg::{Observability, Podem, PodemOutcome};
+use occ_atpg::{CompiledPodem, Observability, PodemOutcome, ReferencePodem};
 use occ_fault::FaultUniverse;
 use occ_fsim::{simulate_good, CaptureModel, ClockBinding, FaultSim, FrameSpec, Pattern};
 use occ_netlist::{CellId, Logic, Netlist, NetlistBuilder};
@@ -74,11 +76,17 @@ fn verify(seed: u64, spec: &FrameSpec, transition: bool) {
         FaultUniverse::stuck_at(&nl)
     };
     let obs = Observability::compute(&model, spec);
-    let mut podem = Podem::new(&model);
+    let mut podem = ReferencePodem::new(&model);
+    let mut compiled = CompiledPodem::new(&model);
     let mut fsim = FaultSim::new(&model);
 
     for &fault in uni.faults() {
         let outcome = podem.run(spec, &obs, fault, 100_000);
+        let compiled_outcome = compiled.run(spec, &obs, fault, 100_000);
+        assert_eq!(
+            outcome, compiled_outcome,
+            "seed {seed}: engines diverge on {fault}"
+        );
         let mut brute = false;
         'outer: for bits in 0..(1u64 << total_bits) {
             let mut p = Pattern::empty(&model, spec, 0);

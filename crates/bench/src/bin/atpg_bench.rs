@@ -1,0 +1,411 @@
+//! ATPG throughput benchmark and regression gate — the generation-side
+//! sibling of `fsim_bench`.
+//!
+//! Runs the retained `ReferencePodem` and the compiled `CompiledPodem`
+//! over a strided sample of the transition-fault universe of the
+//! seeded Table-1 SOC (one broadside procedure), cross-checks that
+//! every `PodemOutcome` is identical, and writes decisions/sec plus
+//! allocation counts to `BENCH_atpg.json` so the perf trajectory is
+//! tracked in-repo.
+//!
+//! ```text
+//! atpg_bench [--flops N] [--faults N] [--limit B] [--reps N]
+//!            [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Two gates:
+//!
+//! * **Allocation** (hardware-independent, always on): the compiled
+//!   engine must stay O(1) allocations per PODEM decision — measured
+//!   with the shared counting allocator over the whole run loop
+//!   (including per-fault pattern setup) and capped at
+//!   [`MAX_ALLOCS_PER_DECISION`].
+//! * **Speedup ratio** (with `--check`): the compiled-vs-reference
+//!   decisions/sec ratio — both engines make identical decisions, so
+//!   the ratio cancels out machine speed — must not regress more than
+//!   20% against the committed baseline. `ATPG_BENCH_SKIP_CHECK`
+//!   bypasses it on cold machines; the outcome cross-check always
+//!   runs.
+
+#[path = "../alloc_track.rs"]
+mod alloc_track;
+
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
+use occ_atpg::{AtpgEngine, CompiledPodem, Observability, PodemOutcome, ReferencePodem};
+use occ_fault::FaultUniverse;
+use occ_fsim::{CaptureModel, FrameSpec};
+use occ_soc::{generate, SocConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Allowed speedup-ratio drop vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Hard cap on compiled-engine allocations per PODEM decision. The
+/// steady state is ~0 (scratch is stamped and reused); the budget
+/// covers per-fault pattern construction and one-time warm-up growth.
+const MAX_ALLOCS_PER_DECISION: f64 = 4.0;
+
+struct Options {
+    flops: usize,
+    faults: usize,
+    limit: usize,
+    reps: usize,
+    out: String,
+    check: Option<String>,
+}
+
+struct EngineRow {
+    engine: String,
+    seconds: f64,
+    decisions: u64,
+    decisions_per_sec: f64,
+    faults_per_sec: f64,
+    allocs: u64,
+    alloc_bytes: u64,
+    events: u64,
+    incremental_resims: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        flops: 96,
+        faults: 600,
+        limit: 48,
+        reps: 2,
+        out: "BENCH_atpg.json".to_owned(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--flops" => {
+                opts.flops = value("--flops")?
+                    .parse()
+                    .map_err(|e| format!("--flops: {e}"))?
+            }
+            "--faults" => {
+                let n: usize = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+                if n == 0 {
+                    return Err("--faults must be positive".to_owned());
+                }
+                opts.faults = n;
+            }
+            "--limit" => {
+                opts.limit = value("--limit")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?
+            }
+            "--reps" => {
+                let n: usize = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if n == 0 {
+                    return Err("--reps must be positive".to_owned());
+                }
+                opts.reps = n;
+            }
+            "--out" => opts.out = value("--out")?,
+            "--check" => opts.check = Some(value("--check")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("atpg_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let soc = generate(&SocConfig::paper_like(20050307, opts.flops));
+    let model =
+        CaptureModel::new(soc.netlist(), soc.binding(true)).expect("generated SOC always binds");
+    let domains: Vec<usize> = (0..model.domain_count()).collect();
+    let spec = FrameSpec::broadside("loc", &domains, 2)
+        .hold_pi(true)
+        .observe_po(false);
+    let obs = Observability::compute(&model, &spec);
+
+    // A strided sample of the universe, so the run touches cones from
+    // every block of the design at any --faults budget.
+    let universe = FaultUniverse::transition(soc.netlist());
+    let all = universe.faults();
+    let stride = (all.len() / opts.faults).max(1);
+    let faults: Vec<occ_fault::Fault> = all.iter().copied().step_by(stride).collect();
+    println!(
+        "atpg_bench: {} — {} cells, {} of {} faults (stride {}), limit {}",
+        soc.netlist().name(),
+        soc.netlist().len(),
+        faults.len(),
+        all.len(),
+        stride,
+        opts.limit,
+    );
+
+    let mut rows: Vec<EngineRow> = Vec::new();
+    let mut outcomes: Vec<(String, Vec<PodemOutcome>)> = Vec::new();
+
+    // Reference (retained scalar) engine.
+    {
+        let mut engine = ReferencePodem::new(&model);
+        let (row, outs) = run_engine("reference", &mut engine, &spec, &obs, &faults, &opts);
+        rows.push(row);
+        outcomes.push(("reference".to_owned(), outs));
+    }
+
+    // Compiled incremental engine.
+    {
+        let mut engine = CompiledPodem::new(&model);
+        let (row, outs) = run_engine("compiled", &mut engine, &spec, &obs, &faults, &opts);
+        rows.push(row);
+        outcomes.push(("compiled".to_owned(), outs));
+    }
+
+    // Correctness gate: every outcome must be identical.
+    if outcomes[1].1 != outcomes[0].1 {
+        let at = outcomes[0]
+            .1
+            .iter()
+            .zip(&outcomes[1].1)
+            .position(|(a, b)| a != b);
+        eprintln!(
+            "atpg_bench: FATAL — compiled outcomes diverge from reference (first at sample {at:?})"
+        );
+        return ExitCode::FAILURE;
+    }
+    let tests_found = outcomes[0]
+        .1
+        .iter()
+        .filter(|o| matches!(o, PodemOutcome::Test(_)))
+        .count();
+
+    let speedup = rows[1].decisions_per_sec / rows[0].decisions_per_sec.max(1e-9);
+    for r in &rows {
+        println!(
+            "  {:<10} {:>8.3}s  {:>12.0} decisions/s  {:>9.0} faults/s  \
+             {:>10} allocs  {:>12} bytes  {:>12} events",
+            r.engine,
+            r.seconds,
+            r.decisions_per_sec,
+            r.faults_per_sec,
+            r.allocs,
+            r.alloc_bytes,
+            r.events,
+        );
+    }
+    println!(
+        "  compiled vs reference speedup: {speedup:.2}x ({} tests found, {} decisions)",
+        tests_found, rows[1].decisions
+    );
+
+    // Allocation gate: O(1) per decision, hardware-independent.
+    let allocs_per_decision = rows[1].allocs as f64 / (rows[1].decisions.max(1)) as f64;
+    println!(
+        "  compiled allocs/decision: {allocs_per_decision:.3} (cap {MAX_ALLOCS_PER_DECISION})"
+    );
+    if allocs_per_decision > MAX_ALLOCS_PER_DECISION {
+        eprintln!(
+            "atpg_bench: FATAL — compiled engine allocates {allocs_per_decision:.2} \
+             per decision (cap {MAX_ALLOCS_PER_DECISION}); the zero-allocation \
+             contract is broken"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let peak_rss = alloc_track::peak_rss_kb();
+    let json = to_json(
+        &opts,
+        &soc,
+        faults.len(),
+        tests_found,
+        &rows,
+        speedup,
+        allocs_per_decision,
+        peak_rss,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("atpg_bench: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", opts.out);
+
+    if let Some(baseline) = &opts.check {
+        return check_regression(baseline, faults.len(), speedup);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one engine over the fault sample `reps` times, keeping the
+/// best wall-clock and the first rep's outcomes + allocation delta.
+fn run_engine(
+    name: &str,
+    engine: &mut dyn AtpgEngine,
+    spec: &FrameSpec,
+    obs: &Observability,
+    faults: &[occ_fault::Fault],
+    opts: &Options,
+) -> (EngineRow, Vec<PodemOutcome>) {
+    let mut best = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    let mut delta = alloc_track::AllocSnapshot::default();
+    for rep in 0..opts.reps {
+        let before = alloc_track::snapshot();
+        let t0 = Instant::now();
+        let outs: Vec<PodemOutcome> = faults
+            .iter()
+            .map(|&f| engine.run(spec, obs, f, opts.limit))
+            .collect();
+        best = best.min(t0.elapsed().as_secs_f64());
+        if rep == 0 {
+            delta = alloc_track::snapshot().since(before);
+            outcomes = outs;
+        }
+    }
+    let stats = engine.kernel_stats();
+    let reps = opts.reps as u64;
+    let decisions = stats.decisions / reps;
+    let secs = best.max(1e-9);
+    (
+        EngineRow {
+            engine: name.to_owned(),
+            seconds: best,
+            decisions,
+            decisions_per_sec: decisions as f64 / secs,
+            faults_per_sec: faults.len() as f64 / secs,
+            allocs: delta.allocs,
+            alloc_bytes: delta.bytes,
+            events: stats.events / reps,
+            incremental_resims: stats.incremental_resims / reps,
+        },
+        outcomes,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    opts: &Options,
+    soc: &occ_soc::Soc,
+    faults: usize,
+    tests_found: usize,
+    rows: &[EngineRow],
+    speedup: f64,
+    allocs_per_decision: f64,
+    peak_rss_kb: Option<u64>,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"design\":\"{}\",\"cells\":{},\"faults\":{},\"tests_found\":{},\
+         \"flops_per_domain\":{},\"backtrack_limit\":{},",
+        soc.netlist().name(),
+        soc.netlist().len(),
+        faults,
+        tests_found,
+        opts.flops,
+        opts.limit,
+    );
+    match peak_rss_kb {
+        Some(kb) => {
+            let _ = write!(out, "\"peak_rss_kb\":{kb},");
+        }
+        None => {
+            let _ = write!(out, "\"peak_rss_kb\":null,");
+        }
+    }
+    let _ = write!(out, "\"engines\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"engine\":\"{}\",\"seconds\":{:.6},\"decisions\":{},\
+             \"decisions_per_sec\":{:.1},\"faults_per_sec\":{:.1},\"allocs\":{},\
+             \"alloc_bytes\":{},\"events\":{},\"incremental_resims\":{}}}",
+            r.engine,
+            r.seconds,
+            r.decisions,
+            r.decisions_per_sec,
+            r.faults_per_sec,
+            r.allocs,
+            r.alloc_bytes,
+            r.events,
+            r.incremental_resims,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "],\"allocs_per_decision\":{allocs_per_decision:.4},\
+         \"speedup_compiled_vs_reference\":{speedup:.3}}}"
+    );
+    out
+}
+
+/// Compares the fresh speedup ratio against the committed baseline.
+/// The ratio cancels out machine speed (both engines make identical
+/// decisions on the same machine), so it trips only on a genuine
+/// compiled-engine regression.
+fn check_regression(path: &str, faults: usize, fresh_ratio: f64) -> ExitCode {
+    let skip = std::env::var("ATPG_BENCH_SKIP_CHECK").is_ok_and(|v| !v.is_empty());
+    if skip {
+        println!("  regression check skipped (ATPG_BENCH_SKIP_CHECK set)");
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("atpg_bench: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_faults = extract_number(&text, "\"faults\":");
+    if base_faults.is_some_and(|b| b as usize != faults) {
+        println!(
+            "  baseline {path} was produced with a different config \
+             ({:?} vs {faults} faults) — regression check skipped; \
+             regenerate the baseline",
+            base_faults.map(|b| b as usize)
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(base_ratio) = extract_number(&text, "\"speedup_compiled_vs_reference\":") else {
+        eprintln!("atpg_bench: no speedup_compiled_vs_reference in baseline {path}");
+        return ExitCode::FAILURE;
+    };
+    let floor = base_ratio * (1.0 - REGRESSION_TOLERANCE);
+    println!(
+        "  speedup ratio: fresh {fresh_ratio:.2}x vs baseline {base_ratio:.2}x \
+         (floor {floor:.2}x)"
+    );
+    if fresh_ratio < floor {
+        eprintln!(
+            "atpg_bench: REGRESSION — compiled-vs-reference speedup dropped \
+             more than {:.0}% below the committed baseline (set \
+             ATPG_BENCH_SKIP_CHECK=1 to bypass on cold machines)",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses the number following the first occurrence of `key`.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

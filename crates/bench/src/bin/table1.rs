@@ -4,13 +4,15 @@
 //! Usage:
 //! ```text
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
-//!        [--engine serial|auto|sharded:N] [--csv]
+//!        [--engine serial|auto|sharded:N]
+//!        [--atpg-engine reference|compiled] [--csv]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
-//! that experiment runs. The engine defaults to `auto` (all available
-//! hardware parallelism); `--threads N` is shorthand for
-//! `--engine sharded:N`.
+//! that experiment runs. The fault-sim engine defaults to `auto` (all
+//! available hardware parallelism); `--threads N` is shorthand for
+//! `--engine sharded:N`. The ATPG engine defaults to `compiled`
+//! (identical results to `reference`, faster).
 
 use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
@@ -40,6 +42,7 @@ fn main() {
                 };
             }
             "--engine" => options.engine = parsed_value(&mut args, "--engine"),
+            "--atpg-engine" => options.atpg_engine = parsed_value(&mut args, "--atpg-engine"),
             "--csv" => csv = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown argument '{other}'");

@@ -2,7 +2,7 @@
 
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
-use occ_flow::{EngineChoice, FaultKind, FlowError, FlowReport, TestFlow};
+use occ_flow::{AtpgEngineChoice, EngineChoice, FaultKind, FlowError, FlowReport, TestFlow};
 use occ_soc::{generate, Soc, SocConfig};
 use std::fmt;
 use std::str::FromStr;
@@ -141,6 +141,8 @@ pub struct Table1Options {
     pub backtrack_limit: usize,
     /// Fault-simulation engine all experiments grade through.
     pub engine: EngineChoice,
+    /// ATPG engine all experiments generate through.
+    pub atpg_engine: AtpgEngineChoice,
 }
 
 impl Default for Table1Options {
@@ -150,6 +152,7 @@ impl Default for Table1Options {
             flops_per_domain: 120,
             backtrack_limit: 48,
             engine: EngineChoice::Auto,
+            atpg_engine: AtpgEngineChoice::Compiled,
         }
     }
 }
@@ -199,6 +202,7 @@ pub fn run_experiment(
         .fault_model(fault_kind)
         .mask_bidi(mask_bidi)
         .engine(options.engine)
+        .atpg_engine(options.atpg_engine)
         .atpg(AtpgOptions {
             backtrack_limit: options.backtrack_limit,
             ..AtpgOptions::default()

@@ -3,8 +3,8 @@
 //! the named capture procedures, run ATPG through a pluggable
 //! fault-sim engine, classify the leftovers and report.
 
-use crate::{EngineChoice, FlowError, FlowReport, Stage, StageTiming};
-use occ_atpg::{classify_faults, run_atpg, AtpgOptions};
+use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
+use occ_atpg::{classify_faults, run_atpg, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem};
 use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
 use occ_fault::{FaultModel, FaultUniverse};
 use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
@@ -57,6 +57,7 @@ pub struct TestFlow<'s> {
     clocking: ClockingMode,
     fault_model: FaultModel,
     engine: EngineChoice,
+    atpg_engine: AtpgEngineChoice,
     atpg: AtpgOptions,
     mask_bidi: bool,
 }
@@ -65,13 +66,15 @@ impl<'s> TestFlow<'s> {
     /// Starts a flow over a generated SOC.
     ///
     /// Defaults: ideal external clock (4 pulses), transition faults,
-    /// serial engine, default [`AtpgOptions`], bidi feedback unmasked.
+    /// serial fault-sim engine, compiled ATPG engine, default
+    /// [`AtpgOptions`], bidi feedback unmasked.
     pub fn new(soc: &'s Soc) -> Self {
         TestFlow {
             source: Source::Soc(soc),
             clocking: ClockingMode::ExternalClock { max_pulses: 4 },
             fault_model: FaultModel::Transition,
             engine: EngineChoice::Serial,
+            atpg_engine: AtpgEngineChoice::Compiled,
             atpg: AtpgOptions::default(),
             mask_bidi: false,
         }
@@ -87,6 +90,7 @@ impl<'s> TestFlow<'s> {
             clocking: ClockingMode::ExternalClock { max_pulses: 4 },
             fault_model: FaultModel::Transition,
             engine: EngineChoice::Serial,
+            atpg_engine: AtpgEngineChoice::Compiled,
             atpg: AtpgOptions::default(),
             mask_bidi: false,
         }
@@ -111,6 +115,14 @@ impl<'s> TestFlow<'s> {
     #[must_use]
     pub fn engine(mut self, choice: EngineChoice) -> Self {
         self.engine = choice;
+        self
+    }
+
+    /// Selects the ATPG (test-generation) engine. Both choices
+    /// produce identical outcomes; the compiled default is faster.
+    #[must_use]
+    pub fn atpg_engine(mut self, choice: AtpgEngineChoice) -> Self {
+        self.atpg_engine = choice;
         self
     }
 
@@ -177,8 +189,10 @@ impl<'s> TestFlow<'s> {
         timed(Stage::FaultUniverse, t0);
 
         let t0 = Instant::now();
-        // Both engines implement FaultSimEngine and yield bit-identical
-        // masks; ATPG is generic over the trait object.
+        // Both fault-sim engines implement FaultSimEngine and yield
+        // bit-identical masks; both ATPG engines implement AtpgEngine
+        // and yield identical outcomes. The flow is generic over the
+        // trait objects.
         let mut serial;
         let mut sharded;
         let engine: &mut dyn FaultSimEngine = match self.engine {
@@ -191,8 +205,21 @@ impl<'s> TestFlow<'s> {
                 &mut sharded
             }
         };
-        let mut result = run_atpg(&model, &procedures, universe, &self.atpg, engine);
+        let mut reference_podem;
+        let mut compiled_podem;
+        let podem: &mut dyn AtpgEngine = match self.atpg_engine {
+            AtpgEngineChoice::Reference => {
+                reference_podem = ReferencePodem::new(&model);
+                &mut reference_podem
+            }
+            AtpgEngineChoice::Compiled => {
+                compiled_podem = CompiledPodem::new(&model);
+                &mut compiled_podem
+            }
+        };
+        let mut result = run_atpg(&model, &procedures, universe, &self.atpg, engine, podem);
         let kernel = engine.kernel_stats();
+        let atpg_kernel = podem.kernel_stats();
         timed(Stage::Atpg, t0);
 
         let t0 = Instant::now();
@@ -205,11 +232,13 @@ impl<'s> TestFlow<'s> {
             clocking: self.clocking,
             fault_model: self.fault_model,
             engine: self.engine.label().to_owned(),
+            atpg_engine: self.atpg_engine.label().to_owned(),
             threads,
             procedures: procedures.len(),
             stages,
             coverage,
             kernel,
+            atpg_kernel,
             result,
         })
     }

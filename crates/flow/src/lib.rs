@@ -59,7 +59,9 @@ mod error;
 mod report;
 
 pub use builder::TestFlow;
-pub use engine::{EngineChoice, ParseEngineChoiceError};
+pub use engine::{
+    AtpgEngineChoice, EngineChoice, ParseAtpgEngineChoiceError, ParseEngineChoiceError,
+};
 pub use error::FlowError;
 pub use report::{FlowReport, Stage, StageTiming};
 
@@ -71,3 +73,8 @@ pub use occ_fault::FaultModel as FaultKind;
 /// Compiled fault-sim kernel statistics — re-exported from
 /// [`occ_fsim`] because every [`FlowReport`] carries one.
 pub use occ_fsim::KernelStats;
+
+/// ATPG kernel statistics (decisions, backtracks, value-engine events,
+/// incremental re-simulations) — re-exported from [`occ_atpg`] because
+/// every [`FlowReport`] carries one.
+pub use occ_atpg::AtpgKernelStats;

@@ -2,7 +2,7 @@
 //! counters, the coverage report and std-only JSON/CSV serialization
 //! (no serde — the workspace builds offline).
 
-use occ_atpg::{AtpgResult, AtpgStats};
+use occ_atpg::{AtpgKernelStats, AtpgResult, AtpgStats};
 use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
 use occ_fsim::KernelStats;
@@ -64,8 +64,10 @@ pub struct FlowReport {
     pub clocking: ClockingMode,
     /// The fault model targeted.
     pub fault_model: FaultModel,
-    /// Engine label (`serial` / `sharded` / `auto`).
+    /// Fault-sim engine label (`serial` / `sharded` / `auto`).
     pub engine: String,
+    /// ATPG engine label (`reference` / `compiled`).
+    pub atpg_engine: String,
     /// Resolved worker-thread count.
     pub threads: usize,
     /// Number of capture procedures offered to ATPG.
@@ -81,6 +83,10 @@ pub struct FlowReport {
     /// engine performed (faults graded, cone-pruned faults, events
     /// propagated). All-zero for engines without a compiled kernel.
     pub kernel: KernelStats,
+    /// ATPG kernel statistics: PODEM decisions and backtracks, value-
+    /// engine events and incremental vs full re-simulations. Events
+    /// are zero for the reference engine (it counts nothing).
+    pub atpg_kernel: AtpgKernelStats,
     /// The full ATPG result: compacted pattern set and fault statuses.
     pub result: AtpgResult,
 }
@@ -141,10 +147,12 @@ impl FlowReport {
         write!(
             w,
             "{{\"design\":{},\"clocking\":{},\"fault_model\":\"{fm}\",\
-             \"engine\":{},\"threads\":{},\"procedures\":{},\"patterns\":{}",
+             \"engine\":{},\"atpg_engine\":{},\"threads\":{},\
+             \"procedures\":{},\"patterns\":{}",
             json_string(&self.design),
             json_string(&self.clocking.label()),
             json_string(&self.engine),
+            json_string(&self.atpg_engine),
             self.threads,
             self.procedures,
             self.patterns(),
@@ -191,6 +199,13 @@ impl FlowReport {
             k.cone_pruned,
             k.events,
         )?;
+        let a = &self.atpg_kernel;
+        write!(
+            w,
+            ",\"atpg_kernel\":{{\"decisions\":{},\"backtracks\":{},\
+             \"events\":{},\"incremental_resims\":{},\"full_resims\":{}}}",
+            a.decisions, a.backtracks, a.events, a.incremental_resims, a.full_resims,
+        )?;
         write!(w, ",\"stages\":[")?;
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -212,7 +227,7 @@ impl FlowReport {
 
     /// The CSV header matching [`FlowReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "design,clocking,fault_model,engine,threads,procedures,patterns,\
+        "design,clocking,fault_model,engine,atpg_engine,threads,procedures,patterns,\
          total_faults,detected,untestable,aborted,constrained,undetected,\
          coverage_pct,efficiency_pct,total_seconds"
     }
@@ -225,10 +240,11 @@ impl FlowReport {
         };
         let c = &self.coverage;
         format!(
-            "{},{},{fm},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4}",
+            "{},{},{fm},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4}",
             csv_field(&self.design),
             self.clocking.label(),
             csv_field(&self.engine),
+            csv_field(&self.atpg_engine),
             self.threads,
             self.procedures,
             self.patterns(),
@@ -259,8 +275,13 @@ impl fmt::Display for FlowReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "flow '{}' under {} [{} engine, {} thread(s), {} procedures]",
-            self.design, self.clocking, self.engine, self.threads, self.procedures
+            "flow '{}' under {} [{} engine, {} atpg, {} thread(s), {} procedures]",
+            self.design,
+            self.clocking,
+            self.engine,
+            self.atpg_engine,
+            self.threads,
+            self.procedures
         )?;
         writeln!(
             f,
@@ -281,6 +302,18 @@ impl fmt::Display for FlowReport {
                 self.kernel.faults_graded,
                 self.kernel.cone_pruned,
                 self.kernel.events
+            )?;
+        }
+        if self.atpg_kernel.decisions > 0 {
+            writeln!(
+                f,
+                "  atpg kernel: {} decisions ({} backtracks), \
+                 {} events, {} incremental / {} full resims",
+                self.atpg_kernel.decisions,
+                self.atpg_kernel.backtracks,
+                self.atpg_kernel.events,
+                self.atpg_kernel.incremental_resims,
+                self.atpg_kernel.full_resims
             )?;
         }
         write!(f, "  total {:.3}s", self.total_seconds())

@@ -86,7 +86,7 @@ pub trait FaultSimEngine {
     }
 }
 
-impl FaultSimEngine for FaultSim<'_, '_> {
+impl FaultSimEngine for FaultSim<'_> {
     fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
         self.detect_many(spec, good, faults)
     }
@@ -100,7 +100,7 @@ impl FaultSimEngine for FaultSim<'_, '_> {
     }
 }
 
-impl FaultSimEngine for ParallelFaultSim<'_, '_> {
+impl FaultSimEngine for ParallelFaultSim<'_> {
     fn detect_batch(&mut self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
         self.detect_many_cached(spec, good, faults)
     }

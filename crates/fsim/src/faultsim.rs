@@ -123,9 +123,8 @@ impl StateBuf {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct FaultSim<'m, 'a> {
-    model: &'m CaptureModel<'a>,
-    graph: &'m SimGraph,
+pub struct FaultSim<'g> {
+    graph: &'g SimGraph,
     // Faulty node values with generation stamps (valid when stamp==gen).
     fval: Vec<PVal>,
     fstamp: Vec<u32>,
@@ -145,14 +144,20 @@ pub struct FaultSim<'m, 'a> {
     events: u64,
 }
 
-impl<'m, 'a> FaultSim<'m, 'a> {
+impl<'g> FaultSim<'g> {
     /// Creates an engine with scratch space sized for the model.
-    pub fn new(model: &'m CaptureModel<'a>) -> Self {
-        let graph = model.graph();
+    pub fn new(model: &'g CaptureModel<'_>) -> Self {
+        Self::from_graph(model.graph())
+    }
+
+    /// Creates an engine directly over a compiled graph — everything
+    /// the kernel needs lives in the graph, which is how the persistent
+    /// [`ParallelFaultSim`](crate::ParallelFaultSim) workers build
+    /// their arenas from an `Arc<SimGraph>` they own.
+    pub fn from_graph(graph: &'g SimGraph) -> Self {
         let n = graph.cells();
         let n_flops = graph.flop_count();
         FaultSim {
-            model,
             graph,
             fval: vec![PVal::XX; n],
             fstamp: vec![0; n],
@@ -191,7 +196,7 @@ impl<'m, 'a> FaultSim<'m, 'a> {
             return 0;
         }
 
-        let site_node = site_node(self.model, fault.site());
+        let site_node = graph_site_node(self.graph, fault.site());
         let frames = spec.frames();
 
         // Launch requirement for transition faults.
@@ -201,8 +206,8 @@ impl<'m, 'a> FaultSim<'m, 'a> {
                 if frames < 2 {
                     return 0;
                 }
-                let before = good.frames[frames - 2][site_node.index()];
-                let after = good.frames[frames - 1][site_node.index()];
+                let before = good.frames[frames - 2][site_node];
+                let after = good.frames[frames - 1][site_node];
                 let m = match fault.polarity() {
                     Polarity::P0 => before.def0() & after.def1(), // slow-to-rise
                     Polarity::P1 => before.def1() & after.def0(), // slow-to-fall
@@ -331,7 +336,7 @@ impl<'m, 'a> FaultSim<'m, 'a> {
 
         // Detection: scan-state differences at unload + observed POs.
         let mut detect = po_diff;
-        for &fi in self.model.scan_flops() {
+        for &fi in self.graph.scan_flops() {
             let fi = fi as usize;
             let good_v = good.states[frames][fi];
             let mut faulty_v = self.cur.get(fi).unwrap_or(good_v);
@@ -405,6 +410,23 @@ impl<'m, 'a> FaultSim<'m, 'a> {
 
     /// Computes one flop's faulty next state and records it in `next`
     /// when it differs from the good next state.
+    ///
+    /// ## Intended reset semantics
+    ///
+    /// The contract every packed engine implements, inherited from the
+    /// original pre-kernel engine and kept for bit-identity: the
+    /// **good** machine applies asynchronous resets every frame (see
+    /// `simulate_good`), while the **faulty** state of a flop whose
+    /// domain is *not pulsed* in the frame simply carries over — a
+    /// faulty reset net active in a non-pulsed frame is *not*
+    /// propagated into the flop. The scalar ATPG value engines
+    /// (`occ-atpg`'s `DualSim` and `DualGraphSim`) intentionally differ
+    /// in that corner: they apply reset handling to *both* machines
+    /// every frame, and both cite this note as the shared reference for
+    /// the asymmetry. The cross-engine suites (`dual_sim_detection_*`,
+    /// `tests/atpg_equivalence.rs`, the brute-force re-detect checks)
+    /// pin the corner down; deciding one semantics and updating all
+    /// engines together is a ROADMAP open item.
     fn capture_flop(
         &mut self,
         fi: usize,
@@ -463,6 +485,15 @@ pub(crate) fn site_node(model: &CaptureModel<'_>, site: FaultSite) -> CellId {
     match site {
         FaultSite::Output(c) => c,
         FaultSite::Input { cell, pin } => model.netlist().cell(cell).inputs()[pin as usize],
+    }
+}
+
+/// [`site_node`] over the compiled graph's CSR fanins (same pin order
+/// as the netlist), as a dense cell index.
+pub(crate) fn graph_site_node(graph: &SimGraph, site: FaultSite) -> usize {
+    match site {
+        FaultSite::Output(c) => c.index(),
+        FaultSite::Input { cell, pin } => graph.fanins(cell.index())[pin as usize] as usize,
     }
 }
 

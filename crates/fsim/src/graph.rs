@@ -85,9 +85,10 @@ impl OpCode {
 }
 
 /// Per-flop capture metadata, precomputed so the per-frame state step
-/// is pure array reads.
+/// is pure array reads. Public because the compiled ATPG value engine
+/// (`occ-atpg`'s `DualGraphSim`) rides the same graph.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FlopMeta {
+pub struct FlopMeta {
     /// The flop cell index.
     pub cell: u32,
     /// Clock domain pulsing this flop.
@@ -136,10 +137,10 @@ impl FlopMeta {
 }
 
 /// Sentinel for [`FlopMeta::reset`]: the flop has no reset pin.
-pub(crate) const NO_RESET: u32 = u32::MAX;
+pub const NO_RESET: u32 = u32::MAX;
 
 /// Tag bit marking a propagation-fanout entry as a flop index.
-pub(crate) const FLOP_TAG: u32 = 1 << 31;
+pub const FLOP_TAG: u32 = 1 << 31;
 
 /// Aggregate counters a compiled kernel reports: the static shape of
 /// the graph plus the dynamic work performed since the engine was
@@ -234,6 +235,7 @@ pub struct SimGraph {
     fo: Vec<u32>,
     ties: Vec<(u32, PVal)>,
     flops: Vec<FlopMeta>,
+    scan_flops: Vec<u32>,
     pos: Vec<u32>,
     obs_scan: BitSet,
     obs_po: BitSet,
@@ -319,6 +321,15 @@ impl SimGraph {
             .map(|id| id.index() as u32)
             .collect();
 
+        // Scan flops by model flop index, in scan-load order (the
+        // model's flop order filtered to scan cells).
+        let scan_flops: Vec<u32> = flops
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.is_scan)
+            .map(|(fi, _)| fi as u32)
+            .collect();
+
         // Observability cones: backward reachability over fanin edges
         // from the observation roots. Over-approximate (it traverses
         // every pin, including clock pins the engine never samples
@@ -349,6 +360,7 @@ impl SimGraph {
             fo,
             ties,
             flops: metas,
+            scan_flops,
             pos,
             obs_scan,
             obs_po,
@@ -413,43 +425,61 @@ impl SimGraph {
         }
     }
 
+    /// The dense op code of a cell.
     #[inline]
-    pub(crate) fn op(&self, cell: usize) -> OpCode {
+    pub fn op(&self, cell: usize) -> OpCode {
         self.ops[cell]
     }
 
+    /// The combinational level of a cell (sources and state are 0).
     #[inline]
-    pub(crate) fn level_of(&self, cell: usize) -> u32 {
+    pub fn level_of(&self, cell: usize) -> u32 {
         self.level[cell]
     }
 
+    /// CSR fanin slice of a cell: all input pins in pin order.
     #[inline]
-    pub(crate) fn fanins(&self, cell: usize) -> &[u32] {
+    pub fn fanins(&self, cell: usize) -> &[u32] {
         &self.fanin[self.fanin_start[cell] as usize..self.fanin_start[cell + 1] as usize]
     }
 
+    /// CSR propagation-fanout slice of a cell: combinational sinks as
+    /// plain cell indices, flop sinks as `FLOP_TAG | flop_index`;
+    /// non-propagating sinks (latches, clock gates, RAM macros) are
+    /// dropped at compile time.
     #[inline]
-    pub(crate) fn prop_fanouts(&self, cell: usize) -> &[u32] {
+    pub fn prop_fanouts(&self, cell: usize) -> &[u32] {
         &self.fo[self.fo_start[cell] as usize..self.fo_start[cell + 1] as usize]
     }
 
+    /// The flattened levelized evaluation order (combinational cells
+    /// only, dependencies first).
     #[inline]
-    pub(crate) fn comb_order(&self) -> &[u32] {
+    pub fn comb_order(&self) -> &[u32] {
         &self.order
     }
 
+    /// `(cell, value)` pairs of the constant tie cells.
     #[inline]
-    pub(crate) fn tie_values(&self) -> &[(u32, PVal)] {
+    pub fn tie_values(&self) -> &[(u32, PVal)] {
         &self.ties
     }
 
+    /// Capture metadata of one flop (by model flop index).
     #[inline]
-    pub(crate) fn flop_meta(&self, fi: usize) -> &FlopMeta {
+    pub fn flop_meta(&self, fi: usize) -> &FlopMeta {
         &self.flops[fi]
     }
 
+    /// Model flop indices of the scan flops, in scan-load order.
     #[inline]
-    pub(crate) fn po_cells(&self) -> &[u32] {
+    pub fn scan_flops(&self) -> &[u32] {
+        &self.scan_flops
+    }
+
+    /// Primary-output cell indices.
+    #[inline]
+    pub fn po_cells(&self) -> &[u32] {
         &self.pos
     }
 

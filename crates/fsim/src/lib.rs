@@ -50,7 +50,7 @@ mod spec;
 pub use engine::FaultSimEngine;
 pub use faultsim::FaultSim;
 pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};
-pub use graph::{KernelStats, OpCode, SimGraph};
+pub use graph::{FlopMeta, KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
 pub use model::{CaptureModel, ClockBinding, FlopInfo, ModelError};
 pub use parallel::ParallelFaultSim;
 pub use pattern::{Pattern, PatternSet};

@@ -225,6 +225,14 @@ impl<'a> CaptureModel<'a> {
         &self.graph
     }
 
+    /// A shared handle to the compiled graph — what long-lived worker
+    /// threads (the [`ParallelFaultSim`](crate::ParallelFaultSim)
+    /// pool) hold so their scratch arenas outlive the model borrow.
+    #[inline]
+    pub fn graph_arc(&self) -> Arc<SimGraph> {
+        Arc::clone(&self.graph)
+    }
+
     /// The underlying netlist.
     pub fn netlist(&self) -> &'a Netlist {
         self.netlist

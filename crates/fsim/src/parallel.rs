@@ -1,12 +1,23 @@
-//! Sharded PPSFP: fault-partition parallelism over the serial engine.
+//! Sharded PPSFP: fault-partition parallelism over the serial engine,
+//! scheduled onto a **persistent worker pool**.
 //!
 //! PPSFP is embarrassingly parallel across *faults*: each fault's
 //! detection mask depends only on the shared read-only inputs (the
-//! [`CaptureModel`], the [`FrameSpec`] and the good-machine batch), so
-//! the collapsed fault universe can be sharded across worker threads
-//! with **no shared mutable state** — every worker owns one private
-//! [`FaultSim`] scratch arena (value/stamp/bucket vectors) which it
-//! reuses for all faults of its shard.
+//! compiled [`SimGraph`], the [`FrameSpec`] and the good-machine
+//! batch), so the collapsed fault universe can be sharded across
+//! worker threads with **no shared mutable state** — every worker owns
+//! one private [`FaultSim`] scratch arena (value/stamp/bucket vectors)
+//! which it reuses for all blocks it ever grades.
+//!
+//! The workers are spawned once, when the scheduler is created, and
+//! live until it is dropped. Earlier revisions re-entered
+//! `thread::scope` for every batch, which re-spawned (and re-allocated
+//! the arenas of) every worker per call — exactly the wrong shape for
+//! the many-small-batch ATPG phase. The pool instead holds an
+//! `Arc<SimGraph>` per worker (the graph owns every compiled array, so
+//! the threads need no borrow of the caller's model) and receives jobs
+//! over a shared queue; per batch the inputs are shared with the
+//! workers through three `Arc` clones.
 //!
 //! Determinism: result masks are written back by fault index, so the
 //! output of [`ParallelFaultSim::detect_many`] is bit-identical to the
@@ -14,28 +25,109 @@
 //! [`ParallelFaultSim::grade`] processes faults in universe order —
 //! thread scheduling can never change a coverage report.
 //!
-//! Shards are interleaved blocks (worker `t` takes blocks `t`,
-//! `t + T`, `t + 2T`, …) rather than one contiguous span per worker:
-//! fault cost correlates strongly with netlist locality, and striding
-//! spreads the expensive cones across all workers.
+//! Blocks are dealt from the shared queue, so an expensive cone
+//! occupies one worker while the others drain the rest — better load
+//! balance than any static striding, with the same deterministic
+//! output.
 
 use crate::faultsim::FaultSim;
 use crate::goodsim::GoodBatch;
-use crate::graph::KernelStats;
+use crate::graph::{KernelStats, SimGraph};
 use crate::{CaptureModel, FrameSpec};
 use occ_fault::{Fault, FaultList, FaultStatus};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// Default number of faults per scheduling block.
 const DEFAULT_BLOCK: usize = 128;
 
-/// One worker shard's output: `(block start, masks)` pairs plus the
-/// worker's kernel counters.
-type ShardResult = (Vec<(usize, Vec<u64>)>, KernelStats);
+/// One unit of work for a pool worker: grade `faults[start..end]` of a
+/// shared batch and send the masks (keyed by `start`) back.
+struct Job {
+    spec: Arc<FrameSpec>,
+    good: Arc<GoodBatch>,
+    faults: Arc<Vec<Fault>>,
+    start: usize,
+    end: usize,
+    results: mpsc::Sender<(usize, Vec<u64>, KernelStats)>,
+}
 
-/// A fault-partition scheduler running the PPSFP engine on worker
-/// threads with per-thread scratch arenas.
+/// The persistent workers plus the sending half of their job queue.
+#[derive(Debug)]
+struct Pool {
+    // `Option` so `Drop` can hang up the queue before joining.
+    jobs: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn spawn(graph: &Arc<SimGraph>, threads: usize) -> Pool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let graph = Arc::clone(graph);
+                thread::spawn(move || {
+                    // One scratch arena per worker, reused for every
+                    // block of every batch this pool ever grades.
+                    let mut engine = FaultSim::from_graph(&graph);
+                    loop {
+                        // Hold the queue lock only while dequeueing.
+                        let job = match rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // scheduler dropped
+                        };
+                        let before = engine.kernel_stats();
+                        let masks = engine.detect_many(
+                            &job.spec,
+                            &job.good,
+                            &job.faults[job.start..job.end],
+                        );
+                        let after = engine.kernel_stats();
+                        let delta = KernelStats {
+                            faults_graded: after.faults_graded - before.faults_graded,
+                            cone_pruned: after.cone_pruned - before.cone_pruned,
+                            events: after.events - before.events,
+                            ..KernelStats::default()
+                        };
+                        // A send error means the caller gave up on the
+                        // batch; keep serving the queue.
+                        let _ = job.results.send((job.start, masks, delta));
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.jobs
+            .as_ref()
+            .expect("pool hung up")
+            .send(job)
+            .expect("fault-sim worker pool is gone");
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Hang up the queue first so the blocked workers see the
+        // disconnect, then reap them.
+        self.jobs.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A fault-partition scheduler running the PPSFP engine on a persistent
+/// pool of worker threads with per-thread scratch arenas.
 ///
 /// # Examples
 ///
@@ -73,14 +165,16 @@ type ShardResult = (Vec<(usize, Vec<u64>)>, KernelStats);
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ParallelFaultSim<'m, 'a> {
-    model: &'m CaptureModel<'a>,
+pub struct ParallelFaultSim<'g> {
+    graph: &'g SimGraph,
     threads: usize,
     block: usize,
+    // The persistent workers (absent when the scheduler is serial).
+    pool: Option<Pool>,
     // Lazily-built serial engine reused across small-batch calls (the
     // ATPG compaction loop grades one pattern at a time; rebuilding
     // the scratch arenas per call would dominate).
-    scratch: Option<FaultSim<'m, 'a>>,
+    scratch: Option<FaultSim<'g>>,
     // Kernel work counters merged back from worker shards (atomic so
     // `detect_many(&self)` can record them).
     faults_graded: AtomicU64,
@@ -88,20 +182,24 @@ pub struct ParallelFaultSim<'m, 'a> {
     events: AtomicU64,
 }
 
-impl<'m, 'a> ParallelFaultSim<'m, 'a> {
+impl<'g> ParallelFaultSim<'g> {
     /// Creates a scheduler using all available hardware parallelism.
-    pub fn new(model: &'m CaptureModel<'a>) -> Self {
+    pub fn new(model: &'g CaptureModel<'_>) -> Self {
         let threads = thread::available_parallelism().map_or(1, |n| n.get());
         Self::with_threads(model, threads)
     }
 
     /// Creates a scheduler with an explicit worker count (`0` and `1`
-    /// both mean "run serially on the calling thread").
-    pub fn with_threads(model: &'m CaptureModel<'a>, threads: usize) -> Self {
+    /// both mean "run serially on the calling thread"). Workers are
+    /// spawned immediately and live until the scheduler is dropped.
+    pub fn with_threads(model: &'g CaptureModel<'_>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = (threads > 1).then(|| Pool::spawn(&model.graph_arc(), threads));
         ParallelFaultSim {
-            model,
-            threads: threads.max(1),
+            graph: model.graph(),
+            threads,
             block: DEFAULT_BLOCK,
+            pool,
             scratch: None,
             faults_graded: AtomicU64::new(0),
             cone_pruned: AtomicU64::new(0),
@@ -112,7 +210,7 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
     /// Kernel statistics aggregated over every shard this scheduler has
     /// run (plus the cached serial scratch engine, when used).
     pub fn kernel_stats(&self) -> KernelStats {
-        let mut s = self.model.graph().static_stats();
+        let mut s = self.graph.static_stats();
         s.faults_graded = self.faults_graded.load(Ordering::Relaxed);
         s.cone_pruned = self.cone_pruned.load(Ordering::Relaxed);
         s.events = self.events.load(Ordering::Relaxed);
@@ -139,11 +237,6 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
         self.threads
     }
 
-    /// The capture model this scheduler is bound to.
-    pub fn model(&self) -> &'m CaptureModel<'a> {
-        self.model
-    }
-
     /// Like [`ParallelFaultSim::detect_many`], but reuses a cached
     /// serial scratch arena for the small batches that fall below the
     /// sharding threshold (how the trait-object ATPG path calls in —
@@ -155,10 +248,10 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
         faults: &[Fault],
     ) -> Vec<u64> {
         if self.threads == 1 || faults.len() <= self.block {
-            let model = self.model;
+            let graph = self.graph;
             return self
                 .scratch
-                .get_or_insert_with(|| FaultSim::new(model))
+                .get_or_insert_with(|| FaultSim::from_graph(graph))
                 .detect_many(spec, good, faults);
         }
         self.detect_many(spec, good, faults)
@@ -167,51 +260,41 @@ impl<'m, 'a> ParallelFaultSim<'m, 'a> {
     /// Detects a batch of faults, returning one 64-bit mask per fault —
     /// bit-identical to [`FaultSim::detect_many`] at any thread count.
     pub fn detect_many(&self, spec: &FrameSpec, good: &GoodBatch, faults: &[Fault]) -> Vec<u64> {
-        // Below roughly one block per worker the spawn overhead cannot
-        // pay for itself; fall through to the serial engine.
-        if self.threads == 1 || faults.len() <= self.block {
-            let mut engine = FaultSim::new(self.model);
+        // Below roughly one block per worker the cross-thread handoff
+        // cannot pay for itself; fall through to the serial engine.
+        let Some(pool) = self.pool.as_ref().filter(|_| faults.len() > self.block) else {
+            let mut engine = FaultSim::from_graph(self.graph);
             let masks = engine.detect_many(spec, good, faults);
             self.merge_stats(&engine.kernel_stats());
             return masks;
-        }
+        };
 
+        // Share the batch inputs with the pool; the clones live only as
+        // long as the slowest worker needs them.
+        let spec = Arc::new(spec.clone());
+        let good_arc = Arc::new(good.clone());
+        let faults_arc = Arc::new(faults.to_vec());
+        let (tx, rx) = mpsc::channel();
         let n_blocks = faults.len().div_ceil(self.block);
-        let workers = self.threads.min(n_blocks);
-        let mut out = vec![0u64; faults.len()];
-
-        let shards: Vec<ShardResult> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| {
-                    scope.spawn(move || {
-                        // One scratch arena per worker, reused for the
-                        // whole shard.
-                        let mut engine = FaultSim::new(self.model);
-                        let mut results = Vec::new();
-                        let mut b = t;
-                        while b < n_blocks {
-                            let start = b * self.block;
-                            let end = (start + self.block).min(faults.len());
-                            let masks = engine.detect_many(spec, good, &faults[start..end]);
-                            results.push((start, masks));
-                            b += workers;
-                        }
-                        (results, engine.kernel_stats())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fault-sim worker panicked"))
-                .collect()
-        });
+        for b in 0..n_blocks {
+            let start = b * self.block;
+            pool.submit(Job {
+                spec: Arc::clone(&spec),
+                good: Arc::clone(&good_arc),
+                faults: Arc::clone(&faults_arc),
+                start,
+                end: (start + self.block).min(faults.len()),
+                results: tx.clone(),
+            });
+        }
+        drop(tx);
 
         // Deterministic merge: each block owns a disjoint index range.
-        for (results, stats) in shards {
+        let mut out = vec![0u64; faults.len()];
+        for _ in 0..n_blocks {
+            let (start, masks, stats) = rx.recv().expect("fault-sim worker panicked");
             self.merge_stats(&stats);
-            for (start, masks) in results {
-                out[start..start + masks.len()].copy_from_slice(&masks);
-            }
+            out[start..start + masks.len()].copy_from_slice(&masks);
         }
         out
     }
@@ -346,6 +429,33 @@ mod tests {
         for block in [1, 3, 7, 64] {
             check_identical(4, block);
         }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The persistent pool must serve repeated batches (the ATPG
+        // shape) without respawning or wedging, and stay bit-identical.
+        let nl = rig();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", nl.find("clk").unwrap());
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(&nl, binding).unwrap();
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&model, &spec, 0);
+        p.fill_x(|| Logic::One);
+        let good = simulate_good(&model, &spec, &[p]);
+        let faults = FaultUniverse::stuck_at(&nl).faults().to_vec();
+
+        let mut serial = FaultSim::new(&model);
+        let want = serial.detect_many(&spec, &good, &faults);
+        let psim = ParallelFaultSim::with_threads(&model, 4).block_size(2);
+        for round in 0..10 {
+            let got = psim.detect_many(&spec, &good, &faults);
+            assert_eq!(got, want, "round {round}");
+        }
+        let graded = psim.kernel_stats().faults_graded;
+        assert_eq!(graded, 10 * faults.len() as u64);
     }
 
     #[test]

@@ -3,17 +3,21 @@
 //! clocking (experiment (c)) and the enhanced CPF (experiment (d)) —
 //! the paper's central comparison — each as one `TestFlow` run.
 //!
-//! Run with: `cargo run --release --example delay_test_flow [-- --threads N]`
+//! Run with:
+//! `cargo run --release --example delay_test_flow [-- --threads N] [--atpg-engine E]`
 //!
 //! `--threads N` routes the run through the sharded fault-sim engine
 //! with `N` workers; the default uses all available parallelism.
+//! `--atpg-engine reference|compiled` selects the PODEM engine
+//! (identical results; `compiled` — the default — is faster).
 
 use occ::core::ClockingMode;
-use occ::flow::{EngineChoice, FaultKind, TestFlow};
+use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, TestFlow};
 use occ::soc::{generate, SocConfig};
 
 fn main() {
     let mut engine = EngineChoice::Auto;
+    let mut atpg_engine = AtpgEngineChoice::Compiled;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,7 +28,13 @@ fn main() {
                     .expect("--threads needs a number");
                 engine = EngineChoice::Sharded { threads };
             }
-            other => panic!("unknown argument '{other}' (expected --threads N)"),
+            "--atpg-engine" => {
+                atpg_engine = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--atpg-engine needs reference|compiled");
+            }
+            other => panic!("unknown argument '{other}' (expected --threads N or --atpg-engine E)"),
         }
     }
 
@@ -55,6 +65,7 @@ fn main() {
             .fault_model(FaultKind::Transition)
             .mask_bidi(mask_bidi)
             .engine(engine)
+            .atpg_engine(atpg_engine)
             .run()
         {
             Ok(report) => report,
@@ -65,8 +76,8 @@ fn main() {
             }
         };
         println!(
-            "\n{label}: {} capture procedures ({} engine x{})",
-            report.procedures, report.engine, report.threads
+            "\n{label}: {} capture procedures ({} engine x{}, {} atpg)",
+            report.procedures, report.engine, report.threads, report.atpg_engine
         );
         println!(
             "   coverage {:.2}%  patterns {}  efficiency {:.2}%  ({:.1}s)",
