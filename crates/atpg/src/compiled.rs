@@ -65,6 +65,16 @@ pub struct CompiledPodem<'m, 'a> {
     fgen: u32,
     // Frame stride of the stamped tables (the bound spec's frames).
     cur_frames: usize,
+    // D-frontier candidate maintenance: the levelized order and each
+    // cell's position in it (`NONE` for non-combinational cells), the
+    // per-frame candidate sets (as order positions, sorted on demand)
+    // and a stamped membership table over (cell, frame).
+    order: Vec<CellId>,
+    order_pos: Vec<u32>,
+    cand: Vec<Vec<u32>>,
+    cand_dirty: Vec<bool>,
+    cand_in: Vec<u32>,
+    cgen: u32,
     // Work counters.
     decisions: u64,
     backtracks: u64,
@@ -82,6 +92,11 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
         for (i, &c) in model.free_pis().iter().enumerate() {
             pi_of[c.index()] = i as u32;
         }
+        let order: Vec<CellId> = model.netlist().levelization().order().to_vec();
+        let mut order_pos = vec![NONE; n];
+        for (pos, &id) in order.iter().enumerate() {
+            order_pos[id.index()] = pos as u32;
+        }
         CompiledPodem {
             sim: DualGraphSim::new(model),
             cc: Controllability::compute(model),
@@ -95,6 +110,12 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
             failed: Vec::new(),
             fgen: 0,
             cur_frames: 0,
+            order,
+            order_pos,
+            cand: Vec::new(),
+            cand_dirty: Vec::new(),
+            cand_in: Vec::new(),
+            cgen: 0,
             decisions: 0,
             backtracks: 0,
         }
@@ -124,9 +145,17 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
         if self.failed.len() < slots * 2 {
             self.failed.resize(slots * 2, 0);
         }
+        if self.cand.len() < spec.frames() {
+            self.cand.resize_with(spec.frames(), Vec::new);
+            self.cand_dirty.resize(spec.frames(), false);
+        }
+        if self.cand_in.len() < slots {
+            self.cand_in.resize(slots, 0);
+        }
 
         let mut pattern = Pattern::empty(self.model, spec, 0);
         self.sim.begin(spec, &pattern, fault);
+        self.seed_candidates(spec, fault);
         self.stack.clear();
         let mut backtracks = 0usize;
         // Hard ceiling on iterations as a safety net.
@@ -134,6 +163,7 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
 
         for _ in 0..max_iters {
             self.sim.resimulate(spec, &pattern);
+            self.drain_changed();
             if self.sim.detected(spec, fault) {
                 return PodemOutcome::Test(Box::new(pattern));
             }
@@ -366,6 +396,87 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
         false
     }
 
+    /// Rebuilds the D-frontier candidate sets after a full simulation:
+    /// every cell whose output differs between the machines (in the
+    /// broad sense — differing definite values *or* differing
+    /// definiteness) is noted together with its propagation fanouts,
+    /// plus the input-site cell in its active frames. The sets are a
+    /// conservative superset — [`CompiledPodem::find_assignment`]
+    /// re-applies the exact per-cell filters — kept current by
+    /// [`CompiledPodem::drain_changed`] after each incremental resim,
+    /// so decisions no longer walk the whole levelized order.
+    fn seed_candidates(&mut self, spec: &FrameSpec, fault: Fault) {
+        let frames = spec.frames();
+        self.cgen = self.cgen.wrapping_add(1);
+        if self.cgen == 0 {
+            self.cand_in.fill(0);
+            self.cgen = 1;
+        }
+        for f in 0..frames {
+            self.cand[f].clear();
+            self.cand_dirty[f] = false;
+        }
+        if let FaultSite::Input { cell, .. } = fault.site() {
+            let first_active = match fault.model() {
+                FaultModel::StuckAt => 1,
+                FaultModel::Transition => frames,
+            };
+            for k in first_active..=frames {
+                self.note_candidate(cell.index(), k - 1);
+            }
+        }
+        let n = self.model.netlist().len();
+        for k in 1..=frames {
+            for ci in 0..n {
+                let id = CellId::from_index(ci);
+                let g = self.sim.good(k, id);
+                let f = self.sim.faulty(k, id);
+                let broad_diff = (g.is_definite() && f.is_definite() && g != f)
+                    || (g.is_definite() != f.is_definite());
+                if broad_diff {
+                    self.note_changed(ci, k - 1);
+                }
+            }
+        }
+    }
+
+    /// Feeds the value engine's changed-cell log of the last resim into
+    /// the candidate sets.
+    fn drain_changed(&mut self) {
+        let buf = self.sim.take_changed();
+        for &(frame0, ci) in &buf {
+            self.note_changed(ci as usize, frame0 as usize);
+        }
+        self.sim.restore_changed(buf);
+    }
+
+    /// A cell's value moved (or differs) at `frame0`: the cell itself
+    /// and its propagation fanouts become D-frontier candidates there.
+    fn note_changed(&mut self, ci: usize, frame0: usize) {
+        self.note_candidate(ci, frame0);
+        let model = self.model;
+        let graph = model.graph();
+        for &e in graph.prop_fanouts(ci) {
+            if e & occ_fsim::FLOP_TAG == 0 {
+                self.note_candidate(e as usize, frame0);
+            }
+        }
+    }
+
+    #[inline]
+    fn note_candidate(&mut self, ci: usize, frame0: usize) {
+        let pos = self.order_pos[ci];
+        if pos == NONE {
+            return; // non-combinational cells never sit on the frontier
+        }
+        let slot = ci * self.cur_frames + frame0;
+        if self.cand_in[slot] != self.cgen {
+            self.cand_in[slot] = self.cgen;
+            self.cand[frame0].push(pos);
+            self.cand_dirty[frame0] = true;
+        }
+    }
+
     /// For stuck faults on a scan flop's Q net: the flop's model index
     /// (they are observed directly during unload).
     fn stuck_scan_q_flop(&self, fault: Fault) -> Option<usize> {
@@ -451,8 +562,11 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
 
         // 2. Propagation: every observable D-frontier gate, every X
         // side input, until a backtrace lands on a variable — same
-        // enumeration order as the reference, generated on demand so no
-        // objective list is materialized.
+        // enumeration order as the reference (frames ascending, then
+        // levelized order), but generated from the maintained candidate
+        // sets instead of walking the whole order: only cells near a
+        // machine difference are visited, and the exact reference
+        // filters re-run per candidate so the outcome is identical.
         let nl = self.model.netlist();
         let pin_site_cell = match fault.site() {
             FaultSite::Input { cell, .. } => Some(cell),
@@ -463,7 +577,14 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
             FaultModel::Transition => k == frames,
         };
         for k in 1..=frames {
-            for &id in nl.levelization().order() {
+            if self.cand_dirty[k - 1] {
+                self.cand[k - 1].sort_unstable();
+                self.cand_dirty[k - 1] = false;
+            }
+            let mut ci = 0usize;
+            while ci < self.cand[k - 1].len() {
+                let id = self.order[self.cand[k - 1][ci] as usize];
+                ci += 1;
                 let g_out = self.sim.good(k, id);
                 let f_out = self.sim.faulty(k, id);
                 if g_out.is_definite() && f_out.is_definite() {

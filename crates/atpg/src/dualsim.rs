@@ -321,6 +321,10 @@ pub struct DualGraphSim<'m, 'a> {
     // Decision-variable changes noted since the last (re)simulation.
     dirty_scan: Vec<u32>,
     dirty_pi: Vec<(u32, u32)>,
+    // `(frame - 1, cell)` pairs whose value moved (either machine)
+    // during the most recent `resimulate` — the feed for the search
+    // engine's D-frontier candidate maintenance.
+    changed: Vec<(u32, u32)>,
     // Entering-state dirt, double-buffered across frames.
     sdirty: Vec<u32>,
     sdirty_next: Vec<u32>,
@@ -361,6 +365,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             touched: Vec::new(),
             dirty_scan: Vec::new(),
             dirty_pi: Vec::new(),
+            changed: Vec::new(),
             sdirty: Vec::new(),
             sdirty_next: Vec::new(),
             events: 0,
@@ -476,6 +481,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
     /// Panics if called before [`DualGraphSim::begin`].
     pub fn resimulate(&mut self, spec: &FrameSpec, pattern: &Pattern) {
         assert!(self.cur_fault.is_some(), "resimulate before begin");
+        self.changed.clear();
         if self.dirty_scan.is_empty() && self.dirty_pi.is_empty() {
             return; // arrays already reflect the pattern
         }
@@ -484,6 +490,20 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
         self.machine_pass(Machine::Faulty, spec, pattern);
         self.dirty_scan.clear();
         self.dirty_pi.clear();
+    }
+
+    /// Takes the `(frame - 1, cell)` change log of the most recent
+    /// [`DualGraphSim::resimulate`] (both machines, duplicates
+    /// possible). The caller returns the buffer through
+    /// [`DualGraphSim::restore_changed`] so its capacity is reused.
+    pub(crate) fn take_changed(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.changed)
+    }
+
+    /// Hands a drained change-log buffer back for reuse.
+    pub(crate) fn restore_changed(&mut self, mut buf: Vec<(u32, u32)>) {
+        buf.clear();
+        self.changed = buf;
     }
 
     /// Sizes the flat arrays for the spec (grow-only).
@@ -603,6 +623,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             touched,
             dirty_scan,
             dirty_pi,
+            changed,
             sdirty,
             sdirty_next,
             events,
@@ -657,6 +678,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
                 let v = pattern.pis_for_frame(k)[pi as usize];
                 if vals[ci] != v {
                     vals[ci] = v;
+                    changed.push(((k - 1) as u32, ci as u32));
                     push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
                 }
             }
@@ -677,6 +699,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
                 let v = state_all[(k - 1) * nf + fi];
                 if vals[ci] != v {
                     vals[ci] = v;
+                    changed.push(((k - 1) as u32, ci as u32));
                     push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
                 }
             }
@@ -696,6 +719,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
                     let v = eval_logic(graph, ci, vals, pin_fault);
                     if v != vals[ci] {
                         vals[ci] = v;
+                        changed.push(((k - 1) as u32, ci as u32));
                         push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
                     }
                 }

@@ -5,14 +5,17 @@
 //! ```text
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
 //!        [--engine serial|auto|sharded:N]
-//!        [--atpg-engine reference|compiled] [--csv]
+//!        [--atpg-engine reference|compiled] [--timing] [--csv]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
 //! that experiment runs. The fault-sim engine defaults to `auto` (all
 //! available hardware parallelism); `--threads N` is shorthand for
 //! `--engine sharded:N`. The ATPG engine defaults to `compiled`
-//! (identical results to `reference`, faster).
+//! (identical results to `reference`, faster). `--timing` adds the
+//! slack-aware delay-test-quality pass and prints the paper-style
+//! per-clocking-mode quality comparison (SDQL, weighted coverage,
+//! capture windows).
 
 use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
@@ -43,6 +46,7 @@ fn main() {
             }
             "--engine" => options.engine = parsed_value(&mut args, "--engine"),
             "--atpg-engine" => options.atpg_engine = parsed_value(&mut args, "--atpg-engine"),
+            "--timing" => options.timing = true,
             "--csv" => csv = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown argument '{other}'");
@@ -91,6 +95,9 @@ fn main() {
                 r.report.threads,
             );
             println!("{}", r.report.coverage);
+            if let Some(q) = &r.report.delay_quality {
+                print!("{q}");
+            }
             let undetected = r
                 .report
                 .result

@@ -1,0 +1,364 @@
+//! STA throughput benchmark and regression gate — the timing-side
+//! sibling of `fsim_bench` / `atpg_bench`.
+//!
+//! Runs the retained naive [`occ_timing::reference_arrivals`] and the
+//! compiled [`occ_timing::Sta`] over the seeded Table-1 SOC,
+//! cross-checks that the arrival tables are identical, and times both;
+//! then grades a strided transition-fault sample through the **timed**
+//! PPSFP detect path (timing view attached) under the counting
+//! allocator. Results land in `BENCH_timing.json` so the perf
+//! trajectory is tracked in-repo.
+//!
+//! ```text
+//! timing_bench [--flops N] [--passes N] [--faults N]
+//!              [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Two gates:
+//!
+//! * **Allocation** (hardware-independent, always on): after warm-up
+//!   the timed detect path must stay O(1) allocations per fault —
+//!   capped at [`MAX_ALLOCS_PER_FAULT`].
+//! * **Speedup ratio** (with `--check`): the compiled-vs-reference STA
+//!   passes/sec ratio — both engines produce identical arrivals on the
+//!   same machine, so the ratio cancels out machine speed — must not
+//!   regress more than 20% against the committed baseline.
+//!   `TIMING_BENCH_SKIP_CHECK` bypasses it on cold machines; the
+//!   arrival cross-check always runs.
+
+#[path = "../alloc_track.rs"]
+mod alloc_track;
+
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
+use occ_fault::FaultUniverse;
+use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, Pattern, SimTiming};
+use occ_netlist::{CellKind, Logic};
+use occ_sim::DelayModel;
+use occ_soc::{generate, SocConfig};
+use occ_timing::{reference_arrivals, CaptureTargets, Sta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Allowed speedup-ratio drop vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Hard cap on timed-detect allocations per fault after warm-up. The
+/// steady state is 0 — all timed scratch is allocated on attach.
+const MAX_ALLOCS_PER_FAULT: f64 = 1.0;
+
+struct Options {
+    flops: usize,
+    passes: usize,
+    faults: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        flops: 96,
+        passes: 2_000,
+        faults: 2_000,
+        out: "BENCH_timing.json".to_owned(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--flops" => {
+                opts.flops = value("--flops")?
+                    .parse()
+                    .map_err(|e| format!("--flops: {e}"))?
+            }
+            "--passes" => {
+                let n: usize = value("--passes")?
+                    .parse()
+                    .map_err(|e| format!("--passes: {e}"))?;
+                if n == 0 {
+                    return Err("--passes must be positive".to_owned());
+                }
+                opts.passes = n;
+            }
+            "--faults" => {
+                let n: usize = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+                if n == 0 {
+                    return Err("--faults must be positive".to_owned());
+                }
+                opts.faults = n;
+            }
+            "--out" => opts.out = value("--out")?,
+            "--check" => opts.check = Some(value("--check")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("timing_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let soc = generate(&SocConfig::paper_like(20050307, opts.flops));
+    let model =
+        CaptureModel::new(soc.netlist(), soc.binding(true)).expect("generated SOC always binds");
+    let graph = model.graph();
+    let n = graph.cells();
+    // A library-like delay model with per-kind and per-cell overrides:
+    // the realistic case the compiled flat table exists for (every
+    // uncompiled lookup pays mnemonic-keyed HashMap probes).
+    let mut delay_model = DelayModel::default();
+    delay_model
+        .set_kind(CellKind::Nand, 12)
+        .set_kind(CellKind::Nor, 14)
+        .set_kind(CellKind::Xor, 18)
+        .set_kind(CellKind::Xnor, 18)
+        .set_kind(CellKind::Mux2, 16)
+        .set_kind(CellKind::Not, 6);
+    for id in soc.netlist().ids().step_by(17) {
+        delay_model.set_cell(id, 11);
+    }
+    let table = delay_model.compile(soc.netlist());
+    let n_domains = model.domain_count();
+    let targets = CaptureTargets::all(n_domains);
+    println!(
+        "timing_bench: {} — {} cells, {} passes, {} faults",
+        soc.netlist().name(),
+        n,
+        opts.passes,
+        opts.faults,
+    );
+
+    // Correctness gate: compiled arrivals must equal the naive oracle.
+    let mut sta = Sta::new(n);
+    sta.compute_arrivals(graph, table.as_slice());
+    let oracle = reference_arrivals(soc.netlist(), &delay_model);
+    if sta.arrivals() != oracle.as_slice() {
+        let at = sta.arrivals().iter().zip(&oracle).position(|(a, b)| a != b);
+        eprintln!(
+            "timing_bench: FATAL — compiled STA arrivals diverge from the \
+             reference (first at cell {at:?})"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Reference STA throughput (allocates per pass, HashMap lookups).
+    let t0 = Instant::now();
+    for _ in 0..opts.passes {
+        let a = reference_arrivals(soc.netlist(), &delay_model);
+        std::hint::black_box(&a);
+    }
+    let ref_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Compiled STA throughput (reused buffers, flat delay table) —
+    // the identical arrival pass the reference just ran.
+    let t0 = Instant::now();
+    for _ in 0..opts.passes {
+        sta.compute_arrivals(graph, table.as_slice());
+        std::hint::black_box(sta.max_arrival());
+    }
+    let sta_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    // The full compute (arrival + departure) feeds the flow; keep the
+    // departure pass warm so its cost shows in profiles too.
+    sta.compute(graph, table.as_slice(), &targets);
+
+    let ref_passes = opts.passes as f64 / ref_secs;
+    let sta_passes = opts.passes as f64 / sta_secs;
+    let speedup = sta_passes / ref_passes.max(1e-9);
+    println!(
+        "  reference STA {:>10.1} passes/s ({:.3}s)\n  compiled  STA {:>10.1} passes/s ({:.3}s)\n  \
+         compiled vs reference speedup: {speedup:.2}x",
+        ref_passes, ref_secs, sta_passes, sta_secs,
+    );
+
+    // Timed detect path: strided transition-fault sample, 64 random
+    // patterns, timing view attached. Warm up one full sweep, then
+    // measure allocations per fault (must be O(1): the cap is the
+    // always-on, hardware-independent gate).
+    let universe = FaultUniverse::transition(soc.netlist());
+    let all = universe.faults();
+    let stride = (all.len() / opts.faults).max(1);
+    let faults: Vec<occ_fault::Fault> = all.iter().copied().step_by(stride).collect();
+    let domains: Vec<usize> = (0..n_domains).collect();
+    let spec = FrameSpec::broadside("loc", &domains, 2)
+        .hold_pi(true)
+        .observe_po(false);
+    let mut rng = StdRng::seed_from_u64(0x0CC);
+    let pats: Vec<Pattern> = (0..64)
+        .map(|_| {
+            let mut p = Pattern::empty(&model, &spec, 0);
+            p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
+            p
+        })
+        .collect();
+    let good = simulate_good(&model, &spec, &pats);
+    let mut fsim = FaultSim::new(&model);
+    fsim.attach_timing(Arc::new(SimTiming::new(
+        table.as_slice().to_vec(),
+        sta.arrivals().to_vec(),
+    )));
+    let mut detected = 0usize;
+    for &f in &faults {
+        if fsim.detect(&spec, &good, f) != 0 {
+            detected += 1;
+        }
+    }
+    let before = alloc_track::snapshot();
+    let t0 = Instant::now();
+    for &f in &faults {
+        std::hint::black_box(fsim.detect(&spec, &good, f));
+        std::hint::black_box(fsim.last_path_ps());
+    }
+    let timed_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let delta = alloc_track::snapshot().since(before);
+    let timed_fps = faults.len() as f64 / timed_secs;
+    let allocs_per_fault = delta.allocs as f64 / faults.len() as f64;
+    println!(
+        "  timed detect  {:>10.0} faults/s  ({} of {} detected, {} allocs, \
+         {:.4} allocs/fault, cap {MAX_ALLOCS_PER_FAULT})",
+        timed_fps,
+        detected,
+        faults.len(),
+        delta.allocs,
+        allocs_per_fault,
+    );
+    if allocs_per_fault > MAX_ALLOCS_PER_FAULT {
+        eprintln!(
+            "timing_bench: FATAL — timed detect path allocates \
+             {allocs_per_fault:.2} per fault (cap {MAX_ALLOCS_PER_FAULT}); \
+             the zero-allocation contract is broken"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let json = to_json(
+        &opts,
+        &soc,
+        n,
+        ref_passes,
+        sta_passes,
+        speedup,
+        faults.len(),
+        detected,
+        timed_fps,
+        allocs_per_fault,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("timing_bench: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", opts.out);
+
+    if let Some(baseline) = &opts.check {
+        return check_regression(baseline, n, speedup);
+    }
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    opts: &Options,
+    soc: &occ_soc::Soc,
+    cells: usize,
+    ref_passes: f64,
+    sta_passes: f64,
+    speedup: f64,
+    faults: usize,
+    detected: usize,
+    timed_fps: f64,
+    allocs_per_fault: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"design\":\"{}\",\"cells\":{cells},\"flops_per_domain\":{},\
+         \"passes\":{},\"sta\":{{\"reference_passes_per_sec\":{ref_passes:.1},\
+         \"compiled_passes_per_sec\":{sta_passes:.1}}},\
+         \"timed_detect\":{{\"faults\":{faults},\"detected\":{detected},\
+         \"faults_per_sec\":{timed_fps:.1},\"allocs_per_fault\":{allocs_per_fault:.4}}},",
+        soc.netlist().name(),
+        opts.flops,
+        opts.passes,
+    );
+    match alloc_track::peak_rss_kb() {
+        Some(kb) => {
+            let _ = write!(out, "\"peak_rss_kb\":{kb},");
+        }
+        None => {
+            let _ = write!(out, "\"peak_rss_kb\":null,");
+        }
+    }
+    let _ = writeln!(out, "\"speedup_compiled_vs_reference\":{speedup:.3}}}");
+    out
+}
+
+/// Compares the fresh speedup ratio against the committed baseline.
+/// Both engines compute identical arrivals on the same machine, so the
+/// ratio cancels out machine speed and trips only on a genuine
+/// compiled-engine regression.
+fn check_regression(path: &str, cells: usize, fresh_ratio: f64) -> ExitCode {
+    let skip = std::env::var("TIMING_BENCH_SKIP_CHECK").is_ok_and(|v| !v.is_empty());
+    if skip {
+        println!("  regression check skipped (TIMING_BENCH_SKIP_CHECK set)");
+        return ExitCode::SUCCESS;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("timing_bench: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_cells = extract_number(&text, "\"cells\":");
+    if base_cells.is_some_and(|b| b as usize != cells) {
+        println!(
+            "  baseline {path} was produced with a different config \
+             ({:?} vs {cells} cells) — regression check skipped; \
+             regenerate the baseline",
+            base_cells.map(|b| b as usize)
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(base_ratio) = extract_number(&text, "\"speedup_compiled_vs_reference\":") else {
+        eprintln!("timing_bench: no speedup_compiled_vs_reference in baseline {path}");
+        return ExitCode::FAILURE;
+    };
+    let floor = base_ratio * (1.0 - REGRESSION_TOLERANCE);
+    println!(
+        "  speedup ratio: fresh {fresh_ratio:.2}x vs baseline {base_ratio:.2}x \
+         (floor {floor:.2}x)"
+    );
+    if fresh_ratio < floor {
+        eprintln!(
+            "timing_bench: REGRESSION — compiled-vs-reference STA speedup \
+             dropped more than {:.0}% below the committed baseline (set \
+             TIMING_BENCH_SKIP_CHECK=1 to bypass on cold machines)",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses the number following the first occurrence of `key`.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

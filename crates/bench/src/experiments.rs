@@ -3,6 +3,7 @@
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
 use occ_flow::{AtpgEngineChoice, EngineChoice, FaultKind, FlowError, FlowReport, TestFlow};
+use occ_sim::DelayModel;
 use occ_soc::{generate, Soc, SocConfig};
 use std::fmt;
 use std::str::FromStr;
@@ -143,6 +144,9 @@ pub struct Table1Options {
     pub engine: EngineChoice,
     /// ATPG engine all experiments generate through.
     pub atpg_engine: AtpgEngineChoice,
+    /// Run the delay-test-quality stage (default delay model) and
+    /// print the per-clocking-mode quality comparison.
+    pub timing: bool,
 }
 
 impl Default for Table1Options {
@@ -153,6 +157,7 @@ impl Default for Table1Options {
             backtrack_limit: 48,
             engine: EngineChoice::Auto,
             atpg_engine: AtpgEngineChoice::Compiled,
+            timing: false,
         }
     }
 }
@@ -197,7 +202,7 @@ pub fn run_experiment(
     options: &Table1Options,
 ) -> Result<ExperimentRow, FlowError> {
     let (mode, fault_kind, mask_bidi) = mode_of(id);
-    let report = TestFlow::new(soc)
+    let mut flow = TestFlow::new(soc)
         .clocking(mode)
         .fault_model(fault_kind)
         .mask_bidi(mask_bidi)
@@ -206,8 +211,11 @@ pub fn run_experiment(
         .atpg(AtpgOptions {
             backtrack_limit: options.backtrack_limit,
             ..AtpgOptions::default()
-        })
-        .run()?;
+        });
+    if options.timing {
+        flow = flow.timing(DelayModel::default());
+    }
+    let report = flow.run()?;
     Ok(ExperimentRow {
         id,
         coverage_pct: report.coverage_pct(),
@@ -310,13 +318,24 @@ impl Table1 {
     }
 
     /// The table as CSV: the [`FlowReport`] header plus one row per
-    /// experiment (for sweep tooling).
+    /// experiment (for sweep tooling). Timed runs append the
+    /// delay-quality header + rows block.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(FlowReport::csv_header());
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.report.to_csv_row());
             out.push('\n');
+        }
+        if self.rows.iter().any(|r| r.report.delay_quality.is_some()) {
+            out.push_str(FlowReport::delay_quality_csv_header());
+            out.push('\n');
+            for r in &self.rows {
+                if let Some(row) = r.report.delay_quality_csv_row() {
+                    out.push_str(&row);
+                    out.push('\n');
+                }
+            }
         }
         out
     }
@@ -350,6 +369,41 @@ impl fmt::Display for Table1 {
         writeln!(f, "shape checks vs the paper:")?;
         for (desc, ok) in self.shape_checks() {
             writeln!(f, "  [{}] {desc}", if ok { "ok" } else { "FAIL" })?;
+        }
+        if self.rows.iter().any(|r| r.report.delay_quality.is_some()) {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "delay test quality (slack-aware SDD grading, lower SDQL is better):"
+            )?;
+            writeln!(
+                f,
+                "{:<4} {:<24} {:>13} {:>8} {:>10} {:>10} {:>11}",
+                "row", "clocking", "window ps", "TC %", "weighted %", "SDQL", "mean slack"
+            )?;
+            for r in &self.rows {
+                let Some(q) = &r.report.delay_quality else {
+                    continue;
+                };
+                let min_w = q.windows.iter().map(|w| w.window_ps).min().unwrap_or(0);
+                let max_w = q.windows.iter().map(|w| w.window_ps).max().unwrap_or(0);
+                let window = if min_w == max_w {
+                    format!("{min_w}")
+                } else {
+                    format!("{min_w}-{max_w}")
+                };
+                writeln!(
+                    f,
+                    "{:<4} {:<24} {:>13} {:>8.2} {:>10.2} {:>10.3} {:>11.0}",
+                    r.id.to_string(),
+                    r.report.clocking.label(),
+                    window,
+                    r.coverage_pct,
+                    q.weighted_coverage_pct,
+                    q.sdql,
+                    q.mean_test_slack_ps,
+                )?;
+            }
         }
         Ok(())
     }

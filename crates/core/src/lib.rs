@@ -41,4 +41,7 @@ pub use behavior::CpfBehavior;
 pub use clock::{ClockDomainSpec, Pll, PllConfig};
 pub use cpf::{ClockPulseFilter, CpfConfig, CpfPorts};
 pub use enhanced::{EnhancedCpf, EnhancedCpfConfig, EnhancedCpfPorts, PulseSelect};
-pub use ncp::{stuck_at_procedures, transition_procedures, ClockingMode, ParseClockingModeError};
+pub use ncp::{
+    capture_window_ps, stuck_at_procedures, transition_procedures, ClockingMode,
+    ParseClockingModeError,
+};

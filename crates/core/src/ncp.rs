@@ -7,6 +7,7 @@
 //! can physically deliver. This module encodes exactly those sets.
 
 use occ_fsim::{CycleSpec, FrameSpec};
+use occ_sim::Time;
 use std::fmt;
 
 /// The clock-generation scheme available to ATPG — one per Table 1 row.
@@ -42,6 +43,19 @@ pub enum ClockingMode {
 }
 
 impl ClockingMode {
+    /// True when the mode's capture clocks come from the on-chip PLL
+    /// and therefore run **at functional speed** (the CPF modes). The
+    /// external modes clock launch and capture from the slow tester —
+    /// the whole reason the paper builds on-chip clock generation: a
+    /// logically identical detection through a slow capture window
+    /// screens only gross delay defects.
+    pub fn is_at_speed(&self) -> bool {
+        matches!(
+            self,
+            ClockingMode::SimpleCpf | ClockingMode::EnhancedCpf { .. }
+        )
+    }
+
     /// A compact machine-readable label: `external:4`, `simple-cpf`,
     /// `enhanced-cpf:4`, `constrained-external:4`. Round-trips through
     /// [`ClockingMode::from_str`](std::str::FromStr) and is what the
@@ -246,6 +260,53 @@ pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpe
     }
 }
 
+/// The launch→capture window of a capture procedure under a clocking
+/// mode, in picoseconds.
+///
+/// This is the timing axis of the paper's Table 1: the **same**
+/// procedure shape (two pulses, one domain) screens completely
+/// different delay-defect populations depending on where the pulses
+/// come from. At-speed CPF modes deliver consecutive PLL edges, so the
+/// window is the capture domain's functional period (the tightest
+/// period among the domains pulsed in the capture cycle, for common-
+/// clock procedures). External modes stretch launch→capture to a full
+/// tester cycle: `ate_period_ps`.
+///
+/// Domains without a supplied period fall back to `ate_period_ps`.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{capture_window_ps, transition_procedures, ClockingMode};
+///
+/// let periods = [13_332, 6_666]; // 75 and 150 MHz
+/// let cpf = transition_procedures(ClockingMode::SimpleCpf, 2);
+/// assert_eq!(capture_window_ps(ClockingMode::SimpleCpf, &cpf[1], &periods, 40_000), 6_666);
+/// let ext = transition_procedures(ClockingMode::ExternalClock { max_pulses: 2 }, 2);
+/// assert_eq!(
+///     capture_window_ps(ClockingMode::ExternalClock { max_pulses: 2 }, &ext[0], &periods, 40_000),
+///     40_000,
+/// );
+/// ```
+pub fn capture_window_ps(
+    mode: ClockingMode,
+    spec: &FrameSpec,
+    domain_periods_ps: &[Time],
+    ate_period_ps: Time,
+) -> Time {
+    if !mode.is_at_speed() {
+        return ate_period_ps;
+    }
+    spec.cycles()
+        .last()
+        .map(|c| c.pulses.as_slice())
+        .unwrap_or(&[])
+        .iter()
+        .map(|&d| domain_periods_ps.get(d).copied().unwrap_or(ate_period_ps))
+        .min()
+        .unwrap_or(ate_period_ps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +372,52 @@ mod tests {
     #[should_panic(expected = "launch + capture")]
     fn transition_needs_two_pulses() {
         let _ = transition_procedures(ClockingMode::ExternalClock { max_pulses: 1 }, 1);
+    }
+
+    #[test]
+    fn at_speed_split_follows_the_clock_source() {
+        assert!(ClockingMode::SimpleCpf.is_at_speed());
+        assert!(ClockingMode::EnhancedCpf { max_pulses: 4 }.is_at_speed());
+        assert!(!ClockingMode::ExternalClock { max_pulses: 4 }.is_at_speed());
+        assert!(!ClockingMode::ConstrainedExternal { max_pulses: 4 }.is_at_speed());
+    }
+
+    #[test]
+    fn capture_windows_per_mode() {
+        let periods = [13_332, 6_666];
+        // Simple CPF per-domain procedures get that domain's period.
+        let cpf = transition_procedures(ClockingMode::SimpleCpf, 2);
+        assert_eq!(
+            capture_window_ps(ClockingMode::SimpleCpf, &cpf[0], &periods, 40_000),
+            13_332
+        );
+        assert_eq!(
+            capture_window_ps(ClockingMode::SimpleCpf, &cpf[1], &periods, 40_000),
+            6_666
+        );
+        // Inter-domain enhanced procedures take the capture domain.
+        let mode = ClockingMode::EnhancedCpf { max_pulses: 2 };
+        let x01 = transition_procedures(mode, 2)
+            .into_iter()
+            .find(|p| p.name() == "ecpf_x_0to1")
+            .expect("crossing exists");
+        assert_eq!(capture_window_ps(mode, &x01, &periods, 40_000), 6_666);
+        // Both external modes stretch to the tester period, regardless
+        // of which domains pulse.
+        for mode in [
+            ClockingMode::ExternalClock { max_pulses: 4 },
+            ClockingMode::ConstrainedExternal { max_pulses: 4 },
+        ] {
+            for p in transition_procedures(mode, 2) {
+                assert_eq!(capture_window_ps(mode, &p, &periods, 40_000), 40_000);
+            }
+        }
+        // Unknown domain indices fall back to the tester period.
+        let weird = FrameSpec::broadside("w", &[7], 2);
+        assert_eq!(
+            capture_window_ps(ClockingMode::SimpleCpf, &weird, &periods, 40_000),
+            40_000
+        );
     }
 
     #[test]

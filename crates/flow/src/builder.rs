@@ -3,12 +3,14 @@
 //! the named capture procedures, run ATPG through a pluggable
 //! fault-sim engine, classify the leftovers and report.
 
+use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
 use occ_atpg::{classify_faults, run_atpg, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem};
-use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
+use occ_core::{stuck_at_procedures, transition_procedures, ClockDomainSpec, ClockingMode};
 use occ_fault::{FaultModel, FaultUniverse};
 use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
 use occ_netlist::Netlist;
+use occ_sim::{DelayModel, Time};
 use occ_soc::Soc;
 use std::time::Instant;
 
@@ -60,6 +62,7 @@ pub struct TestFlow<'s> {
     atpg_engine: AtpgEngineChoice,
     atpg: AtpgOptions,
     mask_bidi: bool,
+    timing: Option<TimingConfig>,
 }
 
 impl<'s> TestFlow<'s> {
@@ -77,6 +80,7 @@ impl<'s> TestFlow<'s> {
             atpg_engine: AtpgEngineChoice::Compiled,
             atpg: AtpgOptions::default(),
             mask_bidi: false,
+            timing: None,
         }
     }
 
@@ -93,6 +97,7 @@ impl<'s> TestFlow<'s> {
             atpg_engine: AtpgEngineChoice::Compiled,
             atpg: AtpgOptions::default(),
             mask_bidi: false,
+            timing: None,
         }
     }
 
@@ -139,6 +144,26 @@ impl<'s> TestFlow<'s> {
     #[must_use]
     pub fn mask_bidi(mut self, mask: bool) -> Self {
         self.mask_bidi = mask;
+        self
+    }
+
+    /// Enables the delay-test-quality stage under the given delay
+    /// model: after ATPG, the final pattern set is re-graded through
+    /// the timed PPSFP kernel and the report gains a `delay_quality`
+    /// block (SDQL, weighted coverage, slack histogram, per-procedure
+    /// capture windows). Strictly additive — fault statuses, pattern
+    /// sets and every pre-existing report field are unchanged.
+    #[must_use]
+    pub fn timing(self, delays: DelayModel) -> Self {
+        self.timing_config(TimingConfig::from(delays))
+    }
+
+    /// Enables the delay-test-quality stage with full control over the
+    /// tester period, per-domain functional periods and the defect
+    /// distribution (see [`TimingConfig`]).
+    #[must_use]
+    pub fn timing_config(mut self, config: TimingConfig) -> Self {
+        self.timing = Some(config);
         self
     }
 
@@ -226,6 +251,14 @@ impl<'s> TestFlow<'s> {
         classify_faults(&model, &mut result.faults);
         timed(Stage::Classify, t0);
 
+        let delay_quality = self.timing.as_ref().map(|cfg| {
+            let t0 = Instant::now();
+            let periods = self.domain_periods(cfg, model.domain_count());
+            let q = run_quality(&model, &procedures, self.clocking, &result, cfg, &periods);
+            timed(Stage::Timing, t0);
+            q
+        });
+
         let coverage = result.report();
         Ok(FlowReport {
             design: netlist.name().to_owned(),
@@ -239,8 +272,35 @@ impl<'s> TestFlow<'s> {
             coverage,
             kernel,
             atpg_kernel,
+            delay_quality,
             result,
         })
+    }
+
+    /// The per-domain functional periods the quality stage grades
+    /// against: explicit config wins (padded with the default period
+    /// when shorter than the domain count, so the functional
+    /// thresholds and capture windows always agree on one period per
+    /// domain), SOC sources derive them from the generator's domain
+    /// frequencies, custom netlists fall back to the paper's
+    /// fast-domain period.
+    fn domain_periods(&self, cfg: &TimingConfig, n_domains: usize) -> Vec<Time> {
+        if !cfg.domain_periods_ps.is_empty() {
+            let mut periods = cfg.domain_periods_ps.clone();
+            if periods.len() < n_domains {
+                periods.resize(n_domains, DEFAULT_DOMAIN_PERIOD_PS);
+            }
+            return periods;
+        }
+        match &self.source {
+            Source::Soc(soc) => soc
+                .config()
+                .domains
+                .iter()
+                .map(|d| ClockDomainSpec::new(&d.name, d.freq_mhz).period_ps())
+                .collect(),
+            Source::Model { .. } => vec![DEFAULT_DOMAIN_PERIOD_PS; n_domains],
+        }
     }
 
     /// Validates the clocking/fault-model combination and builds the

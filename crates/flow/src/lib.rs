@@ -57,6 +57,7 @@ mod builder;
 mod engine;
 mod error;
 mod report;
+mod timing;
 
 pub use builder::TestFlow;
 pub use engine::{
@@ -64,6 +65,11 @@ pub use engine::{
 };
 pub use error::FlowError;
 pub use report::{FlowReport, Stage, StageTiming};
+pub use timing::{TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
+
+/// Delay-test-quality types every timed [`FlowReport`] carries —
+/// re-exported from [`occ_timing`].
+pub use occ_timing::{ProcWindow, QualityOptions, QualityReport};
 
 /// The fault model a flow targets — re-exported from [`occ_fault`]
 /// under the name the builder API uses

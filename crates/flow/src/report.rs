@@ -6,6 +6,7 @@ use occ_atpg::{AtpgKernelStats, AtpgResult, AtpgStats};
 use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
 use occ_fsim::KernelStats;
+use occ_timing::QualityReport;
 use std::fmt;
 use std::io::{self, Write};
 
@@ -22,6 +23,9 @@ pub enum Stage {
     Atpg,
     /// Structural classification of leftover faults.
     Classify,
+    /// The delay-test-quality pass (STA + timed re-grade); only runs
+    /// when `TestFlow::timing` was configured.
+    Timing,
 }
 
 impl Stage {
@@ -33,6 +37,7 @@ impl Stage {
             Stage::FaultUniverse => "fault-universe",
             Stage::Atpg => "atpg",
             Stage::Classify => "classify",
+            Stage::Timing => "timing",
         }
     }
 }
@@ -87,6 +92,10 @@ pub struct FlowReport {
     /// engine events and incremental vs full re-simulations. Events
     /// are zero for the reference engine (it counts nothing).
     pub atpg_kernel: AtpgKernelStats,
+    /// Delay-test quality (SDQL, weighted coverage, slack histogram,
+    /// per-procedure capture windows). `None` unless the flow ran with
+    /// `TestFlow::timing` — reports of untimed flows are unchanged.
+    pub delay_quality: Option<QualityReport>,
     /// The full ATPG result: compacted pattern set and fault statuses.
     pub result: AtpgResult,
 }
@@ -206,6 +215,44 @@ impl FlowReport {
              \"events\":{},\"incremental_resims\":{},\"full_resims\":{}}}",
             a.decisions, a.backtracks, a.events, a.incremental_resims, a.full_resims,
         )?;
+        if let Some(q) = &self.delay_quality {
+            write!(
+                w,
+                ",\"delay_quality\":{{\"sdql\":{},\"weighted_coverage_pct\":{},\
+                 \"lambda_ps\":{},\"faults\":{},\"detected_timed\":{},\
+                 \"mean_test_slack_ps\":{},\"min_test_slack_ps\":{},\
+                 \"max_test_slack_ps\":{},\"bucket_ps\":{},\"histogram\":[",
+                json_f64(q.sdql),
+                json_f64(q.weighted_coverage_pct),
+                json_f64(q.lambda_ps),
+                q.faults,
+                q.detected_timed,
+                json_f64(q.mean_test_slack_ps),
+                q.min_test_slack_ps,
+                q.max_test_slack_ps,
+                q.bucket_ps,
+            )?;
+            for (i, n) in q.histogram.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "{n}")?;
+            }
+            write!(w, "],\"windows\":[")?;
+            for (i, win) in q.windows.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(
+                    w,
+                    "{{\"name\":{},\"window_ps\":{},\"at_speed\":{}}}",
+                    json_string(&win.name),
+                    win.window_ps,
+                    win.at_speed,
+                )?;
+            }
+            write!(w, "]}}")?;
+        }
         write!(w, ",\"stages\":[")?;
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -260,14 +307,52 @@ impl FlowReport {
         )
     }
 
-    /// Writes header + row as a two-line CSV document.
+    /// The CSV header of the `delay_quality` block (see
+    /// [`FlowReport::delay_quality_csv_row`]).
+    pub fn delay_quality_csv_header() -> &'static str {
+        "design,clocking,sdql,weighted_coverage_pct,lambda_ps,faults,detected_timed,\
+         mean_test_slack_ps,min_test_slack_ps,max_test_slack_ps,min_window_ps,max_window_ps"
+    }
+
+    /// One CSV row of delay-quality data, when the flow ran the timing
+    /// stage.
+    pub fn delay_quality_csv_row(&self) -> Option<String> {
+        let q = self.delay_quality.as_ref()?;
+        let min_w = q.windows.iter().map(|w| w.window_ps).min().unwrap_or(0);
+        let max_w = q.windows.iter().map(|w| w.window_ps).max().unwrap_or(0);
+        Some(format!(
+            "{},{},{:.6},{:.4},{:.1},{},{},{:.1},{},{},{},{}",
+            csv_field(&self.design),
+            self.clocking.label(),
+            q.sdql,
+            q.weighted_coverage_pct,
+            q.lambda_ps,
+            q.faults,
+            q.detected_timed,
+            q.mean_test_slack_ps,
+            q.min_test_slack_ps,
+            q.max_test_slack_ps,
+            min_w,
+            max_w,
+        ))
+    }
+
+    /// Writes header + row as a two-line CSV document; a flow that ran
+    /// the timing stage appends the `delay_quality` header + row pair
+    /// (untimed reports are byte-identical to before the stage
+    /// existed).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv(&self, w: &mut dyn Write) -> io::Result<()> {
         writeln!(w, "{}", Self::csv_header())?;
-        writeln!(w, "{}", self.to_csv_row())
+        writeln!(w, "{}", self.to_csv_row())?;
+        if let Some(row) = self.delay_quality_csv_row() {
+            writeln!(w, "{}", Self::delay_quality_csv_header())?;
+            writeln!(w, "{row}")?;
+        }
+        Ok(())
     }
 }
 
@@ -315,6 +400,9 @@ impl fmt::Display for FlowReport {
                 self.atpg_kernel.incremental_resims,
                 self.atpg_kernel.full_resims
             )?;
+        }
+        if let Some(q) = &self.delay_quality {
+            write!(f, "  {q}")?;
         }
         write!(f, "  total {:.3}s", self.total_seconds())
     }

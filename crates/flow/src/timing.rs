@@ -1,0 +1,170 @@
+//! The flow's delay-test-quality stage.
+//!
+//! With [`TestFlow::timing`](crate::TestFlow::timing) configured, the
+//! pipeline gains one analysis pass after ATPG:
+//!
+//! 1. the [`DelayModel`] is compiled into a flat per-cell table
+//!    ([`DelayModel::compile`]) shared by every timing consumer;
+//! 2. a compiled [`Sta`] derives per-cell arrival times plus, per
+//!    clock domain, the longest *functional* path through every fault
+//!    site (the failure threshold of a delay defect there);
+//! 3. the final pattern set is re-graded through the serial PPSFP
+//!    kernel with a timing view attached
+//!    ([`FaultSim::attach_timing`](occ_fsim::FaultSim::attach_timing)):
+//!    each detection records its longest sensitized path, and the
+//!    procedure's capture window
+//!    ([`occ_core::capture_window_ps`]) turns that into the smallest
+//!    delay defect the detection screens;
+//! 4. [`QualityReport::compute`] aggregates the per-fault slacks into
+//!    SDQL, weighted coverage and the slack histogram.
+//!
+//! The pass is strictly read-only over the ATPG result: masks, fault
+//! statuses and pattern sets are untouched, and a flow without
+//! `.timing(..)` produces byte-identical reports to one built before
+//! this stage existed.
+
+use occ_core::{capture_window_ps, ClockingMode};
+use occ_fault::Fault;
+use occ_fsim::{simulate_good, CaptureModel, FaultSim, FrameSpec, Pattern, SimTiming};
+use occ_sim::{DelayModel, Time};
+use occ_timing::{CaptureTargets, FaultSlack, ProcWindow, QualityOptions, QualityReport, Sta};
+use std::sync::Arc;
+
+/// Functional period assumed for domains the flow cannot derive one
+/// for (custom-netlist sources without explicit periods): the paper's
+/// fast 150 MHz domain.
+pub const DEFAULT_DOMAIN_PERIOD_PS: Time = 6_666;
+
+/// Configuration of the delay-test-quality stage.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Per-cell propagation delays (compiled once per run).
+    pub delays: DelayModel,
+    /// The slow tester period external clocking modes capture under.
+    /// Default: 40 ns (the paper's 25 MHz reference clock).
+    pub ate_period_ps: Time,
+    /// Explicit per-domain functional periods in ps. Empty (the
+    /// default) derives them from the SOC's domain configuration, or
+    /// [`DEFAULT_DOMAIN_PERIOD_PS`] for custom-netlist sources; a
+    /// vector shorter than the domain count is padded with
+    /// [`DEFAULT_DOMAIN_PERIOD_PS`] so functional thresholds and
+    /// capture windows always agree.
+    pub domain_periods_ps: Vec<Time>,
+    /// Defect-size distribution and histogram knobs.
+    pub quality: QualityOptions,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            delays: DelayModel::default(),
+            ate_period_ps: 40_000,
+            domain_periods_ps: Vec::new(),
+            quality: QualityOptions::default(),
+        }
+    }
+}
+
+impl From<DelayModel> for TimingConfig {
+    /// The `.timing(DelayModel)` shorthand: everything else defaulted.
+    fn from(delays: DelayModel) -> Self {
+        TimingConfig {
+            delays,
+            ..TimingConfig::default()
+        }
+    }
+}
+
+/// The node whose good value defines a fault site's value (the driver
+/// for input-pin faults), as a dense cell index.
+fn site_index(model: &CaptureModel<'_>, fault: Fault) -> usize {
+    match fault.site() {
+        occ_fault::FaultSite::Output(c) => c.index(),
+        occ_fault::FaultSite::Input { cell, pin } => {
+            model.netlist().cell(cell).inputs()[pin as usize].index()
+        }
+    }
+}
+
+/// Runs the quality pass over a finished ATPG result.
+pub(crate) fn run_quality(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    mode: ClockingMode,
+    result: &occ_atpg::AtpgResult,
+    cfg: &TimingConfig,
+    domain_periods: &[Time],
+) -> QualityReport {
+    let graph = model.graph();
+    let n_domains = model.domain_count();
+    let table = cfg.delays.compile(model.netlist());
+    let delays = table.as_slice();
+
+    let windows: Vec<ProcWindow> = procedures
+        .iter()
+        .map(|spec| ProcWindow {
+            name: spec.name().to_owned(),
+            window_ps: capture_window_ps(mode, spec, domain_periods, cfg.ate_period_ps),
+            at_speed: mode.is_at_speed(),
+        })
+        .collect();
+
+    let faults = result.faults.faults();
+    let mut slacks = vec![FaultSlack::default(); faults.len()];
+
+    // Functional failure thresholds: per domain, the margin of the
+    // longest functional path through each fault site under that
+    // domain's period; a defect fails the device as soon as it exceeds
+    // the tightest margin of any observing domain.
+    let sites: Vec<usize> = faults.iter().map(|&f| site_index(model, f)).collect();
+    let mut sta = Sta::new(graph.cells());
+    for d in 0..n_domains {
+        sta.compute(graph, delays, &CaptureTargets::domain(d, n_domains));
+        let period = domain_periods
+            .get(d)
+            .copied()
+            .unwrap_or(DEFAULT_DOMAIN_PERIOD_PS);
+        for (slack, &site) in slacks.iter_mut().zip(&sites) {
+            if let Some(path) = sta.path_through(site) {
+                let margin = period.saturating_sub(path);
+                slack.func_slack_ps = Some(slack.func_slack_ps.map_or(margin, |p| p.min(margin)));
+            }
+        }
+    }
+
+    // Observed test slacks: re-grade the final pattern set with the
+    // timed kernel and keep, per detected fault, the smallest
+    // window − longest-sensitized-path margin over all detections.
+    // The kernel view only consumes arrivals, which are target-
+    // independent — the forward pass alone suffices.
+    sta.compute_arrivals(graph, delays);
+    let view = Arc::new(SimTiming::new(delays.to_vec(), sta.arrivals().to_vec()));
+    let mut fsim = FaultSim::new(model);
+    fsim.attach_timing(view);
+    let patterns = result.patterns.patterns();
+    for (pi, spec) in procedures.iter().enumerate() {
+        let idxs: Vec<usize> = (0..patterns.len())
+            .filter(|&i| patterns[i].proc_index == pi)
+            .collect();
+        if idxs.is_empty() {
+            continue;
+        }
+        let window = windows[pi].window_ps;
+        for chunk in idxs.chunks(64) {
+            let pats: Vec<Pattern> = chunk.iter().map(|&i| patterns[i].clone()).collect();
+            let good = simulate_good(model, spec, &pats);
+            for (slack, &fault) in slacks.iter_mut().zip(faults) {
+                if !result.faults.status(fault).is_detected() {
+                    continue;
+                }
+                if fsim.detect(spec, &good, fault) != 0 {
+                    let margin = window.saturating_sub(fsim.last_path_ps());
+                    slack.test_slack_ps =
+                        Some(slack.test_slack_ps.map_or(margin, |p| p.min(margin)));
+                }
+            }
+        }
+    }
+
+    QualityReport::compute(&slacks, windows, &cfg.quality)
+}

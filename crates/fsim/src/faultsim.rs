@@ -20,11 +20,13 @@
 //! `tests/kernel_equivalence.rs`).
 
 use crate::goodsim::GoodBatch;
-use crate::graph::{KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
+use crate::graph::{FlopMeta, KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
 use crate::pval::PVal;
+use crate::timing::{SimTiming, TimePs};
 use crate::{CaptureModel, CycleSpec, FrameSpec};
 use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
 use occ_netlist::CellId;
+use std::sync::Arc;
 
 /// Sparse per-flop faulty-state buffer: a stamped value array plus the
 /// list of flops holding a difference, cleared in O(1) by bumping the
@@ -78,6 +80,24 @@ impl StateBuf {
     fn is_empty(&self) -> bool {
         self.list.is_empty()
     }
+}
+
+/// Optional timed-detect scratch: attached via
+/// [`FaultSim::attach_timing`], it annotates the difference propagation
+/// with picosecond arrival times so a detection also reports the
+/// longest sensitized path. All arrays are allocated once on attach —
+/// the timed detect path stays zero-allocation (gated by
+/// `timing_bench`).
+#[derive(Debug)]
+struct TimedScratch {
+    view: Arc<SimTiming>,
+    /// Difference arrival per cell (valid where `fstamp == gen`).
+    time: Vec<TimePs>,
+    /// Capture-path time per flop, parallel to `cur` / `next`.
+    state_cur: Vec<TimePs>,
+    state_next: Vec<TimePs>,
+    /// Longest detecting path of the most recent `detect` call.
+    last_path: TimePs,
 }
 
 /// Reusable PPSFP engine bound to one capture model.
@@ -138,10 +158,13 @@ pub struct FaultSim<'g> {
     // Carried faulty flop state: current frame in, next frame out.
     cur: StateBuf,
     next: StateBuf,
+    // Optional timed-detect annotations (attach_timing).
+    timed: Option<Box<TimedScratch>>,
     // Work counters, accumulated since construction.
     faults_graded: u64,
     cone_pruned: u64,
     events: u64,
+    timed_faults: u64,
 }
 
 impl<'g> FaultSim<'g> {
@@ -168,10 +191,61 @@ impl<'g> FaultSim<'g> {
             touched: Vec::new(),
             cur: StateBuf::new(n_flops),
             next: StateBuf::new(n_flops),
+            timed: None,
             faults_graded: 0,
             cone_pruned: 0,
             events: 0,
+            timed_faults: 0,
         }
+    }
+
+    /// Attaches a per-cell timing view: from now on every
+    /// [`FaultSim::detect`] call additionally records the longest
+    /// sensitized propagation path of the fault difference, readable
+    /// through [`FaultSim::last_path_ps`]. Detection masks are
+    /// unaffected — the annotations are strictly additive, and an
+    /// engine without an attached view behaves exactly as before.
+    ///
+    /// All timed scratch is allocated here; the per-fault timed path
+    /// performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view does not cover the compiled graph's cells.
+    pub fn attach_timing(&mut self, view: Arc<SimTiming>) {
+        assert_eq!(
+            view.cells(),
+            self.graph.cells(),
+            "timing view must cover every graph cell"
+        );
+        let n = self.graph.cells();
+        let nf = self.graph.flop_count();
+        self.timed = Some(Box::new(TimedScratch {
+            view,
+            time: vec![0; n],
+            state_cur: vec![0; nf],
+            state_next: vec![0; nf],
+            last_path: 0,
+        }));
+    }
+
+    /// Detaches the timing view (detections stop recording paths).
+    pub fn detach_timing(&mut self) {
+        self.timed = None;
+    }
+
+    /// The longest sensitized propagation path (in ps, from the launch
+    /// clock edge to the latest detecting observation point) recorded
+    /// by the most recent [`FaultSim::detect`] call. Zero when no
+    /// timing view is attached or the fault was not detected.
+    ///
+    /// The time is an upper bound over the batch: differences are
+    /// propagated word-parallel across up to 64 patterns, so the
+    /// recorded path is the longest difference path any pattern of the
+    /// batch sensitized — exactly the path that defines the smallest
+    /// delay defect the batch screens.
+    pub fn last_path_ps(&self) -> TimePs {
+        self.timed.as_ref().map_or(0, |t| t.last_path)
     }
 
     /// Kernel statistics: the compiled graph's shape plus the work this
@@ -181,11 +255,30 @@ impl<'g> FaultSim<'g> {
         s.faults_graded = self.faults_graded;
         s.cone_pruned = self.cone_pruned;
         s.events = self.events;
+        s.timed_faults = self.timed_faults;
         s
     }
 
     /// Returns the detection mask (bit per pattern) for one fault.
     pub fn detect(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        // The timed path lives in a separate cold copy of the kernel
+        // loop so the untimed hot path compiles exactly as if the
+        // instrumentation did not exist. A shared const-generic body
+        // was measured first and regressed the untimed kernel ~25% on
+        // fsim_bench (the second monomorphization blew the inlining/
+        // code-layout budget); the duplicate + `#[cold]` restored the
+        // committed baseline, and the two copies are pinned mask-
+        // identical over whole fault universes by
+        // `timed_and_untimed_masks_agree_over_whole_universes`.
+        if self.timed.is_some() {
+            self.detect_timed(spec, good, fault)
+        } else {
+            self.detect_untimed(spec, good, fault)
+        }
+    }
+
+    /// The untimed kernel loop — the original hot path, untouched.
+    fn detect_untimed(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
         self.faults_graded += 1;
 
         // Cone pruning: a fault whose effect cell cannot reach a scan
@@ -322,13 +415,13 @@ impl<'g> FaultSim<'g> {
             let cycle = &spec.cycles()[k - 1];
             for i in 0..self.touched.len() {
                 let fi = self.touched[i] as usize;
-                self.capture_flop(fi, k, cycle, good, gvals);
+                self.capture_flop::<false>(fi, k, cycle, good, gvals);
             }
             for i in 0..self.cur.list.len() {
                 let fi = self.cur.list[i] as usize;
                 if self.flop_stamp[fi] != self.gen {
                     self.flop_stamp[fi] = self.gen;
-                    self.capture_flop(fi, k, cycle, good, gvals);
+                    self.capture_flop::<false>(fi, k, cycle, good, gvals);
                 }
             }
             std::mem::swap(&mut self.cur, &mut self.next);
@@ -353,6 +446,289 @@ impl<'g> FaultSim<'g> {
         }
 
         detect & launch_mask & good.valid_mask
+    }
+
+    /// The timed copy of the kernel loop: identical mask computation,
+    /// plus picosecond annotations along the difference propagation
+    /// (see [`FaultSim::attach_timing`]). Kept out of the hot section —
+    /// grading without timing never touches this code.
+    #[cold]
+    #[inline(never)]
+    fn detect_timed(&mut self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        self.faults_graded += 1;
+        if let Some(ts) = &mut self.timed {
+            ts.last_path = 0;
+        }
+        self.timed_faults += 1;
+
+        // Cone pruning: a fault whose effect cell cannot reach a scan
+        // flop (or an observed PO) is undetectable under this spec.
+        let with_po = !spec.po_observe_frames().is_empty();
+        if !self.graph.observable(fault.site().effect_cell(), with_po) {
+            self.cone_pruned += 1;
+            return 0;
+        }
+
+        let site_node = graph_site_node(self.graph, fault.site());
+        let frames = spec.frames();
+
+        // Launch requirement for transition faults.
+        let launch_mask = match fault.model() {
+            FaultModel::StuckAt => good.valid_mask,
+            FaultModel::Transition => {
+                if frames < 2 {
+                    return 0;
+                }
+                let before = good.frames[frames - 2][site_node];
+                let after = good.frames[frames - 1][site_node];
+                let m = match fault.polarity() {
+                    Polarity::P0 => before.def0() & after.def1(), // slow-to-rise
+                    Polarity::P1 => before.def1() & after.def0(), // slow-to-fall
+                };
+                m & good.valid_mask
+            }
+        };
+        if launch_mask == 0 {
+            return 0;
+        }
+
+        let first_active = match fault.model() {
+            FaultModel::StuckAt => 1,
+            FaultModel::Transition => frames,
+        };
+        let forced = forced_val(fault.polarity());
+        let (out_site, in_site) = match fault.site() {
+            FaultSite::Output(c) => (Some(c.index()), None),
+            FaultSite::Input { cell, pin } => (None, Some((cell.index(), pin))),
+        };
+
+        self.cur.clear();
+        let mut po_diff = 0u64;
+
+        for k in first_active..=frames {
+            let active = match fault.model() {
+                FaultModel::StuckAt => true,
+                FaultModel::Transition => k == frames,
+            };
+            if !active && self.cur.is_empty() {
+                continue;
+            }
+
+            self.bump_gen();
+            let gvals = &good.frames[k - 1];
+            self.touched.clear();
+
+            // Seed 1: carried-in state differences. A carried diff
+            // presents at the flop's Q one clock-to-out after the new
+            // frame's launch edge.
+            for i in 0..self.cur.list.len() {
+                let fi = self.cur.list[i] as usize;
+                let cell = self.graph.flop_meta(fi).cell as usize;
+                self.fval[cell] = self.cur.val[fi];
+                self.fstamp[cell] = self.gen;
+                if let Some(ts) = &mut self.timed {
+                    ts.time[cell] = ts.view.delay(cell);
+                }
+                self.push_fanouts(cell);
+            }
+
+            // Seed 2: the fault site. The difference launches when the
+            // good machine's transition settles at the site (its STA
+            // arrival time).
+            if active {
+                if let Some(ci) = out_site {
+                    self.fval[ci] = forced;
+                    self.fstamp[ci] = self.gen;
+                    if let Some(ts) = &mut self.timed {
+                        ts.time[ci] = ts.view.arrival(ci);
+                    }
+                    if forced != gvals[ci] {
+                        self.push_fanouts(ci);
+                    }
+                } else if let Some((ci, pin)) = in_site {
+                    // Evaluate the consuming cell with the pin forced.
+                    self.events += 1;
+                    let v = self.eval_faulty(ci, gvals, Some((pin, forced)));
+                    if v != gvals[ci] {
+                        self.fval[ci] = v;
+                        self.fstamp[ci] = self.gen;
+                        if let Some(ts) = &mut self.timed {
+                            ts.time[ci] = ts.view.arrival(site_node) + ts.view.delay(ci);
+                        }
+                        self.push_fanouts(ci);
+                    }
+                }
+            }
+
+            // Propagate level by level.
+            for lvl in 0..self.buckets.len() {
+                while let Some(raw) = self.buckets[lvl].pop() {
+                    let ci = raw as usize;
+                    // The forced output site never re-evaluates.
+                    if active && out_site == Some(ci) {
+                        continue;
+                    }
+                    let pin_fault = match in_site {
+                        Some((cell, pin)) if active && cell == ci => Some((pin, forced)),
+                        _ => None,
+                    };
+                    self.events += 1;
+                    let was_stamped = self.fstamp[ci] == self.gen;
+                    let v = self.eval_faulty(ci, gvals, pin_fault);
+                    if was_stamped {
+                        // Re-evaluation of an already-seeded node (an
+                        // input-site cell reached again from upstream):
+                        // only re-notify fanouts when the value moved.
+                        if v != self.fval[ci] {
+                            let t = self.prop_time(ci, pin_fault.is_some(), site_node);
+                            if let Some(ts) = &mut self.timed {
+                                ts.time[ci] = t;
+                            }
+                            self.fval[ci] = v;
+                            self.push_fanouts(ci);
+                        }
+                    } else if v != gvals[ci] {
+                        let t = self.prop_time(ci, pin_fault.is_some(), site_node);
+                        if let Some(ts) = &mut self.timed {
+                            ts.time[ci] = t;
+                        }
+                        self.fval[ci] = v;
+                        self.fstamp[ci] = self.gen;
+                        self.push_fanouts(ci);
+                    }
+                }
+            }
+
+            // Primary-output observation.
+            if spec.po_observe_frames().contains(&k) {
+                let g = self.graph;
+                for &po in g.po_cells() {
+                    let p = po as usize;
+                    if self.fstamp[p] == self.gen {
+                        let d = gvals[p].definite_diff(self.fval[p]);
+                        po_diff |= d;
+                        // Only count paths whose difference bits survive
+                        // the launch/validity masking — bits dropped by
+                        // the final mask never screen anything.
+                        if d & launch_mask != 0 {
+                            if let Some(ts) = &mut self.timed {
+                                ts.last_path = ts.last_path.max(ts.time[p]);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Next faulty state: flops touched by propagation plus the
+            // carried diffs (deduplicated through the same stamps).
+            self.next.clear();
+            let cycle = &spec.cycles()[k - 1];
+            for i in 0..self.touched.len() {
+                let fi = self.touched[i] as usize;
+                self.capture_flop::<true>(fi, k, cycle, good, gvals);
+            }
+            for i in 0..self.cur.list.len() {
+                let fi = self.cur.list[i] as usize;
+                if self.flop_stamp[fi] != self.gen {
+                    self.flop_stamp[fi] = self.gen;
+                    self.capture_flop::<true>(fi, k, cycle, good, gvals);
+                }
+            }
+            std::mem::swap(&mut self.cur, &mut self.next);
+            if let Some(ts) = &mut self.timed {
+                std::mem::swap(&mut ts.state_cur, &mut ts.state_next);
+            }
+        }
+
+        // Detection: scan-state differences at unload + observed POs.
+        let mut detect = po_diff;
+        let g = self.graph;
+        for &fi in g.scan_flops() {
+            let fi = fi as usize;
+            let good_v = good.states[frames][fi];
+            let mut faulty_v = self.cur.get(fi).unwrap_or(good_v);
+            // A *stuck* output on the scan flop itself is observed
+            // directly during unload (the chain reads the Q net). A
+            // transition fault is not: unload shifting is slow, so the
+            // slow edge has settled by the time the chain samples.
+            let cell = g.flop_meta(fi).cell as usize;
+            let mut direct_q = false;
+            if fault.model() == FaultModel::StuckAt && out_site == Some(cell) {
+                faulty_v = forced;
+                direct_q = true;
+            }
+            let d = good_v.definite_diff(faulty_v);
+            detect |= d;
+            // As at the POs: only launch-valid difference bits count.
+            if d & launch_mask != 0 {
+                if let Some(ts) = &mut self.timed {
+                    // Captured diffs carry their capture-path time; a
+                    // stuck Q read directly at (slow) unload stresses
+                    // nothing beyond the flop's own clock-to-out.
+                    let t = if !direct_q && self.cur.get(fi).is_some() {
+                        ts.state_cur[fi]
+                    } else {
+                        ts.view.delay(cell)
+                    };
+                    ts.last_path = ts.last_path.max(t);
+                }
+            }
+        }
+
+        detect & launch_mask & good.valid_mask
+    }
+
+    /// Arrival of the fault difference at `ci`'s output: the latest
+    /// difference among its stamped fanins (plus the site launch for an
+    /// active input-pin fault on this cell) plus the cell's own delay.
+    /// Only called with a timing view attached.
+    #[inline]
+    fn prop_time(&self, ci: usize, pin_fault: bool, site_node: usize) -> TimePs {
+        let ts = self.timed.as_ref().expect("timed scratch attached");
+        let mut t = if pin_fault {
+            ts.view.arrival(site_node)
+        } else {
+            0
+        };
+        for &src in self.graph.fanins(ci) {
+            let s = src as usize;
+            if self.fstamp[s] == self.gen {
+                t = t.max(ts.time[s]);
+            }
+        }
+        t + ts.view.delay(ci)
+    }
+
+    /// The capture-path time recorded with a flop's faulty next state:
+    /// the latest stamped sample-pin difference for a pulsed flop
+    /// (floored at its own clock-to-out), the carried capture time for
+    /// a holding flop. Only called with a timing view attached.
+    #[inline]
+    fn capture_time(&self, meta: &FlopMeta, fi: usize, pulsed: bool) -> TimePs {
+        let ts = self.timed.as_ref().expect("timed scratch attached");
+        let cell = meta.cell as usize;
+        if pulsed {
+            let mut t = ts.view.delay(cell);
+            let mut consider = |src: u32| {
+                let s = src as usize;
+                if self.fstamp[s] == self.gen {
+                    t = t.max(ts.time[s]);
+                }
+            };
+            consider(meta.d);
+            if meta.mux_scan {
+                consider(meta.se);
+                consider(meta.si);
+            }
+            if meta.reset != NO_RESET {
+                consider(meta.reset);
+            }
+            t
+        } else if self.cur.get(fi).is_some() {
+            ts.state_cur[fi]
+        } else {
+            ts.view.delay(cell)
+        }
     }
 
     /// Detects a batch of faults, returning one mask per fault.
@@ -427,7 +803,7 @@ impl<'g> FaultSim<'g> {
     /// `tests/atpg_equivalence.rs`, the brute-force re-detect checks)
     /// pin the corner down; deciding one semantics and updating all
     /// engines together is a ROADMAP open item.
-    fn capture_flop(
+    fn capture_flop<const TIMED: bool>(
         &mut self,
         fi: usize,
         k: usize,
@@ -438,7 +814,8 @@ impl<'g> FaultSim<'g> {
         self.events += 1;
         let meta = *self.graph.flop_meta(fi);
         let good_next = good.states[k][fi];
-        let faulty_next = if cycle.pulses_domain(meta.domain as usize) {
+        let pulsed = cycle.pulses_domain(meta.domain as usize);
+        let faulty_next = if pulsed {
             let sampled = meta.sample(|src| self.read_val(src, gvals));
             if meta.reset == NO_RESET {
                 sampled
@@ -455,6 +832,12 @@ impl<'g> FaultSim<'g> {
             self.cur.get(fi).unwrap_or(good.states[k - 1][fi])
         };
         if faulty_next != good_next {
+            if TIMED {
+                let t = self.capture_time(&meta, fi, pulsed);
+                if let Some(ts) = &mut self.timed {
+                    ts.state_next[fi] = t;
+                }
+            }
             self.next.set(fi, faulty_next);
         }
     }
@@ -713,6 +1096,132 @@ mod tests {
         );
         assert_eq!(det & !good.valid_mask, 0);
         let _ = r.f1;
+    }
+
+    #[test]
+    fn timed_detect_records_longest_sensitized_path() {
+        let r = rig();
+        let m = model(&r);
+        let graph = m.graph();
+        // Hand-built timing: 10 ps gates, 30 ps flops, ports/ties 0 —
+        // mirroring occ-sim's default DelayModel.
+        let delays: Vec<u64> = (0..graph.cells())
+            .map(|c| match graph.op(c) {
+                OpCode::State => 30,
+                OpCode::Source | OpCode::Tie0 | OpCode::Tie1 | OpCode::TieX => 0,
+                _ => 10,
+            })
+            .collect();
+        let mut arrival = vec![0u64; graph.cells()];
+        for c in 0..graph.cells() {
+            if graph.op(c) == OpCode::State {
+                arrival[c] = delays[c];
+            }
+        }
+        for &c in graph.comb_order() {
+            let ci = c as usize;
+            let t = graph
+                .fanins(ci)
+                .iter()
+                .map(|&s| arrival[s as usize])
+                .max()
+                .unwrap_or(0);
+            arrival[ci] = t + delays[ci];
+        }
+        // arrival(g) = clk2q(f0) + delay(and) = 40.
+        assert_eq!(arrival[r.g.index()], 40);
+
+        let spec = FrameSpec::new(
+            "loc",
+            vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[0])],
+        )
+        .hold_pi(true)
+        .observe_po(false);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::Zero, Logic::X];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let fault = Fault::transition(FaultSite::Output(r.g), Polarity::P0);
+
+        // Untimed and timed gradings produce the same mask.
+        let mut fsim = FaultSim::new(&m);
+        let untimed = fsim.detect(&spec, &good, fault);
+        assert_eq!(fsim.last_path_ps(), 0, "no view attached: no path");
+        fsim.attach_timing(std::sync::Arc::new(crate::SimTiming::new(
+            delays.clone(),
+            arrival.clone(),
+        )));
+        let timed = fsim.detect(&spec, &good, fault);
+        assert_eq!(untimed, timed, "timing must not change the mask");
+        // The diff launches at arrival(g)=40 and is captured straight
+        // into f1's D: the recorded path is 40 ps.
+        assert_eq!(fsim.last_path_ps(), 40);
+        assert_eq!(fsim.kernel_stats().timed_faults, 1);
+
+        // Undetected fault: no path recorded.
+        let stf = Fault::transition(FaultSite::Output(r.g), Polarity::P1);
+        assert_eq!(fsim.detect(&spec, &good, stf), 0);
+        assert_eq!(fsim.last_path_ps(), 0);
+
+        // Detaching restores the untimed behaviour.
+        fsim.detach_timing();
+        assert_eq!(fsim.detect(&spec, &good, fault), untimed);
+        assert_eq!(fsim.last_path_ps(), 0);
+    }
+
+    #[test]
+    fn timed_and_untimed_masks_agree_over_whole_universes() {
+        // The timed kernel copy must compute bit-identical masks for
+        // every fault of both universes, across single- and
+        // multi-frame procedures.
+        let r = rig();
+        let m = model(&r);
+        let graph = m.graph();
+        let view = std::sync::Arc::new(crate::SimTiming::new(
+            vec![10; graph.cells()],
+            vec![25; graph.cells()],
+        ));
+        let specs = [
+            FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]),
+            FrameSpec::new(
+                "loc",
+                vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[0])],
+            )
+            .hold_pi(true)
+            .observe_po(false),
+        ];
+        let universes = [
+            occ_fault::FaultUniverse::stuck_at(&r.nl),
+            occ_fault::FaultUniverse::transition(&r.nl),
+        ];
+        for spec in &specs {
+            for loads in [
+                [Logic::Zero, Logic::Zero],
+                [Logic::Zero, Logic::One],
+                [Logic::One, Logic::Zero],
+                [Logic::One, Logic::One],
+            ] {
+                let mut p = Pattern::empty(&m, spec, 0);
+                p.scan_load = loads.to_vec();
+                for f in &mut p.pis {
+                    f[0] = Logic::One;
+                }
+                let good = simulate_good(&m, spec, &[p]);
+                let mut untimed = FaultSim::new(&m);
+                let mut timed = FaultSim::new(&m);
+                timed.attach_timing(view.clone());
+                for uni in &universes {
+                    for &fault in uni.faults() {
+                        assert_eq!(
+                            untimed.detect(spec, &good, fault),
+                            timed.detect(spec, &good, fault),
+                            "fault {fault} spec {} loads {loads:?}",
+                            spec.name(),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

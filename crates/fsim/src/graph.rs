@@ -166,6 +166,10 @@ pub struct KernelStats {
     /// Events propagated: cell evaluations plus flop-capture
     /// computations.
     pub events: u64,
+    /// Faults graded with a [`SimTiming`](crate::SimTiming) view
+    /// attached (the timed detect path that records sensitized path
+    /// lengths). Zero unless timing was explicitly attached.
+    pub timed_faults: u64,
 }
 
 impl KernelStats {
@@ -182,6 +186,7 @@ impl KernelStats {
         self.faults_graded += other.faults_graded;
         self.cone_pruned += other.cone_pruned;
         self.events += other.events;
+        self.timed_faults += other.timed_faults;
     }
 }
 

@@ -46,6 +46,7 @@ mod pattern;
 mod pval;
 mod reference;
 mod spec;
+mod timing;
 
 pub use engine::FaultSimEngine;
 pub use faultsim::FaultSim;
@@ -57,3 +58,4 @@ pub use pattern::{Pattern, PatternSet};
 pub use pval::{eval_packed, PVal};
 pub use reference::ReferenceFaultSim;
 pub use spec::{CycleSpec, DomainId, FrameSpec};
+pub use timing::{SimTiming, TimePs};

@@ -1,0 +1,66 @@
+//! The per-cell timing view the timed PPSFP detect path reads.
+//!
+//! The fault simulator itself knows nothing about delay models or
+//! static timing — `occ-timing` compiles a
+//! [`DelayModel`](https://docs.rs/occ-sim) into a flat per-cell delay
+//! table, runs its STA over the same [`SimGraph`](crate::SimGraph) and
+//! hands the kernel this minimal read-only view: one propagation delay
+//! and one good-machine settle (arrival) time per cell, both in
+//! picoseconds.
+//!
+//! With a view attached (see [`FaultSim::attach_timing`]
+//! (crate::FaultSim::attach_timing)), [`FaultSim::detect`]
+//! (crate::FaultSim::detect) additionally records, per detected fault,
+//! the longest sensitized propagation path — the latest arrival of the
+//! fault difference at any detecting scan flop or observed primary
+//! output. Detection masks are unaffected; the timed annotations are
+//! strictly additive.
+
+/// Picosecond timestamps, matching `occ_sim::Time`.
+pub type TimePs = u64;
+
+/// Flat per-cell propagation timing, indexed by cell index.
+#[derive(Debug, Clone)]
+pub struct SimTiming {
+    delay_ps: Vec<TimePs>,
+    arrival_ps: Vec<TimePs>,
+}
+
+impl SimTiming {
+    /// Builds a view from a per-cell delay table and per-cell settle
+    /// (arrival) times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables disagree on the cell count.
+    pub fn new(delay_ps: Vec<TimePs>, arrival_ps: Vec<TimePs>) -> Self {
+        assert_eq!(
+            delay_ps.len(),
+            arrival_ps.len(),
+            "delay and arrival tables must cover the same cells"
+        );
+        SimTiming {
+            delay_ps,
+            arrival_ps,
+        }
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.delay_ps.len()
+    }
+
+    /// Propagation delay of one cell.
+    #[inline]
+    pub fn delay(&self, cell: usize) -> TimePs {
+        self.delay_ps[cell]
+    }
+
+    /// Good-machine settle time of one cell's output, measured from the
+    /// launch clock edge.
+    #[inline]
+    pub fn arrival(&self, cell: usize) -> TimePs {
+        self.arrival_ps[cell]
+    }
+}

@@ -1,7 +1,7 @@
 //! Per-cell propagation delays for the event-driven simulator.
 
 use crate::Time;
-use occ_netlist::{CellId, CellKind};
+use occ_netlist::{CellId, CellKind, Netlist};
 use std::collections::HashMap;
 
 /// Assigns a propagation delay to every cell.
@@ -87,6 +87,85 @@ impl DelayModel {
             .copied()
             .unwrap_or_else(|| self.kind_delay(kind))
     }
+
+    /// Compiles the model into a flat per-cell delay table for one
+    /// netlist.
+    ///
+    /// The `HashMap`-keyed kind/cell overrides are a builder-surface
+    /// convenience; every hot consumer — the event-driven simulator and
+    /// the static timing engine — reads the compiled table instead, so
+    /// a delay lookup is a single indexed load.
+    pub fn compile(&self, netlist: &Netlist) -> CompiledDelays {
+        CompiledDelays {
+            delays: netlist
+                .iter()
+                .map(|(id, cell)| self.delay(id, cell.kind()))
+                .collect(),
+        }
+    }
+}
+
+/// A [`DelayModel`] flattened into one delay per cell of a specific
+/// netlist, indexed by [`CellId::index`].
+///
+/// Produced by [`DelayModel::compile`]; identical to calling
+/// [`DelayModel::delay`] per cell (there is a test for that), without
+/// the per-lookup kind dispatch and `HashMap` probes.
+///
+/// # Examples
+///
+/// ```
+/// use occ_sim::DelayModel;
+/// use occ_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.input("a");
+/// let g = b.not(a);
+/// b.output("y", g);
+/// let nl = b.finish().unwrap();
+/// let table = DelayModel::uniform(7).compile(&nl);
+/// assert_eq!(table.of(g), 7);
+/// assert_eq!(table.of(a), 0); // ports are delay-free
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledDelays {
+    delays: Vec<Time>,
+}
+
+impl CompiledDelays {
+    /// The compiled delay of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range for the compiled netlist.
+    #[inline]
+    pub fn of(&self, cell: CellId) -> Time {
+        self.delays[cell.index()]
+    }
+
+    /// The whole table, indexed by [`CellId::index`].
+    #[inline]
+    pub fn as_slice(&self) -> &[Time] {
+        &self.delays
+    }
+
+    /// Number of cells compiled.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// True when the compiled netlist had no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Consumes the table, returning the raw per-cell delays.
+    #[inline]
+    pub fn into_vec(self) -> Vec<Time> {
+        self.delays
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +188,31 @@ mod tests {
         let dm = DelayModel::default();
         assert_eq!(dm.kind_delay(CellKind::Input), 0);
         assert_eq!(dm.kind_delay(CellKind::Output), 0);
+    }
+
+    #[test]
+    fn compiled_table_matches_per_cell_lookup() {
+        use occ_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let a = b.input("a");
+        let inv = b.not(a);
+        let g = b.and2(inv, a);
+        let ff = b.dff(g, clk);
+        b.output("y", ff);
+        let nl = b.finish().unwrap();
+        let mut dm = DelayModel::default();
+        dm.set_kind(CellKind::And, 17);
+        dm.set_cell(inv, 3);
+        let table = dm.compile(&nl);
+        assert_eq!(table.len(), nl.len());
+        for (id, cell) in nl.iter() {
+            assert_eq!(table.of(id), dm.delay(id, cell.kind()), "cell {id}");
+        }
+        assert_eq!(table.of(inv), 3);
+        assert_eq!(table.of(g), 17);
+        assert_eq!(table.as_slice()[ff.index()], 30);
+        assert!(!table.is_empty());
+        assert_eq!(table.into_vec().len(), nl.len());
     }
 }

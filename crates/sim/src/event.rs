@@ -1,6 +1,6 @@
 //! Event-driven, inertial-delay timing simulation.
 
-use crate::{DelayModel, Time, Trace, Waveform};
+use crate::{CompiledDelays, DelayModel, Time, Trace, Waveform};
 use occ_netlist::{CellId, CellKind, Logic, Netlist};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -22,7 +22,9 @@ type QueuedEvent = (Time, u64, u32, u8, bool);
 #[derive(Debug)]
 pub struct EventSim<'a> {
     netlist: &'a Netlist,
-    delays: DelayModel,
+    /// The delay model compiled into a flat per-cell table, so the
+    /// per-event `schedule` path is a single indexed load.
+    delays: CompiledDelays,
     values: Vec<Logic>,
     pending: Vec<Option<(Time, Logic)>>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
@@ -53,7 +55,7 @@ impl<'a> EventSim<'a> {
         let n = netlist.len();
         let mut sim = EventSim {
             netlist,
-            delays,
+            delays: delays.compile(netlist),
             values: vec![Logic::X; n],
             pending: vec![None; n],
             queue: BinaryHeap::new(),
@@ -382,8 +384,7 @@ impl<'a> EventSim<'a> {
 
     /// Schedules an output change after the cell's delay (inertial).
     fn schedule(&mut self, cell: CellId, new: Logic) {
-        let kind = self.netlist.cell(cell).kind();
-        let t = self.now + self.delays.delay(cell, kind);
+        let t = self.now + self.delays.of(cell);
         self.schedule_at(cell, t, new);
     }
 

@@ -51,7 +51,7 @@ mod waveform;
 
 pub use ascii::{render_ascii, AsciiOptions};
 pub use cycle::CycleSim;
-pub use delay::DelayModel;
+pub use delay::{CompiledDelays, DelayModel};
 pub use event::EventSim;
 pub use trace::{Edge, Trace};
 pub use waveform::Waveform;

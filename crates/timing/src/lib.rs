@@ -1,0 +1,41 @@
+//! # occ-timing — slack-aware delay-test quality
+//!
+//! The repo's fault-simulation and ATPG layers grade transition faults
+//! *logically*: every detection counts the same. The source paper's
+//! whole point, though, is that different on-chip clock generation
+//! designs change the **capture timing** and therefore the *quality*
+//! of the very same logical detection — a transition fault detected
+//! through a path with slack `s` screens only delay defects larger
+//! than `s`. This crate adds that timing axis:
+//!
+//! * [`Sta`] — a zero-allocation static timing engine riding the
+//!   compiled [`SimGraph`](occ_fsim::SimGraph) with a flat
+//!   [`CompiledDelays`](occ_sim::CompiledDelays) table: per-cell
+//!   arrival (settle) and departure (remaining path to a capture
+//!   point) times under a [`CaptureTargets`] set;
+//! * [`reference_arrivals`] — the retained naive STA oracle the
+//!   compiled engine is cross-checked and benchmarked against;
+//! * [`QualityReport`] — SDQL-style aggregation of per-fault
+//!   [`FaultSlack`] data (expected test escapes, weighted coverage,
+//!   slack histogram) under the exponential delay-defect size model of
+//!   [`QualityOptions`];
+//! * the timed PPSFP detect path itself lives in `occ-fsim`
+//!   ([`FaultSim::attach_timing`](occ_fsim::FaultSim::attach_timing)
+//!   consumes an [`occ_fsim::SimTiming`] view built from this crate's
+//!   tables); `occ-flow` wires everything into
+//!   `TestFlow::timing(..)` and the `delay_quality` report block.
+//!
+//! `tests/timing_equivalence.rs` (workspace root) pins the STA arrival
+//! times against the event-driven simulator's settled waveforms under
+//! the same `DelayModel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod quality;
+mod reference;
+mod sta;
+
+pub use quality::{FaultSlack, ProcWindow, QualityOptions, QualityReport};
+pub use reference::reference_arrivals;
+pub use sta::{CaptureTargets, Sta};

@@ -1,0 +1,296 @@
+//! SDQL-style delay-test quality statistics.
+//!
+//! A transition-fault detection is not one bit of quality: a detection
+//! through a path with slack `s` under the capture window screens only
+//! delay defects **larger than `s`**. This module aggregates per-fault
+//! slack data into the statistic the small-delay-defect literature
+//! (Sato et al.'s *statistical delay quality level*) uses to compare
+//! test sets:
+//!
+//! * every transition fault carries a potential delay defect whose size
+//!   `δ` follows an exponential distribution with scale `λ`
+//!   ([`QualityOptions::lambda_ps`]) — small defects are common, gross
+//!   ones rare;
+//! * the defect causes a **functional failure** iff `δ` exceeds the
+//!   fault's functional slack (its margin under the functional clock of
+//!   the domains that can observe it);
+//! * the test **screens** it iff `δ` exceeds the smallest test slack of
+//!   any detection of that fault (window − longest sensitized path);
+//! * `SDQL = Σ_faults P(functional failure ∧ not screened)
+//!        = Σ max(0, e^(−s_func/λ) − e^(−s_test/λ))` — the expected
+//!   number of test escapes over the fault universe; lower is better;
+//! * **weighted coverage** divides the screened functional-failure
+//!   probability mass by the total: at-speed detections through the
+//!   longest paths approach 100 %, slow external-clock detections of
+//!   the same faults score far lower even at identical logical
+//!   coverage — exactly the paper's "impact on delay test quality"
+//!   axis.
+
+use occ_sim::Time;
+use std::fmt;
+
+/// Tuning knobs of the quality statistic.
+#[derive(Debug, Clone)]
+pub struct QualityOptions {
+    /// Scale (mean size, in ps) of the exponential delay-defect size
+    /// distribution.
+    pub lambda_ps: f64,
+    /// Slack-histogram bucket count.
+    pub histogram_buckets: usize,
+}
+
+impl Default for QualityOptions {
+    /// λ = 3 ns (a third of the paper's fast functional period scale),
+    /// 8 histogram buckets.
+    fn default() -> Self {
+        QualityOptions {
+            lambda_ps: 3_000.0,
+            histogram_buckets: 8,
+        }
+    }
+}
+
+/// Per-fault slack data fed into [`QualityReport::compute`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSlack {
+    /// Functional slack: the margin of the longest functional path
+    /// through the fault site under its observing domains' periods.
+    /// `None` when no functional capture point is reachable (a defect
+    /// there never fails the device).
+    pub func_slack_ps: Option<Time>,
+    /// The smallest test slack among this fault's detections (window −
+    /// longest sensitized path, saturated at 0). `None` when the fault
+    /// went undetected.
+    pub test_slack_ps: Option<Time>,
+}
+
+/// The launch→capture window one capture procedure ran under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcWindow {
+    /// Procedure name (matches the `FrameSpec`).
+    pub name: String,
+    /// Window in picoseconds.
+    pub window_ps: Time,
+    /// True when the window is an at-speed (PLL) period.
+    pub at_speed: bool,
+}
+
+/// Aggregated delay-test quality of one pattern set.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Defect-size distribution scale used.
+    pub lambda_ps: f64,
+    /// Faults graded.
+    pub faults: usize,
+    /// Faults detected with a recorded sensitized path.
+    pub detected_timed: usize,
+    /// Expected test escapes over the fault universe (lower is better).
+    pub sdql: f64,
+    /// Screened share of the functional-failure probability mass, in
+    /// percent (higher is better).
+    pub weighted_coverage_pct: f64,
+    /// Mean observed test slack over detected faults, in ps.
+    pub mean_test_slack_ps: f64,
+    /// Smallest observed test slack (the sharpest screen), in ps.
+    pub min_test_slack_ps: Time,
+    /// Largest observed test slack (the dullest screen), in ps.
+    pub max_test_slack_ps: Time,
+    /// Detected-fault counts bucketed by observed test slack.
+    pub histogram: Vec<u64>,
+    /// Histogram bucket width in ps (the last bucket absorbs overflow).
+    pub bucket_ps: Time,
+    /// The capture window of every procedure graded.
+    pub windows: Vec<ProcWindow>,
+}
+
+impl QualityReport {
+    /// Aggregates per-fault slack data into the quality statistic.
+    ///
+    /// `windows` documents the graded procedures and sizes the slack
+    /// histogram (bucket width = max window / buckets).
+    pub fn compute(
+        slacks: &[FaultSlack],
+        windows: Vec<ProcWindow>,
+        options: &QualityOptions,
+    ) -> QualityReport {
+        let lambda = options.lambda_ps.max(1.0);
+        let weight = |s: Option<Time>| s.map_or(0.0, |s| (-(s as f64) / lambda).exp());
+
+        let mut sdql = 0.0;
+        let mut screened = 0.0;
+        let mut functional = 0.0;
+        let mut detected_timed = 0usize;
+        let mut slack_sum = 0u128;
+        let mut min_slack = Time::MAX;
+        let mut max_slack = 0;
+
+        let max_window = windows.iter().map(|w| w.window_ps).max().unwrap_or(0);
+        let buckets = options.histogram_buckets.max(1);
+        let bucket_ps = (max_window / buckets as Time).max(1);
+        let mut histogram = vec![0u64; buckets];
+
+        for f in slacks {
+            let w_func = weight(f.func_slack_ps);
+            // A detection can never screen more than the functional
+            // failure mass of its fault.
+            let w_test = weight(f.test_slack_ps).min(w_func);
+            sdql += (w_func - w_test).max(0.0);
+            screened += w_test;
+            functional += w_func;
+            if let Some(s) = f.test_slack_ps {
+                detected_timed += 1;
+                slack_sum += s as u128;
+                min_slack = min_slack.min(s);
+                max_slack = max_slack.max(s);
+                let b = ((s / bucket_ps) as usize).min(buckets - 1);
+                histogram[b] += 1;
+            }
+        }
+
+        QualityReport {
+            lambda_ps: lambda,
+            faults: slacks.len(),
+            detected_timed,
+            sdql,
+            weighted_coverage_pct: if functional > 0.0 {
+                100.0 * screened / functional
+            } else {
+                100.0
+            },
+            mean_test_slack_ps: if detected_timed > 0 {
+                slack_sum as f64 / detected_timed as f64
+            } else {
+                0.0
+            },
+            min_test_slack_ps: if detected_timed > 0 { min_slack } else { 0 },
+            max_test_slack_ps: max_slack,
+            histogram,
+            bucket_ps,
+            windows,
+        }
+    }
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "delay quality: SDQL {:.4}  weighted coverage {:.2}%  \
+             ({} of {} faults detected with paths, λ {:.0} ps)",
+            self.sdql, self.weighted_coverage_pct, self.detected_timed, self.faults, self.lambda_ps
+        )?;
+        writeln!(
+            f,
+            "  test slack: mean {:.0} ps, min {} ps, max {} ps",
+            self.mean_test_slack_ps, self.min_test_slack_ps, self.max_test_slack_ps
+        )?;
+        write!(f, "  slack histogram ({} ps buckets):", self.bucket_ps)?;
+        for n in &self.histogram {
+            write!(f, " {n}")?;
+        }
+        writeln!(f)?;
+        for w in &self.windows {
+            writeln!(
+                f,
+                "  window {:<16} {:>7} ps {}",
+                w.name,
+                w.window_ps,
+                if w.at_speed { "(at-speed)" } else { "(tester)" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(ps: Time) -> Vec<ProcWindow> {
+        vec![ProcWindow {
+            name: "p".into(),
+            window_ps: ps,
+            at_speed: true,
+        }]
+    }
+
+    #[test]
+    fn at_speed_detection_through_longest_path_is_perfect() {
+        // Test slack equals functional slack: nothing escapes.
+        let slacks = vec![FaultSlack {
+            func_slack_ps: Some(1_000),
+            test_slack_ps: Some(1_000),
+        }];
+        let q = QualityReport::compute(&slacks, win(6_666), &QualityOptions::default());
+        assert!(q.sdql.abs() < 1e-12);
+        assert!((q.weighted_coverage_pct - 100.0).abs() < 1e-9);
+        assert_eq!(q.detected_timed, 1);
+        assert_eq!(q.min_test_slack_ps, 1_000);
+    }
+
+    #[test]
+    fn slow_window_detection_lets_small_defects_escape() {
+        // Functionally tight (100 ps margin) but tested with 30 ns of
+        // slack: most functionally failing defects escape.
+        let slacks = vec![FaultSlack {
+            func_slack_ps: Some(100),
+            test_slack_ps: Some(30_000),
+        }];
+        let q = QualityReport::compute(&slacks, win(40_000), &QualityOptions::default());
+        assert!(q.sdql > 0.9, "sdql {}", q.sdql);
+        assert!(q.weighted_coverage_pct < 10.0);
+    }
+
+    #[test]
+    fn undetected_faults_escape_entirely_and_unreachable_ones_never_fail() {
+        let slacks = vec![
+            FaultSlack {
+                func_slack_ps: Some(0),
+                test_slack_ps: None, // undetected, functionally critical
+            },
+            FaultSlack {
+                func_slack_ps: None, // unobservable functionally
+                test_slack_ps: None,
+            },
+        ];
+        let q = QualityReport::compute(&slacks, win(6_666), &QualityOptions::default());
+        assert!((q.sdql - 1.0).abs() < 1e-12);
+        assert_eq!(q.detected_timed, 0);
+        assert_eq!(q.mean_test_slack_ps, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let slacks: Vec<FaultSlack> = [0, 999, 1_000, 7_999, 1_000_000]
+            .iter()
+            .map(|&s| FaultSlack {
+                func_slack_ps: Some(0),
+                test_slack_ps: Some(s),
+            })
+            .collect();
+        let q = QualityReport::compute(&slacks, win(8_000), &QualityOptions::default());
+        assert_eq!(q.bucket_ps, 1_000);
+        assert_eq!(q.histogram.len(), 8);
+        assert_eq!(q.histogram[0], 2); // 0 and 999
+        assert_eq!(q.histogram[1], 1); // 1000
+        assert_eq!(q.histogram[7], 2); // 7999 + clamped overflow
+        assert_eq!(q.max_test_slack_ps, 1_000_000);
+        let text = q.to_string();
+        assert!(text.contains("SDQL"));
+        assert!(text.contains("at-speed"));
+    }
+
+    #[test]
+    fn screened_mass_is_capped_by_functional_mass() {
+        // Observed test slack below the functional slack (possible when
+        // the functional STA sees a longer path than the test window
+        // stresses): credit is capped, never negative SDQL.
+        let slacks = vec![FaultSlack {
+            func_slack_ps: Some(5_000),
+            test_slack_ps: Some(1_000),
+        }];
+        let q = QualityReport::compute(&slacks, win(6_666), &QualityOptions::default());
+        assert!(q.sdql.abs() < 1e-12);
+        assert!((q.weighted_coverage_pct - 100.0).abs() < 1e-9);
+    }
+}

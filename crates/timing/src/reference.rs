@@ -1,0 +1,67 @@
+//! The retained naive STA — correctness oracle and perf baseline.
+//!
+//! [`reference_arrivals`] computes the same per-cell settle times as
+//! the compiled [`Sta`](crate::Sta) forward pass, but the way a first
+//! implementation would: fresh allocations per call, per-cell
+//! [`Cell`](occ_netlist::Cell) lookups and the `HashMap`-probing
+//! [`DelayModel::delay`] path instead of a compiled table. `timing_bench`
+//! times the two against each other (the ratio cancels machine speed)
+//! and cross-checks the values; `tests/timing_equivalence.rs` pins both
+//! against the event-driven simulator.
+
+use occ_netlist::{CellKind, Netlist};
+use occ_sim::{DelayModel, Time};
+
+/// Naive per-cell arrival times under `delays`, matching
+/// [`Sta::arrivals`](crate::Sta::arrivals) exactly.
+///
+/// Launch model (identical to the compiled engine): stateful cells
+/// settle one clock-to-out after the launch edge, sources and ties are
+/// stable at time 0, combinational cells settle at the latest fanin
+/// arrival plus their own delay.
+pub fn reference_arrivals(netlist: &Netlist, delays: &DelayModel) -> Vec<Time> {
+    let mut arrival: Vec<Time> = netlist
+        .iter()
+        .map(|(id, cell)| match cell.kind() {
+            CellKind::Input | CellKind::Tie0 | CellKind::Tie1 | CellKind::TieX => 0,
+            k if k.is_combinational() => 0, // filled by the ordered pass
+            k => delays.delay(id, k),       // stateful: clock-to-out
+        })
+        .collect();
+    for &id in netlist.levelization().order() {
+        let cell = netlist.cell(id);
+        let t = cell
+            .inputs()
+            .iter()
+            .map(|&src| arrival[src.index()])
+            .max()
+            .unwrap_or(0);
+        arrival[id.index()] = t + delays.delay(id, cell.kind());
+    }
+    arrival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_netlist::NetlistBuilder;
+
+    #[test]
+    fn reference_matches_hand_computation() {
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let d = b.input("d");
+        let ff = b.dff(d, clk);
+        let inv = b.not(ff);
+        let g = b.and2(inv, d);
+        b.output("y", g);
+        let nl = b.finish().unwrap();
+        let mut dm = DelayModel::default();
+        dm.set_cell(inv, 7);
+        let a = reference_arrivals(&nl, &dm);
+        assert_eq!(a[clk.index()], 0);
+        assert_eq!(a[ff.index()], 30);
+        assert_eq!(a[inv.index()], 37);
+        assert_eq!(a[g.index()], 47);
+    }
+}

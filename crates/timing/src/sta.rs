@@ -1,0 +1,390 @@
+//! The compiled static timing engine.
+//!
+//! [`Sta`] rides the same [`SimGraph`] the fault-simulation and ATPG
+//! kernels compile — CSR fanin edges, dense op codes, the flattened
+//! levelized order — with a flat per-cell delay table (a
+//! [`CompiledDelays`](occ_sim::CompiledDelays)). One forward pass over
+//! the levelized order yields per-cell **arrival** times (the latest a
+//! cell's output settles after the launch clock edge); one backward
+//! pass from the capture points of a [`CaptureTargets`] set yields
+//! per-cell **departure** times (the longest remaining path to a
+//! capturing flop or observed primary output). `arrival + departure`
+//! is the longest structural launch→capture path through a cell, and
+//! `window − (arrival + departure)` is its slack under a capture
+//! window — the quantity that decides which delay defects a detection
+//! through that cell actually screens.
+//!
+//! All buffers are allocated once in [`Sta::new`] and reused by every
+//! [`Sta::compute`] call; a recompute performs no heap allocation
+//! (gated by `timing_bench`). The naive, allocation-heavy
+//! [`reference_arrivals`](crate::reference_arrivals) oracle pins the
+//! arrival values exactly, and `tests/timing_equivalence.rs` pins them
+//! against the event-driven simulator's settled waveforms.
+
+use occ_fsim::{FrameSpec, OpCode, SimGraph};
+use occ_sim::Time;
+
+/// Departure sentinel: no path from the cell to any capture point.
+const UNREACHED: Time = Time::MAX;
+
+/// Which observation points terminate launch→capture paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureTargets {
+    /// `domains[d]` — flops of domain `d` capture.
+    domains: Vec<bool>,
+    /// Primary outputs are strobed.
+    observe_po: bool,
+}
+
+impl CaptureTargets {
+    /// Targets of one capture procedure: the domains pulsed in its
+    /// final (capture) cycle, plus the POs when the procedure strobes
+    /// them at that cycle.
+    pub fn of_spec(spec: &FrameSpec, n_domains: usize) -> Self {
+        let capture = spec.capture_frame();
+        let mut domains = vec![false; n_domains];
+        if let Some(cycle) = spec.cycles().last() {
+            for &d in &cycle.pulses {
+                if d < n_domains {
+                    domains[d] = true;
+                }
+            }
+        }
+        CaptureTargets {
+            domains,
+            observe_po: spec.po_observe_frames().contains(&capture),
+        }
+    }
+
+    /// Functional targets of one domain: its flops capture every cycle;
+    /// POs are consumed downstream at the same speed.
+    pub fn domain(d: usize, n_domains: usize) -> Self {
+        let mut domains = vec![false; n_domains];
+        if d < n_domains {
+            domains[d] = true;
+        }
+        CaptureTargets {
+            domains,
+            observe_po: true,
+        }
+    }
+
+    /// Every flop and every PO captures (the full-netlist view).
+    pub fn all(n_domains: usize) -> Self {
+        CaptureTargets {
+            domains: vec![true; n_domains],
+            observe_po: true,
+        }
+    }
+
+    /// True when flops of `domain` capture.
+    #[inline]
+    pub fn captures_domain(&self, domain: usize) -> bool {
+        self.domains.get(domain).copied().unwrap_or(false)
+    }
+
+    /// True when primary outputs are strobed.
+    #[inline]
+    pub fn observes_po(&self) -> bool {
+        self.observe_po
+    }
+}
+
+/// Per-cell arrival/departure times over one compiled graph.
+///
+/// # Examples
+///
+/// ```
+/// use occ_netlist::{Logic, NetlistBuilder};
+/// use occ_fsim::{CaptureModel, ClockBinding, FrameSpec};
+/// use occ_sim::DelayModel;
+/// use occ_timing::{CaptureTargets, Sta};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("t");
+/// let clk = b.input("clk");
+/// let se = b.input("se");
+/// let si = b.input("si");
+/// let d = b.input("d");
+/// let f0 = b.sdff(d, clk, se, si);
+/// let g = b.not(f0);
+/// let f1 = b.sdff(g, clk, se, f0);
+/// b.output("q", f1);
+/// let nl = b.finish()?;
+/// let mut binding = ClockBinding::new();
+/// binding.add_domain("a", clk);
+/// binding.constrain(se, Logic::Zero);
+/// binding.mask(si);
+/// let model = CaptureModel::new(&nl, binding)?;
+///
+/// let table = DelayModel::default().compile(&nl);
+/// let mut sta = Sta::new(model.graph().cells());
+/// let spec = FrameSpec::broadside("loc", &[0], 2).hold_pi(true).observe_po(false);
+/// sta.compute(model.graph(), table.as_slice(), &CaptureTargets::of_spec(&spec, 1));
+/// // f0 launches at its 30 ps clock-to-out; the inverter adds 10 ps.
+/// assert_eq!(sta.arrival(g.index()), 40);
+/// // From g's output the path ends right at f1's D pin.
+/// assert_eq!(sta.departure(g.index()), Some(0));
+/// assert_eq!(sta.path_through(g.index()), Some(40));
+/// assert_eq!(sta.slack(g.index(), 6_666), Some(6_626));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sta {
+    arrival: Vec<Time>,
+    depart: Vec<Time>,
+}
+
+impl Sta {
+    /// An engine sized for a graph with `cells` cells. All scratch
+    /// lives here; [`Sta::compute`] reuses it without allocating.
+    pub fn new(cells: usize) -> Self {
+        Sta {
+            arrival: vec![0; cells],
+            depart: vec![UNREACHED; cells],
+        }
+    }
+
+    /// Recomputes arrival and departure times for one delay table and
+    /// capture-target set.
+    ///
+    /// Launch model: stateful cells (flops, latches, clock gates, RAM)
+    /// present their new value one cell delay (clock-to-out) after the
+    /// launch edge; primary inputs and ties are stable, modelled as
+    /// settling at the edge itself (time 0) — the conservative choice
+    /// for held-PI at-speed procedures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ps` or the graph disagree with the engine's
+    /// compiled cell count.
+    pub fn compute(&mut self, graph: &SimGraph, delay_ps: &[Time], targets: &CaptureTargets) {
+        self.compute_arrivals(graph, delay_ps);
+
+        // Backward pass: departure times from the capture points.
+        self.depart.fill(UNREACHED);
+        for fi in 0..graph.flop_count() {
+            let meta = graph.flop_meta(fi);
+            if !targets.captures_domain(meta.domain as usize) {
+                continue;
+            }
+            // The capture path ends at the sample pins: D always, and
+            // the scan-mux legs for mux-scan flops.
+            self.seed(meta.d);
+            if meta.mux_scan {
+                self.seed(meta.se);
+                self.seed(meta.si);
+            }
+        }
+        if targets.observes_po() {
+            for &po in graph.po_cells() {
+                self.seed(po);
+            }
+        }
+        for &c in graph.comb_order().iter().rev() {
+            let ci = c as usize;
+            if self.depart[ci] == UNREACHED {
+                continue;
+            }
+            let through = self.depart[ci] + delay_ps[ci];
+            for &src in graph.fanins(ci) {
+                let s = src as usize;
+                if self.depart[s] == UNREACHED || self.depart[s] < through {
+                    self.depart[s] = through;
+                }
+            }
+        }
+    }
+
+    /// The forward half of [`Sta::compute`] alone: per-cell arrival
+    /// times, leaving departures untouched. This is the pass
+    /// [`reference_arrivals`](crate::reference_arrivals) mirrors and
+    /// `timing_bench` races.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ps` or the graph disagree with the engine's
+    /// compiled cell count.
+    pub fn compute_arrivals(&mut self, graph: &SimGraph, delay_ps: &[Time]) {
+        let n = graph.cells();
+        assert_eq!(n, self.arrival.len(), "graph/engine cell count mismatch");
+        assert_eq!(n, delay_ps.len(), "graph/delay-table cell count mismatch");
+        for (c, arrival) in self.arrival.iter_mut().enumerate() {
+            *arrival = match graph.op(c) {
+                OpCode::State => delay_ps[c],
+                _ => 0,
+            };
+        }
+        for &c in graph.comb_order() {
+            let ci = c as usize;
+            let mut t = 0;
+            for &src in graph.fanins(ci) {
+                t = t.max(self.arrival[src as usize]);
+            }
+            self.arrival[ci] = t + delay_ps[ci];
+        }
+    }
+
+    #[inline]
+    fn seed(&mut self, cell: u32) {
+        let c = cell as usize;
+        if self.depart[c] == UNREACHED {
+            self.depart[c] = 0;
+        }
+    }
+
+    /// Settle time of a cell's output after the launch edge.
+    #[inline]
+    pub fn arrival(&self, cell: usize) -> Time {
+        self.arrival[cell]
+    }
+
+    /// The per-cell arrival table (indexed by cell).
+    #[inline]
+    pub fn arrivals(&self) -> &[Time] {
+        &self.arrival
+    }
+
+    /// Longest remaining path from the cell's output to a capture
+    /// point, or `None` when no capture point is reachable.
+    #[inline]
+    pub fn departure(&self, cell: usize) -> Option<Time> {
+        let d = self.depart[cell];
+        (d != UNREACHED).then_some(d)
+    }
+
+    /// Longest launch→capture path through the cell, or `None` when
+    /// unobservable under the targets.
+    #[inline]
+    pub fn path_through(&self, cell: usize) -> Option<Time> {
+        self.departure(cell).map(|d| self.arrival[cell] + d)
+    }
+
+    /// Slack of the cell under a capture window (saturating at zero:
+    /// a structurally failing path simply has no margin), or `None`
+    /// when unobservable.
+    #[inline]
+    pub fn slack(&self, cell: usize, window_ps: Time) -> Option<Time> {
+        self.path_through(cell).map(|p| window_ps.saturating_sub(p))
+    }
+
+    /// The longest arrival anywhere in the graph (the critical settle
+    /// time).
+    pub fn max_arrival(&self) -> Time {
+        self.arrival.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fsim::{CaptureModel, ClockBinding, CycleSpec};
+    use occ_netlist::{Logic, NetlistBuilder};
+    use occ_sim::DelayModel;
+
+    /// Two-domain rig: dom-A flop → inv → AND(with PI) → dom-B flop,
+    /// with a PO hanging off the AND.
+    fn rig() -> (
+        occ_netlist::Netlist,
+        occ_netlist::CellId,
+        occ_netlist::CellId,
+        occ_netlist::CellId,
+    ) {
+        let mut b = NetlistBuilder::new("t");
+        let cka = b.input("cka");
+        let ckb = b.input("ckb");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let fa = b.sdff(d, cka, se, si);
+        let inv = b.not(fa);
+        let g = b.and2(inv, d);
+        let _fb = b.sdff(g, ckb, se, fa);
+        b.output("po", g);
+        (b.finish().unwrap(), inv, g, d)
+    }
+
+    fn model(nl: &occ_netlist::Netlist) -> CaptureModel<'_> {
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", nl.find("cka").unwrap());
+        binding.add_domain("b", nl.find("ckb").unwrap());
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        CaptureModel::new(nl, binding).unwrap()
+    }
+
+    #[test]
+    fn arrival_and_departure_over_the_rig() {
+        let (nl, inv, g, d) = rig();
+        let m = model(&nl);
+        let table = DelayModel::default().compile(&nl);
+        let mut sta = Sta::new(m.graph().cells());
+
+        // Capture only in domain B, POs masked.
+        let spec = occ_fsim::FrameSpec::new(
+            "x",
+            vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[1])],
+        )
+        .hold_pi(true)
+        .observe_po(false);
+        sta.compute(
+            m.graph(),
+            table.as_slice(),
+            &CaptureTargets::of_spec(&spec, 2),
+        );
+        assert_eq!(sta.arrival(inv.index()), 40); // 30 clk2q + 10
+        assert_eq!(sta.arrival(g.index()), 50);
+        // inv → g → fb.D: one more gate after inv.
+        assert_eq!(sta.departure(inv.index()), Some(10));
+        assert_eq!(sta.departure(g.index()), Some(0));
+        assert_eq!(sta.path_through(g.index()), Some(50));
+        assert_eq!(sta.slack(g.index(), 6_666), Some(6_616));
+        // PI arrival is 0; its departure runs through the AND.
+        assert_eq!(sta.arrival(d.index()), 0);
+        assert_eq!(sta.departure(d.index()).unwrap(), 10);
+        assert!(sta.max_arrival() >= 50);
+
+        // With POs strobed the AND output itself is a capture point —
+        // departure stays 0 (already seeded by fb) but the PO cell
+        // becomes reachable.
+        let po = nl.find("po").unwrap();
+        assert_eq!(sta.departure(po.index()), None, "masked PO unreachable");
+        let spec_po = occ_fsim::FrameSpec::new("x", vec![CycleSpec::pulsing(&[1])]);
+        sta.compute(
+            m.graph(),
+            table.as_slice(),
+            &CaptureTargets::of_spec(&spec_po, 2),
+        );
+        assert_eq!(sta.departure(po.index()), Some(0));
+
+        // Functional domain-A targets strobe POs too: g is observable
+        // through the PO with zero remaining path.
+        sta.compute(m.graph(), table.as_slice(), &CaptureTargets::domain(0, 2));
+        assert_eq!(sta.departure(g.index()), Some(0));
+        // With domain A capturing and POs masked, nothing downstream
+        // of the AND captures: g has no departure at all.
+        let spec_a = occ_fsim::FrameSpec::new("a", vec![CycleSpec::pulsing(&[0])])
+            .hold_pi(true)
+            .observe_po(false);
+        sta.compute(
+            m.graph(),
+            table.as_slice(),
+            &CaptureTargets::of_spec(&spec_a, 2),
+        );
+        assert_eq!(sta.departure(g.index()), None);
+        assert_eq!(sta.slack(g.index(), 6_666), None);
+        // fa's D-pin source (the PI d) is a capture path.
+        assert_eq!(sta.departure(d.index()), Some(0));
+    }
+
+    #[test]
+    fn slack_saturates_at_zero() {
+        let (nl, _, g, _) = rig();
+        let m = model(&nl);
+        let table = DelayModel::default().compile(&nl);
+        let mut sta = Sta::new(m.graph().cells());
+        sta.compute(m.graph(), table.as_slice(), &CaptureTargets::all(2));
+        assert_eq!(sta.slack(g.index(), 1), Some(0));
+    }
+}

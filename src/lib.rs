@@ -75,6 +75,12 @@ pub mod soc {
     pub use occ_soc::*;
 }
 
+/// Slack-aware delay-test quality: compiled STA and SDQL grading
+/// ([`occ_timing`]).
+pub mod timing {
+    pub use occ_timing::*;
+}
+
 /// The unified `TestFlow` pipeline API ([`occ_flow`]).
 pub mod flow {
     pub use occ_flow::*;

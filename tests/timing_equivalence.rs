@@ -1,0 +1,221 @@
+//! Cross-validation of the compiled STA:
+//!
+//! 1. against the **event-driven simulator**: on seeded glitch-free
+//!    netlists (launch flop → gate chains with non-controlling
+//!    constant side inputs), the STA arrival time of every chain cell
+//!    must equal the time of the last waveform transition after the
+//!    launch clock edge, under the same `DelayModel`;
+//! 2. against the **naive reference STA** on the seeded Table-1 SOC
+//!    (override-rich delay model);
+//! 3. end-to-end: on the seeded SOC, the four transition-test clocking
+//!    modes produce **distinct** SDQL / weighted-coverage values, with
+//!    the at-speed CPF modes strictly ahead of the external ones.
+
+use occ::fsim::{CaptureModel, ClockBinding};
+use occ::netlist::{CellId, Logic, Netlist, NetlistBuilder};
+use occ::sim::{DelayModel, EventSim, Time, Waveform};
+use occ::timing::{reference_arrivals, CaptureTargets, Sta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The launch clock edge the event simulation applies.
+const T_EDGE: Time = 10_000;
+
+/// A seeded rig: one scan launch flop per chain, each feeding a random
+/// glitch-free gate chain (side inputs tied non-controlling, so every
+/// cell transitions exactly once after the clock edge, at exactly its
+/// longest-path arrival).
+struct Rig {
+    nl: Netlist,
+    dm: DelayModel,
+    /// All chain cells (every one launched from a flop).
+    cells: Vec<CellId>,
+}
+
+fn build_rig(seed: u64) -> Rig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("timing_rig");
+    let clk = b.input("clk");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let tie0 = b.tie0();
+    let tie1 = b.tie1();
+    let mut dm = DelayModel::default();
+    let mut cells = Vec::new();
+
+    let chains = rng.gen_range(2..=4usize);
+    for c in 0..chains {
+        let ff = b.sdff(d, clk, se, si);
+        dm.set_cell(ff, rng.gen_range(20..50u64));
+        cells.push(ff);
+        let mut cur = ff;
+        let len = rng.gen_range(4..=17usize);
+        for _ in 0..len {
+            // Side inputs are non-controlling constants: the launch
+            // transition always propagates and nothing glitches.
+            cur = match rng.gen_range(0..5u32) {
+                0 => b.buf(cur),
+                1 => b.not(cur),
+                2 => b.and2(cur, tie1),
+                3 => b.or2(cur, tie0),
+                _ => b.xor2(cur, tie0),
+            };
+            dm.set_cell(cur, rng.gen_range(1..=25u64));
+            cells.push(cur);
+        }
+        b.output(&format!("chain_{c}"), cur);
+    }
+    Rig {
+        nl: b.finish().expect("rig validates"),
+        dm,
+        cells,
+    }
+}
+
+#[test]
+fn sta_arrivals_equal_event_sim_settle_times() {
+    for seed in [1u64, 7, 42, 20050307] {
+        let rig = build_rig(seed);
+        let nl = &rig.nl;
+
+        // Event-driven simulation: hold the data/control pins, fire
+        // one clean clock edge, record every chain cell.
+        let mut sim = EventSim::new(nl, rig.dm.clone());
+        for &c in &rig.cells {
+            sim.watch(c);
+        }
+        sim.drive(nl.find("se").unwrap(), Waveform::constant(Logic::Zero));
+        sim.drive(nl.find("si").unwrap(), Waveform::constant(Logic::Zero));
+        sim.drive(nl.find("d").unwrap(), Waveform::constant(Logic::One));
+        sim.drive(
+            nl.find("clk").unwrap(),
+            Waveform::steps(&[(0, Logic::Zero), (T_EDGE, Logic::One)]),
+        );
+        sim.run_until(T_EDGE + 10_000);
+
+        // Compiled STA over the same netlist and delay model.
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", nl.find("clk").unwrap());
+        binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+        binding.mask(nl.find("si").unwrap());
+        let model = CaptureModel::new(nl, binding).expect("rig binds");
+        let table = rig.dm.compile(nl);
+        let mut sta = Sta::new(model.graph().cells());
+        sta.compute_arrivals(model.graph(), table.as_slice());
+
+        for &c in &rig.cells {
+            let edges = sim.trace().edges(c);
+            let last = edges
+                .last()
+                .unwrap_or_else(|| panic!("seed {seed}: cell {c} never settled after the edge"));
+            assert_eq!(
+                sta.arrival(c.index()),
+                last.time - T_EDGE,
+                "seed {seed}: STA arrival vs event-sim settle at {c}",
+            );
+            // Glitch-free by construction: exactly one transition.
+            assert_eq!(edges.len(), 1, "seed {seed}: cell {c} glitched");
+        }
+
+        // The reference STA agrees on the rig too.
+        let oracle = reference_arrivals(nl, &rig.dm);
+        assert_eq!(sta.arrivals(), oracle.as_slice(), "seed {seed}");
+    }
+}
+
+#[test]
+fn compiled_sta_matches_reference_on_the_soc() {
+    use occ::netlist::CellKind;
+    let soc = occ::soc::generate(&occ::soc::SocConfig::paper_like(20050307, 48));
+    let model = CaptureModel::new(soc.netlist(), soc.binding(true)).expect("generated SOC binds");
+    let mut dm = DelayModel::default();
+    dm.set_kind(CellKind::Nand, 12)
+        .set_kind(CellKind::Xor, 18)
+        .set_kind(CellKind::Mux2, 16);
+    for id in soc.netlist().ids().step_by(13) {
+        dm.set_cell(id, 9);
+    }
+    let table = dm.compile(soc.netlist());
+    let mut sta = Sta::new(model.graph().cells());
+    sta.compute(
+        model.graph(),
+        table.as_slice(),
+        &CaptureTargets::all(model.domain_count()),
+    );
+    let oracle = reference_arrivals(soc.netlist(), &dm);
+    assert_eq!(sta.arrivals(), oracle.as_slice());
+    // Departures are consistent with arrivals: any cell with both has
+    // a path no longer than the global critical arrival.
+    let max_arrival = sta.max_arrival();
+    assert!(max_arrival > 0);
+    for c in 0..model.graph().cells() {
+        if let Some(p) = sta.path_through(c) {
+            assert!(
+                p <= max_arrival,
+                "cell {c}: path {p} > critical {max_arrival}"
+            );
+        }
+    }
+}
+
+#[test]
+fn four_clocking_modes_produce_distinct_quality() {
+    use occ::atpg::AtpgOptions;
+    use occ::core::ClockingMode;
+    use occ::flow::{EngineChoice, FaultKind, TestFlow};
+
+    let soc = occ::soc::generate(&occ::soc::SocConfig::paper_like(20050307, 24));
+    let quick = AtpgOptions {
+        random_patterns: 64,
+        backtrack_limit: 16,
+        ..AtpgOptions::default()
+    };
+    let modes = [
+        ClockingMode::ExternalClock { max_pulses: 4 },
+        ClockingMode::SimpleCpf,
+        ClockingMode::EnhancedCpf { max_pulses: 4 },
+        ClockingMode::ConstrainedExternal { max_pulses: 4 },
+    ];
+    let reports: Vec<_> = modes
+        .iter()
+        .map(|&mode| {
+            TestFlow::new(&soc)
+                .clocking(mode)
+                .fault_model(FaultKind::Transition)
+                .mask_bidi(mode != ClockingMode::ExternalClock { max_pulses: 4 })
+                .engine(EngineChoice::Serial)
+                .atpg(quick.clone())
+                .timing(DelayModel::default())
+                .run()
+                .expect("flow validates")
+        })
+        .collect();
+    let quality: Vec<_> = reports
+        .iter()
+        .map(|r| r.delay_quality.as_ref().expect("timed"))
+        .collect();
+
+    // Pairwise distinct SDQL and weighted coverage.
+    for i in 0..quality.len() {
+        for j in i + 1..quality.len() {
+            assert_ne!(
+                quality[i].sdql, quality[j].sdql,
+                "{} vs {}",
+                modes[i], modes[j]
+            );
+            assert_ne!(
+                quality[i].weighted_coverage_pct, quality[j].weighted_coverage_pct,
+                "{} vs {}",
+                modes[i], modes[j]
+            );
+        }
+    }
+    // The at-speed CPF modes beat both external modes on both axes.
+    for cpf in [&quality[1], &quality[2]] {
+        for ext in [&quality[0], &quality[3]] {
+            assert!(cpf.sdql < ext.sdql);
+            assert!(cpf.weighted_coverage_pct > ext.weighted_coverage_pct);
+        }
+    }
+}
