@@ -212,7 +212,7 @@ impl<'m, 'a> CompiledPodem<'m, 'a> {
     }
 
     fn assign(&mut self, pattern: &mut Pattern, var: Var, val: Option<bool>) {
-        let v = val.map(Logic::from_bool).unwrap_or(Logic::X);
+        let v = val.map_or(Logic::X, Logic::from_bool);
         match var {
             Var::Scan(i) => {
                 pattern.scan_load[i] = v;

@@ -19,10 +19,15 @@
 //!   makes [`CompiledPodem`](crate::CompiledPodem) decision-for-
 //!   decision identical to [`ReferencePodem`](crate::ReferencePodem).
 //!
-//! Both engines apply asynchronous resets to *both* machines every
-//! frame; see `occ_fsim::FaultSim::capture_flop` ("intended reset
-//! semantics") for the documented asymmetry against the packed engines
-//! and the shared contract all engines cite.
+//! Both engines implement the workspace-wide reset contract (see
+//! `occ_fsim::FaultSim::capture_flop`, "reset semantics"): the **good**
+//! machine applies asynchronous resets every frame, while the
+//! **faulty** state of a flop whose domain is not pulsed in a frame
+//! carries its entering state iff the fault involves the flop
+//! (entering-state difference or a differing input-pin driver) and
+//! otherwise tracks the good machine — matching the packed PPSFP
+//! engines' sparse-difference representation bit-for-bit, including
+//! designs whose reset nets are driven by internal logic.
 
 use occ_fault::{Fault, FaultModel, FaultSite, Polarity};
 use occ_fsim::{CaptureModel, FrameSpec, OpCode, Pattern, SimGraph, NO_RESET};
@@ -89,8 +94,16 @@ impl<'m, 'a> DualSim<'m, 'a> {
                 &self.faulty_state[k - 1],
                 active.then_some(fault),
             );
-            let gnext = self.next_state(spec, k, &gvals, &self.good_state[k - 1]);
-            let fnext = self.next_state(spec, k, &fvals, &self.faulty_state[k - 1]);
+            let gnext = self.next_state_good(spec, k, &gvals, &self.good_state[k - 1]);
+            let fnext = self.next_state_faulty(
+                spec,
+                k,
+                &fvals,
+                &gvals,
+                &self.faulty_state[k - 1],
+                &self.good_state[k - 1],
+                &gnext,
+            );
             self.good.push(gvals);
             self.faulty.push(fvals);
             self.good_state.push(gnext);
@@ -154,7 +167,42 @@ impl<'m, 'a> DualSim<'m, 'a> {
         vals
     }
 
-    fn next_state(
+    /// Samples one pulsed flop from `vals` and applies its
+    /// asynchronous-reset handling (also from `vals`).
+    fn sample_and_reset(&self, cell_id: CellId, vals: &[Logic]) -> Logic {
+        let nl = self.model.netlist();
+        let cell = nl.cell(cell_id);
+        let mut next = match cell.kind() {
+            CellKind::Sdff | CellKind::SdffRl => {
+                let d = vals[cell.inputs()[0].index()];
+                let se = vals[cell.inputs()[2].index()];
+                let si = vals[cell.inputs()[3].index()];
+                Logic::mux2(se, d, si)
+            }
+            _ => vals[cell.inputs()[0].index()].drive(),
+        };
+        if let Some(rpin) = cell.reset() {
+            let r = vals[rpin.index()].drive();
+            let act = match cell.kind() {
+                CellKind::DffRh => r == Logic::One,
+                _ => r == Logic::Zero,
+            };
+            if act {
+                next = Logic::Zero;
+            } else if !r.is_definite() && next != Logic::Zero {
+                next = Logic::X;
+            }
+        }
+        next
+    }
+
+    /// The good machine's next state after 1-based `frame`: pulsed
+    /// flops sample (then apply reset handling), and asynchronous
+    /// resets additionally act on *every* flop every frame — a reset
+    /// pin is asynchronous, so it does not wait for a pulse. This is
+    /// `simulate_good`'s rule in the workspace reset contract
+    /// (`occ_fsim::FaultSim::capture_flop`, "reset semantics").
+    fn next_state_good(
         &self,
         spec: &FrameSpec,
         frame: usize,
@@ -166,16 +214,8 @@ impl<'m, 'a> DualSim<'m, 'a> {
         let mut next = prev.to_vec();
         for (fi, info) in self.model.flops().iter().enumerate() {
             if cycle.pulses_domain(info.domain) {
-                let cell = nl.cell(info.cell);
-                next[fi] = match cell.kind() {
-                    CellKind::Sdff | CellKind::SdffRl => {
-                        let d = vals[cell.inputs()[0].index()];
-                        let se = vals[cell.inputs()[2].index()];
-                        let si = vals[cell.inputs()[3].index()];
-                        Logic::mux2(se, d, si)
-                    }
-                    _ => vals[cell.inputs()[0].index()].drive(),
-                };
+                next[fi] = self.sample_and_reset(info.cell, vals);
+                continue;
             }
             if let Some(rpin) = nl.cell(info.cell).reset() {
                 let r = vals[rpin.index()].drive();
@@ -189,6 +229,48 @@ impl<'m, 'a> DualSim<'m, 'a> {
                     next[fi] = Logic::X;
                 }
             }
+        }
+        next
+    }
+
+    /// The faulty machine's next state after 1-based `frame`,
+    /// mirroring the packed PPSFP engines' sparse-difference rule
+    /// (the workspace reset contract,
+    /// `occ_fsim::FaultSim::capture_flop`): a pulsed flop samples and
+    /// applies reset handling from the faulty values; a *non-pulsed*
+    /// flop carries its entering state **iff the fault involves it**
+    /// (its entering state differs from the good machine, or some
+    /// input-pin driver settled to a different faulty value this
+    /// frame) — a faulty reset net active in a non-pulsed frame is
+    /// not propagated into the flop. A non-pulsed flop the fault does
+    /// not involve tracks the good machine exactly (including the
+    /// good machine's own asynchronous-reset action).
+    #[allow(clippy::too_many_arguments)]
+    fn next_state_faulty(
+        &self,
+        spec: &FrameSpec,
+        frame: usize,
+        fvals: &[Logic],
+        gvals: &[Logic],
+        fprev: &[Logic],
+        gprev: &[Logic],
+        gnext: &[Logic],
+    ) -> Vec<Logic> {
+        let nl = self.model.netlist();
+        let cycle = &spec.cycles()[frame - 1];
+        let mut next = fprev.to_vec();
+        for (fi, info) in self.model.flops().iter().enumerate() {
+            if cycle.pulses_domain(info.domain) {
+                next[fi] = self.sample_and_reset(info.cell, fvals);
+                continue;
+            }
+            let involved = fprev[fi] != gprev[fi]
+                || nl
+                    .cell(info.cell)
+                    .inputs()
+                    .iter()
+                    .any(|&s| fvals[s.index()] != gvals[s.index()]);
+            next[fi] = if involved { fprev[fi] } else { gnext[fi] };
         }
         next
     }
@@ -292,9 +374,16 @@ enum Machine {
 /// re-evaluation. The equivalence sweep in `tests/atpg_equivalence.rs`
 /// checks this transitively through whole ATPG runs.
 ///
-/// Reset semantics follow [`DualSim`] (both machines, every frame);
-/// see `occ_fsim::FaultSim::capture_flop` for the intended-semantics
-/// note shared by all engines.
+/// Reset semantics follow [`DualSim`] and the packed engines (the
+/// good machine resets every frame; a non-pulsed faulty flop carries
+/// iff fault-involved, else tracks the good machine); see
+/// `occ_fsim::FaultSim::capture_flop` for the contract shared by all
+/// engines. Because the faulty capture reads *good*-machine values,
+/// the good pass always runs to completion before the faulty pass and
+/// records which flops it re-captured per frame; the faulty capture
+/// then recomputes its own touched set merged with that record — the
+/// union covers every capture input that can have changed, keeping
+/// both passes fully incremental.
 #[derive(Debug)]
 pub struct DualGraphSim<'m, 'a> {
     model: &'m CaptureModel<'a>,
@@ -328,6 +417,10 @@ pub struct DualGraphSim<'m, 'a> {
     // Entering-state dirt, double-buffered across frames.
     sdirty: Vec<u32>,
     sdirty_next: Vec<u32>,
+    // Flops the good pass re-captured, per frame (index k-1). The
+    // faulty capture reads good values/states, so its incremental
+    // sweep is its own touched set merged with this one.
+    good_flop_touched: Vec<Vec<u32>>,
     // Work counters.
     events: u64,
     incremental_resims: u64,
@@ -368,6 +461,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             changed: Vec::new(),
             sdirty: Vec::new(),
             sdirty_next: Vec::new(),
+            good_flop_touched: Vec::new(),
             events: 0,
             incremental_resims: 0,
             full_resims: 0,
@@ -456,8 +550,9 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             let active = fault_active(fault, k, frames);
             self.eval_frame_full(Machine::Good, pattern, k, None);
             self.eval_frame_full(Machine::Faulty, pattern, k, active.then_some(fault));
-            self.next_state_full(Machine::Good, spec, k);
-            self.next_state_full(Machine::Faulty, spec, k);
+            // Good next-state first: the faulty capture reads it.
+            self.next_state_full_good(spec, k);
+            self.next_state_full_faulty(spec, k);
         }
     }
 
@@ -520,6 +615,9 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             self.good_state.resize((frames + 1) * nf, Logic::X);
             self.faulty_state.resize((frames + 1) * nf, Logic::X);
         }
+        if self.good_flop_touched.len() < frames {
+            self.good_flop_touched.resize(frames, Vec::new());
+        }
     }
 
     /// Full evaluation of one machine's frame `k`, mirroring
@@ -579,18 +677,14 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
         self.events += events;
     }
 
-    /// Full next-state computation of one machine after frame `k`,
-    /// mirroring [`DualSim::simulate`]'s `next_state`.
-    fn next_state_full(&mut self, machine: Machine, spec: &FrameSpec, k: usize) {
+    /// Full good-machine next-state computation after frame `k`,
+    /// mirroring [`DualSim::simulate`]'s `next_state_good`.
+    fn next_state_full_good(&mut self, spec: &FrameSpec, k: usize) {
         let graph = self.graph;
         let n = graph.cells();
         let nf = graph.flop_count();
-        let (vals_all, state_all) = match machine {
-            Machine::Good => (&self.good, &mut self.good_state),
-            Machine::Faulty => (&self.faulty, &mut self.faulty_state),
-        };
-        let vals = &vals_all[(k - 1) * n..k * n];
-        let (prev_all, next_all) = state_all.split_at_mut(k * nf);
+        let vals = &self.good[(k - 1) * n..k * n];
+        let (prev_all, next_all) = self.good_state.split_at_mut(k * nf);
         let prev = &prev_all[(k - 1) * nf..];
         let next = &mut next_all[..nf];
         let cycle = &spec.cycles()[k - 1];
@@ -599,6 +693,34 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             events += 1;
             let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
             next[fi] = capture_logic(graph, fi, pulsed, vals, prev[fi]);
+        }
+        self.events += events;
+    }
+
+    /// Full faulty-machine next-state computation after frame `k`,
+    /// mirroring [`DualSim::simulate`]'s `next_state_faulty`. Must run
+    /// after [`DualGraphSim::next_state_full_good`] for the same frame
+    /// — the non-pulsed rule reads the good machine's values, entering
+    /// state and next state.
+    fn next_state_full_faulty(&mut self, spec: &FrameSpec, k: usize) {
+        let graph = self.graph;
+        let n = graph.cells();
+        let nf = graph.flop_count();
+        let fvals = &self.faulty[(k - 1) * n..k * n];
+        let gvals = &self.good[(k - 1) * n..k * n];
+        let gprev = &self.good_state[(k - 1) * nf..k * nf];
+        let gnext = &self.good_state[k * nf..(k + 1) * nf];
+        let (fprev_all, fnext_all) = self.faulty_state.split_at_mut(k * nf);
+        let fprev = &fprev_all[(k - 1) * nf..];
+        let fnext = &mut fnext_all[..nf];
+        let cycle = &spec.cycles()[k - 1];
+        let mut events = 0u64;
+        for fi in 0..nf {
+            events += 1;
+            let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+            fnext[fi] = capture_faulty(
+                graph, fi, pulsed, fvals, gvals, fprev[fi], gprev[fi], gnext[fi],
+            );
         }
         self.events += events;
     }
@@ -626,6 +748,7 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             changed,
             sdirty,
             sdirty_next,
+            good_flop_touched,
             events,
             ..
         } = self;
@@ -633,21 +756,23 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
         let frames = *frames;
         let n = graph.cells();
         let nf = graph.flop_count();
-        let (vals_all, state_all) = match machine {
-            Machine::Good => (good, good_state),
-            Machine::Faulty => (faulty, faulty_state),
-        };
         let fault = cur_fault.expect("machine_pass before begin");
         let hold = pattern.pis.len() == 1;
 
         // Load-state changes seed frame 1's entering-state dirt.
         sdirty.clear();
-        for &si in dirty_scan.iter() {
-            let fi = model.scan_flops()[si as usize] as usize;
-            let v = pattern.scan_load[si as usize];
-            if state_all[fi] != v {
-                state_all[fi] = v;
-                sdirty.push(fi as u32);
+        {
+            let state_all = match machine {
+                Machine::Good => &mut good_state[..],
+                Machine::Faulty => &mut faulty_state[..],
+            };
+            for &si in dirty_scan.iter() {
+                let fi = model.scan_flops()[si as usize] as usize;
+                let v = pattern.scan_load[si as usize];
+                if state_all[fi] != v {
+                    state_all[fi] = v;
+                    sdirty.push(fi as u32);
+                }
             }
         }
 
@@ -664,82 +789,129 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
                 Machine::Good => None,
                 Machine::Faulty => active.then_some(fault),
             });
-            let vals = &mut vals_all[(k - 1) * n..k * n];
+            {
+                let (vals_all, state_all) = match machine {
+                    Machine::Good => (&mut good[..], &good_state[..]),
+                    Machine::Faulty => (&mut faulty[..], &faulty_state[..]),
+                };
+                let vals = &mut vals_all[(k - 1) * n..k * n];
 
-            // Seed 1: changed PIs applying to this frame.
-            for &(pi, pf) in dirty_pi.iter() {
-                if !hold && pf as usize != k - 1 {
-                    continue;
-                }
-                let ci = model.free_pis()[pi as usize].index();
-                if out_site == Some(ci) {
-                    continue; // forced site never changes
-                }
-                let v = pattern.pis_for_frame(k)[pi as usize];
-                if vals[ci] != v {
-                    vals[ci] = v;
-                    changed.push(((k - 1) as u32, ci as u32));
-                    push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
-                }
-            }
-
-            // Seed 2: flops whose entering state changed — their node
-            // value moves, and their capture must recompute even when
-            // holding.
-            for &fi in sdirty.iter() {
-                let fi = fi as usize;
-                if flop_stamp[fi] != *gen {
-                    flop_stamp[fi] = *gen;
-                    touched.push(fi as u32);
-                }
-                let ci = graph.flop_meta(fi).cell as usize;
-                if out_site == Some(ci) {
-                    continue;
-                }
-                let v = state_all[(k - 1) * nf + fi];
-                if vals[ci] != v {
-                    vals[ci] = v;
-                    changed.push(((k - 1) as u32, ci as u32));
-                    push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
-                }
-            }
-
-            // Propagate level by level; only moved values notify.
-            for lvl in 0..buckets.len() {
-                while let Some(raw) = buckets[lvl].pop() {
-                    let ci = raw as usize;
-                    if out_site == Some(ci) {
+                // Seed 1: changed PIs applying to this frame.
+                for &(pi, pf) in dirty_pi.iter() {
+                    if !hold && pf as usize != k - 1 {
                         continue;
                     }
-                    let pin_fault = match in_site {
-                        Some((cell, pin)) if cell == ci => Some((pin, forced)),
-                        _ => None,
-                    };
-                    *events += 1;
-                    let v = eval_logic(graph, ci, vals, pin_fault);
-                    if v != vals[ci] {
+                    let ci = model.free_pis()[pi as usize].index();
+                    if out_site == Some(ci) {
+                        continue; // forced site never changes
+                    }
+                    let v = pattern.pis_for_frame(k)[pi as usize];
+                    if vals[ci] != v {
                         vals[ci] = v;
                         changed.push(((k - 1) as u32, ci as u32));
                         push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
                     }
                 }
+
+                // Seed 2: flops whose entering state changed — their
+                // node value moves, and their capture must recompute
+                // even when holding.
+                for &fi in sdirty.iter() {
+                    let fi = fi as usize;
+                    if flop_stamp[fi] != *gen {
+                        flop_stamp[fi] = *gen;
+                        touched.push(fi as u32);
+                    }
+                    let ci = graph.flop_meta(fi).cell as usize;
+                    if out_site == Some(ci) {
+                        continue;
+                    }
+                    let v = state_all[(k - 1) * nf + fi];
+                    if vals[ci] != v {
+                        vals[ci] = v;
+                        changed.push(((k - 1) as u32, ci as u32));
+                        push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                    }
+                }
+
+                // Propagate level by level; only moved values notify.
+                for lvl in 0..buckets.len() {
+                    while let Some(raw) = buckets[lvl].pop() {
+                        let ci = raw as usize;
+                        if out_site == Some(ci) {
+                            continue;
+                        }
+                        let pin_fault = match in_site {
+                            Some((cell, pin)) if cell == ci => Some((pin, forced)),
+                            _ => None,
+                        };
+                        *events += 1;
+                        let v = eval_logic(graph, ci, vals, pin_fault);
+                        if v != vals[ci] {
+                            vals[ci] = v;
+                            changed.push(((k - 1) as u32, ci as u32));
+                            push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                        }
+                    }
+                }
             }
 
-            // Recompute the touched captures; changed next states carry
-            // the dirt into frame k+1.
+            // Capture phase; changed next states carry the dirt into
+            // frame k+1. The good machine recomputes only the touched
+            // captures (and records them); the faulty machine's
+            // non-pulsed rule reads the good machine's values, entering
+            // state and next state, so it recomputes its own touched
+            // set merged with the flops the good pass re-captured this
+            // frame — the union covers every input of `capture_faulty`
+            // that can have changed.
             sdirty_next.clear();
             let cycle = &spec.cycles()[k - 1];
-            let (prev_all, next_all) = state_all.split_at_mut(k * nf);
-            let prev = &prev_all[(k - 1) * nf..];
-            let next = &mut next_all[..nf];
-            for &fi in touched.iter() {
-                let fi = fi as usize;
-                *events += 1;
-                let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
-                let v = capture_logic(graph, fi, pulsed, vals, prev[fi]);
-                if v != next[fi] {
-                    next[fi] = v;
-                    sdirty_next.push(fi as u32);
+            match machine {
+                Machine::Good => {
+                    let vals = &good[(k - 1) * n..k * n];
+                    let (prev_all, next_all) = good_state.split_at_mut(k * nf);
+                    let prev = &prev_all[(k - 1) * nf..];
+                    let next = &mut next_all[..nf];
+                    for &fi in touched.iter() {
+                        let fi = fi as usize;
+                        *events += 1;
+                        let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+                        let v = capture_logic(graph, fi, pulsed, vals, prev[fi]);
+                        if v != next[fi] {
+                            next[fi] = v;
+                            sdirty_next.push(fi as u32);
+                        }
+                    }
+                    let record = &mut good_flop_touched[k - 1];
+                    record.clear();
+                    record.extend_from_slice(touched);
+                }
+                Machine::Faulty => {
+                    for &fi in &good_flop_touched[k - 1] {
+                        if flop_stamp[fi as usize] != *gen {
+                            flop_stamp[fi as usize] = *gen;
+                            touched.push(fi);
+                        }
+                    }
+                    let fvals = &faulty[(k - 1) * n..k * n];
+                    let gvals = &good[(k - 1) * n..k * n];
+                    let gprev = &good_state[(k - 1) * nf..k * nf];
+                    let gnext = &good_state[k * nf..(k + 1) * nf];
+                    let (fprev_all, fnext_all) = faulty_state.split_at_mut(k * nf);
+                    let fprev = &fprev_all[(k - 1) * nf..];
+                    let fnext = &mut fnext_all[..nf];
+                    for &fi in touched.iter() {
+                        let fi = fi as usize;
+                        *events += 1;
+                        let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+                        let v = capture_faulty(
+                            graph, fi, pulsed, fvals, gvals, fprev[fi], gprev[fi], gnext[fi],
+                        );
+                        if v != fnext[fi] {
+                            fnext[fi] = v;
+                            sdirty_next.push(fi as u32);
+                        }
+                    }
                 }
             }
             std::mem::swap(sdirty, sdirty_next);
@@ -849,10 +1021,11 @@ fn eval_logic(
     }
 }
 
-/// Scalar capture of one flop — exactly [`DualSim`]'s `next_state` for
-/// a single flop: sample on pulse, hold otherwise, then reset
-/// handling (applied to both machines every frame; see
-/// `occ_fsim::FaultSim::capture_flop` for the intended semantics).
+/// Scalar capture of one **good-machine** flop — exactly
+/// [`DualSim`]'s `next_state_good` for a single flop: sample on
+/// pulse, hold otherwise, then asynchronous-reset handling every
+/// frame (the good machine's rule in the workspace reset contract,
+/// `occ_fsim::FaultSim::capture_flop`).
 #[inline]
 fn capture_logic(graph: &SimGraph, fi: usize, pulsed: bool, vals: &[Logic], prev: Logic) -> Logic {
     let meta = graph.flop_meta(fi);
@@ -882,6 +1055,42 @@ fn capture_logic(graph: &SimGraph, fi: usize, pulsed: bool, vals: &[Logic], prev
         }
     }
     next
+}
+
+/// Scalar capture of one **faulty-machine** flop — exactly
+/// [`DualSim`]'s `next_state_faulty` for a single flop, mirroring the
+/// packed engines' sparse-difference rule (the workspace reset
+/// contract, `occ_fsim::FaultSim::capture_flop`): pulsed flops sample
+/// and reset from the faulty values; a non-pulsed flop carries its
+/// entering state iff the fault involves it (entering-state
+/// difference or a differing input-pin driver value), and otherwise
+/// tracks the good machine (whose own reset action is in `gnext`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn capture_faulty(
+    graph: &SimGraph,
+    fi: usize,
+    pulsed: bool,
+    fvals: &[Logic],
+    gvals: &[Logic],
+    fprev: Logic,
+    gprev: Logic,
+    gnext: Logic,
+) -> Logic {
+    let meta = graph.flop_meta(fi);
+    if pulsed {
+        return capture_logic(graph, fi, true, fvals, fprev);
+    }
+    let involved = fprev != gprev
+        || graph
+            .fanins(meta.cell as usize)
+            .iter()
+            .any(|&s| fvals[s as usize] != gvals[s as usize]);
+    if involved {
+        fprev
+    } else {
+        gnext
+    }
 }
 
 /// Enqueues the propagation fanouts of `ci`: combinational sinks into

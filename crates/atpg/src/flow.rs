@@ -65,6 +65,10 @@ pub struct AtpgStats {
     pub patterns_before_compaction: usize,
     /// 64-pattern fault-simulation batches run.
     pub fsim_batches: usize,
+    /// Faults pre-classified untestable by static analysis, whose
+    /// PODEM searches were skipped entirely (see
+    /// [`run_atpg_preclassified`]).
+    pub lint_pruned: usize,
 }
 
 /// The result of an ATPG run.
@@ -139,6 +143,40 @@ pub fn run_atpg(
     engine: &mut dyn FaultSimEngine,
     podem: &mut dyn AtpgEngine,
 ) -> AtpgResult {
+    run_atpg_preclassified(model, procedures, universe, options, engine, podem, &[])
+}
+
+/// [`run_atpg`] with a static-analysis verdict: faults in
+/// `pre_untestable` (the `occ-lint` untestability pass) are marked
+/// [`FaultStatus::Untestable`] up front and **skipped by PODEM** — the
+/// perf hook of the lint layer.
+///
+/// The pre-classification must be *sound* (no engine can ever detect
+/// such a fault); under that contract the final pattern set is
+/// byte-identical to an unpruned run: the bootstrap still grades the
+/// pre-marked faults (their detection masks are zero by soundness, so
+/// no pattern is kept on their account), the PODEM loop skips them
+/// exactly as it skips any other non-`Undetected` status, and
+/// compaction carries the verdict through. The only admissible
+/// difference is classification *labels* on faults whose unpruned
+/// search would have hit the backtrack limit (`Aborted` vs
+/// `Untestable`); `stats.lint_pruned` counts the skipped searches.
+///
+/// # Panics
+///
+/// Panics if `procedures` is empty, like [`run_atpg`], or if a
+/// pre-classified fault is not in `universe` (compute the verdict over
+/// the same collapsed universe the run targets).
+#[allow(clippy::too_many_arguments)]
+pub fn run_atpg_preclassified(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    universe: FaultUniverse,
+    options: &AtpgOptions,
+    engine: &mut dyn FaultSimEngine,
+    podem: &mut dyn AtpgEngine,
+    pre_untestable: &[occ_fault::Fault],
+) -> AtpgResult {
     assert!(
         !procedures.is_empty(),
         "need at least one capture procedure"
@@ -179,6 +217,17 @@ pub fn run_atpg(
             if controlled.contains(&node) {
                 list.set_status(fault, FaultStatus::Constrained);
             }
+        }
+    }
+
+    // Apply the static untestability verdict (after the constrained
+    // pre-pass, which takes precedence on overlapping sites). The
+    // per-fault PODEM loop below skips any non-Undetected status, so
+    // each pre-marked fault saves its whole deterministic search.
+    for &fault in pre_untestable {
+        if list.status(fault) == FaultStatus::Undetected {
+            list.set_status(fault, FaultStatus::Untestable);
+            stats.lint_pruned += 1;
         }
     }
 

@@ -150,7 +150,7 @@ impl<'m, 'a> ReferencePodem<'m, 'a> {
     }
 
     fn assign(&self, pattern: &mut Pattern, var: Var, val: Option<bool>) {
-        let v = val.map(Logic::from_bool).unwrap_or(Logic::X);
+        let v = val.map_or(Logic::X, Logic::from_bool);
         match var {
             Var::Scan(i) => pattern.scan_load[i] = v,
             Var::Pi(i, f) => pattern.pis[f][i] = v,
@@ -860,10 +860,10 @@ mod tests {
                     assert!(
                         brute_detect,
                         "PODEM found test but brute force none: {fault}"
-                    )
+                    );
                 }
                 PodemOutcome::Untestable => {
-                    assert!(!brute_detect, "PODEM missed existing test for {fault}")
+                    assert!(!brute_detect, "PODEM missed existing test for {fault}");
                 }
                 PodemOutcome::Aborted => {
                     panic!("abort with huge limit on tiny rig: {fault}")

@@ -88,10 +88,7 @@ impl Observability {
     /// True when an effect appearing at the final frame can be observed
     /// from `cell` — the coarse pre-filter used to skip procedures.
     pub fn observable_at_capture(&self, cell: CellId) -> bool {
-        self.reachable
-            .last()
-            .map(|v| v[cell.index()])
-            .unwrap_or(false)
+        self.reachable.last().is_some_and(|v| v[cell.index()])
     }
 }
 

@@ -37,7 +37,7 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("good_sim_64_patterns", |b| {
-        b.iter(|| criterion::black_box(simulate_good(&model, &spec, &patterns).frames.len()))
+        b.iter(|| criterion::black_box(simulate_good(&model, &spec, &patterns).frames.len()));
     });
 
     let good = simulate_good(&model, &spec, &patterns);
@@ -52,7 +52,7 @@ fn bench_engines(c: &mut Criterion) {
                 }
             }
             criterion::black_box(hits)
-        })
+        });
     });
 
     group.bench_function("scalar_dual_sim_100_faults", |b| {
@@ -67,7 +67,7 @@ fn bench_engines(c: &mut Criterion) {
                 }
             }
             criterion::black_box(hits)
-        })
+        });
     });
 
     group.bench_function("scan_insertion", |b| {
@@ -75,7 +75,7 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| {
             let sc = insert_scan(&plain, &ScanConfig::new(4)).unwrap();
             criterion::black_box(sc.max_chain_len())
-        })
+        });
     });
 
     group.bench_function("edt_encode_64_cares", |b| {
@@ -97,7 +97,7 @@ fn bench_engines(c: &mut Criterion) {
                 )
             })
             .collect();
-        b.iter(|| criterion::black_box(codec.encode(&cares).map(|v| v.len())))
+        b.iter(|| criterion::black_box(codec.encode(&cares).map(|v| v.len())));
     });
 
     group.bench_function("event_sim_cpf_episode", |b| {
@@ -114,7 +114,7 @@ fn bench_engines(c: &mut Criterion) {
             sim.drive(ports.scan_clk, Waveform::pulse(300_000, 320_000));
             sim.run_until(800_000);
             criterion::black_box(sim.now())
-        })
+        });
     });
 
     group.finish();

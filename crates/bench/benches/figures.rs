@@ -13,7 +13,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| {
             let (text, _, device) = fig1_report(7, 40);
             criterion::black_box((text.len(), device.netlist().len()))
-        })
+        });
     });
 
     group.bench_function("fig2_protocol_sim", |b| {
@@ -21,14 +21,14 @@ fn bench_figures(c: &mut Criterion) {
             let fig = fig2_waveforms(7);
             assert_eq!(fig.pulses_per_domain, vec![2, 2]);
             criterion::black_box(fig.ascii.len())
-        })
+        });
     });
 
     group.bench_function("fig3_cpf_build", |b| {
         b.iter(|| {
             let (text, verilog, dot) = fig3_report();
             criterion::black_box(text.len() + verilog.len() + dot.len())
-        })
+        });
     });
 
     group.bench_function("fig4_cpf_sim", |b| {
@@ -36,7 +36,7 @@ fn bench_figures(c: &mut Criterion) {
             let fig = fig4_waveforms(1);
             assert_eq!(fig.pulse_count, 2);
             criterion::black_box(fig.vcd.len())
-        })
+        });
     });
 
     group.finish();

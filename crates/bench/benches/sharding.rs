@@ -61,7 +61,7 @@ fn bench_sharding(c: &mut Criterion) {
         b.iter(|| {
             let masks = engine.detect_many(&spec, &good, &faults);
             criterion::black_box(masks.iter().filter(|&&m| m != 0).count())
-        })
+        });
     });
 
     for threads in [2usize, 4, 8] {
@@ -70,7 +70,7 @@ fn bench_sharding(c: &mut Criterion) {
             b.iter(|| {
                 let masks = psim.detect_many(&spec, &good, &faults);
                 criterion::black_box(masks.iter().filter(|&&m| m != 0).count())
-            })
+            });
         });
     }
 

@@ -24,7 +24,7 @@ fn bench_rows(c: &mut Criterion) {
             b.iter(|| {
                 let row = run_experiment(&soc, id, &options).expect("row flows validate");
                 criterion::black_box(row.patterns)
-            })
+            });
         });
     }
     group.finish();

@@ -13,19 +13,25 @@
 //!            [--out PATH] [--check BASELINE.json]
 //! ```
 //!
-//! Two gates:
+//! Three gates:
 //!
 //! * **Allocation** (hardware-independent, always on): the compiled
 //!   engine must stay O(1) allocations per PODEM decision — measured
 //!   with the shared counting allocator over the whole run loop
 //!   (including per-fault pattern setup) and capped at
 //!   [`MAX_ALLOCS_PER_DECISION`].
+//! * **Lint-pruned identity** (hardware-independent, always on): the
+//!   full lint → `run_atpg_preclassified` flow must skip at least one
+//!   PODEM search on the SOC and still produce a pattern set
+//!   byte-identical to the unpruned `run_atpg` (same procedure
+//!   indices, scan loads, PI fills, coverage). The skipped-search
+//!   count and both wall-clocks land in the JSON as the `lint` row.
 //! * **Speedup ratio** (with `--check`): the compiled-vs-reference
 //!   decisions/sec ratio — both engines make identical decisions, so
 //!   the ratio cancels out machine speed — must not regress more than
 //!   20% against the committed baseline. `ATPG_BENCH_SKIP_CHECK`
-//!   bypasses it on cold machines; the outcome cross-check always
-//!   runs.
+//!   bypasses it on cold machines; the outcome and identity
+//!   cross-checks always run.
 
 #[path = "../alloc_track.rs"]
 mod alloc_track;
@@ -33,9 +39,14 @@ mod alloc_track;
 #[global_allocator]
 static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
 
-use occ_atpg::{AtpgEngine, CompiledPodem, Observability, PodemOutcome, ReferencePodem};
+use occ_atpg::{
+    run_atpg, run_atpg_preclassified, AtpgEngine, AtpgOptions, AtpgResult, CompiledPodem,
+    Observability, PodemOutcome, ReferencePodem,
+};
+use occ_core::ClockingMode;
 use occ_fault::FaultUniverse;
-use occ_fsim::{CaptureModel, FrameSpec};
+use occ_fsim::{CaptureModel, FaultSim, FrameSpec};
+use occ_lint::Linter;
 use occ_soc::{generate, SocConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -70,6 +81,17 @@ struct EngineRow {
     incremental_resims: u64,
 }
 
+/// Measurement of the lint → pre-classified ATPG flow vs the plain
+/// run, gated on byte-identical pattern sets.
+struct LintRow {
+    untestable: usize,
+    podem_skipped: usize,
+    plain_seconds: f64,
+    pruned_seconds: f64,
+    patterns: usize,
+    coverage_pct: f64,
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         flops: 96,
@@ -86,7 +108,7 @@ fn parse_args() -> Result<Options, String> {
             "--flops" => {
                 opts.flops = value("--flops")?
                     .parse()
-                    .map_err(|e| format!("--flops: {e}"))?
+                    .map_err(|e| format!("--flops: {e}"))?;
             }
             "--faults" => {
                 let n: usize = value("--faults")?
@@ -100,7 +122,7 @@ fn parse_args() -> Result<Options, String> {
             "--limit" => {
                 opts.limit = value("--limit")?
                     .parse()
-                    .map_err(|e| format!("--limit: {e}"))?
+                    .map_err(|e| format!("--limit: {e}"))?;
             }
             "--reps" => {
                 let n: usize = value("--reps")?
@@ -223,6 +245,26 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Lint-pruned identity gate: the lint → pre-classified flow must
+    // skip searches without changing a single pattern byte.
+    let lint = match run_lint_pruned(&soc, &model, &spec, &opts) {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("atpg_bench: FATAL — lint-pruned flow: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  lint-pruned  plain {:.3}s  pruned {:.3}s  {} untestable, {} searches \
+         skipped, {} patterns, {:.2}% coverage (pattern sets identical)",
+        lint.plain_seconds,
+        lint.pruned_seconds,
+        lint.untestable,
+        lint.podem_skipped,
+        lint.patterns,
+        lint.coverage_pct,
+    );
+
     let peak_rss = alloc_track::peak_rss_kb();
     let json = to_json(
         &opts,
@@ -230,6 +272,7 @@ fn main() -> ExitCode {
         faults.len(),
         tests_found,
         &rows,
+        &lint,
         speedup,
         allocs_per_decision,
         peak_rss,
@@ -292,6 +335,98 @@ fn run_engine(
     )
 }
 
+/// Runs the full lint → `run_atpg_preclassified` flow next to the
+/// plain `run_atpg` on the same universe, times both, and hard-gates
+/// on identical results: the statically proven untestable set may
+/// change how much work ATPG does, never what it produces.
+fn run_lint_pruned(
+    soc: &occ_soc::Soc,
+    model: &CaptureModel<'_>,
+    spec: &FrameSpec,
+    opts: &Options,
+) -> Result<LintRow, String> {
+    let universe = FaultUniverse::transition(soc.netlist());
+    let report = Linter::new(model)
+        .mode(ClockingMode::EnhancedCpf { max_pulses: 2 })
+        .chains(soc.chains())
+        .run_with_universe(&universe);
+    let options = AtpgOptions {
+        random_patterns: 64,
+        backtrack_limit: opts.limit,
+        ..AtpgOptions::default()
+    };
+    let procedures = std::slice::from_ref(spec);
+
+    let mut engine = FaultSim::new(model);
+    let mut podem = CompiledPodem::new(model);
+    let t0 = Instant::now();
+    let plain = run_atpg(
+        model,
+        procedures,
+        universe.clone(),
+        &options,
+        &mut engine,
+        &mut podem,
+    );
+    let plain_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let pruned = run_atpg_preclassified(
+        model,
+        procedures,
+        universe,
+        &options,
+        &mut engine,
+        &mut podem,
+        &report.untestable,
+    );
+    let pruned_seconds = t0.elapsed().as_secs_f64();
+
+    if pruned.stats.lint_pruned == 0 {
+        return Err("lint pre-classification skipped zero PODEM searches".to_owned());
+    }
+    check_identical(&pruned, &plain)?;
+    Ok(LintRow {
+        untestable: report.untestable.len(),
+        podem_skipped: pruned.stats.lint_pruned,
+        plain_seconds,
+        pruned_seconds,
+        patterns: pruned.patterns.len(),
+        coverage_pct: pruned.report().coverage_pct(),
+    })
+}
+
+/// Byte-level identity between the pruned and plain ATPG results.
+fn check_identical(pruned: &AtpgResult, plain: &AtpgResult) -> Result<(), String> {
+    if pruned.report().detected != plain.report().detected {
+        return Err(format!(
+            "detected counts diverge: pruned {} vs plain {}",
+            pruned.report().detected,
+            plain.report().detected
+        ));
+    }
+    if pruned.patterns.len() != plain.patterns.len() {
+        return Err(format!(
+            "pattern counts diverge: pruned {} vs plain {}",
+            pruned.patterns.len(),
+            plain.patterns.len()
+        ));
+    }
+    for (i, (a, b)) in pruned
+        .patterns
+        .patterns()
+        .iter()
+        .zip(plain.patterns.patterns())
+        .enumerate()
+    {
+        if a.proc_index != b.proc_index || a.scan_load != b.scan_load || a.pis != b.pis {
+            return Err(format!(
+                "pattern {i} diverges between pruned and plain runs"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     opts: &Options,
@@ -299,6 +434,7 @@ fn to_json(
     faults: usize,
     tests_found: usize,
     rows: &[EngineRow],
+    lint: &LintRow,
     speedup: f64,
     allocs_per_decision: f64,
     peak_rss_kb: Option<u64>,
@@ -344,9 +480,22 @@ fn to_json(
             r.incremental_resims,
         );
     }
+    let _ = write!(
+        out,
+        "],\"lint\":{{\"untestable\":{},\"podem_skipped\":{},\
+         \"plain_seconds\":{:.6},\"pruned_seconds\":{:.6},\
+         \"patterns\":{},\"coverage_pct\":{:.3},\
+         \"patterns_identical\":true}},",
+        lint.untestable,
+        lint.podem_skipped,
+        lint.plain_seconds,
+        lint.pruned_seconds,
+        lint.patterns,
+        lint.coverage_pct,
+    );
     let _ = writeln!(
         out,
-        "],\"allocs_per_decision\":{allocs_per_decision:.4},\
+        "\"allocs_per_decision\":{allocs_per_decision:.4},\
          \"speedup_compiled_vs_reference\":{speedup:.3}}}"
     );
     out

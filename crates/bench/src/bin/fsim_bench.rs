@@ -63,7 +63,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         flops: 256,
         patterns: 64,
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         reps: 3,
         out: "BENCH_fsim.json".to_owned(),
         check: None,
@@ -75,7 +75,7 @@ fn parse_args() -> Result<Options, String> {
             "--flops" => {
                 opts.flops = value("--flops")?
                     .parse()
-                    .map_err(|e| format!("--flops: {e}"))?
+                    .map_err(|e| format!("--flops: {e}"))?;
             }
             "--patterns" => {
                 let n: usize = value("--patterns")?
@@ -89,7 +89,7 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--reps" => {
                 let n: usize = value("--reps")?

@@ -5,7 +5,8 @@
 //! ```text
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
 //!        [--engine serial|auto|sharded:N]
-//!        [--atpg-engine reference|compiled] [--timing] [--csv]
+//!        [--atpg-engine reference|compiled] [--timing]
+//!        [--lint [deny|warn]] [--csv]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
@@ -15,11 +16,15 @@
 //! (identical results to `reference`, faster). `--timing` adds the
 //! slack-aware delay-test-quality pass and prints the paper-style
 //! per-clocking-mode quality comparison (SDQL, weighted coverage,
-//! capture windows).
+//! capture windows). `--lint` runs the pre-ATPG static design-rule /
+//! testability analysis (gate defaults to `deny`; error-severity
+//! violations abort the run) and pre-classifies structurally
+//! untestable faults so their PODEM searches are skipped — coverage
+//! and pattern sets are unchanged.
 
 use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
-use occ_flow::EngineChoice;
+use occ_flow::{EngineChoice, LintGate};
 use occ_soc::{generate, SocConfig};
 
 fn parsed_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
@@ -33,7 +38,7 @@ fn main() {
     let mut options = Table1Options::default();
     let mut row: Option<ExperimentId> = None;
     let mut csv = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--flops" => options.flops_per_domain = parsed_value(&mut args, "--flops"),
@@ -47,6 +52,18 @@ fn main() {
             "--engine" => options.engine = parsed_value(&mut args, "--engine"),
             "--atpg-engine" => options.atpg_engine = parsed_value(&mut args, "--atpg-engine"),
             "--timing" => options.timing = true,
+            "--lint" => {
+                // Optional gate value: `--lint warn` / `--lint deny`;
+                // bare `--lint` denies (the strict default).
+                let gate = args
+                    .peek()
+                    .and_then(|v| v.parse::<LintGate>().ok())
+                    .inspect(|_g| {
+                        args.next();
+                    })
+                    .unwrap_or(LintGate::Deny);
+                options.lint = Some(gate);
+            }
             "--csv" => csv = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown argument '{other}'");
@@ -95,6 +112,17 @@ fn main() {
                 r.report.threads,
             );
             println!("{}", r.report.coverage);
+            if let Some(lint) = &r.report.lint {
+                println!(
+                    "lint [{}]: {} error(s), {} warning(s), {} untestable, \
+                     {} PODEM searches skipped",
+                    lint.gate,
+                    lint.report.errors(),
+                    lint.report.warnings(),
+                    lint.report.untestable.len(),
+                    r.report.result.stats.lint_pruned,
+                );
+            }
             if let Some(q) = &r.report.delay_quality {
                 print!("{q}");
             }

@@ -75,7 +75,7 @@ fn parse_args() -> Result<Options, String> {
             "--flops" => {
                 opts.flops = value("--flops")?
                     .parse()
-                    .map_err(|e| format!("--flops: {e}"))?
+                    .map_err(|e| format!("--flops: {e}"))?;
             }
             "--passes" => {
                 let n: usize = value("--passes")?
@@ -179,9 +179,8 @@ fn main() -> ExitCode {
     let sta_passes = opts.passes as f64 / sta_secs;
     let speedup = sta_passes / ref_passes.max(1e-9);
     println!(
-        "  reference STA {:>10.1} passes/s ({:.3}s)\n  compiled  STA {:>10.1} passes/s ({:.3}s)\n  \
+        "  reference STA {ref_passes:>10.1} passes/s ({ref_secs:.3}s)\n  compiled  STA {sta_passes:>10.1} passes/s ({sta_secs:.3}s)\n  \
          compiled vs reference speedup: {speedup:.2}x",
-        ref_passes, ref_secs, sta_passes, sta_secs,
     );
 
     // Timed detect path: strided transition-fault sample, 64 random

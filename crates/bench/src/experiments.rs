@@ -147,6 +147,10 @@ pub struct Table1Options {
     /// Run the delay-test-quality stage (default delay model) and
     /// print the per-clocking-mode quality comparison.
     pub timing: bool,
+    /// Run the pre-ATPG lint stage under this gate (`None` = lint
+    /// off). Structurally untestable faults skip their PODEM searches;
+    /// coverage and pattern sets are unchanged.
+    pub lint: Option<occ_flow::LintGate>,
 }
 
 impl Default for Table1Options {
@@ -158,6 +162,7 @@ impl Default for Table1Options {
             engine: EngineChoice::Auto,
             atpg_engine: AtpgEngineChoice::Compiled,
             timing: false,
+            lint: None,
         }
     }
 }
@@ -214,6 +219,9 @@ pub fn run_experiment(
         });
     if options.timing {
         flow = flow.timing(DelayModel::default());
+    }
+    if let Some(gate) = options.lint {
+        flow = flow.lint(gate);
     }
     let report = flow.run()?;
     Ok(ExperimentRow {
@@ -327,6 +335,16 @@ impl Table1 {
             out.push_str(&r.report.to_csv_row());
             out.push('\n');
         }
+        if self.rows.iter().any(|r| r.report.lint.is_some()) {
+            out.push_str(FlowReport::lint_csv_header());
+            out.push('\n');
+            for r in &self.rows {
+                if let Some(row) = r.report.lint_csv_row() {
+                    out.push_str(&row);
+                    out.push('\n');
+                }
+            }
+        }
         if self.rows.iter().any(|r| r.report.delay_quality.is_some()) {
             out.push_str(FlowReport::delay_quality_csv_header());
             out.push('\n');
@@ -369,6 +387,26 @@ impl fmt::Display for Table1 {
         writeln!(f, "shape checks vs the paper:")?;
         for (desc, ok) in self.shape_checks() {
             writeln!(f, "  [{}] {desc}", if ok { "ok" } else { "FAIL" })?;
+        }
+        if self.rows.iter().any(|r| r.report.lint.is_some()) {
+            writeln!(f)?;
+            writeln!(f, "lint (pre-ATPG static analysis):")?;
+            for r in &self.rows {
+                let Some(lint) = &r.report.lint else {
+                    continue;
+                };
+                writeln!(
+                    f,
+                    "  {} [{}]: {} error(s), {} warning(s), \
+                     {} untestable, {} PODEM searches skipped",
+                    r.id,
+                    lint.gate,
+                    lint.report.errors(),
+                    lint.report.warnings(),
+                    lint.report.untestable.len(),
+                    r.report.result.stats.lint_pruned,
+                )?;
+            }
         }
         if self.rows.iter().any(|r| r.report.delay_quality.is_some()) {
             writeln!(f)?;

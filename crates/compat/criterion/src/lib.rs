@@ -64,7 +64,7 @@ impl Bencher {
             .iter()
             .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
             .collect();
-        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter.sort_by(f64::total_cmp);
         let min = per_iter[0];
         let median = per_iter[per_iter.len() / 2];
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;

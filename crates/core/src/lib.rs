@@ -42,6 +42,6 @@ pub use clock::{ClockDomainSpec, Pll, PllConfig};
 pub use cpf::{ClockPulseFilter, CpfConfig, CpfPorts};
 pub use enhanced::{EnhancedCpf, EnhancedCpfConfig, EnhancedCpfPorts, PulseSelect};
 pub use ncp::{
-    capture_window_ps, stuck_at_procedures, transition_procedures, ClockingMode,
-    ParseClockingModeError,
+    at_speed_crossings, capture_window_ps, stuck_at_procedures, transition_procedures,
+    AtSpeedCrossing, ClockingMode, ParseClockingModeError,
 };

@@ -260,6 +260,70 @@ pub fn stuck_at_procedures(mode: ClockingMode, n_domains: usize) -> Vec<FrameSpe
     }
 }
 
+/// An inter-domain launch→capture pair a clocking mode exercises **at
+/// functional speed**.
+///
+/// Derived from the mode's transition procedures: domain `launch`
+/// pulses in one cycle and domain `capture` in the next, so any
+/// structural path from `launch`-domain flops into `capture`-domain
+/// flops is timed against the capture domain's PLL period — the
+/// paper's CPF-mux correctness argument. `procedure` names one capture
+/// procedure that exercises the pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtSpeedCrossing {
+    /// Launching clock domain.
+    pub launch: usize,
+    /// Capturing clock domain.
+    pub capture: usize,
+    /// Name of a capture procedure exercising this pair.
+    pub procedure: String,
+}
+
+/// The inter-domain launch→capture pairs a clocking mode exercises at
+/// speed, derived from [`transition_procedures`]: every consecutive
+/// cycle pair of every procedure where one domain launches and a
+/// *different* domain captures. Non-at-speed modes return no crossings
+/// — their launch→capture window is the slow tester period, so
+/// cross-domain paths are never timing-hazardous.
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::{at_speed_crossings, ClockingMode};
+/// // Simple CPF pulses one domain per load: no crossings.
+/// assert!(at_speed_crossings(ClockingMode::SimpleCpf, 2).is_empty());
+/// // Enhanced CPF staggers launch/capture across domains.
+/// let x = at_speed_crossings(ClockingMode::EnhancedCpf { max_pulses: 4 }, 2);
+/// assert_eq!(x.len(), 2);
+/// assert!(x.iter().any(|c| c.launch == 0 && c.capture == 1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_domains` is zero (as [`transition_procedures`] does).
+pub fn at_speed_crossings(mode: ClockingMode, n_domains: usize) -> Vec<AtSpeedCrossing> {
+    if !mode.is_at_speed() {
+        return Vec::new();
+    }
+    let mut crossings: Vec<AtSpeedCrossing> = Vec::new();
+    for spec in transition_procedures(mode, n_domains) {
+        for pair in spec.cycles().windows(2) {
+            for &a in &pair[0].pulses {
+                for &b in &pair[1].pulses {
+                    if a != b && !crossings.iter().any(|c| c.launch == a && c.capture == b) {
+                        crossings.push(AtSpeedCrossing {
+                            launch: a,
+                            capture: b,
+                            procedure: spec.name().to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    crossings
+}
+
 /// The launch→capture window of a capture procedure under a clocking
 /// mode, in picoseconds.
 ///
@@ -299,8 +363,7 @@ pub fn capture_window_ps(
     }
     spec.cycles()
         .last()
-        .map(|c| c.pulses.as_slice())
-        .unwrap_or(&[])
+        .map_or(&[] as &[usize], |c| c.pulses.as_slice())
         .iter()
         .map(|&d| domain_periods_ps.get(d).copied().unwrap_or(ate_period_ps))
         .min()
@@ -418,6 +481,29 @@ mod tests {
             capture_window_ps(ClockingMode::SimpleCpf, &weird, &periods, 40_000),
             40_000
         );
+    }
+
+    #[test]
+    fn at_speed_crossings_follow_the_procedures() {
+        // External modes: slow tester window, never hazardous.
+        for mode in [
+            ClockingMode::ExternalClock { max_pulses: 4 },
+            ClockingMode::ConstrainedExternal { max_pulses: 4 },
+        ] {
+            assert!(at_speed_crossings(mode, 3).is_empty());
+        }
+        // Simple CPF: one domain per load, no inter-domain pairs.
+        assert!(at_speed_crossings(ClockingMode::SimpleCpf, 3).is_empty());
+        // Enhanced CPF: every ordered pair, once, named after a
+        // crossing procedure.
+        let x = at_speed_crossings(ClockingMode::EnhancedCpf { max_pulses: 4 }, 3);
+        assert_eq!(x.len(), 6);
+        for c in &x {
+            assert_ne!(c.launch, c.capture);
+            assert_eq!(c.procedure, format!("ecpf_x_{}to{}", c.launch, c.capture));
+        }
+        // Single-domain device: no pairs to cross.
+        assert!(at_speed_crossings(ClockingMode::EnhancedCpf { max_pulses: 4 }, 1).is_empty());
     }
 
     #[test]

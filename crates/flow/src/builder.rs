@@ -3,12 +3,16 @@
 //! the named capture procedures, run ATPG through a pluggable
 //! fault-sim engine, classify the leftovers and report.
 
+use crate::report::LintBlock;
 use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
-use occ_atpg::{classify_faults, run_atpg, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem};
+use occ_atpg::{
+    classify_faults, run_atpg_preclassified, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem,
+};
 use occ_core::{stuck_at_procedures, transition_procedures, ClockDomainSpec, ClockingMode};
 use occ_fault::{FaultModel, FaultUniverse};
 use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
+use occ_lint::{LintGate, Linter};
 use occ_netlist::Netlist;
 use occ_sim::{DelayModel, Time};
 use occ_soc::Soc;
@@ -63,6 +67,7 @@ pub struct TestFlow<'s> {
     atpg: AtpgOptions,
     mask_bidi: bool,
     timing: Option<TimingConfig>,
+    lint: Option<LintGate>,
 }
 
 impl<'s> TestFlow<'s> {
@@ -81,6 +86,7 @@ impl<'s> TestFlow<'s> {
             atpg: AtpgOptions::default(),
             mask_bidi: false,
             timing: None,
+            lint: None,
         }
     }
 
@@ -98,6 +104,7 @@ impl<'s> TestFlow<'s> {
             atpg: AtpgOptions::default(),
             mask_bidi: false,
             timing: None,
+            lint: None,
         }
     }
 
@@ -167,6 +174,29 @@ impl<'s> TestFlow<'s> {
         self
     }
 
+    /// Enables the pre-ATPG lint stage under the given gate.
+    ///
+    /// The [`Linter`] runs every static design-rule and testability
+    /// check (comb loops, floating nets, duplicate names, non-scan
+    /// capture flops, mode-aware at-speed CDC paths, scan-chain
+    /// integrity, structural untestability) over the bound capture
+    /// model before any test generation.
+    ///
+    /// * [`LintGate::Deny`] — error-severity violations abort the run
+    ///   with [`FlowError::LintDenied`]; warnings are reported only.
+    /// * [`LintGate::Warn`] — everything is reported, nothing aborts.
+    ///
+    /// Either way, faults the linter proves structurally untestable
+    /// are pre-classified as [`occ_fault::FaultStatus::Untestable`]
+    /// and their PODEM searches skipped — the resulting pattern set
+    /// and coverage are identical to the unlinted flow (the proofs are
+    /// sound; see [`occ_atpg::run_atpg_preclassified`]).
+    #[must_use]
+    pub fn lint(mut self, gate: LintGate) -> Self {
+        self.lint = Some(gate);
+        self
+    }
+
     /// Runs the pipeline: bind model → procedures → fault universe →
     /// ATPG (through the selected engine) → classify → report.
     ///
@@ -213,6 +243,34 @@ impl<'s> TestFlow<'s> {
         };
         timed(Stage::FaultUniverse, t0);
 
+        let lint = if let Some(gate) = self.lint {
+            let t0 = Instant::now();
+            let mut linter = Linter::new(&model).mode(self.clocking);
+            if let Source::Soc(soc) = &self.source {
+                linter = linter.chains(soc.chains());
+            }
+            let lint_report = linter.run_with_universe(&universe);
+            timed(Stage::Lint, t0);
+            if !lint_report.passes(gate) {
+                return Err(FlowError::LintDenied {
+                    errors: lint_report.errors(),
+                    first: lint_report
+                        .first_error()
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
+                });
+            }
+            Some(LintBlock {
+                gate,
+                report: lint_report,
+            })
+        } else {
+            None
+        };
+        let pre_untestable: &[occ_fault::Fault] = lint
+            .as_ref()
+            .map_or(&[], |l| l.report.untestable.as_slice());
+
         let t0 = Instant::now();
         // Both fault-sim engines implement FaultSimEngine and yield
         // bit-identical masks; both ATPG engines implement AtpgEngine
@@ -242,7 +300,15 @@ impl<'s> TestFlow<'s> {
                 &mut compiled_podem
             }
         };
-        let mut result = run_atpg(&model, &procedures, universe, &self.atpg, engine, podem);
+        let mut result = run_atpg_preclassified(
+            &model,
+            &procedures,
+            universe,
+            &self.atpg,
+            engine,
+            podem,
+            pre_untestable,
+        );
         let kernel = engine.kernel_stats();
         let atpg_kernel = podem.kernel_stats();
         timed(Stage::Atpg, t0);
@@ -272,6 +338,7 @@ impl<'s> TestFlow<'s> {
             coverage,
             kernel,
             atpg_kernel,
+            lint,
             delay_quality,
             result,
         })

@@ -34,7 +34,9 @@ impl EngineChoice {
             EngineChoice::Serial => Ok(1),
             EngineChoice::Sharded { threads: 0 } => Err(FlowError::ZeroThreads),
             EngineChoice::Sharded { threads } => Ok(threads),
-            EngineChoice::Auto => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+            EngineChoice::Auto => {
+                Ok(std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+            }
         }
     }
 

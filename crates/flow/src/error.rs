@@ -40,6 +40,14 @@ pub enum FlowError {
     },
     /// Binding the netlist into a capture model failed.
     Model(ModelError),
+    /// The lint stage found error-severity design-rule violations and
+    /// the flow was configured with the `deny` gate.
+    LintDenied {
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// The first error diagnostic, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -69,6 +77,10 @@ impl fmt::Display for FlowError {
                 )
             }
             FlowError::Model(e) => write!(f, "capture model binding failed: {e}"),
+            FlowError::LintDenied { errors, first } => write!(
+                f,
+                "lint denied the flow: {errors} error-severity violation(s), first: {first}"
+            ),
         }
     }
 }

@@ -64,12 +64,18 @@ pub use engine::{
     AtpgEngineChoice, EngineChoice, ParseAtpgEngineChoiceError, ParseEngineChoiceError,
 };
 pub use error::FlowError;
-pub use report::{FlowReport, Stage, StageTiming};
+pub use report::{FlowReport, LintBlock, Stage, StageTiming};
 pub use timing::{TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 
 /// Delay-test-quality types every timed [`FlowReport`] carries —
 /// re-exported from [`occ_timing`].
 pub use occ_timing::{ProcWindow, QualityOptions, QualityReport};
+
+/// Static design-rule / testability lint types the pre-ATPG
+/// [`Stage::Lint`] stage produces — re-exported from [`occ_lint`].
+pub use occ_lint::{
+    Diagnostic, LintGate, LintReport, Linter, ParseLintGateError, RuleId, Severity,
+};
 
 /// The fault model a flow targets — re-exported from [`occ_fault`]
 /// under the name the builder API uses

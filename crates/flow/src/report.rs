@@ -6,9 +6,20 @@ use occ_atpg::{AtpgKernelStats, AtpgResult, AtpgStats};
 use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
 use occ_fsim::KernelStats;
+use occ_lint::{LintGate, LintReport, RuleId};
 use occ_timing::QualityReport;
 use std::fmt;
 use std::io::{self, Write};
+
+/// The lint stage's outcome as carried by a [`FlowReport`]: the gate
+/// the flow applied plus the full [`LintReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintBlock {
+    /// The severity gate the flow was configured with.
+    pub gate: LintGate,
+    /// The analyzer's findings and untestability verdict.
+    pub report: LintReport,
+}
 
 /// One pipeline stage of a flow run, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,6 +30,9 @@ pub enum Stage {
     Procedures,
     /// Enumerating and collapsing the fault universe.
     FaultUniverse,
+    /// Static design-rule and testability analysis (pre-ATPG); only
+    /// runs when `TestFlow::lint` was configured.
+    Lint,
     /// The ATPG run itself (bootstrap, PODEM, fault sim, compaction).
     Atpg,
     /// Structural classification of leftover faults.
@@ -35,6 +49,7 @@ impl Stage {
             Stage::BindModel => "bind-model",
             Stage::Procedures => "procedures",
             Stage::FaultUniverse => "fault-universe",
+            Stage::Lint => "lint",
             Stage::Atpg => "atpg",
             Stage::Classify => "classify",
             Stage::Timing => "timing",
@@ -92,6 +107,10 @@ pub struct FlowReport {
     /// engine events and incremental vs full re-simulations. Events
     /// are zero for the reference engine (it counts nothing).
     pub atpg_kernel: AtpgKernelStats,
+    /// The lint stage's gate and findings. `None` unless the flow ran
+    /// with `TestFlow::lint` — reports of unlinted flows are
+    /// unchanged.
+    pub lint: Option<LintBlock>,
     /// Delay-test quality (SDQL, weighted coverage, slack histogram,
     /// per-procedure capture windows). `None` unless the flow ran with
     /// `TestFlow::timing` — reports of untimed flows are unchanged.
@@ -185,13 +204,15 @@ impl FlowReport {
         write!(
             w,
             ",\"stats\":{{\"targeted\":{},\"podem_calls\":{},\"tests_found\":{},\
-             \"aborted_calls\":{},\"patterns_before_compaction\":{},\"fsim_batches\":{}}}",
+             \"aborted_calls\":{},\"patterns_before_compaction\":{},\"fsim_batches\":{},\
+             \"lint_pruned\":{}}}",
             s.targeted,
             s.podem_calls,
             s.tests_found,
             s.aborted_calls,
             s.patterns_before_compaction,
             s.fsim_batches,
+            s.lint_pruned,
         )?;
         let k = &self.kernel;
         write!(
@@ -215,6 +236,28 @@ impl FlowReport {
              \"events\":{},\"incremental_resims\":{},\"full_resims\":{}}}",
             a.decisions, a.backtracks, a.events, a.incremental_resims, a.full_resims,
         )?;
+        if let Some(lint) = &self.lint {
+            let r = &lint.report;
+            write!(
+                w,
+                ",\"lint\":{{\"gate\":{},\"errors\":{},\"warnings\":{},\
+                 \"untestable\":{},\"cells_scanned\":{},\"faults_scanned\":{},\
+                 \"rules\":{{",
+                json_string(lint.gate.label()),
+                r.errors(),
+                r.warnings(),
+                r.untestable.len(),
+                r.cells_scanned,
+                r.faults_scanned,
+            )?;
+            for (i, rule) in RuleId::ALL.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(w, "{}:{}", json_string(rule.code()), r.count(*rule))?;
+            }
+            write!(w, "}}}}")?;
+        }
         if let Some(q) = &self.delay_quality {
             write!(
                 w,
@@ -307,6 +350,33 @@ impl FlowReport {
         )
     }
 
+    /// The CSV header of the `lint` block (see
+    /// [`FlowReport::lint_csv_row`]).
+    pub fn lint_csv_header() -> &'static str {
+        "design,gate,errors,warnings,untestable,lint_pruned,\
+         l001,l002,l003,l004,l005,l006,l007"
+    }
+
+    /// One CSV row of lint data, when the flow ran the lint stage.
+    pub fn lint_csv_row(&self) -> Option<String> {
+        let lint = self.lint.as_ref()?;
+        let r = &lint.report;
+        let counts: Vec<String> = RuleId::ALL
+            .iter()
+            .map(|rule| r.count(*rule).to_string())
+            .collect();
+        Some(format!(
+            "{},{},{},{},{},{},{}",
+            csv_field(&self.design),
+            lint.gate.label(),
+            r.errors(),
+            r.warnings(),
+            r.untestable.len(),
+            self.result.stats.lint_pruned,
+            counts.join(","),
+        ))
+    }
+
     /// The CSV header of the `delay_quality` block (see
     /// [`FlowReport::delay_quality_csv_row`]).
     pub fn delay_quality_csv_header() -> &'static str {
@@ -348,6 +418,10 @@ impl FlowReport {
     pub fn write_csv(&self, w: &mut dyn Write) -> io::Result<()> {
         writeln!(w, "{}", Self::csv_header())?;
         writeln!(w, "{}", self.to_csv_row())?;
+        if let Some(row) = self.lint_csv_row() {
+            writeln!(w, "{}", Self::lint_csv_header())?;
+            writeln!(w, "{row}")?;
+        }
         if let Some(row) = self.delay_quality_csv_row() {
             writeln!(w, "{}", Self::delay_quality_csv_header())?;
             writeln!(w, "{row}")?;
@@ -399,6 +473,18 @@ impl fmt::Display for FlowReport {
                 self.atpg_kernel.events,
                 self.atpg_kernel.incremental_resims,
                 self.atpg_kernel.full_resims
+            )?;
+        }
+        if let Some(lint) = &self.lint {
+            writeln!(
+                f,
+                "  lint [{}]: {} error(s), {} warning(s), \
+                 {} untestable fault(s) pre-classified ({} searches skipped)",
+                lint.gate,
+                lint.report.errors(),
+                lint.report.warnings(),
+                lint.report.untestable.len(),
+                self.result.stats.lint_pruned
             )?;
         }
         if let Some(q) = &self.delay_quality {

@@ -787,22 +787,38 @@ impl<'g> FaultSim<'g> {
     /// Computes one flop's faulty next state and records it in `next`
     /// when it differs from the good next state.
     ///
-    /// ## Intended reset semantics
+    /// ## Reset semantics
     ///
-    /// The contract every packed engine implements, inherited from the
-    /// original pre-kernel engine and kept for bit-identity: the
-    /// **good** machine applies asynchronous resets every frame (see
-    /// `simulate_good`), while the **faulty** state of a flop whose
-    /// domain is *not pulsed* in the frame simply carries over — a
-    /// faulty reset net active in a non-pulsed frame is *not*
-    /// propagated into the flop. The scalar ATPG value engines
-    /// (`occ-atpg`'s `DualSim` and `DualGraphSim`) intentionally differ
-    /// in that corner: they apply reset handling to *both* machines
-    /// every frame, and both cite this note as the shared reference for
-    /// the asymmetry. The cross-engine suites (`dual_sim_detection_*`,
-    /// `tests/atpg_equivalence.rs`, the brute-force re-detect checks)
-    /// pin the corner down; deciding one semantics and updating all
-    /// engines together is a ROADMAP open item.
+    /// The workspace-wide contract **every** engine implements — the
+    /// packed PPSFP engines here, `ReferenceFaultSim`, and the scalar
+    /// ATPG value engines (`occ-atpg`'s `DualSim` and `DualGraphSim`):
+    ///
+    /// * the **good** machine applies asynchronous resets every frame
+    ///   (see `simulate_good`) — a reset is an asynchronous pin, so it
+    ///   acts regardless of whether the flop's domain is pulsed;
+    /// * the **faulty** state of a flop whose domain is *not pulsed*
+    ///   in the frame *carries over iff the fault involves the flop* —
+    ///   its entering state already differs from the good machine's,
+    ///   or one of its input-pin drivers settled to a faulty value this
+    ///   frame — and otherwise *tracks the good machine* (inheriting
+    ///   the good machine's own asynchronous-reset action). A faulty
+    ///   reset net active in a non-pulsed frame is never propagated
+    ///   into the flop.
+    ///
+    /// The asymmetry is deliberate. The faulty machine is stored as a
+    /// sparse difference against the good machine, and a non-pulsed
+    /// flop is precisely one whose capture path is quiescent in the
+    /// frame: re-deriving its state from a possibly-faulty reset net
+    /// would manufacture glitch-like behavior the slow scan frames
+    /// cannot actually exhibit, so an existing difference simply
+    /// carries — while a flop the fault cannot reach stays equal to
+    /// the good machine by construction of the sparse representation.
+    /// In a *pulsed* frame both machines apply full sample-then-reset
+    /// handling. The cross-engine suites (`dual_sim_detection_*`,
+    /// `tests/atpg_equivalence.rs`, `tests/kernel_equivalence.rs` —
+    /// including rigs whose reset nets are driven by internal logic —
+    /// and the brute-force re-detect checks) pin all engines to this
+    /// contract.
     fn capture_flop<const TIMED: bool>(
         &mut self,
         fi: usize,
@@ -823,12 +839,12 @@ impl<'g> FaultSim<'g> {
                 meta.apply_reset(sampled, self.read_val(meta.reset, gvals))
             }
         } else {
-            // Known modeling asymmetry inherited from the pre-kernel
-            // engine (and required for bit-identity with it): the good
-            // machine applies asynchronous resets every frame, while
-            // the faulty state of a *non-pulsed* flop simply carries —
-            // a faulty reset net active in a non-pulsed frame is not
-            // propagated into the flop. Tracked in ROADMAP open items.
+            // Workspace reset contract (see "Reset semantics" above):
+            // a non-pulsed flop the fault involves (existing diff, or
+            // touched by a faulty capture fanin) carries its entering
+            // state; untouched flops never reach here and implicitly
+            // track the good machine. A faulty reset net active in a
+            // non-pulsed frame is never propagated into the flop.
             self.cur.get(fi).unwrap_or(good.states[k - 1][fi])
         };
         if faulty_next != good_next {

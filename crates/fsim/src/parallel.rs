@@ -76,9 +76,8 @@ impl Pool {
                     let mut engine = FaultSim::from_graph(&graph);
                     loop {
                         // Hold the queue lock only while dequeueing.
-                        let job = match rx.lock().expect("job queue poisoned").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // scheduler dropped
+                        let Ok(job) = rx.lock().expect("job queue poisoned").recv() else {
+                            break; // scheduler dropped
                         };
                         let before = engine.kernel_stats();
                         let masks = engine.detect_many(
@@ -185,7 +184,7 @@ pub struct ParallelFaultSim<'g> {
 impl<'g> ParallelFaultSim<'g> {
     /// Creates a scheduler using all available hardware parallelism.
     pub fn new(model: &'g CaptureModel<'_>) -> Self {
-        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = thread::available_parallelism().map_or(1, std::num::NonZero::get);
         Self::with_threads(model, threads)
     }
 

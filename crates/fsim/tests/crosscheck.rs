@@ -106,7 +106,7 @@ fn scalar_sim(
     }
     let mut frames = Vec::new();
     for k in 1..=spec.frames() {
-        let active = match fault.map(|f| f.model()) {
+        let active = match fault.map(occ_fault::Fault::model) {
             Some(FaultModel::StuckAt) => fault.is_some(),
             Some(FaultModel::Transition) => k == spec.frames(),
             None => false,

@@ -1,0 +1,213 @@
+//! Capture-model rules: non-scan flops in bound capture domains
+//! (`L004`), at-speed clock-domain crossings (`L005`) and scan-chain
+//! connectivity breaks (`L006`).
+
+use crate::netlist_rules::label;
+use crate::{Diagnostic, RuleId};
+use occ_core::{at_speed_crossings, ClockingMode};
+use occ_dft::ScanChains;
+use occ_fsim::CaptureModel;
+use occ_netlist::CellId;
+
+/// `L004`: a flop clocked by a bound capture domain but not on a scan
+/// chain — it captures unknown state every pulse and blinds its fanout
+/// cone (the generator models the paper device's intentional non-scan
+/// islands, which is why this reports and does not deny).
+pub(crate) fn non_scan_capture(model: &CaptureModel<'_>, out: &mut Vec<Diagnostic>) {
+    let nl = model.netlist();
+    let domains = model.binding().domains();
+    for info in model.flops() {
+        if info.is_scan {
+            continue;
+        }
+        let domain = domains
+            .get(info.domain)
+            .map_or("?", |(name, _)| name.as_str());
+        out.push(Diagnostic::new(
+            RuleId::NonScanCapture,
+            Some(info.cell),
+            format!(
+                "non-scan flop {} is clocked by capture domain '{domain}' — it \
+                 captures uncontrolled state at every pulse",
+                label(nl, info.cell)
+            ),
+        ));
+    }
+}
+
+/// `L005`: structural launch→capture paths between different clock
+/// domains that the clocking mode exercises at functional speed. Under
+/// the paper's CPF schemes a crossing is only safe when the capture
+/// procedure never pulses launch and capture domains back-to-back; the
+/// mode-aware crossing list comes from
+/// [`occ_core::at_speed_crossings`].
+pub(crate) fn cdc_at_speed(
+    model: &CaptureModel<'_>,
+    mode: ClockingMode,
+    out: &mut Vec<Diagnostic>,
+) {
+    let crossings = at_speed_crossings(mode, model.domain_count());
+    if crossings.is_empty() {
+        return;
+    }
+    let nl = model.netlist();
+    let domains = model.binding().domains();
+    for crossing in crossings {
+        // Forward sweep from the launch domain's flops through the
+        // combinational fabric (sequential cells are barriers).
+        let mut reached = vec![false; nl.len()];
+        let mut stack: Vec<CellId> = Vec::new();
+        for info in model.flops() {
+            if info.domain == crossing.launch {
+                reached[info.cell.index()] = true;
+                stack.push(info.cell);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &fo in nl.fanouts(id) {
+                if reached[fo.index()] || !nl.cell(fo).kind().is_combinational() {
+                    continue;
+                }
+                reached[fo.index()] = true;
+                stack.push(fo);
+            }
+        }
+        let mut paths = 0usize;
+        let mut example: Option<(CellId, CellId)> = None;
+        for info in model.flops() {
+            if info.domain != crossing.capture {
+                continue;
+            }
+            let d = nl.cell(info.cell).flop_d();
+            if reached[d.index()] {
+                paths += 1;
+                if example.is_none() {
+                    example = Some((d, info.cell));
+                }
+            }
+        }
+        if let Some((launch_net, capture_flop)) = example {
+            let from = domains
+                .get(crossing.launch)
+                .map_or("?", |(name, _)| name.as_str());
+            let to = domains
+                .get(crossing.capture)
+                .map_or("?", |(name, _)| name.as_str());
+            out.push(
+                Diagnostic::new(
+                    RuleId::CdcAtSpeed,
+                    Some(capture_flop),
+                    format!(
+                        "{paths} launch→capture path(s) from domain '{from}' into \
+                         domain '{to}' are exercised at speed by procedure \
+                         '{}' (e.g. via {})",
+                        crossing.procedure,
+                        label(nl, launch_net)
+                    ),
+                )
+                .with_related(launch_net),
+            );
+        }
+    }
+}
+
+/// `L006`: re-derives every chain's shift wiring on the linted netlist
+/// and reports each break: non-scan cells on a chain, scan-in links
+/// that do not match the chain order, scan-enable pins off the global
+/// enable, and scan-out taps not driven by the chain tail.
+pub(crate) fn scan_chain(model: &CaptureModel<'_>, chains: &ScanChains, out: &mut Vec<Diagnostic>) {
+    let nl = model.netlist();
+    let se = chains.scan_enable();
+    for (k, chain) in chains.chains().iter().enumerate() {
+        let Some(&head_port) = chains.scan_ins().get(k) else {
+            out.push(Diagnostic::new(
+                RuleId::ScanChain,
+                None,
+                format!("chain {k} has no scan-in port"),
+            ));
+            continue;
+        };
+        let mut expect_si = head_port;
+        let mut broken = false;
+        for &cell_id in chain {
+            if cell_id.index() >= nl.len() {
+                out.push(Diagnostic::new(
+                    RuleId::ScanChain,
+                    Some(cell_id),
+                    format!("chain {k} references {cell_id}, which is not in the netlist"),
+                ));
+                broken = true;
+                break;
+            }
+            let cell = nl.cell(cell_id);
+            if !cell.kind().is_scan_flop() {
+                out.push(Diagnostic::new(
+                    RuleId::ScanChain,
+                    Some(cell_id),
+                    format!(
+                        "chain {k} runs through {} {} — not a scan flop",
+                        cell.kind().mnemonic(),
+                        label(nl, cell_id)
+                    ),
+                ));
+                broken = true;
+                continue;
+            }
+            if cell.scan_in() != expect_si {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::ScanChain,
+                        Some(cell_id),
+                        format!(
+                            "chain {k} is broken at {}: scan-in is wired to {} \
+                             but the chain order expects {}",
+                            label(nl, cell_id),
+                            label(nl, cell.scan_in()),
+                            label(nl, expect_si)
+                        ),
+                    )
+                    .with_related(expect_si),
+                );
+                broken = true;
+            }
+            if cell.scan_enable() != se {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::ScanChain,
+                        Some(cell_id),
+                        format!(
+                            "{} on chain {k} uses scan-enable {} instead of the \
+                             global enable {}",
+                            label(nl, cell_id),
+                            label(nl, cell.scan_enable()),
+                            label(nl, se)
+                        ),
+                    )
+                    .with_related(se),
+                );
+                broken = true;
+            }
+            expect_si = cell_id;
+        }
+        if broken {
+            continue; // downstream tail check would only echo the break
+        }
+        if let Some(&out_port) = chains.scan_outs().get(k) {
+            let tail_ok = out_port.index() < nl.len()
+                && nl.cell(out_port).inputs().first() == Some(&expect_si);
+            if !tail_ok {
+                out.push(
+                    Diagnostic::new(
+                        RuleId::ScanChain,
+                        Some(out_port),
+                        format!(
+                            "chain {k} scan-out is not driven by the chain tail {}",
+                            label(nl, expect_si)
+                        ),
+                    )
+                    .with_related(expect_si),
+                );
+            }
+        }
+    }
+}

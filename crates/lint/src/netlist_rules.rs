@@ -1,0 +1,190 @@
+//! Netlist-only structural rules: combinational loops through
+//! transparent latches (`L001`), floating nets (`L002`) and duplicate
+//! cell names (`L003`).
+//!
+//! These need no clock binding, so they run on any [`Netlist`] — the
+//! builder already rejects *pure* combinational loops at `finish()`
+//! time, which is exactly why the loop rule here hunts the loops the
+//! builder cannot see: cycles closed through level-sensitive elements
+//! (`LatchLow` data pins, `ClockGate` clock feed-throughs) that are
+//! sequential to the levelizer but combinationally transparent in
+//! silicon.
+
+use crate::{Diagnostic, RuleId};
+use occ_netlist::{CellId, CellKind, Netlist};
+
+/// Human-readable cell label: instance name when present, else the id
+/// plus mnemonic.
+pub(crate) fn label(nl: &Netlist, id: CellId) -> String {
+    match nl.cell(id).name() {
+        Some(n) => format!("'{n}'"),
+        None => format!("{id} ({})", nl.cell(id).kind().mnemonic()),
+    }
+}
+
+/// Runs the netlist-only rules, appending to `out`. Returns the number
+/// of cells scanned.
+pub(crate) fn run(nl: &Netlist, out: &mut Vec<Diagnostic>) -> usize {
+    comb_loops(nl, out);
+    floating_nets(nl, out);
+    duplicate_names(nl, out);
+    nl.len()
+}
+
+/// True when `kind` passes values combinationally from `pin` to its
+/// output even though the levelizer treats the cell as sequential.
+fn transparent_pin(kind: CellKind, pin: usize) -> bool {
+    match kind {
+        // Transparent while en=0: d flows straight through.
+        CellKind::LatchLow => pin == 0,
+        // clk-in feeds clk-out through the output AND gate.
+        CellKind::ClockGate => pin == 0,
+        _ => false,
+    }
+}
+
+/// `L001`: combinational loops closed through transparent latch paths.
+fn comb_loops(nl: &Netlist, out: &mut Vec<Diagnostic>) {
+    let n = nl.len();
+    let is_member = |id: CellId| {
+        let cell = nl.cell(id);
+        let kind = cell.kind();
+        (kind.is_combinational() && !cell.inputs().is_empty())
+            || matches!(kind, CellKind::LatchLow | CellKind::ClockGate)
+    };
+    // Kahn's algorithm over the member subgraph (one propagation edge
+    // per qualifying input pin); whatever survives sits on — or inside
+    // an SCC fed by — a combinational cycle.
+    let mut indegree = vec![0u32; n];
+    let mut edges: Vec<Vec<CellId>> = vec![Vec::new(); n]; // src -> sinks
+    let mut members: Vec<CellId> = Vec::new();
+    for id in nl.ids() {
+        if !is_member(id) {
+            continue;
+        }
+        members.push(id);
+        let cell = nl.cell(id);
+        for (pin, &src) in cell.inputs().iter().enumerate() {
+            if is_member(src)
+                && (cell.kind().is_combinational() || transparent_pin(cell.kind(), pin))
+            {
+                edges[src.index()].push(id);
+                indegree[id.index()] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<CellId> = members
+        .iter()
+        .copied()
+        .filter(|&id| indegree[id.index()] == 0)
+        .collect();
+    let mut processed = 0usize;
+    while let Some(id) = queue.pop() {
+        processed += 1;
+        for &sink in &edges[id.index()] {
+            indegree[sink.index()] -= 1;
+            if indegree[sink.index()] == 0 {
+                queue.push(sink);
+            }
+        }
+    }
+    if processed == members.len() {
+        return;
+    }
+    let cyclic: Vec<CellId> = members
+        .iter()
+        .copied()
+        .filter(|&id| indegree[id.index()] > 0)
+        .collect();
+    // Anchor the report on the transparent elements that close the
+    // loops — the builder guarantees every cycle runs through one.
+    let anchors: Vec<CellId> = cyclic
+        .iter()
+        .copied()
+        .filter(|&id| matches!(nl.cell(id).kind(), CellKind::LatchLow | CellKind::ClockGate))
+        .collect();
+    let anchored = if anchors.is_empty() {
+        &cyclic
+    } else {
+        &anchors
+    };
+    for &id in anchored {
+        out.push(Diagnostic::new(
+            RuleId::CombLoop,
+            Some(id),
+            format!(
+                "combinational loop through transparent {} {} ({} cells in cyclic region)",
+                nl.cell(id).kind().mnemonic(),
+                label(nl, id),
+                cyclic.len()
+            ),
+        ));
+    }
+}
+
+/// `L002`: unloaded drivers and logic riding an uncontrolled (`TieX`)
+/// source.
+fn floating_nets(nl: &Netlist, out: &mut Vec<Diagnostic>) {
+    for (id, cell) in nl.iter() {
+        match cell.kind() {
+            // Output markers are the sinks; they never fan out.
+            CellKind::Output => continue,
+            CellKind::TieX => {
+                let loads = nl.fanouts(id);
+                if let Some(&first) = loads.first() {
+                    out.push(
+                        Diagnostic::new(
+                            RuleId::FloatingNet,
+                            Some(id),
+                            format!(
+                                "uncontrolled source {} drives {} load(s) — the net is \
+                                 permanently unknown",
+                                label(nl, id),
+                                loads.len()
+                            ),
+                        )
+                        .with_related(first),
+                    );
+                }
+            }
+            _ => {
+                if nl.fanouts(id).is_empty() {
+                    out.push(Diagnostic::new(
+                        RuleId::FloatingNet,
+                        Some(id),
+                        format!(
+                            "{} {} drives no load (floating output net)",
+                            cell.kind().mnemonic(),
+                            label(nl, id)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `L003`: duplicate instance names — two drivers claiming one net
+/// name is how a multiply-driven net shows up in this single-driver
+/// IR, and it silently shadows `Netlist::find` lookups.
+fn duplicate_names(nl: &Netlist, out: &mut Vec<Diagnostic>) {
+    let mut seen: std::collections::HashMap<&str, CellId> = std::collections::HashMap::new();
+    for (id, cell) in nl.iter() {
+        let Some(name) = cell.name() else { continue };
+        if let Some(&first) = seen.get(name) {
+            out.push(
+                Diagnostic::new(
+                    RuleId::DuplicateName,
+                    Some(id),
+                    format!(
+                        "cell name '{name}' is claimed by both {first} and {id} — \
+                         the net is effectively multiply-driven and name lookup is shadowed"
+                    ),
+                )
+                .with_related(first),
+            );
+        } else {
+            seen.insert(name, id);
+        }
+    }
+}

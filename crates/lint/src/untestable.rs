@@ -1,0 +1,77 @@
+//! `L007` — structural untestability: faults proven undetectable from
+//! the compiled observability cones and SCOAP controllability costs,
+//! **before** any search runs.
+//!
+//! The claim must be sound — a statically `Untestable` fault may never
+//! be detected by any engine, and may never contradict a *completed*
+//! PODEM search. Two independent proofs are used, each conservative:
+//!
+//! * **Unobservable**: the fault's effect cell is outside the
+//!   scan+PO observability cone of the compiled [`SimGraph`]
+//!   (`graph.observable(effect, true)`). That cone is the superset of
+//!   every per-procedure observation set, and the PPSFP kernels prune
+//!   with exactly the same cone (pinned by
+//!   `tests/kernel_equivalence.rs`), so no engine can ever report a
+//!   detection.
+//! * **Uncontrollable**: the SCOAP cost of the activation value at the
+//!   fault site saturates at [`INF`]. `INF` only arises from sources
+//!   that genuinely cannot produce the value under capture conditions
+//!   — masked cells, constrained-to-the-other-value ports, `TieX`
+//!   drivers, and latch/CGC/RAM kinds, which all evaluate to constant
+//!   `X` in every simulation engine. A node that can never definitely
+//!   carry the activation value can never launch a definite fault
+//!   effect.
+//!
+//! [`SimGraph`]: occ_fsim::SimGraph
+
+use crate::{Diagnostic, RuleId};
+use occ_atpg::{Controllability, INF};
+use occ_fault::{Fault, FaultModel, FaultSite, FaultUniverse};
+use occ_fsim::CaptureModel;
+
+/// Runs the untestability pass: appends one `L007` diagnostic per
+/// proven fault and collects the faults themselves (the ATPG
+/// pre-classification input). Returns the number of faults examined.
+pub(crate) fn run(
+    model: &CaptureModel<'_>,
+    universe: &FaultUniverse,
+    diags: &mut Vec<Diagnostic>,
+    untestable: &mut Vec<Fault>,
+) -> usize {
+    let nl = model.netlist();
+    let graph = model.graph();
+    let ctrl = Controllability::compute(model);
+    for &fault in universe.faults() {
+        let site = fault.site();
+        // The net the fault sits on: the driver of an input pin, or the
+        // cell's own output.
+        let node = match site {
+            FaultSite::Output(c) => c,
+            FaultSite::Input { cell, pin } => nl.cell(cell).inputs()[pin as usize],
+        };
+        let unobservable = !graph.observable(site.effect_cell(), true);
+        let uncontrollable = match fault.model() {
+            // Stuck-at-v is activated by driving the node to !v.
+            FaultModel::StuckAt => ctrl.cost(node, !fault.polarity().to_bool()) >= INF,
+            // A transition fault needs both the initial and the final
+            // value (launch edge) to be producible.
+            FaultModel::Transition => ctrl.cost(node, false) >= INF || ctrl.cost(node, true) >= INF,
+        };
+        if !(unobservable || uncontrollable) {
+            continue;
+        }
+        let why = match (unobservable, uncontrollable) {
+            (true, true) => "outside every observability cone and activation value unproducible",
+            (true, false) => "outside every observability cone",
+            (false, true) => "activation value unproducible (SCOAP cost saturates)",
+            (false, false) => unreachable!(),
+        };
+        diags.push(Diagnostic::new(
+            RuleId::Untestable,
+            Some(site.effect_cell()),
+            format!("fault {fault} is structurally untestable: {why}"),
+        ));
+        untestable.push(fault);
+    }
+    universe.faults().len()
+}

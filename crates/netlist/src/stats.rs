@@ -83,7 +83,7 @@ impl NetlistStats {
                             | CellKind::TieX
                     ) =>
                 {
-                    s.comb_gates += 1
+                    s.comb_gates += 1;
                 }
                 _ => {}
             }

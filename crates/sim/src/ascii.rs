@@ -104,8 +104,7 @@ fn signal_name(trace: &Trace, id: CellId) -> String {
     trace
         .signals()
         .find(|(sid, _)| *sid == id)
-        .map(|(_, n)| n.to_owned())
-        .unwrap_or_else(|| id.to_string())
+        .map_or_else(|| id.to_string(), |(_, n)| n.to_owned())
 }
 
 fn glyph(v: Logic) -> char {

@@ -116,8 +116,7 @@ impl<'a> EventSim<'a> {
             .netlist
             .cell(id)
             .name()
-            .map(str::to_owned)
-            .unwrap_or_else(|| id.to_string());
+            .map_or_else(|| id.to_string(), str::to_owned);
         let v = self.values[id.index()];
         self.trace.add_signal(id, name, v);
     }

@@ -8,21 +8,26 @@
 //! capture window.
 //!
 //! Run with:
-//! `cargo run --release --example delay_test_flow [-- --threads N] [--atpg-engine E]`
+//! `cargo run --release --example delay_test_flow [-- --threads N] [--atpg-engine E] [--lint]`
 //!
 //! `--threads N` routes the run through the sharded fault-sim engine
 //! with `N` workers; the default uses all available parallelism.
 //! `--atpg-engine reference|compiled` selects the PODEM engine
 //! (identical results; `compiled` — the default — is faster).
+//! `--lint` gates each flow behind the static design-rule /
+//! testability analysis (deny gate) and skips PODEM searches for
+//! faults the linter proves structurally untestable — coverage and
+//! pattern sets are unchanged.
 
 use occ::core::ClockingMode;
-use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, TestFlow};
+use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, LintGate, TestFlow};
 use occ::sim::DelayModel;
 use occ::soc::{generate, SocConfig};
 
 fn main() {
     let mut engine = EngineChoice::Auto;
     let mut atpg_engine = AtpgEngineChoice::Compiled;
+    let mut lint = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,7 +44,10 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--atpg-engine needs reference|compiled");
             }
-            other => panic!("unknown argument '{other}' (expected --threads N or --atpg-engine E)"),
+            "--lint" => lint = true,
+            other => panic!(
+                "unknown argument '{other}' (expected --threads N, --atpg-engine E or --lint)"
+            ),
         }
     }
 
@@ -65,15 +73,17 @@ fn main() {
             true,
         ),
     ] {
-        let report = match TestFlow::new(&soc)
+        let mut flow = TestFlow::new(&soc)
             .clocking(mode)
             .fault_model(FaultKind::Transition)
             .mask_bidi(mask_bidi)
             .engine(engine)
             .atpg_engine(atpg_engine)
-            .timing(DelayModel::default())
-            .run()
-        {
+            .timing(DelayModel::default());
+        if lint {
+            flow = flow.lint(LintGate::Deny);
+        }
+        let report = match flow.run() {
             Ok(report) => report,
             Err(e) => {
                 // e.g. --threads 0 -> the typed FlowError::ZeroThreads.
@@ -94,6 +104,17 @@ fn main() {
         );
         for (class, n) in &report.coverage.class_histogram {
             println!("   leftover {class}: {n}");
+        }
+        if let Some(lint) = &report.lint {
+            println!(
+                "   lint [{}]: {} error(s), {} warning(s), {} untestable, \
+                 {} PODEM searches skipped",
+                lint.gate,
+                lint.report.errors(),
+                lint.report.warnings(),
+                lint.report.untestable.len(),
+                report.result.stats.lint_pruned,
+            );
         }
         let q = report.delay_quality.as_ref().expect("timing stage ran");
         let window = q.windows.iter().map(|w| w.window_ps).min().unwrap_or(0);

@@ -55,10 +55,7 @@ fn main() {
     let mut bits = vec![Logic::Zero; 36];
     bits[17] = Logic::One;
     let compacted = codec.compact(&bits);
-    println!(
-        "compactor: single flipped chain 17 appears on channel outputs {:?}",
-        compacted
-    );
+    println!("compactor: single flipped chain 17 appears on channel outputs {compacted:?}");
 
     // ATE economics — the paper's closing argument: "increased pattern
     // count requires a more extensive use of an on-chip technique to

@@ -81,6 +81,11 @@ pub mod timing {
     pub use occ_timing::*;
 }
 
+/// Static design-rule and testability analysis ([`occ_lint`]).
+pub mod lint {
+    pub use occ_lint::*;
+}
+
 /// The unified `TestFlow` pipeline API ([`occ_flow`]).
 pub mod flow {
     pub use occ_flow::*;

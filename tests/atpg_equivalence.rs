@@ -11,12 +11,16 @@
 //! heuristic difference.
 
 use occ::atpg::{
-    run_atpg, AtpgEngine, AtpgOptions, CompiledPodem, Observability, PodemOutcome, ReferencePodem,
+    run_atpg, AtpgEngine, AtpgOptions, CompiledPodem, DualGraphSim, DualSim, Observability,
+    PodemOutcome, ReferencePodem,
 };
 use occ::core::ClockingMode;
 use occ::fault::{FaultModel, FaultUniverse};
 use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, TestFlow};
-use occ::fsim::{CaptureModel, FaultSim};
+use occ::fsim::{
+    simulate_good, CaptureModel, ClockBinding, CycleSpec, FaultSim, FrameSpec, Pattern,
+};
+use occ::netlist::{Logic, Netlist, NetlistBuilder};
 use occ::soc::{generate, SocConfig};
 
 const MODES: [ClockingMode; 4] = [
@@ -136,6 +140,134 @@ fn full_atpg_runs_identical() {
             assert_eq!(status, b.faults.status(fault), "{mode:?} fault {fault}");
         }
     }
+}
+
+/// A two-domain rig whose async reset net is driven by internal logic
+/// (same shape as the `kernel_equivalence` rig): two scan flops in
+/// domain `a` feed the active-high reset of a `DffRh` in domain `b`.
+/// Frames that pulse only domain `a` leave the `DffRh` non-pulsed
+/// while its faulty reset net toggles — the corner of the workspace
+/// reset contract (`occ_fsim::FaultSim::capture_flop`).
+fn reset_logic_rig() -> (Netlist, ClockBinding) {
+    let mut b = NetlistBuilder::new("reset_rig");
+    let clka = b.input("clka");
+    let clkb = b.input("clkb");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let f0 = b.sdff(d, clka, se, si);
+    let inv = b.not(f0);
+    let f1 = b.sdff(inv, clka, se, f0);
+    let rst = b.and2(f0, f1);
+    let xo = b.xor2(f0, d);
+    let fb = b.dff_rh(xo, clkb, rst);
+    let obs = b.or2(fb, f1);
+    b.output("q", obs);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", clka);
+    binding.add_domain("b", clkb);
+    binding.constrain(se, Logic::Zero);
+    binding.mask(si);
+    (nl, binding)
+}
+
+/// Reset contract alignment: on the logic-driven-reset rig, both
+/// scalar value engines ([`DualSim`] and [`DualGraphSim`]) must agree
+/// with the packed PPSFP engine on *every* fault over the *exhaustive*
+/// pattern space — including specs where the `DffRh` is never pulsed
+/// while its faulty reset net is active (good machine resets every
+/// frame, faulty non-pulsed state carries).
+#[test]
+fn reset_driven_by_logic_value_engines_agree_with_ppsfp() {
+    let (nl, binding) = reset_logic_rig();
+    let model = CaptureModel::new(&nl, binding).unwrap();
+    let specs = [
+        FrameSpec::new("a_only", vec![CycleSpec::pulsing(&[0]); 2]).hold_pi(true),
+        FrameSpec::new(
+            "a_then_b",
+            vec![
+                CycleSpec::pulsing(&[0]),
+                CycleSpec::pulsing(&[0]),
+                CycleSpec::pulsing(&[1]),
+            ],
+        )
+        .hold_pi(true),
+        FrameSpec::new("both", vec![CycleSpec::pulsing(&[0, 1]); 2]).hold_pi(true),
+    ];
+    let mut ds = DualSim::new(&model);
+    let mut gs = DualGraphSim::new(&model);
+    let mut fsim = FaultSim::new(&model);
+    let mut agreements = 0usize;
+    let mut detections = 0usize;
+    for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
+        for spec in &specs {
+            // Exhaustive: 2 scan bits x 1 held PI bit = 8 patterns.
+            for bits in 0u8..8 {
+                let mut p = Pattern::empty(&model, spec, 0);
+                p.scan_load = vec![
+                    Logic::from_bool(bits & 1 != 0),
+                    Logic::from_bool(bits & 2 != 0),
+                ];
+                p.pis[0] = vec![Logic::from_bool(bits & 4 != 0)];
+                let good = simulate_good(&model, spec, &[p.clone()]);
+                for &fault in universe.faults() {
+                    let packed = fsim.detect(spec, &good, fault) & 1 == 1;
+                    ds.simulate(spec, &p, fault);
+                    assert_eq!(
+                        ds.detected(spec, fault),
+                        packed,
+                        "DualSim vs packed: {} {fault} bits {bits}",
+                        spec.name()
+                    );
+                    gs.begin(spec, &p, fault);
+                    assert_eq!(
+                        gs.detected(spec, fault),
+                        packed,
+                        "DualGraphSim vs packed: {} {fault} bits {bits}",
+                        spec.name()
+                    );
+                    agreements += 1;
+                    detections += usize::from(packed);
+                }
+            }
+        }
+    }
+    assert!(agreements > 0);
+    assert!(detections > 0, "degenerate rig: nothing detected");
+}
+
+/// PODEM outcome identity on the logic-driven-reset rig: both search
+/// engines produce the same outcome (including exact pattern bits) for
+/// every fault under mixed-pulse procedures.
+#[test]
+fn reset_driven_by_logic_podem_outcomes_identical() {
+    let (nl, binding) = reset_logic_rig();
+    let model = CaptureModel::new(&nl, binding).unwrap();
+    let spec = FrameSpec::new(
+        "a_then_b",
+        vec![
+            CycleSpec::pulsing(&[0]),
+            CycleSpec::pulsing(&[0]),
+            CycleSpec::pulsing(&[1]),
+        ],
+    )
+    .hold_pi(true);
+    let obs = Observability::compute(&model, &spec);
+    let mut reference = ReferencePodem::new(&model);
+    let mut compiled = CompiledPodem::new(&model);
+    let mut found = 0usize;
+    for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
+        for &fault in universe.faults() {
+            let a = reference.run(&spec, &obs, fault, 32);
+            let b = AtpgEngine::run(&mut compiled, &spec, &obs, fault, 32);
+            assert_eq!(a, b, "engines diverge on reset rig: {fault}");
+            if matches!(a, PodemOutcome::Test(_)) {
+                found += 1;
+            }
+        }
+    }
+    assert!(found > 0, "degenerate rig: PODEM found no tests");
 }
 
 /// The `TestFlow` surface: the `atpg_engine` selector changes only the

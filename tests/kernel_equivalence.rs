@@ -10,9 +10,10 @@
 use occ::core::{stuck_at_procedures, transition_procedures, ClockingMode};
 use occ::fault::FaultUniverse;
 use occ::fsim::{
-    simulate_good, CaptureModel, FaultSim, FrameSpec, ParallelFaultSim, Pattern, ReferenceFaultSim,
+    simulate_good, CaptureModel, ClockBinding, CycleSpec, FaultSim, FrameSpec, ParallelFaultSim,
+    Pattern, ReferenceFaultSim,
 };
-use occ::netlist::Logic;
+use occ::netlist::{Logic, Netlist, NetlistBuilder};
 use occ::soc::{generate, SocConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,6 +100,67 @@ fn engines_bit_identical_across_socs_models_and_clocking_modes() {
         total_detected > 100,
         "degenerate sweep: only {total_detected} detections"
     );
+}
+
+/// A two-domain rig whose async reset net is *driven by internal
+/// logic* (not a held PI): domain `a` holds two scan flops, domain `b`
+/// holds a `DffRh` whose active-high reset is a function of the
+/// domain-`a` states. Frames that pulse only domain `a` leave the
+/// `DffRh` non-pulsed while its (possibly faulty) reset net toggles —
+/// exactly the corner of the workspace reset contract
+/// (`occ_fsim::FaultSim::capture_flop`, "reset semantics").
+fn reset_logic_rig() -> (Netlist, ClockBinding) {
+    let mut b = NetlistBuilder::new("reset_rig");
+    let clka = b.input("clka");
+    let clkb = b.input("clkb");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let f0 = b.sdff(d, clka, se, si);
+    let inv = b.not(f0);
+    let f1 = b.sdff(inv, clka, se, f0);
+    let rst = b.and2(f0, f1);
+    let xo = b.xor2(f0, d);
+    let fb = b.dff_rh(xo, clkb, rst);
+    let obs = b.or2(fb, f1);
+    b.output("q", obs);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("a", clka);
+    binding.add_domain("b", clkb);
+    binding.constrain(se, Logic::Zero);
+    binding.mask(si);
+    (nl, binding)
+}
+
+#[test]
+fn reset_driven_by_logic_agrees_across_engines() {
+    // All three PPSFP engines must agree on the rig for every fault —
+    // including specs where the DffRh is never pulsed but its faulty
+    // reset net is active (the non-pulsed carry rule), and specs where
+    // it is pulsed later (the reset acts on the sampled state).
+    let (nl, binding) = reset_logic_rig();
+    let model = CaptureModel::new(&nl, binding).unwrap();
+    let specs = [
+        FrameSpec::new("a_only", vec![CycleSpec::pulsing(&[0]); 2]).hold_pi(true),
+        FrameSpec::new(
+            "a_then_b",
+            vec![
+                CycleSpec::pulsing(&[0]),
+                CycleSpec::pulsing(&[0]),
+                CycleSpec::pulsing(&[1]),
+            ],
+        )
+        .hold_pi(true),
+        FrameSpec::new("both", vec![CycleSpec::pulsing(&[0, 1]); 2]).hold_pi(true),
+    ];
+    let mut detected = 0usize;
+    for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
+        for spec in &specs {
+            detected += check_spec(&model, spec, &universe, 0xD0_05);
+        }
+    }
+    assert!(detected > 0, "degenerate rig: nothing detected");
 }
 
 #[test]
