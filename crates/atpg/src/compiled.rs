@@ -938,6 +938,7 @@ impl AtpgEngine for CompiledPodem<'_, '_> {
             events: self.sim.events(),
             incremental_resims: self.sim.incremental_resims(),
             full_resims: self.sim.full_resims(),
+            seeded_sims: self.sim.seeded_sims(),
         }
     }
 }

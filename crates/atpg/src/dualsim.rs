@@ -353,6 +353,56 @@ enum Machine {
     Faulty,
 }
 
+/// The good-machine arrays of one full simulation of the **all-X**
+/// pattern under one procedure spec.
+///
+/// PODEM opens every run with `Pattern::empty` (all scan bits and PIs
+/// at `X`), so the good machine's opening full simulation depends on
+/// the spec alone — when ATPG targets thousands of faults under the
+/// same handful of procedures, every run after the first can *seed*
+/// its arrays from this snapshot (good and faulty both start as the
+/// good baseline) and inject only the fault incrementally, instead of
+/// re-evaluating every cell of every frame from scratch.
+#[derive(Debug)]
+struct SpecBaseline {
+    /// The spec the arrays reflect (compared by [`FrameSpec`]
+    /// equality).
+    spec: FrameSpec,
+    /// Good frame values, `frames * cells`.
+    good: Vec<Logic>,
+    /// Good flop states, `(frames + 1) * flops`.
+    good_state: Vec<Logic>,
+}
+
+/// True for opcodes the levelized propagation re-evaluates — the cells
+/// an input-pin fault can be seeded into. Sources, ties and state
+/// cells never sit in the worklist buckets.
+#[inline]
+fn is_comb_op(op: OpCode) -> bool {
+    matches!(
+        op,
+        OpCode::Buf
+            | OpCode::Not
+            | OpCode::And
+            | OpCode::Nand
+            | OpCode::Or
+            | OpCode::Nor
+            | OpCode::Xor
+            | OpCode::Xnor
+            | OpCode::Mux2
+    )
+}
+
+/// True when every scan bit and every PI of the pattern is `X` —
+/// exactly the shape `Pattern::empty` produces.
+fn pattern_is_all_x(pattern: &Pattern) -> bool {
+    pattern.scan_load.iter().all(|&v| v == Logic::X)
+        && pattern
+            .pis
+            .iter()
+            .all(|frame| frame.iter().all(|&v| v == Logic::X))
+}
+
 /// Compiled dual-machine value engine for PODEM, riding the
 /// [`SimGraph`] of the bound model.
 ///
@@ -421,10 +471,14 @@ pub struct DualGraphSim<'m, 'a> {
     // faulty capture reads good values/states, so its incremental
     // sweep is its own touched set merged with this one.
     good_flop_touched: Vec<Vec<u32>>,
+    // Per-spec snapshots of the all-X good machine; `begin` seeds from
+    // a matching snapshot instead of running a full simulation.
+    baselines: Vec<SpecBaseline>,
     // Work counters.
     events: u64,
     incremental_resims: u64,
     full_resims: u64,
+    seeded_sims: u64,
 }
 
 impl<'m, 'a> DualGraphSim<'m, 'a> {
@@ -462,9 +516,11 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             sdirty: Vec::new(),
             sdirty_next: Vec::new(),
             good_flop_touched: Vec::new(),
+            baselines: Vec::new(),
             events: 0,
             incremental_resims: 0,
             full_resims: 0,
+            seeded_sims: 0,
         }
     }
 
@@ -486,6 +542,12 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
     /// Full from-scratch simulations performed (one per PODEM run).
     pub fn full_resims(&self) -> u64 {
         self.full_resims
+    }
+
+    /// PODEM runs whose opening simulation was seeded from the
+    /// per-spec all-X baseline instead of evaluated from scratch.
+    pub fn seeded_sims(&self) -> u64 {
+        self.seeded_sims
     }
 
     /// Good value of `cell` in 1-based `frame`.
@@ -527,7 +589,6 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
     /// [`DualGraphSim::resimulate`] calls update incrementally.
     pub fn begin(&mut self, spec: &FrameSpec, pattern: &Pattern, fault: Fault) {
         self.bind(spec);
-        self.full_resims += 1;
         self.cur_fault = Some(fault);
         self.dirty_scan.clear();
         self.dirty_pi.clear();
@@ -535,6 +596,32 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
         let frames = spec.frames();
         let n = self.graph.cells();
         let nf = self.graph.flop_count();
+        let all_x = pattern_is_all_x(pattern);
+
+        // PODEM always opens with the all-X pattern, whose good
+        // machine depends on the spec alone: seed both machines from
+        // the cached baseline and inject only the fault incrementally.
+        if all_x {
+            let DualGraphSim {
+                baselines,
+                good,
+                faulty,
+                good_state,
+                faulty_state,
+                ..
+            } = self;
+            if let Some(b) = baselines.iter().find(|b| &b.spec == spec) {
+                good[..frames * n].copy_from_slice(&b.good);
+                faulty[..frames * n].copy_from_slice(&b.good);
+                good_state[..(frames + 1) * nf].copy_from_slice(&b.good_state);
+                faulty_state[..(frames + 1) * nf].copy_from_slice(&b.good_state);
+                self.seeded_sims += 1;
+                self.inject_fault_incremental(spec, fault);
+                return;
+            }
+        }
+
+        self.full_resims += 1;
         self.good[..frames * n].fill(Logic::X);
         self.faulty[..frames * n].fill(Logic::X);
         self.good_state[..(frames + 1) * nf].fill(Logic::X);
@@ -553,6 +640,149 @@ impl<'m, 'a> DualGraphSim<'m, 'a> {
             // Good next-state first: the faulty capture reads it.
             self.next_state_full_good(spec, k);
             self.next_state_full_faulty(spec, k);
+        }
+
+        if all_x {
+            self.baselines.push(SpecBaseline {
+                spec: spec.clone(),
+                good: self.good[..frames * n].to_vec(),
+                good_state: self.good_state[..(frames + 1) * nf].to_vec(),
+            });
+        }
+    }
+
+    /// Faulty-machine-only incremental pass over all frames, used when
+    /// [`DualGraphSim::begin`] seeded both machines from a
+    /// [`SpecBaseline`]: the good arrays are already exact, so only the
+    /// fault's difference cone needs evaluation. Mirrors the faulty
+    /// half of [`DualGraphSim::machine_pass`] with the fault site (and,
+    /// for input-pin faults, the faulted cell) as the only seeds.
+    ///
+    /// `good_flop_touched` is left stale on purpose: `resimulate`
+    /// always runs its good pass (which rewrites the per-frame records)
+    /// before the faulty pass reads them, and nothing else consumes
+    /// them. The change log is likewise untouched — the search engine
+    /// rebuilds its candidate set from scratch after `begin`.
+    fn inject_fault_incremental(&mut self, spec: &FrameSpec, fault: Fault) {
+        let DualGraphSim {
+            graph,
+            frames,
+            good,
+            faulty,
+            good_state,
+            faulty_state,
+            buckets,
+            enq,
+            flop_stamp,
+            gen,
+            touched,
+            sdirty,
+            sdirty_next,
+            events,
+            ..
+        } = self;
+        let graph: &SimGraph = graph;
+        let frames = *frames;
+        let n = graph.cells();
+        let nf = graph.flop_count();
+
+        sdirty.clear();
+        for k in 1..=frames {
+            *gen = gen.wrapping_add(1);
+            if *gen == 0 {
+                enq.fill(0);
+                flop_stamp.fill(0);
+                *gen = 1;
+            }
+            touched.clear();
+            let active = fault_active(fault, k, frames);
+            let (out_site, in_site, forced) = decode_fault(active.then_some(fault));
+            {
+                let vals = &mut faulty[(k - 1) * n..k * n];
+
+                // Seed 1: flops whose entering faulty state diverged in
+                // an earlier frame.
+                for &fi in sdirty.iter() {
+                    let fi = fi as usize;
+                    if flop_stamp[fi] != *gen {
+                        flop_stamp[fi] = *gen;
+                        touched.push(fi as u32);
+                    }
+                    let ci = graph.flop_meta(fi).cell as usize;
+                    if out_site == Some(ci) {
+                        continue;
+                    }
+                    let v = faulty_state[(k - 1) * nf + fi];
+                    if vals[ci] != v {
+                        vals[ci] = v;
+                        push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                    }
+                }
+
+                // Seed 2: the fault site itself.
+                if let Some(ci) = out_site {
+                    if vals[ci] != forced {
+                        vals[ci] = forced;
+                        push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                    }
+                }
+                if let Some((ci, _)) = in_site {
+                    // Only combinational cells may enter the worklist;
+                    // a faulted pin on a source/state cell cannot
+                    // change that cell's own value anyway.
+                    if is_comb_op(graph.op(ci)) && enq[ci] != *gen {
+                        enq[ci] = *gen;
+                        buckets[graph.level_of(ci) as usize].push(ci as u32);
+                    }
+                }
+
+                // Propagate level by level; only moved values notify.
+                for lvl in 0..buckets.len() {
+                    while let Some(raw) = buckets[lvl].pop() {
+                        let ci = raw as usize;
+                        if out_site == Some(ci) {
+                            continue;
+                        }
+                        let pin_fault = match in_site {
+                            Some((cell, pin)) if cell == ci => Some((pin, forced)),
+                            _ => None,
+                        };
+                        *events += 1;
+                        let v = eval_logic(graph, ci, vals, pin_fault);
+                        if v != vals[ci] {
+                            vals[ci] = v;
+                            push_fanouts(graph, ci, *gen, enq, buckets, flop_stamp, touched);
+                        }
+                    }
+                }
+            }
+
+            // Capture recompute for touched flops only. An untouched
+            // flop's entering state and sample cone equal the good
+            // machine's, so its capture equals the good capture — which
+            // is exactly the copied value.
+            sdirty_next.clear();
+            let cycle = &spec.cycles()[k - 1];
+            let fvals = &faulty[(k - 1) * n..k * n];
+            let gvals = &good[(k - 1) * n..k * n];
+            let gprev = &good_state[(k - 1) * nf..k * nf];
+            let gnext = &good_state[k * nf..(k + 1) * nf];
+            let (fprev_all, fnext_all) = faulty_state.split_at_mut(k * nf);
+            let fprev = &fprev_all[(k - 1) * nf..];
+            let fnext = &mut fnext_all[..nf];
+            for &fi in touched.iter() {
+                let fi = fi as usize;
+                *events += 1;
+                let pulsed = cycle.pulses_domain(graph.flop_meta(fi).domain as usize);
+                let v = capture_faulty(
+                    graph, fi, pulsed, fvals, gvals, fprev[fi], gprev[fi], gnext[fi],
+                );
+                if v != fnext[fi] {
+                    fnext[fi] = v;
+                    sdirty_next.push(fi as u32);
+                }
+            }
+            std::mem::swap(sdirty, sdirty_next);
         }
     }
 

@@ -33,6 +33,11 @@ pub struct AtpgKernelStats {
     /// Full from-scratch dual simulations (one per PODEM run for the
     /// compiled engine, one per *decision* for the reference engine).
     pub full_resims: u64,
+    /// PODEM runs whose opening full simulation was *seeded* from the
+    /// per-procedure all-X baseline instead of evaluated from scratch
+    /// (the compiled engine, when the procedure spec repeats across
+    /// targeted faults; 0 for the reference engine).
+    pub seeded_sims: u64,
 }
 
 /// A test-generation engine: anything that can run one

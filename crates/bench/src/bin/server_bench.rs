@@ -1,0 +1,313 @@
+//! Flow-service throughput benchmark and regression gate — the
+//! caching-side sibling of `fsim_bench` / `atpg_bench` /
+//! `timing_bench`.
+//!
+//! Hammers an in-process [`occ_server::FlowService`] with analyze jobs
+//! on the seeded Table-1 SOC family from N concurrent client threads,
+//! cold (every design compiles: generate + levelize + compile the
+//! simulation graph) and warm (every artifact served as an `Arc` clone
+//! out of the content-hash cache), then runs one full flow job cold vs
+//! warm to record the compile stages a warm flow skips. Results land
+//! in `BENCH_server.json` so the cache's value is tracked in-repo.
+//!
+//! ```text
+//! server_bench [--flops N] [--clients N] [--designs M] [--rounds R]
+//!              [--flow-flops N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! Three gates:
+//!
+//! * **Warm correctness** (always on, hardware-independent): the warm
+//!   flow job must report every artifact as a cache hit — a warm job
+//!   that recompiles anything is a cache-key bug, not a perf problem.
+//! * **Hard floor**: warm jobs/sec must be at least
+//!   [`WARM_FLOOR`]x cold — the ratio cancels machine speed (both
+//!   sides ran on this machine); in practice it is orders of magnitude
+//!   above the floor. `SERVER_BENCH_SKIP_CHECK` bypasses it.
+//! * **Regression** (with `--check`): the warm/cold ratio must not
+//!   drop more than 20% below the committed baseline.
+//!   `SERVER_BENCH_SKIP_CHECK` bypasses it.
+
+use occ_atpg::AtpgOptions;
+use occ_core::ClockingMode;
+use occ_server::{FlowService, JobSpec};
+use occ_soc::SocConfig;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The Table-1 SOC seed (DATE'05 in Munich) the designs derive from.
+const TABLE1_SEED: u64 = 20050307;
+
+/// Minimum warm-over-cold jobs/sec ratio.
+const WARM_FLOOR: f64 = 2.0;
+
+/// Allowed ratio drop vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+struct Options {
+    flops: usize,
+    clients: usize,
+    designs: usize,
+    rounds: usize,
+    flow_flops: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        flops: 120,
+        clients: 4,
+        designs: 32,
+        rounds: 3_125,
+        flow_flops: 48,
+        out: "BENCH_server.json".to_owned(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        let positive = |name: &str, v: String| -> Result<usize, String> {
+            let n: usize = v.parse().map_err(|e| format!("{name}: {e}"))?;
+            if n == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+            Ok(n)
+        };
+        match arg.as_str() {
+            "--flops" => opts.flops = positive("--flops", value("--flops")?)?,
+            "--clients" => opts.clients = positive("--clients", value("--clients")?)?,
+            "--designs" => opts.designs = positive("--designs", value("--designs")?)?,
+            "--rounds" => opts.rounds = positive("--rounds", value("--rounds")?)?,
+            "--flow-flops" => opts.flow_flops = positive("--flow-flops", value("--flow-flops")?)?,
+            "--out" => opts.out = value("--out")?,
+            "--check" => opts.check = Some(value("--check")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs `jobs(i)` for `i in 0..total` across `clients` threads pulling
+/// work from a shared index; returns elapsed seconds.
+fn drive_clients(
+    service: &Arc<FlowService>,
+    clients: usize,
+    total: usize,
+    job_of: impl Fn(usize) -> JobSpec + Send + Sync,
+) -> f64 {
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                service
+                    .submit(&job_of(i))
+                    .expect("bench jobs always validate");
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("server_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let skip = std::env::var("SERVER_BENCH_SKIP_CHECK").is_ok_and(|v| !v.is_empty());
+
+    // Analyze jobs over the Table-1 SOC family: seed i derives design
+    // i, so the cold phase compiles `designs` distinct netlists and
+    // the warm phase replays the same hashes round-robin.
+    let design_of = |i: usize| {
+        let mut job = JobSpec::new(SocConfig::paper_like(
+            TABLE1_SEED + (i % opts.designs) as u64,
+            opts.flops,
+        ));
+        job.analyze_only = true;
+        job
+    };
+    let service = Arc::new(FlowService::new(0));
+    let probe = service
+        .submit(&design_of(0))
+        .expect("Table-1 SOC always analyzes");
+    println!(
+        "server_bench: {} — {} cells, {} clients, {} designs",
+        probe.analysis.design, probe.analysis.cells, opts.clients, opts.designs,
+    );
+
+    // Cold: a fresh service per measurement (the probe above warmed
+    // the first entry of `service`).
+    let cold_service = Arc::new(FlowService::new(0));
+    let cold_secs = drive_clients(&cold_service, opts.clients, opts.designs, design_of);
+    let stats = cold_service.cache_stats();
+    if stats.design.misses != opts.designs as u64 {
+        eprintln!(
+            "server_bench: FATAL — cold phase expected {} design compiles, \
+             cache counted {} (build dedup broken?)",
+            opts.designs, stats.design.misses
+        );
+        return ExitCode::FAILURE;
+    }
+    let cold_jobs = opts.designs;
+    let cold_jps = cold_jobs as f64 / cold_secs;
+
+    // Warm: replay the same designs round-robin on the now-hot cache.
+    let warm_jobs = opts.designs * opts.rounds;
+    let warm_secs = drive_clients(&cold_service, opts.clients, warm_jobs, design_of);
+    let warm_jps = warm_jobs as f64 / warm_secs;
+    let ratio = warm_jps / cold_jps.max(1e-9);
+    println!(
+        "  cold analyze {cold_jps:>10.1} jobs/s ({cold_jobs} jobs, {cold_secs:.3}s)\n  \
+         warm analyze {warm_jps:>10.1} jobs/s ({warm_jobs} jobs, {warm_secs:.3}s)\n  \
+         warm over cold: {ratio:.1}x",
+    );
+
+    // One full flow job cold vs warm: the warm run must hit every
+    // artifact (graph, procedures, delay table) — i.e. run zero
+    // compile stages. Timings are informational; the hit flags gate.
+    let flow_service = FlowService::new(0);
+    let flow_job = {
+        let mut job = JobSpec::new(SocConfig::paper_like(TABLE1_SEED, opts.flow_flops));
+        job.clocking = ClockingMode::SimpleCpf;
+        job.mask_bidi = true;
+        job.timing = true;
+        job.atpg = AtpgOptions {
+            random_patterns: 64,
+            backtrack_limit: 16,
+            ..AtpgOptions::default()
+        };
+        job
+    };
+    let t0 = Instant::now();
+    let cold_flow = flow_service
+        .submit(&flow_job)
+        .expect("Table-1 flow always validates");
+    let flow_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm_flow = flow_service
+        .submit(&flow_job)
+        .expect("Table-1 flow always validates");
+    let flow_warm_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "  flow job: cold {flow_cold_secs:.2}s, warm {flow_warm_secs:.2}s \
+         (warm cache: design {}, procedures {:?}, delays {:?})",
+        warm_flow.cache.design_hit, warm_flow.cache.procedures_hit, warm_flow.cache.delays_hit,
+    );
+    if !warm_flow.warm {
+        eprintln!(
+            "server_bench: FATAL — the warm flow job recompiled an artifact \
+             ({:?}); the content-hash cache key is broken",
+            warm_flow.cache
+        );
+        return ExitCode::FAILURE;
+    }
+    drop(cold_flow);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"design\":\"{}\",\"cells\":{},\"flops_per_domain\":{},\
+         \"clients\":{},\"designs\":{},\
+         \"analyze\":{{\"cold_jobs\":{cold_jobs},\"cold_jobs_per_sec\":{cold_jps:.1},\
+         \"warm_jobs\":{warm_jobs},\"warm_jobs_per_sec\":{warm_jps:.1}}},\
+         \"flow\":{{\"flops_per_domain\":{},\"cold_seconds\":{flow_cold_secs:.3},\
+         \"warm_seconds\":{flow_warm_secs:.3},\"warm_all_hits\":{}}},",
+        probe.analysis.design,
+        probe.analysis.cells,
+        opts.flops,
+        opts.clients,
+        opts.designs,
+        opts.flow_flops,
+        warm_flow.warm,
+    );
+    let _ = writeln!(json, "\"warm_over_cold\":{ratio:.1}}}");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("server_bench: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", opts.out);
+
+    if skip {
+        println!("  perf gates skipped (SERVER_BENCH_SKIP_CHECK set)");
+        return ExitCode::SUCCESS;
+    }
+    if ratio < WARM_FLOOR {
+        eprintln!(
+            "server_bench: REGRESSION — warm jobs/sec is only {ratio:.2}x cold \
+             (floor {WARM_FLOOR}x; set SERVER_BENCH_SKIP_CHECK=1 to bypass)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(baseline) = &opts.check {
+        return check_regression(baseline, &opts, ratio);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares the fresh warm/cold ratio against the committed baseline.
+/// Both phases ran on this machine, so the ratio cancels machine speed
+/// and trips only on a genuine caching regression.
+fn check_regression(path: &str, opts: &Options, fresh_ratio: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("server_bench: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let same_config = [
+        ("\"flops_per_domain\":", opts.flops),
+        ("\"clients\":", opts.clients),
+        ("\"designs\":", opts.designs),
+    ]
+    .iter()
+    .all(|&(key, mine)| extract_number(&text, key).is_none_or(|b| b as usize == mine));
+    if !same_config {
+        println!(
+            "  baseline {path} was produced with a different config — \
+             regression check skipped; regenerate the baseline"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(base_ratio) = extract_number(&text, "\"warm_over_cold\":") else {
+        eprintln!("server_bench: no warm_over_cold in baseline {path}");
+        return ExitCode::FAILURE;
+    };
+    let floor = base_ratio * (1.0 - REGRESSION_TOLERANCE);
+    println!(
+        "  warm/cold ratio: fresh {fresh_ratio:.1}x vs baseline {base_ratio:.1}x \
+         (floor {floor:.1}x)"
+    );
+    if fresh_ratio < floor {
+        eprintln!(
+            "server_bench: REGRESSION — the warm/cold jobs-per-second ratio \
+             dropped more than {:.0}% below the committed baseline (set \
+             SERVER_BENCH_SKIP_CHECK=1 to bypass on cold machines)",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses the number following the first occurrence of `key`.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

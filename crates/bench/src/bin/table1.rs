@@ -6,7 +6,7 @@
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
 //!        [--engine serial|auto|sharded:N]
 //!        [--atpg-engine reference|compiled] [--timing]
-//!        [--lint [deny|warn]] [--csv]
+//!        [--lint [deny|warn]] [--csv] [--verbose]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
@@ -21,6 +21,12 @@
 //! violations abort the run) and pre-classifies structurally
 //! untestable faults so their PODEM searches are skipped — coverage
 //! and pattern sets are unchanged.
+//!
+//! The five-row sweep runs through an in-process
+//! `occ::server::FlowService`: the SOC is generated and compiled once
+//! (first row) and every later clocking-mode row reuses the cached
+//! simulation graph. `--verbose` prints the per-row artifact-cache
+//! hits and the sweep's global cache counters.
 
 use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
@@ -38,6 +44,7 @@ fn main() {
     let mut options = Table1Options::default();
     let mut row: Option<ExperimentId> = None;
     let mut csv = false;
+    let mut verbose = false;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,6 +72,7 @@ fn main() {
                 options.lint = Some(gate);
             }
             "--csv" => csv = true,
+            "--verbose" => verbose = true,
             other if other.starts_with('-') => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -154,6 +162,38 @@ fn main() {
                 print!("{}", table.to_csv());
             } else {
                 println!("{table}");
+            }
+            if verbose {
+                let hit = |h: Option<bool>| match h {
+                    Some(true) => "hit",
+                    Some(false) => "miss",
+                    None => "-",
+                };
+                println!("artifact cache (in-process flow service):");
+                for r in &table.rows {
+                    let c = r.cache.expect("table rows run through the service");
+                    println!(
+                        "  {} {:<24} design {:<4} procedures {:<4} delays {}",
+                        r.id,
+                        r.report.clocking.label(),
+                        hit(Some(c.design_hit)),
+                        hit(c.procedures_hit),
+                        hit(c.delays_hit),
+                    );
+                }
+                let s = &table.cache;
+                println!(
+                    "  totals: design {}/{} hit/miss, procedures {}/{}, delays {}/{} \
+                     ({} entries, {} bytes resident)",
+                    s.design.hits,
+                    s.design.misses,
+                    s.procedures.hits,
+                    s.procedures.misses,
+                    s.delays.hits,
+                    s.delays.misses,
+                    s.entries,
+                    s.bytes,
+                );
             }
         }
     }

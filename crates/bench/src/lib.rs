@@ -4,9 +4,10 @@
 //! *Beck et al., DATE 2005*:
 //!
 //! * [`run_table1`] — the five ATPG experiments (a)–(e) on one seeded
-//!   SOC, each a single [`occ_flow::TestFlow`] run, reporting test
-//!   coverage and pattern count per row plus the paper's qualitative
-//!   shape checks;
+//!   SOC, swept through an in-process [`occ_server::FlowService`] so
+//!   the design is compiled once and every later row reuses the cached
+//!   graph, reporting test coverage and pattern count per row plus the
+//!   paper's qualitative shape checks;
 //! * [`fig1_report`] — the device architecture (SOC + per-domain CPFs);
 //! * [`fig2_waveforms`] — the delay-test clocking of both domains
 //!   (shift → launch/capture burst → shift), simulated on the real
@@ -25,7 +26,7 @@ mod experiments;
 mod figures;
 
 pub use experiments::{
-    run_experiment, run_table1, ExperimentId, ExperimentRow, ParseExperimentIdError, Table1,
-    Table1Options,
+    job_spec, run_experiment, run_experiment_service, run_table1, ExperimentId, ExperimentRow,
+    ParseExperimentIdError, Table1, Table1Options,
 };
 pub use figures::{fig1_report, fig2_waveforms, fig3_report, fig4_waveforms};

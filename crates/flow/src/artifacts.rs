@@ -1,0 +1,176 @@
+//! Precompiled-artifact handles for cache-aware flow runs.
+//!
+//! Every [`TestFlow`](crate::TestFlow) run compiles three expensive,
+//! immutable artifacts before any test generation happens:
+//!
+//! * the [`SimGraph`] (CSR edges, dense opcodes, levelization,
+//!   observability cones) — compiled from the netlist inside
+//!   [`CaptureModel::new`](occ_fsim::CaptureModel::new);
+//! * the capture procedures ([`FrameSpec`]s) — derived from the
+//!   clocking mode, fault model and domain count;
+//! * the [`CompiledDelays`] table — compiled from the
+//!   [`DelayModel`](occ_sim::DelayModel) when the timing stage runs.
+//!
+//! A service that runs many flows on the same design (the `occ-server`
+//! job daemon, the Table 1 sweep) compiles each artifact once, keeps it
+//! behind an `Arc` in a content-addressed cache, and hands the shared
+//! handles back to the flow through [`FlowArtifacts`] +
+//! [`TestFlow::artifacts`](crate::TestFlow::artifacts): the
+//! corresponding compile stages then skip their work entirely and the
+//! run clones only `Arc`s. Reports are byte-identical either way — the
+//! artifacts are pure functions of the inputs they are keyed by.
+
+use crate::FlowError;
+use occ_core::{stuck_at_procedures, transition_procedures, ClockingMode};
+use occ_fault::FaultModel;
+use occ_fsim::{FrameSpec, SimGraph};
+use occ_sim::CompiledDelays;
+use std::sync::Arc;
+
+/// Shared handles to precompiled flow artifacts, all optional — a
+/// default (empty) value makes the flow compile everything itself,
+/// exactly as before the cache layer existed.
+///
+/// The caller is responsible for keying: a graph must have been
+/// compiled for the same netlist (checked — cell/flop count mismatches
+/// fail the bind stage), procedures for the same clocking mode, fault
+/// model and domain count (checked — the mode/model combination is
+/// re-validated), and delays for the same netlist + delay model
+/// (unchecked beyond length — the table is positional).
+#[derive(Debug, Clone, Default)]
+pub struct FlowArtifacts {
+    /// The compiled simulation graph of the design, shared across
+    /// runs; the bind stage skips [`SimGraph`] compilation when set.
+    pub graph: Option<Arc<SimGraph>>,
+    /// The capture procedures for (clocking mode, fault model, domain
+    /// count); the procedures stage skips construction when set.
+    pub procedures: Option<Arc<Vec<FrameSpec>>>,
+    /// The compiled per-cell delay table; the timing stage skips
+    /// [`occ_sim::DelayModel::compile`] when set.
+    pub delays: Option<Arc<CompiledDelays>>,
+}
+
+impl FlowArtifacts {
+    /// No precompiled artifacts — the flow compiles everything.
+    pub fn none() -> Self {
+        FlowArtifacts::default()
+    }
+
+    /// True when no handle is set.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_none() && self.procedures.is_none() && self.delays.is_none()
+    }
+}
+
+/// Validates the clocking/fault-model combination and builds the
+/// capture procedures — the service-facing twin of the flow's
+/// procedures stage, exported so artifact caches can compile procedure
+/// sets once per (mode, fault model, domain count) key and replay them
+/// through [`FlowArtifacts::procedures`].
+///
+/// # Errors
+///
+/// Returns [`FlowError::UnsupportedClocking`] when the mode cannot
+/// physically deliver the procedures the fault model needs (fewer
+/// pulses than a launch + capture pair, or no procedures at all).
+///
+/// # Examples
+///
+/// ```
+/// use occ_core::ClockingMode;
+/// use occ_flow::{build_procedures, FaultKind};
+///
+/// let procs = build_procedures(ClockingMode::SimpleCpf, FaultKind::Transition, 2).unwrap();
+/// assert!(!procs.is_empty());
+/// assert!(build_procedures(
+///     ClockingMode::ExternalClock { max_pulses: 1 },
+///     FaultKind::Transition,
+///     2
+/// )
+/// .is_err());
+/// ```
+pub fn build_procedures(
+    mode: ClockingMode,
+    fault_model: FaultModel,
+    n_domains: usize,
+) -> Result<Vec<FrameSpec>, FlowError> {
+    validate_procedures(mode, fault_model)?;
+    let procedures = match fault_model {
+        FaultModel::Transition => transition_procedures(mode, n_domains),
+        FaultModel::StuckAt => stuck_at_procedures(mode, n_domains),
+    };
+    if procedures.is_empty() {
+        return Err(FlowError::UnsupportedClocking {
+            mode,
+            fault_model,
+            reason: "the mode yields no capture procedures",
+        });
+    }
+    Ok(procedures)
+}
+
+/// The validation half of [`build_procedures`] alone — what a flow
+/// replaying a *cached* procedure set runs, so a mis-keyed cache entry
+/// cannot smuggle an unsupported mode/model combination past the
+/// procedures stage without paying for reconstruction.
+///
+/// # Errors
+///
+/// Returns [`FlowError::UnsupportedClocking`] exactly when
+/// [`build_procedures`] would (except the empty-set check, which needs
+/// construction).
+pub fn validate_procedures(mode: ClockingMode, fault_model: FaultModel) -> Result<(), FlowError> {
+    let unsupported = |reason: &'static str| FlowError::UnsupportedClocking {
+        mode,
+        fault_model,
+        reason,
+    };
+    let max_pulses = match mode {
+        ClockingMode::ExternalClock { max_pulses }
+        | ClockingMode::EnhancedCpf { max_pulses }
+        | ClockingMode::ConstrainedExternal { max_pulses } => max_pulses,
+        ClockingMode::SimpleCpf => 2,
+    };
+    match fault_model {
+        FaultModel::Transition if max_pulses < 2 => Err(unsupported(
+            "transition tests need launch + capture pulses (max_pulses >= 2)",
+        )),
+        FaultModel::StuckAt if max_pulses < 1 => Err(unsupported(
+            "stuck-at tests need at least one capture pulse",
+        )),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_artifacts_report_empty() {
+        assert!(FlowArtifacts::none().is_empty());
+        let a = FlowArtifacts {
+            procedures: Some(Arc::new(Vec::new())),
+            ..FlowArtifacts::default()
+        };
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn procedure_builder_matches_modes() {
+        let p = build_procedures(
+            ClockingMode::EnhancedCpf { max_pulses: 4 },
+            FaultModel::Transition,
+            2,
+        )
+        .unwrap();
+        assert!(p.len() > 1);
+        let err = build_procedures(
+            ClockingMode::ExternalClock { max_pulses: 0 },
+            FaultModel::StuckAt,
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::UnsupportedClocking { .. }));
+    }
+}

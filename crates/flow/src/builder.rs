@@ -3,19 +3,21 @@
 //! the named capture procedures, run ATPG through a pluggable
 //! fault-sim engine, classify the leftovers and report.
 
+use crate::artifacts::{build_procedures, validate_procedures, FlowArtifacts};
 use crate::report::LintBlock;
 use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
 use occ_atpg::{
     classify_faults, run_atpg_preclassified, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem,
 };
-use occ_core::{stuck_at_procedures, transition_procedures, ClockDomainSpec, ClockingMode};
+use occ_core::{ClockDomainSpec, ClockingMode};
 use occ_fault::{FaultModel, FaultUniverse};
 use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
 use occ_lint::{LintGate, Linter};
 use occ_netlist::Netlist;
 use occ_sim::{DelayModel, Time};
 use occ_soc::Soc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What the flow runs on: a generated [`Soc`] (the standard path) or a
@@ -68,6 +70,7 @@ pub struct TestFlow<'s> {
     mask_bidi: bool,
     timing: Option<TimingConfig>,
     lint: Option<LintGate>,
+    artifacts: FlowArtifacts,
 }
 
 impl<'s> TestFlow<'s> {
@@ -87,6 +90,7 @@ impl<'s> TestFlow<'s> {
             mask_bidi: false,
             timing: None,
             lint: None,
+            artifacts: FlowArtifacts::default(),
         }
     }
 
@@ -105,6 +109,7 @@ impl<'s> TestFlow<'s> {
             mask_bidi: false,
             timing: None,
             lint: None,
+            artifacts: FlowArtifacts::default(),
         }
     }
 
@@ -197,6 +202,18 @@ impl<'s> TestFlow<'s> {
         self
     }
 
+    /// Hands the flow precompiled artifact handles (shared graph,
+    /// procedures, delay table) from a content-addressed cache: the
+    /// corresponding compile stages skip their work and clone only
+    /// `Arc`s. Reports are byte-identical to a cold run — the
+    /// artifacts are pure functions of the inputs they are keyed by.
+    /// See [`FlowArtifacts`] for the keying contract.
+    #[must_use]
+    pub fn artifacts(mut self, artifacts: FlowArtifacts) -> Self {
+        self.artifacts = artifacts;
+        self
+    }
+
     /// Runs the pipeline: bind model → procedures → fault universe →
     /// ATPG (through the selected engine) → classify → report.
     ///
@@ -223,7 +240,10 @@ impl<'s> TestFlow<'s> {
         };
 
         let t0 = Instant::now();
-        let model = CaptureModel::new(netlist, binding)?;
+        let model = match &self.artifacts.graph {
+            Some(graph) => CaptureModel::with_graph(netlist, binding, Arc::clone(graph))?,
+            None => CaptureModel::new(netlist, binding)?,
+        };
         timed(Stage::BindModel, t0);
         if model.domain_count() == 0 {
             return Err(FlowError::NoDomains);
@@ -233,7 +253,17 @@ impl<'s> TestFlow<'s> {
         }
 
         let t0 = Instant::now();
-        let procedures = self.build_procedures(model.domain_count())?;
+        let procedures: Arc<Vec<occ_fsim::FrameSpec>> = match &self.artifacts.procedures {
+            Some(procs) => {
+                validate_procedures(self.clocking, self.fault_model)?;
+                Arc::clone(procs)
+            }
+            None => Arc::new(build_procedures(
+                self.clocking,
+                self.fault_model,
+                model.domain_count(),
+            )?),
+        };
         timed(Stage::Procedures, t0);
 
         let t0 = Instant::now();
@@ -320,7 +350,15 @@ impl<'s> TestFlow<'s> {
         let delay_quality = self.timing.as_ref().map(|cfg| {
             let t0 = Instant::now();
             let periods = self.domain_periods(cfg, model.domain_count());
-            let q = run_quality(&model, &procedures, self.clocking, &result, cfg, &periods);
+            let q = run_quality(
+                &model,
+                &procedures,
+                self.clocking,
+                &result,
+                cfg,
+                &periods,
+                self.artifacts.delays.as_deref(),
+            );
             timed(Stage::Timing, t0);
             q
         });
@@ -368,44 +406,5 @@ impl<'s> TestFlow<'s> {
                 .collect(),
             Source::Model { .. } => vec![DEFAULT_DOMAIN_PERIOD_PS; n_domains],
         }
-    }
-
-    /// Validates the clocking/fault-model combination and builds the
-    /// capture procedures (never panicking — the panicking procedure
-    /// constructors are only called on validated inputs).
-    fn build_procedures(&self, n_domains: usize) -> Result<Vec<occ_fsim::FrameSpec>, FlowError> {
-        let unsupported = |reason: &'static str| FlowError::UnsupportedClocking {
-            mode: self.clocking,
-            fault_model: self.fault_model,
-            reason,
-        };
-        let max_pulses = match self.clocking {
-            ClockingMode::ExternalClock { max_pulses }
-            | ClockingMode::EnhancedCpf { max_pulses }
-            | ClockingMode::ConstrainedExternal { max_pulses } => max_pulses,
-            ClockingMode::SimpleCpf => 2,
-        };
-        let procedures = match self.fault_model {
-            FaultModel::Transition => {
-                if max_pulses < 2 {
-                    return Err(unsupported(
-                        "transition tests need launch + capture pulses (max_pulses >= 2)",
-                    ));
-                }
-                transition_procedures(self.clocking, n_domains)
-            }
-            FaultModel::StuckAt => {
-                if max_pulses < 1 {
-                    return Err(unsupported(
-                        "stuck-at tests need at least one capture pulse",
-                    ));
-                }
-                stuck_at_procedures(self.clocking, n_domains)
-            }
-        };
-        if procedures.is_empty() {
-            return Err(unsupported("the mode yields no capture procedures"));
-        }
-        Ok(procedures)
     }
 }

@@ -53,12 +53,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifacts;
 mod builder;
 mod engine;
 mod error;
 mod report;
 mod timing;
 
+pub use artifacts::{build_procedures, validate_procedures, FlowArtifacts};
 pub use builder::TestFlow;
 pub use engine::{
     AtpgEngineChoice, EngineChoice, ParseAtpgEngineChoiceError, ParseEngineChoiceError,

@@ -233,8 +233,9 @@ impl FlowReport {
         write!(
             w,
             ",\"atpg_kernel\":{{\"decisions\":{},\"backtracks\":{},\
-             \"events\":{},\"incremental_resims\":{},\"full_resims\":{}}}",
-            a.decisions, a.backtracks, a.events, a.incremental_resims, a.full_resims,
+             \"events\":{},\"incremental_resims\":{},\"full_resims\":{},\
+             \"seeded_sims\":{}}}",
+            a.decisions, a.backtracks, a.events, a.incremental_resims, a.full_resims, a.seeded_sims,
         )?;
         if let Some(lint) = &self.lint {
             let r = &lint.report;
@@ -467,12 +468,13 @@ impl fmt::Display for FlowReport {
             writeln!(
                 f,
                 "  atpg kernel: {} decisions ({} backtracks), \
-                 {} events, {} incremental / {} full resims",
+                 {} events, {} incremental / {} full / {} seeded resims",
                 self.atpg_kernel.decisions,
                 self.atpg_kernel.backtracks,
                 self.atpg_kernel.events,
                 self.atpg_kernel.incremental_resims,
-                self.atpg_kernel.full_resims
+                self.atpg_kernel.full_resims,
+                self.atpg_kernel.seeded_sims
             )?;
         }
         if let Some(lint) = &self.lint {

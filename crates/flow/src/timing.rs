@@ -86,7 +86,11 @@ fn site_index(model: &CaptureModel<'_>, fault: Fault) -> usize {
     }
 }
 
-/// Runs the quality pass over a finished ATPG result.
+/// Runs the quality pass over a finished ATPG result. A precompiled
+/// delay table (from a [`FlowArtifacts`](crate::FlowArtifacts) cache)
+/// skips the [`DelayModel::compile`] pass; `cfg.delays` is then only
+/// identity metadata.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_quality(
     model: &CaptureModel<'_>,
     procedures: &[FrameSpec],
@@ -94,11 +98,18 @@ pub(crate) fn run_quality(
     result: &occ_atpg::AtpgResult,
     cfg: &TimingConfig,
     domain_periods: &[Time],
+    precompiled: Option<&occ_sim::CompiledDelays>,
 ) -> QualityReport {
     let graph = model.graph();
     let n_domains = model.domain_count();
-    let table = cfg.delays.compile(model.netlist());
-    let delays = table.as_slice();
+    let compiled_here;
+    let delays = match precompiled {
+        Some(table) => table.as_slice(),
+        None => {
+            compiled_here = cfg.delays.compile(model.netlist());
+            compiled_here.as_slice()
+        }
+    };
 
     let windows: Vec<ProcWindow> = procedures
         .iter()

@@ -377,6 +377,28 @@ impl SimGraph {
         self.n_cells
     }
 
+    /// Approximate resident size of the compiled graph in bytes —
+    /// the cost accounting a byte-budgeted artifact cache charges for
+    /// holding one design's graph. Sums the backing arrays (CSR edges,
+    /// opcodes, levelization, flop metadata, observability bitsets);
+    /// `Vec` headers and allocator slack are ignored.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.ops.len() * size_of::<OpCode>()
+            + (self.level.len()
+                + self.order.len()
+                + self.fanin_start.len()
+                + self.fanin.len()
+                + self.fo_start.len()
+                + self.fo.len()
+                + self.scan_flops.len()
+                + self.pos.len())
+                * size_of::<u32>()
+            + self.ties.len() * size_of::<(u32, PVal)>()
+            + self.flops.len() * size_of::<FlopMeta>()
+            + (self.obs_scan.words.len() + self.obs_po.words.len()) * size_of::<u64>()
+    }
+
     /// Number of combinational cells in the evaluation order.
     pub fn comb_cells(&self) -> usize {
         self.order.len()

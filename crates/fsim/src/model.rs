@@ -94,6 +94,14 @@ pub enum ModelError {
         /// The offending cell.
         cell: CellId,
     },
+    /// A precompiled graph handed to [`CaptureModel::with_graph`] was
+    /// compiled for a different netlist (cell or flop count mismatch).
+    GraphMismatch {
+        /// Cells in the supplied graph.
+        graph_cells: usize,
+        /// Cells in the netlist being bound.
+        netlist_cells: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -104,6 +112,15 @@ impl fmt::Display for ModelError {
             }
             ModelError::BadConstraint { cell } => {
                 write!(f, "cell {cell} cannot carry a pin constraint")
+            }
+            ModelError::GraphMismatch {
+                graph_cells,
+                netlist_cells,
+            } => {
+                write!(
+                    f,
+                    "precompiled graph has {graph_cells} cells but the netlist has {netlist_cells}"
+                )
             }
         }
     }
@@ -148,6 +165,35 @@ impl<'a> CaptureModel<'a> {
     /// and [`ModelError::BadConstraint`] for constraints on non-input
     /// cells.
     pub fn new(netlist: &'a Netlist, binding: ClockBinding) -> Result<Self, ModelError> {
+        Self::build(netlist, binding, None)
+    }
+
+    /// Builds the model around an already-compiled graph, skipping the
+    /// `SimGraph` compile pass entirely — the entry point for
+    /// content-addressed artifact caches that share one `Arc<SimGraph>`
+    /// across many flow runs on the same design. The graph must have
+    /// been compiled for this netlist's flop set (flop resolution
+    /// depends only on the declared clock domains, so bindings that
+    /// differ in constraints or masking can share a graph).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CaptureModel::new`] raises, plus
+    /// [`ModelError::GraphMismatch`] when the graph's cell or flop
+    /// count disagrees with the netlist being bound.
+    pub fn with_graph(
+        netlist: &'a Netlist,
+        binding: ClockBinding,
+        graph: Arc<SimGraph>,
+    ) -> Result<Self, ModelError> {
+        Self::build(netlist, binding, Some(graph))
+    }
+
+    fn build(
+        netlist: &'a Netlist,
+        binding: ClockBinding,
+        precompiled: Option<Arc<SimGraph>>,
+    ) -> Result<Self, ModelError> {
         let port_domain: HashMap<CellId, DomainId> = binding
             .domains
             .iter()
@@ -202,7 +248,18 @@ impl<'a> CaptureModel<'a> {
             .collect();
 
         let masked = binding.masked.clone();
-        let graph = Arc::new(SimGraph::compile(netlist, &flops));
+        let graph = match precompiled {
+            Some(g) => {
+                if g.cells() != netlist.len() || g.flop_count() != flops.len() {
+                    return Err(ModelError::GraphMismatch {
+                        graph_cells: g.cells(),
+                        netlist_cells: netlist.len(),
+                    });
+                }
+                g
+            }
+            None => Arc::new(SimGraph::compile(netlist, &flops)),
+        };
         Ok(CaptureModel {
             netlist,
             binding,

@@ -1,0 +1,41 @@
+//! One-shot protocol client.
+//!
+//! ```text
+//! occ_client <addr> <request-json>
+//! occ_client 127.0.0.1:4805 '{"op":"ping"}'
+//! ```
+//!
+//! Sends one request line, prints the response line, exits 0 on an
+//! `"ok":true` response and 1 otherwise — scriptable from CI without
+//! `nc` timing games.
+
+use occ_server::{request, Json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), Some(line)) = (args.next(), args.next()) else {
+        eprintln!("usage: occ_client <addr> <request-json>");
+        std::process::exit(2);
+    };
+    let addr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("occ_client: bad address '{addr}': {e}");
+            std::process::exit(2);
+        }
+    };
+    match request(addr, &line) {
+        Ok(response) => {
+            println!("{response}");
+            let ok = Json::parse(&response)
+                .ok()
+                .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                .unwrap_or(false);
+            std::process::exit(i32::from(!ok));
+        }
+        Err(e) => {
+            eprintln!("occ_client: request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

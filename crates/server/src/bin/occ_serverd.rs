@@ -1,0 +1,55 @@
+//! The flow-service daemon.
+//!
+//! ```text
+//! occ_serverd [--addr 127.0.0.1:4805] [--workers N] [--cache-mb N]
+//! ```
+//!
+//! Binds, prints one `listening on <addr>` line to stdout (parsed by
+//! the CI smoke script), then serves until a client sends
+//! `{"op":"shutdown"}` (or the process is killed). See
+//! `occ_server::proto` for the line protocol.
+
+use occ_server::{serve, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().unwrap_or_else(|| usage("--addr needs a value")),
+            "--workers" => {
+                config.workers = parse(args.next(), "--workers");
+            }
+            "--cache-mb" => {
+                config.cache_budget = parse::<usize>(args.next(), "--cache-mb") * 1024 * 1024;
+            }
+            "--help" | "-h" => {
+                println!("usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N]");
+                return;
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let handle = match serve(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("occ_serverd: bind {} failed: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    handle.wait();
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("occ_serverd: {msg}");
+    eprintln!("usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,456 @@
+//! The content-addressed compiled-artifact cache.
+//!
+//! Jobs on the same design repeat the same expensive compile work:
+//! netlist generation + scan insertion + graph levelization, capture
+//! procedure construction, delay-table compilation. This cache keys
+//! each compiled artifact by a stable content hash
+//! ([`crate::hash::Fnv64`] over the inputs that determine it) and
+//! hands out `Arc` clones, so a warm job touches no compile stage at
+//! all.
+//!
+//! ## Concurrency
+//!
+//! The map is split into [`SHARDS`] shards, each behind its own
+//! `Mutex` — jobs on different designs hash to different shards (with
+//! high probability) and never serialize on the cache. Within a shard,
+//! a *build in progress* is represented explicitly: the first thread
+//! to miss inserts a `Building` marker and compiles **outside the
+//! lock**; concurrent requests for the same key block on the shard's
+//! `Condvar` instead of duplicating the build. This keeps hit/miss
+//! counters deterministic (one miss per distinct key, ever — asserted
+//! by the concurrent stress tests) and bounds memory (never two copies
+//! of one artifact). A build that fails or panics removes its marker
+//! on unwind, so waiters see the slot empty and retry the build rather
+//! than hanging.
+//!
+//! ## Eviction
+//!
+//! Each shard owns `budget / SHARDS` bytes. On insert, the shard
+//! evicts its least-recently-used **ready** entries (never the one
+//! just inserted, never a `Building` marker) until back under budget.
+//! Because values are `Arc`s, eviction only drops the cache's
+//! reference — jobs holding the artifact keep it alive and complete
+//! unaffected; the bytes are reclaimed when the last job drops it.
+
+use crate::design::DesignArtifact;
+use occ_flow::FlowError;
+use occ_fsim::FrameSpec;
+use occ_sim::CompiledDelays;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shard count. A small power of two: enough that concurrent jobs on
+/// different designs almost never share a lock, small enough that a
+/// stats snapshot is cheap.
+pub const SHARDS: usize = 8;
+
+/// A cached compiled artifact (always an `Arc` — clones are pointer
+/// copies).
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Generated SOC + compiled simulation graph.
+    Design(Arc<DesignArtifact>),
+    /// Capture procedures for one (clocking, fault model, domain
+    /// count) triple.
+    Procedures(Arc<Vec<FrameSpec>>),
+    /// Compiled per-cell delay table for one (design, delay model)
+    /// pair.
+    Delays(Arc<CompiledDelays>),
+}
+
+/// The artifact families the cache tracks counters for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// SOC + graph.
+    Design,
+    /// Capture procedures.
+    Procedures,
+    /// Compiled delay table.
+    Delays,
+}
+
+impl ArtifactKind {
+    /// Counter-array index.
+    fn idx(self) -> usize {
+        match self {
+            ArtifactKind::Design => 0,
+            ArtifactKind::Procedures => 1,
+            ArtifactKind::Delays => 2,
+        }
+    }
+
+    /// Protocol / stats label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Design => "design",
+            ArtifactKind::Procedures => "procedures",
+            ArtifactKind::Delays => "delays",
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of one artifact kind (a snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    /// Requests served from a ready entry (including threads that
+    /// waited out a concurrent build).
+    pub hits: u64,
+    /// Requests that performed the build.
+    pub misses: u64,
+    /// Entries evicted under byte-budget pressure.
+    pub evictions: u64,
+}
+
+/// A full cache snapshot: per-kind counters plus occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// SOC + graph artifacts.
+    pub design: KindCounters,
+    /// Capture-procedure artifacts.
+    pub procedures: KindCounters,
+    /// Delay-table artifacts.
+    pub delays: KindCounters,
+    /// Ready entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// A build is in flight on another thread; wait on the condvar.
+    Building,
+    Ready {
+        value: Artifact,
+        kind: ArtifactKind,
+        bytes: usize,
+        /// Last-touch stamp (global monotonic counter) — the LRU key.
+        stamp: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    slots: HashMap<u64, Slot>,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct ShardLock {
+    shard: Mutex<Shard>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The sharded, byte-budgeted artifact cache. Shared across job
+/// workers and client connections behind an `Arc` (all methods take
+/// `&self`).
+#[derive(Debug)]
+pub struct ArtifactCache {
+    shards: Vec<ShardLock>,
+    /// Per-shard byte budget; 0 = unlimited.
+    shard_budget: usize,
+    stamp: AtomicU64,
+    counters: [Counters; 3],
+}
+
+impl ArtifactCache {
+    /// Creates a cache with a total byte budget (0 = unlimited). The
+    /// budget is split evenly across shards.
+    #[must_use]
+    pub fn new(byte_budget: usize) -> Self {
+        ArtifactCache {
+            shards: (0..SHARDS).map(|_| ShardLock::default()).collect(),
+            shard_budget: byte_budget / SHARDS,
+            stamp: AtomicU64::new(0),
+            counters: Default::default(),
+        }
+    }
+
+    fn shard_of(&self, key: u64) -> &ShardLock {
+        // High bits: FNV mixes low bits least.
+        &self.shards[(key >> 56) as usize % SHARDS]
+    }
+
+    fn touch(&self) -> u64 {
+        self.stamp.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up `key`, building (and caching) on miss. Returns the
+    /// artifact plus whether this call was a hit. Concurrent callers
+    /// with the same key build once: the rest block until the build
+    /// completes and count as hits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's [`FlowError`]; nothing is cached and
+    /// waiting threads retry their own build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lock was poisoned (a builder panicked while the
+    /// cache itself held no lock — only eviction code runs locked).
+    pub fn get_or_build(
+        &self,
+        kind: ArtifactKind,
+        key: u64,
+        build: impl FnOnce() -> Result<(Artifact, usize), FlowError>,
+    ) -> Result<(Artifact, bool), FlowError> {
+        let lock = self.shard_of(key);
+        let mut shard = lock.shard.lock().expect("cache shard poisoned");
+        loop {
+            match shard.slots.get_mut(&key) {
+                Some(Slot::Ready { value, stamp, .. }) => {
+                    *stamp = self.touch();
+                    let value = value.clone();
+                    drop(shard);
+                    self.counters[kind.idx()]
+                        .hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok((value, true));
+                }
+                Some(Slot::Building) => {
+                    shard = lock.ready.wait(shard).expect("cache shard poisoned");
+                }
+                None => {
+                    shard.slots.insert(key, Slot::Building);
+                    break;
+                }
+            }
+        }
+        drop(shard);
+
+        // Build outside the lock; the guard clears the Building marker
+        // on *any* exit that did not store a value (error or panic),
+        // so waiters never deadlock on an abandoned build.
+        let guard = BuildGuard {
+            lock,
+            key,
+            armed: true,
+        };
+        let (value, bytes) = build()?;
+        self.store(kind, key, value.clone(), bytes, guard);
+        self.counters[kind.idx()]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
+        Ok((value, false))
+    }
+
+    fn store(
+        &self,
+        kind: ArtifactKind,
+        key: u64,
+        value: Artifact,
+        bytes: usize,
+        mut guard: BuildGuard<'_>,
+    ) {
+        let lock = guard.lock;
+        let mut shard = lock.shard.lock().expect("cache shard poisoned");
+        shard.slots.insert(
+            key,
+            Slot::Ready {
+                value,
+                kind,
+                bytes,
+                stamp: self.touch(),
+            },
+        );
+        shard.bytes += bytes;
+        guard.armed = false;
+
+        // Evict LRU ready entries (never the one just inserted) until
+        // back under budget.
+        if self.shard_budget > 0 {
+            while shard.bytes > self.shard_budget {
+                let victim = shard
+                    .slots
+                    .iter()
+                    .filter_map(|(&k, slot)| match slot {
+                        Slot::Ready { stamp, .. } if k != key => Some((*stamp, k)),
+                        _ => None,
+                    })
+                    .min();
+                let Some((_, vk)) = victim else { break };
+                if let Some(Slot::Ready { bytes, kind, .. }) = shard.slots.remove(&vk) {
+                    shard.bytes -= bytes;
+                    self.counters[kind.idx()]
+                        .evictions
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(shard);
+        lock.ready.notify_all();
+    }
+
+    /// A consistent-enough snapshot of counters and occupancy (shards
+    /// are visited one at a time; counters are monotonic).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let take = |i: usize| KindCounters {
+            hits: self.counters[i].hits.load(Ordering::Relaxed),
+            misses: self.counters[i].misses.load(Ordering::Relaxed),
+            evictions: self.counters[i].evictions.load(Ordering::Relaxed),
+        };
+        let mut entries = 0;
+        let mut bytes = 0;
+        for lock in &self.shards {
+            let shard = lock.shard.lock().expect("cache shard poisoned");
+            entries += shard
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            bytes += shard.bytes;
+        }
+        CacheStats {
+            design: take(0),
+            procedures: take(1),
+            delays: take(2),
+            entries,
+            bytes,
+        }
+    }
+}
+
+/// Removes an in-flight `Building` marker if the build never stored a
+/// value (builder error or panic) and wakes waiters so one of them
+/// retries.
+struct BuildGuard<'c> {
+    lock: &'c ShardLock,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut shard) = self.lock.shard.lock() {
+                if matches!(shard.slots.get(&self.key), Some(Slot::Building)) {
+                    shard.slots.remove(&self.key);
+                }
+            }
+            self.lock.ready.notify_all();
+        }
+    }
+}
+
+/// Approximate resident bytes of a procedure list (cache accounting).
+#[must_use]
+pub fn procedures_bytes(procs: &[FrameSpec]) -> usize {
+    procs
+        .iter()
+        .map(|spec| {
+            spec.name().len()
+                + spec
+                    .cycles()
+                    .iter()
+                    .map(|c| c.pulses.len() * 8 + 24)
+                    .sum::<usize>()
+                + 64
+        })
+        .sum()
+}
+
+/// Approximate resident bytes of a compiled delay table.
+#[must_use]
+pub fn delays_bytes(table: &CompiledDelays) -> usize {
+    table.len() * std::mem::size_of::<occ_sim::Time>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_fsim::CycleSpec;
+
+    fn proc_artifact(name: &str) -> (Artifact, usize) {
+        let procs = vec![FrameSpec::new(name, vec![CycleSpec::pulsing(&[0]); 2])];
+        let bytes = procedures_bytes(&procs);
+        (Artifact::Procedures(Arc::new(procs)), bytes)
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = ArtifactCache::new(0);
+        let (_, hit) = cache
+            .get_or_build(ArtifactKind::Procedures, 1, || Ok(proc_artifact("p")))
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = cache
+            .get_or_build(ArtifactKind::Procedures, 1, || {
+                panic!("must not rebuild on hit")
+            })
+            .unwrap();
+        assert!(hit);
+        let s = cache.stats();
+        assert_eq!((s.procedures.hits, s.procedures.misses), (1, 1));
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn failed_build_is_not_cached_and_unblocks() {
+        let cache = ArtifactCache::new(0);
+        let r = cache.get_or_build(ArtifactKind::Procedures, 2, || Err(FlowError::NoDomains));
+        assert!(r.is_err());
+        // The slot is free again: a retry builds.
+        let (_, hit) = cache
+            .get_or_build(ArtifactKind::Procedures, 2, || Ok(proc_artifact("q")))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn evicts_lru_under_budget() {
+        // Budget so small any second entry in one shard must evict the
+        // first. Keys differing only below bit 56 land in one shard.
+        let cache = ArtifactCache::new(SHARDS); // 1 byte per shard
+        cache
+            .get_or_build(ArtifactKind::Procedures, 10, || Ok(proc_artifact("a")))
+            .unwrap();
+        cache
+            .get_or_build(ArtifactKind::Procedures, 11, || Ok(proc_artifact("b")))
+            .unwrap();
+        let s = cache.stats();
+        assert!(s.procedures.evictions >= 1, "{s:?}");
+        // The newest entry survives its own insertion.
+        let (_, hit) = cache
+            .get_or_build(ArtifactKind::Procedures, 11, || Ok(proc_artifact("b")))
+            .unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = Arc::new(ArtifactCache::new(0));
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_build(ArtifactKind::Procedures, 42, move || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        Ok(proc_artifact("once"))
+                    })
+                    .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!(s.procedures.misses, 1);
+        assert_eq!(s.procedures.hits, 7);
+    }
+}

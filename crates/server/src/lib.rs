@@ -1,0 +1,72 @@
+//! # occ-server — the concurrent TestFlow job service
+//!
+//! The flow crate made one pipeline run cheap to *express*; this crate
+//! makes many runs cheap to *execute*. Production test generation is a
+//! job stream — the same design swept across clocking modes, the same
+//! mode across design revisions, many engineers against one compute
+//! budget — and almost all of the per-job cost outside ATPG proper is
+//! recompiling artifacts that have not changed: the netlist and its
+//! levelized simulation graph, the capture procedures, the delay
+//! table.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`ArtifactCache`] — sharded, byte-budgeted, content-addressed:
+//!   compiled artifacts keyed by stable FNV-1a hashes of what produced
+//!   them, handed out as `Arc` clones, concurrent builds of one key
+//!   deduplicated via per-shard condvars, LRU eviction that can never
+//!   invalidate an in-flight job (it holds its own `Arc`).
+//! * [`FlowService`] — the in-process API: [`FlowService::submit`]
+//!   runs one [`JobSpec`] against the cache and returns a
+//!   [`JobOutcome`] whose report is **byte-identical** to a cold
+//!   in-process run — warm jobs skip every compile stage
+//!   ([`TestFlow::artifacts`](occ_flow::TestFlow::artifacts) routes
+//!   the cached `Arc`s past them). `occ-bench`'s Table-1 sweep and the
+//!   `delay_test_flow` example ride this directly.
+//! * [`serve`] — the daemon: newline-delimited JSON over TCP
+//!   ([`proto`] documents the line format), a fixed [`JobPool`] worker
+//!   budget shared by all connections, typed protocol errors built on
+//!   [`FlowError`](occ_flow::FlowError).
+//!
+//! ## Example
+//!
+//! ```
+//! use occ_server::{FlowService, JobSpec};
+//! use occ_soc::SocConfig;
+//! use occ_atpg::AtpgOptions;
+//!
+//! let service = FlowService::new(0);
+//! let mut job = JobSpec::new(SocConfig::tiny(1));
+//! job.clocking = occ_core::ClockingMode::SimpleCpf;
+//! job.atpg = AtpgOptions { random_patterns: 32, backtrack_limit: 12,
+//!                          ..AtpgOptions::default() };
+//! let cold = service.submit(&job).unwrap();
+//! let warm = service.submit(&job).unwrap();
+//! assert!(!cold.warm && warm.warm);
+//! let (a, b) = (cold.report.unwrap(), warm.report.unwrap());
+//! assert_eq!(a.coverage, b.coverage);
+//! assert_eq!(a.result.patterns.patterns(), b.result.patterns.patterns());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod design;
+pub mod hash;
+pub mod json;
+pub mod pool;
+pub mod proto;
+pub mod server;
+mod service;
+
+pub use cache::{Artifact, ArtifactCache, ArtifactKind, CacheStats, KindCounters, SHARDS};
+pub use design::{design_hash, DesignArtifact};
+pub use hash::{hex, Fnv64};
+pub use json::{Json, JsonError};
+pub use pool::JobPool;
+pub use proto::{
+    error_line, job_line, parse_request, run_job, stats_line, ProtoError, ReportFormat, Request,
+};
+pub use server::{request, serve, ServerConfig, ServerHandle};
+pub use service::{DesignAnalysis, FlowService, JobCacheStats, JobOutcome, JobSpec};

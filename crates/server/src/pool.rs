@@ -1,0 +1,135 @@
+//! The shared job executor.
+//!
+//! One fixed pool of worker threads executes every job the daemon
+//! accepts, regardless of which client connection submitted it — the
+//! same shared-worker-budget design as
+//! [`occ_fsim::ParallelFaultSim`]'s shard pool: a single `mpsc`
+//! channel feeds workers that are spawned once and live for the pool's
+//! lifetime, and dropping the pool closes the channel and joins them.
+//! Connections stay thin (read a line, enqueue, wait for the result),
+//! so a burst of clients queues work instead of oversubscribing the
+//! machine.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool executing boxed jobs in submission order
+/// (per-channel FIFO; completion order depends on worker availability).
+#[derive(Debug)]
+pub struct JobPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobPool {
+    /// Spawns `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("occ-job-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn job worker")
+            })
+            .collect();
+        JobPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job. Results travel through whatever channel the
+    /// closure captured (see [`crate::server`]'s per-request wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the pool started shutting down (the
+    /// sender is only dropped in [`Drop`], so this cannot happen
+    /// through the public API).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("job workers exited early");
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a job panicked while dequeuing: give up
+        };
+        match job {
+            Ok(job) => {
+                // A panicking job must not take the worker (or the
+                // whole daemon) down with it; the submitter's result
+                // channel closes, which it observes as a failed job.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed: pool is shutting down
+        }
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel: workers drain + exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_all_jobs_and_joins() {
+        let pool = JobPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let done = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            let tx = tx.clone();
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got.len(), 20);
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = JobPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(|| panic!("job blew up"));
+        pool.submit(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,442 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, over a plain
+//! TCP stream — trivially scriptable (`echo '{"op":"ping"}' | nc`).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"analyze","design":{"preset":"tiny","seed":3}}
+//! {"op":"flow","design":{"preset":"paper_like","seed":7,"flops_per_domain":60},
+//!  "clocking":"enhanced-cpf:4","fault_model":"transition",
+//!  "engine":"serial","atpg_engine":"compiled",
+//!  "backtrack_limit":48,"random_patterns":256,"compaction":true,
+//!  "mask_bidi":true,"timing":true,"lint":"deny","format":"json"}
+//! ```
+//!
+//! Every `flow`/`analyze` field except `design` is optional and
+//! defaults to the [`TestFlow`](occ_flow::TestFlow) defaults.
+//! `design.preset` is `tiny` or `paper_like`; `seed` and
+//! `flops_per_domain` size it. `format` is `json` (the full
+//! [`FlowReport`] embedded as an object) or
+//! `csv` (header + row as a string).
+//!
+//! ## Responses
+//!
+//! Success: `{"ok":true,"op":...,...}` — flow responses carry
+//! `design_hash`, `warm`, per-job `cache` hits and the `report`.
+//! Failure: `{"ok":false,"error":{"code":...,"message":...}}` with
+//! code one of `bad-request`, `unsupported-clocking`, `lint-denied`,
+//! `model-error`, `flow-error`.
+
+use crate::cache::{CacheStats, KindCounters};
+use crate::hash::hex;
+use crate::json::{write_escaped, Json};
+use crate::service::{DesignAnalysis, FlowService, JobCacheStats, JobOutcome, JobSpec};
+use occ_fault::FaultModel;
+use occ_flow::{FlowError, FlowReport};
+use occ_soc::SocConfig;
+use std::fmt::Write as _;
+
+/// A protocol-level failure: a stable machine-readable code plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable error code (`bad-request`, `unsupported-clocking`,
+    /// `lint-denied`, `model-error`, `flow-error`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn bad(message: impl Into<String>) -> Self {
+        ProtoError {
+            code: "bad-request",
+            message: message.into(),
+        }
+    }
+}
+
+impl From<FlowError> for ProtoError {
+    /// Maps flow errors onto protocol codes. The catch-all arm keeps
+    /// this total as `FlowError` (marked `non_exhaustive`) grows.
+    fn from(e: FlowError) -> Self {
+        let code = match &e {
+            FlowError::UnsupportedClocking { .. } => "unsupported-clocking",
+            FlowError::LintDenied { .. } => "lint-denied",
+            FlowError::Model(_) => "model-error",
+            _ => "flow-error",
+        };
+        ProtoError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Cache counters and occupancy.
+    Stats,
+    /// Stop the daemon (acknowledged before the listener closes).
+    Shutdown,
+    /// Run a job (flow or analyze-only, per [`JobSpec::analyze_only`]).
+    Job {
+        /// The job to run.
+        spec: Box<JobSpec>,
+        /// Report rendering for flow jobs.
+        format: ReportFormat,
+    },
+}
+
+/// How a flow response embeds its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// The report's JSON object, spliced verbatim.
+    Json,
+    /// `FlowReport::csv_header()` + the row, as one escaped string.
+    Csv,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a `bad-request` [`ProtoError`] naming the offending field.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let v = Json::parse(line).map_err(|e| ProtoError::bad(e.to_string()))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::bad("missing or non-string 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "flow" | "analyze" => {
+            let mut spec = JobSpec::new(parse_design(
+                v.get("design")
+                    .ok_or_else(|| ProtoError::bad("missing 'design'"))?,
+            )?);
+            spec.analyze_only = op == "analyze";
+            if let Some(s) = opt_str(&v, "clocking")? {
+                spec.clocking = s.parse().map_err(|e: occ_core::ParseClockingModeError| {
+                    ProtoError::bad(e.to_string())
+                })?;
+            }
+            if let Some(s) = opt_str(&v, "fault_model")? {
+                spec.fault_model = match s {
+                    "stuck-at" => FaultModel::StuckAt,
+                    "transition" => FaultModel::Transition,
+                    other => {
+                        return Err(ProtoError::bad(format!(
+                            "unknown fault model '{other}' (expected stuck-at or transition)"
+                        )))
+                    }
+                };
+            }
+            if let Some(s) = opt_str(&v, "engine")? {
+                spec.engine = s.parse().map_err(|e: occ_flow::ParseEngineChoiceError| {
+                    ProtoError::bad(e.to_string())
+                })?;
+            }
+            if let Some(s) = opt_str(&v, "atpg_engine")? {
+                spec.atpg_engine =
+                    s.parse()
+                        .map_err(|e: occ_flow::ParseAtpgEngineChoiceError| {
+                            ProtoError::bad(e.to_string())
+                        })?;
+            }
+            if let Some(n) = opt_u64(&v, "backtrack_limit")? {
+                spec.atpg.backtrack_limit = usize::try_from(n).expect("u64 fits usize");
+            }
+            if let Some(n) = opt_u64(&v, "random_patterns")? {
+                spec.atpg.random_patterns = usize::try_from(n).expect("u64 fits usize");
+            }
+            if let Some(n) = opt_u64(&v, "fill_seed")? {
+                spec.atpg.fill_seed = n;
+            }
+            if let Some(b) = opt_bool(&v, "compaction")? {
+                spec.atpg.compaction = b;
+            }
+            if let Some(b) = opt_bool(&v, "mask_bidi")? {
+                spec.mask_bidi = b;
+            }
+            if let Some(b) = opt_bool(&v, "timing")? {
+                spec.timing = b;
+            }
+            if let Some(s) = opt_str(&v, "lint")? {
+                spec.lint =
+                    Some(s.parse().map_err(|e: occ_lint::ParseLintGateError| {
+                        ProtoError::bad(e.to_string())
+                    })?);
+            }
+            let format = match opt_str(&v, "format")? {
+                None | Some("json") => ReportFormat::Json,
+                Some("csv") => ReportFormat::Csv,
+                Some(other) => {
+                    return Err(ProtoError::bad(format!(
+                        "unknown format '{other}' (expected json or csv)"
+                    )))
+                }
+            };
+            Ok(Request::Job {
+                spec: Box::new(spec),
+                format,
+            })
+        }
+        other => Err(ProtoError::bad(format!("unknown op '{other}'"))),
+    }
+}
+
+fn opt_str<'v>(v: &'v Json, key: &str) -> Result<Option<&'v str>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s)),
+        Some(_) => Err(ProtoError::bad(format!("'{key}' must be a string"))),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::bad(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(b) => b
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ProtoError::bad(format!("'{key}' must be a boolean"))),
+    }
+}
+
+fn parse_design(v: &Json) -> Result<SocConfig, ProtoError> {
+    let preset = v
+        .get("preset")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::bad("design needs a string 'preset' (tiny or paper_like)"))?;
+    let seed = opt_u64(v, "seed")?.unwrap_or(1);
+    let flops = opt_u64(v, "flops_per_domain")?;
+    match preset {
+        "tiny" => {
+            let mut config = SocConfig::tiny(seed);
+            if let Some(f) = flops {
+                for d in &mut config.domains {
+                    d.flops = usize::try_from(f).expect("u64 fits usize");
+                }
+            }
+            Ok(config)
+        }
+        "paper_like" => Ok(SocConfig::paper_like(
+            seed,
+            usize::try_from(flops.unwrap_or(60)).expect("u64 fits usize"),
+        )),
+        other => Err(ProtoError::bad(format!(
+            "unknown design preset '{other}' (expected tiny or paper_like)"
+        ))),
+    }
+}
+
+/// Renders a failure response line.
+#[must_use]
+pub fn error_line(e: &ProtoError) -> String {
+    let mut out = String::from(r#"{"ok":false,"error":{"code":"#);
+    write_escaped(e.code, &mut out);
+    out.push_str(",\"message\":");
+    write_escaped(&e.message, &mut out);
+    out.push_str("}}");
+    out
+}
+
+/// Renders the response line for a completed job.
+#[must_use]
+pub fn job_line(outcome: &JobOutcome, format: ReportFormat) -> String {
+    let op = if outcome.report.is_some() {
+        "flow"
+    } else {
+        "analyze"
+    };
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        r#"{{"ok":true,"op":"{op}","design_hash":"{}","warm":{},"cache":{}"#,
+        hex(outcome.design_hash),
+        outcome.warm,
+        cache_obj(&outcome.cache),
+    );
+    let _ = write!(out, r#","analysis":{}"#, analysis_obj(&outcome.analysis));
+    if let Some(report) = &outcome.report {
+        match format {
+            ReportFormat::Json => {
+                // The report's own serializer emits a complete JSON
+                // object — spliced verbatim, so a served report is
+                // byte-identical to an in-process `to_json()`.
+                let _ = write!(out, r#","report":{}"#, report.to_json());
+            }
+            ReportFormat::Csv => {
+                let csv = format!("{}\n{}", FlowReport::csv_header(), report.to_csv_row());
+                out.push_str(",\"report_csv\":");
+                write_escaped(&csv, &mut out);
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn cache_obj(c: &JobCacheStats) -> String {
+    let opt = |v: Option<bool>| match v {
+        None => "null".to_owned(),
+        Some(b) => b.to_string(),
+    };
+    format!(
+        r#"{{"design_hit":{},"procedures_hit":{},"delays_hit":{}}}"#,
+        c.design_hit,
+        opt(c.procedures_hit),
+        opt(c.delays_hit),
+    )
+}
+
+fn analysis_obj(a: &DesignAnalysis) -> String {
+    let mut out = String::from(r#"{"design":"#);
+    write_escaped(&a.design, &mut out);
+    let _ = write!(
+        out,
+        r#","cells":{},"flops":{},"scan_flops":{},"domains":{},"graph_bytes":{}}}"#,
+        a.cells, a.flops, a.scan_flops, a.domains, a.graph_bytes,
+    );
+    out
+}
+
+fn counters_obj(c: &KindCounters) -> String {
+    format!(
+        r#"{{"hits":{},"misses":{},"evictions":{}}}"#,
+        c.hits, c.misses, c.evictions
+    )
+}
+
+/// Renders the `stats` response line.
+#[must_use]
+pub fn stats_line(s: &CacheStats) -> String {
+    format!(
+        r#"{{"ok":true,"op":"stats","cache":{{"design":{},"procedures":{},"delays":{},"entries":{},"bytes":{}}}}}"#,
+        counters_obj(&s.design),
+        counters_obj(&s.procedures),
+        counters_obj(&s.delays),
+        s.entries,
+        s.bytes,
+    )
+}
+
+/// Executes one already-parsed request against the service and renders
+/// the response line. `Shutdown` and `Ping` are handled by the caller
+/// (the daemon needs to act on shutdown; ping needs no service).
+#[must_use]
+pub fn run_job(service: &FlowService, spec: &JobSpec, format: ReportFormat) -> String {
+    match service.submit(spec) {
+        Ok(outcome) => job_line(&outcome, format),
+        Err(e) => error_line(&ProtoError::from(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_flow_requests() {
+        let r = parse_request(r#"{"op":"flow","design":{"preset":"tiny","seed":9}}"#).unwrap();
+        let Request::Job { spec, format } = r else {
+            panic!("not a job")
+        };
+        assert!(!spec.analyze_only);
+        assert_eq!(spec.design.seed, 9);
+        assert_eq!(format, ReportFormat::Json);
+
+        let r = parse_request(
+            r#"{"op":"flow","design":{"preset":"paper_like","seed":7,"flops_per_domain":40},
+               "clocking":"enhanced-cpf:3","fault_model":"stuck-at","engine":"sharded:2",
+               "atpg_engine":"reference","backtrack_limit":9,"random_patterns":17,
+               "compaction":false,"mask_bidi":true,"timing":true,"lint":"warn","format":"csv"}"#,
+        )
+        .unwrap();
+        let Request::Job { spec, format } = r else {
+            panic!("not a job")
+        };
+        assert_eq!(spec.design.domains[0].flops, 40);
+        assert_eq!(
+            spec.clocking,
+            occ_core::ClockingMode::EnhancedCpf { max_pulses: 3 }
+        );
+        assert_eq!(spec.fault_model, FaultModel::StuckAt);
+        assert_eq!(spec.atpg.backtrack_limit, 9);
+        assert_eq!(spec.atpg.random_patterns, 17);
+        assert!(!spec.atpg.compaction);
+        assert!(spec.mask_bidi && spec.timing);
+        assert_eq!(spec.lint, Some(occ_lint::LintGate::Warn));
+        assert_eq!(format, ReportFormat::Csv);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_codes() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"flow"}"#, "missing 'design'"),
+            (
+                r#"{"op":"flow","design":{"preset":"huge"}}"#,
+                "unknown design preset",
+            ),
+            (
+                r#"{"op":"flow","design":{"preset":"tiny"},"clocking":"warp"}"#,
+                "unknown clocking mode",
+            ),
+            (
+                r#"{"op":"flow","design":{"preset":"tiny"},"backtrack_limit":-1}"#,
+                "non-negative",
+            ),
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code, "bad-request", "{line}");
+            assert!(e.message.contains(needle), "{line}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn error_lines_are_valid_json() {
+        let e = ProtoError::bad("field \"x\" broke\nbadly");
+        let line = error_line(&e);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("bad-request"));
+        assert!(err.get("message").unwrap().as_str().unwrap().contains('\n'));
+    }
+
+    #[test]
+    fn flow_error_codes_map() {
+        assert_eq!(ProtoError::from(FlowError::NoDomains).code, "flow-error");
+        assert_eq!(
+            ProtoError::from(FlowError::LintDenied {
+                errors: 1,
+                first: "x".into()
+            })
+            .code,
+            "lint-denied"
+        );
+    }
+}

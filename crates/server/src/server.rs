@@ -1,0 +1,226 @@
+//! The TCP daemon: accept loop, per-connection line handling, shared
+//! job pool.
+//!
+//! Topology: one listener thread accepts connections; each connection
+//! gets a reader thread that parses request lines and *enqueues* jobs
+//! on the shared [`JobPool`] (so N connections never oversubscribe the
+//! machine — the worker budget bounds concurrent flows), then writes
+//! the response line when its job completes. Requests on one
+//! connection are answered in order; different connections' jobs run
+//! concurrently up to the pool width.
+//!
+//! Shutdown: the `shutdown` op (or [`ServerHandle::shutdown`]) flips a
+//! flag and pokes the listener with a loopback connect so `accept`
+//! returns; in-flight jobs finish (the pool joins its workers on
+//! drop).
+
+use crate::pool::JobPool;
+use crate::proto::{error_line, parse_request, run_job, stats_line, ProtoError, Request};
+use crate::service::FlowService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks a free port (tests); the default
+    /// binds loopback only — this is a build service, not an internet
+    /// daemon.
+    pub addr: String,
+    /// Job-pool worker threads.
+    pub workers: usize,
+    /// Artifact-cache byte budget (0 = unlimited).
+    pub cache_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4805".to_owned(), // DATE 2005 ;-)
+            workers: 2,
+            cache_budget: 0,
+        }
+    }
+}
+
+/// A running daemon: its bound address plus the shutdown controls.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits on its own — i.e. until a
+    /// client sends the `shutdown` op. The daemon binary's main loop.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, waits for the accept loop to exit. Jobs
+    /// already queued finish; connections observe EOF.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and spawns the daemon; returns immediately with its handle.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission).
+pub fn serve(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let service = Arc::new(FlowService::new(config.cache_budget));
+    let pool = Arc::new(JobPool::new(config.workers));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let flag = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("occ-accept".to_owned())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let pool = Arc::clone(&pool);
+                let flag = Arc::clone(&flag);
+                // Connection threads are detached: they hold only Arcs
+                // and exit on client EOF or shutdown.
+                let _ = std::thread::Builder::new()
+                    .name("occ-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &service, &pool, &flag));
+            }
+            // Pool (and its workers) drop with the last Arc.
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<FlowService>,
+    pool: &Arc<JobPool>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = respond(
+                &mut writer,
+                &error_line(&ProtoError {
+                    code: "shutting-down",
+                    message: "server is shutting down".to_owned(),
+                }),
+            );
+            break;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => error_line(&e),
+            Ok(Request::Ping) => r#"{"ok":true,"op":"ping"}"#.to_owned(),
+            Ok(Request::Stats) => stats_line(&service.cache_stats()),
+            Ok(Request::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Poke the listener so accept() observes the flag.
+                let _ = TcpStream::connect(
+                    writer
+                        .local_addr()
+                        .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal addr")),
+                );
+                let _ = respond(&mut writer, r#"{"ok":true,"op":"shutdown"}"#);
+                break;
+            }
+            Ok(Request::Job { spec, format }) => {
+                // Run on the shared pool; this connection waits for
+                // *its* job while other connections' jobs proceed.
+                let (tx, rx) = mpsc::channel::<String>();
+                let service = Arc::clone(service);
+                pool.submit(move || {
+                    let _ = tx.send(run_job(&service, &spec, format));
+                });
+                rx.recv().unwrap_or_else(|_| {
+                    error_line(&ProtoError {
+                        code: "internal",
+                        message: "job worker dropped the result (job panicked)".to_owned(),
+                    })
+                })
+            }
+        };
+        if respond(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Client helper: sends one request line, reads one response line.
+/// What `occ_client` and the tests use; real clients can speak the
+/// protocol with nothing but a socket.
+///
+/// # Errors
+///
+/// Propagates connect/write/read failures; a closed-without-response
+/// connection yields `UnexpectedEof`.
+pub fn request(addr: SocketAddr, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without a response",
+        ));
+    }
+    while response.ends_with('\n') || response.ends_with('\r') {
+        response.pop();
+    }
+    Ok(response)
+}

@@ -1,0 +1,195 @@
+//! End-to-end daemon tests over a real TCP socket.
+//!
+//! Binds to port 0 (OS-assigned) so the suite is parallel-safe, then
+//! drives the full protocol: ping, flow jobs whose served reports must
+//! equal an in-process [`FlowService`] run, stats, error mapping, and
+//! a clean `shutdown` handshake.
+
+use occ_server::{request, serve, FlowService, JobSpec, Json, ServerConfig};
+use occ_soc::SocConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn test_server() -> occ_server::ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_budget: 0,
+    })
+    .expect("bind on an ephemeral port")
+}
+
+const FLOW: &str = r#"{"op":"flow","design":{"preset":"tiny","seed":5},
+    "clocking":"simple-cpf","mask_bidi":true,
+    "random_patterns":32,"backtrack_limit":12}"#;
+
+/// The equivalent of [`FLOW`] against the in-process API.
+fn flow_spec() -> JobSpec {
+    let mut job = JobSpec::new(SocConfig::tiny(5));
+    job.clocking = occ_core::ClockingMode::SimpleCpf;
+    job.mask_bidi = true;
+    job.atpg.random_patterns = 32;
+    job.atpg.backtrack_limit = 12;
+    job
+}
+
+#[test]
+fn ping_round_trips() {
+    let mut server = test_server();
+    let response = request(server.addr(), r#"{"op":"ping"}"#).unwrap();
+    let v = Json::parse(&response).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("op").and_then(Json::as_str), Some("ping"));
+    server.shutdown();
+}
+
+#[test]
+fn served_flow_report_matches_in_process_run() {
+    let mut server = test_server();
+    // Normalize newlines: requests are one line on the wire.
+    let line = FLOW.replace('\n', " ");
+    let response = request(server.addr(), &line).unwrap();
+    let served = Json::parse(&response).unwrap();
+    assert_eq!(
+        served.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    assert_eq!(served.get("warm").and_then(Json::as_bool), Some(false));
+
+    let in_process = FlowService::new(0);
+    let outcome = in_process.submit(&flow_spec()).unwrap();
+    let direct = Json::parse(&outcome.report.as_ref().unwrap().to_json()).unwrap();
+
+    // The served report and the in-process report are the same
+    // document once wall-clock members are stripped — the daemon is a
+    // transport, not a different pipeline.
+    let volatile = ["stages", "total_seconds"];
+    assert_eq!(
+        served
+            .get("report")
+            .expect("flow response carries a report")
+            .clone()
+            .without_keys(&volatile),
+        direct.without_keys(&volatile),
+    );
+
+    // A second identical request is served warm from the daemon's
+    // cache and still matches.
+    let again = Json::parse(&request(server.addr(), &line).unwrap()).unwrap();
+    assert_eq!(again.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        again.get("report").unwrap().clone().without_keys(&volatile),
+        served
+            .get("report")
+            .unwrap()
+            .clone()
+            .without_keys(&volatile),
+    );
+
+    // Stats reflect the two jobs: one design miss, one hit.
+    let stats = Json::parse(&request(server.addr(), r#"{"op":"stats"}"#).unwrap()).unwrap();
+    let design = stats.get("cache").unwrap().get("design").unwrap();
+    assert_eq!(design.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(design.get("hits").and_then(Json::as_u64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_typed_lines() {
+    let mut server = test_server();
+    for (line, code) in [
+        ("not json at all", "bad-request"),
+        (r#"{"op":"warp"}"#, "bad-request"),
+        (
+            // Zero pulses parses but the flow itself rejects it — the
+            // daemon must map the typed FlowError, not die.
+            r#"{"op":"flow","design":{"preset":"tiny","seed":1},"clocking":"external:0"}"#,
+            "unsupported-clocking",
+        ),
+    ] {
+        let response = request(server.addr(), line).unwrap();
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(code),
+            "{line}: {response}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn one_connection_can_pipeline_requests() {
+    let mut server = test_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"op\":\"ping\""), "{line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"stats\""), "{line}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_clients_get_deterministic_reports() {
+    let mut server = test_server();
+    let addr = server.addr();
+    let line = FLOW.replace('\n', " ");
+    let volatile = ["stages", "total_seconds"];
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let line = line.clone();
+        handles.push(std::thread::spawn(move || {
+            Json::parse(&request(addr, &line).unwrap())
+                .unwrap()
+                .get("report")
+                .expect("flow response carries a report")
+                .clone()
+                .without_keys(&volatile)
+                .to_string()
+        }));
+    }
+    let reports: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "served reports diverged across concurrent clients"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_stops_the_daemon() {
+    let server = test_server();
+    let addr = server.addr();
+    let response = request(addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+    // The listener is closed (or closing): new requests must fail
+    // rather than hang. Allow a brief grace for the accept thread to
+    // observe the flag.
+    let mut refused = false;
+    for _ in 0..50 {
+        match request(addr, r#"{"op":"ping"}"#) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    assert!(refused, "daemon kept serving after shutdown");
+    // `wait` returns promptly once shut down.
+    server.wait();
+}

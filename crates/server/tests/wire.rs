@@ -1,0 +1,208 @@
+//! Golden wire-format test for the [`FlowReport`] JSON emitted over
+//! the protocol.
+//!
+//! The daemon splices `FlowReport::to_json()` verbatim into its
+//! response line, so this file *is* the compatibility contract for
+//! wire clients: the exact top-level key sequence, the sub-keys of
+//! every nested block, and round-trippability through the std-only
+//! parser. Renaming or reordering a report key breaks this test
+//! first, before it breaks a downstream consumer.
+
+use occ_atpg::AtpgOptions;
+use occ_core::ClockingMode;
+use occ_flow::FlowReport;
+use occ_lint::LintGate;
+use occ_server::{job_line, FlowService, JobSpec, Json, ReportFormat};
+use occ_soc::SocConfig;
+
+fn keys(value: &Json) -> Vec<&str> {
+    value
+        .as_object()
+        .expect("expected an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect::<Vec<_>>()
+}
+
+#[test]
+fn flow_report_wire_format_is_stable() {
+    let service = FlowService::new(0);
+    let mut job = JobSpec::new(SocConfig::tiny(7));
+    job.clocking = ClockingMode::SimpleCpf;
+    job.mask_bidi = true;
+    job.timing = true; // emit the delay_quality block
+    job.lint = Some(LintGate::Warn); // emit the lint block
+    job.atpg = AtpgOptions {
+        random_patterns: 32,
+        backtrack_limit: 12,
+        ..AtpgOptions::default()
+    };
+    let outcome = service.submit(&job).unwrap();
+    let raw = outcome.report.as_ref().unwrap().to_json();
+    let parsed = Json::parse(&raw).expect("report JSON must parse");
+
+    // The full top-level key sequence, in order. This is the golden
+    // contract: additions belong at a documented position, removals
+    // and reorders are wire breaks.
+    assert_eq!(
+        keys(&parsed),
+        [
+            "design",
+            "clocking",
+            "fault_model",
+            "engine",
+            "atpg_engine",
+            "threads",
+            "procedures",
+            "patterns",
+            "total_faults",
+            "detected",
+            "untestable",
+            "aborted",
+            "constrained",
+            "undetected",
+            "coverage_pct",
+            "efficiency_pct",
+            "stats",
+            "kernel",
+            "atpg_kernel",
+            "lint",
+            "delay_quality",
+            "stages",
+            "total_seconds",
+        ]
+    );
+
+    assert_eq!(
+        keys(parsed.get("stats").unwrap()),
+        [
+            "targeted",
+            "podem_calls",
+            "tests_found",
+            "aborted_calls",
+            "patterns_before_compaction",
+            "fsim_batches",
+            "lint_pruned",
+        ]
+    );
+    assert_eq!(
+        keys(parsed.get("kernel").unwrap()),
+        [
+            "cells",
+            "comb_cells",
+            "flops",
+            "cone_scan",
+            "cone_po",
+            "faults_graded",
+            "cone_pruned",
+            "events",
+        ]
+    );
+    assert_eq!(
+        keys(parsed.get("atpg_kernel").unwrap()),
+        [
+            "decisions",
+            "backtracks",
+            "events",
+            "incremental_resims",
+            "full_resims",
+            "seeded_sims",
+        ]
+    );
+
+    let lint = parsed.get("lint").unwrap();
+    assert_eq!(
+        keys(lint),
+        [
+            "gate",
+            "errors",
+            "warnings",
+            "untestable",
+            "cells_scanned",
+            "faults_scanned",
+            "rules",
+        ]
+    );
+    assert!(
+        lint.get("rules").unwrap().as_object().is_some(),
+        "lint.rules must be a per-rule code:count object"
+    );
+
+    let quality = parsed.get("delay_quality").unwrap();
+    assert_eq!(
+        keys(quality),
+        [
+            "sdql",
+            "weighted_coverage_pct",
+            "lambda_ps",
+            "faults",
+            "detected_timed",
+            "mean_test_slack_ps",
+            "min_test_slack_ps",
+            "max_test_slack_ps",
+            "bucket_ps",
+            "histogram",
+            "windows",
+        ]
+    );
+    for window in quality.get("windows").unwrap().as_array().unwrap() {
+        assert_eq!(keys(window), ["name", "window_ps", "at_speed"]);
+    }
+
+    // Every stage entry is {stage, seconds} and the cardinal numbers
+    // survive the std-only parser exactly (u64-exact extraction).
+    for stage in parsed.get("stages").unwrap().as_array().unwrap() {
+        assert_eq!(keys(stage), ["stage", "seconds"]);
+    }
+    assert_eq!(
+        parsed.get("patterns").unwrap().as_u64(),
+        Some(outcome.report.as_ref().unwrap().patterns() as u64)
+    );
+    assert_eq!(
+        parsed.get("design").unwrap().as_str(),
+        Some(outcome.report.as_ref().unwrap().design.as_str())
+    );
+
+    // Round trip: canonical re-serialization must itself parse to the
+    // same document (the writer and parser agree on escapes and
+    // number forms).
+    let rewritten = parsed.to_string();
+    assert_eq!(Json::parse(&rewritten).unwrap(), parsed);
+}
+
+#[test]
+fn job_response_line_embeds_the_report_verbatim() {
+    let service = FlowService::new(0);
+    let mut job = JobSpec::new(SocConfig::tiny(7));
+    job.clocking = ClockingMode::SimpleCpf;
+    job.atpg = AtpgOptions {
+        random_patterns: 32,
+        backtrack_limit: 12,
+        ..AtpgOptions::default()
+    };
+    let outcome = service.submit(&job).unwrap();
+    let line = job_line(&outcome, ReportFormat::Json);
+
+    let response = Json::parse(&line).expect("response line must parse");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("op").and_then(Json::as_str), Some("flow"));
+
+    // The embedded report is the report writer's output spliced in
+    // unmodified: extracting and re-serializing it must equal parsing
+    // `to_json()` directly.
+    let direct = Json::parse(&outcome.report.as_ref().unwrap().to_json()).unwrap();
+    assert_eq!(response.get("report"), Some(&direct));
+
+    // CSV framing: header line + one row, last column the wall clock.
+    let csv_line = job_line(&outcome, ReportFormat::Csv);
+    let csv = Json::parse(&csv_line).unwrap();
+    let text = csv
+        .get("report_csv")
+        .and_then(Json::as_str)
+        .expect("csv response carries report_csv");
+    let mut lines = text.lines();
+    let report = outcome.report.as_ref().unwrap();
+    assert_eq!(lines.next(), Some(FlowReport::csv_header()));
+    assert_eq!(lines.next(), Some(report.to_csv_row().as_str()));
+    assert_eq!(lines.next(), None);
+}

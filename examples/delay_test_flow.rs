@@ -1,11 +1,17 @@
 //! The full delay-test flow on a generated SOC: compare the idealized
 //! external clock (experiment (b)) against the simple on-chip CPF
 //! clocking (experiment (c)) and the enhanced CPF (experiment (d)) —
-//! the paper's central comparison — each as one `TestFlow` run with
-//! the slack-aware delay-test-quality stage enabled, so the summary
-//! shows both axes: logical coverage *and* the quality (SDQL /
-//! weighted coverage) of those detections under each clocking scheme's
-//! capture window.
+//! the paper's central comparison — each with the slack-aware
+//! delay-test-quality stage enabled, so the summary shows both axes:
+//! logical coverage *and* the quality (SDQL / weighted coverage) of
+//! those detections under each clocking scheme's capture window.
+//!
+//! The three runs go through an in-process
+//! [`occ::server::FlowService`]: the SOC is generated and its
+//! simulation graph compiled exactly once (the first job), and the
+//! later clocking modes reuse the cached artifacts — the per-mode
+//! cache lines in the output show which compile stages each job
+//! skipped.
 //!
 //! Run with:
 //! `cargo run --release --example delay_test_flow [-- --threads N] [--atpg-engine E] [--lint]`
@@ -20,9 +26,9 @@
 //! pattern sets are unchanged.
 
 use occ::core::ClockingMode;
-use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, LintGate, TestFlow};
-use occ::sim::DelayModel;
-use occ::soc::{generate, SocConfig};
+use occ::flow::{AtpgEngineChoice, EngineChoice, FaultKind, LintGate};
+use occ::server::{FlowService, JobSpec};
+use occ::soc::SocConfig;
 
 fn main() {
     let mut engine = EngineChoice::Auto;
@@ -51,13 +57,19 @@ fn main() {
         }
     }
 
-    let soc = generate(&SocConfig::paper_like(7, 60));
-    println!(
-        "SOC: {} cells, {} scan chains, chain length {}",
-        soc.netlist().len(),
-        soc.chains().chains().len(),
-        soc.chains().max_chain_len()
-    );
+    let service = FlowService::new(0);
+    let design = SocConfig::paper_like(7, 60);
+    let job_for = |mode: ClockingMode, mask_bidi: bool| {
+        let mut job = JobSpec::new(design.clone());
+        job.clocking = mode;
+        job.fault_model = FaultKind::Transition;
+        job.mask_bidi = mask_bidi;
+        job.engine = engine;
+        job.atpg_engine = atpg_engine;
+        job.timing = true;
+        job.lint = lint.then_some(LintGate::Deny);
+        job
+    };
 
     let mut rows = Vec::new();
     for (label, mode, mask_bidi) in [
@@ -73,24 +85,29 @@ fn main() {
             true,
         ),
     ] {
-        let mut flow = TestFlow::new(&soc)
-            .clocking(mode)
-            .fault_model(FaultKind::Transition)
-            .mask_bidi(mask_bidi)
-            .engine(engine)
-            .atpg_engine(atpg_engine)
-            .timing(DelayModel::default());
-        if lint {
-            flow = flow.lint(LintGate::Deny);
-        }
-        let report = match flow.run() {
-            Ok(report) => report,
+        let outcome = match service.submit(&job_for(mode, mask_bidi)) {
+            Ok(outcome) => outcome,
             Err(e) => {
                 // e.g. --threads 0 -> the typed FlowError::ZeroThreads.
                 eprintln!("flow error: {e}");
                 std::process::exit(2);
             }
         };
+        if rows.is_empty() {
+            // First job compiled (and cached) the design: print its
+            // structural summary once.
+            let a = &outcome.analysis;
+            println!(
+                "SOC: {} cells, {} flops ({} scan), {} domains, \
+                 compiled graph ~{} KiB",
+                a.cells,
+                a.flops,
+                a.scan_flops,
+                a.domains,
+                a.graph_bytes / 1024,
+            );
+        }
+        let report = outcome.report.expect("flow jobs carry a report");
         println!(
             "\n{label}: {} capture procedures ({} engine x{}, {} atpg)",
             report.procedures, report.engine, report.threads, report.atpg_engine
@@ -101,6 +118,22 @@ fn main() {
             report.patterns(),
             report.efficiency_pct(),
             report.total_seconds()
+        );
+        let hit = |h: Option<bool>| match h {
+            Some(true) => "hit",
+            Some(false) => "miss",
+            None => "-",
+        };
+        println!(
+            "   cache: design {}, procedures {}, delays {}{}",
+            hit(Some(outcome.cache.design_hit)),
+            hit(outcome.cache.procedures_hit),
+            hit(outcome.cache.delays_hit),
+            if outcome.warm {
+                " (warm: no compile stage ran)"
+            } else {
+                ""
+            },
         );
         for (class, n) in &report.coverage.class_histogram {
             println!("   leftover {class}: {n}");
@@ -160,8 +193,11 @@ fn main() {
         simple_sdql < ideal_sdql,
         "at-speed CPF must beat the slow external clock on SDQL"
     );
+    let stats = service.cache_stats();
     println!(
         "\nok: simple CPF loses logical coverage but wins the delay-quality \
-         axis; enhanced CPF recovers coverage"
+         axis; enhanced CPF recovers coverage \
+         (design compiled once: {} miss / {} hits)",
+        stats.design.misses, stats.design.hits,
     );
 }

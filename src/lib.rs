@@ -90,3 +90,10 @@ pub mod lint {
 pub mod flow {
     pub use occ_flow::*;
 }
+
+/// The concurrent flow job service: content-hash artifact cache,
+/// in-process [`FlowService`](occ_server::FlowService), TCP daemon
+/// ([`occ_server`]).
+pub mod server {
+    pub use occ_server::*;
+}

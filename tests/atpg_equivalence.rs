@@ -324,6 +324,45 @@ fn flows_identical_across_atpg_engines() {
                 );
                 assert!(compiled.atpg_kernel.events > 0);
             }
+            assert_eq!(reference.atpg_kernel.seeded_sims, 0);
         }
     }
+}
+
+/// Per-spec baseline seeding: PODEM opens every run with the all-X
+/// pattern, so once a procedure's baseline is captured every later run
+/// under the same spec seeds its opening simulation instead of
+/// re-evaluating from scratch. Pattern byte-identity against the
+/// reference engine under seeding is pinned by
+/// `flows_identical_across_atpg_engines` above; this test pins that
+/// the seeding actually engages and full sims stay bounded by the
+/// number of distinct procedures.
+#[test]
+fn compiled_engine_seeds_repeated_spec_baselines() {
+    let soc = generate(&SocConfig::tiny(3));
+    let report = TestFlow::new(&soc)
+        .clocking(ClockingMode::SimpleCpf)
+        .fault_model(FaultKind::Transition)
+        .mask_bidi(true)
+        .engine(EngineChoice::Serial)
+        .atpg_engine(AtpgEngineChoice::Compiled)
+        .atpg(AtpgOptions {
+            random_patterns: 32,
+            backtrack_limit: 16,
+            ..AtpgOptions::default()
+        })
+        .run()
+        .expect("flow runs");
+    let k = &report.atpg_kernel;
+    assert!(
+        k.seeded_sims > 0,
+        "no PODEM run reused a spec baseline: {k:?}"
+    );
+    assert!(
+        k.full_resims <= report.procedures as u64,
+        "more full sims ({}) than procedures ({})",
+        k.full_resims,
+        report.procedures
+    );
+    assert!(report.to_json().contains("\"seeded_sims\":"));
 }
