@@ -19,7 +19,10 @@
 
 use crate::{AtpgEngine, Observability, PodemOutcome};
 use occ_fault::{FaultList, FaultStatus, FaultUniverse};
-use occ_fsim::{simulate_good, CaptureModel, FaultSimEngine, FrameSpec, Pattern, PatternSet};
+use occ_fsim::{
+    simulate_good, CancelCause, CancelToken, CaptureModel, FaultSimEngine, FrameSpec, Pattern,
+    PatternSet,
+};
 use occ_netlist::Logic;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -177,6 +180,53 @@ pub fn run_atpg_preclassified(
     podem: &mut dyn AtpgEngine,
     pre_untestable: &[occ_fault::Fault],
 ) -> AtpgResult {
+    match run_atpg_cancellable(
+        model,
+        procedures,
+        universe,
+        options,
+        engine,
+        podem,
+        pre_untestable,
+        &CancelToken::never(),
+    ) {
+        Ok(result) => result,
+        Err(cause) => unreachable!("a never-token cannot trip: {cause:?}"),
+    }
+}
+
+/// [`run_atpg_preclassified`] under a cooperative [`CancelToken`]: the
+/// token is attached to the grading engine and polled at every batch
+/// boundary (per random-bootstrap chunk, per PODEM target, per
+/// compaction pattern). When it trips — explicit cancel or an expired
+/// deadline — the run abandons all partial state and returns the
+/// [`CancelCause`]; an `Ok` result is never built from a truncated
+/// grading pass (the cause is re-checked after the last batch, and trip
+/// states are permanent).
+///
+/// Cancellation latency is bounded by one PODEM search plus one 64-wide
+/// fault-simulation block, not by the whole run.
+///
+/// # Errors
+///
+/// Returns the [`CancelCause`] when the token trips before the run
+/// completes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_atpg_preclassified`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn run_atpg_cancellable(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    universe: FaultUniverse,
+    options: &AtpgOptions,
+    engine: &mut dyn FaultSimEngine,
+    podem: &mut dyn AtpgEngine,
+    pre_untestable: &[occ_fault::Fault],
+    cancel: &CancelToken,
+) -> Result<AtpgResult, CancelCause> {
+    engine.attach_cancel(cancel.clone());
     assert!(
         !procedures.is_empty(),
         "need at least one capture procedure"
@@ -236,6 +286,9 @@ pub fn run_atpg_preclassified(
     for (pi, spec) in procedures.iter().enumerate() {
         let mut remaining = options.random_patterns;
         while remaining > 0 {
+            if let Some(cause) = cancel.cause() {
+                return Err(cause);
+            }
             let chunk = remaining.min(64);
             remaining -= chunk;
             let mut pats: Vec<Pattern> = Vec::with_capacity(chunk);
@@ -285,6 +338,9 @@ pub fn run_atpg_preclassified(
 
     let faults: Vec<occ_fault::Fault> = list.faults().to_vec();
     for &fault in &faults {
+        if let Some(cause) = cancel.cause() {
+            return Err(cause);
+        }
         if list.status(fault) != FaultStatus::Undetected {
             continue;
         }
@@ -356,20 +412,26 @@ pub fn run_atpg_preclassified(
     stats.patterns_before_compaction = patterns.len();
 
     if options.compaction {
-        let (compacted, regraded) =
-            reverse_compact(model, procedures, &patterns, &list, engine, &mut stats);
-        return AtpgResult {
+        let (compacted, regraded) = reverse_compact(
+            model, procedures, &patterns, &list, engine, &mut stats, cancel,
+        )?;
+        return Ok(AtpgResult {
             patterns: compacted,
             faults: regraded,
             stats,
-        };
+        });
     }
 
-    AtpgResult {
+    // Final soundness check: trip states are permanent, so a live token
+    // here proves no earlier grading pass was truncated.
+    if let Some(cause) = cancel.cause() {
+        return Err(cause);
+    }
+    Ok(AtpgResult {
         patterns,
         faults: list,
         stats,
-    }
+    })
 }
 
 /// Fault-simulates one batch of same-procedure patterns against every
@@ -411,6 +473,7 @@ fn flush_batch(
 /// keep only those that newly detect something, then re-grade the kept
 /// set front-to-back for final statuses and pattern indices. Grading
 /// goes through the same pluggable [`FaultSimEngine`] as the main flow.
+#[allow(clippy::too_many_arguments)]
 fn reverse_compact(
     model: &CaptureModel<'_>,
     procedures: &[FrameSpec],
@@ -418,10 +481,14 @@ fn reverse_compact(
     list: &FaultList,
     engine: &mut dyn FaultSimEngine,
     stats: &mut AtpgStats,
-) -> (PatternSet, FaultList) {
+    cancel: &CancelToken,
+) -> Result<(PatternSet, FaultList), CancelCause> {
     let mut shadow = FaultList::new(list.universe().clone());
     let mut keep: Vec<usize> = Vec::new();
     for idx in (0..patterns.len()).rev() {
+        if let Some(cause) = cancel.cause() {
+            return Err(cause);
+        }
         let p = &patterns.patterns()[idx];
         let spec = &procedures[p.proc_index];
         let good = simulate_good(model, spec, std::slice::from_ref(p));
@@ -454,6 +521,9 @@ fn reverse_compact(
             .filter(|&i| compacted.patterns()[i].proc_index == pi)
             .collect();
         for chunk in idxs.chunks(64) {
+            if let Some(cause) = cancel.cause() {
+                return Err(cause);
+            }
             stats.fsim_batches += 1;
             let pats: Vec<Pattern> = chunk
                 .iter()
@@ -477,7 +547,11 @@ fn reverse_compact(
             }
         }
     }
-    (compacted, final_list)
+    // See run_atpg_cancellable: a live token here proves no truncation.
+    if let Some(cause) = cancel.cause() {
+        return Err(cause);
+    }
+    Ok((compacted, final_list))
 }
 
 #[cfg(test)]

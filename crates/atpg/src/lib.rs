@@ -44,7 +44,9 @@ pub use classify::{classify_faults, ConeSummary};
 pub use compiled::CompiledPodem;
 pub use dualsim::{DualGraphSim, DualSim};
 pub use engine::{AtpgEngine, AtpgKernelStats};
-pub use flow::{run_atpg, run_atpg_preclassified, AtpgOptions, AtpgResult, AtpgStats};
+pub use flow::{
+    run_atpg, run_atpg_cancellable, run_atpg_preclassified, AtpgOptions, AtpgResult, AtpgStats,
+};
 pub use podem::{PodemOutcome, ReferencePodem};
 pub use reach::Observability;
 pub use scoap::{Controllability, INF};

@@ -10,12 +10,20 @@
 //! warm to record the compile stages a warm flow skips. Results land
 //! in `BENCH_server.json` so the cache's value is tracked in-repo.
 //!
+//! A fourth, *degraded-mode* phase then stands up the real TCP daemon
+//! with ~10% of jobs hit by a seeded injected worker panic
+//! (`worker.job` site of [`occ_server::FaultPlan`]) and hammers it
+//! over the wire: every request must still draw a response line —
+//! failed jobs as typed `internal` errors, the rest correct — so the
+//! row records degraded throughput *and* availability.
+//!
 //! ```text
 //! server_bench [--flops N] [--clients N] [--designs M] [--rounds R]
-//!              [--flow-flops N] [--out PATH] [--check BASELINE.json]
+//!              [--flow-flops N] [--degraded-jobs N]
+//!              [--out PATH] [--check BASELINE.json]
 //! ```
 //!
-//! Three gates:
+//! Four gates:
 //!
 //! * **Warm correctness** (always on, hardware-independent): the warm
 //!   flow job must report every artifact as a cache hit — a warm job
@@ -24,13 +32,21 @@
 //!   [`WARM_FLOOR`]x cold — the ratio cancels machine speed (both
 //!   sides ran on this machine); in practice it is orders of magnitude
 //!   above the floor. `SERVER_BENCH_SKIP_CHECK` bypasses it.
+//! * **Availability** (always on, hardware-independent): under the
+//!   injected panic storm, every degraded-mode request must be
+//!   answered ([`AVAILABILITY_FLOOR`]), and at least
+//!   [`DEGRADED_OK_FLOOR`] of them successfully — a daemon that dies,
+//!   hangs, or sheds healthy jobs under ~10% worker failure is broken
+//!   regardless of machine speed.
 //! * **Regression** (with `--check`): the warm/cold ratio must not
 //!   drop more than 20% below the committed baseline.
 //!   `SERVER_BENCH_SKIP_CHECK` bypasses it.
 
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
-use occ_server::{FlowService, JobSpec};
+use occ_server::{
+    request, serve, FaultAction, FaultPlan, FlowService, JobSpec, ServerConfig, Trigger,
+};
 use occ_soc::SocConfig;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -47,12 +63,27 @@ const WARM_FLOOR: f64 = 2.0;
 /// Allowed ratio drop vs the committed baseline.
 const REGRESSION_TOLERANCE: f64 = 0.20;
 
+/// Injected worker-panic probability for the degraded-mode phase.
+const DEGRADED_PANIC_P: f64 = 0.10;
+
+/// Seed of the degraded phase's fault plan — fixed, so the injected
+/// failure sequence is reproducible run to run.
+const DEGRADED_SEED: u64 = 0xD05;
+
+/// Every degraded-mode request must be answered.
+const AVAILABILITY_FLOOR: f64 = 0.999;
+
+/// Minimum fraction of degraded-mode jobs that succeed (expected
+/// `1 - DEGRADED_PANIC_P`; the floor leaves ~10 sigma of slack).
+const DEGRADED_OK_FLOOR: f64 = 0.75;
+
 struct Options {
     flops: usize,
     clients: usize,
     designs: usize,
     rounds: usize,
     flow_flops: usize,
+    degraded_jobs: usize,
     out: String,
     check: Option<String>,
 }
@@ -64,6 +95,7 @@ fn parse_args() -> Result<Options, String> {
         designs: 32,
         rounds: 3_125,
         flow_flops: 48,
+        degraded_jobs: 400,
         out: "BENCH_server.json".to_owned(),
         check: None,
     };
@@ -83,6 +115,9 @@ fn parse_args() -> Result<Options, String> {
             "--designs" => opts.designs = positive("--designs", value("--designs")?)?,
             "--rounds" => opts.rounds = positive("--rounds", value("--rounds")?)?,
             "--flow-flops" => opts.flow_flops = positive("--flow-flops", value("--flow-flops")?)?,
+            "--degraded-jobs" => {
+                opts.degraded_jobs = positive("--degraded-jobs", value("--degraded-jobs")?)?;
+            }
             "--out" => opts.out = value("--out")?,
             "--check" => opts.check = Some(value("--check")?),
             other => return Err(format!("unknown flag '{other}'")),
@@ -215,6 +250,88 @@ fn main() -> ExitCode {
     }
     drop(cold_flow);
 
+    // Degraded mode: the real daemon over TCP, with ~10% of jobs hit
+    // by a seeded injected worker panic. One warm-up request compiles
+    // the design so the row measures serving under failure, not
+    // compilation.
+    let faults = FaultPlan::seeded(DEGRADED_SEED).inject(
+        "worker.job",
+        Trigger::Probability(DEGRADED_PANIC_P),
+        FaultAction::Panic("injected degraded-mode panic".into()),
+    );
+    // The injected panics are expected and caught at the worker seam;
+    // keep their backtraces out of the bench output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let server = match serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: opts.clients,
+        cache_budget: 0,
+        faults: faults.clone(),
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("server_bench: cannot bind degraded-mode daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+    let analyze_line = format!(
+        "{{\"op\":\"analyze\",\"design\":{{\"preset\":\"paper_like\",\
+         \"seed\":{TABLE1_SEED},\"flops_per_domain\":{}}}}}",
+        opts.flops
+    );
+    // Warm-up (retried: the warm-up itself can draw an injected panic).
+    let mut warmed = false;
+    for _ in 0..50 {
+        if request(addr, &analyze_line).is_ok_and(|r| r.contains("\"ok\":true")) {
+            warmed = true;
+            break;
+        }
+    }
+    if !warmed {
+        eprintln!("server_bench: FATAL — degraded-mode daemon never answered the warm-up");
+        return ExitCode::FAILURE;
+    }
+
+    let answered = AtomicUsize::new(0);
+    let succeeded = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.clients {
+            scope.spawn(|| loop {
+                if next.fetch_add(1, Ordering::Relaxed) >= opts.degraded_jobs {
+                    break;
+                }
+                if let Ok(response) = request(addr, &analyze_line) {
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    if response.contains("\"ok\":true") {
+                        succeeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let degraded_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    drop(server); // graceful drain; nothing pending by now
+    std::panic::set_hook(prev_hook);
+
+    let answered = answered.load(Ordering::Relaxed);
+    let succeeded = succeeded.load(Ordering::Relaxed);
+    let availability = answered as f64 / opts.degraded_jobs as f64;
+    let ok_fraction = succeeded as f64 / opts.degraded_jobs as f64;
+    let degraded_jps = answered as f64 / degraded_secs;
+    let injected = faults.fired("worker.job");
+    println!(
+        "  degraded ({:.0}% injected worker panics): {degraded_jps:>8.1} jobs/s, \
+         availability {availability:.3}, ok {ok_fraction:.3} \
+         ({answered}/{} answered, {succeeded} ok, {injected} panics injected)",
+        DEGRADED_PANIC_P * 100.0,
+        opts.degraded_jobs,
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -232,12 +349,44 @@ fn main() -> ExitCode {
         opts.flow_flops,
         warm_flow.warm,
     );
+    let _ = write!(
+        json,
+        "\"degraded\":{{\"jobs\":{},\"injected_panic_p\":{DEGRADED_PANIC_P},\
+         \"jobs_per_sec\":{degraded_jps:.1},\"availability\":{availability:.3},\
+         \"ok_fraction\":{ok_fraction:.3},\"injected_panics\":{injected}}},",
+        opts.degraded_jobs,
+    );
     let _ = writeln!(json, "\"warm_over_cold\":{ratio:.1}}}");
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("server_bench: cannot write {}: {e}", opts.out);
         return ExitCode::FAILURE;
     }
     println!("  wrote {}", opts.out);
+
+    // Availability gates: hardware-independent, always on.
+    if availability < AVAILABILITY_FLOOR {
+        eprintln!(
+            "server_bench: FATAL — only {availability:.3} of degraded-mode requests \
+             were answered (floor {AVAILABILITY_FLOOR}); injected worker panics \
+             must surface as typed errors, not dropped connections"
+        );
+        return ExitCode::FAILURE;
+    }
+    if ok_fraction < DEGRADED_OK_FLOOR {
+        eprintln!(
+            "server_bench: FATAL — only {ok_fraction:.3} of degraded-mode jobs \
+             succeeded (floor {DEGRADED_OK_FLOOR} under {DEGRADED_PANIC_P} injected \
+             panic probability); healthy jobs are being lost"
+        );
+        return ExitCode::FAILURE;
+    }
+    if injected == 0 {
+        eprintln!(
+            "server_bench: FATAL — the degraded-mode phase injected no panics; \
+             the worker.job fault site is no longer consulted"
+        );
+        return ExitCode::FAILURE;
+    }
 
     if skip {
         println!("  perf gates skipped (SERVER_BENCH_SKIP_CHECK set)");

@@ -8,11 +8,13 @@ use crate::report::LintBlock;
 use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
 use occ_atpg::{
-    classify_faults, run_atpg_preclassified, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem,
+    classify_faults, run_atpg_cancellable, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem,
 };
 use occ_core::{ClockDomainSpec, ClockingMode};
 use occ_fault::{FaultModel, FaultUniverse};
-use occ_fsim::{CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim};
+use occ_fsim::{
+    CancelToken, CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim,
+};
 use occ_lint::{LintGate, Linter};
 use occ_netlist::Netlist;
 use occ_sim::{DelayModel, Time};
@@ -71,6 +73,7 @@ pub struct TestFlow<'s> {
     timing: Option<TimingConfig>,
     lint: Option<LintGate>,
     artifacts: FlowArtifacts,
+    cancel: CancelToken,
 }
 
 impl<'s> TestFlow<'s> {
@@ -91,6 +94,7 @@ impl<'s> TestFlow<'s> {
             timing: None,
             lint: None,
             artifacts: FlowArtifacts::default(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -110,6 +114,7 @@ impl<'s> TestFlow<'s> {
             timing: None,
             lint: None,
             artifacts: FlowArtifacts::default(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -214,6 +219,19 @@ impl<'s> TestFlow<'s> {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`]: the pipeline polls it at
+    /// every stage boundary and threads it into the ATPG/fault-sim
+    /// batch loops. When it trips, [`TestFlow::run`] abandons all
+    /// partial state and returns [`FlowError::Cancelled`] or
+    /// [`FlowError::DeadlineExceeded`]; cancellation latency is
+    /// bounded by one PODEM search plus one fault-simulation block.
+    /// The default token never trips.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs the pipeline: bind model → procedures → fault universe →
     /// ATPG (through the selected engine) → classify → report.
     ///
@@ -226,6 +244,15 @@ impl<'s> TestFlow<'s> {
     /// model needs.
     pub fn run(&self) -> Result<FlowReport, FlowError> {
         let threads = self.engine.resolve_threads()?;
+        // Stage-boundary cancellation poll; the batch loops inside ATPG
+        // poll the same token at a finer grain.
+        let check_cancel = || -> Result<(), FlowError> {
+            match self.cancel.cause() {
+                Some(cause) => Err(cause.into()),
+                None => Ok(()),
+            }
+        };
+        check_cancel()?;
         let mut stages: Vec<StageTiming> = Vec::with_capacity(5);
         let mut timed = |stage: Stage, t0: Instant| {
             stages.push(StageTiming {
@@ -251,6 +278,7 @@ impl<'s> TestFlow<'s> {
         if model.scan_flops().is_empty() {
             return Err(FlowError::NoScanChains);
         }
+        check_cancel()?;
 
         let t0 = Instant::now();
         let procedures: Arc<Vec<occ_fsim::FrameSpec>> = match &self.artifacts.procedures {
@@ -272,6 +300,7 @@ impl<'s> TestFlow<'s> {
             FaultModel::Transition => FaultUniverse::transition(netlist),
         };
         timed(Stage::FaultUniverse, t0);
+        check_cancel()?;
 
         let lint = if let Some(gate) = self.lint {
             let t0 = Instant::now();
@@ -300,6 +329,7 @@ impl<'s> TestFlow<'s> {
         let pre_untestable: &[occ_fault::Fault] = lint
             .as_ref()
             .map_or(&[], |l| l.report.untestable.as_slice());
+        check_cancel()?;
 
         let t0 = Instant::now();
         // Both fault-sim engines implement FaultSimEngine and yield
@@ -330,7 +360,7 @@ impl<'s> TestFlow<'s> {
                 &mut compiled_podem
             }
         };
-        let mut result = run_atpg_preclassified(
+        let mut result = run_atpg_cancellable(
             &model,
             &procedures,
             universe,
@@ -338,7 +368,8 @@ impl<'s> TestFlow<'s> {
             engine,
             podem,
             pre_untestable,
-        );
+            &self.cancel,
+        )?;
         let kernel = engine.kernel_stats();
         let atpg_kernel = podem.kernel_stats();
         timed(Stage::Atpg, t0);
@@ -346,6 +377,7 @@ impl<'s> TestFlow<'s> {
         let t0 = Instant::now();
         classify_faults(&model, &mut result.faults);
         timed(Stage::Classify, t0);
+        check_cancel()?;
 
         let delay_quality = self.timing.as_ref().map(|cfg| {
             let t0 = Instant::now();

@@ -8,7 +8,7 @@
 
 use occ_core::ClockingMode;
 use occ_fault::FaultModel;
-use occ_fsim::ModelError;
+use occ_fsim::{CancelCause, ModelError};
 use std::error::Error;
 use std::fmt;
 
@@ -48,6 +48,19 @@ pub enum FlowError {
         /// The first error diagnostic, rendered.
         first: String,
     },
+    /// The flow's [`CancelToken`] was cancelled explicitly (a draining
+    /// server abandoning in-flight work); all partial state was
+    /// discarded.
+    ///
+    /// [`CancelToken`]: occ_fsim::CancelToken
+    Cancelled,
+    /// The flow's deadline budget expired before the run completed; all
+    /// partial state was discarded.
+    DeadlineExceeded,
+    /// A failure outside the flow's own validation — e.g. an artifact
+    /// build failing in a serving layer, or an injected fault in a
+    /// chaos test. The message says what broke.
+    Internal(String),
 }
 
 impl fmt::Display for FlowError {
@@ -81,6 +94,9 @@ impl fmt::Display for FlowError {
                 f,
                 "lint denied the flow: {errors} error-severity violation(s), first: {first}"
             ),
+            FlowError::Cancelled => f.write_str("flow cancelled before completion"),
+            FlowError::DeadlineExceeded => f.write_str("flow deadline exceeded before completion"),
+            FlowError::Internal(message) => write!(f, "internal failure: {message}"),
         }
     }
 }
@@ -97,6 +113,15 @@ impl Error for FlowError {
 impl From<ModelError> for FlowError {
     fn from(e: ModelError) -> Self {
         FlowError::Model(e)
+    }
+}
+
+impl From<CancelCause> for FlowError {
+    fn from(cause: CancelCause) -> Self {
+        match cause {
+            CancelCause::Cancelled => FlowError::Cancelled,
+            CancelCause::DeadlineExceeded => FlowError::DeadlineExceeded,
+        }
     }
 }
 

@@ -88,6 +88,10 @@ pub use occ_fault::FaultModel as FaultKind;
 /// [`occ_fsim`] because every [`FlowReport`] carries one.
 pub use occ_fsim::KernelStats;
 
+/// Cooperative cancellation handle (and its trip cause) accepted by
+/// [`TestFlow::cancel`] — re-exported from [`occ_fsim`].
+pub use occ_fsim::{CancelCause, CancelToken};
+
 /// ATPG kernel statistics (decisions, backtracks, value-engine events,
 /// incremental re-simulations) — re-exported from [`occ_atpg`] because
 /// every [`FlowReport`] carries one.

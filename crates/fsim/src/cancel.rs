@@ -1,0 +1,213 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle (an `Arc` around two
+//! atomics) that batch loops poll at work-item boundaries: the
+//! fault-sim grading loop checks it every few dozen faults, the ATPG
+//! flow checks it per PODEM target, the `TestFlow` pipeline checks it
+//! between stages. Nothing is ever interrupted mid-evaluation — a
+//! cancelled engine finishes the fault it is on and returns early, so
+//! no scratch state is ever poisoned and the engine remains usable for
+//! the next (uncancelled) batch.
+//!
+//! Two trip conditions, folded into one token:
+//!
+//! * **explicit cancellation** — [`CancelToken::cancel`], used by a
+//!   draining server to abandon in-flight jobs past the drain deadline;
+//! * **a deadline** — [`CancelToken::with_deadline`], the per-job time
+//!   budget. The deadline is evaluated lazily on [`CancelToken::cause`]
+//!   / [`CancelToken::is_cancelled`] and latched into the atomic once
+//!   observed, so steady-state polling after expiry is one relaxed
+//!   load.
+//!
+//! Tokens can be **linked**: a child created with
+//! [`CancelToken::child`] trips when either its own condition or any
+//! ancestor's fires (own cause wins when both apply). This is how one
+//! server-wide drain token fans out to every in-flight job while each
+//! job keeps its own deadline.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (or an ancestor's was).
+    Cancelled,
+    /// The token's (or an ancestor's) deadline passed.
+    DeadlineExceeded,
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct Inner {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn cause(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Acquire) {
+            CANCELLED => return Some(CancelCause::Cancelled),
+            DEADLINE => return Some(CancelCause::DeadlineExceeded),
+            _ => {}
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                // Latch so later polls skip the clock read. A racing
+                // explicit cancel() may win; either verdict is valid.
+                let _ = self.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                return match self.state.load(Ordering::Acquire) {
+                    CANCELLED => Some(CancelCause::Cancelled),
+                    _ => Some(CancelCause::DeadlineExceeded),
+                };
+            }
+        }
+        self.parent.as_ref().and_then(|p| p.cause())
+    }
+}
+
+/// A cloneable cooperative-cancellation handle; see the module docs.
+///
+/// The default token ([`CancelToken::never`]) can never trip, so
+/// threading tokens through a pipeline costs nothing on the untouched
+/// paths.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+impl CancelToken {
+    fn from_parts(deadline: Option<Instant>, parent: Option<Arc<Inner>>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline,
+                parent,
+            }),
+        }
+    }
+
+    /// A token that only trips on an explicit [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::from_parts(None, None)
+    }
+
+    /// A token that can never trip (the default for every engine).
+    #[must_use]
+    pub fn never() -> Self {
+        Self::from_parts(None, None)
+    }
+
+    /// A token that trips with [`CancelCause::DeadlineExceeded`] once
+    /// `budget` has elapsed (measured from now), or earlier on an
+    /// explicit [`CancelToken::cancel`].
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::from_parts(Instant::now().checked_add(budget), None)
+    }
+
+    /// A child token that additionally trips whenever `self` (or any of
+    /// `self`'s ancestors) trips. `deadline` is the child's own budget;
+    /// pass `None` for a pure link.
+    #[must_use]
+    pub fn child(&self, deadline: Option<Duration>) -> Self {
+        Self::from_parts(
+            deadline.and_then(|d| Instant::now().checked_add(d)),
+            Some(Arc::clone(&self.inner)),
+        )
+    }
+
+    /// Trips the token with [`CancelCause::Cancelled`]. Idempotent; a
+    /// token that already tripped on its deadline keeps that cause.
+    pub fn cancel(&self) {
+        let _ =
+            self.inner
+                .state
+                .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Whether the token has tripped (either condition, any ancestor).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// The trip cause, or `None` while the token is live. The first
+    /// call past a deadline latches [`CancelCause::DeadlineExceeded`].
+    #[must_use]
+    pub fn cause(&self) -> Option<CancelCause> {
+        self.inner.cause()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_stays_live() {
+        let t = CancelToken::never();
+        assert_eq!(t.cause(), None);
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_trips_and_clones_observe_it() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert_eq!(c.cause(), Some(CancelCause::Cancelled));
+        // Idempotent, cause stable.
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_with_its_own_cause() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+        // Cancel after expiry does not rewrite the cause.
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn child_observes_parent_and_keeps_own_cause_priority() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert_eq!(child.cause(), Some(CancelCause::Cancelled));
+
+        // A child's own deadline fires independently of a live parent.
+        let parent = CancelToken::new();
+        let child = parent.child(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(child.cause(), Some(CancelCause::DeadlineExceeded));
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn far_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+}

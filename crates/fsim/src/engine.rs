@@ -8,6 +8,7 @@
 //! `&mut dyn FaultSimEngine` — and both are required (and tested) to
 //! produce **bit-identical masks** for the same inputs.
 
+use crate::cancel::CancelToken;
 use crate::faultsim::FaultSim;
 use crate::goodsim::GoodBatch;
 use crate::graph::KernelStats;
@@ -84,6 +85,16 @@ pub trait FaultSimEngine {
     fn kernel_stats(&self) -> KernelStats {
         KernelStats::default()
     }
+
+    /// Attaches a cooperative-cancellation token polled at batch-loop
+    /// boundaries. Once the token trips, [`FaultSimEngine::detect_batch`]
+    /// returns early with the remaining masks zeroed; the caller is
+    /// expected to observe the trip and discard the batch. The default
+    /// implementation ignores the token (the engine simply cannot be
+    /// cancelled, which is always sound).
+    fn attach_cancel(&mut self, token: CancelToken) {
+        let _ = token;
+    }
 }
 
 impl FaultSimEngine for FaultSim<'_> {
@@ -97,6 +108,10 @@ impl FaultSimEngine for FaultSim<'_> {
 
     fn kernel_stats(&self) -> KernelStats {
         FaultSim::kernel_stats(self)
+    }
+
+    fn attach_cancel(&mut self, token: CancelToken) {
+        FaultSim::attach_cancel(self, token);
     }
 }
 
@@ -115,6 +130,10 @@ impl FaultSimEngine for ParallelFaultSim<'_> {
 
     fn kernel_stats(&self) -> KernelStats {
         ParallelFaultSim::kernel_stats(self)
+    }
+
+    fn attach_cancel(&mut self, token: CancelToken) {
+        ParallelFaultSim::attach_cancel(self, token);
     }
 }
 

@@ -19,6 +19,7 @@
 //! bit-identical detection masks (cross-checked in
 //! `tests/kernel_equivalence.rs`).
 
+use crate::cancel::CancelToken;
 use crate::goodsim::GoodBatch;
 use crate::graph::{FlopMeta, KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
 use crate::pval::PVal;
@@ -160,6 +161,9 @@ pub struct FaultSim<'g> {
     next: StateBuf,
     // Optional timed-detect annotations (attach_timing).
     timed: Option<Box<TimedScratch>>,
+    // Cooperative cancellation, polled at batch-loop boundaries
+    // (attach_cancel; the default token never trips).
+    cancel: CancelToken,
     // Work counters, accumulated since construction.
     faults_graded: u64,
     cone_pruned: u64,
@@ -192,6 +196,7 @@ impl<'g> FaultSim<'g> {
             cur: StateBuf::new(n_flops),
             next: StateBuf::new(n_flops),
             timed: None,
+            cancel: CancelToken::never(),
             faults_graded: 0,
             cone_pruned: 0,
             events: 0,
@@ -731,14 +736,39 @@ impl<'g> FaultSim<'g> {
         }
     }
 
+    /// Attaches a cooperative-cancellation token: from now on
+    /// [`FaultSim::detect_many`] polls it every few dozen faults and,
+    /// once tripped, stops grading and pads the remaining masks with
+    /// zero. The engine itself stays fully usable — cancellation never
+    /// touches scratch state mid-fault — so a caller that observes the
+    /// trip discards the batch and may keep the engine for later work.
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     /// Detects a batch of faults, returning one mask per fault.
+    ///
+    /// If an attached [`CancelToken`] trips mid-batch, the remaining
+    /// masks are zero — callers that honour cancellation must check the
+    /// token and discard the result.
     pub fn detect_many(
         &mut self,
         spec: &FrameSpec,
         good: &GoodBatch,
         faults: &[Fault],
     ) -> Vec<u64> {
-        faults.iter().map(|&f| self.detect(spec, good, f)).collect()
+        // Poll the token at a stride that keeps the check invisible on
+        // the hot path (one relaxed load per CANCEL_STRIDE faults).
+        const CANCEL_STRIDE: usize = 32;
+        let mut out = Vec::with_capacity(faults.len());
+        for (i, &f) in faults.iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 && self.cancel.is_cancelled() {
+                break;
+            }
+            out.push(self.detect(spec, good, f));
+        }
+        out.resize(faults.len(), 0);
+        out
     }
 
     fn bump_gen(&mut self) {

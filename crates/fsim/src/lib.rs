@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod engine;
 mod faultsim;
 mod goodsim;
@@ -48,6 +49,7 @@ mod reference;
 mod spec;
 mod timing;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use engine::FaultSimEngine;
 pub use faultsim::FaultSim;
 pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};

@@ -30,6 +30,7 @@
 //! balance than any static striding, with the same deterministic
 //! output.
 
+use crate::cancel::CancelToken;
 use crate::faultsim::FaultSim;
 use crate::goodsim::GoodBatch;
 use crate::graph::{KernelStats, SimGraph};
@@ -51,6 +52,7 @@ struct Job {
     faults: Arc<Vec<Fault>>,
     start: usize,
     end: usize,
+    cancel: CancelToken,
     results: mpsc::Sender<(usize, Vec<u64>, KernelStats)>,
 }
 
@@ -80,11 +82,19 @@ impl Pool {
                             break; // scheduler dropped
                         };
                         let before = engine.kernel_stats();
-                        let masks = engine.detect_many(
-                            &job.spec,
-                            &job.good,
-                            &job.faults[job.start..job.end],
-                        );
+                        // A tripped token short-circuits the block:
+                        // zero masks, no grading. The caller observes
+                        // the trip and discards the whole batch.
+                        let masks = if job.cancel.is_cancelled() {
+                            vec![0u64; job.end - job.start]
+                        } else {
+                            engine.attach_cancel(job.cancel.clone());
+                            engine.detect_many(
+                                &job.spec,
+                                &job.good,
+                                &job.faults[job.start..job.end],
+                            )
+                        };
                         let after = engine.kernel_stats();
                         let delta = KernelStats {
                             faults_graded: after.faults_graded - before.faults_graded,
@@ -179,6 +189,9 @@ pub struct ParallelFaultSim<'g> {
     faults_graded: AtomicU64,
     cone_pruned: AtomicU64,
     events: AtomicU64,
+    // Cooperative cancellation, shared with every worker per job (the
+    // default token never trips).
+    cancel: CancelToken,
 }
 
 impl<'g> ParallelFaultSim<'g> {
@@ -203,7 +216,19 @@ impl<'g> ParallelFaultSim<'g> {
             faults_graded: AtomicU64::new(0),
             cone_pruned: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cooperative-cancellation token; every subsequent
+    /// batch polls it at block boundaries (workers skip blocks once it
+    /// trips and return zero masks). The caller is expected to discard
+    /// the truncated batch after observing the trip.
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        if let Some(scratch) = &mut self.scratch {
+            scratch.attach_cancel(token.clone());
+        }
+        self.cancel = token;
     }
 
     /// Kernel statistics aggregated over every shard this scheduler has
@@ -248,10 +273,13 @@ impl<'g> ParallelFaultSim<'g> {
     ) -> Vec<u64> {
         if self.threads == 1 || faults.len() <= self.block {
             let graph = self.graph;
-            return self
-                .scratch
-                .get_or_insert_with(|| FaultSim::from_graph(graph))
-                .detect_many(spec, good, faults);
+            let cancel = self.cancel.clone();
+            let scratch = self.scratch.get_or_insert_with(|| {
+                let mut engine = FaultSim::from_graph(graph);
+                engine.attach_cancel(cancel);
+                engine
+            });
+            return scratch.detect_many(spec, good, faults);
         }
         self.detect_many(spec, good, faults)
     }
@@ -263,6 +291,7 @@ impl<'g> ParallelFaultSim<'g> {
         // cannot pay for itself; fall through to the serial engine.
         let Some(pool) = self.pool.as_ref().filter(|_| faults.len() > self.block) else {
             let mut engine = FaultSim::from_graph(self.graph);
+            engine.attach_cancel(self.cancel.clone());
             let masks = engine.detect_many(spec, good, faults);
             self.merge_stats(&engine.kernel_stats());
             return masks;
@@ -283,6 +312,7 @@ impl<'g> ParallelFaultSim<'g> {
                 faults: Arc::clone(&faults_arc),
                 start,
                 end: (start + self.block).min(faults.len()),
+                cancel: self.cancel.clone(),
                 results: tx.clone(),
             });
         }

@@ -1,20 +1,39 @@
 //! One-shot protocol client.
 //!
 //! ```text
-//! occ_client <addr> <request-json>
+//! occ_client [--retries N] [--retry-base-ms N] [--retry-seed N] <addr> <request-json>
 //! occ_client 127.0.0.1:4805 '{"op":"ping"}'
 //! ```
 //!
 //! Sends one request line, prints the response line, exits 0 on an
 //! `"ok":true` response and 1 otherwise — scriptable from CI without
-//! `nc` timing games.
+//! `nc` timing games. Transport failures and `overloaded` rejections
+//! retry with seeded jittered exponential backoff (honouring the
+//! server's `retry_after_ms` hint); `--retries 1` disables retrying.
 
-use occ_server::{request, Json};
+use occ_server::{request_with_retry, Json, RetryPolicy};
 
 fn main() {
+    let mut policy = RetryPolicy::default();
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let (Some(addr), Some(line)) = (args.next(), args.next()) else {
-        eprintln!("usage: occ_client <addr> <request-json>");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--retries" => policy.attempts = parse(args.next(), "--retries"),
+            "--retry-base-ms" => policy.base_ms = parse(args.next(), "--retry-base-ms"),
+            "--retry-seed" => policy.seed = parse(args.next(), "--retry-seed"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: occ_client [--retries N] [--retry-base-ms N] [--retry-seed N] \
+                     <addr> <request-json>"
+                );
+                return;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [addr, line] = positional.as_slice() else {
+        eprintln!("usage: occ_client [--retries N] <addr> <request-json>");
         std::process::exit(2);
     };
     let addr = match addr.parse() {
@@ -24,7 +43,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match request(addr, &line) {
+    match request_with_retry(addr, line, &policy) {
         Ok(response) => {
             println!("{response}");
             let ok = Json::parse(&response)
@@ -38,4 +57,11 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("occ_client: {flag} needs a numeric value");
+        std::process::exit(2);
+    })
 }

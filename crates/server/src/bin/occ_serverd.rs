@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! occ_serverd [--addr 127.0.0.1:4805] [--workers N] [--cache-mb N]
+//!             [--max-pending N] [--conn-inflight N] [--drain-ms N]
 //! ```
 //!
 //! Binds, prints one `listening on <addr>` line to stdout (parsed by
 //! the CI smoke script), then serves until a client sends
-//! `{"op":"shutdown"}` (or the process is killed). See
-//! `occ_server::proto` for the line protocol.
+//! `{"op":"shutdown"}` (or the process is killed) — the shutdown
+//! drains queued jobs for up to `--drain-ms` before cancelling
+//! stragglers. `--max-pending` / `--conn-inflight` bound the job queue
+//! (0 = unlimited); excess load is shed with a typed `overloaded`
+//! error. See `occ_server::proto` for the line protocol.
 
 use occ_server::{serve, ServerConfig};
 
@@ -23,8 +27,20 @@ fn main() {
             "--cache-mb" => {
                 config.cache_budget = parse::<usize>(args.next(), "--cache-mb") * 1024 * 1024;
             }
+            "--max-pending" => {
+                config.max_pending = parse(args.next(), "--max-pending");
+            }
+            "--conn-inflight" => {
+                config.max_inflight_per_conn = parse(args.next(), "--conn-inflight");
+            }
+            "--drain-ms" => {
+                config.drain_deadline_ms = parse(args.next(), "--drain-ms");
+            }
             "--help" | "-h" => {
-                println!("usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N]");
+                println!(
+                    "usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N] \
+                     [--max-pending N] [--conn-inflight N] [--drain-ms N]"
+                );
                 return;
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -50,6 +66,9 @@ fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
 
 fn usage(msg: &str) -> ! {
     eprintln!("occ_serverd: {msg}");
-    eprintln!("usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N]");
+    eprintln!(
+        "usage: occ_serverd [--addr HOST:PORT] [--workers N] [--cache-mb N] \
+         [--max-pending N] [--conn-inflight N] [--drain-ms N]"
+    );
     std::process::exit(2);
 }

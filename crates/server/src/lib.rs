@@ -28,6 +28,18 @@
 //!   budget shared by all connections, typed protocol errors built on
 //!   [`FlowError`](occ_flow::FlowError).
 //!
+//! The daemon is built to degrade, not collapse: per-job deadlines and
+//! cooperative cancellation (`deadline_ms` → a
+//! [`CancelToken`](occ_flow::CancelToken) checked at every flow stage
+//! and inside the ATPG/fault-sim batch loops), admission control that
+//! sheds load with a typed `overloaded` + `retry_after_ms` hint before
+//! queues grow unbounded, bounded request framing, and a graceful
+//! drain (`shutdown` finishes queued jobs under a deadline while new
+//! work draws `shutting-down`). The [`faults`] module provides the
+//! seeded, deterministic fault-injection plan the chaos suite and the
+//! degraded-mode bench use to prove all of this; [`request_with_retry`]
+//! is the matching client-side retry/backoff contract.
+//!
 //! ## Example
 //!
 //! ```
@@ -53,6 +65,7 @@
 
 pub mod cache;
 pub mod design;
+pub mod faults;
 pub mod hash;
 pub mod json;
 pub mod pool;
@@ -62,11 +75,13 @@ mod service;
 
 pub use cache::{Artifact, ArtifactCache, ArtifactKind, CacheStats, KindCounters, SHARDS};
 pub use design::{design_hash, DesignArtifact};
+pub use faults::{cooperative_delay, FaultAction, FaultPlan, Trigger};
 pub use hash::{hex, Fnv64};
 pub use json::{Json, JsonError};
 pub use pool::JobPool;
 pub use proto::{
-    error_line, job_line, parse_request, run_job, stats_line, ProtoError, ReportFormat, Request,
+    error_line, health_line, job_line, parse_request, run_job, run_job_with_cancel, stats_line,
+    ProtoError, ReportFormat, Request,
 };
-pub use server::{request, serve, ServerConfig, ServerHandle};
+pub use server::{request, request_with_retry, serve, RetryPolicy, ServerConfig, ServerHandle};
 pub use service::{DesignAnalysis, FlowService, JobCacheStats, JobOutcome, JobSpec};

@@ -11,6 +11,7 @@
 //! machine.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -23,6 +24,9 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct JobPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet finished (queued + running) — what
+    /// admission control sheds on and what a graceful drain waits out.
+    pending: Arc<AtomicUsize>,
 }
 
 impl JobPool {
@@ -32,18 +36,21 @@ impl JobPool {
         let threads = threads.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let pending = Arc::new(AtomicUsize::new(0));
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("occ-job-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &pending))
                     .expect("spawn job worker")
             })
             .collect();
         JobPool {
             tx: Some(tx),
             workers,
+            pending,
         }
     }
 
@@ -51,6 +58,12 @@ impl JobPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs submitted but not yet finished (queued + running).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
     }
 
     /// Enqueues a job. Results travel through whatever channel the
@@ -62,6 +75,7 @@ impl JobPool {
     /// sender is only dropped in [`Drop`], so this cannot happen
     /// through the public API).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
         self.tx
             .as_ref()
             .expect("pool is shutting down")
@@ -70,7 +84,7 @@ impl JobPool {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, pending: &Arc<AtomicUsize>) {
     loop {
         let job = match rx.lock() {
             Ok(guard) => guard.recv(),
@@ -82,6 +96,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
                 // whole daemon) down with it; the submitter's result
                 // channel closes, which it observes as a failed job.
                 let _ = catch_unwind(AssertUnwindSafe(job));
+                pending.fetch_sub(1, Ordering::SeqCst);
             }
             Err(_) => return, // channel closed: pool is shutting down
         }
@@ -131,5 +146,28 @@ mod tests {
         pool.submit(|| panic!("job blew up"));
         pool.submit(move || tx.send(7u32).unwrap());
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn pending_counts_queued_plus_running_and_drains_to_zero() {
+        let pool = JobPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap(); // hold the only worker
+        });
+        started_rx.recv().unwrap();
+        pool.submit(|| {});
+        assert_eq!(pool.pending(), 2, "one running + one queued");
+        gate_tx.send(()).unwrap();
+        // Both jobs finish; pending must reach zero (the drain signal).
+        for _ in 0..200 {
+            if pool.pending() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.pending(), 0);
     }
 }

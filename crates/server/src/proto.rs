@@ -8,13 +8,15 @@
 //! ```json
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"health"}
 //! {"op":"shutdown"}
 //! {"op":"analyze","design":{"preset":"tiny","seed":3}}
 //! {"op":"flow","design":{"preset":"paper_like","seed":7,"flops_per_domain":60},
 //!  "clocking":"enhanced-cpf:4","fault_model":"transition",
 //!  "engine":"serial","atpg_engine":"compiled",
 //!  "backtrack_limit":48,"random_patterns":256,"compaction":true,
-//!  "mask_bidi":true,"timing":true,"lint":"deny","format":"json"}
+//!  "mask_bidi":true,"timing":true,"lint":"deny","format":"json",
+//!  "deadline_ms":60000}
 //! ```
 //!
 //! Every `flow`/`analyze` field except `design` is optional and
@@ -30,7 +32,9 @@
 //! `design_hash`, `warm`, per-job `cache` hits and the `report`.
 //! Failure: `{"ok":false,"error":{"code":...,"message":...}}` with
 //! code one of `bad-request`, `unsupported-clocking`, `lint-denied`,
-//! `model-error`, `flow-error`.
+//! `model-error`, `flow-error`, `cancelled`, `deadline-exceeded`,
+//! `overloaded` (plus a `retry_after_ms` hint), `shutting-down`,
+//! `internal`. The README's robustness section tabulates them.
 
 use crate::cache::{CacheStats, KindCounters};
 use crate::hash::hex;
@@ -42,22 +46,44 @@ use occ_soc::SocConfig;
 use std::fmt::Write as _;
 
 /// A protocol-level failure: a stable machine-readable code plus a
-/// human-readable message.
+/// human-readable message, optionally carrying a retry hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError {
     /// Stable error code (`bad-request`, `unsupported-clocking`,
-    /// `lint-denied`, `model-error`, `flow-error`).
+    /// `lint-denied`, `model-error`, `flow-error`, `cancelled`,
+    /// `deadline-exceeded`, `overloaded`, `shutting-down`, `internal`).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// For `overloaded`: how long the client should back off before
+    /// retrying (the [`crate::server::request_with_retry`] helper
+    /// honours this over its own backoff schedule).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
-    fn bad(message: impl Into<String>) -> Self {
+    /// An error with the given code and message (no retry hint).
+    #[must_use]
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
         ProtoError {
-            code: "bad-request",
+            code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// An `overloaded` load-shedding error carrying a retry-after hint.
+    #[must_use]
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        ProtoError {
+            code: "overloaded",
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
+
+    fn bad(message: impl Into<String>) -> Self {
+        ProtoError::new("bad-request", message)
     }
 }
 
@@ -69,12 +95,12 @@ impl From<FlowError> for ProtoError {
             FlowError::UnsupportedClocking { .. } => "unsupported-clocking",
             FlowError::LintDenied { .. } => "lint-denied",
             FlowError::Model(_) => "model-error",
+            FlowError::Cancelled => "cancelled",
+            FlowError::DeadlineExceeded => "deadline-exceeded",
+            FlowError::Internal(_) => "internal",
             _ => "flow-error",
         };
-        ProtoError {
-            code,
-            message: e.to_string(),
-        }
+        ProtoError::new(code, e.to_string())
     }
 }
 
@@ -85,7 +111,11 @@ pub enum Request {
     Ping,
     /// Cache counters and occupancy.
     Stats,
-    /// Stop the daemon (acknowledged before the listener closes).
+    /// Serving state, queue depth and worker budget (answers during a
+    /// drain, unlike new jobs).
+    Health,
+    /// Stop the daemon: drain queued jobs under the drain deadline,
+    /// then close (acknowledged before the listener closes).
     Shutdown,
     /// Run a job (flow or analyze-only, per [`JobSpec::analyze_only`]).
     Job {
@@ -119,6 +149,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         "flow" | "analyze" => {
             let mut spec = JobSpec::new(parse_design(
@@ -177,6 +208,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                     Some(s.parse().map_err(|e: occ_lint::ParseLintGateError| {
                         ProtoError::bad(e.to_string())
                     })?);
+            }
+            if let Some(n) = opt_u64(&v, "deadline_ms")? {
+                spec.deadline_ms = Some(n);
             }
             let format = match opt_str(&v, "format")? {
                 None | Some("json") => ReportFormat::Json,
@@ -258,8 +292,19 @@ pub fn error_line(e: &ProtoError) -> String {
     write_escaped(e.code, &mut out);
     out.push_str(",\"message\":");
     write_escaped(&e.message, &mut out);
+    if let Some(ms) = e.retry_after_ms {
+        let _ = write!(out, r#","retry_after_ms":{ms}"#);
+    }
     out.push_str("}}");
     out
+}
+
+/// Renders the `health` response line.
+#[must_use]
+pub fn health_line(state: &str, pending: usize, workers: usize) -> String {
+    format!(
+        r#"{{"ok":true,"op":"health","state":"{state}","pending":{pending},"workers":{workers}}}"#
+    )
 }
 
 /// Renders the response line for a completed job.
@@ -347,7 +392,19 @@ pub fn stats_line(s: &CacheStats) -> String {
 /// (the daemon needs to act on shutdown; ping needs no service).
 #[must_use]
 pub fn run_job(service: &FlowService, spec: &JobSpec, format: ReportFormat) -> String {
-    match service.submit(spec) {
+    run_job_with_cancel(service, spec, format, None)
+}
+
+/// [`run_job`] under an external cancel scope (the daemon's drain
+/// token); the job's own deadline nests inside it.
+#[must_use]
+pub fn run_job_with_cancel(
+    service: &FlowService,
+    spec: &JobSpec,
+    format: ReportFormat,
+    parent: Option<&occ_flow::CancelToken>,
+) -> String {
+    match service.submit_with_cancel(spec, parent) {
         Ok(outcome) => job_line(&outcome, format),
         Err(e) => error_line(&ProtoError::from(e)),
     }

@@ -15,18 +15,20 @@ use crate::cache::{
     delays_bytes, procedures_bytes, Artifact, ArtifactCache, ArtifactKind, CacheStats,
 };
 use crate::design::{design_hash, DesignArtifact};
+use crate::faults::{cooperative_delay, FaultAction, FaultPlan};
 use crate::hash::Fnv64;
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
 use occ_fault::FaultModel;
 use occ_flow::{
-    build_procedures, AtpgEngineChoice, EngineChoice, FlowArtifacts, FlowError, FlowReport,
-    LintGate, TestFlow,
+    build_procedures, AtpgEngineChoice, CancelToken, EngineChoice, FlowArtifacts, FlowError,
+    FlowReport, LintGate, TestFlow,
 };
 use occ_fsim::FrameSpec;
 use occ_sim::{CompiledDelays, DelayModel};
 use occ_soc::SocConfig;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One job: which design, which flow configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +55,10 @@ pub struct JobSpec {
     /// Skip the flow entirely: compile (or fetch) the design artifact
     /// and report its analysis only.
     pub analyze_only: bool,
+    /// Per-job time budget in milliseconds (`None` = unbounded). A job
+    /// past its deadline is cooperatively cancelled at the next batch
+    /// boundary and returns [`FlowError::DeadlineExceeded`].
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -72,6 +78,7 @@ impl JobSpec {
             timing: false,
             lint: None,
             analyze_only: false,
+            deadline_ms: None,
         }
     }
 }
@@ -137,14 +144,23 @@ pub struct JobOutcome {
 #[derive(Debug)]
 pub struct FlowService {
     cache: ArtifactCache,
+    faults: FaultPlan,
 }
 
 impl FlowService {
     /// Creates a service with a cache byte budget (0 = unlimited).
     #[must_use]
     pub fn new(cache_budget: usize) -> Self {
+        Self::with_faults(cache_budget, FaultPlan::none())
+    }
+
+    /// [`FlowService::new`] with a fault-injection plan (chaos tests
+    /// and the degraded-mode bench; see [`crate::faults`]).
+    #[must_use]
+    pub fn with_faults(cache_budget: usize, faults: FaultPlan) -> Self {
         FlowService {
             cache: ArtifactCache::new(cache_budget),
+            faults,
         }
     }
 
@@ -162,8 +178,47 @@ impl FlowService {
     /// Degenerate designs map onto the closest [`FlowError`]
     /// ([`FlowError::NoDomains`], [`FlowError::NoScanChains`]) before
     /// the generator would panic on them; flow misconfigurations
-    /// propagate from [`TestFlow::run`].
+    /// propagate from [`TestFlow::run`]; a job past its
+    /// [`JobSpec::deadline_ms`] returns
+    /// [`FlowError::DeadlineExceeded`].
     pub fn submit(&self, job: &JobSpec) -> Result<JobOutcome, FlowError> {
+        self.submit_with_cancel(job, None)
+    }
+
+    /// [`FlowService::submit`] under an external cancel scope: the
+    /// job's token is a child of `parent` (the daemon's drain token)
+    /// carrying the job's own [`JobSpec::deadline_ms`] budget, so one
+    /// server-wide cancel fans out to every in-flight job while each
+    /// job keeps its own deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlowService::submit`], plus [`FlowError::Cancelled`] when
+    /// `parent` (or the job's own token) is cancelled mid-run.
+    pub fn submit_with_cancel(
+        &self,
+        job: &JobSpec,
+        parent: Option<&CancelToken>,
+    ) -> Result<JobOutcome, FlowError> {
+        let deadline = job.deadline_ms.map(Duration::from_millis);
+        let cancel = match (parent, deadline) {
+            (Some(p), d) => p.child(d),
+            (None, Some(d)) => CancelToken::with_deadline(d),
+            (None, None) => CancelToken::never(),
+        };
+        self.run(job, &cancel)
+    }
+
+    fn run(&self, job: &JobSpec, cancel: &CancelToken) -> Result<JobOutcome, FlowError> {
+        // Stage-boundary cancellation poll; the flow itself polls the
+        // same token at a finer grain once it starts.
+        let check = || -> Result<(), FlowError> {
+            match cancel.cause() {
+                Some(cause) => Err(cause.into()),
+                None => Ok(()),
+            }
+        };
+        check()?;
         let dh = design_hash(&job.design);
         let (design, design_hit) = self.design_artifact(dh, &job.design)?;
         let mut cache = JobCacheStats {
@@ -188,6 +243,7 @@ impl FlowService {
                 report: None,
             });
         }
+        check()?;
 
         let n_domains = job.design.domains.len();
         let (procedures, procs_hit) =
@@ -202,6 +258,13 @@ impl FlowService {
             None
         };
 
+        // A virtual slow stage for the chaos suite: the injected delay
+        // polls the job's token, so deadlines bound it like real work.
+        if let Some(FaultAction::DelayMs(ms)) = self.faults.fire("flow.stage") {
+            cooperative_delay(ms, cancel);
+        }
+        check()?;
+
         let artifacts = FlowArtifacts {
             graph: Some(Arc::clone(&design.graph)),
             procedures: Some(procedures),
@@ -214,7 +277,8 @@ impl FlowService {
             .atpg_engine(job.atpg_engine)
             .atpg(job.atpg.clone())
             .mask_bidi(job.mask_bidi)
-            .artifacts(artifacts);
+            .artifacts(artifacts)
+            .cancel(cancel.clone());
         if job.timing {
             flow = flow.timing(DelayModel::default());
         }
@@ -239,6 +303,13 @@ impl FlowService {
     ) -> Result<(Arc<DesignArtifact>, bool), FlowError> {
         let key = kind_key("design", dh);
         let (artifact, hit) = self.cache.get_or_build(ArtifactKind::Design, key, || {
+            // Chaos-suite injection: a builder that panics or errors
+            // must leave the shard clean (BuildGuard) and un-cached.
+            match self.faults.fire("cache.design.build") {
+                Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+                Some(FaultAction::Error(msg)) => return Err(FlowError::Internal(msg)),
+                _ => {}
+            }
             // Reject configs the generator would panic on, with the
             // closest typed error.
             if config.domains.is_empty() || config.total_flops() == 0 {

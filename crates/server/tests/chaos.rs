@@ -1,0 +1,370 @@
+//! Deterministic chaos suite: the daemon under injected failures.
+//!
+//! Every scenario arms a seeded [`FaultPlan`] and asserts the
+//! robustness invariants the serving layer promises:
+//!
+//! * the artifact cache never poisons — an injected builder panic or
+//!   error leaves no `Building` tombstone, waiters retry, and the
+//!   build-once dedup still holds afterwards;
+//! * reports stay **byte-identical** — a cold/warm pair served across
+//!   injected worker panics, torn writes and dropped connections
+//!   matches a clean run exactly (modulo wall-clock members);
+//! * the daemon keeps serving — after every injected failure a
+//!   subsequent `ping` and flow job succeed.
+//!
+//! Determinism: `Nth` triggers count calls and `Probability` triggers
+//! draw from per-site seeded xorshift streams, so a failing seed
+//! reproduces exactly; the suite sweeps a fixed seed list.
+
+use occ_server::{
+    request, serve, FaultAction, FaultPlan, FlowService, Json, ServerConfig, Trigger,
+};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const FLOW: &str = r#"{"op":"flow","design":{"preset":"tiny","seed":9},"clocking":"simple-cpf","mask_bidi":true,"random_patterns":32,"backtrack_limit":12}"#;
+
+const VOLATILE: [&str; 2] = ["stages", "total_seconds"];
+
+fn config_with(faults: FaultPlan) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_budget: 0,
+        faults,
+        ..ServerConfig::default()
+    }
+}
+
+/// The flow report as a canonical string with wall-clock members
+/// stripped — the byte-identity currency of this suite.
+fn canonical_report(response: &str) -> String {
+    let v = Json::parse(response).unwrap_or_else(|e| panic!("unparseable: {e:?}: {response}"));
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    v.get("report")
+        .expect("flow response carries a report")
+        .clone()
+        .without_keys(&VOLATILE)
+        .to_string()
+}
+
+/// The clean-run reference report, computed in-process once.
+fn reference_report() -> String {
+    let service = FlowService::new(0);
+    let mut job = occ_server::JobSpec::new(occ_soc::SocConfig::tiny(9));
+    job.clocking = occ_core::ClockingMode::SimpleCpf;
+    job.mask_bidi = true;
+    job.atpg.random_patterns = 32;
+    job.atpg.backtrack_limit = 12;
+    let outcome = service.submit(&job).expect("reference flow");
+    Json::parse(&outcome.report.expect("report").to_json())
+        .unwrap()
+        .without_keys(&VOLATILE)
+        .to_string()
+}
+
+/// After any injected failure the daemon must still answer a ping and
+/// serve a cold/warm flow pair whose reports match `reference`.
+fn assert_still_serving(addr: std::net::SocketAddr, reference: &str) {
+    let pong = request(addr, r#"{"op":"ping"}"#).expect("ping after injected failure");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    let cold_or_warm = request(addr, FLOW).expect("flow after injected failure");
+    assert_eq!(canonical_report(&cold_or_warm), reference);
+    let warm = request(addr, FLOW).expect("warm flow after injected failure");
+    let v = Json::parse(&warm).unwrap();
+    assert_eq!(
+        v.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "second identical job must be served warm: {warm}"
+    );
+    assert_eq!(canonical_report(&warm), reference);
+}
+
+#[test]
+fn injected_builder_panic_does_not_poison_the_cache() {
+    let reference = reference_report();
+    for seed in [1u64, 2, 3] {
+        let faults = FaultPlan::seeded(seed).inject(
+            "cache.design.build",
+            Trigger::Nth(1),
+            FaultAction::Panic("injected builder panic".into()),
+        );
+        let mut server = serve(&config_with(faults.clone())).expect("bind");
+        let addr = server.addr();
+
+        // First job: its design-artifact build panics. The panic is
+        // caught at the worker seam and surfaces as a typed internal
+        // error carrying the payload — not a hung waiter, not a dead
+        // daemon.
+        let first = request(addr, FLOW).expect("response despite builder panic");
+        let v = Json::parse(&first).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{first}");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("internal"),
+            "{first}"
+        );
+        assert!(
+            v.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .is_some_and(|m| m.contains("injected builder panic")),
+            "panic payload must survive into the typed error: {first}"
+        );
+        assert_eq!(faults.fired("cache.design.build"), 1);
+
+        // The shard is not poisoned: the next identical job rebuilds
+        // (Nth(1) already fired), succeeds, and dedups from there on.
+        assert_still_serving(addr, &reference);
+
+        let stats = Json::parse(&request(addr, r#"{"op":"stats"}"#).unwrap()).unwrap();
+        let design = stats.get("cache").unwrap().get("design").unwrap();
+        assert_eq!(
+            design.get("misses").and_then(Json::as_u64),
+            Some(1),
+            "build-once: the panicked build must not count as a miss, \
+             and the rebuild must happen exactly once"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn injected_builder_error_is_typed_and_transient() {
+    let reference = reference_report();
+    let faults = FaultPlan::seeded(4).inject(
+        "cache.design.build",
+        Trigger::Nth(1),
+        FaultAction::Error("injected builder error".into()),
+    );
+    let mut server = serve(&config_with(faults)).expect("bind");
+    let addr = server.addr();
+
+    let first = request(addr, FLOW).expect("response despite builder error");
+    let v = Json::parse(&first).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("internal"),
+        "{first}"
+    );
+    assert!(first.contains("injected builder error"), "{first}");
+
+    assert_still_serving(addr, &reference);
+    server.shutdown();
+}
+
+#[test]
+fn build_once_dedup_holds_after_injected_builder_panic() {
+    // Hammer one cold key from many connections while the first build
+    // panics: exactly one rebuild may happen (miss count 1), everyone
+    // else either gets the typed internal error (they were waiting on
+    // the doomed build) or the rebuilt artifact.
+    let reference = reference_report();
+    let faults = FaultPlan::seeded(5).inject(
+        "cache.design.build",
+        Trigger::Nth(1),
+        FaultAction::Panic("injected builder panic".into()),
+    );
+    let mut config = config_with(faults);
+    config.workers = 4;
+    let mut server = serve(&config).expect("bind");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| std::thread::spawn(move || request(addr, FLOW).expect("response")))
+        .collect();
+    let mut ok = 0usize;
+    let mut internal = 0usize;
+    for h in handles {
+        let response = h.join().expect("client thread");
+        let v = Json::parse(&response).unwrap();
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(canonical_report(&response), reference);
+            ok += 1;
+        } else {
+            assert!(response.contains("internal"), "{response}");
+            internal += 1;
+        }
+    }
+    assert_eq!(internal, 1, "exactly the doomed build's job fails");
+    assert_eq!(ok, 5);
+
+    let stats = Json::parse(&request(addr, r#"{"op":"stats"}"#).unwrap()).unwrap();
+    let design = stats.get("cache").unwrap().get("design").unwrap();
+    assert_eq!(
+        design.get("misses").and_then(Json::as_u64),
+        Some(1),
+        "build-once dedup must hold across the injected panic"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn injected_worker_panics_surface_payload_and_spare_the_daemon() {
+    let reference = reference_report();
+    for seed in [6u64, 7] {
+        let faults = FaultPlan::seeded(seed).inject(
+            "worker.job",
+            Trigger::Nth(1),
+            FaultAction::Panic("injected worker panic".into()),
+        );
+        let mut server = serve(&config_with(faults)).expect("bind");
+        let addr = server.addr();
+
+        let first = request(addr, FLOW).expect("a panicking job still answers");
+        let v = Json::parse(&first).unwrap();
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("internal"),
+            "{first}"
+        );
+        assert!(
+            first.contains("injected worker panic"),
+            "panic payload must reach the client: {first}"
+        );
+        assert_still_serving(addr, &reference);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn torn_writes_and_dropped_connections_do_not_wound_the_daemon() {
+    let reference = reference_report();
+    for (seed, action) in [
+        (8u64, FaultAction::TornWrite),
+        (9u64, FaultAction::DropConn),
+    ] {
+        let faults = FaultPlan::seeded(seed).inject("tcp.write", Trigger::Nth(1), action.clone());
+        let mut server = serve(&config_with(faults)).expect("bind");
+        let addr = server.addr();
+
+        // The first response is torn mid-line or never written; either
+        // way the client sees a broken connection, not a daemon crash.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"{\"op\":\"ping\"}\n").expect("send");
+        let mut got = String::new();
+        let _ = BufReader::new(stream).read_to_string(&mut got);
+        match action {
+            FaultAction::TornWrite => assert!(
+                !got.is_empty() && !got.ends_with('\n') && Json::parse(&got).is_err(),
+                "a torn write is a strict prefix, not a parseable line: {got:?}"
+            ),
+            _ => assert!(got.is_empty(), "DropConn writes nothing: {got:?}"),
+        }
+
+        assert_still_serving(addr, &reference);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn probability_storm_sweep_keeps_reports_byte_identical() {
+    // The full storm: every site armed probabilistically, a burst of
+    // identical jobs fired through it, across a fixed seed sweep. Any
+    // successful response must carry the exact reference report — a
+    // failure may be injected, but a *wrong answer* never.
+    let reference = reference_report();
+    for seed in [21u64, 22, 23] {
+        let faults = FaultPlan::seeded(seed)
+            .inject(
+                "cache.design.build",
+                Trigger::Nth(1),
+                FaultAction::Panic("storm builder panic".into()),
+            )
+            .inject(
+                "worker.job",
+                Trigger::Probability(0.2),
+                FaultAction::Panic("storm worker panic".into()),
+            )
+            .inject(
+                "tcp.write",
+                Trigger::Probability(0.2),
+                FaultAction::DropConn,
+            );
+        let mut config = config_with(faults.clone());
+        config.workers = 4;
+        let mut server = serve(&config).expect("bind");
+        let addr = server.addr();
+
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || request(addr, FLOW)))
+            .collect();
+        let mut successes = 0usize;
+        for h in handles {
+            // A dropped connection (Err) is a visible failure — fine.
+            if let Ok(response) = h.join().expect("client thread") {
+                let v = Json::parse(&response).unwrap();
+                if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                    assert_eq!(
+                        canonical_report(&response),
+                        reference,
+                        "seed {seed}: an injected failure must never \
+                         corrupt a successful report"
+                    );
+                    successes += 1;
+                } else {
+                    assert!(response.contains("internal"), "seed {seed}: {response}");
+                }
+            }
+        }
+        // Disarm (clones share trigger state) so the post-storm probe
+        // is not itself stormed, then: the daemon still serves,
+        // byte-identically.
+        let _ = faults
+            .clone()
+            .inject(
+                "cache.design.build",
+                Trigger::Probability(0.0),
+                FaultAction::Panic("disarmed".into()),
+            )
+            .inject(
+                "worker.job",
+                Trigger::Probability(0.0),
+                FaultAction::Panic("disarmed".into()),
+            )
+            .inject(
+                "tcp.write",
+                Trigger::Probability(0.0),
+                FaultAction::DropConn,
+            );
+        assert_still_serving(addr, &reference);
+        assert!(successes <= 8);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn cancelled_jobs_leave_scratch_engines_reusable() {
+    // A deadline trips mid-flow; the next identical job on the same
+    // daemon (same pooled scratch engines) must produce the exact
+    // reference report — cancellation may truncate *that* job, never
+    // the next one's state.
+    let reference = reference_report();
+    let faults =
+        FaultPlan::seeded(31).inject("flow.stage", Trigger::Nth(1), FaultAction::DelayMs(5_000));
+    let mut server = serve(&config_with(faults)).expect("bind");
+    let addr = server.addr();
+
+    let doomed = format!("{}{}", &FLOW[..FLOW.len() - 1], ",\"deadline_ms\":200}");
+    let response = request(addr, &doomed).expect("deadline response");
+    assert!(response.contains("deadline-exceeded"), "{response}");
+
+    assert_still_serving(addr, &reference);
+    server.shutdown();
+
+    // And a paranoid settle: no background thread should still be
+    // holding the injected delay when the test ends.
+    std::thread::sleep(Duration::from_millis(10));
+}
