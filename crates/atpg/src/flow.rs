@@ -92,6 +92,75 @@ impl AtpgResult {
     }
 }
 
+/// How patterns reach the chains — the delivery seam of the ATPG flow.
+///
+/// The flow generates deterministic test *cubes* (care bits only) and
+/// needs pseudo-random *bootstrap* patterns; how those become the
+/// patterns actually applied is a property of the test architecture,
+/// not of the search. [`RandomFill`] is the classic external-ATE path
+/// (X-fill every don't-care); an EDT implementation encodes the care
+/// bits into compressed channel data and delivers the decompressor's
+/// expansion instead, possibly splitting one cube across several
+/// deliverable patterns when the encoder's linear system is
+/// overconstrained.
+pub trait PatternFill {
+    /// Turns one PODEM cube into the pattern(s) the hardware can
+    /// actually deliver. `proc_index` is set by the caller afterwards.
+    ///
+    /// An empty vector means the cube is undeliverable under this
+    /// source; a multi-pattern vector is a split delivery — the caller
+    /// re-grades the target fault against the batch instead of trusting
+    /// the cube's guarantee.
+    fn deliver(
+        &mut self,
+        cube: Pattern,
+        model: &CaptureModel<'_>,
+        spec: &FrameSpec,
+        pi: usize,
+    ) -> Vec<Pattern>;
+
+    /// One pseudo-random bootstrap pattern for procedure `pi`.
+    fn bootstrap(&mut self, model: &CaptureModel<'_>, spec: &FrameSpec, pi: usize) -> Pattern;
+}
+
+/// The default [`PatternFill`]: random X-fill straight from a seeded
+/// RNG, i.e. uncompressed external-ATE delivery. [`run_atpg`] with this
+/// fill is bit-identical to the historical unfilled entry points (same
+/// RNG, same draw order).
+#[derive(Debug)]
+pub struct RandomFill {
+    rng: StdRng,
+}
+
+impl RandomFill {
+    /// A fill stream seeded like [`AtpgOptions::fill_seed`].
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RandomFill {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PatternFill for RandomFill {
+    fn deliver(
+        &mut self,
+        mut cube: Pattern,
+        _model: &CaptureModel<'_>,
+        _spec: &FrameSpec,
+        _pi: usize,
+    ) -> Vec<Pattern> {
+        cube.fill_x(|| Logic::from_bool(self.rng.gen_bool(0.5)));
+        vec![cube]
+    }
+
+    fn bootstrap(&mut self, model: &CaptureModel<'_>, spec: &FrameSpec, pi: usize) -> Pattern {
+        let mut p = Pattern::empty(model, spec, pi);
+        p.fill_x(|| Logic::from_bool(self.rng.gen_bool(0.5)));
+        p
+    }
+}
+
 /// Grades `candidates` against one batch and applies the detections to
 /// `list`, mapping the lowest detecting pattern bit through
 /// `pattern_of_bit`.
@@ -215,7 +284,7 @@ pub fn run_atpg_preclassified(
 /// # Panics
 ///
 /// Panics under the same conditions as [`run_atpg_preclassified`].
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+#[allow(clippy::too_many_arguments)]
 pub fn run_atpg_cancellable(
     model: &CaptureModel<'_>,
     procedures: &[FrameSpec],
@@ -226,6 +295,54 @@ pub fn run_atpg_cancellable(
     pre_untestable: &[occ_fault::Fault],
     cancel: &CancelToken,
 ) -> Result<AtpgResult, CancelCause> {
+    let mut fill = RandomFill::new(options.fill_seed);
+    run_atpg_filled(
+        model,
+        procedures,
+        universe,
+        options,
+        engine,
+        podem,
+        pre_untestable,
+        cancel,
+        &mut fill,
+    )
+}
+
+/// [`run_atpg_cancellable`] with an explicit [`PatternFill`] delivery
+/// seam: every bootstrap pattern and every PODEM cube goes through
+/// `fill`, so a compressed delivery architecture (EDT) can replace
+/// random X-fill without touching the search.
+///
+/// Two behavioral deltas versus the plain entry points, both only
+/// reachable with a non-trivial fill: a *split* delivery (more than one
+/// pattern per cube) is immediately graded against its target fault —
+/// the cube's detection guarantee does not survive re-encoding — and a
+/// fault whose every found test is *undeliverable* stays
+/// [`FaultStatus::Undetected`] (the search succeeded; the delivery
+/// architecture failed), never `Untestable` or `Aborted`. With
+/// [`RandomFill`] the results are bit-identical to [`run_atpg`].
+///
+/// # Errors
+///
+/// Returns the [`CancelCause`] when the token trips before the run
+/// completes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_atpg_preclassified`].
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn run_atpg_filled(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    universe: FaultUniverse,
+    options: &AtpgOptions,
+    engine: &mut dyn FaultSimEngine,
+    podem: &mut dyn AtpgEngine,
+    pre_untestable: &[occ_fault::Fault],
+    cancel: &CancelToken,
+    fill: &mut dyn PatternFill,
+) -> Result<AtpgResult, CancelCause> {
     engine.attach_cancel(cancel.clone());
     assert!(
         !procedures.is_empty(),
@@ -233,7 +350,6 @@ pub fn run_atpg_cancellable(
     );
     let mut list = FaultList::new(universe);
     let mut stats = AtpgStats::default();
-    let mut rng = StdRng::seed_from_u64(options.fill_seed);
 
     let observability: Vec<Observability> = procedures
         .iter()
@@ -293,9 +409,7 @@ pub fn run_atpg_cancellable(
             remaining -= chunk;
             let mut pats: Vec<Pattern> = Vec::with_capacity(chunk);
             for _ in 0..chunk {
-                let mut p = Pattern::empty(model, spec, pi);
-                p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
-                pats.push(p);
+                pats.push(fill.bootstrap(model, spec, pi));
             }
             let good = simulate_good(model, spec, &pats);
             stats.fsim_batches += 1;
@@ -347,6 +461,7 @@ pub fn run_atpg_cancellable(
         stats.targeted += 1;
         let mut any_abort = false;
         let mut found = false;
+        let mut undeliverable = false;
         for (pi, spec) in procedures.iter().enumerate() {
             let obs = &observability[pi];
             // Quick structural skip: the fault's effect cell can never
@@ -360,20 +475,67 @@ pub fn run_atpg_cancellable(
             }
             stats.podem_calls += 1;
             match podem.run(spec, obs, fault, options.backtrack_limit) {
-                PodemOutcome::Test(mut p) => {
-                    p.proc_index = pi;
-                    p.fill_x(|| Logic::from_bool(rng.gen_bool(0.5)));
-                    let idx = patterns.push(*p);
-                    list.set_status(
-                        fault,
-                        FaultStatus::Detected {
-                            pattern: idx as u32,
-                        },
-                    );
+                PodemOutcome::Test(p) => {
                     stats.tests_found += 1;
-                    pending[pi].push(idx);
-                    if pending[pi].len() == 64 {
-                        let mut batch = std::mem::take(&mut pending[pi]);
+                    let mut delivered = fill.deliver(*p, model, spec, pi);
+                    for q in &mut delivered {
+                        q.proc_index = pi;
+                    }
+                    if delivered.is_empty() {
+                        // The source cannot carry this cube at all;
+                        // keep searching other procedures.
+                        undeliverable = true;
+                        continue;
+                    }
+                    if delivered.len() == 1 {
+                        // Exact delivery: the cube's detection
+                        // guarantee holds, same path as random fill.
+                        let idx = patterns.push(delivered.pop().expect("one pattern"));
+                        list.set_status(
+                            fault,
+                            FaultStatus::Detected {
+                                pattern: idx as u32,
+                            },
+                        );
+                        pending[pi].push(idx);
+                    } else {
+                        // Split delivery: the care bits are spread over
+                        // several patterns, so the target must be
+                        // re-graded — no single pattern is guaranteed
+                        // to detect it.
+                        let idxs: Vec<usize> =
+                            delivered.iter().map(|q| patterns.push(q.clone())).collect();
+                        let good = simulate_good(model, spec, &delivered);
+                        stats.fsim_batches += 1;
+                        let mask = engine.detect_batch(spec, &good, &[fault])[0];
+                        if mask == 0 {
+                            undeliverable = true;
+                        } else {
+                            let bit = mask.trailing_zeros() as usize;
+                            list.set_status(
+                                fault,
+                                FaultStatus::Detected {
+                                    pattern: idxs[bit] as u32,
+                                },
+                            );
+                        }
+                        pending[pi].extend(idxs);
+                        if mask == 0 {
+                            // Keep the patterns (they still drop other
+                            // faults at the next flush) but try the
+                            // remaining procedures for this one.
+                            while pending[pi].len() >= 64 {
+                                let mut batch: Vec<usize> = pending[pi].drain(..64).collect();
+                                flush_batch(
+                                    model, engine, &patterns, procedures, pi, &mut batch,
+                                    &mut list, &mut stats,
+                                );
+                            }
+                            continue;
+                        }
+                    }
+                    while pending[pi].len() >= 64 {
+                        let mut batch: Vec<usize> = pending[pi].drain(..64).collect();
                         flush_batch(
                             model, engine, &patterns, procedures, pi, &mut batch, &mut list,
                             &mut stats,
@@ -389,7 +551,7 @@ pub fn run_atpg_cancellable(
                 PodemOutcome::Untestable => {}
             }
         }
-        if !found {
+        if !found && !undeliverable {
             list.set_status(
                 fault,
                 if any_abort {

@@ -45,7 +45,8 @@ pub use compiled::CompiledPodem;
 pub use dualsim::{DualGraphSim, DualSim};
 pub use engine::{AtpgEngine, AtpgKernelStats};
 pub use flow::{
-    run_atpg, run_atpg_cancellable, run_atpg_preclassified, AtpgOptions, AtpgResult, AtpgStats,
+    run_atpg, run_atpg_cancellable, run_atpg_filled, run_atpg_preclassified, AtpgOptions,
+    AtpgResult, AtpgStats, PatternFill, RandomFill,
 };
 pub use podem::{PodemOutcome, ReferencePodem};
 pub use reach::Observability;

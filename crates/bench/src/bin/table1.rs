@@ -6,7 +6,7 @@
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
 //!        [--engine serial|auto|sharded:N]
 //!        [--atpg-engine reference|compiled] [--timing]
-//!        [--lint [deny|warn]] [--csv] [--verbose]
+//!        [--lint [deny|warn]] [--sources] [--csv] [--verbose]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
@@ -27,8 +27,16 @@
 //! (first row) and every later clocking-mode row reuses the cached
 //! simulation graph. `--verbose` prints the per-row artifact-cache
 //! hits and the sweep's global cache counters.
+//!
+//! `--sources` replaces the five-row table with the 4 clocking modes ×
+//! 3 pattern sources matrix: every transition-test clocking row (b)–(e)
+//! re-run under external ATPG, EDT-compressed delivery, and at-speed
+//! LBIST, with the delay-quality pass forced on so each cell carries
+//! coverage, weighted coverage, and SDQL. The twelve cells run through
+//! one `FlowService` — the design artifact compiles once and the cache
+//! counters printed at the bottom prove it.
 
-use occ_bench::{run_experiment, run_table1, ExperimentId, Table1Options};
+use occ_bench::{run_experiment, run_sources_matrix, run_table1, ExperimentId, Table1Options};
 use occ_fault::FaultStatus;
 use occ_flow::{EngineChoice, LintGate};
 use occ_soc::{generate, SocConfig};
@@ -45,6 +53,7 @@ fn main() {
     let mut row: Option<ExperimentId> = None;
     let mut csv = false;
     let mut verbose = false;
+    let mut sources = false;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -71,6 +80,7 @@ fn main() {
                     .unwrap_or(LintGate::Deny);
                 options.lint = Some(gate);
             }
+            "--sources" => sources = true,
             "--csv" => csv = true,
             "--verbose" => verbose = true,
             other if other.starts_with('-') => {
@@ -85,6 +95,49 @@ fn main() {
                 }
             },
         }
+    }
+
+    if sources {
+        if let Some(id) = row {
+            eprintln!("--sources sweeps all transition rows; drop the '{id}' row argument");
+            std::process::exit(2);
+        }
+        let matrix = match run_sources_matrix(&options) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("flow error: {e}");
+                std::process::exit(1);
+            }
+        };
+        if csv {
+            print!("{}", matrix.to_csv());
+        } else {
+            print!("{matrix}");
+        }
+        if verbose {
+            let hit = |h: Option<bool>| match h {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "-",
+            };
+            println!("artifact cache (in-process flow service):");
+            for c in &matrix.cells {
+                println!(
+                    "  {:<10} {} {:<24} design {:<4} procedures {:<4} delays {}",
+                    c.source,
+                    c.id,
+                    c.report.clocking.label(),
+                    hit(Some(c.cache.design_hit)),
+                    hit(c.cache.procedures_hit),
+                    hit(c.cache.delays_hit),
+                );
+            }
+        }
+        if matrix.shape_checks().iter().any(|(_, ok)| !ok) {
+            eprintln!("shape checks failed: the per-source inversion does not hold");
+            std::process::exit(1);
+        }
+        return;
     }
 
     match row {

@@ -2,7 +2,10 @@
 
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
-use occ_flow::{AtpgEngineChoice, EngineChoice, FaultKind, FlowError, FlowReport, TestFlow};
+use occ_flow::{
+    AtpgEngineChoice, BistConfig, EdtConfig, EngineChoice, FaultKind, FlowError, FlowReport,
+    PatternSource, TestFlow,
+};
 use occ_server::{CacheStats, FlowService, JobCacheStats, JobSpec};
 use occ_sim::DelayModel;
 use occ_soc::{Soc, SocConfig};
@@ -525,6 +528,239 @@ pub fn run_table1(options: &Table1Options) -> Result<Table1, FlowError> {
     })
 }
 
+/// The transition-test clocking rows of the sources matrix, in paper
+/// order: ideal external, simple CPF, enhanced CPF, constrained
+/// external. (Row (a) is stuck-at and stays external-only in Table 1.)
+pub const MATRIX_MODES: [ExperimentId; 4] = [
+    ExperimentId::B,
+    ExperimentId::C,
+    ExperimentId::D,
+    ExperimentId::E,
+];
+
+/// The three pattern sources of the matrix, in sweep order.
+#[must_use]
+pub fn matrix_sources() -> [PatternSource; 3] {
+    [
+        PatternSource::ExternalAtpg,
+        PatternSource::Edt(EdtConfig::auto()),
+        PatternSource::Lbist(BistConfig::default()),
+    ]
+}
+
+/// One cell of the clocking × pattern-source matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// The clocking-mode row.
+    pub id: ExperimentId,
+    /// The pattern-source column label (`external` / `edt` / `lbist`).
+    pub source: &'static str,
+    /// Test coverage in percent under this source's observation.
+    pub coverage_pct: f64,
+    /// Slack-weighted transition coverage in percent.
+    pub weighted_pct: f64,
+    /// Statistical delay quality level (lower is better).
+    pub sdql: f64,
+    /// Pattern count.
+    pub patterns: usize,
+    /// The full flow report (including the `pattern_source` block for
+    /// embedded sources).
+    pub report: FlowReport,
+    /// Per-artifact cache hits of the cell's job.
+    pub cache: JobCacheStats,
+}
+
+/// The 4 clocking modes × 3 pattern sources matrix: the paper's
+/// clocking comparison re-asked under each delivery/observation
+/// architecture, from one [`FlowService`] sweep.
+#[derive(Debug)]
+pub struct SourcesMatrix {
+    /// All cells, source-major then mode order.
+    pub cells: Vec<MatrixCell>,
+    /// The options used.
+    pub options: Table1Options,
+    /// Global cache counters: the design artifact is compiled exactly
+    /// once across all twelve cells.
+    pub cache: CacheStats,
+}
+
+impl SourcesMatrix {
+    /// Fetches a cell.
+    pub fn cell(&self, id: ExperimentId, source: &str) -> &MatrixCell {
+        self.cells
+            .iter()
+            .find(|c| c.id == id && c.source == source)
+            .expect("all cells present")
+    }
+
+    /// The paper's quality inversion evaluated *within each pattern
+    /// source*: the ideal external clock wins logical coverage over
+    /// simple on-chip CPFs, while at-speed enhanced CPFs win SDQL
+    /// (lower is better). Returns `(description, holds)` pairs.
+    pub fn shape_checks(&self) -> Vec<(String, bool)> {
+        let mut checks = Vec::new();
+        for source in ["external", "edt", "lbist"] {
+            let b = self.cell(ExperimentId::B, source);
+            let c = self.cell(ExperimentId::C, source);
+            let d = self.cell(ExperimentId::D, source);
+            checks.push((
+                format!(
+                    "[{source}] external clock wins logical coverage \
+                     ({:.2}% > {:.2}%)",
+                    b.coverage_pct, c.coverage_pct
+                ),
+                b.coverage_pct > c.coverage_pct,
+            ));
+            checks.push((
+                format!(
+                    "[{source}] at-speed enhanced CPF wins SDQL \
+                     ({:.4} < {:.4})",
+                    d.sdql, b.sdql
+                ),
+                d.sdql < b.sdql,
+            ));
+        }
+        checks
+    }
+
+    /// The matrix as CSV: the flow header + one row per cell, then the
+    /// delay-quality and pattern-source block pairs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("source,");
+        out.push_str(FlowReport::csv_header());
+        out.push('\n');
+        for c in &self.cells {
+            out.push_str(c.source);
+            out.push(',');
+            out.push_str(&c.report.to_csv_row());
+            out.push('\n');
+        }
+        out.push_str("source,");
+        out.push_str(FlowReport::delay_quality_csv_header());
+        out.push('\n');
+        for c in &self.cells {
+            if let Some(row) = c.report.delay_quality_csv_row() {
+                out.push_str(c.source);
+                out.push(',');
+                out.push_str(&row);
+                out.push('\n');
+            }
+        }
+        if self.cells.iter().any(|c| c.report.pattern_source.is_some()) {
+            out.push_str(FlowReport::pattern_source_csv_header());
+            out.push('\n');
+            for c in &self.cells {
+                if let Some(row) = c.report.pattern_source_csv_row() {
+                    out.push_str(&row);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SourcesMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "clocking x pattern-source matrix (seed {}, {} flops/domain)",
+            self.options.seed, self.options.flops_per_domain
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:<4} {:<24} {:>8} {:>10} {:>10} {:>9}",
+            "source", "row", "clocking", "TC %", "weighted %", "SDQL", "#pattern"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<10} {:<4} {:<24} {:>8.2} {:>10.2} {:>10.3} {:>9}",
+                c.source,
+                c.id.to_string(),
+                c.report.clocking.label(),
+                c.coverage_pct,
+                c.weighted_pct,
+                c.sdql,
+                c.patterns,
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "compaction accounting (embedded sources):")?;
+        for c in &self.cells {
+            let Some(ps) = &c.report.pattern_source else {
+                continue;
+            };
+            writeln!(
+                f,
+                "  {:<6} {:<4} {:>5}/{:<5} kernel detections survive \
+                 ({} aliased, {} compactor-masked, {} X-masked)",
+                ps.source,
+                c.id.to_string(),
+                ps.source_detected,
+                ps.kernel_detected,
+                ps.aliased,
+                ps.compactor_masked,
+                ps.x_masked,
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "shape checks vs the paper, per source:")?;
+        for (desc, ok) in self.shape_checks() {
+            writeln!(f, "  [{}] {desc}", if ok { "ok" } else { "FAIL" })?;
+        }
+        writeln!(
+            f,
+            "design compiled once across {} cells: {} miss, {} hits",
+            self.cells.len(),
+            self.cache.design.misses,
+            self.cache.design.hits,
+        )
+    }
+}
+
+/// Runs the 4 clocking modes × 3 pattern sources matrix through one
+/// [`FlowService`]: the design artifact is compiled exactly once (the
+/// cache keys exclude the pattern source), and the delay-quality
+/// stage is always on so every cell carries SDQL.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`].
+pub fn run_sources_matrix(options: &Table1Options) -> Result<SourcesMatrix, FlowError> {
+    let service = FlowService::new(0);
+    let design = SocConfig::paper_like(options.seed, options.flops_per_domain);
+    let mut cells = Vec::with_capacity(MATRIX_MODES.len() * 3);
+    for source in matrix_sources() {
+        for id in MATRIX_MODES {
+            let mut spec = job_spec(design.clone(), id, options);
+            spec.timing = true;
+            spec.pattern_source = source.clone();
+            let outcome = service.submit(&spec)?;
+            let report = outcome.report.expect("flow jobs carry a report");
+            let q = report
+                .delay_quality
+                .as_ref()
+                .expect("matrix cells always run the timing stage");
+            cells.push(MatrixCell {
+                id,
+                source: source.label(),
+                coverage_pct: report.coverage_pct(),
+                weighted_pct: q.weighted_coverage_pct,
+                sdql: q.sdql,
+                patterns: report.patterns(),
+                report,
+                cache: outcome.cache,
+            });
+        }
+    }
+    Ok(SourcesMatrix {
+        cells,
+        options: options.clone(),
+        cache: service.cache_stats(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,5 +843,58 @@ mod tests {
         assert_eq!(serial.coverage_pct, sharded.coverage_pct);
         assert_eq!(serial.patterns, sharded.patterns);
         assert_eq!(serial.report.stats(), sharded.report.stats());
+    }
+
+    #[test]
+    fn sources_matrix_shares_one_compiled_design() {
+        let opts = Table1Options {
+            flops_per_domain: 16,
+            backtrack_limit: 12,
+            engine: EngineChoice::Serial,
+            ..Table1Options::default()
+        };
+        let matrix = run_sources_matrix(&opts).unwrap();
+        assert_eq!(matrix.cells.len(), MATRIX_MODES.len() * 3);
+
+        // One compile for twelve cells: the artifact cache keys
+        // deliberately exclude the pattern source.
+        assert_eq!(matrix.cache.design.misses, 1);
+        assert_eq!(matrix.cache.design.hits, 11);
+        assert!(matrix.cells.iter().skip(1).all(|c| c.cache.design_hit));
+
+        // Every cell ran the timing stage; embedded cells carry the
+        // refereed pattern-source block with exhaustive accounting.
+        for c in &matrix.cells {
+            assert!(c.sdql >= 0.0 && c.patterns > 0, "{} {}", c.id, c.source);
+            match c.source {
+                "external" => assert!(c.report.pattern_source.is_none()),
+                _ => {
+                    let ps = c.report.pattern_source.as_ref().unwrap();
+                    assert_eq!(ps.source, c.source);
+                    assert_eq!(
+                        ps.source_detected + ps.aliased + ps.compactor_masked + ps.x_masked,
+                        ps.kernel_detected,
+                        "{} {}: {ps:?}",
+                        c.id,
+                        c.source
+                    );
+                }
+            }
+        }
+
+        // Rendering: one flow row per cell plus block sections; the
+        // shape-check text names every source.
+        let csv = matrix.to_csv();
+        assert!(csv.starts_with("source,design,clocking"), "{csv}");
+        // One flow row and one delay-quality row per edt cell.
+        assert_eq!(
+            csv.lines().filter(|l| l.starts_with("edt,")).count(),
+            MATRIX_MODES.len() * 2
+        );
+        let text = matrix.to_string();
+        for source in ["external", "edt", "lbist"] {
+            assert!(text.contains(&format!("[{source}]")), "{text}");
+        }
+        assert_eq!(matrix.shape_checks().len(), 6);
     }
 }

@@ -26,7 +26,8 @@ mod experiments;
 mod figures;
 
 pub use experiments::{
-    job_spec, run_experiment, run_experiment_service, run_table1, ExperimentId, ExperimentRow,
-    ParseExperimentIdError, Table1, Table1Options,
+    job_spec, matrix_sources, run_experiment, run_experiment_service, run_sources_matrix,
+    run_table1, ExperimentId, ExperimentRow, MatrixCell, ParseExperimentIdError, SourcesMatrix,
+    Table1, Table1Options, MATRIX_MODES,
 };
 pub use figures::{fig1_report, fig2_waveforms, fig3_report, fig4_waveforms};

@@ -1,0 +1,84 @@
+//! Scan-load slot ↔ (chain, cycle) coordinates.
+//!
+//! A [`Pattern`](occ_fsim::Pattern)'s `scan_load` is indexed in the
+//! capture model's scan order; the decompressor and the compactors
+//! address bits by chain and shift cycle. This map translates both
+//! directions for the shift protocol [`occ_dft::ScanChains`] defines:
+//! `chains()[c][0]` is the head flop (next to scan-in), the tail
+//! drives scan-out, and with `L` shift cycles the bit shifted first
+//! ends up in the tail.
+
+use occ_dft::ScanChains;
+use occ_fsim::CaptureModel;
+use std::collections::HashMap;
+
+/// Slot coordinates for every scan flop of a model over a chain set.
+#[derive(Debug, Clone)]
+pub struct ChainMap {
+    n_chains: usize,
+    shift_len: usize,
+    /// Per scan-load slot: `(chain, position-from-head)`.
+    coord: Vec<Option<(usize, usize)>>,
+    chain_len: Vec<usize>,
+}
+
+impl ChainMap {
+    /// Builds the map; slots whose flop is not on any chain (or chain
+    /// cells that are not scan flops in the model) stay unmapped.
+    pub fn new(model: &CaptureModel<'_>, chains: &ScanChains) -> Self {
+        let mut slot_of_cell = HashMap::new();
+        for (slot, &fi) in model.scan_flops().iter().enumerate() {
+            slot_of_cell.insert(model.flops()[fi as usize].cell, slot);
+        }
+        let mut coord = vec![None; model.scan_flops().len()];
+        for (c, chain) in chains.chains().iter().enumerate() {
+            for (pos, cell) in chain.iter().enumerate() {
+                if let Some(&slot) = slot_of_cell.get(cell) {
+                    coord[slot] = Some((c, pos));
+                }
+            }
+        }
+        ChainMap {
+            n_chains: chains.chains().len(),
+            shift_len: chains.max_chain_len(),
+            coord,
+            chain_len: chains.chains().iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Number of chains.
+    pub fn chains(&self) -> usize {
+        self.n_chains
+    }
+
+    /// Shift cycles per load (longest chain).
+    pub fn shift_len(&self) -> usize {
+        self.shift_len
+    }
+
+    /// Number of scan-load slots (model scan flops).
+    pub fn slots(&self) -> usize {
+        self.coord.len()
+    }
+
+    /// Slots with no chain coordinate (should be zero on a well-formed
+    /// scan design — reported so callers can refuse to compress).
+    pub fn unmapped(&self) -> usize {
+        self.coord.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Load-side coordinate: the `(chain, shift-cycle)` whose injected
+    /// bit ends up in this slot's flop after a full load. The head flop
+    /// receives the **last** shifted bit.
+    pub fn load_coord(&self, slot: usize) -> Option<(usize, usize)> {
+        self.coord[slot].map(|(c, pos)| (c, self.shift_len - 1 - pos))
+    }
+
+    /// Unload-side coordinate: the `(chain, unload-cycle)` at which
+    /// this slot's captured value appears on the chain's scan-out. The
+    /// tail flop unloads first; short chains stop contributing after
+    /// `len` cycles.
+    pub fn unload_coord(&self, slot: usize) -> Option<(usize, usize)> {
+        self.coord[slot].map(|(c, pos)| (c, self.chain_len[c] - 1 - pos))
+    }
+}

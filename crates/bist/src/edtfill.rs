@@ -1,0 +1,309 @@
+//! EDT-compressed pattern delivery and compacted-observation grading.
+
+use crate::ChainMap;
+use occ_dft::{EdtCodec, EdtError};
+use occ_fault::{Fault, FaultList, FaultStatus};
+use occ_fsim::{
+    simulate_good, CancelCause, CancelToken, CaptureModel, FaultSim, FrameSpec, Pattern,
+    PatternSet, ScanResponse,
+};
+use occ_netlist::Logic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// An [`occ_atpg::PatternFill`] that delivers every pattern through the
+/// EDT decompressor: ATPG care bits are solved into channel data by
+/// [`EdtCodec::encode`], and the pattern actually applied is whatever
+/// [`EdtCodec::expand`] produces from that channel data — don't-care
+/// positions get the ring generator's pseudo-random fill, not the
+/// tester's. Unencodable cubes are split in half and re-encoded;
+/// singleton care sets that still fail are dropped (the fault stays
+/// `Undetected`, never misclassified as untestable).
+#[derive(Debug)]
+pub struct EdtFill {
+    codec: EdtCodec,
+    map: ChainMap,
+    rng: StdRng,
+    splits: usize,
+    dropped: usize,
+}
+
+impl EdtFill {
+    /// Builds a fill engine for a codec and the chain map binding its
+    /// geometry to the capture model's scan order. `fill_seed` drives
+    /// PI don't-care fill (scan fill comes from the decompressor).
+    pub fn new(codec: EdtCodec, map: ChainMap, fill_seed: u64) -> Self {
+        EdtFill {
+            codec,
+            map,
+            rng: StdRng::seed_from_u64(fill_seed),
+            splits: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of unencodable cubes that were split for re-encoding.
+    pub fn splits(&self) -> usize {
+        self.splits
+    }
+
+    /// Number of cubes dropped as undeliverable (unencodable even as
+    /// singletons, or out-of-range coordinates).
+    pub fn dropped_cubes(&self) -> usize {
+        self.dropped
+    }
+
+    /// Input-side compression ratio of the underlying codec.
+    pub fn compression_ratio(&self) -> f64 {
+        self.codec.compression_ratio()
+    }
+
+    /// Builds the applied pattern for solved channel data: expand,
+    /// map every chain bit back to its scan slot, keep the cube's PI
+    /// values (don't-care PIs random-filled).
+    fn apply(&mut self, channel_bits: &[Vec<bool>], cube: &Pattern) -> Pattern {
+        let delivered = self.codec.expand(channel_bits);
+        let mut p = cube.clone();
+        for slot in 0..self.map.slots() {
+            p.scan_load[slot] = match self.map.load_coord(slot) {
+                Some((chain, cycle)) => Logic::from_bool(delivered[chain][cycle]),
+                // Off-chain flops cannot be loaded by the decompressor.
+                None => Logic::Zero,
+            };
+        }
+        p.fill_x(|| Logic::from_bool(self.rng.gen_bool(0.5)));
+        p
+    }
+
+    fn encode_split(
+        &mut self,
+        cares: &[(usize, usize, bool)],
+        cube: &Pattern,
+        out: &mut Vec<Pattern>,
+    ) {
+        match self.codec.encode(cares) {
+            Ok(channel_bits) => out.push(self.apply(&channel_bits, cube)),
+            Err(EdtError::Unencodable { .. }) => {
+                if cares.len() <= 1 {
+                    self.dropped += 1;
+                    return;
+                }
+                self.splits += 1;
+                let (a, b) = cares.split_at(cares.len() / 2);
+                self.encode_split(a, cube, out);
+                self.encode_split(b, cube, out);
+            }
+            Err(EdtError::OutOfRange { .. }) => self.dropped += 1,
+        }
+    }
+}
+
+impl occ_atpg::PatternFill for EdtFill {
+    fn deliver(
+        &mut self,
+        cube: Pattern,
+        _model: &CaptureModel<'_>,
+        _spec: &FrameSpec,
+        _pi: usize,
+    ) -> Vec<Pattern> {
+        let mut cares = Vec::new();
+        for (slot, &v) in cube.scan_load.iter().enumerate() {
+            if let Some(b) = v.to_bool() {
+                match self.map.load_coord(slot) {
+                    Some((chain, cycle)) => cares.push((chain, cycle, b)),
+                    None => {
+                        // A care bit on an off-chain flop cannot be
+                        // delivered through the decompressor at all.
+                        self.dropped += 1;
+                        return Vec::new();
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        self.encode_split(&cares, &cube, &mut out);
+        out
+    }
+
+    fn bootstrap(&mut self, model: &CaptureModel<'_>, spec: &FrameSpec, pi: usize) -> Pattern {
+        let cycles = self.codec.config().warmup + self.codec.config().shift_len;
+        let channels = self.codec.config().channels;
+        let channel_bits: Vec<Vec<bool>> = (0..cycles)
+            .map(|_| (0..channels).map(|_| self.rng.gen_bool(0.5)).collect())
+            .collect();
+        let cube = Pattern::empty(model, spec, pi);
+        self.apply(&channel_bits, &cube)
+    }
+}
+
+/// Referee accounting for compacted-observation grading: every
+/// kernel-visible detection either survives the space compactor or is
+/// explained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdtGradeReport {
+    /// Faults the uncompacted kernel detected on the delivered
+    /// patterns (full unload + PO observation).
+    pub kernel_detected: usize,
+    /// Faults still detected when scan unloads are observed only
+    /// through the XOR space compactor (POs stay observed — the
+    /// tester sees them directly).
+    pub edt_detected: usize,
+    /// Kernel-detected faults lost to compactor masking: an even
+    /// number of difference bits XOR-cancelled on every detecting
+    /// channel cycle.
+    pub compactor_masked: usize,
+    /// Kernel-detected faults lost to X-blocking: every detecting
+    /// difference shared its compactor output with an X.
+    pub x_masked: usize,
+}
+
+/// Regrades a pattern set under EDT observation: scan unloads are
+/// visible only as the XOR of each compactor group (chains congruent
+/// mod `channels`) per unload cycle, with any X in a group poisoning
+/// that output, matching [`EdtCodec::compact`]. Primary outputs stay
+/// directly observed.
+///
+/// Returns the regraded list (detections are compaction survivors;
+/// terminal classes are carried over from `list` for faults left
+/// undetected) and the referee report. The compacted detection mask
+/// is a subset of the kernel mask by construction.
+///
+/// # Errors
+///
+/// Propagates cancellation between pattern batches.
+pub fn regrade_edt(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    patterns: &PatternSet,
+    list: &FaultList,
+    codec: &EdtCodec,
+    map: &ChainMap,
+    cancel: &CancelToken,
+) -> Result<(FaultList, EdtGradeReport), CancelCause> {
+    let channels = codec.config().channels;
+    let shift_len = map.shift_len();
+    // Per unload cycle: slots feeding each compactor group.
+    let mut by_cycle: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shift_len];
+    for slot in 0..map.slots() {
+        if let Some((chain, cycle)) = map.unload_coord(slot) {
+            by_cycle[cycle].push((slot, chain % channels));
+        }
+    }
+
+    let mut out = FaultList::new(list.universe().clone());
+    // Constrained faults were never ATPG targets; keep that class.
+    for (fault, status) in list.iter() {
+        if status == FaultStatus::Constrained {
+            out.set_status(fault, FaultStatus::Constrained);
+        }
+    }
+
+    let mut fsim = FaultSim::new(model);
+    let mut resp = ScanResponse::new();
+    let mut kernel_seen: HashSet<Fault> = HashSet::new();
+    // Per-fault miss evidence: (cancellation seen, X-blocking seen).
+    let mut evidence: std::collections::HashMap<Fault, (bool, bool)> =
+        std::collections::HashMap::new();
+
+    let mut parity = vec![0u64; channels];
+    let mut xm = vec![0u64; channels];
+    let mut diff_any = vec![0u64; channels];
+
+    for (pi, spec) in procedures.iter().enumerate() {
+        let idxs: Vec<usize> = patterns
+            .patterns()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.proc_index == pi)
+            .map(|(i, _)| i)
+            .collect();
+        for chunk in idxs.chunks(64) {
+            if let Some(cause) = cancel.cause() {
+                return Err(cause);
+            }
+            let pats: Vec<Pattern> = chunk
+                .iter()
+                .map(|&i| patterns.patterns()[i].clone())
+                .collect();
+            let good = simulate_good(model, spec, &pats);
+            let candidates: Vec<Fault> = out
+                .iter()
+                .filter(|(_, s)| *s == FaultStatus::Undetected)
+                .map(|(f, _)| f)
+                .collect();
+            for fault in candidates {
+                let det = fsim.detect_response(spec, &good, fault, &mut resp);
+                if det == 0 {
+                    continue;
+                }
+                kernel_seen.insert(fault);
+                let mut clean = 0u64;
+                let mut xblocked = 0u64;
+                let mut cancelled = 0u64;
+                for groups in &by_cycle {
+                    parity.fill(0);
+                    xm.fill(0);
+                    diff_any.fill(0);
+                    for &(slot, g) in groups {
+                        parity[g] ^= resp.diff[slot];
+                        xm[g] |= resp.good_x[slot] | resp.faulty_x[slot];
+                        diff_any[g] |= resp.diff[slot];
+                    }
+                    for g in 0..channels {
+                        clean |= parity[g] & !xm[g];
+                        xblocked |= diff_any[g] & xm[g];
+                        cancelled |= diff_any[g] & !xm[g] & !parity[g];
+                    }
+                }
+                let edt_mask = (resp.po | clean) & det;
+                debug_assert_eq!(
+                    edt_mask & !det,
+                    0,
+                    "compacted detections must be a subset of kernel detections"
+                );
+                if edt_mask != 0 {
+                    let bit = edt_mask.trailing_zeros() as usize;
+                    out.set_status(
+                        fault,
+                        FaultStatus::Detected {
+                            pattern: chunk[bit] as u32,
+                        },
+                    );
+                } else {
+                    let e = evidence.entry(fault).or_default();
+                    e.0 |= cancelled & det != 0;
+                    e.1 |= xblocked & det != 0;
+                }
+            }
+        }
+    }
+
+    let mut report = EdtGradeReport {
+        kernel_detected: kernel_seen.len(),
+        ..EdtGradeReport::default()
+    };
+    for &fault in &kernel_seen {
+        if out.status(fault).is_detected() {
+            report.edt_detected += 1;
+        } else if evidence.get(&fault).is_some_and(|e| e.0) {
+            report.compactor_masked += 1;
+        } else {
+            report.x_masked += 1;
+        }
+    }
+
+    // Faults the compacted campaign leaves undetected inherit the
+    // deterministic verdicts the ATPG run reached.
+    for (fault, status) in out.iter().collect::<Vec<_>>() {
+        if status == FaultStatus::Undetected {
+            match list.status(fault) {
+                FaultStatus::Untestable => out.set_status(fault, FaultStatus::Untestable),
+                FaultStatus::Aborted => out.set_status(fault, FaultStatus::Aborted),
+                _ => {}
+            }
+        }
+    }
+
+    Ok((out, report))
+}

@@ -1,0 +1,294 @@
+//! The LBIST campaign: PRPG loads, PPSFP grading, MISR compaction.
+
+use crate::{ChainMap, Misr, MisrBatch, Prpg};
+use occ_dft::ScanChains;
+use occ_fault::{Fault, FaultList, FaultSite, FaultStatus, FaultUniverse};
+use occ_fsim::{
+    simulate_good, CancelCause, CancelToken, CaptureModel, FaultSim, FrameSpec, KernelStats,
+    PatternSet, ScanResponse,
+};
+use occ_netlist::Logic;
+use std::collections::HashMap;
+
+/// LBIST campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistConfig {
+    /// Total pseudo-random patterns to apply (cycled over the capture
+    /// procedures batch by batch).
+    pub patterns: usize,
+    /// MISR length in bits (1..=64; chains feed lane `chain % len`,
+    /// congruent chains XOR-merge into one lane).
+    pub misr_len: usize,
+    /// PRPG LFSR length (≥ 8).
+    pub lfsr_len: usize,
+    /// Seed for PRPG state and MISR tap derivation.
+    pub seed: u64,
+}
+
+impl Default for BistConfig {
+    fn default() -> Self {
+        BistConfig {
+            patterns: 1024,
+            misr_len: 32,
+            lfsr_len: 64,
+            seed: 0x0B157,
+        }
+    }
+}
+
+/// Referee accounting for an LBIST run: every kernel-visible detection
+/// either survives MISR compaction or is explained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LbistReport {
+    /// Faults the uncompacted PPSFP kernel detected on at least one
+    /// applied pattern (the upper bound BIST grading is refereed
+    /// against).
+    pub kernel_detected: usize,
+    /// Faults whose response difference survived MISR compaction —
+    /// the only ones LBIST counts as covered.
+    pub bist_detected: usize,
+    /// Kernel-detected faults lost to MISR aliasing: their difference
+    /// bits XOR-cancelled to a zero residual signature on every
+    /// detecting pattern.
+    pub aliased: usize,
+    /// Kernel-detected faults lost to X-masking: every detecting
+    /// pattern also unloaded a faulty-only X, so the compacted
+    /// signature is unpredictable and must not be trusted for
+    /// detection.
+    pub x_masked: usize,
+    /// Predicted good-machine signature over the whole campaign, or
+    /// `None` if an X reached the MISR.
+    pub signature: Option<u64>,
+    /// True iff the signature is predictable **and** lint found no
+    /// unbounded X-source (`L008`) in the observation cone.
+    pub signature_valid: bool,
+    /// Number of `L008` findings fed in by the caller.
+    pub x_sources: usize,
+}
+
+/// Everything a flow needs from an LBIST run.
+#[derive(Debug, Clone)]
+pub struct LbistOutcome {
+    /// The applied pseudo-random patterns (procedures have primary
+    /// outputs masked — LBIST observes through the MISR only).
+    pub patterns: PatternSet,
+    /// Final fault statuses: `Detected` means survived compaction.
+    pub faults: FaultList,
+    /// The referee accounting.
+    pub report: LbistReport,
+    /// PPSFP kernel counters for the grading runs.
+    pub kernel: KernelStats,
+}
+
+/// Runs an LBIST campaign: deterministic PRPG scan loads graded
+/// through the PPSFP kernel, with a fault counted as detected **iff**
+/// its unload difference survives MISR compaction on some pattern.
+///
+/// Primary outputs are never observed (the procedures are cloned with
+/// PO observation masked) — on-chip self-test has no tester comparing
+/// POs. `x_sources` is the `L008` finding count from `occ-lint`
+/// ([`crate::x_source_count`]); any non-zero count invalidates the
+/// signature rather than letting an X corrupt it silently.
+///
+/// # Errors
+///
+/// Propagates cancellation between pattern batches.
+///
+/// # Panics
+///
+/// Panics on a degenerate geometry (`misr_len` outside 1..=64,
+/// `lfsr_len < 8`, no procedures, or no scan chains).
+#[allow(clippy::too_many_arguments)]
+pub fn run_lbist(
+    model: &CaptureModel<'_>,
+    procedures: &[FrameSpec],
+    universe: FaultUniverse,
+    chains: &ScanChains,
+    config: &BistConfig,
+    pre_untestable: &[Fault],
+    x_sources: usize,
+    cancel: &CancelToken,
+) -> Result<LbistOutcome, CancelCause> {
+    assert!(
+        !procedures.is_empty(),
+        "need at least one capture procedure"
+    );
+    // On-chip observation only: the MISR sees scan unloads, nobody
+    // sees primary outputs.
+    let procs: Vec<FrameSpec> = procedures
+        .iter()
+        .map(|s| s.clone().observe_po(false))
+        .collect();
+
+    let map = ChainMap::new(model, chains);
+    assert!(map.chains() > 0, "LBIST needs scan chains");
+    let shift_len = map.shift_len();
+    // Per unload cycle: which slots appear on which MISR lane.
+    let mut by_cycle: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shift_len];
+    for slot in 0..map.slots() {
+        if let Some((chain, cycle)) = map.unload_coord(slot) {
+            by_cycle[cycle].push((slot, chain % config.misr_len));
+        }
+    }
+
+    let mut list = FaultList::new(universe);
+    // Constrained pre-pass, same classification ATPG applies: faults
+    // on held control pins are covered by other test classes.
+    {
+        let controlled: std::collections::HashSet<_> = model
+            .forced()
+            .iter()
+            .map(|&(c, _)| c)
+            .chain(model.masked().iter().copied())
+            .collect();
+        let all: Vec<Fault> = list.faults().to_vec();
+        for fault in all {
+            let node = match fault.site() {
+                FaultSite::Output(c) => c,
+                FaultSite::Input { cell, pin } => model.netlist().cell(cell).inputs()[pin as usize],
+            };
+            if controlled.contains(&node) {
+                list.set_status(fault, FaultStatus::Constrained);
+            }
+        }
+    }
+    for &fault in pre_untestable {
+        if list.status(fault) == FaultStatus::Undetected {
+            list.set_status(fault, FaultStatus::Untestable);
+        }
+    }
+
+    let mut prpg = Prpg::new(config.lfsr_len, map.chains(), config.seed);
+    let mut good_misr = Misr::new(config.misr_len, config.seed);
+    let mut fault_misr = MisrBatch::new(config.misr_len, config.seed);
+    let mut fsim = FaultSim::new(model);
+    let mut resp = ScanResponse::new();
+    let mut patterns = PatternSet::new(procs.clone());
+    // Per-fault referee evidence (keyed only for kernel-detected
+    // faults): (aliasing seen, X-masking seen).
+    let mut evidence: HashMap<Fault, (bool, bool)> = HashMap::new();
+
+    let mut remaining = config.patterns;
+    let mut batch_no = 0usize;
+    while remaining > 0 {
+        if let Some(cause) = cancel.cause() {
+            return Err(cause);
+        }
+        let chunk = remaining.min(64);
+        remaining -= chunk;
+        let pi = batch_no % procs.len();
+        batch_no += 1;
+        let spec = &procs[pi];
+
+        let mut pats = Vec::with_capacity(chunk);
+        for _ in 0..chunk {
+            let mut p = occ_fsim::Pattern::empty(model, spec, pi);
+            let load = prpg.next_load(shift_len);
+            for slot in 0..map.slots() {
+                if let Some((chain, cycle)) = map.load_coord(slot) {
+                    p.scan_load[slot] = Logic::from_bool(load[chain][cycle]);
+                }
+            }
+            // PIs (and any off-chain slot) come from the same PRPG
+            // stream, as a tester channel would drive them.
+            p.fill_x(|| Logic::from_bool(prpg.next_bit()));
+            pats.push(p);
+        }
+        let base = patterns.patterns().len();
+        for p in &pats {
+            patterns.push(p.clone());
+        }
+
+        let good = simulate_good(model, spec, &pats);
+        let frames = spec.frames();
+
+        // Good-machine signature prediction: unload every pattern of
+        // the batch, in order, through the scalar MISR.
+        for p in 0..chunk {
+            for lanes_at in &by_cycle {
+                let mut lanes = vec![Logic::Zero; config.misr_len];
+                for &(slot, lane) in lanes_at {
+                    let fi = model.scan_flops()[slot] as usize;
+                    let pv = good.states[frames][fi];
+                    let v = if pv.x >> p & 1 == 1 {
+                        Logic::X
+                    } else if pv.v >> p & 1 == 1 {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    };
+                    lanes[lane] = Misr::xor(lanes[lane], v);
+                }
+                good_misr.clock(&lanes);
+            }
+        }
+
+        // Grade every still-undetected fault through the kernel, then
+        // re-judge each detection through the MISR.
+        let candidates: Vec<Fault> = list
+            .iter()
+            .filter(|(_, s)| *s == FaultStatus::Undetected)
+            .map(|(f, _)| f)
+            .collect();
+        for fault in candidates {
+            let det = fsim.detect_response(spec, &good, fault, &mut resp);
+            if det == 0 {
+                continue;
+            }
+            // Patterns where the faulty unload has an X the good
+            // machine doesn't: compaction must mask them.
+            let mut fx = 0u64;
+            for slot in 0..map.slots() {
+                if map.unload_coord(slot).is_some() {
+                    fx |= resp.faulty_x[slot] & !resp.good_x[slot];
+                }
+            }
+            fault_misr.reset();
+            for lanes_at in &by_cycle {
+                let mut lanes = vec![0u64; config.misr_len];
+                for &(slot, lane) in lanes_at {
+                    lanes[lane] ^= resp.diff[slot];
+                }
+                fault_misr.clock(&lanes);
+            }
+            let image = fault_misr.nonzero();
+            let bist_mask = image & !fx & det;
+            let e = evidence.entry(fault).or_default();
+            if bist_mask != 0 {
+                list.set_status(
+                    fault,
+                    FaultStatus::Detected {
+                        pattern: (base + bist_mask.trailing_zeros() as usize) as u32,
+                    },
+                );
+            } else {
+                e.0 |= det & !fx & !image != 0;
+                e.1 |= det & fx != 0;
+            }
+        }
+    }
+
+    let mut report = LbistReport {
+        x_sources,
+        kernel_detected: evidence.len(),
+        ..LbistReport::default()
+    };
+    for (fault, &(aliased_ev, _x_ev)) in &evidence {
+        if list.status(*fault).is_detected() {
+            report.bist_detected += 1;
+        } else if aliased_ev {
+            report.aliased += 1;
+        } else {
+            report.x_masked += 1;
+        }
+    }
+    report.signature = good_misr.signature();
+    report.signature_valid = report.signature.is_some() && x_sources == 0;
+
+    Ok(LbistOutcome {
+        patterns,
+        faults: list,
+        report,
+        kernel: fsim.kernel_stats(),
+    })
+}

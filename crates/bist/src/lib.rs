@@ -1,0 +1,82 @@
+//! # occ-bist — at-speed logic BIST and EDT-compressed delivery
+//!
+//! The paper evaluates its clocking modes only under external
+//! deterministic ATPG patterns, but the device it describes loads 357
+//! chains through 36 channels of embedded deterministic test, and the
+//! same at-speed clocking question arises under PRPG/MISR self-test
+//! ("At-Speed Logic BIST for IP Cores"). This crate supplies both
+//! alternative **pattern sources** as first-class flow citizens:
+//!
+//! * [`Prpg`] — an LFSR + phase-shifter pseudo-random pattern
+//!   generator filling scan loads deterministically from a seed;
+//! * [`Misr`] / [`MisrBatch`] — a multiple-input signature register
+//!   over GF(2): the scalar form predicts the good-machine signature
+//!   (X-poisoning tracked explicitly), the bit-sliced form compacts
+//!   64 per-pattern fault-difference streams at once;
+//! * [`run_lbist`] — the LBIST campaign: PRPG patterns graded through
+//!   the PPSFP kernel's [`occ_fsim::FaultSim::detect_response`], where
+//!   a fault counts as BIST-detected **iff its response difference
+//!   survives MISR compaction** — aliasing is modeled, not assumed
+//!   away, and faulty-only X bits mask rather than detect;
+//! * [`EdtFill`] — an [`occ_atpg::PatternFill`] implementation driving
+//!   the [`occ_dft::EdtCodec`]: ATPG care bits go through `encode`
+//!   (splitting unencodable cubes), delivered loads through `expand`;
+//! * [`regrade_edt`] — compacted-observation grading: every detection
+//!   is re-checked through the XOR space compactor, misses are
+//!   explained as compactor masking or X-blocking;
+//! * [`x_source_count`] — the X-bounding hook: `occ-lint`'s `L008`
+//!   findings invalidate a signature instead of silently corrupting
+//!   it.
+//!
+//! The referee contract shared by both sources: compacted-observation
+//! detection masks are always a subset of the uncompacted kernel
+//! masks, and every miss is counted under exactly one explanation
+//! (MISR aliasing, compactor XOR masking, or X-masking).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chainmap;
+mod edtfill;
+mod lbist;
+mod misr;
+mod prpg;
+
+pub use chainmap::ChainMap;
+pub use edtfill::{regrade_edt, EdtFill, EdtGradeReport};
+pub use lbist::{run_lbist, BistConfig, LbistOutcome, LbistReport};
+pub use misr::{Misr, MisrBatch};
+pub use prpg::Prpg;
+
+/// Counts the `L008` (`x-source`) findings in a lint diagnostic list —
+/// the X-bounding input to [`run_lbist`]: any unbounded X-source
+/// reaching the MISR observation cone makes the predicted signature
+/// untrustworthy, so the outcome's `signature_valid` goes false rather
+/// than letting an X corrupt the signature silently.
+pub fn x_source_count(diagnostics: &[occ_lint::Diagnostic]) -> usize {
+    diagnostics
+        .iter()
+        .filter(|d| d.rule == occ_lint::RuleId::XSource)
+        .count()
+}
+
+/// Deterministic PRNG for hardware-structure choice (taps, phase
+/// shifters) — same construction the EDT codec uses, kept private
+/// there.
+pub(crate) struct SplitMix(u64);
+
+impl SplitMix {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix(seed)
+    }
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}

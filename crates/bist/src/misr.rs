@@ -1,0 +1,222 @@
+//! Multiple-input signature registers over GF(2).
+//!
+//! Both forms share one tap derivation so the scalar good-machine
+//! predictor and the bit-sliced fault-difference compactor implement
+//! the **same** hardware. The feedback always taps bit `len - 1`, so
+//! the state-transition matrix is invertible: a single non-zero input
+//! stream can never alias to the zero signature on its own — observed
+//! aliasing is always a genuine multi-bit XOR cancellation.
+
+use crate::SplitMix;
+use occ_netlist::Logic;
+
+fn derive_taps(len: usize, seed: u64) -> Vec<usize> {
+    assert!((1..=64).contains(&len), "MISR length must be 1..=64");
+    let mut rng = SplitMix::new(seed ^ 0x4D15_7000);
+    let mut taps = vec![len - 1];
+    if len > 1 {
+        for _ in 0..3 {
+            taps.push(rng.below(len - 1));
+        }
+    }
+    taps.sort_unstable();
+    taps.dedup();
+    taps
+}
+
+/// Scalar MISR over three-valued [`Logic`]: predicts the good-machine
+/// signature, with X contamination tracked explicitly — once an X
+/// enters the register it spreads through the XOR network and the
+/// signature becomes unknown ([`Misr::signature`] returns `None`).
+#[derive(Debug, Clone)]
+pub struct Misr {
+    state: Vec<Logic>,
+    taps: Vec<usize>,
+}
+
+impl Misr {
+    /// A zero-initialized register of `len` bits (1..=64) with
+    /// seed-derived feedback taps.
+    pub fn new(len: usize, seed: u64) -> Self {
+        Misr {
+            state: vec![Logic::Zero; len],
+            taps: derive_taps(len, seed),
+        }
+    }
+
+    /// Register length.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True for a zero-length register (never constructed here, but
+    /// clippy insists `len` has a companion).
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Back to the all-zero state.
+    pub fn reset(&mut self) {
+        self.state.fill(Logic::Zero);
+    }
+
+    pub(crate) fn xor(a: Logic, b: Logic) -> Logic {
+        match (a, b) {
+            (Logic::X | Logic::Z, _) | (_, Logic::X | Logic::Z) => Logic::X,
+            (x, Logic::Zero) | (Logic::Zero, x) => x,
+            (Logic::One, Logic::One) => Logic::Zero,
+        }
+    }
+
+    /// One capture clock: shift with feedback, then XOR each input
+    /// lane into its bit. `lanes` shorter than the register leaves the
+    /// remaining bits shift-only.
+    pub fn clock(&mut self, lanes: &[Logic]) {
+        let fb = self
+            .taps
+            .iter()
+            .fold(Logic::Zero, |acc, &t| Self::xor(acc, self.state[t]));
+        for i in (1..self.state.len()).rev() {
+            self.state[i] = self.state[i - 1];
+        }
+        self.state[0] = fb;
+        for (i, &l) in lanes.iter().enumerate().take(self.state.len()) {
+            self.state[i] = Self::xor(self.state[i], l);
+        }
+    }
+
+    /// The signature as a bit-packed word, or `None` if any register
+    /// bit is X — an X-contaminated signature compares unequal to
+    /// everything and must invalidate the test, not pass it.
+    pub fn signature(&self) -> Option<u64> {
+        let mut sig = 0u64;
+        for (i, &b) in self.state.iter().enumerate() {
+            match b {
+                Logic::X | Logic::Z => return None,
+                Logic::One => sig |= 1 << i,
+                Logic::Zero => {}
+            }
+        }
+        Some(sig)
+    }
+}
+
+/// Bit-sliced MISR: bit `p` of `state[j]` is register bit `j` of
+/// pattern `p`'s **difference stream**, 64 patterns at once. Because
+/// XOR is linear over GF(2) and every pattern starts from the zero
+/// state, the 64 lanes evolve independently — a pattern's slice is
+/// exactly what a scalar MISR fed only that pattern's diffs would
+/// hold, i.e. faulty-signature XOR good-signature for that pattern.
+#[derive(Debug, Clone)]
+pub struct MisrBatch {
+    state: Vec<u64>,
+    taps: Vec<usize>,
+}
+
+impl MisrBatch {
+    /// Same geometry and taps as [`Misr::new`] with the same inputs.
+    pub fn new(len: usize, seed: u64) -> Self {
+        MisrBatch {
+            state: vec![0; len],
+            taps: derive_taps(len, seed),
+        }
+    }
+
+    /// Back to all-zero difference state for the next pattern batch.
+    pub fn reset(&mut self) {
+        self.state.fill(0);
+    }
+
+    /// One capture clock over all 64 patterns; `lanes[i]` carries
+    /// pattern-packed difference bits for register bit `i`.
+    pub fn clock(&mut self, lanes: &[u64]) {
+        let fb = self.taps.iter().fold(0u64, |acc, &t| acc ^ self.state[t]);
+        for i in (1..self.state.len()).rev() {
+            self.state[i] = self.state[i - 1];
+        }
+        self.state[0] = fb;
+        for (i, &l) in lanes.iter().enumerate().take(self.state.len()) {
+            self.state[i] ^= l;
+        }
+    }
+
+    /// Per-pattern mask of a non-zero residual signature: bit `p` set
+    /// means pattern `p`'s difference stream **survived** compaction
+    /// (faulty signature differs from good). A zero bit with non-zero
+    /// input diffs is aliasing.
+    pub fn nonzero(&self) -> u64 {
+        self.state.iter().fold(0, |acc, &s| acc | s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_batch_agree() {
+        // Feed the same single-pattern diff stream into the scalar
+        // form (as One/Zero) and the batch form (bit 0) — residuals
+        // must match bit for bit.
+        let mut s = Misr::new(16, 42);
+        let mut b = MisrBatch::new(16, 42);
+        let stream = [0b1010u16, 0b0111, 0b0000, 0b1000, 0b0011];
+        for &word in &stream {
+            let lanes_s: Vec<Logic> = (0..4)
+                .map(|i| {
+                    if word >> i & 1 == 1 {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    }
+                })
+                .collect();
+            let lanes_b: Vec<u64> = (0..4).map(|i| u64::from(word >> i & 1)).collect();
+            s.clock(&lanes_s);
+            b.clock(&lanes_b);
+        }
+        let sig = s.signature().unwrap();
+        let mut batch_sig = 0u64;
+        for (j, &w) in b.state.iter().enumerate() {
+            batch_sig |= (w & 1) << j;
+        }
+        assert_eq!(sig, batch_sig);
+        assert_eq!(b.nonzero() & 1, u64::from(sig != 0));
+    }
+
+    #[test]
+    fn x_poisons_signature() {
+        let mut m = Misr::new(8, 1);
+        m.clock(&[Logic::One, Logic::X]);
+        assert_eq!(m.signature(), None);
+        m.reset();
+        m.clock(&[Logic::One, Logic::Zero]);
+        assert!(m.signature().is_some());
+    }
+
+    #[test]
+    fn single_nonzero_stream_never_aliases() {
+        // Invertible transition matrix: one pulse on one lane, then
+        // any number of empty clocks, leaves a non-zero residue.
+        for lane in 0..8 {
+            let mut b = MisrBatch::new(8, 9);
+            let mut lanes = vec![0u64; 8];
+            lanes[lane] = 1;
+            b.clock(&lanes);
+            for _ in 0..100 {
+                b.clock(&[0; 8]);
+            }
+            assert_ne!(b.nonzero() & 1, 0, "lane {lane} aliased to zero");
+        }
+    }
+
+    #[test]
+    fn batch_lanes_are_independent() {
+        // Pattern 3 gets a diff, pattern 5 does not.
+        let mut b = MisrBatch::new(12, 3);
+        b.clock(&[1 << 3, 0, 0]);
+        b.clock(&[0, 0, 0]);
+        assert_ne!(b.nonzero() & (1 << 3), 0);
+        assert_eq!(b.nonzero() & (1 << 5), 0);
+    }
+}

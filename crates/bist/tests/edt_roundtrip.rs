@@ -1,0 +1,245 @@
+//! Seeded property-style checks on EDT delivery: whatever `encode`
+//! solves, `expand` must actually deliver — and when a cube is
+//! unencodable, splitting it must produce patterns that each deliver
+//! their half of the care bits.
+
+use occ_atpg::PatternFill;
+use occ_bist::{ChainMap, EdtFill};
+use occ_dft::{EdtCodec, EdtConfig, EdtError};
+use occ_fsim::{CaptureModel, CycleSpec, FrameSpec, Pattern};
+use occ_netlist::Logic;
+use occ_soc::{generate, Soc, SocConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recursively encode, splitting on `Unencodable` — mirrors what
+/// `EdtFill` does, at the raw codec level. Singleton cares that still
+/// fail (a decompressor output with no free variable on that cycle)
+/// are recorded as dropped, like `EdtFill::dropped_cubes`.
+fn encode_split(
+    codec: &EdtCodec,
+    cares: &[(usize, usize, bool)],
+    dropped: &mut Vec<(usize, usize, bool)>,
+) -> Vec<Vec<Vec<bool>>> {
+    match codec.encode(cares) {
+        Ok(channel_bits) => vec![codec.expand(&channel_bits)],
+        Err(EdtError::Unencodable { .. }) => {
+            if cares.len() <= 1 {
+                dropped.extend_from_slice(cares);
+                return Vec::new();
+            }
+            let (a, b) = cares.split_at(cares.len() / 2);
+            let mut out = encode_split(codec, a, dropped);
+            out.extend(encode_split(codec, b, dropped));
+            out
+        }
+        Err(e) => panic!("unexpected encode error: {e:?}"),
+    }
+}
+
+#[test]
+fn encode_expand_roundtrip_delivers_every_care_bit() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = EdtConfig {
+            channels: 2,
+            chains: 12,
+            shift_len: 10,
+            lfsr_len: 16,
+            warmup: 8,
+            seed: seed ^ 0xED7,
+        };
+        let codec = EdtCodec::new(cfg);
+        for _ in 0..8 {
+            let n_cares = rng.gen_range(1..14);
+            let mut cares: Vec<(usize, usize, bool)> = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..n_cares {
+                let chain = rng.gen_range(0..12);
+                let cycle = rng.gen_range(0..10);
+                if used.insert((chain, cycle)) {
+                    cares.push((chain, cycle, rng.gen_bool(0.5)));
+                }
+            }
+            let mut dropped = Vec::new();
+            let delivered = encode_split(&codec, &cares, &mut dropped);
+            assert!(
+                dropped.is_empty(),
+                "ample warmup: no singleton should drop (seed {seed}, {dropped:?})"
+            );
+            for &(chain, cycle, v) in &cares {
+                assert!(
+                    delivered.iter().any(|d| d[chain][cycle] == v),
+                    "care ({chain},{cycle})={v} not delivered by any split (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unencodable_dense_cube_splits_and_still_delivers() {
+    // One channel and almost no warmup: far fewer free variables than
+    // care bits, so a dense cube cannot encode in one piece.
+    let cfg = EdtConfig {
+        channels: 1,
+        chains: 8,
+        shift_len: 8,
+        lfsr_len: 8,
+        warmup: 2,
+        seed: 3,
+    };
+    let codec = EdtCodec::new(cfg);
+    let mut rng = StdRng::seed_from_u64(11);
+    let cares: Vec<(usize, usize, bool)> = (0..8)
+        .flat_map(|chain| (0..8).map(move |cycle| (chain, cycle)))
+        .map(|(chain, cycle)| (chain, cycle, rng.gen_bool(0.5)))
+        .collect();
+    assert!(
+        matches!(codec.encode(&cares), Err(EdtError::Unencodable { .. })),
+        "64 cares over 10 variables must be unencodable"
+    );
+    let mut dropped = Vec::new();
+    let delivered = encode_split(&codec, &cares, &mut dropped);
+    assert!(delivered.len() > 1, "the dense cube must have split");
+    // Under this starved geometry some shift positions have no free
+    // variable at all; those (and only those) singletons drop.
+    for &(chain, cycle, v) in &cares {
+        assert!(
+            delivered.iter().any(|d| d[chain][cycle] == v) || dropped.contains(&(chain, cycle, v)),
+            "care ({chain},{cycle}) neither delivered nor accounted as dropped"
+        );
+    }
+    assert!(
+        dropped.len() < cares.len() / 2,
+        "most cares must still deliver ({} dropped)",
+        dropped.len()
+    );
+}
+
+fn soc_model(soc: &Soc) -> CaptureModel<'_> {
+    CaptureModel::new(soc.netlist(), soc.binding(true)).unwrap()
+}
+
+fn all_domains_spec(soc: &Soc) -> FrameSpec {
+    let domains: Vec<usize> = (0..soc.clock_ports().len()).collect();
+    FrameSpec::new("capture", vec![CycleSpec::pulsing(&domains)])
+}
+
+#[test]
+fn edtfill_delivers_care_bits_through_the_decompressor() {
+    let soc = generate(&SocConfig::tiny(5));
+    let model = soc_model(&soc);
+    let spec = all_domains_spec(&soc);
+    let map = ChainMap::new(&model, soc.chains());
+    assert_eq!(map.unmapped(), 0, "every SOC scan flop sits on a chain");
+
+    // paper_like keeps the device's 64-bit ring, which a single
+    // channel cannot fully reach within warmup — size the ring to the
+    // channel count so every shift position has free variables.
+    let cfg = EdtConfig {
+        lfsr_len: 16,
+        ..EdtConfig::paper_like(map.chains(), map.shift_len())
+    };
+    let codec = EdtCodec::new(cfg);
+    let mut fill = EdtFill::new(codec, map.clone(), 0x0CC);
+
+    // A sparse cube: a handful of scan care bits, as PODEM would emit.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut cube = Pattern::empty(&model, &spec, 0);
+    let mut cares: Vec<(usize, Logic)> = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    while cares.len() < 6 {
+        let slot = rng.gen_range(0..cube.scan_load.len());
+        if !used.insert(slot) {
+            continue;
+        }
+        let v = Logic::from_bool(rng.gen_bool(0.5));
+        cube.scan_load[slot] = v;
+        cares.push((slot, v));
+    }
+    let delivered = fill.deliver(cube.clone(), &model, &spec, 0);
+    assert!(!delivered.is_empty(), "sparse cube must be deliverable");
+    for &(slot, v) in &cares {
+        assert!(
+            delivered.iter().any(|p| p.scan_load[slot] == v),
+            "care bit at slot {slot} lost in delivery"
+        );
+    }
+    // The decompressor fills everything: no X left anywhere.
+    for p in &delivered {
+        assert!(p.scan_load.iter().all(|v| v.to_bool().is_some()));
+        assert!(p.pis.iter().flatten().all(|v| v.to_bool().is_some()));
+    }
+
+    // Deterministic: the same seed delivers the same patterns.
+    let codec2 = EdtCodec::new(EdtConfig {
+        lfsr_len: 16,
+        ..EdtConfig::paper_like(map.chains(), map.shift_len())
+    });
+    let mut fill2 = EdtFill::new(codec2, map, 0x0CC);
+    assert_eq!(delivered, fill2.deliver(cube, &model, &spec, 0));
+}
+
+#[test]
+fn edtfill_splits_dense_cube_against_tight_codec() {
+    let soc = generate(&SocConfig::tiny(6));
+    let model = soc_model(&soc);
+    let spec = all_domains_spec(&soc);
+    let map = ChainMap::new(&model, soc.chains());
+
+    // Deliberately starved geometry: one channel, minimal warmup.
+    let codec = EdtCodec::new(EdtConfig {
+        channels: 1,
+        chains: map.chains(),
+        shift_len: map.shift_len(),
+        lfsr_len: 16,
+        warmup: 2,
+        seed: 9,
+    });
+    let mut fill = EdtFill::new(codec, map, 7);
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut cube = Pattern::empty(&model, &spec, 0);
+    for v in &mut cube.scan_load {
+        *v = Logic::from_bool(rng.gen_bool(0.5));
+    }
+    let cares: Vec<Logic> = cube.scan_load.clone();
+    let delivered = fill.deliver(cube, &model, &spec, 0);
+    assert!(fill.splits() > 0, "a fully-specified cube must split here");
+    assert!(delivered.len() > 1);
+    // Singleton sub-cubes landing on variable-free shift positions are
+    // dropped; every other care bit must survive some split.
+    let lost = cares
+        .iter()
+        .enumerate()
+        .filter(|&(slot, &v)| !delivered.iter().any(|p| p.scan_load[slot] == v))
+        .count();
+    assert!(
+        lost <= fill.dropped_cubes(),
+        "{lost} care bits lost but only {} cubes dropped",
+        fill.dropped_cubes()
+    );
+    assert!(lost < cares.len() / 2, "most care bits must deliver");
+}
+
+#[test]
+fn edtfill_bootstrap_is_deterministic_and_definite() {
+    let soc = generate(&SocConfig::tiny(7));
+    let model = soc_model(&soc);
+    let spec = all_domains_spec(&soc);
+    let map = ChainMap::new(&model, soc.chains());
+    let mk = || {
+        EdtFill::new(
+            EdtCodec::new(EdtConfig::paper_like(map.chains(), map.shift_len())),
+            map.clone(),
+            42,
+        )
+    };
+    let (mut a, mut b) = (mk(), mk());
+    let pa = a.bootstrap(&model, &spec, 0);
+    assert_eq!(pa, b.bootstrap(&model, &spec, 0));
+    assert!(pa.scan_load.iter().all(|v| v.to_bool().is_some()));
+    // Successive bootstraps differ (the channel stream advances).
+    assert_ne!(pa, a.bootstrap(&model, &spec, 0));
+}

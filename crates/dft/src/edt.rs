@@ -14,7 +14,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Decompressor geometry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdtConfig {
     /// External scan channels (ATE pins).
     pub channels: usize,
@@ -41,6 +41,23 @@ impl EdtConfig {
             chains,
             shift_len,
             lfsr_len: 64,
+            warmup: 16,
+            seed: 0x0CCED7,
+        }
+    }
+
+    /// A fully-deferred geometry: `chains == 0` asks the consumer
+    /// (e.g. `occ-flow`) to derive chains and shift length from the
+    /// design's actual scan architecture, channel count from the chain
+    /// count, and ring length from the channel count — a short ring
+    /// per channel keeps every decompressor output reachable within
+    /// warmup, which a 64-bit ring behind one channel is not.
+    pub fn auto() -> Self {
+        EdtConfig {
+            channels: 0,
+            chains: 0,
+            shift_len: 0,
+            lfsr_len: 0,
             warmup: 16,
             seed: 0x0CCED7,
         }

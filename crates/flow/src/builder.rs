@@ -5,12 +5,16 @@
 
 use crate::artifacts::{build_procedures, validate_procedures, FlowArtifacts};
 use crate::report::LintBlock;
+use crate::source::{PatternSource, PatternSourceBlock};
 use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
 use occ_atpg::{
-    classify_faults, run_atpg_cancellable, AtpgEngine, AtpgOptions, CompiledPodem, ReferencePodem,
+    classify_faults, run_atpg_cancellable, run_atpg_filled, AtpgEngine, AtpgKernelStats,
+    AtpgOptions, AtpgResult, AtpgStats, CompiledPodem, ReferencePodem,
 };
+use occ_bist::{regrade_edt, run_lbist, x_source_count, ChainMap, EdtFill};
 use occ_core::{ClockDomainSpec, ClockingMode};
+use occ_dft::{EdtCodec, EdtConfig};
 use occ_fault::{FaultModel, FaultUniverse};
 use occ_fsim::{
     CancelToken, CaptureModel, ClockBinding, FaultSim, FaultSimEngine, ParallelFaultSim,
@@ -72,6 +76,7 @@ pub struct TestFlow<'s> {
     mask_bidi: bool,
     timing: Option<TimingConfig>,
     lint: Option<LintGate>,
+    pattern_source: PatternSource,
     artifacts: FlowArtifacts,
     cancel: CancelToken,
 }
@@ -93,6 +98,7 @@ impl<'s> TestFlow<'s> {
             mask_bidi: false,
             timing: None,
             lint: None,
+            pattern_source: PatternSource::ExternalAtpg,
             artifacts: FlowArtifacts::default(),
             cancel: CancelToken::never(),
         }
@@ -113,6 +119,7 @@ impl<'s> TestFlow<'s> {
             mask_bidi: false,
             timing: None,
             lint: None,
+            pattern_source: PatternSource::ExternalAtpg,
             artifacts: FlowArtifacts::default(),
             cancel: CancelToken::never(),
         }
@@ -204,6 +211,27 @@ impl<'s> TestFlow<'s> {
     #[must_use]
     pub fn lint(mut self, gate: LintGate) -> Self {
         self.lint = Some(gate);
+        self
+    }
+
+    /// Selects how patterns are delivered to the scan chains (see
+    /// [`PatternSource`]).
+    ///
+    /// * [`PatternSource::ExternalAtpg`] (default) — tester-driven
+    ///   deterministic patterns; flows and reports are unchanged.
+    /// * [`PatternSource::Edt`] — ATPG cubes are solved into channel
+    ///   data by the EDT decompressor and responses are observed
+    ///   through the space compactor; the fault list is re-graded
+    ///   under compacted observation and the report gains a
+    ///   `pattern_source` block (compression ratio, cube splits,
+    ///   compactor-masked / X-masked detections). SOC flows only.
+    /// * [`PatternSource::Lbist`] — PRPG-filled pseudo-random
+    ///   patterns graded through the MISR; replaces the ATPG stage
+    ///   entirely and the block carries the predicted signature,
+    ///   aliasing count and X-source validity. SOC flows only.
+    #[must_use]
+    pub fn pattern_source(mut self, source: PatternSource) -> Self {
+        self.pattern_source = source;
         self
     }
 
@@ -331,48 +359,167 @@ impl<'s> TestFlow<'s> {
             .map_or(&[], |l| l.report.untestable.as_slice());
         check_cancel()?;
 
-        let t0 = Instant::now();
-        // Both fault-sim engines implement FaultSimEngine and yield
-        // bit-identical masks; both ATPG engines implement AtpgEngine
-        // and yield identical outcomes. The flow is generic over the
-        // trait objects.
-        let mut serial;
-        let mut sharded;
-        let engine: &mut dyn FaultSimEngine = match self.engine {
-            EngineChoice::Serial => {
-                serial = FaultSim::new(&model);
-                &mut serial
-            }
-            EngineChoice::Sharded { .. } | EngineChoice::Auto => {
-                sharded = ParallelFaultSim::with_threads(&model, threads);
-                &mut sharded
-            }
-        };
-        let mut reference_podem;
-        let mut compiled_podem;
-        let podem: &mut dyn AtpgEngine = match self.atpg_engine {
-            AtpgEngineChoice::Reference => {
-                reference_podem = ReferencePodem::new(&model);
-                &mut reference_podem
-            }
-            AtpgEngineChoice::Compiled => {
-                compiled_podem = CompiledPodem::new(&model);
-                &mut compiled_podem
-            }
-        };
-        let mut result = run_atpg_cancellable(
-            &model,
-            &procedures,
-            universe,
-            &self.atpg,
-            engine,
-            podem,
-            pre_untestable,
-            &self.cancel,
-        )?;
-        let kernel = engine.kernel_stats();
-        let atpg_kernel = podem.kernel_stats();
-        timed(Stage::Atpg, t0);
+        let mut pattern_source: Option<PatternSourceBlock> = None;
+        let (mut result, kernel, atpg_kernel) =
+            if let PatternSource::Lbist(cfg) = &self.pattern_source {
+                // LBIST replaces deterministic generation outright: the
+                // PRPG fills the chains, the MISR observes them, and the
+                // kernel referees which detections survive compaction.
+                let Source::Soc(soc) = &self.source else {
+                    return Err(FlowError::PatternSourceNeedsSoc { source: "lbist" });
+                };
+                let x_sources = match &lint {
+                    Some(l) => x_source_count(&l.report.diagnostics),
+                    // X-bounding is part of the LBIST contract even when
+                    // the lint stage was not configured: audit X-sources
+                    // internally so the signature validity is always
+                    // honest.
+                    None => {
+                        let r = Linter::new(&model)
+                            .mode(self.clocking)
+                            .chains(soc.chains())
+                            .run();
+                        x_source_count(&r.diagnostics)
+                    }
+                };
+                let t0 = Instant::now();
+                let outcome = run_lbist(
+                    &model,
+                    &procedures,
+                    universe,
+                    soc.chains(),
+                    cfg,
+                    pre_untestable,
+                    x_sources,
+                    &self.cancel,
+                )?;
+                timed(Stage::PatternSource, t0);
+                let r = outcome.report;
+                pattern_source = Some(PatternSourceBlock {
+                    source: "lbist".to_owned(),
+                    kernel_detected: r.kernel_detected,
+                    source_detected: r.bist_detected,
+                    aliased: r.aliased,
+                    compactor_masked: 0,
+                    x_masked: r.x_masked,
+                    signature: r.signature,
+                    signature_valid: Some(r.signature_valid),
+                    x_sources: r.x_sources,
+                    compression_ratio: 0.0,
+                    encode_splits: 0,
+                    dropped_cubes: 0,
+                });
+                let result = AtpgResult {
+                    patterns: outcome.patterns,
+                    faults: outcome.faults,
+                    stats: AtpgStats::default(),
+                };
+                (result, outcome.kernel, AtpgKernelStats::default())
+            } else {
+                let t0 = Instant::now();
+                // Both fault-sim engines implement FaultSimEngine and yield
+                // bit-identical masks; both ATPG engines implement AtpgEngine
+                // and yield identical outcomes. The flow is generic over the
+                // trait objects.
+                let mut serial;
+                let mut sharded;
+                let engine: &mut dyn FaultSimEngine = match self.engine {
+                    EngineChoice::Serial => {
+                        serial = FaultSim::new(&model);
+                        &mut serial
+                    }
+                    EngineChoice::Sharded { .. } | EngineChoice::Auto => {
+                        sharded = ParallelFaultSim::with_threads(&model, threads);
+                        &mut sharded
+                    }
+                };
+                let mut reference_podem;
+                let mut compiled_podem;
+                let podem: &mut dyn AtpgEngine = match self.atpg_engine {
+                    AtpgEngineChoice::Reference => {
+                        reference_podem = ReferencePodem::new(&model);
+                        &mut reference_podem
+                    }
+                    AtpgEngineChoice::Compiled => {
+                        compiled_podem = CompiledPodem::new(&model);
+                        &mut compiled_podem
+                    }
+                };
+                let result = match &self.pattern_source {
+                    PatternSource::Edt(cfg) => {
+                        // Every ATPG cube is delivered through the EDT
+                        // decompressor instead of directly by the tester.
+                        let Source::Soc(soc) = &self.source else {
+                            return Err(FlowError::PatternSourceNeedsSoc { source: "edt" });
+                        };
+                        let map = ChainMap::new(&model, soc.chains());
+                        let cfg = resolve_edt_geometry(cfg, &map)?;
+                        let codec = EdtCodec::new(cfg.clone());
+                        let mut fill =
+                            EdtFill::new(EdtCodec::new(cfg), map.clone(), self.atpg.fill_seed);
+                        let mut result = run_atpg_filled(
+                            &model,
+                            &procedures,
+                            universe,
+                            &self.atpg,
+                            engine,
+                            podem,
+                            pre_untestable,
+                            &self.cancel,
+                            &mut fill,
+                        )?;
+                        timed(Stage::Atpg, t0);
+                        // Re-grade the final pattern set under compacted
+                        // observation: detections that die to XOR
+                        // cancellation or X-poisoning in the compactor are
+                        // taken away again, with the loss accounted.
+                        let t1 = Instant::now();
+                        let (faults, grade) = regrade_edt(
+                            &model,
+                            &procedures,
+                            &result.patterns,
+                            &result.faults,
+                            &codec,
+                            &map,
+                            &self.cancel,
+                        )?;
+                        result.faults = faults;
+                        timed(Stage::PatternSource, t1);
+                        pattern_source = Some(PatternSourceBlock {
+                            source: "edt".to_owned(),
+                            kernel_detected: grade.kernel_detected,
+                            source_detected: grade.edt_detected,
+                            aliased: 0,
+                            compactor_masked: grade.compactor_masked,
+                            x_masked: grade.x_masked,
+                            signature: None,
+                            signature_valid: None,
+                            x_sources: 0,
+                            compression_ratio: fill.compression_ratio(),
+                            encode_splits: fill.splits(),
+                            dropped_cubes: fill.dropped_cubes(),
+                        });
+                        result
+                    }
+                    _ => {
+                        let result = run_atpg_cancellable(
+                            &model,
+                            &procedures,
+                            universe,
+                            &self.atpg,
+                            engine,
+                            podem,
+                            pre_untestable,
+                            &self.cancel,
+                        )?;
+                        timed(Stage::Atpg, t0);
+                        result
+                    }
+                };
+                let kernel = engine.kernel_stats();
+                let atpg_kernel = podem.kernel_stats();
+                (result, kernel, atpg_kernel)
+            };
 
         let t0 = Instant::now();
         classify_faults(&model, &mut result.faults);
@@ -410,6 +557,7 @@ impl<'s> TestFlow<'s> {
             atpg_kernel,
             lint,
             delay_quality,
+            pattern_source,
             result,
         })
     }
@@ -439,4 +587,43 @@ impl<'s> TestFlow<'s> {
             Source::Model { .. } => vec![DEFAULT_DOMAIN_PERIOD_PS; n_domains],
         }
     }
+}
+
+/// Resolves an [`EdtConfig`] against the design's actual scan
+/// geometry. A config with `chains == 0` (see [`EdtConfig::auto`]) is
+/// derived: chains and shift length from the chain map, channel count
+/// from the paper's ~10:1 chain:channel shape, and ring length from
+/// the channel count — a ring much longer than the variables a
+/// channel can inject within warmup leaves decompressor outputs
+/// structurally constant, so `auto` sizes it at 8 cells per channel.
+/// An explicit config must match the design exactly.
+fn resolve_edt_geometry(cfg: &EdtConfig, map: &ChainMap) -> Result<EdtConfig, FlowError> {
+    if cfg.chains == 0 {
+        let chains = map.chains();
+        let channels = if cfg.channels > 0 {
+            cfg.channels
+        } else {
+            (chains / 10).max(1)
+        };
+        let lfsr_len = if cfg.lfsr_len > 0 {
+            cfg.lfsr_len
+        } else {
+            (channels * 8).clamp(16, 64)
+        };
+        return Ok(EdtConfig {
+            channels,
+            chains,
+            shift_len: map.shift_len(),
+            lfsr_len,
+            warmup: cfg.warmup.max(1),
+            seed: cfg.seed,
+        });
+    }
+    if cfg.chains != map.chains() || cfg.shift_len != map.shift_len() {
+        return Err(FlowError::EdtGeometryMismatch {
+            config: (cfg.chains, cfg.shift_len),
+            design: (map.chains(), map.shift_len()),
+        });
+    }
+    Ok(cfg.clone())
 }

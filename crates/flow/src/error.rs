@@ -48,6 +48,23 @@ pub enum FlowError {
         /// The first error diagnostic, rendered.
         first: String,
     },
+    /// An embedded pattern source (EDT or LBIST) was requested on a
+    /// bare-model flow: those sources are defined in terms of the
+    /// SOC's scan-chain architecture, which `TestFlow::model` does not
+    /// carry.
+    PatternSourceNeedsSoc {
+        /// The requested source's label (`edt` / `lbist`).
+        source: &'static str,
+    },
+    /// An explicit [`EdtConfig`](occ_dft::EdtConfig) disagrees with
+    /// the SOC's actual scan geometry (leave `chains` at 0 to let the
+    /// flow derive the geometry).
+    EdtGeometryMismatch {
+        /// Chains/shift length the config claims.
+        config: (usize, usize),
+        /// Chains/shift length the design actually has.
+        design: (usize, usize),
+    },
     /// The flow's [`CancelToken`] was cancelled explicitly (a draining
     /// server abandoning in-flight work); all partial state was
     /// discarded.
@@ -93,6 +110,17 @@ impl fmt::Display for FlowError {
             FlowError::LintDenied { errors, first } => write!(
                 f,
                 "lint denied the flow: {errors} error-severity violation(s), first: {first}"
+            ),
+            FlowError::PatternSourceNeedsSoc { source } => write!(
+                f,
+                "pattern source '{source}' needs a SOC flow (scan-chain \
+                 architecture); bare-model flows only support external ATPG"
+            ),
+            FlowError::EdtGeometryMismatch { config, design } => write!(
+                f,
+                "EDT config geometry ({} chains x {} cycles) does not match \
+                 the design ({} chains x {} cycles); set chains to 0 to derive it",
+                config.0, config.1, design.0, design.1
             ),
             FlowError::Cancelled => f.write_str("flow cancelled before completion"),
             FlowError::DeadlineExceeded => f.write_str("flow deadline exceeded before completion"),

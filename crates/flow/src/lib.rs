@@ -58,6 +58,7 @@ mod builder;
 mod engine;
 mod error;
 mod report;
+mod source;
 mod timing;
 
 pub use artifacts::{build_procedures, validate_procedures, FlowArtifacts};
@@ -67,7 +68,14 @@ pub use engine::{
 };
 pub use error::FlowError;
 pub use report::{FlowReport, LintBlock, Stage, StageTiming};
+pub use source::{PatternSource, PatternSourceBlock};
 pub use timing::{TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
+
+/// Embedded pattern-source configurations accepted by
+/// [`TestFlow::pattern_source`] — re-exported from [`occ_bist`] and
+/// [`occ_dft`].
+pub use occ_bist::BistConfig;
+pub use occ_dft::EdtConfig;
 
 /// Delay-test-quality types every timed [`FlowReport`] carries —
 /// re-exported from [`occ_timing`].

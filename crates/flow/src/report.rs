@@ -2,6 +2,7 @@
 //! counters, the coverage report and std-only JSON/CSV serialization
 //! (no serde — the workspace builds offline).
 
+use crate::source::PatternSourceBlock;
 use occ_atpg::{AtpgKernelStats, AtpgResult, AtpgStats};
 use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
@@ -35,6 +36,10 @@ pub enum Stage {
     Lint,
     /// The ATPG run itself (bootstrap, PODEM, fault sim, compaction).
     Atpg,
+    /// The embedded pattern-source pass: LBIST generation + MISR
+    /// grading, or EDT compacted-observation re-grade; only runs when
+    /// `TestFlow::pattern_source` selected an embedded source.
+    PatternSource,
     /// Structural classification of leftover faults.
     Classify,
     /// The delay-test-quality pass (STA + timed re-grade); only runs
@@ -51,6 +56,7 @@ impl Stage {
             Stage::FaultUniverse => "fault-universe",
             Stage::Lint => "lint",
             Stage::Atpg => "atpg",
+            Stage::PatternSource => "pattern-source",
             Stage::Classify => "classify",
             Stage::Timing => "timing",
         }
@@ -115,6 +121,10 @@ pub struct FlowReport {
     /// per-procedure capture windows). `None` unless the flow ran with
     /// `TestFlow::timing` — reports of untimed flows are unchanged.
     pub delay_quality: Option<QualityReport>,
+    /// Embedded pattern-source accounting (MISR signature / aliasing,
+    /// EDT compression / compactor masking). `None` for external-ATPG
+    /// flows — their reports are unchanged.
+    pub pattern_source: Option<PatternSourceBlock>,
     /// The full ATPG result: compacted pattern set and fault statuses.
     pub result: AtpgResult,
 }
@@ -297,6 +307,30 @@ impl FlowReport {
             }
             write!(w, "]}}")?;
         }
+        if let Some(ps) = &self.pattern_source {
+            write!(
+                w,
+                ",\"pattern_source\":{{\"source\":{},\"kernel_detected\":{},\
+                 \"source_detected\":{},\"aliased\":{},\"compactor_masked\":{},\
+                 \"x_masked\":{},\"signature\":{},\"signature_valid\":{},\
+                 \"x_sources\":{},\"compression_ratio\":{},\"encode_splits\":{},\
+                 \"dropped_cubes\":{}}}",
+                json_string(&ps.source),
+                ps.kernel_detected,
+                ps.source_detected,
+                ps.aliased,
+                ps.compactor_masked,
+                ps.x_masked,
+                ps.signature
+                    .map_or_else(|| "null".to_owned(), |s| s.to_string()),
+                ps.signature_valid
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+                ps.x_sources,
+                json_f64(ps.compression_ratio),
+                ps.encode_splits,
+                ps.dropped_cubes,
+            )?;
+        }
         write!(w, ",\"stages\":[")?;
         for (i, st) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -355,7 +389,7 @@ impl FlowReport {
     /// [`FlowReport::lint_csv_row`]).
     pub fn lint_csv_header() -> &'static str {
         "design,gate,errors,warnings,untestable,lint_pruned,\
-         l001,l002,l003,l004,l005,l006,l007"
+         l001,l002,l003,l004,l005,l006,l007,l008"
     }
 
     /// One CSV row of lint data, when the flow ran the lint stage.
@@ -408,6 +442,38 @@ impl FlowReport {
         ))
     }
 
+    /// The CSV header of the `pattern_source` block (see
+    /// [`FlowReport::pattern_source_csv_row`]).
+    pub fn pattern_source_csv_header() -> &'static str {
+        "design,source,kernel_detected,source_detected,aliased,compactor_masked,\
+         x_masked,signature,signature_valid,x_sources,compression_ratio,\
+         encode_splits,dropped_cubes"
+    }
+
+    /// One CSV row of pattern-source data, when the flow ran an
+    /// embedded pattern source.
+    pub fn pattern_source_csv_row(&self) -> Option<String> {
+        let ps = self.pattern_source.as_ref()?;
+        Some(format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.2},{},{}",
+            csv_field(&self.design),
+            csv_field(&ps.source),
+            ps.kernel_detected,
+            ps.source_detected,
+            ps.aliased,
+            ps.compactor_masked,
+            ps.x_masked,
+            ps.signature
+                .map_or_else(String::new, |s| format!("{s:#018x}")),
+            ps.signature_valid
+                .map_or_else(String::new, |v| v.to_string()),
+            ps.x_sources,
+            ps.compression_ratio,
+            ps.encode_splits,
+            ps.dropped_cubes,
+        ))
+    }
+
     /// Writes header + row as a two-line CSV document; a flow that ran
     /// the timing stage appends the `delay_quality` header + row pair
     /// (untimed reports are byte-identical to before the stage
@@ -425,6 +491,10 @@ impl FlowReport {
         }
         if let Some(row) = self.delay_quality_csv_row() {
             writeln!(w, "{}", Self::delay_quality_csv_header())?;
+            writeln!(w, "{row}")?;
+        }
+        if let Some(row) = self.pattern_source_csv_row() {
+            writeln!(w, "{}", Self::pattern_source_csv_header())?;
             writeln!(w, "{row}")?;
         }
         Ok(())
@@ -491,6 +561,37 @@ impl fmt::Display for FlowReport {
         }
         if let Some(q) = &self.delay_quality {
             write!(f, "  {q}")?;
+        }
+        if let Some(ps) = &self.pattern_source {
+            writeln!(
+                f,
+                "  pattern source [{}]: {} of {} kernel detections survive \
+                 compaction ({} aliased, {} compactor-masked, {} X-masked)",
+                ps.source,
+                ps.source_detected,
+                ps.kernel_detected,
+                ps.aliased,
+                ps.compactor_masked,
+                ps.x_masked
+            )?;
+            match (ps.signature, ps.signature_valid) {
+                (Some(sig), Some(valid)) => writeln!(
+                    f,
+                    "    signature {sig:#018x} ({}, {} X-source(s))",
+                    if valid { "valid" } else { "invalid" },
+                    ps.x_sources
+                )?,
+                (None, Some(_)) => writeln!(
+                    f,
+                    "    signature unpredictable (X reached the MISR; {} X-source(s))",
+                    ps.x_sources
+                )?,
+                _ => writeln!(
+                    f,
+                    "    compression {:.1}x, {} cube split(s), {} dropped",
+                    ps.compression_ratio, ps.encode_splits, ps.dropped_cubes
+                )?,
+            }
         }
         write!(f, "  total {:.3}s", self.total_seconds())
     }

@@ -1,0 +1,85 @@
+//! Pattern sources: how test stimulus reaches the scan chains.
+//!
+//! The paper's Table 1 is measured under external deterministic ATPG,
+//! but the device it describes delivers its patterns through embedded
+//! deterministic test (357 chains behind 36 channels) and the same
+//! clocking question arises under LBIST. [`PatternSource`] makes the
+//! delivery/observation architecture a first-class flow axis next to
+//! the clocking mode, so the 4×3 matrix (clocking × source) comes out
+//! of one [`TestFlow`](crate::TestFlow) sweep.
+
+use occ_bist::BistConfig;
+use occ_dft::EdtConfig;
+
+/// How patterns are delivered to (and responses observed from) the
+/// scan chains.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum PatternSource {
+    /// External deterministic ATPG: every chain is driven and observed
+    /// directly by the tester (the paper's own setup). The default —
+    /// flows and reports are byte-identical to before this axis
+    /// existed.
+    #[default]
+    ExternalAtpg,
+    /// Embedded deterministic test: ATPG care bits are solved into
+    /// channel data by the EDT ring generator, loads are whatever the
+    /// decompressor expands, unloads are observed through the XOR
+    /// space compactor (X-poisoning and cancellation modeled). A
+    /// config with `chains == 0` asks the flow to derive the geometry
+    /// from the SOC's actual chains.
+    Edt(EdtConfig),
+    /// At-speed logic BIST: PRPG-filled pseudo-random loads, responses
+    /// compacted into a MISR signature; a fault counts as detected iff
+    /// its response difference survives compaction (aliasing and
+    /// X-masking are modeled and reported, and `occ-lint`'s `L008`
+    /// X-source findings invalidate the signature).
+    Lbist(BistConfig),
+}
+
+impl PatternSource {
+    /// Stable machine-readable label (`external` / `edt` / `lbist`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PatternSource::ExternalAtpg => "external",
+            PatternSource::Edt(_) => "edt",
+            PatternSource::Lbist(_) => "lbist",
+        }
+    }
+}
+
+/// The pattern-source stage's referee accounting as carried by a
+/// [`FlowReport`](crate::FlowReport). `None` on external-ATPG flows —
+/// their reports are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSourceBlock {
+    /// Source label (`edt` / `lbist`).
+    pub source: String,
+    /// Faults the uncompacted PPSFP kernel detected on the applied
+    /// patterns — the bound every compacted claim is refereed against.
+    pub kernel_detected: usize,
+    /// Faults still detected under compacted observation (these are
+    /// what the coverage numbers count).
+    pub source_detected: usize,
+    /// Kernel detections lost to MISR aliasing (LBIST only).
+    pub aliased: usize,
+    /// Kernel detections lost to XOR cancellation in the space
+    /// compactor (EDT only).
+    pub compactor_masked: usize,
+    /// Kernel detections lost to X-poisoned compactor outputs.
+    pub x_masked: usize,
+    /// Predicted good-machine MISR signature (LBIST; `None` when an X
+    /// reached the register or for EDT).
+    pub signature: Option<u64>,
+    /// Whether the signature is trustworthy: predictable and no `L008`
+    /// X-source in the observation cone (LBIST; `None` for EDT).
+    pub signature_valid: Option<bool>,
+    /// `L008` X-source findings consumed for X-bounding.
+    pub x_sources: usize,
+    /// Input-side compression ratio, internal bits per external bit
+    /// (EDT; 0 for LBIST).
+    pub compression_ratio: f64,
+    /// Unencodable ATPG cubes split for re-encoding (EDT).
+    pub encode_splits: usize,
+    /// Cubes dropped as undeliverable (EDT).
+    pub dropped_cubes: usize,
+}

@@ -101,6 +101,55 @@ struct TimedScratch {
     last_path: TimePs,
 }
 
+/// Per-fault scan-unload response detail, filled by
+/// [`FaultSim::detect_response`]: everything a space/time compactor
+/// model (EDT XOR compactor, LBIST MISR) needs to re-grade a detection
+/// under *compacted* observation.
+///
+/// All per-flop vectors are indexed in [`SimGraph::scan_flops`] order —
+/// the same order as [`crate::Pattern::scan_load`] slots — and every
+/// mask is packed over the batch patterns (bit per pattern), already
+/// masked by the launch condition and the batch validity mask.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResponse {
+    /// The full detection mask, identical to what
+    /// [`FaultSim::detect`] returns: `po | OR(diff)`.
+    pub detect: u64,
+    /// Patterns detecting at an observed primary output.
+    pub po: u64,
+    /// Per scan flop: patterns with a definite good/faulty unload
+    /// difference at that flop.
+    pub diff: Vec<u64>,
+    /// Per scan flop: patterns whose *good-machine* unload value is X
+    /// (an X-bounding concern: the signature is unpredictable there).
+    pub good_x: Vec<u64>,
+    /// Per scan flop: patterns whose *faulty-machine* unload value is
+    /// X. Faulty-only X (`faulty_x & !good_x`) means the faulty
+    /// response is unpredictable even though the good one is known —
+    /// a compactor must treat such patterns as masked, never detected.
+    pub faulty_x: Vec<u64>,
+}
+
+impl ScanResponse {
+    /// An empty response (sized lazily by the first
+    /// [`FaultSim::detect_response`] call).
+    #[must_use]
+    pub fn new() -> Self {
+        ScanResponse::default()
+    }
+
+    /// Zeroes every mask and (re)sizes the per-flop vectors; reuses
+    /// the allocations once warmed up.
+    fn reset(&mut self, n_scan: usize) {
+        self.detect = 0;
+        self.po = 0;
+        for v in [&mut self.diff, &mut self.good_x, &mut self.faulty_x] {
+            v.clear();
+            v.resize(n_scan, 0);
+        }
+    }
+}
+
 /// Reusable PPSFP engine bound to one capture model.
 ///
 /// All scratch state (value/stamp arrays, levelized worklist buckets,
@@ -159,6 +208,10 @@ pub struct FaultSim<'g> {
     // Carried faulty flop state: current frame in, next frame out.
     cur: StateBuf,
     next: StateBuf,
+    // PO-observation difference mask of the most recent *full* kernel
+    // pass (unmasked; stale after an early return — detect_response
+    // replicates the early exits before trusting it or `cur`).
+    po_diff: u64,
     // Optional timed-detect annotations (attach_timing).
     timed: Option<Box<TimedScratch>>,
     // Cooperative cancellation, polled at batch-loop boundaries
@@ -195,6 +248,7 @@ impl<'g> FaultSim<'g> {
             touched: Vec::new(),
             cur: StateBuf::new(n_flops),
             next: StateBuf::new(n_flops),
+            po_diff: 0,
             timed: None,
             cancel: CancelToken::never(),
             faults_graded: 0,
@@ -280,6 +334,101 @@ impl<'g> FaultSim<'g> {
         } else {
             self.detect_untimed(spec, good, fault)
         }
+    }
+
+    /// The launch/validity mask of a fault under this spec — a bit per
+    /// pattern where a detection is even possible. Mirrors the kernel's
+    /// own computation so [`FaultSim::detect_response`] can recognize
+    /// the early-return paths that leave the scratch state stale.
+    fn launch_mask(&self, spec: &FrameSpec, good: &GoodBatch, fault: Fault) -> u64 {
+        match fault.model() {
+            FaultModel::StuckAt => good.valid_mask,
+            FaultModel::Transition => {
+                let frames = spec.frames();
+                if frames < 2 {
+                    return 0;
+                }
+                let site_node = graph_site_node(self.graph, fault.site());
+                let before = good.frames[frames - 2][site_node];
+                let after = good.frames[frames - 1][site_node];
+                let m = match fault.polarity() {
+                    Polarity::P0 => before.def0() & after.def1(),
+                    Polarity::P1 => before.def1() & after.def0(),
+                };
+                m & good.valid_mask
+            }
+        }
+    }
+
+    /// Like [`FaultSim::detect`], but additionally fills `resp` with
+    /// the per-scan-flop unload response detail a compactor model
+    /// (MISR, EDT XOR tree) needs to decide which detections survive
+    /// compaction.
+    ///
+    /// The response vectors follow `graph.scan_flops()` order — the
+    /// same order as a [`Pattern`](crate::Pattern)'s `scan_load` slots.
+    /// `diff` and `po` are pre-masked by the launch and validity masks,
+    /// so the invariant `detect == po | OR(diff[i])` holds exactly; a
+    /// compactor never needs to re-derive the kernel's masking. `good_x`
+    /// / `faulty_x` carry the unload X positions (masked by validity
+    /// only): a faulty-only X (`faulty_x & !good_x`) is a position the
+    /// compactor must treat as unknown, never as a detection.
+    ///
+    /// Costs one extra pass over the scan flops on top of
+    /// [`FaultSim::detect`]; the kernel loop itself is unchanged.
+    pub fn detect_response(
+        &mut self,
+        spec: &FrameSpec,
+        good: &GoodBatch,
+        fault: Fault,
+        resp: &mut ScanResponse,
+    ) -> u64 {
+        let scan = self.graph.scan_flops();
+        resp.reset(scan.len());
+
+        // Replicate the kernel's early exits: on any of them the
+        // kernel returns 0 before running the frame loop, leaving
+        // `cur` / `po_diff` stale from the previous fault.
+        let with_po = !spec.po_observe_frames().is_empty();
+        let launch = self.launch_mask(spec, good, fault);
+        let early = !self.graph.observable(fault.site().effect_cell(), with_po) || launch == 0;
+
+        let detect = self.detect(spec, good, fault);
+        if early {
+            debug_assert_eq!(detect, 0, "early-exit replication out of sync with kernel");
+            return 0;
+        }
+
+        let valid = good.valid_mask;
+        resp.po = self.po_diff & launch & valid;
+
+        let frames = spec.frames();
+        let forced = forced_val(fault.polarity());
+        let out_site = match fault.site() {
+            FaultSite::Output(c) => Some(c.index()),
+            FaultSite::Input { .. } => None,
+        };
+        let g = self.graph;
+        let mut or_diff = resp.po;
+        for (i, &fi) in scan.iter().enumerate() {
+            let fi = fi as usize;
+            let good_v = good.states[frames][fi];
+            let mut faulty_v = self.cur.get(fi).unwrap_or(good_v);
+            // Same direct-Q rule as the kernel's unload loop: a stuck
+            // output on the scan flop itself is read straight off the
+            // chain.
+            let cell = g.flop_meta(fi).cell as usize;
+            if fault.model() == FaultModel::StuckAt && out_site == Some(cell) {
+                faulty_v = forced;
+            }
+            resp.diff[i] = good_v.definite_diff(faulty_v) & launch & valid;
+            resp.good_x[i] = good_v.x & valid;
+            resp.faulty_x[i] = faulty_v.x & valid;
+            or_diff |= resp.diff[i];
+        }
+        resp.detect = detect;
+        debug_assert_eq!(detect, or_diff, "response must explain every detection bit");
+        detect
     }
 
     /// The untimed kernel loop — the original hot path, untouched.
@@ -433,6 +582,7 @@ impl<'g> FaultSim<'g> {
         }
 
         // Detection: scan-state differences at unload + observed POs.
+        self.po_diff = po_diff;
         let mut detect = po_diff;
         for &fi in self.graph.scan_flops() {
             let fi = fi as usize;
@@ -646,6 +796,7 @@ impl<'g> FaultSim<'g> {
         }
 
         // Detection: scan-state differences at unload + observed POs.
+        self.po_diff = po_diff;
         let mut detect = po_diff;
         let g = self.graph;
         for &fi in g.scan_flops() {
@@ -1289,5 +1440,135 @@ mod tests {
         assert_eq!(stats.faults_graded, 1);
         assert_eq!(stats.cells, r.nl.len());
         assert!(stats.events > 0, "propagation produced no events");
+    }
+
+    #[test]
+    fn detect_response_matches_detect_and_explains_bits() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::One, Logic::Zero];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let mut resp = ScanResponse::new();
+        for fault in [
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P0),
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P1),
+            Fault::stuck(FaultSite::Output(r.d_pi), Polarity::P0),
+            Fault::stuck(FaultSite::Output(r.f1), Polarity::P0),
+        ] {
+            let det = fsim.detect_response(&spec, &good, fault, &mut resp);
+            let mut plain = FaultSim::new(&m);
+            assert_eq!(
+                det,
+                plain.detect(&spec, &good, fault),
+                "mask must match detect"
+            );
+            assert_eq!(det, resp.detect);
+            let or = resp.diff.iter().fold(resp.po, |a, &d| a | d);
+            assert_eq!(det, or, "detect must equal po | OR(chain diffs)");
+        }
+    }
+
+    #[test]
+    fn detect_response_zeroes_after_cone_pruned_fault() {
+        // PO-only observable fault under a masked-PO spec is cone
+        // pruned, which leaves the kernel scratch stale — the response
+        // must still come back zeroed.
+        let mut b = NetlistBuilder::new("t");
+        let clk = b.input("clk");
+        let se = b.input("se");
+        let si = b.input("si");
+        let d = b.input("d");
+        let f0 = b.sdff(d, clk, se, si);
+        let g = b.not(f0);
+        b.output("q", g);
+        let nl = b.finish().unwrap();
+        let mut binding = ClockBinding::new();
+        binding.add_domain("a", clk);
+        binding.constrain(se, Logic::Zero);
+        binding.mask(si);
+        let m = CaptureModel::new(&nl, binding).unwrap();
+        let masked = FrameSpec::new("m", vec![CycleSpec::pulsing(&[0])]).observe_po(false);
+        let mut p = Pattern::empty(&m, &masked, 0);
+        p.scan_load = vec![Logic::One];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &masked, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let mut resp = ScanResponse::new();
+        // Populates the carried faulty state with a real scan diff...
+        let det = fsim.detect_response(
+            &masked,
+            &good,
+            Fault::stuck(FaultSite::Output(d), Polarity::P0),
+            &mut resp,
+        );
+        assert_eq!(det, 1);
+        assert_eq!(resp.diff[0], 1);
+        // ...which must not leak into the next, cone-pruned fault.
+        let det = fsim.detect_response(
+            &masked,
+            &good,
+            Fault::stuck(FaultSite::Output(g), Polarity::P1),
+            &mut resp,
+        );
+        assert_eq!(det, 0);
+        assert_eq!(resp.detect, 0);
+        assert_eq!(resp.po, 0);
+        assert!(resp.diff.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn detect_response_zeroes_after_launchless_transition() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new(
+            "loc",
+            vec![CycleSpec::pulsing(&[0]), CycleSpec::pulsing(&[0])],
+        )
+        .hold_pi(true)
+        .observe_po(false);
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::Zero, Logic::X];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let mut resp = ScanResponse::new();
+        let str_fault = Fault::transition(FaultSite::Output(r.g), Polarity::P0);
+        assert_eq!(fsim.detect_response(&spec, &good, str_fault, &mut resp), 1);
+        assert_eq!(resp.detect, 1);
+        // Slow-to-fall has no 1->0 launch here: early return, zeroed.
+        let stf_fault = Fault::transition(FaultSite::Output(r.g), Polarity::P1);
+        assert_eq!(fsim.detect_response(&spec, &good, stf_fault, &mut resp), 0);
+        assert_eq!(resp.detect, 0);
+        assert_eq!(resp.po, 0);
+        assert!(resp.diff.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn detect_response_reports_unload_x_positions() {
+        let r = rig();
+        let m = model(&r);
+        let spec = FrameSpec::new("sa", vec![CycleSpec::pulsing(&[0])]);
+        // f0 = X -> g = X -> f1 unloads X in the good machine: no
+        // definite diff can ever fire at that position, and the
+        // response must flag it so a compactor treats it as unknown.
+        let mut p = Pattern::empty(&m, &spec, 0);
+        p.scan_load = vec![Logic::X, Logic::Zero];
+        p.pis[0] = vec![Logic::One];
+        let good = simulate_good(&m, &spec, &[p]);
+        let mut fsim = FaultSim::new(&m);
+        let mut resp = ScanResponse::new();
+        let det = fsim.detect_response(
+            &spec,
+            &good,
+            Fault::stuck(FaultSite::Output(r.g), Polarity::P0),
+            &mut resp,
+        );
+        assert_eq!(det, 0);
+        assert_eq!(resp.good_x[1], 1, "good-machine X at the f1 unload");
+        assert!(resp.diff.iter().all(|&v| v == 0));
     }
 }

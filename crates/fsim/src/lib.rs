@@ -51,7 +51,7 @@ mod timing;
 
 pub use cancel::{CancelCause, CancelToken};
 pub use engine::FaultSimEngine;
-pub use faultsim::FaultSim;
+pub use faultsim::{FaultSim, ScanResponse};
 pub use goodsim::{simulate_good, simulate_good_scalar, GoodBatch};
 pub use graph::{FlopMeta, KernelStats, OpCode, SimGraph, FLOP_TAG, NO_RESET};
 pub use model::{CaptureModel, ClockBinding, FlopInfo, ModelError};

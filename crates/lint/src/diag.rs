@@ -27,11 +27,18 @@ pub enum RuleId {
     /// `L007` — structurally untestable fault (unobservable cone or
     /// uncontrollable activation).
     Untestable,
+    /// `L008` — X-source audit for LBIST readiness: a `TieX` or
+    /// uninitialized non-scan state element whose value reaches a scan
+    /// flop's capture cone, i.e. the MISR observation cone. Every such
+    /// source corrupts a multiple-input signature register
+    /// deterministically-unpredictably and must be bounded (or the
+    /// signature declared invalid) before self-test can sign off.
+    XSource,
 }
 
 impl RuleId {
     /// All rules, in code order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::CombLoop,
         RuleId::FloatingNet,
         RuleId::DuplicateName,
@@ -39,6 +46,7 @@ impl RuleId {
         RuleId::CdcAtSpeed,
         RuleId::ScanChain,
         RuleId::Untestable,
+        RuleId::XSource,
     ];
 
     /// The stable `Lnnn` code.
@@ -51,6 +59,7 @@ impl RuleId {
             RuleId::CdcAtSpeed => "L005",
             RuleId::ScanChain => "L006",
             RuleId::Untestable => "L007",
+            RuleId::XSource => "L008",
         }
     }
 
@@ -64,6 +73,7 @@ impl RuleId {
             RuleId::CdcAtSpeed => "cdc-at-speed",
             RuleId::ScanChain => "scan-chain",
             RuleId::Untestable => "untestable",
+            RuleId::XSource => "x-source",
         }
     }
 
@@ -72,7 +82,9 @@ impl RuleId {
     pub fn severity(self) -> Severity {
         match self {
             RuleId::CombLoop | RuleId::DuplicateName | RuleId::ScanChain => Severity::Error,
-            RuleId::FloatingNet | RuleId::NonScanCapture | RuleId::CdcAtSpeed => Severity::Warning,
+            RuleId::FloatingNet | RuleId::NonScanCapture | RuleId::CdcAtSpeed | RuleId::XSource => {
+                Severity::Warning
+            }
             RuleId::Untestable => Severity::Info,
         }
     }
@@ -305,7 +317,7 @@ mod tests {
         let codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            ["L001", "L002", "L003", "L004", "L005", "L006", "L007"]
+            ["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008"]
         );
     }
 

@@ -20,6 +20,7 @@
 //! | `L005` | `cdc-at-speed` | warning | inter-domain launch→capture paths the clocking mode exercises at functional speed |
 //! | `L006` | `scan-chain` | error | scan-chain connectivity / ordering / enable-wiring breaks |
 //! | `L007` | `untestable` | info | faults proven structurally untestable from cones + SCOAP `INF` costs |
+//! | `L008` | `x-source` | warning | `TieX` / uninitialized non-scan state reaching scan-flop capture cones — the MISR observation cone LBIST signs off on |
 //!
 //! `L007` is also the perf hook: its fault list feeds
 //! [`occ_atpg::run_atpg_preclassified`], which marks the faults
@@ -108,7 +109,8 @@ impl<'a> Linter<'a> {
         self
     }
 
-    /// Runs the structural rules (`L001`–`L006`, as configured).
+    /// Runs the structural rules (`L001`–`L006` and `L008`, as
+    /// configured).
     pub fn run(&self) -> LintReport {
         let mut report = LintReport::default();
         report.cells_scanned = netlist_rules::run(self.model.netlist(), &mut report.diagnostics);
@@ -119,6 +121,7 @@ impl<'a> Linter<'a> {
         if let Some(chains) = self.chains {
             model_rules::scan_chain(self.model, chains, &mut report.diagnostics);
         }
+        model_rules::x_source(self.model, &mut report.diagnostics);
         report
     }
 

@@ -1,13 +1,14 @@
 //! Capture-model rules: non-scan flops in bound capture domains
-//! (`L004`), at-speed clock-domain crossings (`L005`) and scan-chain
-//! connectivity breaks (`L006`).
+//! (`L004`), at-speed clock-domain crossings (`L005`), scan-chain
+//! connectivity breaks (`L006`) and X-sources inside the MISR
+//! observation cone (`L008`).
 
 use crate::netlist_rules::label;
 use crate::{Diagnostic, RuleId};
 use occ_core::{at_speed_crossings, ClockingMode};
 use occ_dft::ScanChains;
 use occ_fsim::CaptureModel;
-use occ_netlist::CellId;
+use occ_netlist::{CellId, CellKind};
 
 /// `L004`: a flop clocked by a bound capture domain but not on a scan
 /// chain — it captures unknown state every pulse and blinds its fanout
@@ -106,6 +107,84 @@ pub(crate) fn cdc_at_speed(
                     ),
                 )
                 .with_related(launch_net),
+            );
+        }
+    }
+}
+
+/// `L008`: X-source audit for LBIST readiness. A `TieX` cell or a
+/// non-scan (uninitialized-between-loads) state element whose value
+/// reaches a scan flop's D cone through the combinational fabric feeds
+/// unknown values into the capture — and therefore into a MISR
+/// compacting the unload. One corrupted bit makes the whole signature
+/// unpredictable, so every such source must be X-bounded (or the
+/// signature declared invalid, which is what `occ-bist` does with this
+/// rule's findings).
+///
+/// One forward sweep per source (same idiom as the `L005` crossing
+/// sweep); sequential cells are barriers — a *scan* flop capturing the
+/// X is exactly the reported condition, and a non-scan flop capturing
+/// it is itself already a source.
+pub(crate) fn x_source(model: &CaptureModel<'_>, out: &mut Vec<Diagnostic>) {
+    let nl = model.netlist();
+    let mut sources: Vec<CellId> = nl
+        .iter()
+        .filter(|(_, c)| c.kind() == CellKind::TieX)
+        .map(|(id, _)| id)
+        .collect();
+    sources.extend(model.flops().iter().filter(|i| !i.is_scan).map(|i| i.cell));
+    if sources.is_empty() {
+        return;
+    }
+
+    let mut reached = vec![false; nl.len()];
+    let mut stack: Vec<CellId> = Vec::new();
+    for src in sources {
+        reached.iter_mut().for_each(|r| *r = false);
+        reached[src.index()] = true;
+        stack.push(src);
+        while let Some(id) = stack.pop() {
+            for &fo in nl.fanouts(id) {
+                if reached[fo.index()] || !nl.cell(fo).kind().is_combinational() {
+                    continue;
+                }
+                reached[fo.index()] = true;
+                stack.push(fo);
+            }
+        }
+        let mut captures = 0usize;
+        let mut example: Option<CellId> = None;
+        for info in model.flops() {
+            if !info.is_scan {
+                continue;
+            }
+            let d = nl.cell(info.cell).flop_d();
+            if reached[d.index()] {
+                captures += 1;
+                if example.is_none() {
+                    example = Some(info.cell);
+                }
+            }
+        }
+        if let Some(flop) = example {
+            let what = if nl.cell(src).kind() == CellKind::TieX {
+                "TieX"
+            } else {
+                "uninitialized non-scan flop"
+            };
+            out.push(
+                Diagnostic::new(
+                    RuleId::XSource,
+                    Some(src),
+                    format!(
+                        "{what} {} reaches the capture cone of {captures} scan \
+                         flop(s) (e.g. {}) — an unbounded X-source corrupts any \
+                         MISR signature observing it",
+                        label(nl, src),
+                        label(nl, flop)
+                    ),
+                )
+                .with_related(flop),
             );
         }
     }

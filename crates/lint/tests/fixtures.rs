@@ -232,6 +232,75 @@ fn l006_scan_chain_breaks() {
     assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
 }
 
+#[test]
+fn l008_x_source_reaching_misr_observation_cone() {
+    // Broken: a TieX and an uninitialized non-scan flop both feed,
+    // through combinational logic, the D pin of a scan flop — any
+    // MISR compacting that flop's unload captures an unbounded X.
+    // The same cells trip L002 (uncontrolled source) and L004
+    // (non-scan capture), so the assertions filter for L008.
+    let mut b = NetlistBuilder::new("xsrc");
+    let clk = b.input("clk");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let t = b.tiex();
+    let nsf = b.dff(d, clk);
+    let g = b.xor2(t, nsf);
+    let f = b.sdff(g, clk, se, si);
+    b.output("q", f);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("c", clk);
+    binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+    binding.mask(nl.find("si").unwrap());
+    let model = CaptureModel::new(&nl, binding).unwrap();
+    let report = Linter::new(&model).run();
+    let l008: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|diag| diag.rule == RuleId::XSource)
+        .collect();
+    assert_eq!(l008.len(), 2, "TieX + uninitialized flop: {l008:?}");
+    for diag in &l008 {
+        assert_eq!(diag.severity, Severity::Warning);
+    }
+    // A warning for external-ATPG flows (X-fill tolerates it), fatal
+    // only for signature-based sources — so it reports, never denies.
+    assert!(report.passes(LintGate::Deny));
+
+    // Clean twin: the same X-sources exist but only reach a primary
+    // output; the scan flop's capture cone stays X-free, so a MISR
+    // observing it is safe and L008 stays silent.
+    let mut b = NetlistBuilder::new("xbounded");
+    let clk = b.input("clk");
+    let se = b.input("se");
+    let si = b.input("si");
+    let d = b.input("d");
+    let a = b.input("a");
+    let t = b.tiex();
+    let nsf = b.dff(d, clk);
+    let g = b.xor2(t, nsf);
+    b.output("po", g);
+    let f = b.sdff(a, clk, se, si);
+    b.output("q", f);
+    let nl = b.finish().unwrap();
+    let mut binding = ClockBinding::new();
+    binding.add_domain("c", clk);
+    binding.constrain(nl.find("se").unwrap(), Logic::Zero);
+    binding.mask(nl.find("si").unwrap());
+    let model = CaptureModel::new(&nl, binding).unwrap();
+    let report = Linter::new(&model).run();
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|diag| diag.rule != RuleId::XSource),
+        "PO-only X-sources must not fire L008: {:?}",
+        report.diagnostics
+    );
+}
+
 /// The ATPG test rig: four scan flops, two free PIs, scan enable
 /// constrained to functional mode and scan-in masked — which makes
 /// every fault on those control nets statically untestable (their

@@ -16,7 +16,7 @@
 //!  "engine":"serial","atpg_engine":"compiled",
 //!  "backtrack_limit":48,"random_patterns":256,"compaction":true,
 //!  "mask_bidi":true,"timing":true,"lint":"deny","format":"json",
-//!  "deadline_ms":60000}
+//!  "pattern_source":"edt","deadline_ms":60000}
 //! ```
 //!
 //! Every `flow`/`analyze` field except `design` is optional and
@@ -24,7 +24,9 @@
 //! `design.preset` is `tiny` or `paper_like`; `seed` and
 //! `flops_per_domain` size it. `format` is `json` (the full
 //! [`FlowReport`] embedded as an object) or
-//! `csv` (header + row as a string).
+//! `csv` (header + row as a string). `pattern_source` is `external`
+//! (default), `edt[:channels]` (auto-derived decompressor geometry) or
+//! `lbist[:patterns]`.
 //!
 //! ## Responses
 //!
@@ -41,7 +43,7 @@ use crate::hash::hex;
 use crate::json::{write_escaped, Json};
 use crate::service::{DesignAnalysis, FlowService, JobCacheStats, JobOutcome, JobSpec};
 use occ_fault::FaultModel;
-use occ_flow::{FlowError, FlowReport};
+use occ_flow::{BistConfig, EdtConfig, FlowError, FlowReport, PatternSource};
 use occ_soc::SocConfig;
 use std::fmt::Write as _;
 
@@ -209,6 +211,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                         ProtoError::bad(e.to_string())
                     })?);
             }
+            if let Some(s) = opt_str(&v, "pattern_source")? {
+                spec.pattern_source = parse_pattern_source(s)?;
+            }
             if let Some(n) = opt_u64(&v, "deadline_ms")? {
                 spec.deadline_ms = Some(n);
             }
@@ -255,6 +260,50 @@ fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, ProtoError> {
             .as_bool()
             .map(Some)
             .ok_or_else(|| ProtoError::bad(format!("'{key}' must be a boolean"))),
+    }
+}
+
+/// Parses a `pattern_source` value: `external`, `edt` (auto geometry),
+/// `edt:<channels>`, `lbist` (default budget) or `lbist:<patterns>`.
+fn parse_pattern_source(s: &str) -> Result<PatternSource, ProtoError> {
+    let (head, arg) = match s.split_once(':') {
+        Some((h, a)) => (h, Some(a)),
+        None => (s, None),
+    };
+    let num = |what: &str| -> Result<Option<usize>, ProtoError> {
+        arg.map(|a| {
+            a.parse::<usize>().map_err(|_| {
+                ProtoError::bad(format!(
+                    "pattern source '{head}:{a}': {what} must be a number"
+                ))
+            })
+        })
+        .transpose()
+    };
+    match head {
+        "external" => match arg {
+            None => Ok(PatternSource::ExternalAtpg),
+            Some(a) => Err(ProtoError::bad(format!(
+                "pattern source 'external' takes no argument (got '{a}')"
+            ))),
+        },
+        "edt" => {
+            let mut cfg = EdtConfig::auto();
+            if let Some(channels) = num("channel count")? {
+                cfg.channels = channels;
+            }
+            Ok(PatternSource::Edt(cfg))
+        }
+        "lbist" => {
+            let mut cfg = BistConfig::default();
+            if let Some(patterns) = num("pattern budget")? {
+                cfg.patterns = patterns;
+            }
+            Ok(PatternSource::Lbist(cfg))
+        }
+        other => Err(ProtoError::bad(format!(
+            "unknown pattern source '{other}' (expected external, edt[:channels] or lbist[:patterns])"
+        ))),
     }
 }
 
@@ -446,6 +495,29 @@ mod tests {
         assert!(spec.mask_bidi && spec.timing);
         assert_eq!(spec.lint, Some(occ_lint::LintGate::Warn));
         assert_eq!(format, ReportFormat::Csv);
+    }
+
+    #[test]
+    fn parses_pattern_sources() {
+        assert_eq!(
+            parse_pattern_source("external").unwrap(),
+            PatternSource::ExternalAtpg
+        );
+        let PatternSource::Edt(cfg) = parse_pattern_source("edt:4").unwrap() else {
+            panic!("not edt");
+        };
+        assert_eq!(cfg.channels, 4);
+        assert_eq!(cfg.chains, 0, "geometry stays auto-derived");
+        assert_eq!(parse_pattern_source("edt").unwrap(), {
+            PatternSource::Edt(EdtConfig::auto())
+        });
+        let PatternSource::Lbist(cfg) = parse_pattern_source("lbist:512").unwrap() else {
+            panic!("not lbist");
+        };
+        assert_eq!(cfg.patterns, 512);
+        for bad in ["prng", "edt:none", "lbist:-4", "external:2"] {
+            assert_eq!(parse_pattern_source(bad).unwrap_err().code, "bad-request");
+        }
     }
 
     #[test]

@@ -334,7 +334,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(e) => enqueue_ready(&pipe_tx, error_line(&e)),
             Ok(Request::Ping) => enqueue_ready(&pipe_tx, r#"{"ok":true,"op":"ping"}"#.to_owned()),
             Ok(Request::Stats) => {
-                enqueue_ready(&pipe_tx, stats_line(&shared.service.cache_stats()))
+                enqueue_ready(&pipe_tx, stats_line(&shared.service.cache_stats()));
             }
             Ok(Request::Health) => {
                 let state = match shared.state.load(Ordering::SeqCst) {

@@ -22,7 +22,7 @@ use occ_core::ClockingMode;
 use occ_fault::FaultModel;
 use occ_flow::{
     build_procedures, AtpgEngineChoice, CancelToken, EngineChoice, FlowArtifacts, FlowError,
-    FlowReport, LintGate, TestFlow,
+    FlowReport, LintGate, PatternSource, TestFlow,
 };
 use occ_fsim::FrameSpec;
 use occ_sim::{CompiledDelays, DelayModel};
@@ -52,6 +52,11 @@ pub struct JobSpec {
     pub timing: bool,
     /// Run the pre-ATPG lint stage under this gate.
     pub lint: Option<LintGate>,
+    /// How patterns reach the scan chains (external ATPG, EDT
+    /// decompression, LBIST). The artifact cache keys (design,
+    /// procedures, delays) do not include the source, so a sweep over
+    /// sources on one design compiles everything exactly once.
+    pub pattern_source: PatternSource,
     /// Skip the flow entirely: compile (or fetch) the design artifact
     /// and report its analysis only.
     pub analyze_only: bool,
@@ -77,6 +82,7 @@ impl JobSpec {
             mask_bidi: false,
             timing: false,
             lint: None,
+            pattern_source: PatternSource::ExternalAtpg,
             analyze_only: false,
             deadline_ms: None,
         }
@@ -277,6 +283,7 @@ impl FlowService {
             .atpg_engine(job.atpg_engine)
             .atpg(job.atpg.clone())
             .mask_bidi(job.mask_bidi)
+            .pattern_source(job.pattern_source.clone())
             .artifacts(artifacts)
             .cancel(cancel.clone());
         if job.timing {

@@ -10,9 +10,11 @@
 
 use occ_atpg::AtpgOptions;
 use occ_core::ClockingMode;
-use occ_flow::FlowReport;
+use occ_flow::{EdtConfig, FlowReport, PatternSource};
 use occ_lint::LintGate;
-use occ_server::{job_line, FlowService, JobSpec, Json, ReportFormat};
+use occ_server::{
+    job_line, request, serve, FlowService, JobSpec, Json, ReportFormat, ServerConfig,
+};
 use occ_soc::SocConfig;
 
 fn keys(value: &Json) -> Vec<&str> {
@@ -32,6 +34,7 @@ fn flow_report_wire_format_is_stable() {
     job.mask_bidi = true;
     job.timing = true; // emit the delay_quality block
     job.lint = Some(LintGate::Warn); // emit the lint block
+    job.pattern_source = PatternSource::Edt(EdtConfig::auto()); // emit pattern_source
     job.atpg = AtpgOptions {
         random_patterns: 32,
         backtrack_limit: 12,
@@ -68,6 +71,7 @@ fn flow_report_wire_format_is_stable() {
             "atpg_kernel",
             "lint",
             "delay_quality",
+            "pattern_source",
             "stages",
             "total_seconds",
         ]
@@ -149,6 +153,26 @@ fn flow_report_wire_format_is_stable() {
         assert_eq!(keys(window), ["name", "window_ps", "at_speed"]);
     }
 
+    let ps = parsed.get("pattern_source").unwrap();
+    assert_eq!(
+        keys(ps),
+        [
+            "source",
+            "kernel_detected",
+            "source_detected",
+            "aliased",
+            "compactor_masked",
+            "x_masked",
+            "signature",
+            "signature_valid",
+            "x_sources",
+            "compression_ratio",
+            "encode_splits",
+            "dropped_cubes",
+        ]
+    );
+    assert_eq!(ps.get("source").and_then(Json::as_str), Some("edt"));
+
     // Every stage entry is {stage, seconds} and the cardinal numbers
     // survive the std-only parser exactly (u64-exact extraction).
     for stage in parsed.get("stages").unwrap().as_array().unwrap() {
@@ -168,6 +192,56 @@ fn flow_report_wire_format_is_stable() {
     // number forms).
     let rewritten = parsed.to_string();
     assert_eq!(Json::parse(&rewritten).unwrap(), parsed);
+}
+
+#[test]
+fn every_pattern_source_serves_over_tcp() {
+    let mut server = serve(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_budget: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind on an ephemeral port");
+
+    for (source, expect_block) in [
+        ("external", None),
+        ("edt:1", Some("edt")),
+        ("lbist:128", Some("lbist")),
+    ] {
+        let line = format!(
+            r#"{{"op":"flow","design":{{"preset":"tiny","seed":5}},"clocking":"simple-cpf","random_patterns":32,"backtrack_limit":12,"pattern_source":"{source}"}}"#
+        );
+        let response = request(server.addr(), &line).unwrap();
+        let v = Json::parse(&response).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{source}: {response}"
+        );
+        let report = v.get("report").expect("flow response carries a report");
+        match expect_block {
+            None => assert!(report.get("pattern_source").is_none(), "{source}"),
+            Some(label) => {
+                let ps = report.get("pattern_source").expect("block present");
+                assert_eq!(ps.get("source").and_then(Json::as_str), Some(label));
+                let n = |key: &str| ps.get(key).and_then(Json::as_u64).unwrap();
+                assert_eq!(
+                    n("source_detected") + n("aliased") + n("compactor_masked") + n("x_masked"),
+                    n("kernel_detected"),
+                    "{source}: referee accounting must be exhaustive over the wire"
+                );
+            }
+        }
+    }
+    // The design artifact was compiled once and shared across sources:
+    // the last job hit the cache even though its source differed.
+    let stats = request(server.addr(), r#"{"op":"stats"}"#).unwrap();
+    let v = Json::parse(&stats).unwrap();
+    let design = v.get("cache").unwrap().get("design").unwrap();
+    assert_eq!(design.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(design.get("hits").and_then(Json::as_u64), Some(2));
+    server.shutdown();
 }
 
 #[test]

@@ -65,6 +65,12 @@ pub mod atpg {
     pub use occ_atpg::*;
 }
 
+/// At-speed logic BIST (PRPG/MISR) and EDT-compressed delivery
+/// ([`occ_bist`]).
+pub mod bist {
+    pub use occ_bist::*;
+}
+
 /// The paper's contribution: CPF clock generation ([`occ_core`]).
 pub mod core {
     pub use occ_core::*;
