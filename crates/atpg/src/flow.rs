@@ -399,6 +399,8 @@ pub fn run_atpg_filled(
 
     // Random-bootstrap phase: cheap fortuitous detection before any
     // deterministic search.
+    let mut phase_span = occ_obs::span("atpg.bootstrap");
+    phase_span.attr_u64("procedures", procedures.len() as u64);
     for (pi, spec) in procedures.iter().enumerate() {
         let mut remaining = options.random_patterns;
         while remaining > 0 {
@@ -450,6 +452,10 @@ pub fn run_atpg_filled(
         }
     }
 
+    phase_span.attr_u64("patterns", patterns.len() as u64);
+    drop(phase_span);
+
+    let mut phase_span = occ_obs::span("atpg.search");
     let faults: Vec<occ_fault::Fault> = list.faults().to_vec();
     for &fault in &faults {
         if let Some(cause) = cancel.cause() {
@@ -572,11 +578,18 @@ pub fn run_atpg_filled(
         }
     }
     stats.patterns_before_compaction = patterns.len();
+    phase_span.attr_u64("targeted", stats.targeted as u64);
+    phase_span.attr_u64("tests_found", stats.tests_found as u64);
+    phase_span.attr_u64("patterns", patterns.len() as u64);
+    drop(phase_span);
 
     if options.compaction {
+        let mut phase_span = occ_obs::span("atpg.compaction");
+        phase_span.attr_u64("before", patterns.len() as u64);
         let (compacted, regraded) = reverse_compact(
             model, procedures, &patterns, &list, engine, &mut stats, cancel,
         )?;
+        phase_span.attr_u64("after", compacted.len() as u64);
         return Ok(AtpgResult {
             patterns: compacted,
             faults: regraded,

@@ -17,6 +17,12 @@
 //! against the committed baseline: a regression of more than 20% fails
 //! the run (exit 1) unless `FSIM_BENCH_SKIP_CHECK` is set in the
 //! environment (for cold/overloaded machines).
+//!
+//! A hardware-independent gate (never skipped) re-runs the kernel with
+//! an `occ_obs` detail span recorder installed and asserts span
+//! recording adds **zero** allocations to the fault-sim hot path — the
+//! recorder's preallocated shards are the contract that makes tracing
+//! safe to leave on in production.
 
 #[path = "../alloc_track.rs"]
 mod alloc_track;
@@ -196,6 +202,55 @@ fn main() -> ExitCode {
             stats.events / reps as u64,
         ));
         masks.push((format!("sharded:{}", opts.threads), m));
+    }
+
+    // Zero-alloc traced-span gate: the same warm kernel batch, with
+    // and without a detail span recorder installed, must allocate
+    // identically — span recording on the hot path costs no
+    // allocations (hardware-independent, never skipped).
+    {
+        let reps = 8;
+        let mut engine = FaultSim::new(&model);
+        let _ = engine.detect_many(&spec, &good, &faults); // warm the engine
+        let before = alloc_track::snapshot();
+        for _ in 0..reps {
+            let _ = engine.detect_many(&spec, &good, &faults);
+        }
+        let untraced = alloc_track::snapshot().since(before);
+
+        occ_obs::set_alloc_probe(|| alloc_track::snapshot().bytes);
+        let recorder = occ_obs::SpanRecorder::new();
+        let scope = recorder.install(true);
+        let before = alloc_track::snapshot();
+        for _ in 0..reps {
+            let _ = engine.detect_many(&spec, &good, &faults);
+        }
+        let traced = alloc_track::snapshot().since(before);
+        drop(scope);
+
+        if recorder.len() < reps {
+            eprintln!(
+                "fsim_bench: FATAL — only {} of {reps} traced batches recorded a span; \
+                 the fsim.batch instrumentation is gone",
+                recorder.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if traced.allocs != untraced.allocs {
+            eprintln!(
+                "fsim_bench: FATAL — span recording allocated on the fault-sim hot path \
+                 ({} allocs traced vs {} untraced over {reps} batches); the recorder's \
+                 preallocated-shard contract is broken",
+                traced.allocs, untraced.allocs
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  traced-span alloc gate: {} allocs/batch with tracing on == off \
+             ({} spans recorded)",
+            traced.allocs / reps as u64,
+            recorder.len(),
+        );
     }
 
     // Correctness gate: every engine must produce identical masks.

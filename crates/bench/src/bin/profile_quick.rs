@@ -1,6 +1,10 @@
-//! Quick profiling helper for experiment runtimes: per-stage wall
-//! clock, compiled-kernel work counters and per-experiment allocation
-//! deltas (counted by a wrapping global allocator), plus peak RSS.
+//! Quick profiling helper for experiment runtimes, self-profiled
+//! through the `occ_obs` span recorder: each experiment installs a
+//! detail-recording scope, runs the flow, and prints the resulting
+//! span tree — stage → substage wall time, span attributes and (via
+//! the counting global allocator wired in as the allocation probe)
+//! per-span allocation deltas. Kernel throughput and peak RSS ride
+//! along as before.
 
 #[path = "../alloc_track.rs"]
 mod alloc_track;
@@ -9,11 +13,14 @@ mod alloc_track;
 static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
 
 use occ_bench::{run_experiment, ExperimentId, Table1Options};
-use occ_flow::{EngineChoice, Stage};
+use occ_flow::{EngineChoice, SpanRecorder, SpanTree, Stage};
 use occ_soc::{generate, SocConfig};
 use std::time::Instant;
 
 fn main() {
+    // Spans opened while a scope is installed now carry alloc deltas.
+    occ_obs::set_alloc_probe(|| alloc_track::snapshot().bytes);
+
     let cfg = SocConfig::tiny(1);
     let t0 = Instant::now();
     let soc = generate(&cfg);
@@ -23,17 +30,13 @@ fn main() {
         engine: EngineChoice::Auto,
         ..Table1Options::default()
     };
-    let stages = [
-        Stage::BindModel,
-        Stage::Procedures,
-        Stage::FaultUniverse,
-        Stage::Atpg,
-        Stage::Classify,
-    ];
     for id in [ExperimentId::A, ExperimentId::B, ExperimentId::C] {
-        let before = alloc_track::snapshot();
-        let row = run_experiment(&soc, id, &opts).expect("tiny SOC flows validate");
-        let alloc = alloc_track::snapshot().since(before);
+        // One recorder per experiment keeps each tree self-contained.
+        let recorder = SpanRecorder::new();
+        let row = {
+            let _scope = recorder.install(true);
+            run_experiment(&soc, id, &opts).expect("tiny SOC flows validate")
+        };
         let stats = row.report.stats();
         println!(
             "{id}: {:.3}s cov={:.2}% eff={:.2}% pats={} targeted={} \
@@ -47,12 +50,6 @@ fn main() {
             stats.aborted_calls,
             stats.fsim_batches
         );
-        // Per-stage wall clock.
-        print!("    stages:");
-        for s in stages {
-            print!(" {}={:.3}s", s.label(), row.report.stage_seconds(s));
-        }
-        println!();
         // Kernel throughput: grading work per ATPG second.
         let k = &row.report.kernel;
         let atpg_secs = row.report.stage_seconds(Stage::Atpg).max(1e-9);
@@ -72,13 +69,14 @@ fn main() {
             k.faults_graded as f64 / atpg_secs,
             k.events as f64 / atpg_secs,
         );
-        // Allocation pressure for the whole experiment.
-        println!(
-            "    allocs: {} ({:.1} MiB requested, {:.0} allocs/fault-grade)",
-            alloc.allocs,
-            alloc.bytes as f64 / (1024.0 * 1024.0),
-            alloc.allocs as f64 / (k.faults_graded.max(1)) as f64,
-        );
+        // The span tree replaces the old hand-rolled per-stage wall
+        // clock and whole-experiment alloc-delta bookkeeping: every
+        // stage and substage carries its own time and alloc column.
+        let tree = SpanTree::build(&recorder.records());
+        println!("    trace ({} span(s)):", tree.len());
+        for line in tree.render().lines() {
+            println!("      {line}");
+        }
     }
     if let Some(kb) = alloc_track::peak_rss_kb() {
         println!("peak rss: {:.1} MiB", kb as f64 / 1024.0);

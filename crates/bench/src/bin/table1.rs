@@ -6,7 +6,7 @@
 //! table1 [row] [--flops N] [--seed S] [--limit B] [--threads N]
 //!        [--engine serial|auto|sharded:N]
 //!        [--atpg-engine reference|compiled] [--timing]
-//!        [--lint [deny|warn]] [--sources] [--csv] [--verbose]
+//!        [--lint [deny|warn]] [--trace] [--sources] [--csv] [--verbose]
 //! ```
 //! With no row, all five experiments run and the full table plus the
 //! paper-shape checks are printed. With a row label (`a`..`e`), only
@@ -20,7 +20,9 @@
 //! testability analysis (gate defaults to `deny`; error-severity
 //! violations abort the run) and pre-classifies structurally
 //! untestable faults so their PODEM searches are skipped — coverage
-//! and pattern sets are unchanged.
+//! and pattern sets are unchanged. `--trace` records detail spans
+//! through every stage and prints the per-row span tree (name, wall
+//! time, key=value attributes) under the results.
 //!
 //! The five-row sweep runs through an in-process
 //! `occ::server::FlowService`: the SOC is generated and compiled once
@@ -40,6 +42,16 @@ use occ_bench::{run_experiment, run_sources_matrix, run_table1, ExperimentId, Ta
 use occ_fault::FaultStatus;
 use occ_flow::{EngineChoice, LintGate};
 use occ_soc::{generate, SocConfig};
+
+/// Prints a traced report's span tree (no-op for untraced runs).
+fn print_trace(report: &occ_flow::FlowReport) {
+    if let Some(tr) = &report.trace {
+        println!("trace ({} span(s)):", tr.tree.len());
+        for line in tr.tree.render().lines() {
+            println!("  {line}");
+        }
+    }
+}
 
 fn parsed_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -80,6 +92,7 @@ fn main() {
                     .unwrap_or(LintGate::Deny);
                 options.lint = Some(gate);
             }
+            "--trace" => options.trace = true,
             "--sources" => sources = true,
             "--csv" => csv = true,
             "--verbose" => verbose = true,
@@ -202,6 +215,7 @@ fn main() {
                 .filter(|(_, s)| matches!(s, FaultStatus::Aborted))
                 .count();
             println!("undetected {undetected}, aborted {aborted}");
+            print_trace(&r.report);
         }
         None => {
             let table = match run_table1(&options) {
@@ -215,6 +229,12 @@ fn main() {
                 print!("{}", table.to_csv());
             } else {
                 println!("{table}");
+            }
+            if options.trace && !csv {
+                for r in &table.rows {
+                    println!("{} {}:", r.id, r.report.clocking.label());
+                    print_trace(&r.report);
+                }
             }
             if verbose {
                 let hit = |h: Option<bool>| match h {

@@ -158,6 +158,9 @@ pub struct Table1Options {
     /// off). Structurally untestable faults skip their PODEM searches;
     /// coverage and pattern sets are unchanged.
     pub lint: Option<occ_flow::LintGate>,
+    /// Record detail spans and attach the span tree to each report
+    /// (`table1 --trace` prints it under the stage table).
+    pub trace: bool,
 }
 
 impl Default for Table1Options {
@@ -170,6 +173,7 @@ impl Default for Table1Options {
             atpg_engine: AtpgEngineChoice::Compiled,
             timing: false,
             lint: None,
+            trace: false,
         }
     }
 }
@@ -220,6 +224,7 @@ pub fn run_experiment(
         .mask_bidi(mask_bidi)
         .engine(options.engine)
         .atpg_engine(options.atpg_engine)
+        .trace(options.trace)
         .atpg(AtpgOptions {
             backtrack_limit: options.backtrack_limit,
             ..AtpgOptions::default()
@@ -259,6 +264,7 @@ pub fn job_spec(design: SocConfig, id: ExperimentId, options: &Table1Options) ->
     spec.mask_bidi = mask_bidi;
     spec.timing = options.timing;
     spec.lint = options.lint;
+    spec.trace = options.trace;
     spec
 }
 

@@ -4,7 +4,7 @@
 //! fault-sim engine, classify the leftovers and report.
 
 use crate::artifacts::{build_procedures, validate_procedures, FlowArtifacts};
-use crate::report::LintBlock;
+use crate::report::{LintBlock, TraceBlock};
 use crate::source::{PatternSource, PatternSourceBlock};
 use crate::timing::{run_quality, TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 use crate::{AtpgEngineChoice, EngineChoice, FlowError, FlowReport, Stage, StageTiming};
@@ -21,10 +21,10 @@ use occ_fsim::{
 };
 use occ_lint::{LintGate, Linter};
 use occ_netlist::Netlist;
+use occ_obs::{SpanRecorder, SpanTree};
 use occ_sim::{DelayModel, Time};
 use occ_soc::Soc;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// What the flow runs on: a generated [`Soc`] (the standard path) or a
 /// caller-supplied netlist + clock binding (custom designs, tests).
@@ -79,6 +79,7 @@ pub struct TestFlow<'s> {
     pattern_source: PatternSource,
     artifacts: FlowArtifacts,
     cancel: CancelToken,
+    trace: bool,
 }
 
 impl<'s> TestFlow<'s> {
@@ -101,6 +102,7 @@ impl<'s> TestFlow<'s> {
             pattern_source: PatternSource::ExternalAtpg,
             artifacts: FlowArtifacts::default(),
             cancel: CancelToken::never(),
+            trace: false,
         }
     }
 
@@ -122,6 +124,7 @@ impl<'s> TestFlow<'s> {
             pattern_source: PatternSource::ExternalAtpg,
             artifacts: FlowArtifacts::default(),
             cancel: CancelToken::never(),
+            trace: false,
         }
     }
 
@@ -247,6 +250,19 @@ impl<'s> TestFlow<'s> {
         self
     }
 
+    /// Enables span-tree capture: the run installs a
+    /// [`SpanRecorder`] with detail spans on, so every substage
+    /// (ATPG phases, fault-sim batches, STA passes) records, and the
+    /// report gains a `trace` block holding the span forest.
+    /// Per-stage timings are identical in schema either way — they
+    /// are derived from the same stage spans — and untraced reports
+    /// are byte-identical to before tracing existed.
+    #[must_use]
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
     /// Attaches a cooperative [`CancelToken`]: the pipeline polls it at
     /// every stage boundary and threads it into the ATPG/fault-sim
     /// batch loops. When it trips, [`TestFlow::run`] abandons all
@@ -281,25 +297,34 @@ impl<'s> TestFlow<'s> {
             }
         };
         check_cancel()?;
-        let mut stages: Vec<StageTiming> = Vec::with_capacity(5);
-        let mut timed = |stage: Stage, t0: Instant| {
-            stages.push(StageTiming {
-                stage,
-                seconds: t0.elapsed().as_secs_f64(),
-            });
+        // Reuse an already-installed recorder (a traced service job
+        // installs one around the whole job, so artifact-cache spans
+        // join the same forest); otherwise install our own for the
+        // duration of the run. Detail spans record only when tracing —
+        // the default path records just the stage spans the report's
+        // timings are derived from.
+        let (recorder, _scope) = match occ_obs::current() {
+            Some(r) => (r, None),
+            None => {
+                let r = SpanRecorder::new();
+                let scope = r.install(self.trace);
+                (r, Some(scope))
+            }
         };
+        let flow_span = occ_obs::stage_span("flow");
+        let root_id = flow_span.id().unwrap_or(0);
 
         let (netlist, binding) = match &self.source {
             Source::Soc(soc) => (soc.netlist(), soc.binding(self.mask_bidi)),
             Source::Model { netlist, binding } => (*netlist, binding.clone()),
         };
 
-        let t0 = Instant::now();
+        let stage_guard = occ_obs::stage_span(Stage::BindModel.label());
         let model = match &self.artifacts.graph {
             Some(graph) => CaptureModel::with_graph(netlist, binding, Arc::clone(graph))?,
             None => CaptureModel::new(netlist, binding)?,
         };
-        timed(Stage::BindModel, t0);
+        drop(stage_guard);
         if model.domain_count() == 0 {
             return Err(FlowError::NoDomains);
         }
@@ -308,7 +333,7 @@ impl<'s> TestFlow<'s> {
         }
         check_cancel()?;
 
-        let t0 = Instant::now();
+        let stage_guard = occ_obs::stage_span(Stage::Procedures.label());
         let procedures: Arc<Vec<occ_fsim::FrameSpec>> = match &self.artifacts.procedures {
             Some(procs) => {
                 validate_procedures(self.clocking, self.fault_model)?;
@@ -320,24 +345,24 @@ impl<'s> TestFlow<'s> {
                 model.domain_count(),
             )?),
         };
-        timed(Stage::Procedures, t0);
+        drop(stage_guard);
 
-        let t0 = Instant::now();
+        let stage_guard = occ_obs::stage_span(Stage::FaultUniverse.label());
         let universe = match self.fault_model {
             FaultModel::StuckAt => FaultUniverse::stuck_at(netlist),
             FaultModel::Transition => FaultUniverse::transition(netlist),
         };
-        timed(Stage::FaultUniverse, t0);
+        drop(stage_guard);
         check_cancel()?;
 
         let lint = if let Some(gate) = self.lint {
-            let t0 = Instant::now();
+            let stage_guard = occ_obs::stage_span(Stage::Lint.label());
             let mut linter = Linter::new(&model).mode(self.clocking);
             if let Source::Soc(soc) = &self.source {
                 linter = linter.chains(soc.chains());
             }
             let lint_report = linter.run_with_universe(&universe);
-            timed(Stage::Lint, t0);
+            drop(stage_guard);
             if !lint_report.passes(gate) {
                 return Err(FlowError::LintDenied {
                     errors: lint_report.errors(),
@@ -382,7 +407,7 @@ impl<'s> TestFlow<'s> {
                         x_source_count(&r.diagnostics)
                     }
                 };
-                let t0 = Instant::now();
+                let stage_guard = occ_obs::stage_span(Stage::PatternSource.label());
                 let outcome = run_lbist(
                     &model,
                     &procedures,
@@ -393,7 +418,7 @@ impl<'s> TestFlow<'s> {
                     x_sources,
                     &self.cancel,
                 )?;
-                timed(Stage::PatternSource, t0);
+                drop(stage_guard);
                 let r = outcome.report;
                 pattern_source = Some(PatternSourceBlock {
                     source: "lbist".to_owned(),
@@ -416,7 +441,7 @@ impl<'s> TestFlow<'s> {
                 };
                 (result, outcome.kernel, AtpgKernelStats::default())
             } else {
-                let t0 = Instant::now();
+                let mut atpg_guard = Some(occ_obs::stage_span(Stage::Atpg.label()));
                 // Both fault-sim engines implement FaultSimEngine and yield
                 // bit-identical masks; both ATPG engines implement AtpgEngine
                 // and yield identical outcomes. The flow is generic over the
@@ -468,12 +493,12 @@ impl<'s> TestFlow<'s> {
                             &self.cancel,
                             &mut fill,
                         )?;
-                        timed(Stage::Atpg, t0);
+                        drop(atpg_guard.take());
                         // Re-grade the final pattern set under compacted
                         // observation: detections that die to XOR
                         // cancellation or X-poisoning in the compactor are
                         // taken away again, with the loss accounted.
-                        let t1 = Instant::now();
+                        let stage_guard = occ_obs::stage_span(Stage::PatternSource.label());
                         let (faults, grade) = regrade_edt(
                             &model,
                             &procedures,
@@ -484,7 +509,7 @@ impl<'s> TestFlow<'s> {
                             &self.cancel,
                         )?;
                         result.faults = faults;
-                        timed(Stage::PatternSource, t1);
+                        drop(stage_guard);
                         pattern_source = Some(PatternSourceBlock {
                             source: "edt".to_owned(),
                             kernel_detected: grade.kernel_detected,
@@ -512,7 +537,7 @@ impl<'s> TestFlow<'s> {
                             pre_untestable,
                             &self.cancel,
                         )?;
-                        timed(Stage::Atpg, t0);
+                        drop(atpg_guard.take());
                         result
                     }
                 };
@@ -521,13 +546,13 @@ impl<'s> TestFlow<'s> {
                 (result, kernel, atpg_kernel)
             };
 
-        let t0 = Instant::now();
+        let stage_guard = occ_obs::stage_span(Stage::Classify.label());
         classify_faults(&model, &mut result.faults);
-        timed(Stage::Classify, t0);
+        drop(stage_guard);
         check_cancel()?;
 
         let delay_quality = self.timing.as_ref().map(|cfg| {
-            let t0 = Instant::now();
+            let stage_guard = occ_obs::stage_span(Stage::Timing.label());
             let periods = self.domain_periods(cfg, model.domain_count());
             let q = run_quality(
                 &model,
@@ -538,9 +563,28 @@ impl<'s> TestFlow<'s> {
                 &periods,
                 self.artifacts.delays.as_deref(),
             );
-            timed(Stage::Timing, t0);
+            drop(stage_guard);
             q
         });
+
+        // The root span must drop before the records are read — a
+        // span's record lands in the recorder at guard drop.
+        drop(flow_span);
+        let records = recorder.records();
+        let stages: Vec<StageTiming> = records
+            .iter()
+            .filter(|r| r.parent == root_id)
+            .filter_map(|r| {
+                Stage::from_label(r.name).map(|stage| StageTiming {
+                    stage,
+                    seconds: r.seconds(),
+                })
+            })
+            .collect();
+        let trace = self.trace.then(|| TraceBlock {
+            tree: SpanTree::build(&records),
+        });
+        self.feed_metrics(&stages, &kernel, &atpg_kernel, &result.stats);
 
         let coverage = result.report();
         Ok(FlowReport {
@@ -558,8 +602,35 @@ impl<'s> TestFlow<'s> {
             lint,
             delay_quality,
             pattern_source,
+            trace,
             result,
         })
+    }
+
+    /// Feeds the process-wide metric catalog from the run's stat
+    /// structs — one batch of relaxed atomic adds at flow end, so the
+    /// kernels' inner loops stay free of shared-counter traffic.
+    fn feed_metrics(
+        &self,
+        stages: &[StageTiming],
+        kernel: &occ_fsim::KernelStats,
+        atpg_kernel: &occ_atpg::AtpgKernelStats,
+        stats: &AtpgStats,
+    ) {
+        let m = occ_obs::metrics();
+        m.kernel_faults_graded.add(kernel.faults_graded);
+        m.kernel_cone_pruned.add(kernel.cone_pruned);
+        m.kernel_events.add(kernel.events);
+        m.atpg_decisions.add(atpg_kernel.decisions);
+        m.atpg_backtracks.add(atpg_kernel.backtracks);
+        m.atpg_events.add(atpg_kernel.events);
+        m.atpg_podem_calls.add(stats.podem_calls as u64);
+        m.atpg_tests_found.add(stats.tests_found as u64);
+        for st in stages {
+            if let Some(h) = m.stage(st.stage.label()) {
+                h.observe(st.seconds);
+            }
+        }
     }
 
     /// The per-domain functional periods the quality stage grades

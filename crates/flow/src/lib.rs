@@ -67,7 +67,7 @@ pub use engine::{
     AtpgEngineChoice, EngineChoice, ParseAtpgEngineChoiceError, ParseEngineChoiceError,
 };
 pub use error::FlowError;
-pub use report::{FlowReport, LintBlock, Stage, StageTiming};
+pub use report::{FlowReport, LintBlock, Stage, StageTiming, TraceBlock};
 pub use source::{PatternSource, PatternSourceBlock};
 pub use timing::{TimingConfig, DEFAULT_DOMAIN_PERIOD_PS};
 
@@ -104,3 +104,7 @@ pub use occ_fsim::{CancelCause, CancelToken};
 /// incremental re-simulations) — re-exported from [`occ_atpg`] because
 /// every [`FlowReport`] carries one.
 pub use occ_atpg::AtpgKernelStats;
+
+/// Span-tracing types a traced [`FlowReport`] carries in its
+/// [`TraceBlock`] — re-exported from [`occ_obs`].
+pub use occ_obs::{SpanNode, SpanRecord, SpanRecorder, SpanTree};

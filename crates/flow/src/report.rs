@@ -8,6 +8,7 @@ use occ_core::ClockingMode;
 use occ_fault::{CoverageReport, FaultModel};
 use occ_fsim::KernelStats;
 use occ_lint::{LintGate, LintReport, RuleId};
+use occ_obs::{AttrValue, SpanNode, SpanTree};
 use occ_timing::QualityReport;
 use std::fmt;
 use std::io::{self, Write};
@@ -61,6 +62,35 @@ impl Stage {
             Stage::Timing => "timing",
         }
     }
+
+    /// The inverse of [`Stage::label`]: the stage a span name denotes,
+    /// if any (how per-stage timings are derived from the span
+    /// recorder).
+    pub fn from_label(label: &str) -> Option<Stage> {
+        match label {
+            "bind-model" => Some(Stage::BindModel),
+            "procedures" => Some(Stage::Procedures),
+            "fault-universe" => Some(Stage::FaultUniverse),
+            "lint" => Some(Stage::Lint),
+            "atpg" => Some(Stage::Atpg),
+            "pattern-source" => Some(Stage::PatternSource),
+            "classify" => Some(Stage::Classify),
+            "timing" => Some(Stage::Timing),
+            _ => None,
+        }
+    }
+}
+
+/// The captured span forest of a traced flow run (opt-in via
+/// [`TestFlow::trace`](crate::TestFlow::trace) or a `trace: true`
+/// wire request). Absent on untraced runs — their reports are
+/// byte-identical to before tracing existed.
+#[derive(Debug)]
+pub struct TraceBlock {
+    /// The span forest: the `flow` root span (stage spans beneath it,
+    /// detail spans beneath those) plus any sibling roots recorded in
+    /// the same scope (per-job artifact-cache spans).
+    pub tree: SpanTree,
 }
 
 impl fmt::Display for Stage {
@@ -125,6 +155,9 @@ pub struct FlowReport {
     /// EDT compression / compactor masking). `None` for external-ATPG
     /// flows — their reports are unchanged.
     pub pattern_source: Option<PatternSourceBlock>,
+    /// The captured span forest. `None` unless the flow ran with
+    /// `TestFlow::trace(true)` — untraced reports are unchanged.
+    pub trace: Option<TraceBlock>,
     /// The full ATPG result: compacted pattern set and fault statuses.
     pub result: AtpgResult,
 }
@@ -330,6 +363,16 @@ impl FlowReport {
                 ps.encode_splits,
                 ps.dropped_cubes,
             )?;
+        }
+        if let Some(tr) = &self.trace {
+            write!(w, ",\"trace\":{{\"spans\":[")?;
+            for (i, node) in tr.tree.roots.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write_span_node(w, node)?;
+            }
+            write!(w, "]}}")?;
         }
         write!(w, ",\"stages\":[")?;
         for (i, st) in self.stages.iter().enumerate() {
@@ -593,8 +636,56 @@ impl fmt::Display for FlowReport {
                 )?,
             }
         }
+        if let Some(tr) = &self.trace {
+            writeln!(f, "  trace ({} span(s)):", tr.tree.len())?;
+            for line in tr.tree.render().lines() {
+                writeln!(f, "    {line}")?;
+            }
+        }
         write!(f, "  total {:.3}s", self.total_seconds())
     }
+}
+
+/// Writes one span node (and its children) as a JSON object.
+fn write_span_node(w: &mut dyn Write, node: &SpanNode) -> io::Result<()> {
+    let r = &node.record;
+    write!(
+        w,
+        "{{\"name\":{},\"start_seconds\":{},\"seconds\":{}",
+        json_string(r.name),
+        json_f64(r.start_seconds()),
+        json_f64(r.seconds()),
+    )?;
+    if r.alloc_bytes > 0 {
+        write!(w, ",\"alloc_bytes\":{}", r.alloc_bytes)?;
+    }
+    if !r.attrs().is_empty() {
+        write!(w, ",\"attrs\":{{")?;
+        for (i, (k, v)) in r.attrs().iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            let value = match v {
+                AttrValue::U64(n) => n.to_string(),
+                AttrValue::I64(n) => n.to_string(),
+                AttrValue::F64(x) => json_f64(*x),
+                AttrValue::Str(s) => json_string(s),
+            };
+            write!(w, "{}:{value}", json_string(k))?;
+        }
+        write!(w, "}}")?;
+    }
+    if !node.children.is_empty() {
+        write!(w, ",\"children\":[")?;
+        for (i, child) in node.children.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write_span_node(w, child)?;
+        }
+        write!(w, "]")?;
+    }
+    write!(w, "}}")
 }
 
 /// Minimal JSON string quoting (control chars, quotes, backslashes).

@@ -106,6 +106,7 @@ pub(crate) fn run_quality(
     let delays = match precompiled {
         Some(table) => table.as_slice(),
         None => {
+            let _compile_span = occ_obs::span("timing.compile");
             compiled_here = cfg.delays.compile(model.netlist());
             compiled_here.as_slice()
         }
@@ -129,6 +130,8 @@ pub(crate) fn run_quality(
     // the tightest margin of any observing domain.
     let sites: Vec<usize> = faults.iter().map(|&f| site_index(model, f)).collect();
     let mut sta = Sta::new(graph.cells());
+    let mut sta_span = occ_obs::span("timing.sta");
+    sta_span.attr_u64("domains", n_domains as u64);
     for d in 0..n_domains {
         sta.compute(graph, delays, &CaptureTargets::domain(d, n_domains));
         let period = domain_periods
@@ -149,6 +152,9 @@ pub(crate) fn run_quality(
     // The kernel view only consumes arrivals, which are target-
     // independent — the forward pass alone suffices.
     sta.compute_arrivals(graph, delays);
+    drop(sta_span);
+    let mut regrade_span = occ_obs::span("timing.regrade");
+    regrade_span.attr_u64("patterns", result.patterns.patterns().len() as u64);
     let view = Arc::new(SimTiming::new(delays.to_vec(), sta.arrivals().to_vec()));
     let mut fsim = FaultSim::new(model);
     fsim.attach_timing(view);
@@ -177,5 +183,6 @@ pub(crate) fn run_quality(
         }
     }
 
+    drop(regrade_span);
     QualityReport::compute(&slacks, windows, &cfg.quality)
 }

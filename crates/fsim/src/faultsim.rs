@@ -908,6 +908,9 @@ impl<'g> FaultSim<'g> {
         good: &GoodBatch,
         faults: &[Fault],
     ) -> Vec<u64> {
+        let mut batch_span = occ_obs::span("fsim.batch");
+        batch_span.attr_u64("faults", faults.len() as u64);
+        batch_span.attr_u64("patterns", good.n_patterns as u64);
         // Poll the token at a stride that keeps the check invisible on
         // the hot path (one relaxed load per CANCEL_STRIDE faults).
         const CANCEL_STRIDE: usize = 32;

@@ -297,6 +297,13 @@ impl<'g> ParallelFaultSim<'g> {
             return masks;
         };
 
+        // The workers run outside this thread's span scope, so the
+        // whole sharded batch is one span on the calling thread.
+        let mut batch_span = occ_obs::span("fsim.batch");
+        batch_span.attr_u64("faults", faults.len() as u64);
+        batch_span.attr_u64("patterns", good.n_patterns as u64);
+        batch_span.attr_u64("threads", self.threads as u64);
+
         // Share the batch inputs with the pool; the clones live only as
         // long as the slowest worker needs them.
         let spec = Arc::new(spec.clone());

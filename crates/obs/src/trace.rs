@@ -1,0 +1,631 @@
+//! Tracing spans: RAII guards, a sharded recorder, thread-local
+//! nesting.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when off.** Library crates (`occ-fsim`, `occ-atpg`,
+//!    `occ-timing`, the artifact cache) call [`span`] unconditionally.
+//!    With no recorder installed on the thread — or detail recording
+//!    switched off — the guard is inert: one thread-local borrow, no
+//!    clock read, no allocation.
+//! 2. **Zero-alloc when on.** Each [`SpanRecorder`] preallocates its
+//!    record shards; finishing a span is two monotonic clock reads and
+//!    a push into reserved capacity. The fault-sim hot path is gated
+//!    on this in CI with the counting allocator.
+//! 3. **Nesting without plumbing.** The parent/child relation rides a
+//!    thread-local stack, so a span opened three crates down lands
+//!    under the flow stage that called it — no API threading.
+//!
+//! Spans record on the thread that opened them; worker threads of a
+//! sharded engine carry no scope, so cross-thread fan-out is traced at
+//! its orchestration point (where the caller blocks) — which is the
+//! duration that matters for stage accounting.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum key=value attributes one span can carry. Fixed so a span
+/// record is `Copy` and recording never allocates.
+pub const MAX_ATTRS: usize = 4;
+
+/// Record shards. Guards pick a shard by span id, so concurrent
+/// threads recording into one recorder rarely contend.
+const SHARDS: usize = 8;
+
+/// Records preallocated per shard. Past this the shard vector grows
+/// (an allocation) — deep traces still work, hot paths stay clean.
+const SHARD_CAPACITY: usize = 512;
+
+/// One span attribute value. Strings are `&'static` by design: span
+/// names and attribute keys/values are code, not data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned counter-like values (fault counts, pattern counts).
+    U64(u64),
+    /// Signed values.
+    I64(i64),
+    /// Ratios and seconds.
+    F64(f64),
+    /// Static labels (artifact kind, outcome).
+    Str(&'static str),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// One finished span, as stored by the recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    /// Unique id within the recorder (1-based; 0 is "no parent").
+    pub id: u64,
+    /// Parent span id, or 0 for a root.
+    pub parent: u64,
+    /// Static span name (`"flow"`, `"fsim.batch"`, `"cache.build"`).
+    pub name: &'static str,
+    /// Start offset in nanoseconds from the recorder's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Bytes allocated while the span was open, when an allocation
+    /// probe is installed (see [`set_alloc_probe`]); 0 otherwise.
+    pub alloc_bytes: u64,
+    attrs: [(&'static str, AttrValue); MAX_ATTRS],
+    attr_len: u8,
+}
+
+impl SpanRecord {
+    /// The span's attributes, in the order they were set.
+    #[must_use]
+    pub fn attrs(&self) -> &[(&'static str, AttrValue)] {
+        &self.attrs[..self.attr_len as usize]
+    }
+
+    /// Duration in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.dur_ns as f64 / 1e9
+    }
+
+    /// Start offset in seconds from the recorder's epoch.
+    #[must_use]
+    pub fn start_seconds(&self) -> f64 {
+        self.start_ns as f64 / 1e9
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+}
+
+/// A span sink: cheaply clonable (it is an `Arc`), shared by every
+/// guard it hands out. One recorder per traced unit of work (a flow
+/// run, a daemon job) keeps trees self-contained.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanRecorder {
+    /// Creates a recorder with preallocated shard capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanRecorder {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                shards: (0..SHARDS)
+                    .map(|_| Mutex::new(Vec::with_capacity(SHARD_CAPACITY)))
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Installs this recorder as the current thread's span sink until
+    /// the returned scope drops (the previous scope, if any, is
+    /// restored). `detail` controls whether fine-grained [`span`]s
+    /// record; [`stage_span`]s always do.
+    pub fn install(&self, detail: bool) -> InstalledScope {
+        let prev = SCOPE.with(|s| {
+            s.borrow_mut().replace(Scope {
+                recorder: self.clone(),
+                detail,
+                stack: Vec::with_capacity(16),
+            })
+        });
+        InstalledScope { prev: Some(prev) }
+    }
+
+    /// Whether the same underlying recorder.
+    #[must_use]
+    pub fn same_as(&self, other: &SpanRecorder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of finished spans recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("span shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All finished spans, sorted by start time (ties by id).
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::with_capacity(self.len());
+        for shard in &self.inner.shards {
+            out.extend(shard.lock().expect("span shard poisoned").iter().copied());
+        }
+        out.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let shard = (record.id as usize) % SHARDS;
+        self.inner.shards[shard]
+            .lock()
+            .expect("span shard poisoned")
+            .push(record);
+    }
+}
+
+struct Scope {
+    recorder: SpanRecorder,
+    detail: bool,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<Scope>> = const { RefCell::new(None) };
+}
+
+/// RAII handle returned by [`SpanRecorder::install`]; dropping it
+/// restores the previously installed scope (or none).
+#[must_use = "dropping the scope immediately uninstalls the recorder"]
+pub struct InstalledScope {
+    prev: Option<Option<Scope>>,
+}
+
+impl Drop for InstalledScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            SCOPE.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+}
+
+/// The recorder installed on this thread, if any.
+#[must_use]
+pub fn current() -> Option<SpanRecorder> {
+    SCOPE.with(|s| s.borrow().as_ref().map(|scope| scope.recorder.clone()))
+}
+
+/// Whether fine-grained [`span`]s record on this thread.
+#[must_use]
+pub fn detail_enabled() -> bool {
+    SCOPE.with(|s| s.borrow().as_ref().is_some_and(|scope| scope.detail))
+}
+
+/// The process-wide allocation probe: returns cumulative bytes
+/// allocated by this process. Installed once (by a binary that owns a
+/// counting global allocator); spans then carry an `alloc_bytes`
+/// delta. Never installed in ordinary builds — the probe read is a
+/// no-op returning 0.
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the allocation probe. First caller wins; later calls are
+/// ignored (the probe is process-global, like the allocator it reads).
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+fn probe_bytes() -> u64 {
+    ALLOC_PROBE.get().map_or(0, |f| f())
+}
+
+struct ActiveSpan {
+    recorder: SpanRecorder,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    alloc0: u64,
+    attrs: [(&'static str, AttrValue); MAX_ATTRS],
+    attr_len: u8,
+}
+
+/// RAII span guard: the span's duration is open-to-drop. Inert (and
+/// free) when no recorder was installed on this thread.
+#[must_use = "a span measures until the guard drops; dropping immediately records nothing useful"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+const NO_ATTR: (&str, AttrValue) = ("", AttrValue::U64(0));
+
+fn begin(name: &'static str, detail_only: bool) -> SpanGuard {
+    SCOPE.with(|s| {
+        let mut borrow = s.borrow_mut();
+        let Some(scope) = borrow.as_mut() else {
+            return SpanGuard { active: None };
+        };
+        if detail_only && !scope.detail {
+            return SpanGuard { active: None };
+        }
+        let id = scope.recorder.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = scope.stack.last().copied().unwrap_or(0);
+        scope.stack.push(id);
+        let recorder = scope.recorder.clone();
+        let start_ns = recorder.now_ns();
+        SpanGuard {
+            active: Some(ActiveSpan {
+                recorder,
+                id,
+                parent,
+                name,
+                start_ns,
+                alloc0: probe_bytes(),
+                attrs: [NO_ATTR; MAX_ATTRS],
+                attr_len: 0,
+            }),
+        }
+    })
+}
+
+/// Opens a fine-grained (detail) span: records only when the installed
+/// scope has detail recording on. Use for substage work — fault-sim
+/// batches, PODEM phases, cache builds.
+pub fn span(name: &'static str) -> SpanGuard {
+    begin(name, true)
+}
+
+/// Opens a coarse span that records whenever *any* recorder is
+/// installed, detail or not. Use for flow stage boundaries — the spans
+/// stage timings are derived from.
+pub fn stage_span(name: &'static str) -> SpanGuard {
+    begin(name, false)
+}
+
+impl SpanGuard {
+    /// The span id, when recording (stable within its recorder).
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// True when this guard will record on drop.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    fn push_attr(&mut self, key: &'static str, value: AttrValue) {
+        if let Some(a) = self.active.as_mut() {
+            let len = a.attr_len as usize;
+            if len < MAX_ATTRS {
+                a.attrs[len] = (key, value);
+                a.attr_len += 1;
+            }
+        }
+    }
+
+    /// Attaches an unsigned attribute (ignored past [`MAX_ATTRS`]).
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        self.push_attr(key, AttrValue::U64(value));
+    }
+
+    /// Attaches a signed attribute.
+    pub fn attr_i64(&mut self, key: &'static str, value: i64) {
+        self.push_attr(key, AttrValue::I64(value));
+    }
+
+    /// Attaches a float attribute.
+    pub fn attr_f64(&mut self, key: &'static str, value: f64) {
+        self.push_attr(key, AttrValue::F64(value));
+    }
+
+    /// Attaches a static-string attribute.
+    pub fn attr_str(&mut self, key: &'static str, value: &'static str) {
+        self.push_attr(key, AttrValue::Str(value));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_ns = a.recorder.now_ns().saturating_sub(a.start_ns);
+        let alloc_bytes = probe_bytes().saturating_sub(a.alloc0);
+        // Pop this span off the thread's nesting stack. Guards drop in
+        // reverse open order under normal RAII; the retain fallback
+        // keeps the stack sane if one is held across a sibling.
+        SCOPE.with(|s| {
+            if let Some(scope) = s.borrow_mut().as_mut() {
+                if scope.stack.last() == Some(&a.id) {
+                    scope.stack.pop();
+                } else {
+                    scope.stack.retain(|&id| id != a.id);
+                }
+            }
+        });
+        a.recorder.push(SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            start_ns: a.start_ns,
+            dur_ns,
+            alloc_bytes,
+            attrs: a.attrs,
+            attr_len: a.attr_len,
+        });
+    }
+}
+
+/// One node of a reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total spans in this subtree (including this node).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::size).sum::<usize>()
+    }
+
+    /// The first descendant (or self) with this name, depth-first.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.record.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// A span forest reconstructed from finished records: roots in start
+/// order, children nested under their parents.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// Top-level spans (parent id 0, or parent not present in the
+    /// record set).
+    pub roots: Vec<SpanNode>,
+}
+
+impl SpanTree {
+    /// Builds the forest. Records whose parent is missing from the set
+    /// become roots, so a partial capture still renders.
+    #[must_use]
+    pub fn build(records: &[SpanRecord]) -> SpanTree {
+        let mut sorted: Vec<SpanRecord> = records.to_vec();
+        sorted.sort_by_key(|r| (r.start_ns, r.id));
+        let present: std::collections::HashSet<u64> = sorted.iter().map(|r| r.id).collect();
+        // Children attach bottom-up: process in reverse start order so
+        // every child is built before its parent consumes it.
+        let mut nodes: std::collections::HashMap<u64, SpanNode> = std::collections::HashMap::new();
+        let mut order: Vec<u64> = Vec::with_capacity(sorted.len());
+        for r in &sorted {
+            nodes.insert(
+                r.id,
+                SpanNode {
+                    record: *r,
+                    children: Vec::new(),
+                },
+            );
+            order.push(r.id);
+        }
+        let mut roots: Vec<u64> = Vec::new();
+        for r in sorted.iter().rev() {
+            if r.parent != 0 && present.contains(&r.parent) {
+                let node = nodes.remove(&r.id).expect("node inserted above");
+                nodes
+                    .get_mut(&r.parent)
+                    .expect("parent present in set")
+                    .children
+                    .insert(0, node);
+            } else {
+                roots.push(r.id);
+            }
+        }
+        roots.reverse();
+        SpanTree {
+            roots: roots
+                .into_iter()
+                .filter_map(|id| nodes.remove(&id))
+                .collect(),
+        }
+    }
+
+    /// Total spans across the forest.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roots.iter().map(SpanNode::size).sum()
+    }
+
+    /// True when the forest holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// The first span (anywhere in the forest) with this name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// Renders an indented text tree: name, wall time, attributes and
+    /// (when an allocation probe was installed) the per-span alloc
+    /// delta. What `profile_quick` and `table1 --trace` print.
+    #[must_use]
+    pub fn render(&self) -> String {
+        fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+            let r = &node.record;
+            let indent = "  ".repeat(depth);
+            let label_width = 28usize.saturating_sub(indent.len());
+            out.push_str(&format!(
+                "{indent}{:<label_width$} {:>10.3} ms",
+                r.name,
+                r.dur_ns as f64 / 1e6,
+            ));
+            if r.alloc_bytes > 0 {
+                out.push_str(&format!("  {:>10} B", r.alloc_bytes));
+            }
+            for (k, v) in r.attrs() {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for root in &self.roots {
+            walk(root, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_inert_without_a_recorder() {
+        let g = span("orphan");
+        assert!(!g.is_recording());
+        drop(g);
+        let g = stage_span("orphan-stage");
+        assert!(!g.is_recording());
+    }
+
+    #[test]
+    fn nesting_rides_the_thread_scope() {
+        let rec = SpanRecorder::new();
+        {
+            let _scope = rec.install(true);
+            let root = stage_span("flow");
+            let root_id = root.id().unwrap();
+            {
+                let child = span("atpg.search");
+                assert_eq!(child.id(), Some(root_id + 1));
+                let _grand = span("fsim.batch");
+            }
+            let sibling = span("atpg.compaction");
+            drop(sibling);
+            drop(root);
+        }
+        let tree = SpanTree::build(&rec.records());
+        assert_eq!(tree.len(), 4);
+        let flow = tree.find("flow").unwrap();
+        assert_eq!(flow.children.len(), 2);
+        assert_eq!(flow.children[0].record.name, "atpg.search");
+        assert_eq!(flow.children[0].children[0].record.name, "fsim.batch");
+        assert_eq!(flow.children[1].record.name, "atpg.compaction");
+        // Children are wall-clock-contained in the parent.
+        for child in &flow.children {
+            assert!(child.record.start_ns >= flow.record.start_ns);
+            assert!(
+                child.record.start_ns + child.record.dur_ns
+                    <= flow.record.start_ns + flow.record.dur_ns
+            );
+        }
+    }
+
+    #[test]
+    fn detail_off_keeps_stage_spans_only() {
+        let rec = SpanRecorder::new();
+        {
+            let _scope = rec.install(false);
+            let stage = stage_span("atpg");
+            assert!(stage.is_recording());
+            let detail = span("fsim.batch");
+            assert!(!detail.is_recording());
+            assert!(!detail_enabled());
+        }
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn install_restores_the_previous_scope() {
+        let outer = SpanRecorder::new();
+        let inner = SpanRecorder::new();
+        let _a = outer.install(true);
+        assert!(current().unwrap().same_as(&outer));
+        {
+            let _b = inner.install(false);
+            assert!(current().unwrap().same_as(&inner));
+        }
+        assert!(current().unwrap().same_as(&outer));
+        assert!(detail_enabled());
+    }
+
+    #[test]
+    fn attrs_cap_at_max() {
+        let rec = SpanRecorder::new();
+        {
+            let _scope = rec.install(true);
+            let mut g = span("attrs");
+            g.attr_u64("a", 1);
+            g.attr_i64("b", -2);
+            g.attr_f64("c", 0.5);
+            g.attr_str("d", "x");
+            g.attr_u64("overflow", 9);
+        }
+        let records = rec.records();
+        let attrs = records[0].attrs();
+        assert_eq!(attrs.len(), MAX_ATTRS);
+        assert_eq!(attrs[0], ("a", AttrValue::U64(1)));
+        assert_eq!(attrs[3], ("d", AttrValue::Str("x")));
+    }
+
+    #[test]
+    fn render_shows_names_and_attrs() {
+        let rec = SpanRecorder::new();
+        {
+            let _scope = rec.install(true);
+            let _root = stage_span("flow");
+            let mut c = span("cache.build");
+            c.attr_str("kind", "design");
+        }
+        let text = SpanTree::build(&rec.records()).render();
+        assert!(text.contains("flow"));
+        assert!(text.contains("  cache.build"));
+        assert!(text.contains("kind=design"));
+    }
+}

@@ -71,7 +71,9 @@ pub enum ArtifactKind {
 }
 
 impl ArtifactKind {
-    /// Counter-array index.
+    /// Counter-array index (also the index into the global
+    /// `occ_obs::metrics()` cache counter arrays — `CACHE_KINDS`
+    /// order).
     fn idx(self) -> usize {
         match self {
             ArtifactKind::Design => 0,
@@ -215,6 +217,9 @@ impl ArtifactCache {
                     self.counters[kind.idx()]
                         .hits
                         .fetch_add(1, Ordering::Relaxed);
+                    occ_obs::metrics().cache_hits[kind.idx()].inc();
+                    let mut hit_span = occ_obs::span("cache.hit");
+                    hit_span.attr_str("kind", kind.label());
                     return Ok((value, true));
                 }
                 Some(Slot::Building) => {
@@ -236,11 +241,16 @@ impl ArtifactCache {
             key,
             armed: true,
         };
+        let mut build_span = occ_obs::span("cache.build");
+        build_span.attr_str("kind", kind.label());
         let (value, bytes) = build()?;
+        build_span.attr_u64("bytes", bytes as u64);
+        drop(build_span);
         self.store(kind, key, value.clone(), bytes, guard);
         self.counters[kind.idx()]
             .misses
             .fetch_add(1, Ordering::Relaxed);
+        occ_obs::metrics().cache_misses[kind.idx()].inc();
         Ok((value, false))
     }
 
@@ -284,6 +294,7 @@ impl ArtifactCache {
                     self.counters[kind.idx()]
                         .evictions
                         .fetch_add(1, Ordering::Relaxed);
+                    occ_obs::metrics().cache_evictions[kind.idx()].inc();
                 }
             }
         }

@@ -9,6 +9,7 @@
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"health"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! {"op":"analyze","design":{"preset":"tiny","seed":3}}
 //! {"op":"flow","design":{"preset":"paper_like","seed":7,"flops_per_domain":60},
@@ -16,7 +17,7 @@
 //!  "engine":"serial","atpg_engine":"compiled",
 //!  "backtrack_limit":48,"random_patterns":256,"compaction":true,
 //!  "mask_bidi":true,"timing":true,"lint":"deny","format":"json",
-//!  "pattern_source":"edt","deadline_ms":60000}
+//!  "pattern_source":"edt","deadline_ms":60000,"trace":true}
 //! ```
 //!
 //! Every `flow`/`analyze` field except `design` is optional and
@@ -116,6 +117,9 @@ pub enum Request {
     /// Serving state, queue depth and worker budget (answers during a
     /// drain, unlike new jobs).
     Health,
+    /// The full live metric catalog as Prometheus text exposition
+    /// (answers during a drain, like `health`).
+    Metrics,
     /// Stop the daemon: drain queued jobs under the drain deadline,
     /// then close (acknowledged before the listener closes).
     Shutdown,
@@ -152,6 +156,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "flow" | "analyze" => {
             let mut spec = JobSpec::new(parse_design(
@@ -216,6 +221,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             }
             if let Some(n) = opt_u64(&v, "deadline_ms")? {
                 spec.deadline_ms = Some(n);
+            }
+            if let Some(b) = opt_bool(&v, "trace")? {
+                spec.trace = b;
             }
             let format = match opt_str(&v, "format")? {
                 None | Some("json") => ReportFormat::Json,
@@ -423,17 +431,48 @@ fn counters_obj(c: &KindCounters) -> String {
     )
 }
 
-/// Renders the `stats` response line.
+/// Renders the `stats` response line: cache counters plus cumulative
+/// per-op request counts and error-code tallies since daemon start,
+/// sourced from the global [`occ_obs`] metrics registry.
 #[must_use]
 pub fn stats_line(s: &CacheStats) -> String {
+    let m = occ_obs::metrics();
+    let mut ops = String::from("{");
+    for (i, op) in occ_obs::OPS.iter().enumerate() {
+        if i > 0 {
+            ops.push(',');
+        }
+        let _ = write!(ops, r#""{op}":{}"#, m.requests[i].get());
+    }
+    ops.push('}');
+    let mut errors = String::from("{");
+    for (i, code) in occ_obs::ERROR_CODES.iter().enumerate() {
+        if i > 0 {
+            errors.push(',');
+        }
+        let _ = write!(errors, r#""{code}":{}"#, m.request_errors[i].get());
+    }
+    errors.push('}');
     format!(
-        r#"{{"ok":true,"op":"stats","cache":{{"design":{},"procedures":{},"delays":{},"entries":{},"bytes":{}}}}}"#,
+        r#"{{"ok":true,"op":"stats","cache":{{"design":{},"procedures":{},"delays":{},"entries":{},"bytes":{}}},"ops":{ops},"errors":{errors}}}"#,
         counters_obj(&s.design),
         counters_obj(&s.procedures),
         counters_obj(&s.delays),
         s.entries,
         s.bytes,
     )
+}
+
+/// Renders the `metrics` response line: the full catalog as
+/// Prometheus text exposition, JSON-escaped into one field.
+#[must_use]
+pub fn metrics_line() -> String {
+    let exposition = occ_obs::metrics().registry.render();
+    let mut out = String::with_capacity(exposition.len() + 64);
+    out.push_str(r#"{"ok":true,"op":"metrics","exposition":"#);
+    write_escaped(&exposition, &mut out);
+    out.push('}');
+    out
 }
 
 /// Executes one already-parsed request against the service and renders
@@ -455,7 +494,19 @@ pub fn run_job_with_cancel(
 ) -> String {
     match service.submit_with_cancel(spec, parent) {
         Ok(outcome) => job_line(&outcome, format),
-        Err(e) => error_line(&ProtoError::from(e)),
+        Err(e) => {
+            let pe = ProtoError::from(e);
+            let m = occ_obs::metrics();
+            if let Some(c) = m.request_error(pe.code) {
+                c.inc();
+            }
+            match pe.code {
+                "deadline-exceeded" => m.cancellations[0].inc(),
+                "cancelled" => m.cancellations[1].inc(),
+                _ => {}
+            }
+            error_line(&pe)
+        }
     }
 }
 

@@ -38,7 +38,8 @@ use crate::faults::{FaultAction, FaultPlan};
 use crate::json::Json;
 use crate::pool::JobPool;
 use crate::proto::{
-    error_line, health_line, parse_request, run_job_with_cancel, stats_line, ProtoError, Request,
+    error_line, health_line, metrics_line, parse_request, run_job_with_cancel, stats_line,
+    ProtoError, Request,
 };
 use crate::service::FlowService;
 use occ_flow::CancelToken;
@@ -314,6 +315,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         let line = match frame {
             Frame::Line(line) => line,
             Frame::Oversized => {
+                if let Some(c) = occ_obs::metrics().request_error("bad-request") {
+                    c.inc();
+                }
                 enqueue_ready(
                     &pipe_tx,
                     error_line(&ProtoError::new(
@@ -330,45 +334,75 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
+        let received = Instant::now();
         match parse_request(&line) {
-            Err(e) => enqueue_ready(&pipe_tx, error_line(&e)),
-            Ok(Request::Ping) => enqueue_ready(&pipe_tx, r#"{"ok":true,"op":"ping"}"#.to_owned()),
-            Ok(Request::Stats) => {
-                enqueue_ready(&pipe_tx, stats_line(&shared.service.cache_stats()));
-            }
-            Ok(Request::Health) => {
-                let state = match shared.state.load(Ordering::SeqCst) {
-                    SERVING => "serving",
-                    DRAINING => "draining",
-                    _ => "closed",
-                };
-                enqueue_ready(
-                    &pipe_tx,
-                    health_line(state, shared.pool.pending(), shared.pool.threads()),
-                );
-            }
-            Ok(Request::Shutdown) => {
-                trigger_drain(shared);
-                enqueue_ready(&pipe_tx, r#"{"ok":true,"op":"shutdown"}"#.to_owned());
-                // Earlier pipelined responses (queued jobs included)
-                // still flush in order before the writer hangs up —
-                // then the client observes EOF.
-                break;
-            }
-            Ok(Request::Job { spec, format }) => match admit(shared, &inflight) {
-                Err(rejection) => enqueue_ready(&pipe_tx, rejection),
-                Ok(()) => {
-                    let (tx, rx) = mpsc::channel::<String>();
-                    let _ = pipe_tx.send(rx);
-                    let job_shared = Arc::clone(shared);
-                    let job_inflight = Arc::clone(&inflight);
-                    shared.pool.submit(move || {
-                        let line = run_pooled_job(&job_shared, &spec, format);
-                        job_inflight.fetch_sub(1, Ordering::SeqCst);
-                        let _ = tx.send(line);
-                    });
+            Err(e) => {
+                if let Some(c) = occ_obs::metrics().request_error(e.code) {
+                    c.inc();
                 }
-            },
+                enqueue_ready(&pipe_tx, error_line(&e));
+            }
+            Ok(req) => {
+                let op = op_label(&req);
+                if let Some(c) = occ_obs::metrics().request(op) {
+                    c.inc();
+                }
+                match req {
+                    Request::Ping => {
+                        enqueue_ready(&pipe_tx, r#"{"ok":true,"op":"ping"}"#.to_owned());
+                        observe_latency(op, received);
+                    }
+                    Request::Stats => {
+                        refresh_gauges(shared);
+                        enqueue_ready(&pipe_tx, stats_line(&shared.service.cache_stats()));
+                        observe_latency(op, received);
+                    }
+                    Request::Health => {
+                        let state = match shared.state.load(Ordering::SeqCst) {
+                            SERVING => "serving",
+                            DRAINING => "draining",
+                            _ => "closed",
+                        };
+                        enqueue_ready(
+                            &pipe_tx,
+                            health_line(state, shared.pool.pending(), shared.pool.threads()),
+                        );
+                        observe_latency(op, received);
+                    }
+                    Request::Metrics => {
+                        refresh_gauges(shared);
+                        enqueue_ready(&pipe_tx, metrics_line());
+                        observe_latency(op, received);
+                    }
+                    Request::Shutdown => {
+                        trigger_drain(shared);
+                        enqueue_ready(&pipe_tx, r#"{"ok":true,"op":"shutdown"}"#.to_owned());
+                        observe_latency(op, received);
+                        // Earlier pipelined responses (queued jobs
+                        // included) still flush in order before the
+                        // writer hangs up — then the client observes
+                        // EOF.
+                        break;
+                    }
+                    Request::Job { spec, format } => match admit(shared, &inflight) {
+                        Err(rejection) => enqueue_ready(&pipe_tx, rejection),
+                        Ok(()) => {
+                            let (tx, rx) = mpsc::channel::<String>();
+                            let _ = pipe_tx.send(rx);
+                            let job_shared = Arc::clone(shared);
+                            let job_inflight = Arc::clone(&inflight);
+                            shared.pool.submit(move || {
+                                let line = run_pooled_job(&job_shared, &spec, format);
+                                // Latency covers queue wait + run, as a
+                                // client experiences it.
+                                observe_latency(op, received);
+                                job_inflight.fetch_sub(1, Ordering::SeqCst);
+                                let _ = tx.send(line);
+                            });
+                        }
+                    },
+                }
+            }
         }
     }
     // Hang up the pipeline; the writer flushes what is queued, then
@@ -377,16 +411,63 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = writer.join();
 }
 
+/// The registry label for a parsed request — matches [`occ_obs::OPS`].
+fn op_label(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Health => "health",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+        Request::Job { spec, .. } => {
+            if spec.analyze_only {
+                "analyze"
+            } else {
+                "flow"
+            }
+        }
+    }
+}
+
+/// Records one request's wall latency (receipt to response ready) in
+/// the per-op histogram.
+fn observe_latency(op: &str, received: Instant) {
+    if let Some(h) = occ_obs::metrics().latency(op) {
+        h.observe(received.elapsed().as_secs_f64());
+    }
+}
+
+/// Refreshes the registry's gauges (cache footprint, queue depth) from
+/// their live sources, so a scrape never reads stale values.
+fn refresh_gauges(shared: &Shared) {
+    let m = occ_obs::metrics();
+    let stats = shared.service.cache_stats();
+    m.cache_resident_bytes
+        .set(i64::try_from(stats.bytes).unwrap_or(i64::MAX));
+    m.cache_entries
+        .set(i64::try_from(stats.entries).unwrap_or(i64::MAX));
+    m.jobs_pending
+        .set(i64::try_from(shared.pool.pending()).unwrap_or(i64::MAX));
+}
+
 /// Admission control for one job request. `Ok` reserves an in-flight
 /// slot (released by the job closure); `Err` is the rendered rejection.
 fn admit(shared: &Shared, inflight: &AtomicUsize) -> Result<(), String> {
+    let m = occ_obs::metrics();
     if shared.state.load(Ordering::SeqCst) != SERVING {
+        if let Some(c) = m.request_error("shutting-down") {
+            c.inc();
+        }
         return Err(error_line(&ProtoError::new(
             "shutting-down",
             "server is draining; no new jobs",
         )));
     }
     if shared.max_pending > 0 && shared.pool.pending() >= shared.max_pending {
+        m.admission_shed[0].inc(); // reason="queue"
+        if let Some(c) = m.request_error("overloaded") {
+            c.inc();
+        }
         return Err(error_line(&ProtoError::overloaded(
             format!("job queue is full ({} pending)", shared.pool.pending()),
             200,
@@ -395,6 +476,10 @@ fn admit(shared: &Shared, inflight: &AtomicUsize) -> Result<(), String> {
     if shared.max_inflight_per_conn > 0
         && inflight.load(Ordering::SeqCst) >= shared.max_inflight_per_conn
     {
+        m.admission_shed[1].inc(); // reason="connection"
+        if let Some(c) = m.request_error("overloaded") {
+            c.inc();
+        }
         return Err(error_line(&ProtoError::overloaded(
             format!(
                 "connection already has {} jobs in flight",

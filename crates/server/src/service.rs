@@ -64,6 +64,11 @@ pub struct JobSpec {
     /// past its deadline is cooperatively cancelled at the next batch
     /// boundary and returns [`FlowError::DeadlineExceeded`].
     pub deadline_ms: Option<u64>,
+    /// Capture a span tree for this job: the service installs a
+    /// detail-on recorder around artifact fetches and the flow, so the
+    /// report's `trace` block holds the whole job's span forest
+    /// (cache spans included).
+    pub trace: bool,
 }
 
 impl JobSpec {
@@ -85,6 +90,7 @@ impl JobSpec {
             pattern_source: PatternSource::ExternalAtpg,
             analyze_only: false,
             deadline_ms: None,
+            trace: false,
         }
     }
 }
@@ -225,6 +231,15 @@ impl FlowService {
             }
         };
         check()?;
+        // A traced job installs a detail-on recorder for its whole
+        // duration: artifact-cache spans recorded below land in the
+        // same forest the flow's `trace` block reports.
+        let _trace_scope = if job.trace {
+            let recorder = occ_obs::SpanRecorder::new();
+            Some(recorder.install(true))
+        } else {
+            None
+        };
         let dh = design_hash(&job.design);
         let (design, design_hit) = self.design_artifact(dh, &job.design)?;
         let mut cache = JobCacheStats {
@@ -285,7 +300,8 @@ impl FlowService {
             .mask_bidi(job.mask_bidi)
             .pattern_source(job.pattern_source.clone())
             .artifacts(artifacts)
-            .cancel(cancel.clone());
+            .cancel(cancel.clone())
+            .trace(job.trace);
         if job.timing {
             flow = flow.timing(DelayModel::default());
         }

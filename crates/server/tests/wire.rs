@@ -195,6 +195,63 @@ fn flow_report_wire_format_is_stable() {
 }
 
 #[test]
+fn traced_report_inserts_trace_before_stages_and_matches_stage_timings() {
+    let service = FlowService::new(0);
+    let mut job = JobSpec::new(SocConfig::tiny(7));
+    job.clocking = ClockingMode::SimpleCpf;
+    job.trace = true;
+    job.atpg = AtpgOptions {
+        random_patterns: 32,
+        backtrack_limit: 12,
+        ..AtpgOptions::default()
+    };
+    let outcome = service.submit(&job).unwrap();
+    let raw = outcome.report.as_ref().unwrap().to_json();
+    let parsed = Json::parse(&raw).expect("traced report JSON must parse");
+
+    // The optional trace block's documented position: immediately
+    // before "stages". Everything else keeps the golden order.
+    let top = keys(&parsed);
+    let trace_at = top.iter().position(|k| *k == "trace").expect("trace key");
+    assert_eq!(top[trace_at + 1], "stages");
+    assert_eq!(top[trace_at - 1], "atpg_kernel"); // no lint/quality/ps blocks here
+
+    // The span tree's stage totals ARE the report's per-stage
+    // timings: both come from the same records, so the numbers agree
+    // exactly over the wire.
+    let spans = parsed
+        .get("trace")
+        .unwrap()
+        .get("spans")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let flow_root = spans
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("flow"))
+        .expect("flow root span");
+    let children = flow_root.get("children").unwrap().as_array().unwrap();
+    for stage in parsed.get("stages").unwrap().as_array().unwrap() {
+        let label = stage.get("stage").and_then(Json::as_str).unwrap();
+        let span = children
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(label))
+            .unwrap_or_else(|| panic!("stage '{label}' has a span"));
+        assert_eq!(
+            span.get("seconds").and_then(Json::as_f64),
+            stage.get("seconds").and_then(Json::as_f64),
+            "stage '{label}': span and report timings must agree"
+        );
+    }
+
+    // An untraced run of the same job emits no trace key at all.
+    job.trace = false;
+    let untraced = service.submit(&job).unwrap();
+    let raw = untraced.report.as_ref().unwrap().to_json();
+    assert!(!keys(&Json::parse(&raw).unwrap()).contains(&"trace"));
+}
+
+#[test]
 fn every_pattern_source_serves_over_tcp() {
     let mut server = serve(&ServerConfig {
         addr: "127.0.0.1:0".to_owned(),

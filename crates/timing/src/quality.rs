@@ -113,6 +113,8 @@ impl QualityReport {
         windows: Vec<ProcWindow>,
         options: &QualityOptions,
     ) -> QualityReport {
+        let mut quality_span = occ_obs::span("timing.quality");
+        quality_span.attr_u64("faults", slacks.len() as u64);
         let lambda = options.lambda_ps.max(1.0);
         let weight = |s: Option<Time>| s.map_or(0.0, |s| (-(s as f64) / lambda).exp());
 

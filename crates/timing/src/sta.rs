@@ -160,6 +160,8 @@ impl Sta {
     /// Panics if `delay_ps` or the graph disagree with the engine's
     /// compiled cell count.
     pub fn compute(&mut self, graph: &SimGraph, delay_ps: &[Time], targets: &CaptureTargets) {
+        let mut sta_span = occ_obs::span("sta.compute");
+        sta_span.attr_u64("cells", graph.cells() as u64);
         self.compute_arrivals(graph, delay_ps);
 
         // Backward pass: departure times from the capture points.

@@ -92,6 +92,12 @@ pub mod lint {
     pub use occ_lint::*;
 }
 
+/// Unified observability: span tracing and the process-wide metrics
+/// registry ([`occ_obs`]).
+pub mod obs {
+    pub use occ_obs::*;
+}
+
 /// The unified `TestFlow` pipeline API ([`occ_flow`]).
 pub mod flow {
     pub use occ_flow::*;
